@@ -1,0 +1,87 @@
+//! Microbenchmarks of the numerical kernels behind every Newton iteration:
+//! triplet assembly, sparse LU factorization/solve, and the dense Cholesky
+//! the Gaussian process relies on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::prelude::*;
+use rlpta_linalg::{CsrMatrix, DenseMatrix, SparseLu, Triplet};
+
+/// A random diagonally-dominant sparse system mimicking an MNA Jacobian.
+fn mna_like(n: usize, seed: u64) -> CsrMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = Triplet::new(n, n);
+    for i in 0..n {
+        t.push(i, i, 4.0 + rng.gen::<f64>());
+        for _ in 0..3 {
+            let j = rng.gen_range(0..n);
+            if j != i {
+                t.push(i, j, rng.gen_range(-1.0..1.0) * 0.3);
+            }
+        }
+    }
+    t.to_csr()
+}
+
+fn bench_sparse_lu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sparse_lu");
+    for n in [32usize, 128, 512] {
+        let a = mna_like(n, 7);
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        group.bench_with_input(BenchmarkId::new("factorize", n), &a, |bch, a| {
+            bch.iter(|| SparseLu::factorize(a).unwrap())
+        });
+        let lu = SparseLu::factorize(&a).unwrap();
+        group.bench_with_input(BenchmarkId::new("solve", n), &lu, |bch, lu| {
+            bch.iter(|| lu.solve(&b).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_assembly(c: &mut Criterion) {
+    let mut group = c.benchmark_group("assembly");
+    for n in [128usize, 1024] {
+        group.bench_function(BenchmarkId::new("triplet_to_csr", n), |bch| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let entries: Vec<(usize, usize, f64)> = (0..6 * n)
+                .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n), rng.gen::<f64>()))
+                .collect();
+            bch.iter(|| {
+                let mut t = Triplet::with_capacity(n, n, entries.len());
+                for &(r, cc, v) in &entries {
+                    t.push(r, cc, v);
+                }
+                t.to_csr()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_dense_cholesky(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dense_cholesky");
+    for n in [32usize, 128] {
+        let mut m = DenseMatrix::identity(n);
+        let mut rng = StdRng::seed_from_u64(3);
+        for i in 0..n {
+            for j in 0..i {
+                let v = rng.gen_range(-0.1..0.1);
+                m[(i, j)] = v;
+                m[(j, i)] = v;
+            }
+            m[(i, i)] = 2.0;
+        }
+        group.bench_with_input(BenchmarkId::new("factorize", n), &m, |bch, m| {
+            bch.iter(|| m.cholesky().unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sparse_lu,
+    bench_assembly,
+    bench_dense_cholesky
+);
+criterion_main!(benches);

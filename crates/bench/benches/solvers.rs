@@ -1,0 +1,62 @@
+//! Solver-level benchmarks: one Newton solve, and a full PTA run per
+//! flavour and per stepping controller — the cost units behind Tables 2/3
+//! and Fig. 5.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rlpta_circuits::by_name;
+use rlpta_core::{GminStepping, PtaKind, PtaSolver, SerStepping, SimpleStepping};
+
+fn bench_newton(c: &mut Criterion) {
+    let mut group = c.benchmark_group("continuation");
+    let bench = by_name("UA733").expect("known benchmark");
+    group.bench_function("gmin_stepping_ua733", |b| {
+        b.iter(|| GminStepping::default().solve(&bench.circuit).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_pta_flavours(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pta_flavour");
+    group.sample_size(20);
+    let bench = by_name("UA709").expect("known benchmark");
+    for kind in [PtaKind::Pure, PtaKind::dpta(), PtaKind::cepta()] {
+        group.bench_with_input(
+            BenchmarkId::new("simple", kind.name()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    PtaSolver::new(kind, SimpleStepping::default())
+                        .solve(&bench.circuit)
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_controllers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stepping_controller");
+    group.sample_size(20);
+    for name in ["bias", "slowlatch", "ab_integ"] {
+        let bench = by_name(name).expect("known benchmark");
+        group.bench_with_input(BenchmarkId::new("simple", name), &bench, |b, bench| {
+            b.iter(|| {
+                PtaSolver::new(PtaKind::dpta(), SimpleStepping::default())
+                    .solve(&bench.circuit)
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("adaptive", name), &bench, |b, bench| {
+            b.iter(|| {
+                PtaSolver::new(PtaKind::dpta(), SerStepping::default())
+                    .solve(&bench.circuit)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_newton, bench_pta_flavours, bench_controllers);
+criterion_main!(benches);

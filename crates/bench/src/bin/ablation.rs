@@ -1,0 +1,98 @@
+//! Ablation study for the RL-S design choices DESIGN.md calls out:
+//! dual agents, the public (collaborative) sample buffer, and TD-error
+//! priority sampling. Not a paper table — engineering evidence that each
+//! mechanism earns its place.
+
+use rlpta_bench::{experiment_config, run_with};
+use rlpta_circuits::{table3, training_corpus};
+use rlpta_core::{PtaKind, PtaSolver, RlStepping, RlSteppingConfig};
+use std::time::Instant;
+
+/// Pretrain a controller variant across the corpus and total its evaluation
+/// iterations over a hard-circuit subset.
+fn evaluate(label: &str, config: RlSteppingConfig) {
+    let kind = PtaKind::dpta();
+    let mut rl = RlStepping::new(config);
+    for _ in 0..2 {
+        for b in &training_corpus() {
+            let mut solver = PtaSolver::with_config(kind, rl.clone(), experiment_config());
+            let _ = solver.solve(&b.circuit);
+            rl = solver.controller_mut().clone();
+        }
+    }
+    let subset = [
+        "slowlatch",
+        "todd3",
+        "schmitfast",
+        "ab_integ",
+        "e1480",
+        "THM5",
+        "MOSMEM",
+    ];
+    let mut total_ite = 0usize;
+    let mut total_ste = 0usize;
+    let mut failures = 0usize;
+    for b in table3()
+        .into_iter()
+        .filter(|b| subset.contains(&b.name.as_str()))
+    {
+        let mut fresh = rl.clone();
+        fresh.unfreeze();
+        let (stats, _) = run_with(&b, kind, fresh);
+        if stats.converged {
+            total_ite += stats.nr_iterations;
+            total_ste += stats.pta_steps;
+        } else {
+            failures += 1;
+        }
+    }
+    println!(
+        "{label:<28} total #Ite {total_ite:>6}  total #Ste {total_ste:>6}  failures {failures}"
+    );
+}
+
+fn main() {
+    let t0 = Instant::now();
+    println!("# RL-S ablations on the hard-circuit subset (lower is better)");
+    evaluate("full RL-S", RlSteppingConfig::new(7));
+    evaluate(
+        "single agent (no dual)",
+        RlSteppingConfig {
+            dual_agents: false,
+            ..RlSteppingConfig::new(7)
+        },
+    );
+    evaluate(
+        "uniform sampling (no prio)",
+        RlSteppingConfig {
+            priority_sampling: false,
+            ..RlSteppingConfig::new(7)
+        },
+    );
+    evaluate(
+        "no public buffer (cap 1)",
+        RlSteppingConfig {
+            public_capacity: 1,
+            ..RlSteppingConfig::new(7)
+        },
+    );
+    evaluate(
+        "no exploration noise",
+        RlSteppingConfig {
+            td3: rlpta_rl::Td3Config {
+                exploration_noise: 0.0,
+                ..rlpta_rl::Td3Config::new(5, 1)
+            },
+            ..RlSteppingConfig::new(7)
+        },
+    );
+    evaluate(
+        "conservative growth (m small)",
+        RlSteppingConfig {
+            forward_m: 1.0 + std::f64::consts::E,
+            forward_n: 0.0,
+            ..RlSteppingConfig::new(7)
+        },
+    );
+    println!("# total wall time {:.1?}", t0.elapsed());
+}

@@ -1,0 +1,67 @@
+//! Continuation-method robustness study over the Table 3 suite — the
+//! motivation behind the paper's §1 claims ("the convergence of Gmin and
+//! source stepping are often inferior…", "homotopy is difficult…", "PTA has
+//! proven the most practical"). Reports NR iterations per method, `FAIL`
+//! where the method does not converge.
+
+use rlpta_bench::run_simple;
+use rlpta_circuits::table3;
+use rlpta_core::{
+    GminStepping, NewtonHomotopy, NewtonRaphson, PtaKind, Solution, SolveError, SourceStepping,
+};
+use std::time::Instant;
+
+fn cell(r: Result<Solution, SolveError>) -> String {
+    match r {
+        Ok(s) => s.stats.nr_iterations.to_string(),
+        Err(_) => "FAIL".into(),
+    }
+}
+
+fn main() {
+    let t0 = Instant::now();
+    println!("# Continuation baselines over the Table 3 suite (# NR iterations)");
+    println!(
+        "{:<14}{:>9}{:>9}{:>9}{:>10}{:>9}{:>9}",
+        "Circuit", "newton", "gmin", "source", "homotopy", "pta", "dpta"
+    );
+    let mut fails = [0usize; 6];
+    let mut rows = 0usize;
+    for bench in table3() {
+        let newton = cell(NewtonRaphson::default().solve(&bench.circuit));
+        let gmin = cell(GminStepping::default().solve(&bench.circuit));
+        let source = cell(SourceStepping::default().solve(&bench.circuit));
+        let hom = cell(NewtonHomotopy::default().solve(&bench.circuit));
+        let pta = run_simple(&bench, PtaKind::Pure);
+        let dpta = run_simple(&bench, PtaKind::dpta());
+        let pta_cell = if pta.converged {
+            pta.nr_iterations.to_string()
+        } else {
+            "FAIL".into()
+        };
+        let dpta_cell = if dpta.converged {
+            dpta.nr_iterations.to_string()
+        } else {
+            "FAIL".into()
+        };
+        for (i, c) in [&newton, &gmin, &source, &hom, &pta_cell, &dpta_cell]
+            .iter()
+            .enumerate()
+        {
+            if *c == "FAIL" {
+                fails[i] += 1;
+            }
+        }
+        rows += 1;
+        println!(
+            "{:<14}{:>9}{:>9}{:>9}{:>10}{:>9}{:>9}",
+            bench.name, newton, gmin, source, hom, pta_cell, dpta_cell
+        );
+    }
+    println!(
+        "# failures/{rows}: newton {} gmin {} source {} homotopy {} pta {} dpta {}",
+        fails[0], fails[1], fails[2], fails[3], fails[4], fails[5]
+    );
+    println!("# paper §1: Gmin/source often inferior, homotopy fragile, PTA most practical");
+    println!("# total wall time {:.1?}", t0.elapsed());
+}

@@ -1,0 +1,76 @@
+//! Reproduces the paper's §5 compatibility claim: "Our RL-S is compatible
+//! to all kinds of PTA solver" — runs RL-S against the adaptive baseline on
+//! every PTA flavour (pure PTA, DPTA, CEPTA) over a circuit subset and
+//! reports the per-flavour speedups (the paper demonstrates DPTA gaining
+//! more than CEPTA; Table 3 is the DPTA column of this comparison).
+
+use rlpta_bench::{pretrain_rl, run_adaptive, run_rl};
+use rlpta_circuits::table3;
+use rlpta_core::PtaKind;
+use std::time::Instant;
+
+fn main() {
+    let t0 = Instant::now();
+    let subset = [
+        "bias",
+        "latch",
+        "nagle",
+        "ab_integ",
+        "cram",
+        "e1480",
+        "schmitfast",
+        "slowlatch",
+        "mosamp",
+        "UA727",
+        "MOSMEM",
+    ];
+    println!("# RL-S compatibility across PTA flavours (NR-iteration speedup vs adaptive)");
+    println!(
+        "{:<14}{:>10}{:>10}{:>10}{:>10}",
+        "Circuit", "pta", "dpta", "rpta", "cepta"
+    );
+
+    let kinds = [
+        PtaKind::Pure,
+        PtaKind::dpta(),
+        PtaKind::rpta(),
+        PtaKind::cepta(),
+    ];
+    let pretrained: Vec<_> = kinds.iter().map(|&k| pretrain_rl(k, 2022, 2)).collect();
+
+    let mut sums = [0.0f64; 4];
+    let mut counts = [0usize; 4];
+    for bench in table3()
+        .into_iter()
+        .filter(|b| subset.contains(&b.name.as_str()))
+    {
+        let mut cells = Vec::new();
+        for (i, &kind) in kinds.iter().enumerate() {
+            let a = run_adaptive(&bench, kind);
+            let r = run_rl(&bench, kind, &pretrained[i]);
+            if a.converged && r.converged && r.nr_iterations > 0 {
+                let ratio = a.nr_iterations as f64 / r.nr_iterations as f64;
+                sums[i] += ratio;
+                counts[i] += 1;
+                cells.push(format!("{ratio:.2}X"));
+            } else {
+                cells.push("-".into());
+            }
+        }
+        println!(
+            "{:<14}{:>10}{:>10}{:>10}{:>10}",
+            bench.name, cells[0], cells[1], cells[2], cells[3]
+        );
+    }
+    print!("{:<14}", "average");
+    for i in 0..4 {
+        if counts[i] > 0 {
+            print!("{:>9.2}X", sums[i] / counts[i] as f64);
+        } else {
+            print!("{:>10}", "-");
+        }
+    }
+    println!();
+    println!("# paper: RL-DPTA achieves the largest reductions; RL-S transfers to every flavour");
+    println!("# total wall time {:.1?}", t0.elapsed());
+}

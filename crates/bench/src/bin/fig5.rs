@@ -1,0 +1,87 @@
+//! Regenerates **Fig. 5**: speed-up of RL-S over conventional stepping
+//! strategies (simple and adaptive) for **CEPTA**, on 27 circuits.
+//!
+//! The output prints the two bar series of the figure (RL-S vs adaptive and
+//! RL-S vs simple, NR-iteration ratios) plus an ASCII rendition.
+
+use rlpta_bench::{pretrain_rl, run_adaptive, run_rl, run_simple};
+use rlpta_circuits::fig5;
+use rlpta_core::PtaKind;
+use std::time::Instant;
+
+fn bar(ratio: f64) -> String {
+    let n = (ratio * 3.0).round().clamp(0.0, 18.0) as usize;
+    "#".repeat(n.max(1))
+}
+
+fn main() {
+    let t0 = Instant::now();
+    let kind = PtaKind::cepta();
+    println!("# Fig. 5 — speed-up of RL-S over conventional stepping for CEPTA");
+    let rl = pretrain_rl(kind, 2022, 2);
+    println!(
+        "# RL-S pretrained on the training corpus ({} transitions)",
+        rl.transitions_seen()
+    );
+    println!(
+        "{:<14}{:>12}{:>12}{:>12}  {:<12}vs simple",
+        "Circuit", "simple", "adaptive", "rl-s", "vs adaptive"
+    );
+
+    let mut vs_adaptive = Vec::new();
+    let mut vs_simple = Vec::new();
+    for bench in fig5() {
+        let s = run_simple(&bench, kind);
+        let a = run_adaptive(&bench, kind);
+        let r = run_rl(&bench, kind, &rl);
+        let ratio = |b: &rlpta_core::SolveStats| {
+            if b.converged && r.converged && r.nr_iterations > 0 {
+                Some(b.nr_iterations as f64 / r.nr_iterations as f64)
+            } else {
+                None
+            }
+        };
+        let ra = ratio(&a);
+        let rs = ratio(&s);
+        if let Some(v) = ra {
+            vs_adaptive.push(v);
+        }
+        if let Some(v) = rs {
+            vs_simple.push(v);
+        }
+        println!(
+            "{:<14}{:>12}{:>12}{:>12}  {:<32}{}",
+            bench.name,
+            if s.converged {
+                s.nr_iterations.to_string()
+            } else {
+                "N/A".into()
+            },
+            if a.converged {
+                a.nr_iterations.to_string()
+            } else {
+                "N/A".into()
+            },
+            if r.converged {
+                r.nr_iterations.to_string()
+            } else {
+                "N/A".into()
+            },
+            ra.map_or("-".to_string(), |v| format!("{v:.2}X {}", bar(v))),
+            rs.map_or("-".to_string(), |v| format!("{v:.2}X {}", bar(v))),
+        );
+    }
+    let summary = |name: &str, v: &[f64], paper_max: f64| {
+        if v.is_empty() {
+            return;
+        }
+        let max = v.iter().cloned().fold(f64::MIN, f64::max);
+        let avg = v.iter().sum::<f64>() / v.len() as f64;
+        println!(
+            "# RL-S vs {name}: avg {avg:.2}X, max {max:.2}X (paper reports up to {paper_max}X)"
+        );
+    };
+    summary("adaptive", &vs_adaptive, 3.77);
+    summary("simple", &vs_simple, 2.71);
+    println!("# total wall time {:.1?}", t0.elapsed());
+}

@@ -1,0 +1,94 @@
+//! Regenerates **Table 2**: simulation efficiency of initial parameters
+//! prediction (# of NR iterations), CEPTA default vs IPP-predicted
+//! parameters on the seven held-out test circuits.
+//!
+//! Offline phase: Bayesian active learning (Algorithm 1) over the
+//! 43-circuit training corpus with the real CEPTA solver in the loop.
+//! Online phase: the GP proposes `z*` per unseen circuit from its features.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rlpta_bench::{ite_cell, run_simple};
+use rlpta_circuits::{table2, training_corpus};
+use rlpta_core::{IppOracle, PtaKind, PtaParams};
+use rlpta_gp::{ActiveLearner, ActiveLearnerConfig};
+use std::time::Instant;
+
+fn main() {
+    let t0 = Instant::now();
+    let corpus = training_corpus();
+    let features: Vec<Vec<f64>> = corpus.iter().map(|b| b.features().to_vec()).collect();
+    let flags: Vec<bool> = corpus.iter().map(|b| b.is_bjt).collect();
+    let circuits: Vec<_> = corpus.iter().map(|b| b.circuit.clone()).collect();
+
+    let mut learner = ActiveLearner::new(
+        features,
+        flags,
+        ActiveLearnerConfig {
+            rounds: 6,
+            mle_starts: 16,
+            ei_candidates: 192,
+            w_range: 2.0,
+        },
+    );
+    let mut oracle = IppOracle::new(&circuits, PtaKind::cepta());
+    let mut rng = StdRng::seed_from_u64(2022);
+    println!("# Table 2 — IPP vs default CEPTA (# of NR iterations)");
+    println!(
+        "# offline: Bayesian active learning over {} training circuits",
+        corpus.len()
+    );
+    learner
+        .offline_train(&mut oracle, &mut rng)
+        .expect("offline training fits");
+    println!(
+        "# offline done: {} solver runs, {} samples, {:.1?}",
+        oracle.evaluations(),
+        learner.samples().len(),
+        t0.elapsed()
+    );
+
+    println!(
+        "{:<14}{:<6}{:>8}{:>7}{:>9}{:>7}{:>10}",
+        "Circuits", "Type", "#Nodes", "#Elem", "CEPTA", "IPP", "Speedup"
+    );
+    let mut ratios = Vec::new();
+    for bench in table2() {
+        let f = bench.features();
+        // Baseline: default z = (1,1,1).
+        let base = run_simple(&bench, PtaKind::cepta());
+        // IPP: predicted parameters.
+        let w = learner
+            .predict_best(&f.to_vec(), bench.is_bjt, &mut rng)
+            .expect("prediction succeeds");
+        let params = PtaParams::from_w(&w);
+        let mut oracle_eval =
+            IppOracle::new(std::slice::from_ref(&bench.circuit), PtaKind::cepta());
+        let ipp = oracle_eval
+            .run_raw(&bench.circuit, params)
+            .unwrap_or_default();
+        let speed = if base.converged && ipp.converged {
+            let r = base.nr_iterations as f64 / ipp.nr_iterations as f64;
+            ratios.push(r);
+            format!("{r:.2}")
+        } else {
+            "-".into()
+        };
+        println!(
+            "{:<14}{:<6}{:>8}{:>7}{:>9}{:>7}{:>10}",
+            bench.name,
+            if bench.is_bjt { "BJT" } else { "MOS" },
+            f.num_nodes,
+            bench.circuit.devices().len(),
+            ite_cell(&base),
+            ite_cell(&ipp),
+            speed
+        );
+    }
+    if !ratios.is_empty() {
+        let max = ratios.iter().cloned().fold(f64::MIN, f64::max);
+        let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
+        println!("# speedup: avg {avg:.2}X, max {max:.2}X (paper: 1.56X–3.10X, rescues one non-convergent case)");
+    }
+    println!("# total wall time {:.1?}", t0.elapsed());
+}

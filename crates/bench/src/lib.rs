@@ -1,0 +1,165 @@
+//! Shared harness utilities for the experiment binaries that regenerate the
+//! paper's tables and figures.
+//!
+//! Binaries (run with `cargo run --release -p rlpta-bench --bin <name>`):
+//!
+//! * `table2` — IPP vs default CEPTA on the seven held-out test circuits,
+//! * `fig5`  — RL-S vs simple and adaptive stepping for CEPTA (27 circuits),
+//! * `table3` — RL-S vs adaptive stepping for DPTA (33 circuits),
+//! * `ablation` — design-choice ablations (dual agents, public buffer,
+//!   priority sampling) on a hard-circuit subset.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rlpta_circuits::{training_corpus, Benchmark};
+use rlpta_core::{
+    PtaConfig, PtaKind, PtaSolver, RlStepping, RlSteppingConfig, SerStepping, SimpleStepping,
+    SolveError, SolveStats, StepController,
+};
+
+/// Step budget used by every experiment (generous; failures count as
+/// non-convergent rather than panicking).
+pub fn experiment_config() -> PtaConfig {
+    PtaConfig {
+        max_steps: 20_000,
+        ..PtaConfig::default()
+    }
+}
+
+/// Runs one benchmark under an arbitrary controller and returns the
+/// statistics (`converged == false` inside the stats marks failure).
+pub fn run_with<C: StepController + Clone>(
+    bench: &Benchmark,
+    kind: PtaKind,
+    controller: C,
+) -> (SolveStats, C) {
+    let mut solver = PtaSolver::with_config(kind, controller, experiment_config());
+    let stats = match solver.solve(&bench.circuit) {
+        Ok(sol) => sol.stats,
+        Err(SolveError::NonConvergent { stats }) => stats,
+        Err(e) => {
+            // Structural failures should not happen on the shipped suites.
+            eprintln!("warning: {} failed structurally: {e}", bench.name);
+            SolveStats::default()
+        }
+    };
+    let controller = solver.controller_mut().clone();
+    (stats, controller)
+}
+
+/// Runs a benchmark with the simple iteration-counting controller.
+pub fn run_simple(bench: &Benchmark, kind: PtaKind) -> SolveStats {
+    run_with(bench, kind, SimpleStepping::default()).0
+}
+
+/// Runs a benchmark with the adaptive SER controller.
+pub fn run_adaptive(bench: &Benchmark, kind: PtaKind) -> SolveStats {
+    run_with(bench, kind, SerStepping::default()).0
+}
+
+/// Pre-trains one RL-S controller across the training corpus (the paper's
+/// offline phase), returning it ready for per-circuit online adaptation.
+pub fn pretrain_rl(kind: PtaKind, seed: u64, epochs: usize) -> RlStepping {
+    let mut rl = RlStepping::new(RlSteppingConfig::new(seed));
+    let corpus = training_corpus();
+    for _ in 0..epochs {
+        for b in &corpus {
+            let (_stats, trained) = run_with(b, kind, rl.clone());
+            // Keep the learning regardless of per-circuit success.
+            rl = trained;
+        }
+    }
+    rl
+}
+
+/// Runs a benchmark with a (cloned) pre-trained RL-S controller, online
+/// learning enabled — the paper's evaluation protocol.
+pub fn run_rl(bench: &Benchmark, kind: PtaKind, pretrained: &RlStepping) -> SolveStats {
+    let mut rl = pretrained.clone();
+    rl.unfreeze();
+    run_with(bench, kind, rl).0
+}
+
+/// Formats `a / b` as the paper's `X.XXx` speedup column (`-` on failure).
+pub fn speedup(baseline: &SolveStats, improved: &SolveStats) -> String {
+    if !baseline.converged || !improved.converged || improved.nr_iterations == 0 {
+        return "-".into();
+    }
+    format!(
+        "{:.2}X",
+        baseline.nr_iterations as f64 / improved.nr_iterations as f64
+    )
+}
+
+/// Formats the paper's step-reduction percentage column.
+pub fn step_reduction(baseline: &SolveStats, improved: &SolveStats) -> String {
+    if !baseline.converged || !improved.converged || baseline.pta_steps == 0 {
+        return "-".into();
+    }
+    let red = 100.0 * (1.0 - improved.pta_steps as f64 / baseline.pta_steps as f64);
+    format!("{red:.2}%")
+}
+
+/// `#Ite` cell: the NR iteration count or `N/A` on failure — the paper uses
+/// `N/A` for the default-divergent D22 row.
+pub fn ite_cell(stats: &SolveStats) -> String {
+    if stats.converged {
+        stats.nr_iterations.to_string()
+    } else {
+        "N/A".into()
+    }
+}
+
+/// `#Ste` cell.
+pub fn ste_cell(stats: &SolveStats) -> String {
+    if stats.converged {
+        stats.pta_steps.to_string()
+    } else {
+        "N/A".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(ite: usize, ste: usize, ok: bool) -> SolveStats {
+        SolveStats {
+            nr_iterations: ite,
+            pta_steps: ste,
+            converged: ok,
+            ..SolveStats::default()
+        }
+    }
+
+    #[test]
+    fn speedup_formatting() {
+        assert_eq!(speedup(&stats(100, 10, true), &stats(40, 5, true)), "2.50X");
+        assert_eq!(speedup(&stats(100, 10, false), &stats(40, 5, true)), "-");
+    }
+
+    #[test]
+    fn step_reduction_formatting() {
+        assert_eq!(
+            step_reduction(&stats(0, 100, true), &stats(0, 25, true)),
+            "75.00%"
+        );
+        assert_eq!(step_reduction(&stats(0, 0, true), &stats(0, 5, true)), "-");
+    }
+
+    #[test]
+    fn cells() {
+        assert_eq!(ite_cell(&stats(7, 2, true)), "7");
+        assert_eq!(ite_cell(&stats(7, 2, false)), "N/A");
+        assert_eq!(ste_cell(&stats(7, 2, true)), "2");
+    }
+
+    #[test]
+    fn run_simple_on_small_circuit() {
+        let b = rlpta_circuits::by_name("gm1").expect("known");
+        let s = run_simple(&b, PtaKind::dpta());
+        assert!(s.converged);
+        assert!(s.nr_iterations > 0);
+    }
+}

@@ -1,0 +1,754 @@
+//! Parametric circuit-family generators.
+//!
+//! Every generator returns a ready-to-solve [`Circuit`]; the netlist text is
+//! produced programmatically and run through the full parser, so these
+//! circuits exercise the exact same code path as user decks.
+
+use rlpta_mna::Circuit;
+use rlpta_netlist::parse;
+
+/// Standard NPN/PNP/diode/MOS model cards shared by the generators.
+const MODELS: &str = "\
+.model QN NPN(IS=1e-15 BF=120 BR=2)
+.model QP PNP(IS=1e-15 BF=60 BR=2)
+.model DX D(IS=1e-14 N=1.2)
+.model NM NMOS(VTO=0.9 KP=6e-5 LAMBDA=0.02)
+.model PM PMOS(VTO=-0.9 KP=3e-5 LAMBDA=0.02)
+";
+
+fn build(name: &str, body: String) -> Circuit {
+    let deck = format!("{name}\n{body}\n{MODELS}\n.end\n");
+    parse(&deck).unwrap_or_else(|e| panic!("generator `{name}` produced a bad deck: {e}\n{deck}"))
+}
+
+/// A chain of diode-connected BJTs biased through a resistor ladder — the
+/// `bias`/`gm1`-style easy circuits.
+pub fn bjt_bias_chain(name: &str, stages: usize, r_kohm: f64) -> Circuit {
+    assert!(stages >= 1, "need at least one stage");
+    let mut b = String::from("V1 vcc 0 12\n");
+    for i in 0..stages {
+        b += &format!("R{i} vcc n{i} {r_kohm}k\n");
+        b += &format!("Q{i} n{i} n{i} 0 QN\n");
+        if i > 0 {
+            b += &format!("RX{i} n{} n{i} {}k\n", i - 1, r_kohm * 2.0);
+        }
+    }
+    build(name, b)
+}
+
+/// A stack of current mirrors (`gm6`/`gm17`-style): reference leg plus
+/// mirrored output legs with emitter degeneration.
+pub fn bjt_current_mirrors(name: &str, mirrors: usize) -> Circuit {
+    assert!(mirrors >= 1, "need at least one mirror");
+    let mut b = String::from("V1 vcc 0 10\nRREF vcc bref 22k\nQREF bref bref 0 QN\n");
+    for i in 0..mirrors {
+        b += &format!("RO{i} vcc c{i} {}k\n", 3 + i);
+        b += &format!("QM{i} c{i} bref e{i} QN\n");
+        b += &format!("RE{i} e{i} 0 {}\n", 100 * (i + 1));
+    }
+    build(name, b)
+}
+
+/// DC-coupled cascade of common-emitter stages with optional global
+/// feedback; low `feedback_kohm` means strong feedback → stiff system.
+pub fn bjt_amplifier(name: &str, stages: usize, feedback_kohm: Option<f64>) -> Circuit {
+    assert!(stages >= 1, "need at least one stage");
+    let mut b = String::from("V1 vcc 0 15\nRS vcc b0 180k\n");
+    for i in 0..stages {
+        b += &format!("RB{i} b{i} 0 39k\n");
+        b += &format!("RC{i} vcc c{i} 4.7k\n");
+        b += &format!("RE{i} e{i} 0 1k\n");
+        b += &format!("Q{i} c{i} b{i} e{i} QN\n");
+        if i + 1 < stages {
+            b += &format!("RXC{i} c{i} b{} 10k\n", i + 1);
+        }
+    }
+    if let Some(rf) = feedback_kohm {
+        b += &format!("RF c{} b0 {rf}k\n", stages - 1);
+    }
+    build(name, b)
+}
+
+/// A cross-coupled bistable pair — the `latch`/`slowlatch` family. Large
+/// `loop_gain_kohm` weakens the coupling (easier); slight asymmetry avoids
+/// the exactly-metastable saddle.
+pub fn bjt_latch(name: &str, coupling_kohm: f64, rc_kohm: f64) -> Circuit {
+    let rc2 = rc_kohm * 1.07;
+    let b = format!(
+        "V1 vcc 0 5
+RC1 vcc c1 {rc_kohm}k
+RC2 vcc c2 {rc2}k
+Q1 c1 b1 0 QN
+Q2 c2 b2 0 QN
+RB1 c2 b1 {coupling_kohm}k
+RB2 c1 b2 {coupling_kohm}k
+RP1 b1 0 18k
+RP2 b2 0 18k
+"
+    );
+    build(name, b)
+}
+
+/// Emitter-coupled Schmitt trigger with positive feedback (`SCHMITT`,
+/// `schmitfast`, `TRISTABLE`).
+pub fn bjt_schmitt(name: &str, feedback_kohm: f64) -> Circuit {
+    let b = format!(
+        "V1 vcc 0 12
+RC1 vcc c1 2.2k
+RC2 vcc c2 1k
+Q1 c1 b1 e QN
+Q2 c2 b2 e QN
+RE e 0 470
+RB1A vcc b1 56k
+RB1B b1 0 33k
+RF c1 b2 {feedback_kohm}k
+RB2 b2 0 15k
+"
+    );
+    build(name, b)
+}
+
+/// Astable multivibrator (`astabl`): DC-wise the cross caps are open, so
+/// both transistors bias on through their base resistors.
+pub fn bjt_astable(name: &str) -> Circuit {
+    let b = "V1 vcc 0 9
+RC1 vcc c1 1.8k
+RC2 vcc c2 1.8k
+RB1 vcc b1 100k
+RB2 vcc b2 100k
+C1 c1 b2 10n
+C2 c2 b1 10n
+Q1 c1 b1 0 QN
+Q2 c2 b2 0 QN
+"
+    .to_string();
+    build(name, b)
+}
+
+/// Relaxation oscillator core (`DCOSC`): Schmitt pair plus an RC feedback
+/// path (the capacitor is DC-open, leaving a high-impedance bias point).
+pub fn bjt_dc_oscillator(name: &str) -> Circuit {
+    let b = "V1 vcc 0 10
+RC1 vcc c1 1.5k
+RC2 vcc c2 1.5k
+Q1 c1 b1 e QN
+Q2 c2 b2 e QN
+RE e 0 330
+RT c2 b1 82k
+CT b1 0 100n
+RB2A c1 b2 27k
+RB2B b2 0 12k
+"
+    .to_string();
+    build(name, b)
+}
+
+/// Series/parallel diode network with a stiff drive (`D10`, `D11`, `D22`).
+/// `series` diodes per arm, `arms` parallel arms with unequal resistors.
+pub fn diode_network(name: &str, series: usize, arms: usize) -> Circuit {
+    assert!(series >= 1 && arms >= 1, "need at least one diode");
+    let mut b = String::from("V1 in 0 6\nRS in top 47\n");
+    for a in 0..arms {
+        let mut prev = "top".to_string();
+        for s in 0..series {
+            let node = if s + 1 == series {
+                format!("bot{a}")
+            } else {
+                format!("m{a}_{s}")
+            };
+            b += &format!("D{a}_{s} {prev} {node} DX\n");
+            prev = node;
+        }
+        b += &format!("RA{a} bot{a} 0 {}\n", 100 * (a + 1));
+    }
+    build(name, b)
+}
+
+/// CMOS inverter chain (`Adding`-style MOS logic) driven by a resistive
+/// divider.
+pub fn mos_inverter_chain(name: &str, stages: usize) -> Circuit {
+    assert!(stages >= 1, "need at least one stage");
+    let mut b = String::from(
+        "V1 vdd 0 5
+RD1 vdd in 10k
+RD2 in 0 12k
+",
+    );
+    let mut prev = "in".to_string();
+    for i in 0..stages {
+        let out = format!("o{i}");
+        b += &format!("MP{i} {out} {prev} vdd vdd PM W=20u L=2u\n");
+        b += &format!("MN{i} {out} {prev} 0 0 NM W=10u L=2u\n");
+        prev = out;
+    }
+    b += &format!("RL {prev} 0 100k\n");
+    build(name, b)
+}
+
+/// A ripple chain of NAND-based half adders (`fadd32`-style): `bits` cells,
+/// each built from NAND2 subcircuits.
+pub fn mos_adder(name: &str, bits: usize) -> Circuit {
+    assert!(bits >= 1, "need at least one bit");
+    let mut b = String::from(
+        "V1 vdd 0 5
+RA vdd a 9k
+RA2 a 0 11k
+RB vdd bb 8k
+RB2 bb 0 13k
+.subckt NAND2 x y out vdd
+MP1 out x vdd vdd PM W=20u L=2u
+MP2 out y vdd vdd PM W=20u L=2u
+MN1 out x mid 0 NM W=10u L=2u
+MN2 mid y 0 0 NM W=10u L=2u
+.ends
+",
+    );
+    let mut carry = "bb".to_string();
+    for i in 0..bits {
+        // Half-adder from NANDs: s = (a ⊼ (a ⊼ c)) ⊼ (c ⊼ (a ⊼ c)).
+        b += &format!("X{i}a a {carry} n{i}1 vdd NAND2\n");
+        b += &format!("X{i}b a n{i}1 n{i}2 vdd NAND2\n");
+        b += &format!("X{i}c {carry} n{i}1 n{i}3 vdd NAND2\n");
+        b += &format!("X{i}d n{i}2 n{i}3 s{i} vdd NAND2\n");
+        carry = format!("n{i}1");
+    }
+    b += &format!("RO {carry} 0 200k\n");
+    build(name, b)
+}
+
+/// Majority-voter tree of NAND gates (`voter25`).
+pub fn mos_voter(name: &str, leaves: usize) -> Circuit {
+    assert!(leaves >= 2, "need at least two leaves");
+    let mut b = String::from(
+        "V1 vdd 0 5
+.subckt NAND2 x y out vdd
+MP1 out x vdd vdd PM W=20u L=2u
+MP2 out y vdd vdd PM W=20u L=2u
+MN1 out x mid 0 NM W=10u L=2u
+MN2 mid y 0 0 NM W=10u L=2u
+.ends
+",
+    );
+    for i in 0..leaves {
+        b += &format!("RL{i} vdd l{i} {}k\n", 8 + (i % 5));
+        b += &format!("RL{i}b l{i} 0 {}k\n", 9 + (i % 4));
+    }
+    // Reduce pairwise until one node remains.
+    let mut level: Vec<String> = (0..leaves).map(|i| format!("l{i}")).collect();
+    let mut gate = 0;
+    while level.len() > 1 {
+        let mut next = Vec::new();
+        for pair in level.chunks(2) {
+            if pair.len() == 2 {
+                let out = format!("g{gate}");
+                b += &format!("XG{gate} {} {} {out} vdd NAND2\n", pair[0], pair[1]);
+                next.push(out);
+                gate += 1;
+            } else {
+                next.push(pair[0].clone());
+            }
+        }
+        level = next;
+    }
+    b += &format!("RO {} 0 150k\n", level[0]);
+    build(name, b)
+}
+
+/// Six-transistor SRAM cell with access transistors (`cram`).
+pub fn mos_ram_cell(name: &str) -> Circuit {
+    let b = "V1 vdd 0 5
+V2 wl 0 5
+RBL vdd bl 5k
+RBLB vdd blb 5.5k
+MP1 q qb vdd vdd PM W=10u L=2u
+MN1 q qb 0 0 NM W=20u L=2u
+MP2 qb q vdd vdd PM W=10u L=2u
+MN2 qb q 0 0 NM W=20u L=2u
+MA1 bl wl q 0 NM W=10u L=2u
+MA2 blb wl qb 0 NM W=10u L=2u
+"
+    .to_string();
+    build(name, b)
+}
+
+/// MOS full-wave bridge rectifier with diode-connected, source-tied-bulk
+/// transistors (`mosrect`).
+pub fn mos_rectifier(name: &str) -> Circuit {
+    let b = "V1 acp 0 3
+V2 acn 0 -3
+MD1 acp acp out out NM W=40u L=2u
+MD2 acn acn out out NM W=40u L=2u
+MD3 ret ret acp acp NM W=40u L=2u
+MD4 ret ret acn acn NM W=40u L=2u
+RL out ret 2.2k
+RREF ret 0 1meg
+"
+    .to_string();
+    build(name, b)
+}
+
+/// Two-stage MOS amplifier with PMOS mirror loads (`mosamp`).
+pub fn mos_amplifier(name: &str, stages: usize) -> Circuit {
+    assert!(stages >= 1, "need at least one stage");
+    let mut b = String::from(
+        "V1 vdd 0 5
+RB1 vdd inp 60k
+RB2 inp 0 40k
+",
+    );
+    let mut prev = "inp".to_string();
+    for i in 0..stages {
+        b += &format!("MPL{i} d{i} mb{i} vdd vdd PM W=30u L=3u\n");
+        b += &format!("RMB{i} vdd mb{i} 45k\n");
+        b += &format!("MPD{i} mb{i} mb{i} vdd vdd PM W=30u L=3u\n");
+        b += &format!("MN{i} d{i} {prev} s{i} 0 NM W=20u L=2u\n");
+        b += &format!("RS{i} s{i} 0 820\n");
+        prev = format!("d{i}");
+    }
+    b += &format!("RL {prev} 0 120k\n");
+    build(name, b)
+}
+
+/// Bandgap-reference core: ratioed BJT pair with a MOS mirror on top
+/// (`MOSBandgap` — MOS-flagged but containing BJTs, like the original).
+pub fn bandgap(name: &str, extra_mirror_legs: usize) -> Circuit {
+    let mut b = String::from(
+        "V1 vdd 0 5
+MP1 x y vdd vdd PM W=40u L=4u
+MP2 y y vdd vdd PM W=40u L=4u
+Q1 x x 0 QN
+R1 y z 4.3k
+Q2 z z 0 QN
+Q3 z2 z2 0 QN
+R3 z z2 1.1k
+RO vdd out 30k
+MP3 out y vdd vdd PM W=40u L=4u
+RL out 0 60k
+",
+    );
+    for i in 0..extra_mirror_legs {
+        b += &format!("MPX{i} w{i} y vdd vdd PM W=40u L=4u\n");
+        b += &format!("RW{i} w{i} 0 {}k\n", 20 + 7 * i);
+    }
+    build(name, b)
+}
+
+/// Class-AB push–pull output stage with driver and feedback (`ab_ac`,
+/// `ab_integ`, `ab_opamp`). The crossover region plus global feedback makes
+/// pure PTA oscillate badly.
+pub fn class_ab(name: &str, driver_stages: usize, feedback_kohm: f64) -> Circuit {
+    assert!(driver_stages >= 1, "need a driver");
+    let mut b = String::from(
+        "V1 vcc 0 12
+V2 vee 0 -12
+RIN vcc b0 220k
+RIN2 b0 vee 200k
+",
+    );
+    let mut prev = "b0".to_string();
+    for i in 0..driver_stages {
+        b += &format!("RCD{i} vcc cd{i} 5.6k\n");
+        b += &format!("QD{i} cd{i} {prev} ed{i} QN\n");
+        b += &format!("RED{i} ed{i} vee 2.2k\n");
+        prev = format!("cd{i}");
+    }
+    b += &format!(
+        "D1 {prev} bn DX
+D2 bn bp DX
+RBIAS bp vee 8.2k
+QO1 vcc {prev} out QN
+QO2 vee bp out QP
+RLOAD out 0 220
+RF out b0 {feedback_kohm}k
+"
+    );
+    build(name, b)
+}
+
+/// Multi-stage BJT op-amp: differential input pair, gain stages, emitter
+/// follower, optional feedback (UA709/UA727/UA733/RCA3040/rca/nagle/e1480/
+/// todd3/THM5 all come from this family with different knobs).
+pub fn bjt_opamp(
+    name: &str,
+    gain_stages: usize,
+    feedback_kohm: Option<f64>,
+    tail_kohm: f64,
+) -> Circuit {
+    let mut b = format!(
+        "V1 vcc 0 15
+V2 vee 0 -15
+RBP vcc inp 100k
+RBP2 inp vee 100k
+RBN vcc inn 98k
+RBN2 inn vee 102k
+RC1 vcc d1 10k
+RC2 vcc d2 10k
+QD1 d1 inp tail QN
+QD2 d2 inn tail QN
+RT tail vee {tail_kohm}k
+"
+    );
+    let mut prev = "d2".to_string();
+    for i in 0..gain_stages {
+        b += &format!("RCG{i} vcc cg{i} 6.8k\n");
+        b += &format!("QG{i} cg{i} {prev} eg{i} QN\n");
+        b += &format!("REG{i} eg{i} vee 3.3k\n");
+        prev = format!("cg{i}");
+    }
+    b += &format!(
+        "QEF vcc {prev} out QN
+REF out vee 4.7k
+"
+    );
+    if let Some(rf) = feedback_kohm {
+        b += &format!("RFB out inn {rf}k\n");
+    }
+    build(name, b)
+}
+
+/// Six-stage limiting amplifier (`6stageLimAmp`): cascade of diff pairs with
+/// diode limiters between stages.
+pub fn limiting_amplifier(name: &str, stages: usize) -> Circuit {
+    assert!(stages >= 1, "need at least one stage");
+    let mut b = String::from(
+        "V1 vcc 0 6
+RB1 vcc i0p 47k
+RB2 i0p 0 47k
+RB3 vcc i0n 46k
+RB4 i0n 0 48k
+",
+    );
+    for i in 0..stages {
+        let (ip, in_) = if i == 0 {
+            ("i0p".to_string(), "i0n".to_string())
+        } else {
+            (format!("o{}p", i - 1), format!("o{}n", i - 1))
+        };
+        b += &format!("RCP{i} vcc o{i}p 2.4k\n");
+        b += &format!("RCN{i} vcc o{i}n 2.4k\n");
+        b += &format!("QP{i} o{i}p {ip} t{i} QN\n");
+        b += &format!("QN{i} o{i}n {in_} t{i} QN\n");
+        b += &format!("RT{i} t{i} 0 1.2k\n");
+        b += &format!("DL{i}a o{i}p o{i}n DX\n");
+        b += &format!("DL{i}b o{i}n o{i}p DX\n");
+    }
+    build(name, b)
+}
+
+/// Gas-discharge indicator driver (`TADEGLOW`): high-voltage supply, diode
+/// stack breakdown path and a BJT switch.
+pub fn glow_discharge(name: &str, stack: usize) -> Circuit {
+    assert!(stack >= 1, "need at least one diode");
+    let mut b = String::from("V1 hv 0 90\nRS hv a0 150k\n");
+    for i in 0..stack {
+        b += &format!("DS{i} a{i} a{} DX\n", i + 1);
+    }
+    b += &format!(
+        "RG a{stack} g 68k
+Q1 a0 g 0 QN
+RGB g 0 120k
+"
+    );
+    build(name, b)
+}
+
+/// An array of 6T SRAM cells sharing bit lines (`MOSMEM`): `cells` coupled
+/// bistables make this the hardest circuit in the paper's Table 3 — naive
+/// PTA stepping oscillates between the cells' metastable regions.
+pub fn mos_memory(name: &str, cells: usize) -> Circuit {
+    assert!(cells >= 1, "need at least one cell");
+    let mut b = String::from(
+        "V1 vdd 0 5
+V2 wl 0 2.5
+RBL vdd bl 4.7k
+RBLB vdd blb 5.1k
+",
+    );
+    for i in 0..cells {
+        b += &format!("MP1_{i} q{i} qb{i} vdd vdd PM W=10u L=2u\n");
+        b += &format!("MN1_{i} q{i} qb{i} 0 0 NM W=20u L=2u\n");
+        b += &format!("MP2_{i} qb{i} q{i} vdd vdd PM W=10u L=2u\n");
+        b += &format!("MN2_{i} qb{i} q{i} 0 0 NM W=20u L=2u\n");
+        b += &format!("MA1_{i} bl wl q{i} 0 NM W=8u L=2u\n");
+        b += &format!("MA2_{i} blb wl qb{i} 0 NM W=8u L=2u\n");
+    }
+    build(name, b)
+}
+
+/// A Wilson-mirror-loaded transconductance cell (`TRCKTorig`, `THM5`
+/// variants): mirrors stacked on a diff pair.
+pub fn wilson_ota(name: &str) -> Circuit {
+    let b = "V1 vcc 0 10
+RB1 vcc inp 82k
+RB2 inp 0 82k
+RB3 vcc inn 80k
+RB4 inn 0 84k
+QD1 m1 inp tail QN
+QD2 out inn tail QN
+RT tail 0 12k
+QW1 m1 m2 vcc QP
+QW2 m2 m2 vcc QP
+QW3 out m1 vcc QP
+RL out 0 39k
+"
+    .to_string();
+    build(name, b)
+}
+
+/// Odd-length CMOS ring oscillator. Its only DC solution is the metastable
+/// mid-rail point where every inverter balances — the classic pathological
+/// case for plain Newton and a stiff crawl for naive PTA stepping.
+pub fn ring_oscillator(name: &str, stages: usize) -> Circuit {
+    assert!(stages >= 3 && stages % 2 == 1, "need an odd ring of ≥ 3");
+    let mut b = String::from("V1 vdd 0 5\n");
+    for i in 0..stages {
+        let inp = format!("r{}", i);
+        let out = format!("r{}", (i + 1) % stages);
+        b += &format!("MP{i} {out} {inp} vdd vdd PM W=20u L=2u\n");
+        b += &format!("MN{i} {out} {inp} 0 0 NM W=10u L=2u\n");
+    }
+    // Weak tie keeps the matrix nonsingular at the metastable point.
+    b += "RT r0 0 10meg\n";
+    build(name, b)
+}
+
+/// Darlington output stage driving a low-impedance load: two stacked VBE
+/// drops with β² current gain make the input node extremely sensitive.
+pub fn darlington(name: &str) -> Circuit {
+    let b = "V1 vcc 0 12
+RB vcc b1 470k
+Q1 vcc b1 e1 QN
+Q2 vcc e1 out QN
+RL out 0 22
+RD e1 out 8.2k
+"
+    .to_string();
+    build(name, b)
+}
+
+/// Cascode amplifier: common-emitter into common-base, with a stiff bias
+/// ladder.
+pub fn cascode(name: &str) -> Circuit {
+    let b = "V1 vcc 0 15
+RB1 vcc bcas 33k
+RB2 bcas bce 22k
+RB3 bce 0 15k
+RC vcc out 4.7k
+Q1 out bcas mid QN
+Q2 mid bce e QN
+RE e 0 1.5k
+"
+    .to_string();
+    build(name, b)
+}
+
+/// Emitter-coupled-logic gate: differential pair against a reference,
+/// emitter-follower outputs — fast, never saturates, but high loop
+/// sensitivity.
+pub fn ecl_gate(name: &str) -> Circuit {
+    let b = "V1 vee 0 -5.2
+RIN1 0 ina 4.7k
+RIN2 ina vee 10k
+RREF1 0 vref 1.5k
+RREF2 vref vee 2.2k
+RC1 0 c1 270
+RC2 0 c2 300
+QA c1 ina etail QN
+QB c2 vref etail QN
+RT etail vee 1.2k
+QO1 0 c1 outa QN
+RO1 outa vee 1.5k
+QO2 0 c2 outb QN
+RO2 outb vee 1.5k
+"
+    .to_string();
+    build(name, b)
+}
+
+/// TTL NAND input structure: multi-emitter input transistor approximated by
+/// two input BJTs, phase splitter and totem-pole output — deep saturation
+/// everywhere, a junction-limiter workout.
+pub fn ttl_gate(name: &str) -> Circuit {
+    let b = "V1 vcc 0 5
+RA vcc ina 12k
+RB vcc inb 13k
+Q1A base ina coll QN
+Q1B base inb coll QN
+R1 vcc base 4k
+Q2 c2 coll e2 QN
+R2 vcc c2 1.6k
+R3 e2 0 1k
+Q3 out e2 0 QN
+Q4 c4 c2 mid QN
+R4 vcc c4 130
+D1 mid out DX
+RL out 0 2.2k
+"
+    .to_string();
+    build(name, b)
+}
+
+/// Wide-swing cascode current mirror in MOS, a common analog block with a
+/// narrow feasible bias region.
+pub fn wide_swing_mirror(name: &str) -> Circuit {
+    let b = "V1 vdd 0 5
+IREF vdd d1 50u
+MN1 d1 d1 s1 0 NM W=20u L=2u
+MN2 s1 s1 0 0 NM W=20u L=2u
+MN3 out d1 s3 0 NM W=20u L=2u
+MN4 s3 s1 0 0 NM W=20u L=2u
+RL vdd out 47k
+"
+    .to_string();
+    build(name, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlpta_mna::CircuitFeatures;
+
+    #[test]
+    fn bias_chain_counts_scale_with_stages() {
+        let c3 = bjt_bias_chain("b3", 3, 10.0);
+        let c6 = bjt_bias_chain("b6", 6, 10.0);
+        assert!(c6.num_nodes() > c3.num_nodes());
+        assert!(CircuitFeatures::extract(&c3).is_bjt);
+    }
+
+    #[test]
+    fn amplifier_feedback_adds_element() {
+        let open = bjt_amplifier("a", 3, None);
+        let closed = bjt_amplifier("b", 3, Some(47.0));
+        assert_eq!(closed.devices().len(), open.devices().len() + 1);
+    }
+
+    #[test]
+    fn latch_is_bistable_topology() {
+        let c = bjt_latch("l", 12.0, 1.0);
+        let f = CircuitFeatures::extract(&c);
+        assert_eq!(f.num_bjts, 2);
+        assert!(f.is_bjt);
+    }
+
+    #[test]
+    fn diode_network_scales() {
+        let c = diode_network("d", 4, 3);
+        let diodes = c
+            .devices()
+            .iter()
+            .filter(|d| matches!(d, rlpta_devices::Device::Diode(_)))
+            .count();
+        assert_eq!(diodes, 12);
+    }
+
+    #[test]
+    fn mos_families_are_mos_flagged() {
+        for c in [
+            mos_inverter_chain("i", 4),
+            mos_adder("f", 2),
+            mos_voter("v", 5),
+            mos_ram_cell("r"),
+            mos_rectifier("mr"),
+            mos_amplifier("ma", 2),
+        ] {
+            assert!(!CircuitFeatures::extract(&c).is_bjt, "{}", c.title());
+        }
+    }
+
+    #[test]
+    fn adder_grows_with_bits() {
+        let c2 = mos_adder("a2", 2);
+        let c8 = mos_adder("a8", 8);
+        assert!(c8.num_nodes() > 3 * c2.num_nodes() / 2);
+    }
+
+    #[test]
+    fn voter_reduces_to_single_output() {
+        // 5 leaves → 4 gates; all solvable structure.
+        let c = mos_voter("v5", 5);
+        let mosfets = CircuitFeatures::extract(&c).num_mosfets;
+        assert_eq!(mosfets, 16, "4 NAND2 gates à 4 transistors");
+    }
+
+    #[test]
+    fn bandgap_is_hybrid_but_mos_dominant_with_legs() {
+        let c = bandgap("bg", 3);
+        let f = CircuitFeatures::extract(&c);
+        assert!(f.num_mosfets > f.num_bjts);
+    }
+
+    #[test]
+    fn opamp_has_feedback_option() {
+        let c = bjt_opamp("op", 2, Some(100.0), 10.0);
+        assert!(c.devices().iter().any(|d| d.name() == "RFB"));
+    }
+
+    #[test]
+    fn limiting_amp_stage_count() {
+        let c = limiting_amplifier("lim", 6);
+        let f = CircuitFeatures::extract(&c);
+        assert_eq!(f.num_bjts, 12, "two BJTs per stage");
+    }
+
+    #[test]
+    fn stress_families_build() {
+        for c in [
+            ring_oscillator("ring3", 3),
+            ring_oscillator("ring7", 7),
+            darlington("darl"),
+            cascode("casc"),
+            ecl_gate("ecl"),
+            ttl_gate("ttl"),
+            wide_swing_mirror("wsm"),
+        ] {
+            assert!(c.is_nonlinear(), "{}", c.title());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "odd ring")]
+    fn ring_rejects_even_stages() {
+        let _ = ring_oscillator("bad", 4);
+    }
+
+    #[test]
+    fn ring_scales_with_stages() {
+        let c3 = ring_oscillator("r3", 3);
+        let c9 = ring_oscillator("r9", 9);
+        assert_eq!(
+            CircuitFeatures::extract(&c9).num_mosfets,
+            3 * CircuitFeatures::extract(&c3).num_mosfets
+        );
+    }
+
+    #[test]
+    fn all_families_build_and_are_nonlinear() {
+        let all = vec![
+            bjt_bias_chain("t1", 4, 12.0),
+            bjt_current_mirrors("t2", 3),
+            bjt_amplifier("t3", 2, Some(68.0)),
+            bjt_latch("t4", 10.0, 1.5),
+            bjt_schmitt("t5", 15.0),
+            bjt_astable("t6"),
+            bjt_dc_oscillator("t7"),
+            diode_network("t8", 3, 2),
+            mos_inverter_chain("t9", 3),
+            mos_adder("t10", 2),
+            mos_voter("t11", 4),
+            mos_ram_cell("t12"),
+            mos_rectifier("t13"),
+            mos_amplifier("t14", 2),
+            bandgap("t15", 1),
+            class_ab("t16", 1, 100.0),
+            bjt_opamp("t17", 1, None, 15.0),
+            limiting_amplifier("t18", 2),
+            glow_discharge("t19", 5),
+            wilson_ota("t20"),
+        ];
+        for c in all {
+            assert!(c.is_nonlinear(), "{} must be nonlinear", c.title());
+            assert!(c.num_nodes() >= 2, "{} too small", c.title());
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Synthetic benchmark circuit generators for the DAC'22 tables and
+//! figures.
+//!
+//! The paper evaluates on proprietary/canonical netlists (UA709, nagle,
+//! slowlatch, …) that are not redistributable. This crate substitutes
+//! **parametric circuits of the same topological families** — bias chains,
+//! multi-stage BJT op-amps, cross-coupled latches, Schmitt triggers, class-AB
+//! output stages, MOS logic (adders, voters, RAM cells), rectifiers and
+//! bandgap references — sized close to the node/element counts the paper
+//! reports. The *names are preserved* so the experiment harness prints the
+//! paper's row labels; `DESIGN.md` documents the substitution rationale.
+//!
+//! Difficulty spans the same spectrum: bias networks converge in tens of NR
+//! iterations, while high-loop-gain latches and class-AB stages make naive
+//! PTA stepping thrash — exactly the behaviour the RL-S controller exploits.
+//!
+//! # Example
+//!
+//! ```
+//! use rlpta_circuits::{by_name, table3};
+//!
+//! let bench = by_name("slowlatch").expect("known benchmark");
+//! assert!(bench.is_bjt);
+//! assert!(bench.circuit.num_nodes() > 2);
+//! assert_eq!(table3().len(), 33);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod families;
+mod suites;
+
+pub use suites::{
+    by_name, fig5, stress, table2, table2_training, table3, training_corpus,
+    training_corpus_seeded, Benchmark,
+};

@@ -1,0 +1,412 @@
+//! Benchmark suites: the named circuits of Tables 2/3 and Fig. 5, plus the
+//! 43-circuit training corpus for the IPP stage.
+
+use crate::families as fam;
+use rlpta_mna::{Circuit, CircuitFeatures};
+
+/// One named benchmark circuit.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// The paper's circuit name (row label in the tables).
+    pub name: String,
+    /// BJT-type flag (the τ of Eq. 4); `false` = MOS type.
+    pub is_bjt: bool,
+    /// The synthesized circuit.
+    pub circuit: Circuit,
+}
+
+impl Benchmark {
+    fn new(name: &str, circuit: Circuit) -> Self {
+        let is_bjt = CircuitFeatures::extract(&circuit).is_bjt;
+        Self {
+            name: name.to_owned(),
+            is_bjt,
+            circuit,
+        }
+    }
+
+    /// The paper's seven netlist statistics for this circuit.
+    pub fn features(&self) -> CircuitFeatures {
+        CircuitFeatures::extract(&self.circuit)
+    }
+}
+
+/// Builds a named benchmark, or `None` for unknown names.
+///
+/// All circuit names from Tables 2 and 3 of the paper are recognized
+/// (case-sensitive, as printed).
+pub fn by_name(name: &str) -> Option<Benchmark> {
+    let c = match name {
+        // --- Table 2 test circuits ---
+        "Adding" => fam::mos_adder("Adding", 1),
+        "MOSBandgap" => fam::bandgap("MOSBandgap", 4),
+        "6stageLimAmp" => fam::limiting_amplifier("6stageLimAmp", 6),
+        "TRCKTorig" => fam::wilson_ota("TRCKTorig"),
+        "UA709" => fam::bjt_opamp("UA709", 2, Some(68.0), 8.2),
+        "UA733" => fam::limiting_amplifier("UA733", 3),
+        "D22" => fam::diode_network("D22", 11, 2),
+        // --- Table 3 / Fig. 5 circuits ---
+        "astabl" => fam::bjt_astable("astabl"),
+        "bias" => fam::bjt_bias_chain("bias", 6, 8.2),
+        "latch" => fam::bjt_latch("latch", 10.0, 1.0),
+        "nagle" => fam::bjt_opamp("nagle", 2, Some(22.0), 6.8),
+        "rca" => fam::bjt_opamp("rca", 2, Some(120.0), 12.0),
+        "ab_ac" => fam::class_ab("ab_ac", 1, 33.0),
+        "ab_integ" => fam::class_ab("ab_integ", 2, 22.0),
+        "ab_opamp" => fam::class_ab("ab_opamp", 2, 47.0),
+        "cram" => fam::mos_ram_cell("cram"),
+        "e1480" => fam::bjt_opamp("e1480", 4, Some(33.0), 5.6),
+        "gm6" => fam::bjt_current_mirrors("gm6", 6),
+        "mosrect" => fam::mos_rectifier("mosrect"),
+        "schmitfast" => fam::bjt_schmitt("schmitfast", 8.2),
+        "slowlatch" => fam::bjt_latch("slowlatch", 4.7, 2.2),
+        "fadd32" => fam::mos_adder("fadd32", 16),
+        "voter25" => fam::mos_voter("voter25", 25),
+        "gm1" => fam::bjt_current_mirrors("gm1", 1),
+        "gm17" => fam::bjt_current_mirrors("gm17", 17),
+        "todd3" => fam::bjt_opamp("todd3", 3, Some(15.0), 4.7),
+        "D10" => fam::diode_network("D10", 5, 2),
+        "D11" => fam::diode_network("D11", 11, 1),
+        "DCOSC" => fam::bjt_dc_oscillator("DCOSC"),
+        "mosamp" => fam::mos_amplifier("mosamp", 3),
+        "RCA3040" => fam::bjt_opamp("RCA3040", 2, Some(150.0), 10.0),
+        "SCHMITT" => fam::bjt_schmitt("SCHMITT", 15.0),
+        "TADEGLOW" => fam::glow_discharge("TADEGLOW", 8),
+        "THM5" => fam::bjt_opamp("THM5", 3, Some(12.0), 4.7),
+        "TRISTABLE" => fam::bjt_schmitt("TRISTABLE", 6.8),
+        "UA727" => fam::bjt_opamp("UA727", 3, Some(82.0), 9.1),
+        "MOSMEM" => fam::mos_memory("MOSMEM", 6),
+        _ => return None,
+    };
+    Some(Benchmark::new(name, c))
+}
+
+/// The seven held-out test circuits of Table 2, in row order.
+pub fn table2() -> Vec<Benchmark> {
+    [
+        "Adding",
+        "MOSBandgap",
+        "6stageLimAmp",
+        "TRCKTorig",
+        "UA709",
+        "UA733",
+        "D22",
+    ]
+    .iter()
+    .map(|n| by_name(n).expect("table2 names are known"))
+    .collect()
+}
+
+/// The 33 circuits of Table 3, in row order.
+pub fn table3() -> Vec<Benchmark> {
+    [
+        "astabl",
+        "bias",
+        "latch",
+        "nagle",
+        "rca",
+        "ab_ac",
+        "ab_integ",
+        "ab_opamp",
+        "cram",
+        "e1480",
+        "gm6",
+        "mosrect",
+        "schmitfast",
+        "slowlatch",
+        "fadd32",
+        "voter25",
+        "gm1",
+        "gm17",
+        "todd3",
+        "6stageLimAmp",
+        "D10",
+        "D11",
+        "DCOSC",
+        "mosamp",
+        "MOSBandgap",
+        "RCA3040",
+        "SCHMITT",
+        "TADEGLOW",
+        "THM5",
+        "TRISTABLE",
+        "UA727",
+        "UA733",
+        "MOSMEM",
+    ]
+    .iter()
+    .map(|n| by_name(n).expect("table3 names are known"))
+    .collect()
+}
+
+/// The 27 circuits of Fig. 5 (the figure does not label its bars; we use the
+/// first 27 rows of Table 3, which the text says they are drawn from).
+pub fn fig5() -> Vec<Benchmark> {
+    table3().into_iter().take(27).collect()
+}
+
+/// The paper's 43-circuit canonical training set, substituted by parametric
+/// family sweeps (deterministic; no RNG needed).
+pub fn training_corpus() -> Vec<Benchmark> {
+    let mut out = Vec::with_capacity(43);
+    let mut push = |name: String, c: Circuit| out.push(Benchmark::new(&name, c));
+
+    for (i, stages) in [2usize, 4, 7].iter().enumerate() {
+        push(
+            format!("train_bias{i}"),
+            fam::bjt_bias_chain(&format!("train_bias{i}"), *stages, 6.0 + *stages as f64),
+        );
+    }
+    for (i, m) in [2usize, 4, 12].iter().enumerate() {
+        push(
+            format!("train_gm{i}"),
+            fam::bjt_current_mirrors(&format!("train_gm{i}"), *m),
+        );
+    }
+    for (i, (st, fb)) in [
+        (1, None),
+        (2, Some(100.0)),
+        (3, Some(47.0)),
+        (4, Some(68.0)),
+    ]
+    .iter()
+    .enumerate()
+    {
+        push(
+            format!("train_amp{i}"),
+            fam::bjt_amplifier(&format!("train_amp{i}"), *st, *fb),
+        );
+    }
+    for (i, (cp, rc)) in [(15.0, 1.0), (8.0, 1.5), (5.6, 2.0)].iter().enumerate() {
+        push(
+            format!("train_latch{i}"),
+            fam::bjt_latch(&format!("train_latch{i}"), *cp, *rc),
+        );
+    }
+    for (i, fb) in [18.0, 10.0, 7.5].iter().enumerate() {
+        push(
+            format!("train_schmitt{i}"),
+            fam::bjt_schmitt(&format!("train_schmitt{i}"), *fb),
+        );
+    }
+    push("train_astable".into(), fam::bjt_astable("train_astable"));
+    push("train_dcosc".into(), fam::bjt_dc_oscillator("train_dcosc"));
+    for (i, (s, a)) in [(3usize, 1usize), (6, 2), (9, 1)].iter().enumerate() {
+        push(
+            format!("train_diode{i}"),
+            fam::diode_network(&format!("train_diode{i}"), *s, *a),
+        );
+    }
+    for (i, st) in [2usize, 5].iter().enumerate() {
+        push(
+            format!("train_inv{i}"),
+            fam::mos_inverter_chain(&format!("train_inv{i}"), *st),
+        );
+    }
+    for (i, bits) in [1usize, 3].iter().enumerate() {
+        push(
+            format!("train_add{i}"),
+            fam::mos_adder(&format!("train_add{i}"), *bits),
+        );
+    }
+    for (i, leaves) in [3usize, 9].iter().enumerate() {
+        push(
+            format!("train_vote{i}"),
+            fam::mos_voter(&format!("train_vote{i}"), *leaves),
+        );
+    }
+    push("train_ram".into(), fam::mos_ram_cell("train_ram"));
+    push("train_mem".into(), fam::mos_memory("train_mem", 2));
+    push("train_rect".into(), fam::mos_rectifier("train_rect"));
+    for (i, st) in [1usize, 3].iter().enumerate() {
+        push(
+            format!("train_mamp{i}"),
+            fam::mos_amplifier(&format!("train_mamp{i}"), *st),
+        );
+    }
+    for (i, legs) in [0usize, 2].iter().enumerate() {
+        push(
+            format!("train_bg{i}"),
+            fam::bandgap(&format!("train_bg{i}"), *legs),
+        );
+    }
+    for (i, (st, fb)) in [(1usize, 150.0), (2, 56.0)].iter().enumerate() {
+        push(
+            format!("train_ab{i}"),
+            fam::class_ab(&format!("train_ab{i}"), *st, *fb),
+        );
+    }
+    for (i, (st, fb, tail)) in [
+        (1usize, None, 15.0),
+        (3, Some(100.0), 8.2),
+        (2, Some(39.0), 6.8),
+    ]
+    .iter()
+    .enumerate()
+    {
+        push(
+            format!("train_op{i}"),
+            fam::bjt_opamp(&format!("train_op{i}"), *st, *fb, *tail),
+        );
+    }
+    for (i, st) in [2usize, 4].iter().enumerate() {
+        push(
+            format!("train_lim{i}"),
+            fam::limiting_amplifier(&format!("train_lim{i}"), *st),
+        );
+    }
+    push("train_glow".into(), fam::glow_discharge("train_glow", 6));
+    push("train_ota".into(), fam::wilson_ota("train_ota"));
+
+    assert_eq!(out.len(), 43, "the paper's training corpus has 43 circuits");
+    out
+}
+
+/// The 43 training circuits used for Table 2's offline stage — alias of
+/// [`training_corpus`] under the name the experiment harness uses.
+pub fn table2_training() -> Vec<Benchmark> {
+    training_corpus()
+}
+
+/// A randomized training corpus: `n` circuits drawn from the parametric
+/// families with seeded-RNG component values. Complements the fixed
+/// [`training_corpus`] when experiments need fresh, unseen-but-similar
+/// circuits (e.g. GP generalization studies).
+pub fn training_corpus_seeded(n: usize, seed: u64) -> Vec<Benchmark> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let name = format!("rand{i}");
+        let c = match rng.gen_range(0..10u32) {
+            0 => fam::bjt_bias_chain(&name, rng.gen_range(2..8), rng.gen_range(3.0..20.0)),
+            1 => fam::bjt_current_mirrors(&name, rng.gen_range(1..10)),
+            2 => {
+                let fb = if rng.gen_bool(0.6) {
+                    Some(rng.gen_range(20.0..200.0))
+                } else {
+                    None
+                };
+                fam::bjt_amplifier(&name, rng.gen_range(1..5), fb)
+            }
+            3 => fam::bjt_latch(&name, rng.gen_range(4.0..20.0), rng.gen_range(0.8..2.5)),
+            4 => fam::bjt_schmitt(&name, rng.gen_range(6.0..20.0)),
+            5 => fam::diode_network(&name, rng.gen_range(2..10), rng.gen_range(1..4)),
+            6 => fam::mos_inverter_chain(&name, rng.gen_range(2..8)),
+            7 => fam::mos_amplifier(&name, rng.gen_range(1..5)),
+            8 => fam::class_ab(&name, rng.gen_range(1..3), rng.gen_range(20.0..150.0)),
+            _ => fam::bjt_opamp(
+                &name,
+                rng.gen_range(1..5),
+                Some(rng.gen_range(30.0..250.0)),
+                rng.gen_range(4.0..16.0),
+            ),
+        };
+        out.push(Benchmark::new(&name, c));
+    }
+    out
+}
+
+/// A stress suite of pathologically hard DC problems beyond the paper's
+/// tables: ring-oscillator metastability, deep-saturation TTL, Darlington
+/// sensitivity, ECL and narrow-bias analog blocks. Used by the `stress`
+/// experiment binary.
+pub fn stress() -> Vec<Benchmark> {
+    vec![
+        Benchmark::new("ring3", fam::ring_oscillator("ring3", 3)),
+        Benchmark::new("ring5", fam::ring_oscillator("ring5", 5)),
+        Benchmark::new("ring9", fam::ring_oscillator("ring9", 9)),
+        Benchmark::new("darlington", fam::darlington("darlington")),
+        Benchmark::new("cascode", fam::cascode("cascode")),
+        Benchmark::new("ecl_gate", fam::ecl_gate("ecl_gate")),
+        Benchmark::new("ttl_nand", fam::ttl_gate("ttl_nand")),
+        Benchmark::new("ws_mirror", fam::wide_swing_mirror("ws_mirror")),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn table2_has_seven_rows() {
+        let t = table2();
+        assert_eq!(t.len(), 7);
+        assert_eq!(t[0].name, "Adding");
+        assert!(!t[0].is_bjt, "Adding is a MOS circuit");
+        assert!(t[4].is_bjt, "UA709 is a BJT circuit");
+    }
+
+    #[test]
+    fn table3_has_thirty_three_unique_rows() {
+        let t = table3();
+        assert_eq!(t.len(), 33);
+        let names: HashSet<_> = t.iter().map(|b| b.name.as_str()).collect();
+        assert_eq!(names.len(), 33);
+    }
+
+    #[test]
+    fn fig5_is_a_27_circuit_prefix() {
+        let f = fig5();
+        assert_eq!(f.len(), 27);
+        assert_eq!(f[0].name, "astabl");
+    }
+
+    #[test]
+    fn training_corpus_is_43_and_diverse() {
+        let t = training_corpus();
+        assert_eq!(t.len(), 43);
+        let bjt = t.iter().filter(|b| b.is_bjt).count();
+        let mos = t.len() - bjt;
+        assert!(
+            bjt >= 10 && mos >= 10,
+            "both types represented: {bjt}/{mos}"
+        );
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(by_name("not-a-circuit").is_none());
+    }
+
+    #[test]
+    fn features_accessor_matches_flag() {
+        let b = by_name("cram").unwrap();
+        assert_eq!(b.features().is_bjt, b.is_bjt);
+    }
+
+    #[test]
+    fn seeded_corpus_is_deterministic_and_diverse() {
+        let a = training_corpus_seeded(20, 99);
+        let b = training_corpus_seeded(20, 99);
+        assert_eq!(a.len(), 20);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.circuit.dim(), y.circuit.dim());
+        }
+        let c = training_corpus_seeded(20, 100);
+        // A different seed changes at least some circuits.
+        let same = a
+            .iter()
+            .zip(&c)
+            .filter(|(x, y)| x.circuit.dim() == y.circuit.dim())
+            .count();
+        assert!(same < 20, "different seeds must differ");
+    }
+
+    #[test]
+    fn seeded_corpus_circuits_are_wellformed() {
+        for b in training_corpus_seeded(12, 5) {
+            assert!(b.circuit.is_nonlinear(), "{}", b.name);
+            assert!(b.circuit.num_nodes() >= 2, "{}", b.name);
+        }
+    }
+
+    #[test]
+    fn mosmem_is_the_largest_bistable() {
+        let m = by_name("MOSMEM").unwrap();
+        assert!(m.features().num_mosfets >= 36, "6 cells à 6 transistors");
+    }
+}

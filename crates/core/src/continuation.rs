@@ -1,0 +1,207 @@
+//! Classic continuation baselines: Gmin stepping and source stepping.
+
+use crate::newton::{newton_iterate, NewtonConfig};
+use crate::{Solution, SolveError, SolveStats};
+use rlpta_mna::Circuit;
+
+/// Gmin stepping: solve with a large junction shunt conductance, then relax
+/// it geometrically toward the target, warm-starting each stage.
+///
+/// # Example
+///
+/// ```
+/// use rlpta_core::GminStepping;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let c = rlpta_netlist::parse(
+///     "t\nV1 in 0 5\nR1 in out 1k\nD1 out 0 DX\n.model DX D(IS=1e-14)",
+/// )?;
+/// let sol = GminStepping::default().solve(&c)?;
+/// assert!(sol.stats.converged);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GminStepping {
+    /// Starting shunt conductance.
+    pub gmin_start: f64,
+    /// Final (target) Gmin.
+    pub gmin_target: f64,
+    /// Geometric reduction per stage.
+    pub reduction: f64,
+    /// Newton configuration per stage.
+    pub newton: NewtonConfig,
+}
+
+impl Default for GminStepping {
+    fn default() -> Self {
+        Self {
+            gmin_start: 1e-2,
+            gmin_target: 1e-12,
+            reduction: 10.0,
+            newton: NewtonConfig::default(),
+        }
+    }
+}
+
+impl GminStepping {
+    /// Runs the continuation.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::NonConvergent`] when a stage fails even after the ramp,
+    /// [`SolveError::Singular`] for defective circuits.
+    pub fn solve(&self, circuit: &Circuit) -> Result<Solution, SolveError> {
+        let mut stats = SolveStats::default();
+        let mut x = vec![0.0; circuit.dim()];
+        let mut state = circuit.new_state();
+        let mut gmin = self.gmin_start;
+        loop {
+            let cfg = NewtonConfig {
+                gmin,
+                ..self.newton.clone()
+            };
+            let out = newton_iterate(circuit, &cfg, &x, &mut state, &mut |_, _, _| {})?;
+            stats.nr_iterations += out.iterations;
+            stats.lu_factorizations += out.lu_factorizations;
+            stats.pta_steps += 1; // one continuation stage
+            if !out.converged {
+                return Err(SolveError::NonConvergent { stats });
+            }
+            x = out.x;
+            if gmin <= self.gmin_target {
+                stats.converged = true;
+                return Ok(Solution { x, stats });
+            }
+            gmin = (gmin / self.reduction).max(self.gmin_target);
+        }
+    }
+}
+
+/// Source stepping: ramp all independent sources from 0 to full value with
+/// adaptive increments, warm-starting each stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceStepping {
+    /// Initial ramp increment.
+    pub initial_increment: f64,
+    /// Smallest increment before giving up.
+    pub min_increment: f64,
+    /// Growth factor after a successful stage.
+    pub growth: f64,
+    /// Newton configuration per stage.
+    pub newton: NewtonConfig,
+}
+
+impl Default for SourceStepping {
+    fn default() -> Self {
+        Self {
+            initial_increment: 0.1,
+            min_increment: 1e-6,
+            growth: 1.5,
+            newton: NewtonConfig::default(),
+        }
+    }
+}
+
+impl SourceStepping {
+    /// Runs the continuation.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::NonConvergent`] if the increment underflows
+    /// [`SourceStepping::min_increment`].
+    pub fn solve(&self, circuit: &Circuit) -> Result<Solution, SolveError> {
+        let mut stats = SolveStats::default();
+        let mut x = vec![0.0; circuit.dim()];
+        let mut state = circuit.new_state();
+        let mut lambda = 0.0_f64;
+        let mut dl = self.initial_increment;
+        while lambda < 1.0 {
+            let next = (lambda + dl).min(1.0);
+            let cfg = NewtonConfig {
+                source_scale: next,
+                ..self.newton.clone()
+            };
+            let saved_state = state.clone();
+            let out = newton_iterate(circuit, &cfg, &x, &mut state, &mut |_, _, _| {})?;
+            stats.nr_iterations += out.iterations;
+            stats.lu_factorizations += out.lu_factorizations;
+            stats.pta_steps += 1;
+            if out.converged {
+                lambda = next;
+                x = out.x;
+                dl *= self.growth;
+            } else {
+                stats.rejected_steps += 1;
+                state = saved_state;
+                dl /= 4.0;
+                if dl < self.min_increment {
+                    return Err(SolveError::NonConvergent { stats });
+                }
+            }
+        }
+        stats.converged = true;
+        Ok(Solution { x, stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NewtonRaphson;
+
+    fn bjt_circuit() -> Circuit {
+        rlpta_netlist::parse(
+            "t
+             V1 vcc 0 12
+             R1 vcc b 47k
+             R2 b 0 10k
+             RC vcc c 4.7k
+             RE e 0 1k
+             Q1 c b e QN
+             .model QN NPN(IS=1e-15 BF=100)",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn gmin_stepping_matches_direct_newton() {
+        let c = bjt_circuit();
+        let direct = NewtonRaphson::default().solve(&c).unwrap();
+        let gm = GminStepping::default().solve(&c).unwrap();
+        for (a, b) in gm.x.iter().zip(&direct.x) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+        assert!(gm.stats.pta_steps >= 10, "expects ~11 gmin stages");
+    }
+
+    #[test]
+    fn source_stepping_matches_direct_newton() {
+        let c = bjt_circuit();
+        let direct = NewtonRaphson::default().solve(&c).unwrap();
+        let ss = SourceStepping::default().solve(&c).unwrap();
+        for (a, b) in ss.x.iter().zip(&direct.x) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+        assert!(ss.stats.converged);
+    }
+
+    #[test]
+    fn gmin_final_stage_uses_target() {
+        let c = bjt_circuit();
+        let custom = GminStepping {
+            gmin_target: 1e-10,
+            ..GminStepping::default()
+        };
+        let sol = custom.solve(&c).unwrap();
+        assert!(sol.stats.converged);
+    }
+
+    #[test]
+    fn source_stepping_counts_stages() {
+        let c = bjt_circuit();
+        let sol = SourceStepping::default().solve(&c).unwrap();
+        assert!(sol.stats.pta_steps >= 2);
+        assert!(sol.stats.nr_iterations > sol.stats.pta_steps);
+    }
+}

@@ -1,0 +1,72 @@
+//! Solver errors.
+
+use crate::SolveStats;
+use rlpta_linalg::LinalgError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the DC solvers.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SolveError {
+    /// The MNA Jacobian was singular and no recovery (Gmin bump) helped.
+    Singular(LinalgError),
+    /// The solver exhausted its iteration/step budget without converging.
+    NonConvergent {
+        /// Statistics accumulated up to the failure.
+        stats: SolveStats,
+    },
+    /// A configuration value is out of range.
+    InvalidConfig {
+        /// Human-readable description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Singular(e) => write!(f, "singular MNA system: {e}"),
+            SolveError::NonConvergent { stats } => write!(
+                f,
+                "solver did not converge ({} NR iterations, {} steps)",
+                stats.nr_iterations, stats.pta_steps
+            ),
+            SolveError::InvalidConfig { detail } => write!(f, "invalid configuration: {detail}"),
+        }
+    }
+}
+
+impl Error for SolveError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SolveError::Singular(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for SolveError {
+    fn from(e: LinalgError) -> Self {
+        SolveError::Singular(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = SolveError::Singular(LinalgError::Singular {
+            step: 2,
+            pivot: 0.0,
+        });
+        assert!(e.to_string().contains("singular"));
+        assert!(Error::source(&e).is_some());
+        let nc = SolveError::NonConvergent {
+            stats: SolveStats::default(),
+        };
+        assert!(nc.to_string().contains("did not converge"));
+    }
+}

@@ -1,0 +1,165 @@
+//! IPP glue: binds the Gaussian-process active learner of `rlpta-gp` to
+//! real PTA runs (the paper's §3 pipeline).
+
+use crate::{PtaConfig, PtaKind, PtaParams, PtaSolver, SimpleStepping};
+use rlpta_gp::{ActiveLearner, GpError, IterationOracle};
+use rlpta_mna::Circuit;
+
+/// Cost assigned to a non-convergent run (log scale — roughly e¹² ≈ 160 000
+/// "virtual" iterations, far above any convergent run).
+const DIVERGED_COST: f64 = 12.0;
+
+/// An [`IterationOracle`] that runs a real PTA solver on a corpus of
+/// training circuits and reports the log-scaled NR iteration count.
+///
+/// The active learner minimizes this cost; log scaling keeps the GP from
+/// being dominated by the occasional thousand-iteration outlier.
+pub struct IppOracle<'a> {
+    circuits: &'a [Circuit],
+    kind: PtaKind,
+    config: PtaConfig,
+    evaluations: usize,
+}
+
+impl<'a> IppOracle<'a> {
+    /// Creates an oracle over `circuits` for the given PTA flavour.
+    pub fn new(circuits: &'a [Circuit], kind: PtaKind) -> Self {
+        let config = PtaConfig {
+            // Keep the training loop cheap: cap the per-run budget.
+            max_steps: 4000,
+            ..PtaConfig::default()
+        };
+        Self {
+            circuits,
+            kind,
+            config,
+            evaluations: 0,
+        }
+    }
+
+    /// Total solver invocations so far.
+    pub fn evaluations(&self) -> usize {
+        self.evaluations
+    }
+
+    /// Runs one solve and returns the raw statistics (used by the
+    /// experiment harness for reporting).
+    pub fn run_raw(&mut self, circuit: &Circuit, params: PtaParams) -> Option<crate::SolveStats> {
+        self.evaluations += 1;
+        let mut solver =
+            PtaSolver::with_config(self.kind, SimpleStepping::default(), self.config.clone())
+                .with_params(params);
+        match solver.solve(circuit) {
+            Ok(sol) => Some(sol.stats),
+            Err(crate::SolveError::NonConvergent { stats }) => {
+                let mut s = stats;
+                s.converged = false;
+                Some(s)
+            }
+            Err(_) => None,
+        }
+    }
+}
+
+impl IterationOracle for IppOracle<'_> {
+    fn evaluate(&mut self, circuit: usize, w: &[f64]) -> f64 {
+        let params = PtaParams::from_w(w);
+        match self.run_raw(&self.circuits[circuit], params) {
+            Some(stats) if stats.converged => (stats.nr_iterations as f64).max(1.0).ln(),
+            _ => DIVERGED_COST,
+        }
+    }
+}
+
+/// Convenience: the untuned default parameters (`z = (1,1,1)`, i.e.
+/// `w = 0`) the paper's Table 2 baselines use.
+pub fn default_pta_params() -> PtaParams {
+    PtaParams::default()
+}
+
+/// Online prediction (Eq. 3): proposes [`PtaParams`] for an unseen circuit
+/// from a trained [`ActiveLearner`].
+///
+/// # Errors
+///
+/// Propagates [`GpError`] when the learner holds no data.
+pub fn predict_params(
+    learner: &ActiveLearner,
+    features: &[f64],
+    is_bjt: bool,
+    rng: &mut impl rand::Rng,
+) -> Result<PtaParams, GpError> {
+    let w = learner.predict_best(features, is_bjt, rng)?;
+    Ok(PtaParams::from_w(&w))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rlpta_gp::{ActiveLearnerConfig, IterationOracle};
+    use rlpta_mna::CircuitFeatures;
+
+    fn training_circuits() -> Vec<Circuit> {
+        vec![
+            rlpta_netlist::parse(
+                "c1\nV1 in 0 5\nR1 in out 1k\nD1 out 0 DX\n.model DX D(IS=1e-14)",
+            )
+            .unwrap(),
+            rlpta_netlist::parse(
+                "c2\nV1 vcc 0 9\nR1 vcc b 56k\nR2 b 0 12k\nRC vcc c 3k\nRE e 0 680\nQ1 c b e QN\n.model QN NPN(IS=1e-15 BF=150)",
+            )
+            .unwrap(),
+        ]
+    }
+
+    #[test]
+    fn oracle_returns_log_iterations() {
+        let circuits = training_circuits();
+        let mut oracle = IppOracle::new(&circuits, PtaKind::Pure);
+        let cost = oracle.evaluate(0, &[0.0, 0.0, 0.0]);
+        assert!(cost > 0.0 && cost < DIVERGED_COST, "cost = {cost}");
+        assert_eq!(oracle.evaluations(), 1);
+    }
+
+    #[test]
+    fn oracle_penalizes_divergence() {
+        let circuits = training_circuits();
+        let mut oracle = IppOracle::new(&circuits, PtaKind::Pure);
+        // Grotesquely mismatched pseudo elements: enormous C with tiny
+        // budget makes the run exceed max_steps.
+        oracle.config.max_steps = 2;
+        let cost = oracle.evaluate(0, &[8.0, -8.0, 0.0]);
+        assert_eq!(cost, DIVERGED_COST);
+    }
+
+    #[test]
+    fn end_to_end_ipp_improves_a_circuit() {
+        let circuits = training_circuits();
+        let features: Vec<Vec<f64>> = circuits
+            .iter()
+            .map(|c| CircuitFeatures::extract(c).to_vec())
+            .collect();
+        let flags: Vec<bool> = circuits
+            .iter()
+            .map(|c| CircuitFeatures::extract(c).is_bjt)
+            .collect();
+        let mut learner = ActiveLearner::new(
+            features.clone(),
+            flags.clone(),
+            ActiveLearnerConfig {
+                rounds: 1,
+                mle_starts: 4,
+                ei_candidates: 16,
+                w_range: 3.0,
+            },
+        );
+        let mut oracle = IppOracle::new(&circuits, PtaKind::Pure);
+        let mut rng = StdRng::seed_from_u64(1);
+        learner.offline_train(&mut oracle, &mut rng).unwrap();
+        assert!(learner.samples().len() >= 4, "seed + 1 round");
+        let params = predict_params(&learner, &features[0], flags[0], &mut rng).unwrap();
+        assert!(params.c_node > 0.0 && params.c_node.is_finite());
+    }
+}

@@ -1,0 +1,75 @@
+//! Newton–Raphson, continuation and pseudo-transient DC solvers with
+//! pluggable — including reinforcement-learning — time-step control.
+//!
+//! This crate is the reproduction of the DAC'22 paper's contribution on top
+//! of the `rlpta` substrate crates:
+//!
+//! * [`NewtonRaphson`] — damped Newton with SPICE convergence criteria, the
+//!   inner solver of everything else,
+//! * [`GminStepping`] / [`SourceStepping`] — classic continuation baselines,
+//! * [`PtaSolver`] — pseudo-transient analysis with four flavours
+//!   ([`PtaKind`]): pure PTA, damped **DPTA**, source-ramping **RPTA** and
+//!   compound-element **CEPTA**, parameterized by [`PtaParams`] (the `z`
+//!   the IPP stage predicts),
+//! * [`StepController`] implementations: [`SimpleStepping`]
+//!   (iteration-counting IMAX/IMIN), [`SerStepping`] (switched
+//!   evolution/relaxation, the paper's "adaptive" baseline) and
+//!   [`RlStepping`] — the paper's RL-S: TD3 dual agents with a public
+//!   sample buffer and TD-error priority sampling, trained online during
+//!   the simulation,
+//! * [`IppOracle`] / [`predict_params`] — the glue binding the
+//!   Gaussian-process active learner of `rlpta-gp` to real PTA runs.
+//!
+//! # Example
+//!
+//! ```
+//! use rlpta_core::{PtaKind, PtaSolver, SimpleStepping};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let circuit = rlpta_netlist::parse(
+//!     "clamp
+//!      V1 in 0 5
+//!      R1 in out 1k
+//!      D1 out 0 DX
+//!      .model DX D(IS=1e-14)",
+//! )?;
+//! let mut solver = PtaSolver::new(PtaKind::Pure, SimpleStepping::default());
+//! let solution = solver.solve(&circuit)?;
+//! let v = solution.voltage(&circuit, "out").expect("node exists");
+//! assert!(v > 0.5 && v < 0.9); // one diode drop
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ac;
+mod continuation;
+mod error;
+mod homotopy;
+mod ipp;
+mod newton;
+mod pta;
+mod report;
+mod rl_stepping;
+mod solution;
+mod stepping;
+mod sweep;
+mod trace;
+mod transient;
+
+pub use ac::{AcPoint, AcStimulus, AcSweep};
+pub use continuation::{GminStepping, SourceStepping};
+pub use error::SolveError;
+pub use homotopy::NewtonHomotopy;
+pub use ipp::{default_pta_params, predict_params, IppOracle};
+pub use newton::{NewtonConfig, NewtonRaphson};
+pub use pta::{CeptaConfig, DptaConfig, PtaConfig, PtaKind, PtaParams, PtaSolver, RptaConfig};
+pub use report::op_report;
+pub use rl_stepping::{RlStepping, RlSteppingConfig};
+pub use solution::{Solution, SolveStats};
+pub use stepping::{SerStepping, SimpleStepping, StepController, StepObservation};
+pub use sweep::{DcSweep, SweepPoint};
+pub use trace::{TraceController, TraceEntry};
+pub use transient::{Stimulus, Transient, TransientPoint, Waveform};

@@ -1,0 +1,389 @@
+//! Damped Newton–Raphson with SPICE convergence criteria.
+
+use crate::{Solution, SolveError, SolveStats};
+use rlpta_devices::EvalCtx;
+use rlpta_linalg::{norms, SparseLu, Triplet};
+use rlpta_mna::Circuit;
+
+/// Extra-stamp hook: `(x, jacobian, residual)` — the PTA engine injects
+/// pseudo-element companion models through it.
+pub(crate) type ExtraStamps<'a> = dyn FnMut(&[f64], &mut Triplet, &mut [f64]) + 'a;
+
+/// Newton–Raphson configuration (SPICE option-deck equivalents).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NewtonConfig {
+    /// Iteration budget (`ITL1`).
+    pub max_iterations: usize,
+    /// Relative update tolerance (`RELTOL`).
+    pub reltol: f64,
+    /// Absolute voltage tolerance (`VNTOL`).
+    pub vntol: f64,
+    /// Absolute current tolerance (`ABSTOL`).
+    pub abstol: f64,
+    /// Residual infinity-norm tolerance guarding against false convergence
+    /// while device limiting is active.
+    pub residual_tol: f64,
+    /// Junction shunt conductance (`GMIN`).
+    pub gmin: f64,
+    /// Independent-source scale λ (1.0 outside source stepping).
+    pub source_scale: f64,
+    /// Per-iteration clamp on node-voltage updates, in volts; `0.0`
+    /// disables global damping (device-level limiting still applies).
+    pub max_voltage_step: f64,
+}
+
+impl Default for NewtonConfig {
+    fn default() -> Self {
+        Self {
+            max_iterations: 100,
+            reltol: 1e-3,
+            vntol: 1e-6,
+            abstol: 1e-12,
+            residual_tol: 1e-6,
+            gmin: EvalCtx::DEFAULT_GMIN,
+            source_scale: 1.0,
+            max_voltage_step: 2.0,
+        }
+    }
+}
+
+/// Outcome of one Newton run, successful or not.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct NrOutcome {
+    /// Final iterate.
+    pub x: Vec<f64>,
+    /// Iterations spent.
+    pub iterations: usize,
+    /// Whether the run converged.
+    pub converged: bool,
+    /// LU factorizations performed.
+    pub lu_factorizations: usize,
+    /// Infinity norm of the (possibly pseudo-augmented) residual at the
+    /// final iterate.
+    pub residual: f64,
+}
+
+/// Runs damped Newton on the circuit plus optional extra stamps (the PTA
+/// engine injects pseudo-element companion models through `extra`).
+///
+/// `state` is the junction-limiting device state (see
+/// [`Circuit::new_state`]); callers that solve repeatedly (continuation,
+/// PTA) pass a persistent state so the limiter history carries over.
+///
+/// Returns `Ok` with `converged == false` when the iteration budget runs out
+/// (the PTA loop treats that as a rollback signal, not an error); `Err` only
+/// on unrecoverable problems (singular system after Gmin bumps).
+pub(crate) fn newton_iterate(
+    circuit: &Circuit,
+    config: &NewtonConfig,
+    x0: &[f64],
+    state: &mut [f64],
+    extra: &mut ExtraStamps<'_>,
+) -> Result<NrOutcome, SolveError> {
+    let dim = circuit.dim();
+    debug_assert_eq!(x0.len(), dim, "x0 dimension mismatch");
+    let num_nodes = circuit.num_nodes();
+
+    let mut x = x0.to_vec();
+    let mut jac = Triplet::with_capacity(dim, dim, 16 * circuit.devices().len() + 2 * dim);
+    let mut res = vec![0.0; dim];
+    let mut lu_count = 0usize;
+    let mut last_residual = f64::INFINITY;
+
+    for iter in 1..=config.max_iterations {
+        let ctx = EvalCtx {
+            x: &x,
+            gmin: config.gmin,
+            source_scale: config.source_scale,
+        };
+        circuit.assemble_into(&ctx, &mut jac, &mut res, state);
+        extra(&x, &mut jac, &mut res);
+        last_residual = norms::inf_norm(&res);
+
+        // Factorize, escalating a diagonal Gmin shunt on singularity.
+        let mut lu = None;
+        for bump in 0..4 {
+            if bump > 0 {
+                let gshunt = 1e-9 * 100f64.powi(bump);
+                for i in 0..num_nodes {
+                    jac.push(i, i, gshunt);
+                }
+            }
+            lu_count += 1;
+            match SparseLu::factorize(&jac.to_csr()) {
+                Ok(f) => {
+                    lu = Some(f);
+                    break;
+                }
+                Err(_) if bump < 3 => continue,
+                Err(e) => return Err(SolveError::Singular(e)),
+            }
+        }
+        let lu = lu.expect("factorization loop returns or errors");
+
+        let neg_res: Vec<f64> = res.iter().map(|v| -v).collect();
+        let mut dx = lu.solve(&neg_res)?;
+
+        // Global damping on node voltages — only meaningful for nonlinear
+        // circuits (a linear solve is exact in one full step).
+        if config.max_voltage_step > 0.0 && circuit.is_nonlinear() {
+            let max_dv = dx[..num_nodes].iter().map(|v| v.abs()).fold(0.0, f64::max);
+            if max_dv > config.max_voltage_step {
+                let scale = config.max_voltage_step / max_dv;
+                for d in dx.iter_mut() {
+                    *d *= scale;
+                }
+            }
+        }
+
+        let x_new: Vec<f64> = x.iter().zip(&dx).map(|(a, b)| a + b).collect();
+
+        // SPICE per-unknown convergence: voltages against VNTOL, branch
+        // currents against ABSTOL.
+        let dx_ok = x_new.iter().zip(&x).enumerate().all(|(i, (n, o))| {
+            let atol = if i < num_nodes {
+                config.vntol
+            } else {
+                config.abstol
+            };
+            (n - o).abs() <= config.reltol * n.abs().max(o.abs()) + atol
+        });
+
+        x = x_new;
+
+        if dx_ok {
+            // Re-evaluate the residual at the accepted point to reject
+            // false convergence while device limiting is still active: the
+            // stamped (linearized-at-the-limited-point) residual can look
+            // small while the *true* residual is astronomical, so a point
+            // only counts as converged when the limiter state has stopped
+            // moving as well (SPICE's "icheck" semantics).
+            let state_before = state.to_vec();
+            let ctx = EvalCtx {
+                x: &x,
+                gmin: config.gmin,
+                source_scale: config.source_scale,
+            };
+            circuit.assemble_into(&ctx, &mut jac, &mut res, state);
+            extra(&x, &mut jac, &mut res);
+            last_residual = norms::inf_norm(&res);
+            let limiting_active = state
+                .iter()
+                .zip(&state_before)
+                .any(|(a, b)| (a - b).abs() > 1e-9);
+            if !limiting_active && last_residual <= config.residual_tol {
+                return Ok(NrOutcome {
+                    x,
+                    iterations: iter,
+                    converged: true,
+                    lu_factorizations: lu_count,
+                    residual: last_residual,
+                });
+            }
+        }
+    }
+    Ok(NrOutcome {
+        x,
+        iterations: config.max_iterations,
+        converged: false,
+        lu_factorizations: lu_count,
+        residual: last_residual,
+    })
+}
+
+/// Plain Newton–Raphson DC solver (no continuation). Converges directly on
+/// mildly nonlinear circuits; strongly nonlinear circuits need
+/// [`GminStepping`](crate::GminStepping),
+/// [`SourceStepping`](crate::SourceStepping) or
+/// [`PtaSolver`](crate::PtaSolver).
+///
+/// # Example
+///
+/// ```
+/// use rlpta_core::NewtonRaphson;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let c = rlpta_netlist::parse("t\nV1 a 0 2\nR1 a b 1k\nR2 b 0 3k\n")?;
+/// let sol = NewtonRaphson::default().solve(&c)?;
+/// assert!((sol.voltage(&c, "b").unwrap() - 1.5).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct NewtonRaphson {
+    config: NewtonConfig,
+}
+
+impl NewtonRaphson {
+    /// Creates a solver with the given configuration.
+    pub fn new(config: NewtonConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &NewtonConfig {
+        &self.config
+    }
+
+    /// Solves for the DC operating point starting from the zero vector.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::Singular`] for structurally defective circuits,
+    /// [`SolveError::NonConvergent`] when the iteration budget is exhausted.
+    pub fn solve(&self, circuit: &Circuit) -> Result<Solution, SolveError> {
+        self.solve_from(circuit, &vec![0.0; circuit.dim()])
+    }
+
+    /// Solves starting from a caller-provided initial guess (used for
+    /// warm starts by the continuation methods).
+    ///
+    /// # Errors
+    ///
+    /// See [`NewtonRaphson::solve`].
+    pub fn solve_from(&self, circuit: &Circuit, x0: &[f64]) -> Result<Solution, SolveError> {
+        let mut state = circuit.seeded_state(x0);
+        let out = newton_iterate(circuit, &self.config, x0, &mut state, &mut |_, _, _| {})?;
+        let stats = SolveStats {
+            nr_iterations: out.iterations,
+            pta_steps: 0,
+            rejected_steps: 0,
+            lu_factorizations: out.lu_factorizations,
+            converged: out.converged,
+        };
+        if out.converged {
+            Ok(Solution { x: out.x, stats })
+        } else {
+            Err(SolveError::NonConvergent { stats })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_divider() {
+        let c = rlpta_netlist::parse("t\nV1 a 0 10\nR1 a b 2k\nR2 b 0 3k\n").unwrap();
+        let sol = NewtonRaphson::default().solve(&c).unwrap();
+        assert!((sol.voltage(&c, "b").unwrap() - 6.0).abs() < 1e-9);
+        assert!(sol.stats.converged);
+        assert!(sol.stats.nr_iterations <= 3, "linear should converge fast");
+    }
+
+    #[test]
+    fn diode_clamp() {
+        let c = rlpta_netlist::parse(
+            "t\nV1 in 0 5\nR1 in out 1k\nD1 out 0 DX\n.model DX D(IS=1e-14)\n",
+        )
+        .unwrap();
+        let sol = NewtonRaphson::default().solve(&c).unwrap();
+        let v = sol.voltage(&c, "out").unwrap();
+        assert!(v > 0.55 && v < 0.85, "diode drop {v}");
+        assert!(sol.residual_norm(&c) < 1e-6);
+    }
+
+    #[test]
+    fn bjt_common_emitter_bias() {
+        let c = rlpta_netlist::parse(
+            "t
+             V1 vcc 0 12
+             R1 vcc b 100k
+             R2 b 0 22k
+             RC vcc c 2.2k
+             RE e 0 1k
+             Q1 c b e QN
+             .model QN NPN(IS=1e-15 BF=120)",
+        )
+        .unwrap();
+        let sol = NewtonRaphson::default().solve(&c).unwrap();
+        let vb = sol.voltage(&c, "b").unwrap();
+        let ve = sol.voltage(&c, "e").unwrap();
+        let vc = sol.voltage(&c, "c").unwrap();
+        // Forward-active bias: vbe ≈ 0.6–0.8, collector between rails.
+        assert!(vb - ve > 0.55 && vb - ve < 0.85, "vbe = {}", vb - ve);
+        assert!(vc > ve && vc < 12.0, "vc = {vc}");
+    }
+
+    #[test]
+    fn mosfet_inverter_logic_high_input() {
+        let c = rlpta_netlist::parse(
+            "t
+             V1 vdd 0 5
+             V2 g 0 5
+             RL vdd d 10k
+             M1 d g 0 0 NM W=20u L=2u
+             .model NM NMOS(VTO=1 KP=5e-5)",
+        )
+        .unwrap();
+        let sol = NewtonRaphson::default().solve(&c).unwrap();
+        let vd = sol.voltage(&c, "d").unwrap();
+        assert!(vd < 1.0, "NMOS on pulls output low, vd = {vd}");
+    }
+
+    #[test]
+    fn nonconvergence_is_reported_not_looped() {
+        // A pathological bistable: two cross-coupled ideal inverting VCVS
+        // stages with huge gain make plain NR oscillate from a zero start.
+        let c = rlpta_netlist::parse(
+            "t
+             V1 vdd 0 5
+             R1 vdd a 1k
+             R2 vdd b 1k
+             E1 a 0 b 0 -1000
+             E2 b 0 a 0 -1000
+             R3 a 0 1k
+             R4 b 0 1k
+             ",
+        )
+        .unwrap();
+        // This linear system actually solves; use a max_iterations=0-like
+        // tight budget on a nonlinear deck instead.
+        let hard = rlpta_netlist::parse(
+            "t
+             V1 in 0 5
+             R1 in out 1
+             D1 out 0 DX
+             .model DX D(IS=1e-14)",
+        )
+        .unwrap();
+        let cfg = NewtonConfig {
+            max_iterations: 2,
+            ..NewtonConfig::default()
+        };
+        let err = NewtonRaphson::new(cfg).solve(&hard).unwrap_err();
+        assert!(matches!(err, SolveError::NonConvergent { .. }));
+        let _ = NewtonRaphson::default().solve(&c);
+    }
+
+    #[test]
+    fn warm_start_reduces_iterations() {
+        let c = rlpta_netlist::parse(
+            "t\nV1 in 0 5\nR1 in out 1k\nD1 out 0 DX\n.model DX D(IS=1e-14)\n",
+        )
+        .unwrap();
+        let nr = NewtonRaphson::default();
+        let cold = nr.solve(&c).unwrap();
+        let warm = nr.solve_from(&c, &cold.x).unwrap();
+        assert!(
+            warm.stats.nr_iterations <= 2,
+            "warm start: {}",
+            warm.stats.nr_iterations
+        );
+    }
+
+    #[test]
+    fn inductor_acts_as_short() {
+        let c = rlpta_netlist::parse("t\nV1 a 0 3\nL1 a b 1m\nR1 b 0 1k\n").unwrap();
+        let sol = NewtonRaphson::default().solve(&c).unwrap();
+        assert!((sol.voltage(&c, "b").unwrap() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacitor_acts_as_open() {
+        let c = rlpta_netlist::parse("t\nV1 a 0 3\nR1 a b 1k\nC1 b 0 1u\nR2 b 0 1k\n").unwrap();
+        let sol = NewtonRaphson::default().solve(&c).unwrap();
+        assert!((sol.voltage(&c, "b").unwrap() - 1.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,189 @@
+//! Operating-point reporting (the SPICE `.op` printout).
+
+use crate::Solution;
+use rlpta_devices::Device;
+use rlpta_mna::Circuit;
+use std::fmt::Write as _;
+
+/// Renders a human-readable operating-point report: node voltages, branch
+/// currents and the currents/power of the directly computable devices.
+///
+/// # Example
+///
+/// ```
+/// use rlpta_core::{op_report, NewtonRaphson};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let c = rlpta_netlist::parse("t\nV1 a 0 2\nR1 a 0 1k\n")?;
+/// let sol = NewtonRaphson::default().solve(&c)?;
+/// let report = op_report(&c, &sol);
+/// assert!(report.contains("v(a)"));
+/// assert!(report.contains("R1"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn op_report(circuit: &Circuit, solution: &Solution) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "operating point of `{}`", circuit.title());
+    let _ = writeln!(out, "  {}", solution.stats);
+    let _ = writeln!(out, "node voltages:");
+    for i in 0..circuit.num_nodes() {
+        let label = format!("v({})", circuit.node_name(i));
+        let _ = writeln!(out, "  {label:<16} = {:>14.6e} V", solution.x[i]);
+    }
+    if circuit.num_branches() > 0 {
+        let _ = writeln!(out, "branch currents:");
+        for d in circuit.devices() {
+            let branch = match d {
+                Device::Vsource(v) => Some((v.name(), v.branch())),
+                Device::Inductor(l) => Some((l.name(), l.branch())),
+                Device::Vcvs(e) => Some((e.name(), e.branch())),
+                Device::Ccvs(h) => Some((h.name(), h.branch())),
+                _ => None,
+            };
+            if let Some((name, br)) = branch {
+                let label = format!("i({name})");
+                let _ = writeln!(out, "  {label:<16} = {:>14.6e} A", solution.x[br]);
+            }
+        }
+    }
+    let _ = writeln!(out, "device summary:");
+    for d in circuit.devices() {
+        match d {
+            Device::Resistor(r) => {
+                let v = r.node_a().voltage(&solution.x) - r.node_b().voltage(&solution.x);
+                let i = v / r.resistance();
+                let _ = writeln!(
+                    out,
+                    "  {:<14} R = {:>10.3e}  i = {:>12.4e} A  p = {:>12.4e} W",
+                    r.name(),
+                    r.resistance(),
+                    i,
+                    v * i
+                );
+            }
+            Device::Diode(dd) => {
+                let v = dd.anode().voltage(&solution.x) - dd.cathode().voltage(&solution.x);
+                let (i, _) = dd.eval(v, 0.0);
+                let _ = writeln!(
+                    out,
+                    "  {:<14} vd = {:>9.4} V  id = {:>12.4e} A",
+                    dd.name(),
+                    v,
+                    i
+                );
+            }
+            Device::Bjt(q) => {
+                let s = q.model().polarity.sign();
+                let vbe = s * (q.base().voltage(&solution.x) - q.emitter().voltage(&solution.x));
+                let vbc = s * (q.base().voltage(&solution.x) - q.collector().voltage(&solution.x));
+                let op = q.eval(vbe, vbc, 0.0);
+                let _ = writeln!(
+                    out,
+                    "  {:<14} vbe = {:>8.4} V  vce = {:>8.4} V  ic = {:>12.4e} A",
+                    q.name(),
+                    vbe,
+                    vbe - vbc,
+                    op.ic
+                );
+            }
+            Device::Mosfet(m) => {
+                let s = m.model().polarity.sign();
+                let vgs = s * (m.gate().voltage(&solution.x) - m.source().voltage(&solution.x));
+                let vds = s * (m.drain().voltage(&solution.x) - m.source().voltage(&solution.x));
+                let ids = if vds >= 0.0 {
+                    m.eval_channel(vgs, vds, 0.0).ids
+                } else {
+                    -m.eval_channel(vgs - vds, -vds, 0.0).ids
+                };
+                let _ = writeln!(
+                    out,
+                    "  {:<14} vgs = {:>8.4} V  vds = {:>8.4} V  id = {:>12.4e} A",
+                    m.name(),
+                    vgs,
+                    vds,
+                    ids
+                );
+            }
+            Device::Jfet(j) => {
+                let s = j.model().polarity.sign();
+                let vgs = s * (j.gate().voltage(&solution.x) - j.source().voltage(&solution.x));
+                let vds = s * (j.drain().voltage(&solution.x) - j.source().voltage(&solution.x));
+                let ids = if vds >= 0.0 {
+                    j.eval_channel(vgs, vds).ids
+                } else {
+                    -j.eval_channel(vgs - vds, -vds).ids
+                };
+                let _ = writeln!(
+                    out,
+                    "  {:<14} vgs = {:>8.4} V  vds = {:>8.4} V  id = {:>12.4e} A",
+                    j.name(),
+                    vgs,
+                    vds,
+                    ids
+                );
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NewtonRaphson;
+
+    #[test]
+    fn report_contains_all_sections() {
+        let c = rlpta_netlist::parse(
+            "op test
+             V1 vcc 0 5
+             R1 vcc out 1k
+             D1 out 0 DX
+             L1 vcc l1 1m
+             R2 l1 0 2k
+             .model DX D(IS=1e-14)",
+        )
+        .unwrap();
+        let sol = NewtonRaphson::default().solve(&c).unwrap();
+        let rep = op_report(&c, &sol);
+        assert!(rep.contains("node voltages"));
+        assert!(rep.contains("branch currents"));
+        assert!(rep.contains("i(V1"));
+        assert!(rep.contains("i(L1"));
+        assert!(rep.contains("D1"));
+        assert!(rep.contains("v(out"));
+    }
+
+    #[test]
+    fn resistor_power_is_consistent() {
+        let c = rlpta_netlist::parse("t\nV1 a 0 10\nR1 a 0 1k\n").unwrap();
+        let sol = NewtonRaphson::default().solve(&c).unwrap();
+        let rep = op_report(&c, &sol);
+        // P = V²/R = 100 mW.
+        assert!(
+            rep.contains("1.0000e-1 W") || rep.contains("1.0000e-1"),
+            "{rep}"
+        );
+    }
+
+    #[test]
+    fn bjt_rows_report_bias() {
+        let c = rlpta_netlist::parse(
+            "t
+             V1 vcc 0 12
+             R1 vcc b 100k
+             R2 b 0 22k
+             RC vcc c 2.2k
+             RE e 0 1k
+             Q1 c b e QN
+             .model QN NPN(IS=1e-15 BF=120)",
+        )
+        .unwrap();
+        let sol = NewtonRaphson::default().solve(&c).unwrap();
+        let rep = op_report(&c, &sol);
+        assert!(rep.contains("Q1"));
+        assert!(rep.contains("vbe"));
+    }
+}

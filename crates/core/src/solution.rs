@@ -1,0 +1,169 @@
+//! Solver output: the operating point and run statistics.
+
+use rlpta_mna::Circuit;
+use std::fmt;
+
+/// Counters accumulated over a solve — the quantities the paper's tables
+/// report (`#Ite` = NR iterations, `#Ste` = pseudo-transient steps).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SolveStats {
+    /// Total Newton–Raphson iterations across all time points (`#Ite`).
+    pub nr_iterations: usize,
+    /// Accepted pseudo-transient time points (`#Ste`).
+    pub pta_steps: usize,
+    /// Rejected (rolled-back) time points.
+    pub rejected_steps: usize,
+    /// Sparse LU factorizations performed.
+    pub lu_factorizations: usize,
+    /// Whether the run reached the DC operating point.
+    pub converged: bool,
+}
+
+impl SolveStats {
+    /// Merges another run's counters into this one (used by multi-phase
+    /// continuation).
+    pub fn absorb(&mut self, other: &SolveStats) {
+        self.nr_iterations += other.nr_iterations;
+        self.pta_steps += other.pta_steps;
+        self.rejected_steps += other.rejected_steps;
+        self.lu_factorizations += other.lu_factorizations;
+        self.converged = other.converged;
+    }
+}
+
+impl fmt::Display for SolveStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} NR iterations, {} steps ({} rejected), converged: {}",
+            self.nr_iterations, self.pta_steps, self.rejected_steps, self.converged
+        )
+    }
+}
+
+/// A DC operating point: the MNA unknown vector plus run statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// MNA unknowns `[v_0 … v_{N−1}, i_0 … i_{M−1}]`.
+    pub x: Vec<f64>,
+    /// Run statistics.
+    pub stats: SolveStats,
+}
+
+impl Solution {
+    /// Voltage of a named node, or `None` if the node does not exist.
+    /// Ground aliases are not resolvable here (they are not unknowns) —
+    /// ground is 0 V by definition.
+    pub fn voltage(&self, circuit: &Circuit, node: &str) -> Option<f64> {
+        circuit.node_index(node).map(|i| self.x[i])
+    }
+
+    /// Branch current of a named branch-owning device (voltage source,
+    /// inductor, VCVS or CCVS), or `None` for unknown names and devices
+    /// without a branch unknown.
+    pub fn branch_current(&self, circuit: &Circuit, device: &str) -> Option<f64> {
+        use rlpta_devices::Device;
+        circuit.devices().iter().find_map(|d| {
+            let branch = match d {
+                Device::Vsource(v) if v.name().eq_ignore_ascii_case(device) => Some(v.branch()),
+                Device::Inductor(l) if l.name().eq_ignore_ascii_case(device) => Some(l.branch()),
+                Device::Vcvs(e) if e.name().eq_ignore_ascii_case(device) => Some(e.branch()),
+                Device::Ccvs(h) if h.name().eq_ignore_ascii_case(device) => Some(h.branch()),
+                _ => None,
+            };
+            branch.map(|b| self.x[b])
+        })
+    }
+
+    /// Infinity norm of the circuit's residual at this solution — a direct
+    /// quality check.
+    pub fn residual_norm(&self, circuit: &Circuit) -> f64 {
+        rlpta_linalg::norms::inf_norm(&circuit.residual(&self.x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlpta_devices::{Node, Resistor, Vsource};
+    use rlpta_mna::CircuitBuilder;
+
+    fn divider() -> Circuit {
+        let mut b = CircuitBuilder::new("d");
+        let a = b.node("in");
+        let o = b.node("out");
+        b.add(Vsource::new("V1", a, Node::GROUND, 4.0));
+        b.add(Resistor::new("R1", a, o, 1e3));
+        b.add(Resistor::new("R2", o, Node::GROUND, 1e3));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn voltage_lookup() {
+        let c = divider();
+        let s = Solution {
+            x: vec![4.0, 2.0, -2e-3],
+            stats: SolveStats::default(),
+        };
+        assert_eq!(s.voltage(&c, "out"), Some(2.0));
+        assert_eq!(s.voltage(&c, "nope"), None);
+    }
+
+    #[test]
+    fn branch_current_lookup() {
+        let c = divider();
+        let s = Solution {
+            x: vec![4.0, 2.0, -2e-3],
+            stats: SolveStats::default(),
+        };
+        assert_eq!(s.branch_current(&c, "V1"), Some(-2e-3));
+        assert_eq!(s.branch_current(&c, "v1"), Some(-2e-3), "case-insensitive");
+        assert_eq!(s.branch_current(&c, "R1"), None, "resistors have no branch");
+        assert_eq!(s.branch_current(&c, "nope"), None);
+    }
+
+    #[test]
+    fn residual_norm_zero_at_solution() {
+        let c = divider();
+        let s = Solution {
+            x: vec![4.0, 2.0, -2e-3],
+            stats: SolveStats::default(),
+        };
+        assert!(s.residual_norm(&c) < 1e-12);
+        let bad = Solution {
+            x: vec![4.0, 3.0, -2e-3],
+            stats: SolveStats::default(),
+        };
+        assert!(bad.residual_norm(&c) > 1e-4);
+    }
+
+    #[test]
+    fn stats_absorb_accumulates() {
+        let mut a = SolveStats {
+            nr_iterations: 5,
+            pta_steps: 2,
+            ..Default::default()
+        };
+        let b = SolveStats {
+            nr_iterations: 3,
+            pta_steps: 1,
+            rejected_steps: 1,
+            lu_factorizations: 4,
+            converged: true,
+        };
+        a.absorb(&b);
+        assert_eq!(a.nr_iterations, 8);
+        assert_eq!(a.pta_steps, 3);
+        assert_eq!(a.rejected_steps, 1);
+        assert!(a.converged);
+    }
+
+    #[test]
+    fn stats_display() {
+        let s = SolveStats {
+            nr_iterations: 7,
+            ..Default::default()
+        };
+        assert!(s.to_string().contains("7 NR"));
+    }
+}

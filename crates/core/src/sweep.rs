@@ -1,0 +1,220 @@
+//! DC sweep: solve the operating point over a range of one source's values,
+//! warm-starting each point from the previous solution.
+//!
+//! DC transfer curves are the natural consumer of a fast DC engine — and a
+//! stress test for it, because a sweep crosses device regions (cut-off,
+//! saturation, breakdown) point after point.
+
+use crate::{GminStepping, NewtonRaphson, Solution, SolveError, SolveStats};
+use rlpta_mna::Circuit;
+
+/// A single sweep point: the swept source value and its solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Value the swept source was set to.
+    pub value: f64,
+    /// Operating point at that value.
+    pub solution: Solution,
+}
+
+/// DC sweep of one independent source (`.dc` in SPICE decks).
+///
+/// # Example
+///
+/// ```
+/// use rlpta_core::DcSweep;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let circuit = rlpta_netlist::parse(
+///     "divider\nV1 in 0 0\nR1 in out 1k\nR2 out 0 1k\n",
+/// )?;
+/// let sweep = DcSweep::linear("V1", 0.0, 4.0, 1.0)?;
+/// let points = sweep.run(&circuit)?;
+/// assert_eq!(points.len(), 5);
+/// let out = circuit.node_index("out").expect("node exists");
+/// assert!((points[4].solution.x[out] - 2.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DcSweep {
+    source: String,
+    values: Vec<f64>,
+}
+
+impl DcSweep {
+    /// Sweeps `source` over explicit `values` (in order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::InvalidConfig`] for an empty value list or
+    /// non-finite entries.
+    pub fn new(source: impl Into<String>, values: Vec<f64>) -> Result<Self, SolveError> {
+        if values.is_empty() {
+            return Err(SolveError::InvalidConfig {
+                detail: "empty sweep".into(),
+            });
+        }
+        if values.iter().any(|v| !v.is_finite()) {
+            return Err(SolveError::InvalidConfig {
+                detail: "non-finite sweep value".into(),
+            });
+        }
+        Ok(Self {
+            source: source.into(),
+            values,
+        })
+    }
+
+    /// Linear sweep from `start` to `stop` (inclusive) in steps of `step`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::InvalidConfig`] when `step` is zero/non-finite
+    /// or points the wrong way.
+    pub fn linear(
+        source: impl Into<String>,
+        start: f64,
+        stop: f64,
+        step: f64,
+    ) -> Result<Self, SolveError> {
+        if !step.is_finite() || step == 0.0 || (stop - start) * step < 0.0 {
+            return Err(SolveError::InvalidConfig {
+                detail: format!("bad sweep spec: start {start}, stop {stop}, step {step}"),
+            });
+        }
+        let n = ((stop - start) / step).round() as usize;
+        let values = (0..=n).map(|i| start + step * i as f64).collect();
+        Self::new(source, values)
+    }
+
+    /// Name of the swept source.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// The sweep values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Runs the sweep: each point warm-starts Newton from the previous
+    /// solution; a failed point falls back to Gmin stepping.
+    ///
+    /// # Errors
+    ///
+    /// * [`SolveError::InvalidConfig`] if the source does not exist,
+    /// * [`SolveError::NonConvergent`] if a point fails even with fallback.
+    pub fn run(&self, circuit: &Circuit) -> Result<Vec<SweepPoint>, SolveError> {
+        let mut work = circuit.clone();
+        if !work.set_source_dc(&self.source, self.values[0]) {
+            return Err(SolveError::InvalidConfig {
+                detail: format!("no independent source named `{}`", self.source),
+            });
+        }
+        let newton = NewtonRaphson::default();
+        let mut points = Vec::with_capacity(self.values.len());
+        let mut x_prev: Option<Vec<f64>> = None;
+        let mut total = SolveStats::default();
+        for &v in &self.values {
+            work.set_source_dc(&self.source, v);
+            let attempt = match &x_prev {
+                Some(x0) => newton.solve_from(&work, x0),
+                None => newton.solve(&work),
+            };
+            let solution = match attempt {
+                Ok(sol) => sol,
+                // Region crossings can defeat a warm-started Newton; Gmin
+                // stepping recovers from scratch.
+                Err(_) => GminStepping::default().solve(&work)?,
+            };
+            total.absorb(&solution.stats);
+            x_prev = Some(solution.x.clone());
+            points.push(SweepPoint { value: v, solution });
+        }
+        Ok(points)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_builder_counts_points() {
+        let s = DcSweep::linear("V1", 0.0, 1.0, 0.25).unwrap();
+        assert_eq!(s.values().len(), 5);
+        assert_eq!(s.source(), "V1");
+        let d = DcSweep::linear("V1", 2.0, -2.0, -1.0).unwrap();
+        assert_eq!(d.values().len(), 5);
+    }
+
+    #[test]
+    fn rejects_bad_specs() {
+        assert!(DcSweep::linear("V1", 0.0, 1.0, 0.0).is_err());
+        assert!(DcSweep::linear("V1", 0.0, 1.0, -0.5).is_err());
+        assert!(DcSweep::new("V1", vec![]).is_err());
+        assert!(DcSweep::new("V1", vec![f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn unknown_source_is_reported() {
+        let c = rlpta_netlist::parse("t\nV1 a 0 1\nR1 a 0 1k\n").unwrap();
+        let s = DcSweep::linear("V99", 0.0, 1.0, 0.5).unwrap();
+        assert!(matches!(s.run(&c), Err(SolveError::InvalidConfig { .. })));
+    }
+
+    #[test]
+    fn diode_transfer_curve_is_monotone_exponential() {
+        let c =
+            rlpta_netlist::parse("t\nV1 in 0 0\nR1 in a 100\nD1 a 0 DX\n.model DX D(IS=1e-14)\n")
+                .unwrap();
+        let sweep = DcSweep::linear("V1", 0.0, 2.0, 0.25).unwrap();
+        let points = sweep.run(&c).unwrap();
+        let a = c.node_index("a").unwrap();
+        let mut prev = -1.0;
+        for p in &points {
+            let va = p.solution.x[a];
+            assert!(va >= prev - 1e-9, "monotone junction voltage");
+            prev = va;
+        }
+        // Junction clamps below a volt even at v_in = 2.
+        assert!(prev < 1.0, "clamped at {prev}");
+    }
+
+    #[test]
+    fn inverter_transfer_curve_switches() {
+        let c = rlpta_netlist::parse(
+            "inv
+             V1 vdd 0 5
+             V2 in 0 0
+             MP out in vdd vdd PM W=20u L=2u
+             MN out in 0 0 NM W=10u L=2u
+             .model NM NMOS(VTO=1 KP=5e-5)
+             .model PM PMOS(VTO=-1 KP=2.5e-5)",
+        )
+        .unwrap();
+        let sweep = DcSweep::linear("V2", 0.0, 5.0, 0.5).unwrap();
+        let points = sweep.run(&c).unwrap();
+        let out = c.node_index("out").unwrap();
+        assert!(points.first().unwrap().solution.x[out] > 4.5);
+        assert!(points.last().unwrap().solution.x[out] < 0.5);
+        // Output must be monotonically non-increasing along the sweep.
+        let mut prev = f64::INFINITY;
+        for p in &points {
+            assert!(p.solution.x[out] <= prev + 1e-6);
+            prev = p.solution.x[out];
+        }
+    }
+
+    #[test]
+    fn current_source_sweep() {
+        let c = rlpta_netlist::parse("t\nI1 0 a 0\nR1 a 0 1k\n").unwrap();
+        let sweep = DcSweep::linear("I1", 0.0, 5e-3, 1e-3).unwrap();
+        let points = sweep.run(&c).unwrap();
+        let a = c.node_index("a").unwrap();
+        for p in &points {
+            assert!((p.solution.x[a] - 1e3 * p.value).abs() < 1e-9);
+        }
+    }
+}

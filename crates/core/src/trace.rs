@@ -1,0 +1,192 @@
+//! Step-trace recording: wraps any controller and logs every observation —
+//! the raw material for convergence plots (the trajectories behind the
+//! paper's Fig. 3 workflow) and for debugging stepping policies.
+
+use crate::{StepController, StepObservation};
+
+/// One recorded stepping decision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEntry {
+    /// What the PTA loop observed.
+    pub observation: StepObservation,
+    /// The step size the inner controller replied with.
+    pub next_step: f64,
+}
+
+/// A transparent [`StepController`] wrapper that records every
+/// observation/decision pair while delegating all policy to the inner
+/// controller.
+///
+/// # Example
+///
+/// ```
+/// use rlpta_core::{PtaKind, PtaSolver, SimpleStepping, TraceController};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let c = rlpta_netlist::parse(
+///     "t\nV1 in 0 5\nR1 in out 1k\nD1 out 0 DX\n.model DX D(IS=1e-14)",
+/// )?;
+/// let mut solver = PtaSolver::new(
+///     PtaKind::dpta(),
+///     TraceController::new(SimpleStepping::default()),
+/// );
+/// let sol = solver.solve(&c)?;
+/// let trace = solver.controller_mut().entries();
+/// assert_eq!(trace.len(), sol.stats.pta_steps + sol.stats.rejected_steps);
+/// assert!(trace.last().expect("nonempty").observation.pta_converged);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceController<C> {
+    inner: C,
+    entries: Vec<TraceEntry>,
+}
+
+impl<C: StepController> TraceController<C> {
+    /// Wraps `inner`.
+    pub fn new(inner: C) -> Self {
+        Self {
+            inner,
+            entries: Vec::new(),
+        }
+    }
+
+    /// The recorded entries of the most recent run.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Borrows the wrapped controller.
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+
+    /// Consumes the wrapper, returning the inner controller and the trace.
+    pub fn into_parts(self) -> (C, Vec<TraceEntry>) {
+        (self.inner, self.entries)
+    }
+
+    /// Renders the trace as CSV (`time,step,next_step,iters,converged,
+    /// residual,gamma`).
+    pub fn to_csv(&self) -> String {
+        let mut out =
+            String::from("time,step,next_step,nr_iterations,nr_converged,residual,gamma\n");
+        for e in &self.entries {
+            let o = &e.observation;
+            out.push_str(&format!(
+                "{:e},{:e},{:e},{},{},{:e},{:e}\n",
+                o.time, o.step, e.next_step, o.nr_iterations, o.nr_converged, o.residual, o.gamma
+            ));
+        }
+        out
+    }
+}
+
+impl<C: StepController> StepController for TraceController<C> {
+    fn initial_step(&mut self) -> f64 {
+        self.inner.initial_step()
+    }
+
+    fn next_step(&mut self, obs: &StepObservation) -> f64 {
+        let next = self.inner.next_step(obs);
+        self.entries.push(TraceEntry {
+            observation: *obs,
+            next_step: next,
+        });
+        next
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PtaKind, PtaSolver, SimpleStepping};
+
+    fn traced_run() -> (crate::SolveStats, Vec<TraceEntry>) {
+        let c = rlpta_netlist::parse(
+            "t\nV1 in 0 5\nR1 in out 1k\nD1 out 0 DX\n.model DX D(IS=1e-14)\n",
+        )
+        .unwrap();
+        let mut solver = PtaSolver::new(
+            PtaKind::dpta(),
+            TraceController::new(SimpleStepping::default()),
+        );
+        let sol = solver.solve(&c).unwrap();
+        let trace = solver.controller_mut().entries().to_vec();
+        (sol.stats, trace)
+    }
+
+    #[test]
+    fn records_every_attempted_step() {
+        let (stats, trace) = traced_run();
+        assert_eq!(trace.len(), stats.pta_steps + stats.rejected_steps);
+    }
+
+    #[test]
+    fn time_is_monotone_over_accepted_steps() {
+        let (_, trace) = traced_run();
+        let mut last = -1.0;
+        for e in trace.iter().filter(|e| e.observation.nr_converged) {
+            assert!(e.observation.time >= last);
+            last = e.observation.time;
+        }
+    }
+
+    #[test]
+    fn final_entry_is_the_convergence() {
+        let (_, trace) = traced_run();
+        assert!(trace.last().unwrap().observation.pta_converged);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let c = rlpta_netlist::parse("t\nV1 a 0 2\nR1 a b 1k\nD1 b 0 DX\n.model DX D(IS=1e-14)\n")
+            .unwrap();
+        let mut solver = PtaSolver::new(
+            PtaKind::dpta(),
+            TraceController::new(SimpleStepping::default()),
+        );
+        solver.solve(&c).unwrap();
+        let csv = solver.controller_mut().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert!(lines[0].starts_with("time,step"));
+        assert!(lines.len() > 2);
+    }
+
+    #[test]
+    fn reset_clears_the_trace() {
+        let mut t = TraceController::new(SimpleStepping::default());
+        let h = t.initial_step();
+        t.next_step(&StepObservation {
+            nr_iterations: 2,
+            nr_converged: true,
+            residual: 1.0,
+            gamma: 0.1,
+            pta_converged: false,
+            step: h,
+            time: h,
+        });
+        assert_eq!(t.entries().len(), 1);
+        t.reset();
+        assert!(t.entries().is_empty());
+    }
+
+    #[test]
+    fn delegates_name_and_policy() {
+        let t = TraceController::new(SimpleStepping::default());
+        assert_eq!(t.name(), "simple");
+        let (inner, trace) = t.into_parts();
+        assert_eq!(inner.h0, SimpleStepping::default().h0);
+        assert!(trace.is_empty());
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests for the solvers: analytic agreement on random
+//! linear ladders, Newton/PTA cross-validation, and controller totality.
+
+use proptest::prelude::*;
+use rlpta_core::{
+    NewtonRaphson, PtaKind, PtaSolver, SerStepping, SimpleStepping, StepController, StepObservation,
+};
+
+/// Builds an n-stage resistor ladder deck driven by `v` volts.
+fn ladder_deck(n: usize, v: f64, r_kohm: f64) -> String {
+    let mut deck = format!("ladder\nV1 n0 0 {v}\n");
+    for i in 0..n {
+        deck += &format!("R{i} n{i} n{} {r_kohm}k\n", i + 1);
+    }
+    deck += &format!("RL n{n} 0 {r_kohm}k\n");
+    deck
+}
+
+proptest! {
+    /// On an equal-resistor ladder the node voltages follow the analytic
+    /// divider formula.
+    #[test]
+    fn newton_matches_analytic_ladder(
+        n in 1usize..12,
+        v in -10.0f64..10.0,
+        r_kohm in 0.1f64..100.0,
+    ) {
+        let c = rlpta_netlist::parse(&ladder_deck(n, v, r_kohm)).expect("parses");
+        let sol = NewtonRaphson::default().solve(&c).expect("solves");
+        // Chain of n+1 equal resistors to ground: node k sits at
+        // v·(n+1−k)/(n+1).
+        for k in 0..=n {
+            let name = format!("n{k}");
+            let got = sol.voltage(&c, &name).expect("node exists");
+            let expect = v * (n + 1 - k) as f64 / (n + 1) as f64;
+            prop_assert!((got - expect).abs() < 1e-6 * (1.0 + expect.abs()),
+                "node {k}: {got} vs {expect}");
+        }
+    }
+
+    /// PTA lands on the same operating point as Newton for random diode
+    /// loads.
+    #[test]
+    fn pta_agrees_with_newton_on_diode_loads(
+        v in 1.0f64..12.0,
+        r_ohm in 50.0f64..10_000.0,
+    ) {
+        let deck = format!(
+            "clamp\nV1 in 0 {v}\nR1 in out {r_ohm}\nD1 out 0 DX\n.model DX D(IS=1e-14)\n"
+        );
+        let c = rlpta_netlist::parse(&deck).expect("parses");
+        let newton = NewtonRaphson::default().solve(&c).expect("newton");
+        let mut pta = PtaSolver::new(PtaKind::dpta(), SimpleStepping::default());
+        let sol = pta.solve(&c).expect("pta");
+        for (a, b) in sol.x.iter().zip(&newton.x) {
+            prop_assert!((a - b).abs() < 1e-4 * (1.0 + b.abs()), "{a} vs {b}");
+        }
+    }
+
+    /// Step controllers always propose positive finite steps, whatever the
+    /// observation stream.
+    #[test]
+    fn controllers_always_propose_valid_steps(
+        observations in proptest::collection::vec(
+            (0usize..40, any::<bool>(), 1e-12f64..1e3, 1e-9f64..1e3),
+            1..60,
+        ),
+    ) {
+        let mut simple = SimpleStepping::default();
+        let mut ser = SerStepping::default();
+        let mut hs = simple.initial_step();
+        let mut ha = ser.initial_step();
+        for (iters, conv, res, gamma) in observations {
+            let obs = |h: f64| StepObservation {
+                nr_iterations: iters,
+                nr_converged: conv,
+                residual: res,
+                gamma,
+                pta_converged: false,
+                step: h,
+                time: 0.0,
+            };
+            hs = simple.next_step(&obs(hs));
+            ha = ser.next_step(&obs(ha));
+            prop_assert!(hs.is_finite() && hs > 0.0, "simple produced {hs}");
+            prop_assert!(ha.is_finite() && ha > 0.0, "ser produced {ha}");
+        }
+    }
+
+    /// Gmin and source stepping agree with Newton on random BJT bias points.
+    #[test]
+    fn continuation_agrees_on_bjt_bias(
+        vcc in 5.0f64..15.0,
+        rb_kohm in 20.0f64..200.0,
+        rc_kohm in 1.0f64..10.0,
+    ) {
+        let deck = format!(
+            "bias\nV1 vcc 0 {vcc}\nR1 vcc b {rb_kohm}k\nR2 b 0 22k\nRC vcc c {rc_kohm}k\nRE e 0 1k\nQ1 c b e QN\n.model QN NPN(IS=1e-15 BF=100)\n"
+        );
+        let c = rlpta_netlist::parse(&deck).expect("parses");
+        let newton = NewtonRaphson::default().solve(&c).expect("newton");
+        let gmin = rlpta_core::GminStepping::default().solve(&c).expect("gmin");
+        for (a, b) in gmin.x.iter().zip(&newton.x) {
+            prop_assert!((a - b).abs() < 1e-3 * (1.0 + b.abs()), "{a} vs {b}");
+        }
+    }
+
+    /// A solved operating point always has a small true residual.
+    #[test]
+    fn solutions_have_small_residuals(v in 1.0f64..10.0, n in 1usize..6) {
+        let c = rlpta_netlist::parse(&ladder_deck(n, v, 1.0)).expect("parses");
+        let sol = NewtonRaphson::default().solve(&c).expect("solves");
+        prop_assert!(sol.residual_norm(&c) < 1e-9 * (1.0 + v.abs()));
+    }
+}

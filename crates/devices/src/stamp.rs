@@ -1,0 +1,223 @@
+//! Evaluation context and MNA stamping interface.
+
+use crate::Node;
+use rlpta_linalg::Triplet;
+
+/// Read-only context a device sees when it evaluates and stamps itself.
+///
+/// Holds the current Newton iterate and the two continuation knobs every
+/// SPICE engine has: `gmin` (junction shunt conductance, swept by Gmin
+/// stepping) and `source_scale` (independent-source ramp factor λ, swept by
+/// source stepping). Junction-limiting history lives in the per-device
+/// state slice passed to `stamp` separately.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalCtx<'a> {
+    /// Current Newton iterate `x`.
+    pub x: &'a [f64],
+    /// Minimum junction conductance added across every nonlinear junction.
+    pub gmin: f64,
+    /// Scale factor λ ∈ [0, 1] applied to independent sources.
+    pub source_scale: f64,
+}
+
+impl<'a> EvalCtx<'a> {
+    /// Default Gmin used outside of Gmin stepping.
+    pub const DEFAULT_GMIN: f64 = 1e-12;
+
+    /// Plain DC evaluation context: default gmin, full-strength sources.
+    pub fn dc(x: &'a [f64]) -> Self {
+        Self {
+            x,
+            gmin: Self::DEFAULT_GMIN,
+            source_scale: 1.0,
+        }
+    }
+
+    /// Returns a copy with a different `gmin` (Gmin stepping).
+    #[must_use]
+    pub fn with_gmin(mut self, gmin: f64) -> Self {
+        self.gmin = gmin;
+        self
+    }
+
+    /// Returns a copy with a different source scale (source stepping).
+    #[must_use]
+    pub fn with_source_scale(mut self, scale: f64) -> Self {
+        self.source_scale = scale;
+        self
+    }
+}
+
+/// Accumulates device contributions into the Newton system `J·Δx = −F`.
+///
+/// Rows/columns belonging to the ground node are dropped, implementing the
+/// usual MNA ground elimination.
+#[derive(Debug)]
+pub struct Stamper<'a> {
+    jacobian: &'a mut Triplet,
+    residual: &'a mut [f64],
+}
+
+impl<'a> Stamper<'a> {
+    /// Wraps a Jacobian triplet builder and a residual vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the Jacobian is not square or its dimension differs from the
+    /// residual length.
+    pub fn new(jacobian: &'a mut Triplet, residual: &'a mut [f64]) -> Self {
+        assert_eq!(jacobian.rows(), jacobian.cols(), "jacobian must be square");
+        assert_eq!(
+            jacobian.rows(),
+            residual.len(),
+            "jacobian/residual mismatch"
+        );
+        Self { jacobian, residual }
+    }
+
+    /// Dimension of the assembled system.
+    pub fn dim(&self) -> usize {
+        self.residual.len()
+    }
+
+    /// Adds `g` to the Jacobian between two node unknowns (either may be
+    /// ground, in which case the contribution is dropped).
+    pub fn jac_nodes(&mut self, row: Node, col: Node, g: f64) {
+        if let (Some(r), Some(c)) = (row.index(), col.index()) {
+            self.jacobian.push(r, c, g);
+        }
+    }
+
+    /// Adds the classic two-terminal conductance stamp
+    /// (`+g` on the diagonals, `−g` on the off-diagonals).
+    pub fn conductance(&mut self, a: Node, b: Node, g: f64) {
+        self.jac_nodes(a, a, g);
+        self.jac_nodes(b, b, g);
+        self.jac_nodes(a, b, -g);
+        self.jac_nodes(b, a, -g);
+    }
+
+    /// Adds a transconductance stamp: current `gm·(v_cp − v_cn)` flowing from
+    /// `out_p` to `out_n`.
+    pub fn transconductance(&mut self, out_p: Node, out_n: Node, cp: Node, cn: Node, gm: f64) {
+        self.jac_nodes(out_p, cp, gm);
+        self.jac_nodes(out_p, cn, -gm);
+        self.jac_nodes(out_n, cp, -gm);
+        self.jac_nodes(out_n, cn, gm);
+    }
+
+    /// Adds to the Jacobian at `(node row, branch col)`.
+    pub fn jac_node_branch(&mut self, row: Node, branch: usize, v: f64) {
+        if let Some(r) = row.index() {
+            self.jacobian.push(r, branch, v);
+        }
+    }
+
+    /// Adds to the Jacobian at `(branch row, node col)`.
+    pub fn jac_branch_node(&mut self, branch: usize, col: Node, v: f64) {
+        if let Some(c) = col.index() {
+            self.jacobian.push(branch, c, v);
+        }
+    }
+
+    /// Adds to the Jacobian at `(branch row, branch col)`.
+    pub fn jac_branches(&mut self, row: usize, col: usize, v: f64) {
+        self.jacobian.push(row, col, v);
+    }
+
+    /// Adds `i` to the KCL residual of `node` (current *leaving* the node is
+    /// positive). Ground contributions are dropped.
+    pub fn res_node(&mut self, node: Node, i: f64) {
+        if let Some(r) = node.index() {
+            self.residual[r] += i;
+        }
+    }
+
+    /// Adds current `i` flowing from `a` to `b` into both KCL residuals.
+    pub fn current(&mut self, a: Node, b: Node, i: f64) {
+        self.res_node(a, i);
+        self.res_node(b, -i);
+    }
+
+    /// Adds `v` to a branch-equation residual.
+    pub fn res_branch(&mut self, branch: usize, v: f64) {
+        self.residual[branch] += v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn with_stamper<F: FnOnce(&mut Stamper<'_>)>(n: usize, f: F) -> (Triplet, Vec<f64>) {
+        let mut j = Triplet::new(n, n);
+        let mut r = vec![0.0; n];
+        f(&mut Stamper::new(&mut j, &mut r));
+        (j, r)
+    }
+
+    #[test]
+    fn conductance_stamp_pattern() {
+        let (j, _) = with_stamper(2, |s| s.conductance(Node::new(0), Node::new(1), 2.0));
+        let m = j.to_csr();
+        assert_eq!(m.get(0, 0), 2.0);
+        assert_eq!(m.get(1, 1), 2.0);
+        assert_eq!(m.get(0, 1), -2.0);
+        assert_eq!(m.get(1, 0), -2.0);
+    }
+
+    #[test]
+    fn ground_contributions_are_dropped() {
+        let (j, r) = with_stamper(1, |s| {
+            s.conductance(Node::new(0), Node::GROUND, 3.0);
+            s.current(Node::new(0), Node::GROUND, 0.5);
+        });
+        let m = j.to_csr();
+        assert_eq!(m.get(0, 0), 3.0);
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(r[0], 0.5);
+    }
+
+    #[test]
+    fn transconductance_pattern() {
+        let (j, _) = with_stamper(4, |s| {
+            s.transconductance(Node::new(0), Node::new(1), Node::new(2), Node::new(3), 1.5)
+        });
+        let m = j.to_csr();
+        assert_eq!(m.get(0, 2), 1.5);
+        assert_eq!(m.get(0, 3), -1.5);
+        assert_eq!(m.get(1, 2), -1.5);
+        assert_eq!(m.get(1, 3), 1.5);
+    }
+
+    #[test]
+    fn branch_stamps() {
+        let (j, r) = with_stamper(3, |s| {
+            s.jac_node_branch(Node::new(0), 2, 1.0);
+            s.jac_branch_node(2, Node::new(0), -1.0);
+            s.jac_branches(2, 2, 0.25);
+            s.res_branch(2, 5.0);
+        });
+        let m = j.to_csr();
+        assert_eq!(m.get(0, 2), 1.0);
+        assert_eq!(m.get(2, 0), -1.0);
+        assert_eq!(m.get(2, 2), 0.25);
+        assert_eq!(r[2], 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "jacobian/residual mismatch")]
+    fn stamper_validates_dimensions() {
+        let mut j = Triplet::new(2, 2);
+        let mut r = vec![0.0; 3];
+        let _ = Stamper::new(&mut j, &mut r);
+    }
+
+    #[test]
+    fn eval_ctx_builders() {
+        let x = [0.0];
+        let ctx = EvalCtx::dc(&x).with_gmin(1e-6).with_source_scale(0.5);
+        assert_eq!(ctx.gmin, 1e-6);
+        assert_eq!(ctx.source_scale, 0.5);
+    }
+}

@@ -1,0 +1,159 @@
+//! Property-based tests of device stamps: KCL conservation, Jacobian
+//! consistency and limiter totality at random operating points.
+
+use proptest::prelude::*;
+use rlpta_devices::limit::{fetlim, limexp, limexp_deriv, pnjlim};
+use rlpta_devices::{
+    Bjt, BjtModel, Device, Diode, DiodeModel, EvalCtx, MosModel, Mosfet, Node, Resistor, Stamper,
+};
+use rlpta_linalg::Triplet;
+
+/// Stamps a device at `x` (with a seeded limiter state so limiting is
+/// inactive) and returns `(jacobian, residual)`.
+fn stamp_at(device: &Device, x: &[f64], state: &mut [f64]) -> (rlpta_linalg::CsrMatrix, Vec<f64>) {
+    let n = x.len();
+    let mut j = Triplet::new(n, n);
+    let mut r = vec![0.0; n];
+    let ctx = EvalCtx::dc(x);
+    // Walk the limiter to the operating point first.
+    for _ in 0..64 {
+        let mut jj = Triplet::new(n, n);
+        let mut rr = vec![0.0; n];
+        let before = state.to_vec();
+        device.stamp(&ctx, &mut Stamper::new(&mut jj, &mut rr), state);
+        if state
+            .iter()
+            .zip(&before)
+            .all(|(a, b)| (a - b).abs() < 1e-12)
+        {
+            break;
+        }
+    }
+    device.stamp(&ctx, &mut Stamper::new(&mut j, &mut r), state);
+    (j.to_csr(), r)
+}
+
+/// KCL invariants for a floating device: every Jacobian row sums to ~0 and
+/// the terminal currents sum to ~0 (shifting all node voltages equally
+/// changes nothing; charge is conserved).
+fn assert_floating_invariants(device: &Device, x: &[f64], tol: f64) -> Result<(), TestCaseError> {
+    let mut state = vec![0.0; device.state_len()];
+    let (j, r) = stamp_at(device, x, &mut state);
+    let n = x.len();
+    for row in 0..n {
+        let sum: f64 = (0..n).map(|c| j.get(row, c)).sum();
+        let scale: f64 = (0..n).map(|c| j.get(row, c).abs()).fold(1.0, f64::max);
+        prop_assert!(
+            sum.abs() <= tol * scale,
+            "row {row} sums to {sum} (scale {scale})"
+        );
+    }
+    let total: f64 = r.iter().sum();
+    let rscale: f64 = r.iter().map(|v| v.abs()).fold(1e-12, f64::max);
+    prop_assert!(total.abs() <= tol * rscale, "currents sum to {total}");
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn resistor_conserves_charge(
+        va in -10.0f64..10.0,
+        vb in -10.0f64..10.0,
+        r_ohm in 1.0f64..1e6,
+    ) {
+        let d: Device = Resistor::new("R", Node::new(0), Node::new(1), r_ohm).into();
+        assert_floating_invariants(&d, &[va, vb], 1e-12)?;
+    }
+
+    #[test]
+    fn diode_conserves_charge(
+        va in -3.0f64..1.0,
+        vb in -3.0f64..1.0,
+    ) {
+        let d: Device = Diode::new("D", Node::new(0), Node::new(1), DiodeModel::default()).into();
+        assert_floating_invariants(&d, &[va, vb], 1e-9)?;
+    }
+
+    #[test]
+    fn bjt_conserves_charge(
+        vc in -5.0f64..5.0,
+        vb in -1.0f64..1.0,
+        ve in -5.0f64..5.0,
+    ) {
+        let d: Device = Bjt::new("Q", Node::new(0), Node::new(1), Node::new(2), BjtModel::default()).into();
+        assert_floating_invariants(&d, &[vc, vb, ve], 1e-9)?;
+    }
+
+    #[test]
+    fn mosfet_conserves_charge(
+        vd in -5.0f64..5.0,
+        vg in -5.0f64..5.0,
+        vs in -2.0f64..2.0,
+    ) {
+        let d: Device = Mosfet::new(
+            "M",
+            Node::new(0),
+            Node::new(1),
+            Node::new(2),
+            Node::new(2),
+            MosModel::default(),
+            5.0,
+        )
+        .into();
+        assert_floating_invariants(&d, &[vd, vg, vs], 1e-9)?;
+    }
+
+    /// The diode residual matches its analytic current at the (converged)
+    /// linearization point.
+    #[test]
+    fn diode_residual_matches_eval(v in -2.0f64..0.85) {
+        let diode = Diode::new("D", Node::new(0), Node::GROUND, DiodeModel::default());
+        let d: Device = diode.clone().into();
+        let mut state = vec![0.0; d.state_len()];
+        let (_, r) = stamp_at(&d, &[v], &mut state);
+        let (i, _) = diode.eval(v, EvalCtx::DEFAULT_GMIN);
+        let tol = 1e-6 * i.abs().max(1e-12);
+        prop_assert!((r[0] - i).abs() <= tol, "{} vs {}", r[0], i);
+    }
+
+    /// limexp is total, monotone, C¹ and always positive.
+    #[test]
+    fn limexp_properties(a in -500.0f64..500.0, b in -500.0f64..500.0) {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        prop_assert!(limexp(lo) > 0.0);
+        prop_assert!(limexp(hi).is_finite());
+        prop_assert!(limexp(hi) >= limexp(lo));
+        prop_assert!(limexp_deriv(a) > 0.0);
+    }
+
+    /// pnjlim is total and its output is finite, and never increases the
+    /// junction voltage beyond the proposal.
+    #[test]
+    fn pnjlim_total(vnew in -100.0f64..100.0, vold in -100.0f64..100.0) {
+        let (v, _) = pnjlim(vnew, vold, 0.02585, 0.8);
+        prop_assert!(v.is_finite());
+        prop_assert!(v <= vnew.max(vold.max(0.8) + 1.0), "v = {v}");
+    }
+
+    /// fetlim is total and finite.
+    #[test]
+    fn fetlim_total(vnew in -100.0f64..100.0, vold in -100.0f64..100.0, vto in -3.0f64..3.0) {
+        let (v, _) = fetlim(vnew, vold, vto);
+        prop_assert!(v.is_finite());
+    }
+
+    /// Repeated limiting from any start converges onto a fixed proposal.
+    #[test]
+    fn pnjlim_iteration_reaches_proposal(target in 0.0f64..1.5, start in -2.0f64..2.0) {
+        let vt = 0.02585;
+        let mut v = start;
+        for _ in 0..200 {
+            let (next, limited) = pnjlim(target, v, vt, 0.8);
+            v = next;
+            if !limited {
+                break;
+            }
+        }
+        prop_assert!((v - target).abs() < 1e-9, "stuck at {v}, target {target}");
+    }
+}

@@ -1,0 +1,96 @@
+//! Expected-improvement acquisition (minimization form).
+
+/// Standard normal probability density.
+fn phi_pdf(u: f64) -> f64 {
+    (-0.5 * u * u).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Standard normal cumulative distribution via the error function
+/// approximation of Abramowitz & Stegun 7.1.26 (max abs error < 1.5e−7).
+fn phi_cdf(u: f64) -> f64 {
+    let x = u / std::f64::consts::SQRT_2;
+    let t = 1.0 / (1.0 + 0.3275911 * x.abs());
+    let poly = t
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    let erf_abs = 1.0 - poly * (-x * x).exp();
+    let erf = if x >= 0.0 { erf_abs } else { -erf_abs };
+    0.5 * (1.0 + erf)
+}
+
+/// Expected improvement for **minimization**:
+/// `EI = E[max(y† − η̂, 0)] = (y† − μ)·Φ(u) + σ·φ(u)` with
+/// `u = (y† − μ)/σ`, where `y†` is the incumbent best (lowest) value and
+/// `(μ, σ²)` the GP posterior at the candidate.
+///
+/// Returns 0 for non-positive variance (a fully-determined point cannot
+/// improve in expectation unless its mean beats the incumbent, in which case
+/// the deterministic improvement is returned).
+///
+/// # Example
+///
+/// ```
+/// use rlpta_gp::expected_improvement;
+///
+/// // A candidate predicted below the incumbent with some uncertainty has
+/// // positive EI; one far above has ~none.
+/// assert!(expected_improvement(10.0, 8.0, 1.0) > 1.0);
+/// assert!(expected_improvement(10.0, 20.0, 1.0) < 1e-6);
+/// ```
+pub fn expected_improvement(incumbent: f64, mean: f64, variance: f64) -> f64 {
+    if variance <= 0.0 {
+        return (incumbent - mean).max(0.0);
+    }
+    let sigma = variance.sqrt();
+    let u = (incumbent - mean) / sigma;
+    ((incumbent - mean) * phi_cdf(u) + sigma * phi_pdf(u)).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_sanity() {
+        assert!((phi_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!(phi_cdf(3.0) > 0.998);
+        assert!(phi_cdf(-3.0) < 0.002);
+        // Symmetry.
+        assert!((phi_cdf(1.3) + phi_cdf(-1.3) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pdf_peak_at_zero() {
+        assert!((phi_pdf(0.0) - 0.398942).abs() < 1e-5);
+        assert!(phi_pdf(0.0) > phi_pdf(1.0));
+    }
+
+    #[test]
+    fn ei_is_nonnegative() {
+        for mean in [-5.0, 0.0, 5.0] {
+            for var in [0.0, 0.1, 10.0] {
+                assert!(expected_improvement(0.0, mean, var) >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn ei_increases_with_uncertainty() {
+        let low = expected_improvement(0.0, 1.0, 0.01);
+        let high = expected_improvement(0.0, 1.0, 4.0);
+        assert!(high > low);
+    }
+
+    #[test]
+    fn ei_zero_variance_is_deterministic_improvement() {
+        assert_eq!(expected_improvement(5.0, 3.0, 0.0), 2.0);
+        assert_eq!(expected_improvement(5.0, 7.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn ei_approaches_mean_gap_for_confident_improvements() {
+        // μ far below incumbent with small σ: EI ≈ y† − μ.
+        let ei = expected_improvement(10.0, 0.0, 0.01);
+        assert!((ei - 10.0).abs() < 0.01);
+    }
+}

@@ -1,0 +1,515 @@
+//! Bayesian active learning for the offline IPP stage (Algorithm 1) and the
+//! online best-parameter prediction (Eq. 3).
+
+use crate::transform::SOLVER_PARAM_DIM;
+use crate::{expected_improvement, GpError, GpModel};
+use rand::Rng;
+
+/// The simulator-in-the-loop oracle of Algorithm 1: runs the PTA solver with
+/// reparameterized solver parameters `w` on training circuit `circuit` and
+/// returns the convergence cost (log-scaled NR iteration count; penalized
+/// when the run diverges).
+pub trait IterationOracle {
+    /// Evaluates `η(z(w), ξ_circuit)`.
+    fn evaluate(&mut self, circuit: usize, w: &[f64]) -> f64;
+}
+
+impl<F: FnMut(usize, &[f64]) -> f64> IterationOracle for F {
+    fn evaluate(&mut self, circuit: usize, w: &[f64]) -> f64 {
+        self(circuit, w)
+    }
+}
+
+/// One recorded `(circuit, w, cost)` observation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Training-circuit index.
+    pub circuit: usize,
+    /// Reparameterized solver parameters.
+    pub w: Vec<f64>,
+    /// Observed cost (log-scaled NR iterations).
+    pub cost: f64,
+}
+
+/// Configuration for the active learner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActiveLearnerConfig {
+    /// Outer rounds `M` of Algorithm 1.
+    pub rounds: usize,
+    /// Multi-start count for hyperparameter MLE (refit once per round).
+    pub mle_starts: usize,
+    /// Random EI candidates per circuit per round.
+    pub ei_candidates: usize,
+    /// Candidate `w` components are drawn from `[−w_range, w_range]`.
+    pub w_range: f64,
+}
+
+impl Default for ActiveLearnerConfig {
+    fn default() -> Self {
+        Self {
+            rounds: 3,
+            mle_starts: 12,
+            ei_candidates: 128,
+            w_range: 4.0,
+        }
+    }
+}
+
+/// Leave-one-circuit-out Bayesian active learner over a training corpus.
+///
+/// The GP input is the concatenation `[w, Φ(ξ)]`; the BJT/MOS flag selects
+/// the kernel branch.
+#[derive(Debug, Clone)]
+pub struct ActiveLearner {
+    features: Vec<Vec<f64>>,
+    flags: Vec<bool>,
+    config: ActiveLearnerConfig,
+    samples: Vec<Sample>,
+}
+
+impl ActiveLearner {
+    /// Creates a learner over `features[i]`/`flags[i]` per training circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features` is empty or lengths disagree.
+    pub fn new(features: Vec<Vec<f64>>, flags: Vec<bool>, config: ActiveLearnerConfig) -> Self {
+        assert!(!features.is_empty(), "need at least one training circuit");
+        assert_eq!(features.len(), flags.len(), "features/flags mismatch");
+        Self {
+            features,
+            flags,
+            config,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Number of training circuits.
+    pub fn num_circuits(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Observations collected so far.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Writes the collected samples as text (`circuit w… cost` per line) so
+    /// an expensive offline run can be resumed or shared.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer I/O errors.
+    pub fn save_samples(&self, w: &mut dyn std::io::Write) -> std::io::Result<()> {
+        writeln!(w, "ipp-samples v1 {}", self.samples.len())?;
+        for s in &self.samples {
+            write!(w, "{}", s.circuit)?;
+            for wi in &s.w {
+                write!(w, " {wi:.17e}")?;
+            }
+            writeln!(w, " {:.17e}", s.cost)?;
+        }
+        Ok(())
+    }
+
+    /// Loads samples previously written by [`ActiveLearner::save_samples`],
+    /// appending them to the current dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` for malformed content or out-of-range circuit
+    /// indices, and propagates reader I/O errors.
+    pub fn load_samples(&mut self, r: &mut dyn std::io::BufRead) -> std::io::Result<usize> {
+        use std::io::{Error, ErrorKind};
+        let bad = |m: String| Error::new(ErrorKind::InvalidData, m);
+        let mut header = String::new();
+        r.read_line(&mut header)?;
+        let mut parts = header.split_whitespace();
+        if parts.next() != Some("ipp-samples") {
+            return Err(bad("missing ipp-samples header".into()));
+        }
+        let _version = parts.next();
+        let count: usize = parts
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| bad("bad sample count".into()))?;
+        let mut line = String::new();
+        for i in 0..count {
+            line.clear();
+            if r.read_line(&mut line)? == 0 {
+                return Err(bad(format!("expected {count} samples, got {i}")));
+            }
+            let toks: Vec<&str> = line.split_whitespace().collect();
+            if toks.len() < 3 {
+                return Err(bad(format!("short sample line {i}")));
+            }
+            let circuit: usize = toks[0]
+                .parse()
+                .map_err(|_| bad(format!("bad circuit index `{}`", toks[0])))?;
+            if circuit >= self.num_circuits() {
+                return Err(bad(format!("circuit index {circuit} out of range")));
+            }
+            let nums: Vec<f64> = toks[1..]
+                .iter()
+                .map(|t| t.parse().map_err(|_| bad(format!("bad number `{t}`"))))
+                .collect::<std::io::Result<_>>()?;
+            let (w, cost) = nums.split_at(nums.len() - 1);
+            self.samples.push(Sample {
+                circuit,
+                w: w.to_vec(),
+                cost: cost[0],
+            });
+        }
+        Ok(count)
+    }
+
+    /// Records an externally produced observation (e.g. the default-solver
+    /// seeding runs).
+    pub fn record(&mut self, sample: Sample) {
+        assert!(
+            sample.circuit < self.num_circuits(),
+            "circuit index out of range"
+        );
+        self.samples.push(sample);
+    }
+
+    /// Seeds the dataset by evaluating the default parameters `w = 0`
+    /// (`z = 1`) on every training circuit.
+    pub fn seed_defaults(&mut self, oracle: &mut dyn IterationOracle) {
+        let w0 = vec![0.0; SOLVER_PARAM_DIM];
+        for c in 0..self.num_circuits() {
+            let cost = oracle.evaluate(c, &w0);
+            self.samples.push(Sample {
+                circuit: c,
+                w: w0.clone(),
+                cost,
+            });
+        }
+    }
+
+    fn gp_input(&self, circuit: usize, w: &[f64]) -> Vec<f64> {
+        let mut x = w.to_vec();
+        x.extend(&self.features[circuit]);
+        x
+    }
+
+    fn dataset_excluding(&self, excluded: Option<usize>) -> (Vec<Vec<f64>>, Vec<bool>, Vec<f64>) {
+        let mut xs = Vec::new();
+        let mut fs = Vec::new();
+        let mut ys = Vec::new();
+        for s in &self.samples {
+            if Some(s.circuit) == excluded {
+                continue;
+            }
+            xs.push(self.gp_input(s.circuit, &s.w));
+            fs.push(self.flags[s.circuit]);
+            ys.push(s.cost);
+        }
+        (xs, fs, ys)
+    }
+
+    /// One outer round of Algorithm 1: for every circuit, fit a GP on all
+    /// data *excluding* that circuit, propose the EI-maximizing `w`, run the
+    /// oracle and record the sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpError`] if the surrogate cannot be fitted (e.g. no data —
+    /// call [`ActiveLearner::seed_defaults`] first).
+    pub fn run_round(
+        &mut self,
+        oracle: &mut dyn IterationOracle,
+        rng: &mut impl Rng,
+    ) -> Result<(), GpError> {
+        // Refit hyperparameters once per round on the full dataset.
+        let (xs, fs, ys) = self.dataset_excluding(None);
+        let tuned = GpModel::fit_mle(xs, fs, ys, self.config.mle_starts, rng)?;
+        let hyper = tuned.hyper().clone();
+
+        for n in 0..self.num_circuits() {
+            let (xs, fs, ys) = self.dataset_excluding(Some(n));
+            if xs.is_empty() {
+                continue;
+            }
+            let model = GpModel::fit(xs, fs, ys, hyper.clone())?;
+            // Incumbent: this circuit's best so far, else the corpus best.
+            let incumbent = self
+                .samples
+                .iter()
+                .filter(|s| s.circuit == n)
+                .map(|s| s.cost)
+                .fold(f64::INFINITY, f64::min);
+            let incumbent = if incumbent.is_finite() {
+                incumbent
+            } else {
+                self.samples
+                    .iter()
+                    .map(|s| s.cost)
+                    .fold(f64::INFINITY, f64::min)
+            };
+
+            let mut best_w = vec![0.0; SOLVER_PARAM_DIM];
+            let mut best_ei = f64::NEG_INFINITY;
+            for _ in 0..self.config.ei_candidates {
+                let w: Vec<f64> = (0..SOLVER_PARAM_DIM)
+                    .map(|_| rng.gen_range(-self.config.w_range..self.config.w_range))
+                    .collect();
+                let (mean, var) = model.predict(&self.gp_input(n, &w), self.flags[n]);
+                let ei = expected_improvement(incumbent, mean, var);
+                if ei > best_ei {
+                    best_ei = ei;
+                    best_w = w;
+                }
+            }
+            let cost = oracle.evaluate(n, &best_w);
+            self.samples.push(Sample {
+                circuit: n,
+                w: best_w,
+                cost,
+            });
+        }
+        Ok(())
+    }
+
+    /// Runs the full offline stage: seeding (if the dataset is empty) and
+    /// `rounds` rounds of [`ActiveLearner::run_round`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates surrogate-fit failures from [`ActiveLearner::run_round`].
+    pub fn offline_train(
+        &mut self,
+        oracle: &mut dyn IterationOracle,
+        rng: &mut impl Rng,
+    ) -> Result<(), GpError> {
+        if self.samples.is_empty() {
+            self.seed_defaults(oracle);
+        }
+        for _ in 0..self.config.rounds {
+            self.run_round(oracle, rng)?;
+        }
+        Ok(())
+    }
+
+    /// The online stage (Eq. 3): given an unseen circuit's features, fit the
+    /// surrogate on all collected data and return the `w` minimizing the
+    /// posterior mean (random multi-start + coordinate refinement).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpError`] if no data has been collected.
+    pub fn predict_best(
+        &self,
+        features: &[f64],
+        is_bjt: bool,
+        rng: &mut impl Rng,
+    ) -> Result<Vec<f64>, GpError> {
+        let (xs, fs, ys) = self.dataset_excluding(None);
+        let model = GpModel::fit_mle(xs, fs, ys, self.config.mle_starts, rng)?;
+        let eval = |w: &[f64]| {
+            let mut x = w.to_vec();
+            x.extend(features);
+            model.predict(&x, is_bjt).0
+        };
+
+        let mut best_w = vec![0.0; SOLVER_PARAM_DIM];
+        let mut best = eval(&best_w);
+        for _ in 0..self.config.ei_candidates * 4 {
+            let w: Vec<f64> = (0..SOLVER_PARAM_DIM)
+                .map(|_| rng.gen_range(-self.config.w_range..self.config.w_range))
+                .collect();
+            let v = eval(&w);
+            if v < best {
+                best = v;
+                best_w = w;
+            }
+        }
+        // Coordinate refinement with a shrinking step.
+        let mut step = 0.5;
+        for _ in 0..20 {
+            let mut improved = false;
+            for d in 0..SOLVER_PARAM_DIM {
+                for dir in [-1.0, 1.0] {
+                    let mut w = best_w.clone();
+                    w[d] = (w[d] + dir * step).clamp(-self.config.w_range, self.config.w_range);
+                    let v = eval(&w);
+                    if v < best {
+                        best = v;
+                        best_w = w;
+                        improved = true;
+                    }
+                }
+            }
+            if !improved {
+                step *= 0.5;
+                if step < 1e-3 {
+                    break;
+                }
+            }
+        }
+        Ok(best_w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Synthetic oracle: cost is a quadratic bowl in w with a per-circuit
+    /// optimum; circuit features encode the optimum location so the GP can
+    /// generalize.
+    fn bowl_oracle(optima: Vec<Vec<f64>>) -> impl FnMut(usize, &[f64]) -> f64 {
+        move |c: usize, w: &[f64]| {
+            let o = &optima[c];
+            10.0 + w
+                .iter()
+                .zip(o)
+                .map(|(wi, oi)| (wi - oi).powi(2))
+                .sum::<f64>()
+        }
+    }
+
+    fn setup() -> (ActiveLearner, Vec<Vec<f64>>) {
+        // 4 circuits whose optima are a linear function of one feature.
+        let optima: Vec<Vec<f64>> = (0..4).map(|i| vec![i as f64 - 1.5, 0.5, -0.5]).collect();
+        let features: Vec<Vec<f64>> = (0..4).map(|i| vec![i as f64 - 1.5]).collect();
+        let flags = vec![true, true, false, false];
+        let learner = ActiveLearner::new(
+            features,
+            flags,
+            ActiveLearnerConfig {
+                rounds: 2,
+                mle_starts: 8,
+                ei_candidates: 64,
+                w_range: 3.0,
+            },
+        );
+        (learner, optima)
+    }
+
+    #[test]
+    fn seeding_evaluates_every_circuit_once() {
+        let (mut learner, optima) = setup();
+        let mut oracle = bowl_oracle(optima);
+        learner.seed_defaults(&mut oracle);
+        assert_eq!(learner.samples().len(), 4);
+        assert!(learner.samples().iter().all(|s| s.w == vec![0.0; 3]));
+    }
+
+    #[test]
+    fn active_learning_improves_over_default() {
+        let (mut learner, optima) = setup();
+        let mut oracle = bowl_oracle(optima);
+        let mut rng = StdRng::seed_from_u64(7);
+        learner.offline_train(&mut oracle, &mut rng).unwrap();
+        // After training, the best recorded cost per circuit must beat the
+        // default (w = 0) cost on most circuits.
+        let mut improved = 0;
+        for c in 0..4 {
+            let default_cost = learner
+                .samples()
+                .iter()
+                .find(|s| s.circuit == c && s.w == vec![0.0; 3])
+                .map(|s| s.cost)
+                .expect("seeded");
+            let best = learner
+                .samples()
+                .iter()
+                .filter(|s| s.circuit == c)
+                .map(|s| s.cost)
+                .fold(f64::INFINITY, f64::min);
+            if best < default_cost - 1e-9 {
+                improved += 1;
+            }
+        }
+        assert!(improved >= 3, "only {improved}/4 circuits improved");
+    }
+
+    #[test]
+    fn predict_best_generalizes_to_unseen_circuit() {
+        let (mut learner, optima) = setup();
+        let mut oracle = bowl_oracle(optima.clone());
+        let mut rng = StdRng::seed_from_u64(11);
+        learner.offline_train(&mut oracle, &mut rng).unwrap();
+        // Unseen circuit with feature 0.5 → optimum w₀ = 0.5.
+        let w = learner.predict_best(&[0.5], true, &mut rng).unwrap();
+        let true_opt = [0.5, 0.5, -0.5];
+        let cost = 10.0
+            + w.iter()
+                .zip(&true_opt)
+                .map(|(a, b)| (a - b).powi(2))
+                .sum::<f64>();
+        let default_cost = 10.0 + 0.25 + 0.25 + 0.25;
+        assert!(
+            cost < default_cost,
+            "predicted w {w:?} (cost {cost}) no better than default ({default_cost})"
+        );
+    }
+
+    #[test]
+    fn record_validates_circuit_index() {
+        let (mut learner, _) = setup();
+        learner.record(Sample {
+            circuit: 0,
+            w: vec![0.0; 3],
+            cost: 1.0,
+        });
+        assert_eq!(learner.samples().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "circuit index out of range")]
+    fn record_rejects_bad_index() {
+        let (mut learner, _) = setup();
+        learner.record(Sample {
+            circuit: 99,
+            w: vec![0.0; 3],
+            cost: 1.0,
+        });
+    }
+
+    #[test]
+    fn samples_roundtrip_through_text() {
+        let (mut learner, optima) = setup();
+        let mut oracle = bowl_oracle(optima);
+        learner.seed_defaults(&mut oracle);
+        learner.record(Sample {
+            circuit: 1,
+            w: vec![0.5, -0.25, 1.0],
+            cost: 3.25,
+        });
+        let mut buf = Vec::new();
+        learner.save_samples(&mut buf).unwrap();
+
+        let (mut fresh, _) = setup();
+        let n = fresh
+            .load_samples(&mut std::io::BufReader::new(buf.as_slice()))
+            .unwrap();
+        assert_eq!(n, learner.samples().len());
+        assert_eq!(fresh.samples(), learner.samples());
+    }
+
+    #[test]
+    fn load_samples_rejects_garbage() {
+        let (mut learner, _) = setup();
+        let data = b"not samples\n";
+        assert!(learner
+            .load_samples(&mut std::io::BufReader::new(&data[..]))
+            .is_err());
+        // Out-of-range circuit index.
+        let data = b"ipp-samples v1 1\n99 0.0 0.0 0.0 1.0\n";
+        assert!(learner
+            .load_samples(&mut std::io::BufReader::new(&data[..]))
+            .is_err());
+    }
+
+    #[test]
+    fn run_round_without_data_errors() {
+        let (mut learner, optima) = setup();
+        let mut oracle = bowl_oracle(optima);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(learner.run_round(&mut oracle, &mut rng).is_err());
+    }
+}

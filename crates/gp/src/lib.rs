@@ -1,0 +1,50 @@
+//! Gaussian-process surrogate, expected improvement, and Bayesian active
+//! learning for PTA initial-parameter prediction (§3 of the paper).
+//!
+//! The IPP (initial parameters prediction) stage models the number of NR
+//! iterations a PTA solver needs as a function of the solver parameters `z`
+//! (pseudo-capacitance, pseudo-inductance, time constant τ) and the circuit
+//! features ξ:
+//!
+//! * [`transform`] — the paper's sigmoid reparameterization constraining `z`
+//!   to `[10⁻⁷, 10⁷]` while optimizing an unconstrained `w`,
+//! * [`SplitArdKernel`] — a separable ARD kernel with BJT/MOS-specific
+//!   branches, a positive-semidefinite realization of the paper's Eq. (4),
+//! * [`GpModel`] — exact GP regression with Cholesky solves and multi-start
+//!   MLE hyperparameter fitting,
+//! * [`expected_improvement`] — the closed-form EI acquisition,
+//! * [`ActiveLearner`] — Algorithm 1: leave-one-circuit-out Bayesian active
+//!   learning over a training corpus, plus the online prediction that
+//!   proposes `z*` for an unseen circuit.
+//!
+//! # Example
+//!
+//! ```
+//! use rlpta_gp::{GpModel, GpHyper};
+//!
+//! # fn main() -> Result<(), rlpta_gp::GpError> {
+//! // One-dimensional regression through three points.
+//! let xs = vec![vec![0.0], vec![1.0], vec![2.0]];
+//! let ys = vec![0.0, 1.0, 0.0];
+//! let flags = vec![false; 3];
+//! let model = GpModel::fit(xs, flags, ys, GpHyper::default_for_dim(1))?;
+//! let (mean, var) = model.predict(&[1.0], false);
+//! assert!((mean - 1.0).abs() < 0.1); // interpolates
+//! assert!(var >= 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod acquisition;
+mod active;
+mod kernel;
+mod model;
+pub mod transform;
+
+pub use acquisition::expected_improvement;
+pub use active::{ActiveLearner, ActiveLearnerConfig, IterationOracle, Sample};
+pub use kernel::{ArdComponent, SplitArdKernel};
+pub use model::{GpError, GpHyper, GpModel};

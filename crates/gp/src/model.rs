@@ -1,0 +1,445 @@
+//! Exact Gaussian-process regression with Cholesky solves and multi-start
+//! MLE hyperparameter estimation.
+
+use crate::SplitArdKernel;
+use rand::Rng;
+use rlpta_linalg::{Cholesky, DenseMatrix, LinalgError};
+use std::error::Error;
+use std::fmt;
+
+/// Errors from GP fitting and prediction.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GpError {
+    /// No training data supplied.
+    NoData,
+    /// Input dimensions disagree.
+    DimensionMismatch {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// The covariance matrix could not be factorized even with jitter.
+    CovarianceNotPsd,
+}
+
+impl fmt::Display for GpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpError::NoData => write!(f, "no training data"),
+            GpError::DimensionMismatch { detail } => write!(f, "dimension mismatch: {detail}"),
+            GpError::CovarianceNotPsd => {
+                write!(f, "covariance matrix not positive definite after jitter")
+            }
+        }
+    }
+}
+
+impl Error for GpError {}
+
+impl From<LinalgError> for GpError {
+    fn from(_: LinalgError) -> Self {
+        GpError::CovarianceNotPsd
+    }
+}
+
+/// GP hyperparameters: the split kernel plus observation noise variance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpHyper {
+    /// Kernel (shared/BJT/MOS ARD components).
+    pub kernel: SplitArdKernel,
+    /// Observation noise variance σ².
+    pub noise_variance: f64,
+}
+
+impl GpHyper {
+    /// Unit kernel with moderate noise, for `dim`-dimensional inputs.
+    pub fn default_for_dim(dim: usize) -> Self {
+        Self {
+            kernel: SplitArdKernel::unit(dim),
+            noise_variance: 1e-4,
+        }
+    }
+}
+
+/// A fitted Gaussian process: training inputs with BJT/MOS flags, centered
+/// targets, and the precomputed Cholesky factor and weight vector.
+#[derive(Debug, Clone)]
+pub struct GpModel {
+    inputs: Vec<Vec<f64>>,
+    flags: Vec<bool>,
+    mean_offset: f64,
+    hyper: GpHyper,
+    chol: Cholesky,
+    alpha: Vec<f64>,
+    log_marginal: f64,
+}
+
+impl GpModel {
+    /// Fits the GP at fixed hyperparameters.
+    ///
+    /// Targets are centered internally (the paper's zero-mean prior "by
+    /// virtue of centering the data").
+    ///
+    /// # Errors
+    ///
+    /// * [`GpError::NoData`] on an empty training set,
+    /// * [`GpError::DimensionMismatch`] when lengths disagree,
+    /// * [`GpError::CovarianceNotPsd`] if factorization fails.
+    pub fn fit(
+        inputs: Vec<Vec<f64>>,
+        flags: Vec<bool>,
+        targets: Vec<f64>,
+        hyper: GpHyper,
+    ) -> Result<Self, GpError> {
+        if inputs.is_empty() {
+            return Err(GpError::NoData);
+        }
+        if inputs.len() != targets.len() || inputs.len() != flags.len() {
+            return Err(GpError::DimensionMismatch {
+                detail: format!(
+                    "{} inputs, {} flags, {} targets",
+                    inputs.len(),
+                    flags.len(),
+                    targets.len()
+                ),
+            });
+        }
+        let dim = hyper.kernel.dim();
+        if inputs.iter().any(|x| x.len() != dim) {
+            return Err(GpError::DimensionMismatch {
+                detail: format!("kernel dim {dim} vs input dims"),
+            });
+        }
+        let n = inputs.len();
+        let mean_offset = targets.iter().sum::<f64>() / n as f64;
+        let y: Vec<f64> = targets.iter().map(|t| t - mean_offset).collect();
+
+        let mut cov = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let k = hyper
+                    .kernel
+                    .eval(&inputs[i], flags[i], &inputs[j], flags[j]);
+                cov[(i, j)] = k;
+                cov[(j, i)] = k;
+            }
+        }
+        // Jitter ladder: escalate until the Cholesky succeeds.
+        let mut chol = None;
+        for jitter_exp in [0, 2, 4, 6] {
+            let jitter = hyper.noise_variance + 1e-10 * 10f64.powi(jitter_exp);
+            let mut k = cov.clone();
+            for i in 0..n {
+                k[(i, i)] += jitter;
+            }
+            if let Ok(c) = k.cholesky() {
+                chol = Some(c);
+                break;
+            }
+        }
+        let chol = chol.ok_or(GpError::CovarianceNotPsd)?;
+        let alpha = chol.solve(&y)?;
+        let data_fit: f64 = y.iter().zip(&alpha).map(|(a, b)| a * b).sum();
+        let log_marginal = -0.5 * data_fit
+            - 0.5 * chol.log_det()
+            - 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln();
+
+        Ok(Self {
+            inputs,
+            flags,
+            mean_offset,
+            hyper,
+            chol,
+            alpha,
+            log_marginal,
+        })
+    }
+
+    /// Fits hyperparameters by multi-start random search over log-space
+    /// (lengthscales, signal variances, noise), keeping the best marginal
+    /// likelihood, then returns the model fitted at the winner.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`GpModel::fit`].
+    pub fn fit_mle(
+        inputs: Vec<Vec<f64>>,
+        flags: Vec<bool>,
+        targets: Vec<f64>,
+        n_starts: usize,
+        rng: &mut impl Rng,
+    ) -> Result<Self, GpError> {
+        if inputs.is_empty() {
+            return Err(GpError::NoData);
+        }
+        let dim = inputs[0].len();
+        let mut best: Option<GpModel> = None;
+        for start in 0..n_starts.max(1) {
+            let hyper = if start == 0 {
+                GpHyper {
+                    kernel: SplitArdKernel::unit(dim),
+                    noise_variance: 1e-2,
+                }
+            } else {
+                let sample_component = |rng: &mut dyn rand::RngCore| crate::kernel::ArdComponent {
+                    signal_variance: 10f64.powf(rng.gen_range(-1.0..1.0)),
+                    lengthscales: (0..dim)
+                        .map(|_| 10f64.powf(rng.gen_range(-0.7..1.3)))
+                        .collect(),
+                };
+                GpHyper {
+                    kernel: SplitArdKernel {
+                        shared: sample_component(rng),
+                        bjt: sample_component(rng),
+                        mos: sample_component(rng),
+                    },
+                    noise_variance: 10f64.powf(rng.gen_range(-4.0..-0.5)),
+                }
+            };
+            if let Ok(model) = GpModel::fit(inputs.clone(), flags.clone(), targets.clone(), hyper) {
+                let better = best
+                    .as_ref()
+                    .is_none_or(|b| model.log_marginal > b.log_marginal);
+                if better {
+                    best = Some(model);
+                }
+            }
+        }
+        best.ok_or(GpError::CovarianceNotPsd)
+    }
+
+    /// Number of training points.
+    pub fn len(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Returns `true` if the model holds no data (never true for a
+    /// successfully fitted model).
+    pub fn is_empty(&self) -> bool {
+        self.inputs.is_empty()
+    }
+
+    /// The hyperparameters this model was fitted with.
+    pub fn hyper(&self) -> &GpHyper {
+        &self.hyper
+    }
+
+    /// Log marginal likelihood of the training data.
+    pub fn log_marginal(&self) -> f64 {
+        self.log_marginal
+    }
+
+    /// Exact leave-one-out residuals `y_i − μ_{−i}(x_i)` computed from the
+    /// fitted factorization (Rasmussen & Williams §5.4.2:
+    /// `r_i = α_i / [K_σ⁻¹]_{ii}`), without refitting `n` models.
+    ///
+    /// Large LOO residuals flag training circuits the surrogate cannot
+    /// explain — the IPP harness uses this as a data-quality diagnostic.
+    pub fn loo_residuals(&self) -> Vec<f64> {
+        let n = self.inputs.len();
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut e = vec![0.0; n];
+            e[i] = 1.0;
+            let col = self.chol.solve(&e).expect("factorized model solves");
+            out.push(self.alpha[i] / col[i]);
+        }
+        out
+    }
+
+    /// Posterior predictive mean and variance at `(x, flag)` (Eq. 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the kernel dimension.
+    pub fn predict(&self, x: &[f64], flag: bool) -> (f64, f64) {
+        let n = self.inputs.len();
+        let mut kx = Vec::with_capacity(n);
+        for i in 0..n {
+            kx.push(
+                self.hyper
+                    .kernel
+                    .eval(x, flag, &self.inputs[i], self.flags[i]),
+            );
+        }
+        let mean: f64 =
+            self.mean_offset + kx.iter().zip(&self.alpha).map(|(a, b)| a * b).sum::<f64>();
+        // v = K⁻¹ kx via the Cholesky factor; var = k(x,x) + σ² − kxᵀ v.
+        let v = self.chol.solve(&kx).expect("factorized model solves");
+        let kxx = self.hyper.kernel.diag(flag) + self.hyper.noise_variance;
+        let var = (kxx - kx.iter().zip(&v).map(|(a, b)| a * b).sum::<f64>()).max(0.0);
+        (mean, var)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn line_data(n: usize) -> (Vec<Vec<f64>>, Vec<bool>, Vec<f64>) {
+        let xs: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 / n as f64 * 4.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (x[0]).sin()).collect();
+        (xs, vec![false; n], ys)
+    }
+
+    #[test]
+    fn interpolates_training_points() {
+        let (xs, flags, ys) = line_data(8);
+        let model =
+            GpModel::fit(xs.clone(), flags, ys.clone(), GpHyper::default_for_dim(1)).unwrap();
+        for (x, y) in xs.iter().zip(&ys) {
+            let (m, _) = model.predict(x, false);
+            assert!((m - y).abs() < 0.05, "at {x:?}: {m} vs {y}");
+        }
+    }
+
+    #[test]
+    fn variance_grows_away_from_data() {
+        let (xs, flags, ys) = line_data(6);
+        let model = GpModel::fit(xs, flags, ys, GpHyper::default_for_dim(1)).unwrap();
+        let (_, var_near) = model.predict(&[1.0], false);
+        let (_, var_far) = model.predict(&[30.0], false);
+        assert!(var_far > var_near * 5.0, "{var_far} vs {var_near}");
+    }
+
+    #[test]
+    fn variance_is_nonnegative_everywhere() {
+        let (xs, flags, ys) = line_data(10);
+        let model = GpModel::fit(xs, flags, ys, GpHyper::default_for_dim(1)).unwrap();
+        for i in -20..=20 {
+            let (_, v) = model.predict(&[i as f64 * 0.3], false);
+            assert!(v >= 0.0);
+        }
+    }
+
+    #[test]
+    fn single_point_posterior_matches_closed_form() {
+        // One observation y at x: posterior mean at x is
+        // μ = ȳ + k(K+σ²)⁻¹(y−ȳ) = y·k/(k+σ²) with centering ȳ = y → μ = y.
+        let model = GpModel::fit(
+            vec![vec![0.0]],
+            vec![false],
+            vec![2.0],
+            GpHyper::default_for_dim(1),
+        )
+        .unwrap();
+        let (m, v) = model.predict(&[0.0], false);
+        assert!((m - 2.0).abs() < 1e-9);
+        assert!(v < 1e-3);
+    }
+
+    #[test]
+    fn type_flag_separates_priors() {
+        // Same input location, different flags: a BJT observation should
+        // move the BJT prediction more than the MOS prediction.
+        let model = GpModel::fit(
+            vec![vec![0.0], vec![0.0]],
+            vec![true, false],
+            vec![5.0, -5.0],
+            GpHyper::default_for_dim(1),
+        )
+        .unwrap();
+        let (m_bjt, _) = model.predict(&[0.0], true);
+        let (m_mos, _) = model.predict(&[0.0], false);
+        assert!(m_bjt > m_mos, "bjt {m_bjt} vs mos {m_mos}");
+    }
+
+    #[test]
+    fn mle_improves_marginal_likelihood() {
+        let (xs, flags, ys) = line_data(12);
+        let base = GpModel::fit(
+            xs.clone(),
+            flags.clone(),
+            ys.clone(),
+            GpHyper::default_for_dim(1),
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let tuned = GpModel::fit_mle(xs, flags, ys, 30, &mut rng).unwrap();
+        assert!(tuned.log_marginal() >= base.log_marginal());
+    }
+
+    #[test]
+    fn rejects_empty_and_mismatched() {
+        assert!(matches!(
+            GpModel::fit(vec![], vec![], vec![], GpHyper::default_for_dim(1)),
+            Err(GpError::NoData)
+        ));
+        assert!(matches!(
+            GpModel::fit(
+                vec![vec![0.0]],
+                vec![false],
+                vec![1.0, 2.0],
+                GpHyper::default_for_dim(1)
+            ),
+            Err(GpError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn loo_residuals_match_explicit_refits() {
+        // Compare the closed-form LOO residual against actually refitting
+        // the GP without each point.
+        let (xs, flags, ys) = line_data(6);
+        let hyper = GpHyper::default_for_dim(1);
+        let model = GpModel::fit(xs.clone(), flags.clone(), ys.clone(), hyper.clone()).unwrap();
+        let loo = model.loo_residuals();
+        for i in 0..xs.len() {
+            let mut xs2 = xs.clone();
+            let mut fs2 = flags.clone();
+            let mut ys2 = ys.clone();
+            xs2.remove(i);
+            fs2.remove(i);
+            ys2.remove(i);
+            let reduced = GpModel::fit(xs2, fs2, ys2, hyper.clone()).unwrap();
+            let (mu, _) = reduced.predict(&xs[i], flags[i]);
+            let explicit = ys[i] - mu;
+            assert!(
+                (loo[i] - explicit).abs() < 5e-2 * (1.0 + explicit.abs()),
+                "point {i}: closed form {} vs refit {}",
+                loo[i],
+                explicit
+            );
+        }
+    }
+
+    #[test]
+    fn loo_flags_an_isolated_outlier() {
+        // Clean cluster + one far-away point whose target the rest cannot
+        // explain: its LOO residual dominates. (An outlier placed *between*
+        // clean points instead poisons its neighbours — also correct GP
+        // behaviour, but a less crisp assertion.)
+        let mut xs: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64 * 0.3]).collect();
+        let mut ys: Vec<f64> = xs.iter().map(|x| x[0] * 0.1).collect();
+        xs.push(vec![20.0]);
+        ys.push(10.0);
+        let flags = vec![false; xs.len()];
+        let hyper = GpHyper {
+            noise_variance: 1e-2,
+            ..GpHyper::default_for_dim(1)
+        };
+        let model = GpModel::fit(xs, flags, ys, hyper).unwrap();
+        let loo = model.loo_residuals();
+        let (worst_idx, _) = loo
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).expect("finite"))
+            .expect("nonempty");
+        assert_eq!(
+            worst_idx, 8,
+            "the outlier has the largest LOO residual: {loo:?}"
+        );
+    }
+
+    #[test]
+    fn len_and_accessors() {
+        let (xs, flags, ys) = line_data(4);
+        let model = GpModel::fit(xs, flags, ys, GpHyper::default_for_dim(1)).unwrap();
+        assert_eq!(model.len(), 4);
+        assert!(!model.is_empty());
+        assert!(model.log_marginal().is_finite());
+        assert_eq!(model.hyper().kernel.dim(), 1);
+    }
+}

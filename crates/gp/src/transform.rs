@@ -1,0 +1,99 @@
+//! The paper's sigmoid reparameterization of solver parameters.
+//!
+//! PTA solver parameters `z` (pseudo-capacitance, pseudo-inductance, time
+//! constant) span fourteen decades. §3.2 reparameterizes them through a
+//! sigmoid so the optimizer works on an unconstrained `w` whose *scale*
+//! rather than raw value matters:
+//!
+//! `log₁₀ z = 7 · (2σ(w) − 1) = 7 · tanh(w/2)`,
+//!
+//! constraining `z ∈ [10⁻⁷, 10⁷]` exactly as the paper states. (The paper's
+//! printed formula `log z = 7·sigmoid(w)` covers only `[1, 10⁷]`; we use the
+//! symmetric variant that matches the stated range.)
+
+/// Number of solver parameters: pseudo-C, pseudo-L, time constant τ.
+pub const SOLVER_PARAM_DIM: usize = 3;
+
+/// Maps unconstrained `w` to the solver parameter `z ∈ [10⁻⁷, 10⁷]`.
+///
+/// # Example
+///
+/// ```
+/// use rlpta_gp::transform::{w_to_z, z_to_w};
+///
+/// assert_eq!(w_to_z(0.0), 1.0); // w = 0 → z = 10⁰
+/// let z = 2.5e-4;
+/// assert!((w_to_z(z_to_w(z)) - z).abs() / z < 1e-9);
+/// ```
+pub fn w_to_z(w: f64) -> f64 {
+    10f64.powf(7.0 * (w / 2.0).tanh())
+}
+
+/// Inverse of [`w_to_z`].
+///
+/// # Panics
+///
+/// Panics if `z` is outside `(10⁻⁷, 10⁷)` (the open interval — the closed
+/// endpoints map to `w = ±∞`).
+pub fn z_to_w(z: f64) -> f64 {
+    assert!(
+        z > 1e-7 && z < 1e7,
+        "z = {z} outside the representable range"
+    );
+    let t = z.log10() / 7.0;
+    2.0 * t.atanh()
+}
+
+/// Maps a full `w` vector to solver parameters.
+pub fn w_vec_to_z(w: &[f64]) -> Vec<f64> {
+    w.iter().copied().map(w_to_z).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_is_bounded() {
+        assert!(w_to_z(100.0) <= 1e7 * (1.0 + 1e-9));
+        assert!(w_to_z(-100.0) >= 1e-7 / (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn monotonic() {
+        let mut prev = w_to_z(-10.0);
+        for i in -9..=10 {
+            let z = w_to_z(i as f64);
+            assert!(z > prev, "not monotone at w = {i}");
+            prev = z;
+        }
+    }
+
+    #[test]
+    fn roundtrip_across_decades() {
+        for exp in -6..=6 {
+            let z = 10f64.powi(exp) * 3.3;
+            if z < 1e7 {
+                let back = w_to_z(z_to_w(z));
+                assert!((back - z).abs() / z < 1e-9, "z = {z}, back = {back}");
+            }
+        }
+    }
+
+    #[test]
+    fn w_zero_is_unity() {
+        assert!((w_to_z(0.0) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the representable range")]
+    fn z_out_of_range_panics() {
+        let _ = z_to_w(1e8);
+    }
+
+    #[test]
+    fn vector_helper() {
+        let z = w_vec_to_z(&[0.0, 0.0, 0.0]);
+        assert_eq!(z, vec![1.0, 1.0, 1.0]);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based tests for the Gaussian-process stage.
+
+use proptest::prelude::*;
+use rlpta_gp::transform::{w_to_z, z_to_w};
+use rlpta_gp::{expected_improvement, GpHyper, GpModel, SplitArdKernel};
+
+proptest! {
+    /// Posterior variance is non-negative everywhere, for random data.
+    #[test]
+    fn posterior_variance_nonnegative(
+        xs in proptest::collection::vec(-3.0f64..3.0, 2..12),
+        q in -6.0f64..6.0,
+    ) {
+        let inputs: Vec<Vec<f64>> = xs.iter().map(|&x| vec![x]).collect();
+        let n = inputs.len();
+        let ys: Vec<f64> = xs.iter().map(|x| (2.0 * x).sin()).collect();
+        let flags = vec![false; n];
+        let model = GpModel::fit(inputs, flags, ys, GpHyper::default_for_dim(1)).expect("fits");
+        let (_, var) = model.predict(&[q], false);
+        prop_assert!(var >= 0.0);
+        prop_assert!(var.is_finite());
+    }
+
+    /// The GP interpolates its training targets (distinct, spread points,
+    /// near-noiseless).
+    #[test]
+    fn interpolation_property(n in 2usize..10, scale in 0.5f64..2.0) {
+        let inputs: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 * scale]).collect();
+        let ys: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).cos()).collect();
+        let flags = vec![true; n];
+        let model = GpModel::fit(inputs.clone(), flags, ys.clone(), GpHyper::default_for_dim(1))
+            .expect("fits");
+        for (x, y) in inputs.iter().zip(&ys) {
+            let (m, _) = model.predict(x, true);
+            prop_assert!((m - y).abs() < 0.05, "at {x:?}: {m} vs {y}");
+        }
+    }
+
+    /// Expected improvement is non-negative and increases with variance.
+    #[test]
+    fn ei_properties(inc in -5.0f64..5.0, mean in -5.0f64..5.0, var in 0.0f64..10.0) {
+        let ei = expected_improvement(inc, mean, var);
+        prop_assert!(ei >= 0.0);
+        let ei_more = expected_improvement(inc, mean, var + 1.0);
+        prop_assert!(ei_more + 1e-12 >= ei, "EI decreased with variance");
+    }
+
+    /// The sigmoid reparameterization is monotone, bounded and invertible.
+    #[test]
+    fn transform_properties(w in -20.0f64..20.0, dw in 0.001f64..1.0) {
+        let z = w_to_z(w);
+        prop_assert!((1e-7 * 0.999..=1e7 * 1.001).contains(&z), "z = {z}");
+        prop_assert!(w_to_z(w + dw) > z, "monotone");
+        if z > 1.01e-7 && z < 0.99e7 {
+            let back = z_to_w(z);
+            prop_assert!((back - w).abs() < 1e-6 * (1.0 + w.abs()), "{back} vs {w}");
+        }
+    }
+
+    /// The split kernel is symmetric and bounded by its diagonal.
+    #[test]
+    fn kernel_symmetry_and_bound(
+        a in proptest::collection::vec(-3.0f64..3.0, 2),
+        b in proptest::collection::vec(-3.0f64..3.0, 2),
+        fa in any::<bool>(),
+        fb in any::<bool>(),
+    ) {
+        let k = SplitArdKernel::unit(2);
+        let kab = k.eval(&a, fa, &b, fb);
+        let kba = k.eval(&b, fb, &a, fa);
+        prop_assert!((kab - kba).abs() < 1e-14);
+        // Cauchy–Schwarz-ish bound: |k(a,b)| ≤ max diag.
+        prop_assert!(kab <= k.diag(fa).max(k.diag(fb)) + 1e-12);
+        prop_assert!(kab >= 0.0);
+    }
+
+    /// Gram matrices over random mixed-type points stay PSD (verified by
+    /// Cholesky with jitter).
+    #[test]
+    fn random_gram_matrices_are_psd(
+        pts in proptest::collection::vec((-2.0f64..2.0, -2.0f64..2.0, any::<bool>()), 2..10),
+    ) {
+        use rlpta_linalg::DenseMatrix;
+        let k = SplitArdKernel::unit(2);
+        let n = pts.len();
+        let mut m = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let (xi, yi, fi) = pts[i];
+                let (xj, yj, fj) = pts[j];
+                m[(i, j)] = k.eval(&[xi, yi], fi, &[xj, yj], fj);
+            }
+            m[(i, i)] += 1e-8;
+        }
+        prop_assert!(m.cholesky().is_ok(), "gram not PSD");
+    }
+}

@@ -1,0 +1,82 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the linear-algebra kernels.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// A factorization hit a pivot that is exactly zero or numerically
+    /// negligible; the matrix is singular (or structurally singular) at the
+    /// reported elimination step.
+    Singular {
+        /// Elimination step (column for LU, row for Cholesky) where the
+        /// factorization broke down.
+        step: usize,
+        /// Magnitude of the offending pivot.
+        pivot: f64,
+    },
+    /// Operand shapes are incompatible.
+    DimensionMismatch {
+        /// What the caller supplied, e.g. `"rhs length 4"`.
+        found: String,
+        /// What was required, e.g. `"length 5"`.
+        expected: String,
+    },
+    /// A Cholesky factorization was requested for a matrix that is not
+    /// positive definite.
+    NotPositiveDefinite {
+        /// Row where the negative diagonal was encountered.
+        row: usize,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::Singular { step, pivot } => {
+                write!(
+                    f,
+                    "singular matrix: pivot {pivot:e} at elimination step {step}"
+                )
+            }
+            LinalgError::DimensionMismatch { found, expected } => {
+                write!(f, "dimension mismatch: found {found}, expected {expected}")
+            }
+            LinalgError::NotPositiveDefinite { row } => {
+                write!(f, "matrix is not positive definite (row {row})")
+            }
+        }
+    }
+}
+
+impl Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_singular() {
+        let e = LinalgError::Singular {
+            step: 3,
+            pivot: 0.0,
+        };
+        assert!(e.to_string().contains("step 3"));
+    }
+
+    #[test]
+    fn display_dimension_mismatch() {
+        let e = LinalgError::DimensionMismatch {
+            found: "len 2".into(),
+            expected: "len 3".into(),
+        };
+        assert!(e.to_string().contains("len 2"));
+        assert!(e.to_string().contains("len 3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+}

@@ -1,0 +1,89 @@
+//! Column pre-ordering strategies for the sparse LU factorization.
+//!
+//! Fill-in during Gaussian elimination depends strongly on the order in which
+//! columns are eliminated. MNA matrices from circuit netlists are nearly
+//! symmetric in pattern, so a cheap minimum-count heuristic already captures
+//! most of the benefit of the classic Markowitz criterion used by SPICE.
+
+use crate::CsrMatrix;
+
+/// Column pre-ordering applied before the LU factorization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum ColumnOrdering {
+    /// Factorize columns in natural order.
+    Natural,
+    /// Eliminate sparse columns first (ascending nonzero count), a
+    /// Markowitz-style static heuristic that keeps fill-in low on circuit
+    /// matrices.
+    #[default]
+    AscendingCount,
+}
+
+impl ColumnOrdering {
+    /// Computes the column permutation `q` so that column `q[j]` of the input
+    /// is eliminated at step `j`.
+    pub fn permutation(self, a: &CsrMatrix) -> Vec<usize> {
+        let n = a.cols();
+        match self {
+            ColumnOrdering::Natural => (0..n).collect(),
+            ColumnOrdering::AscendingCount => {
+                let mut counts = vec![0usize; n];
+                for (_, c, _) in a.iter() {
+                    counts[c] += 1;
+                }
+                let mut q: Vec<usize> = (0..n).collect();
+                // Stable sort keeps natural order among equal counts, which
+                // keeps diagonals near the front for MNA matrices.
+                q.sort_by_key(|&j| counts[j]);
+                q
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Triplet;
+
+    fn sample() -> CsrMatrix {
+        // Column nnz counts: col0 -> 3, col1 -> 1, col2 -> 2.
+        let mut t = Triplet::new(3, 3);
+        t.push(0, 0, 1.0);
+        t.push(1, 0, 1.0);
+        t.push(2, 0, 1.0);
+        t.push(1, 1, 1.0);
+        t.push(0, 2, 1.0);
+        t.push(2, 2, 1.0);
+        t.to_csr()
+    }
+
+    #[test]
+    fn natural_is_identity() {
+        let q = ColumnOrdering::Natural.permutation(&sample());
+        assert_eq!(q, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn ascending_count_orders_by_nnz() {
+        let q = ColumnOrdering::AscendingCount.permutation(&sample());
+        assert_eq!(q, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn permutation_is_a_bijection() {
+        let q = ColumnOrdering::AscendingCount.permutation(&sample());
+        let mut seen = vec![false; q.len()];
+        for &j in &q {
+            assert!(!seen[j]);
+            seen[j] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn default_is_ascending_count() {
+        assert_eq!(ColumnOrdering::default(), ColumnOrdering::AscendingCount);
+    }
+}

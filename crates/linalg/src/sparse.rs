@@ -1,0 +1,401 @@
+//! Sparse matrix storage: coordinate (triplet) assembly and CSR.
+//!
+//! MNA assembly naturally produces *duplicate* coordinate entries (every
+//! device "stamps" its conductance contribution independently); the
+//! triplet-to-CSR conversion sums duplicates, exactly matching SPICE
+//! semantics.
+
+#![allow(clippy::needless_range_loop)]
+
+use crate::DenseMatrix;
+use std::fmt;
+
+/// Coordinate-format (COO) sparse matrix builder.
+///
+/// Entries pushed at the same `(row, col)` position are **summed** during
+/// [`Triplet::to_csr`], matching MNA stamping semantics.
+///
+/// # Example
+///
+/// ```
+/// use rlpta_linalg::Triplet;
+///
+/// let mut t = Triplet::new(2, 2);
+/// t.push(0, 0, 1.0);
+/// t.push(0, 0, 2.0); // duplicate: summed
+/// let a = t.to_csr();
+/// assert_eq!(a.get(0, 0), 3.0);
+/// assert_eq!(a.nnz(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Triplet {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(usize, usize, f64)>,
+}
+
+impl Triplet {
+    /// Creates an empty builder for a `rows × cols` matrix.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Creates an empty builder with pre-allocated entry capacity.
+    pub fn with_capacity(rows: usize, cols: usize, cap: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            entries: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of raw (pre-summation) entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if no entries have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Pushes an entry. Duplicates are allowed and summed on conversion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of bounds.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.rows, "row {row} out of bounds ({})", self.rows);
+        assert!(col < self.cols, "col {col} out of bounds ({})", self.cols);
+        self.entries.push((row, col, value));
+    }
+
+    /// Removes all entries, keeping the allocation. Useful when re-assembling
+    /// the Jacobian every Newton iteration.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Converts to CSR, summing duplicate entries and dropping explicit zeros
+    /// that result from cancellation only when the summed value is exactly 0
+    /// *and* no entry was pushed there (structural zeros are never created;
+    /// summed-to-zero entries are kept so the sparsity pattern is stable
+    /// across Newton iterations).
+    pub fn to_csr(&self) -> CsrMatrix {
+        let mut counts = vec![0usize; self.rows + 1];
+        // First pass: sort by (row, col) using counting-sort on rows then an
+        // in-row sort, summing duplicates.
+        let mut sorted: Vec<(usize, usize, f64)> = self.entries.clone();
+        sorted.sort_unstable_by_key(|a| (a.0, a.1));
+
+        let mut col_indices = Vec::with_capacity(sorted.len());
+        let mut values = Vec::with_capacity(sorted.len());
+        let mut last: Option<(usize, usize)> = None;
+        for (r, c, v) in sorted {
+            if last == Some((r, c)) {
+                *values.last_mut().expect("values nonempty when last set") += v;
+            } else {
+                counts[r + 1] += 1;
+                col_indices.push(c);
+                values.push(v);
+                last = Some((r, c));
+            }
+        }
+        for i in 0..self.rows {
+            counts[i + 1] += counts[i];
+        }
+        CsrMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            row_ptr: counts,
+            col_indices,
+            values,
+        }
+    }
+}
+
+impl Extend<(usize, usize, f64)> for Triplet {
+    fn extend<I: IntoIterator<Item = (usize, usize, f64)>>(&mut self, iter: I) {
+        for (r, c, v) in iter {
+            self.push(r, c, v);
+        }
+    }
+}
+
+/// Compressed sparse row matrix.
+///
+/// Immutable once built; produced from [`Triplet::to_csr`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_indices: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Creates an `n × n` identity matrix in CSR form.
+    pub fn identity(n: usize) -> Self {
+        Self {
+            rows: n,
+            cols: n,
+            row_ptr: (0..=n).collect(),
+            col_indices: (0..n).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns the stored value at `(row, col)`, or `0.0` for a structural
+    /// zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        let (cols, vals) = self.row(row);
+        match cols.binary_search(&col) {
+            Ok(k) => vals[k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Borrows the column indices and values of one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds.
+    pub fn row(&self, row: usize) -> (&[usize], &[f64]) {
+        assert!(row < self.rows, "row out of bounds");
+        let lo = self.row_ptr[row];
+        let hi = self.row_ptr[row + 1];
+        (&self.col_indices[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Matrix–vector product `A · x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        let mut y = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let (cols, vals) = self.row(i);
+            let mut acc = 0.0;
+            for (c, v) in cols.iter().zip(vals) {
+                acc += v * x[*c];
+            }
+            y[i] = acc;
+        }
+        y
+    }
+
+    /// Converts to a dense matrix (for tests and small reference solves).
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut d = DenseMatrix::zeros(self.rows, self.cols);
+        for i in 0..self.rows {
+            let (cols, vals) = self.row(i);
+            for (c, v) in cols.iter().zip(vals) {
+                d[(i, *c)] += v;
+            }
+        }
+        d
+    }
+
+    /// Returns the transpose as a new CSR matrix (i.e. CSC view of `self`).
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut t = Triplet::with_capacity(self.cols, self.rows, self.nnz());
+        for i in 0..self.rows {
+            let (cols, vals) = self.row(i);
+            for (c, v) in cols.iter().zip(vals) {
+                t.push(*c, i, *v);
+            }
+        }
+        t.to_csr()
+    }
+
+    /// Iterates over `(row, col, value)` entries in row-major order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            matrix: self,
+            row: 0,
+            idx: 0,
+        }
+    }
+}
+
+impl fmt::Display for CsrMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "CsrMatrix {}x{}, nnz={}",
+            self.rows,
+            self.cols,
+            self.nnz()
+        )?;
+        for (r, c, v) in self.iter() {
+            writeln!(f, "  ({r}, {c}) = {v:e}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Row-major entry iterator over a [`CsrMatrix`], produced by
+/// [`CsrMatrix::iter`].
+#[derive(Debug, Clone)]
+pub struct Iter<'a> {
+    matrix: &'a CsrMatrix,
+    row: usize,
+    idx: usize,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = (usize, usize, f64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while self.row < self.matrix.rows {
+            if self.idx < self.matrix.row_ptr[self.row + 1] {
+                let k = self.idx;
+                self.idx += 1;
+                return Some((self.row, self.matrix.col_indices[k], self.matrix.values[k]));
+            }
+            self.row += 1;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triplet_duplicates_are_summed() {
+        let mut t = Triplet::new(3, 3);
+        t.push(1, 1, 2.0);
+        t.push(1, 1, 3.0);
+        t.push(0, 2, -1.0);
+        let a = t.to_csr();
+        assert_eq!(a.nnz(), 2);
+        assert_eq!(a.get(1, 1), 5.0);
+        assert_eq!(a.get(0, 2), -1.0);
+        assert_eq!(a.get(2, 2), 0.0);
+    }
+
+    #[test]
+    fn triplet_clear_keeps_shape() {
+        let mut t = Triplet::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.rows(), 2);
+        assert_eq!(t.to_csr().nnz(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn triplet_push_out_of_bounds_panics() {
+        let mut t = Triplet::new(2, 2);
+        t.push(2, 0, 1.0);
+    }
+
+    #[test]
+    fn csr_matvec_matches_dense() {
+        let mut t = Triplet::new(3, 3);
+        t.push(0, 0, 2.0);
+        t.push(0, 2, 1.0);
+        t.push(1, 1, -3.0);
+        t.push(2, 0, 4.0);
+        t.push(2, 2, 5.0);
+        let a = t.to_csr();
+        let x = [1.0, 2.0, 3.0];
+        assert_eq!(a.matvec(&x), a.to_dense().matvec(&x));
+    }
+
+    #[test]
+    fn csr_identity() {
+        let i = CsrMatrix::identity(4);
+        let x = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(i.matvec(&x), x.to_vec());
+        assert_eq!(i.nnz(), 4);
+    }
+
+    #[test]
+    fn csr_transpose_roundtrip() {
+        let mut t = Triplet::new(2, 3);
+        t.push(0, 1, 5.0);
+        t.push(1, 2, -2.0);
+        let a = t.to_csr();
+        let att = a.transpose().transpose();
+        assert_eq!(a, att);
+    }
+
+    #[test]
+    fn csr_iter_row_major_order() {
+        let mut t = Triplet::new(2, 2);
+        t.push(1, 0, 3.0);
+        t.push(0, 1, 1.0);
+        t.push(0, 0, 2.0);
+        let a = t.to_csr();
+        let entries: Vec<_> = a.iter().collect();
+        assert_eq!(entries, vec![(0, 0, 2.0), (0, 1, 1.0), (1, 0, 3.0)]);
+    }
+
+    #[test]
+    fn summed_to_zero_entries_stay_structural() {
+        // Cancellation keeps the position in the pattern: important so the
+        // Jacobian pattern is stable across Newton iterations.
+        let mut t = Triplet::new(1, 1);
+        t.push(0, 0, 1.0);
+        t.push(0, 0, -1.0);
+        let a = t.to_csr();
+        assert_eq!(a.nnz(), 1);
+        assert_eq!(a.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn extend_trait() {
+        let mut t = Triplet::new(2, 2);
+        t.extend(vec![(0, 0, 1.0), (1, 1, 2.0)]);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn display_contains_nnz() {
+        let mut t = Triplet::new(1, 1);
+        t.push(0, 0, 7.0);
+        let s = format!("{}", t.to_csr());
+        assert!(s.contains("nnz=1"));
+    }
+}

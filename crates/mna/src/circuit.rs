@@ -1,0 +1,308 @@
+//! The finalized circuit and MNA assembly.
+
+use rlpta_devices::{Device, EvalCtx, Stamper};
+use rlpta_linalg::Triplet;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A finalized circuit: named nodes, devices with assigned branch unknowns.
+///
+/// Produced by [`CircuitBuilder::build`](crate::CircuitBuilder::build) or the
+/// netlist parser; consumed by the solvers in `rlpta-core`.
+#[derive(Debug, Clone)]
+pub struct Circuit {
+    title: String,
+    node_names: Vec<String>,
+    name_to_node: HashMap<String, usize>,
+    devices: Vec<Device>,
+    num_branches: usize,
+    /// Per-device offsets into the junction-limiting state vector.
+    state_offsets: Vec<usize>,
+    state_len: usize,
+}
+
+impl Circuit {
+    pub(crate) fn from_parts(
+        title: String,
+        node_names: Vec<String>,
+        name_to_node: HashMap<String, usize>,
+        devices: Vec<Device>,
+        num_branches: usize,
+    ) -> Self {
+        let mut state_offsets = Vec::with_capacity(devices.len());
+        let mut state_len = 0;
+        for d in &devices {
+            state_offsets.push(state_len);
+            state_len += d.state_len();
+        }
+        Self {
+            title,
+            node_names,
+            name_to_node,
+            devices,
+            num_branches,
+            state_offsets,
+            state_len,
+        }
+    }
+
+    /// Netlist title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of non-ground nodes (voltage unknowns).
+    pub fn num_nodes(&self) -> usize {
+        self.node_names.len()
+    }
+
+    /// Number of branch-current unknowns.
+    pub fn num_branches(&self) -> usize {
+        self.num_branches
+    }
+
+    /// Total MNA dimension (`num_nodes + num_branches`).
+    pub fn dim(&self) -> usize {
+        self.num_nodes() + self.num_branches
+    }
+
+    /// The devices of this circuit.
+    pub fn devices(&self) -> &[Device] {
+        &self.devices
+    }
+
+    /// Voltage-unknown index of a named node, or `None` if unknown. Ground
+    /// aliases return `None` as well (ground has no unknown).
+    pub fn node_index(&self, name: &str) -> Option<usize> {
+        self.name_to_node.get(name).copied()
+    }
+
+    /// Name of the node behind voltage unknown `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.num_nodes()`.
+    pub fn node_name(&self, index: usize) -> &str {
+        &self.node_names[index]
+    }
+
+    /// Returns `true` if any device is nonlinear.
+    pub fn is_nonlinear(&self) -> bool {
+        self.devices.iter().any(Device::is_nonlinear)
+    }
+
+    /// Changes the DC value of a named independent source (V or I),
+    /// returning `false` when no such source exists. Used by DC sweeps.
+    pub fn set_source_dc(&mut self, name: &str, value: f64) -> bool {
+        for d in &mut self.devices {
+            match d {
+                Device::Vsource(v) if v.name().eq_ignore_ascii_case(name) => {
+                    v.set_dc(value);
+                    return true;
+                }
+                Device::Isource(i) if i.name().eq_ignore_ascii_case(name) => {
+                    i.set_dc(value);
+                    return true;
+                }
+                _ => {}
+            }
+        }
+        false
+    }
+
+    /// Length of the junction-limiting device state vector.
+    pub fn state_len(&self) -> usize {
+        self.state_len
+    }
+
+    /// Allocates a fresh (zeroed) device state vector. Pass it to every
+    /// [`Circuit::assemble_into`] of a Newton run so devices remember their
+    /// limited junction voltages between iterations.
+    pub fn new_state(&self) -> Vec<f64> {
+        vec![0.0; self.state_len]
+    }
+
+    /// Assembles the Newton system at the operating point in `ctx` into the
+    /// supplied Jacobian builder and residual vector, reusing their
+    /// allocations. `state` is the device state vector created by
+    /// [`Circuit::new_state`]; nonlinear devices update their limited
+    /// junction voltages in it.
+    ///
+    /// On return `jacobian` holds `J(x)` (as summed triplets) and `residual`
+    /// holds `F(x)`; the Newton step is the solution of `J·Δx = −F`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jacobian`, `residual` or `state` have the wrong size.
+    pub fn assemble_into(
+        &self,
+        ctx: &EvalCtx<'_>,
+        jacobian: &mut Triplet,
+        residual: &mut [f64],
+        state: &mut [f64],
+    ) {
+        assert_eq!(jacobian.rows(), self.dim(), "jacobian dimension mismatch");
+        assert_eq!(residual.len(), self.dim(), "residual dimension mismatch");
+        assert_eq!(state.len(), self.state_len, "state dimension mismatch");
+        jacobian.clear();
+        residual.fill(0.0);
+        let mut stamper = Stamper::new(jacobian, residual);
+        for (d, &off) in self.devices.iter().zip(&self.state_offsets) {
+            d.stamp(ctx, &mut stamper, &mut state[off..off + d.state_len()]);
+        }
+    }
+
+    /// Convenience wrapper allocating fresh storage (including a fresh
+    /// zeroed state) for [`Circuit::assemble_into`].
+    pub fn assemble(&self, ctx: &EvalCtx<'_>) -> (Triplet, Vec<f64>) {
+        let mut j = Triplet::with_capacity(self.dim(), self.dim(), 8 * self.devices.len());
+        let mut r = vec![0.0; self.dim()];
+        let mut s = self.new_state();
+        self.assemble_into(ctx, &mut j, &mut r, &mut s);
+        (j, r)
+    }
+
+    /// Evaluates only the residual `F(x)` of the *original* system (default
+    /// gmin, full sources) — the steady-state test used by the PTA loop.
+    ///
+    /// Junction limiting is bypassed by pre-seeding the throwaway state with
+    /// the actual junction voltages, so the returned residual is the true
+    /// `F(x)` rather than a limited linearization.
+    pub fn residual(&self, x: &[f64]) -> Vec<f64> {
+        let ctx = EvalCtx::dc(x);
+        let mut j = Triplet::with_capacity(self.dim(), self.dim(), 8 * self.devices.len());
+        let mut r = vec![0.0; self.dim()];
+        let mut s = self.seeded_state(x);
+        self.assemble_into(&ctx, &mut j, &mut r, &mut s);
+        r
+    }
+
+    /// Builds a state vector whose limited junction voltages equal the
+    /// actual junction voltages at `x`, so the next evaluation at `x` is
+    /// limit-free. Achieved by evaluating twice: the limiter walk converges
+    /// to the true voltage once the state is close.
+    pub fn seeded_state(&self, x: &[f64]) -> Vec<f64> {
+        let mut s = self.new_state();
+        let ctx = EvalCtx::dc(x);
+        let mut j = Triplet::new(self.dim(), self.dim());
+        let mut r = vec![0.0; self.dim()];
+        // A handful of walks is enough for any realistic bias point.
+        for _ in 0..64 {
+            let before = s.clone();
+            self.assemble_into(&ctx, &mut j, &mut r, &mut s);
+            let moved = s
+                .iter()
+                .zip(&before)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max);
+            if moved < 1e-12 {
+                break;
+            }
+        }
+        s
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} nodes, {} branches, {} devices",
+            self.title,
+            self.num_nodes(),
+            self.num_branches,
+            self.devices.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CircuitBuilder;
+    use rlpta_devices::{Isource, Node, Resistor, Vsource};
+    use rlpta_linalg::SparseLu;
+
+    /// 5 V source into a 1k/1k divider.
+    fn divider() -> Circuit {
+        let mut b = CircuitBuilder::new("divider");
+        let vin = b.node("in");
+        let vout = b.node("out");
+        b.add(Vsource::new("V1", vin, Node::GROUND, 5.0));
+        b.add(Resistor::new("R1", vin, vout, 1e3));
+        b.add(Resistor::new("R2", vout, Node::GROUND, 1e3));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn linear_circuit_solves_in_one_newton_step() {
+        let c = divider();
+        let x0 = vec![0.0; c.dim()];
+        let ctx = EvalCtx::dc(&x0);
+        let (j, r) = c.assemble(&ctx);
+        let lu = SparseLu::factorize(&j.to_csr()).unwrap();
+        let neg_r: Vec<f64> = r.iter().map(|v| -v).collect();
+        let dx = lu.solve(&neg_r).unwrap();
+        let x: Vec<f64> = x0.iter().zip(&dx).map(|(a, b)| a + b).collect();
+        let vin = c.node_index("in").unwrap();
+        let vout = c.node_index("out").unwrap();
+        assert!((x[vin] - 5.0).abs() < 1e-12);
+        assert!((x[vout] - 2.5).abs() < 1e-12);
+        // Source current: 5 V / 2 kΩ = 2.5 mA (flowing out of + terminal
+        // through the circuit, so the branch current is −2.5 mA).
+        assert!((x[2] + 2.5e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn residual_vanishes_at_solution() {
+        let c = divider();
+        let x = vec![5.0, 2.5, -2.5e-3];
+        let r = c.residual(&x);
+        for v in r {
+            assert!(v.abs() < 1e-12, "residual component {v}");
+        }
+    }
+
+    #[test]
+    fn current_source_with_resistor() {
+        // 1 mA into 1 kΩ → 1 V. Isource pos=gnd, neg=node: injects into node.
+        let mut b = CircuitBuilder::new("isrc");
+        let n = b.node("n1");
+        b.add(Isource::new("I1", Node::GROUND, n, 1e-3));
+        b.add(Resistor::new("R1", n, Node::GROUND, 1e3));
+        let c = b.build().unwrap();
+        let x0 = vec![0.0; c.dim()];
+        let ctx = EvalCtx::dc(&x0);
+        let (j, r) = c.assemble(&ctx);
+        let lu = SparseLu::factorize(&j.to_csr()).unwrap();
+        let neg_r: Vec<f64> = r.iter().map(|v| -v).collect();
+        let x = lu.solve(&neg_r).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12, "v = {}", x[0]);
+    }
+
+    #[test]
+    fn assemble_into_reuses_buffers() {
+        let c = divider();
+        let mut j = Triplet::new(c.dim(), c.dim());
+        let mut r = vec![0.0; c.dim()];
+        let mut s = c.new_state();
+        let x = vec![0.0; c.dim()];
+        let ctx = EvalCtx::dc(&x);
+        c.assemble_into(&ctx, &mut j, &mut r, &mut s);
+        let n1 = j.len();
+        c.assemble_into(&ctx, &mut j, &mut r, &mut s);
+        assert_eq!(j.len(), n1, "second assembly must not accumulate");
+    }
+
+    #[test]
+    fn metadata_accessors() {
+        let c = divider();
+        assert_eq!(c.title(), "divider");
+        assert_eq!(c.node_name(0), "in");
+        assert_eq!(c.node_index("out"), Some(1));
+        assert_eq!(c.node_index("missing"), None);
+        assert!(!c.is_nonlinear());
+        assert_eq!(c.devices().len(), 3);
+        assert!(c.to_string().contains("divider"));
+    }
+}

@@ -1,0 +1,141 @@
+//! Circuit feature extraction for the initial-parameter predictor.
+//!
+//! The DAC'22 paper (following Zhang et al., DATE'19 and BoA-PTA) describes
+//! a netlist ξ by seven statistics — node count, MNA equation count, and the
+//! numbers of independent current sources, resistors, voltage sources, BJTs
+//! and MOSFETs — plus a binary flag marking the circuit as BJT- or MOS-type,
+//! which selects the kernel branch in Eq. (4).
+
+use crate::Circuit;
+use rlpta_devices::Device;
+
+/// The seven netlist statistics + type flag characterizing a circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct CircuitFeatures {
+    /// Number of non-ground nodes.
+    pub num_nodes: usize,
+    /// Number of MNA equations (nodes + branch currents).
+    pub num_mna_equations: usize,
+    /// Number of independent current sources.
+    pub num_isources: usize,
+    /// Number of resistors.
+    pub num_resistors: usize,
+    /// Number of independent voltage sources.
+    pub num_vsources: usize,
+    /// Number of bipolar junction transistors.
+    pub num_bjts: usize,
+    /// Number of MOS field-effect transistors.
+    pub num_mosfets: usize,
+    /// Type flag τ: `true` when the circuit is BJT-dominated (the paper's
+    /// BJT/MOS prior switch).
+    pub is_bjt: bool,
+}
+
+impl CircuitFeatures {
+    /// Extracts features from a finalized circuit.
+    pub fn extract(circuit: &Circuit) -> Self {
+        let mut f = CircuitFeatures {
+            num_nodes: circuit.num_nodes(),
+            num_mna_equations: circuit.dim(),
+            ..Self::default()
+        };
+        for d in circuit.devices() {
+            match d {
+                Device::Isource(_) => f.num_isources += 1,
+                Device::Resistor(_) => f.num_resistors += 1,
+                Device::Vsource(_) => f.num_vsources += 1,
+                Device::Bjt(_) => f.num_bjts += 1,
+                Device::Mosfet(_) => f.num_mosfets += 1,
+                _ => {}
+            }
+        }
+        f.is_bjt = f.num_bjts >= f.num_mosfets;
+        f
+    }
+
+    /// The seven statistics as an `f64` vector in `log1p` scale (counts span
+    /// orders of magnitude; the GP kernel wants comparable ranges), without
+    /// the type flag.
+    pub fn to_vec(&self) -> Vec<f64> {
+        [
+            self.num_nodes,
+            self.num_mna_equations,
+            self.num_isources,
+            self.num_resistors,
+            self.num_vsources,
+            self.num_bjts,
+            self.num_mosfets,
+        ]
+        .iter()
+        .map(|&c| (c as f64).ln_1p())
+        .collect()
+    }
+
+    /// Dimension of [`CircuitFeatures::to_vec`].
+    pub const DIM: usize = 7;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CircuitBuilder;
+    use rlpta_devices::{Bjt, BjtModel, Isource, MosModel, Mosfet, Node, Resistor, Vsource};
+
+    fn sample() -> Circuit {
+        let mut b = CircuitBuilder::new("feat");
+        let n1 = b.node("1");
+        let n2 = b.node("2");
+        let n3 = b.node("3");
+        b.add(Vsource::new("V1", n1, Node::GROUND, 5.0));
+        b.add(Resistor::new("R1", n1, n2, 1e3));
+        b.add(Resistor::new("R2", n2, Node::GROUND, 1e3));
+        b.add(Isource::new("I1", Node::GROUND, n3, 1e-3));
+        b.add(Resistor::new("R3", n3, Node::GROUND, 1e3));
+        b.add(Bjt::new("Q1", n1, n2, Node::GROUND, BjtModel::default()));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn counts_devices() {
+        let f = CircuitFeatures::extract(&sample());
+        assert_eq!(f.num_nodes, 3);
+        assert_eq!(f.num_mna_equations, 4); // 3 nodes + 1 vsource branch
+        assert_eq!(f.num_resistors, 3);
+        assert_eq!(f.num_vsources, 1);
+        assert_eq!(f.num_isources, 1);
+        assert_eq!(f.num_bjts, 1);
+        assert_eq!(f.num_mosfets, 0);
+        assert!(f.is_bjt);
+    }
+
+    #[test]
+    fn mos_flag() {
+        let mut b = CircuitBuilder::new("mos");
+        let d = b.node("d");
+        let g = b.node("g");
+        b.add(Vsource::new("V1", g, Node::GROUND, 3.0));
+        b.add(Resistor::new("R1", d, Node::GROUND, 1e4));
+        b.add(Mosfet::new(
+            "M1",
+            d,
+            g,
+            Node::GROUND,
+            Node::GROUND,
+            MosModel::default(),
+            2.0,
+        ));
+        let f = CircuitFeatures::extract(&b.build().unwrap());
+        assert!(!f.is_bjt);
+        assert_eq!(f.num_mosfets, 1);
+    }
+
+    #[test]
+    fn vector_is_log_scaled() {
+        let f = CircuitFeatures::extract(&sample());
+        let v = f.to_vec();
+        assert_eq!(v.len(), CircuitFeatures::DIM);
+        assert!((v[0] - (3f64).ln_1p()).abs() < 1e-15);
+        // All entries finite and non-negative.
+        assert!(v.iter().all(|x| x.is_finite() && *x >= 0.0));
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests for circuit construction and MNA assembly.
+
+use proptest::prelude::*;
+use rlpta_devices::{EvalCtx, Isource, Node, Resistor, Vsource};
+use rlpta_linalg::Triplet;
+use rlpta_mna::{CircuitBuilder, CircuitFeatures};
+
+proptest! {
+    /// A resistor-network assembly produces a symmetric Jacobian (resistor
+    /// stamps are reciprocal).
+    #[test]
+    fn resistor_network_jacobian_is_symmetric(
+        edges in proptest::collection::vec((0usize..6, 0usize..6, 1.0f64..1e5), 1..15),
+    ) {
+        let mut b = CircuitBuilder::new("net");
+        let nodes: Vec<Node> = (0..6).map(|i| b.node(&format!("n{i}"))).collect();
+        let mut added = 0;
+        for (k, (i, j, r)) in edges.iter().enumerate() {
+            if i != j {
+                b.add(Resistor::new(format!("R{k}"), nodes[*i], nodes[*j], *r));
+                added += 1;
+            }
+        }
+        // Ground every node through a large resistor so nothing dangles.
+        for (i, n) in nodes.iter().enumerate() {
+            b.add(Resistor::new(format!("RG{i}"), *n, Node::GROUND, 1e6));
+        }
+        prop_assume!(added > 0);
+        let c = b.build().expect("builds");
+        let x = vec![0.0; c.dim()];
+        let ctx = EvalCtx::dc(&x);
+        let (jac, _) = c.assemble(&ctx);
+        let m = jac.to_csr();
+        for r in 0..c.dim() {
+            for col in 0..c.dim() {
+                let a = m.get(r, col);
+                let bb = m.get(col, r);
+                prop_assert!((a - bb).abs() <= 1e-12 * a.abs().max(1.0), "asymmetry at ({r},{col})");
+            }
+        }
+    }
+
+    /// The KCL residual at any operating point equals J·x for a linear
+    /// resistive circuit with no sources (F(x) = G·x).
+    #[test]
+    fn linear_residual_equals_jacobian_times_x(
+        x_vals in proptest::collection::vec(-5.0f64..5.0, 4),
+    ) {
+        let mut b = CircuitBuilder::new("lin");
+        let n: Vec<Node> = (0..4).map(|i| b.node(&format!("n{i}"))).collect();
+        b.add(Resistor::new("R0", n[0], n[1], 1e3));
+        b.add(Resistor::new("R1", n[1], n[2], 2e3));
+        b.add(Resistor::new("R2", n[2], n[3], 3e3));
+        for (i, node) in n.iter().enumerate() {
+            b.add(Resistor::new(format!("RG{i}"), *node, Node::GROUND, 1e4));
+        }
+        let c = b.build().expect("builds");
+        let ctx = EvalCtx::dc(&x_vals);
+        let (jac, res) = c.assemble(&ctx);
+        let jx = jac.to_csr().matvec(&x_vals);
+        for (a, bb) in res.iter().zip(&jx) {
+            prop_assert!((a - bb).abs() < 1e-12 * (1.0 + bb.abs()), "{a} vs {bb}");
+        }
+    }
+
+    /// Branch unknowns always follow node unknowns and device/branch counts
+    /// are consistent.
+    #[test]
+    fn dimension_bookkeeping(nv in 1usize..6, nr in 1usize..6) {
+        let mut b = CircuitBuilder::new("dims");
+        let first = b.node("x0");
+        for i in 0..nv {
+            let n = b.node(&format!("x{i}"));
+            b.add(Vsource::new(format!("V{i}"), n, Node::GROUND, i as f64));
+        }
+        for i in 0..nr {
+            let n = b.node(&format!("x{}", i % nv.max(1)));
+            b.add(Resistor::new(format!("R{i}"), n, first, 1e3 + i as f64));
+        }
+        // `first` aliases x0, used by resistors; keep one extra to ground.
+        b.add(Resistor::new("RG", first, Node::GROUND, 1e3));
+        let c = b.build().expect("builds");
+        prop_assert_eq!(c.num_branches(), nv);
+        prop_assert_eq!(c.dim(), c.num_nodes() + nv);
+        prop_assert_eq!(c.devices().len(), nv + nr + 1);
+    }
+
+    /// Feature extraction counts exactly what was inserted.
+    #[test]
+    fn feature_counts_match_insertions(nr in 0usize..8, ni in 0usize..4) {
+        let mut b = CircuitBuilder::new("feat");
+        let a = b.node("a");
+        b.add(Vsource::new("V0", a, Node::GROUND, 1.0));
+        for i in 0..nr {
+            b.add(Resistor::new(format!("R{i}"), a, Node::GROUND, 1e3));
+        }
+        for i in 0..ni {
+            b.add(Isource::new(format!("I{i}"), Node::GROUND, a, 1e-3));
+        }
+        let c = b.build().expect("builds");
+        let f = CircuitFeatures::extract(&c);
+        prop_assert_eq!(f.num_resistors, nr);
+        prop_assert_eq!(f.num_isources, ni);
+        prop_assert_eq!(f.num_vsources, 1);
+        prop_assert_eq!(f.num_nodes, 1);
+    }
+
+    /// Re-assembly into reused buffers is idempotent.
+    #[test]
+    fn assembly_is_idempotent(v in -10.0f64..10.0) {
+        let mut b = CircuitBuilder::new("idem");
+        let a = b.node("a");
+        b.add(Vsource::new("V", a, Node::GROUND, v));
+        b.add(Resistor::new("R", a, Node::GROUND, 1e3));
+        let c = b.build().expect("builds");
+        let x = vec![0.5, 0.1];
+        let ctx = EvalCtx::dc(&x);
+        let mut jac = Triplet::new(c.dim(), c.dim());
+        let mut res = vec![0.0; c.dim()];
+        let mut st = c.new_state();
+        c.assemble_into(&ctx, &mut jac, &mut res, &mut st);
+        let first_res = res.clone();
+        let first_jac = jac.to_csr();
+        c.assemble_into(&ctx, &mut jac, &mut res, &mut st);
+        prop_assert_eq!(&res, &first_res);
+        prop_assert_eq!(jac.to_csr(), first_jac);
+    }
+}

@@ -1,0 +1,170 @@
+//! Parsed netlist representation.
+
+use std::collections::HashMap;
+
+/// Device kind named by a `.model` card.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// Junction diode (`D`).
+    Diode,
+    /// NPN bipolar transistor.
+    Npn,
+    /// PNP bipolar transistor.
+    Pnp,
+    /// N-channel MOSFET.
+    Nmos,
+    /// P-channel MOSFET.
+    Pmos,
+    /// N-channel JFET.
+    Njf,
+    /// P-channel JFET.
+    Pjf,
+}
+
+/// A `.model` card: kind plus named parameters (uppercased keys).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelCard {
+    /// Model name as written.
+    pub name: String,
+    /// Device kind.
+    pub kind: ModelKind,
+    /// Parameters (keys uppercased, e.g. `"IS"`, `"BF"`, `"VTO"`).
+    pub params: HashMap<String, f64>,
+}
+
+impl ModelCard {
+    /// Looks up a parameter with a default.
+    pub fn param(&self, key: &str, default: f64) -> f64 {
+        self.params.get(key).copied().unwrap_or(default)
+    }
+}
+
+/// One element card after lexing: name, node names, positional values and
+/// `key=value` parameters.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ElementCard {
+    /// Element name (`R1`, `Q3`, …); the leading letter selects the kind.
+    pub name: String,
+    /// Node names, in card order.
+    pub nodes: Vec<String>,
+    /// Positional numeric value (R/C/L/V/I/E/G).
+    pub value: Option<f64>,
+    /// Referenced model name (D/Q/M).
+    pub model: Option<String>,
+    /// `key=value` parameters (keys uppercased, e.g. `"W"`, `"L"`).
+    pub params: HashMap<String, f64>,
+    /// 1-based source line for diagnostics.
+    pub line: usize,
+}
+
+/// A `.subckt` definition: ports and body cards (including nested `X`
+/// instances).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Subckt {
+    /// Subcircuit name.
+    pub name: String,
+    /// Port node names, in definition order.
+    pub ports: Vec<String>,
+    /// Element cards of the body.
+    pub elements: Vec<ElementCard>,
+    /// Nested subcircuit instances: `(instance name, subckt name, nodes)`.
+    pub instances: Vec<ElementCard>,
+}
+
+/// An analysis request parsed from a dot-card.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AnalysisCard {
+    /// `.op` — DC operating point.
+    Op,
+    /// `.dc SRC START STOP STEP` — DC sweep.
+    Dc {
+        /// Swept source name.
+        source: String,
+        /// Sweep start value.
+        start: f64,
+        /// Sweep stop value.
+        stop: f64,
+        /// Sweep increment.
+        step: f64,
+    },
+    /// `.tran TSTEP TSTOP` — transient analysis.
+    Tran {
+        /// Nominal time step.
+        step: f64,
+        /// End time.
+        stop: f64,
+    },
+    /// `.ac dec POINTS FSTART FSTOP` — logarithmic AC sweep.
+    Ac {
+        /// Points per decade.
+        points_per_decade: usize,
+        /// Start frequency in hertz.
+        f_start: f64,
+        /// Stop frequency in hertz.
+        f_stop: f64,
+    },
+}
+
+/// A fully parsed netlist before circuit construction.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Netlist {
+    /// Title (first deck line).
+    pub title: String,
+    /// Top-level element cards, in deck order.
+    pub elements: Vec<ElementCard>,
+    /// Top-level subcircuit instances (`X` cards).
+    pub instances: Vec<ElementCard>,
+    /// `.model` cards by lowercase name.
+    pub models: HashMap<String, ModelCard>,
+    /// `.subckt` definitions by lowercase name.
+    pub subckts: HashMap<String, Subckt>,
+    /// `.nodeset` initial guesses: node name → volts.
+    pub nodesets: HashMap<String, f64>,
+    /// Analysis requests (`.op`, `.dc`, `.tran`), in deck order.
+    pub analyses: Vec<AnalysisCard>,
+}
+
+impl Netlist {
+    /// Looks up a model case-insensitively.
+    pub fn model(&self, name: &str) -> Option<&ModelCard> {
+        self.models.get(&name.to_ascii_lowercase())
+    }
+
+    /// Looks up a subcircuit case-insensitively.
+    pub fn subckt(&self, name: &str) -> Option<&Subckt> {
+        self.subckts.get(&name.to_ascii_lowercase())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_param_default() {
+        let m = ModelCard {
+            name: "DX".into(),
+            kind: ModelKind::Diode,
+            params: [("IS".to_owned(), 2e-15)].into_iter().collect(),
+        };
+        assert_eq!(m.param("IS", 1e-14), 2e-15);
+        assert_eq!(m.param("N", 1.0), 1.0);
+    }
+
+    #[test]
+    fn lookups_are_case_insensitive() {
+        let mut n = Netlist::default();
+        n.models.insert(
+            "dmod".into(),
+            ModelCard {
+                name: "DMOD".into(),
+                kind: ModelKind::Diode,
+                params: HashMap::new(),
+            },
+        );
+        assert!(n.model("DMOD").is_some());
+        assert!(n.model("dMoD").is_some());
+        assert!(n.model("other").is_none());
+    }
+}

@@ -1,0 +1,393 @@
+//! Subcircuit flattening and circuit construction.
+
+use crate::ast::{ElementCard, ModelKind, Netlist};
+use crate::ParseNetlistError;
+use rlpta_devices::{
+    Bjt, BjtModel, Capacitor, Cccs, Ccvs, Diode, DiodeModel, Inductor, Isource, Jfet, JfetModel,
+    MosModel, Mosfet, Resistor, Vccs, Vcvs, Vsource,
+};
+use rlpta_mna::{Circuit, CircuitBuilder};
+use std::collections::HashMap;
+
+/// Maximum subcircuit nesting depth during flattening.
+const MAX_DEPTH: usize = 20;
+
+/// Flattens subcircuits and builds a solvable [`Circuit`] from a parsed
+/// [`Netlist`].
+///
+/// # Errors
+///
+/// Returns [`ParseNetlistError`] for undefined models/subcircuits, arity
+/// mismatches, runaway recursion, or MNA-level problems (duplicate names,
+/// dangling nodes).
+pub fn build_circuit(netlist: &Netlist) -> Result<Circuit, ParseNetlistError> {
+    let mut builder = CircuitBuilder::new(netlist.title.clone());
+    let empty = HashMap::new();
+    for el in &netlist.elements {
+        add_element(&mut builder, netlist, el, "", &empty)?;
+    }
+    for inst in &netlist.instances {
+        expand_instance(&mut builder, netlist, inst, "", &empty, 0)?;
+    }
+    builder.build().map_err(|e| ParseNetlistError::Build {
+        cause: e.to_string(),
+    })
+}
+
+/// Maps a node name through the current subcircuit port bindings and prefix.
+fn map_node(name: &str, prefix: &str, bindings: &HashMap<String, String>) -> String {
+    if name == "0" || name.eq_ignore_ascii_case("gnd") {
+        return "0".to_owned();
+    }
+    if let Some(outer) = bindings.get(name) {
+        return outer.clone();
+    }
+    if prefix.is_empty() {
+        name.to_owned()
+    } else {
+        format!("{prefix}{name}")
+    }
+}
+
+fn expand_instance(
+    builder: &mut CircuitBuilder,
+    netlist: &Netlist,
+    inst: &ElementCard,
+    prefix: &str,
+    bindings: &HashMap<String, String>,
+    depth: usize,
+) -> Result<(), ParseNetlistError> {
+    let sub_name = inst.model.as_deref().unwrap_or_default();
+    if depth >= MAX_DEPTH {
+        return Err(ParseNetlistError::SubcktRecursion {
+            name: sub_name.to_owned(),
+        });
+    }
+    let sub = netlist
+        .subckt(sub_name)
+        .ok_or_else(|| ParseNetlistError::UnknownSubckt {
+            name: sub_name.to_owned(),
+            line: inst.line,
+        })?;
+    if sub.ports.len() != inst.nodes.len() {
+        return Err(ParseNetlistError::SubcktArityMismatch {
+            name: sub.name.clone(),
+            found: inst.nodes.len(),
+            expected: sub.ports.len(),
+            line: inst.line,
+        });
+    }
+    // Outer node names for this instance's ports.
+    let mut inner_bindings = HashMap::new();
+    for (port, outer) in sub.ports.iter().zip(&inst.nodes) {
+        inner_bindings.insert(port.clone(), map_node(outer, prefix, bindings));
+    }
+    let inner_prefix = format!("{prefix}{}.", inst.name.to_ascii_lowercase());
+    for el in &sub.elements {
+        add_element(builder, netlist, el, &inner_prefix, &inner_bindings)?;
+    }
+    for nested in &sub.instances {
+        expand_instance(
+            builder,
+            netlist,
+            nested,
+            &inner_prefix,
+            &inner_bindings,
+            depth + 1,
+        )?;
+    }
+    Ok(())
+}
+
+fn add_element(
+    builder: &mut CircuitBuilder,
+    netlist: &Netlist,
+    el: &ElementCard,
+    prefix: &str,
+    bindings: &HashMap<String, String>,
+) -> Result<(), ParseNetlistError> {
+    let kind = el
+        .name
+        .chars()
+        .next()
+        .map(|c| c.to_ascii_lowercase())
+        .unwrap_or(' ');
+    let name = format!("{prefix}{}", el.name);
+    let node = |builder: &mut CircuitBuilder, i: usize| {
+        let mapped = map_node(&el.nodes[i], prefix, bindings);
+        builder.node(&mapped)
+    };
+    let value = el.value.unwrap_or(0.0);
+    let lookup_model = |model_name: &Option<String>| {
+        let m = model_name.as_deref().unwrap_or_default();
+        netlist
+            .model(m)
+            .ok_or_else(|| ParseNetlistError::UnknownModel {
+                model: m.to_owned(),
+                element: name.clone(),
+            })
+    };
+
+    match kind {
+        'r' => {
+            let (a, b) = (node(builder, 0), node(builder, 1));
+            builder.add(Resistor::new(name, a, b, value));
+        }
+        'c' => {
+            let (a, b) = (node(builder, 0), node(builder, 1));
+            builder.add(Capacitor::new(name, a, b, value));
+        }
+        'l' => {
+            let (a, b) = (node(builder, 0), node(builder, 1));
+            builder.add(Inductor::new(name, a, b, value));
+        }
+        'v' => {
+            let (p, n) = (node(builder, 0), node(builder, 1));
+            builder.add(Vsource::new(name, p, n, value));
+        }
+        'i' => {
+            let (p, n) = (node(builder, 0), node(builder, 1));
+            builder.add(Isource::new(name, p, n, value));
+        }
+        'e' => {
+            let (op, on) = (node(builder, 0), node(builder, 1));
+            let (cp, cn) = (node(builder, 2), node(builder, 3));
+            builder.add(Vcvs::new(name, op, on, cp, cn, value));
+        }
+        'g' => {
+            let (op, on) = (node(builder, 0), node(builder, 1));
+            let (cp, cn) = (node(builder, 2), node(builder, 3));
+            builder.add(Vccs::new(name, op, on, cp, cn, value));
+        }
+        'f' => {
+            let (op, on) = (node(builder, 0), node(builder, 1));
+            let ctrl = format!("{prefix}{}", el.model.as_deref().unwrap_or_default());
+            builder.add(Cccs::new(name, op, on, ctrl, value));
+        }
+        'h' => {
+            let (op, on) = (node(builder, 0), node(builder, 1));
+            let ctrl = format!("{prefix}{}", el.model.as_deref().unwrap_or_default());
+            builder.add(Ccvs::new(name, op, on, ctrl, value));
+        }
+        'd' => {
+            let card = lookup_model(&el.model)?;
+            let model = DiodeModel {
+                is: card.param("IS", 1e-14),
+                n: card.param("N", 1.0),
+                rs: card.param("RS", 0.0),
+                bv: card.param("BV", 0.0),
+                ibv: card.param("IBV", 1e-3),
+            };
+            let (a, c) = (node(builder, 0), node(builder, 1));
+            builder.add(Diode::new(name, a, c, model));
+        }
+        'q' => {
+            let card = lookup_model(&el.model)?;
+            let is = card.param("IS", 1e-16);
+            let bf = card.param("BF", 100.0);
+            let br = card.param("BR", 1.0);
+            let model = match card.kind {
+                ModelKind::Npn => BjtModel::npn(is, bf, br),
+                ModelKind::Pnp => BjtModel::pnp(is, bf, br),
+                other => {
+                    return Err(ParseNetlistError::UnknownModelKind {
+                        kind: format!("{other:?} on BJT"),
+                        line: el.line,
+                    })
+                }
+            };
+            let (c, b, e) = (node(builder, 0), node(builder, 1), node(builder, 2));
+            builder.add(Bjt::new(name, c, b, e, model));
+        }
+        'm' => {
+            let card = lookup_model(&el.model)?;
+            let mut model = match card.kind {
+                ModelKind::Nmos => MosModel::nmos(card.param("VTO", 1.0), card.param("KP", 2e-5)),
+                ModelKind::Pmos => {
+                    MosModel::pmos(card.param("VTO", 1.0).abs(), card.param("KP", 2e-5))
+                }
+                other => {
+                    return Err(ParseNetlistError::UnknownModelKind {
+                        kind: format!("{other:?} on MOSFET"),
+                        line: el.line,
+                    })
+                }
+            };
+            model.lambda = card.param("LAMBDA", 0.01);
+            model.gamma = card.param("GAMMA", 0.0);
+            model.phi = card.param("PHI", 0.6);
+            model.is = card.param("IS", 1e-14);
+            let w = el.params.get("W").copied().unwrap_or(100e-6);
+            let l = el.params.get("L").copied().unwrap_or(100e-6);
+            let (d, g) = (node(builder, 0), node(builder, 1));
+            let (s, b) = (node(builder, 2), node(builder, 3));
+            builder.add(Mosfet::new(name, d, g, s, b, model, w / l));
+        }
+        'j' => {
+            let card = lookup_model(&el.model)?;
+            let mut model = match card.kind {
+                ModelKind::Njf => JfetModel::njf(card.param("VTO", -2.0), card.param("BETA", 1e-4)),
+                ModelKind::Pjf => JfetModel::pjf(card.param("VTO", -2.0), card.param("BETA", 1e-4)),
+                other => {
+                    return Err(ParseNetlistError::UnknownModelKind {
+                        kind: format!("{other:?} on JFET"),
+                        line: el.line,
+                    })
+                }
+            };
+            model.lambda = card.param("LAMBDA", 0.01);
+            model.is = card.param("IS", 1e-14);
+            let (d, g, src) = (node(builder, 0), node(builder, 1), node(builder, 2));
+            builder.add(Jfet::new(name, d, g, src, model));
+        }
+        'x' => {
+            // Instances reach here only from element lists built by hand;
+            // the parser routes them to `instances` normally.
+            return expand_instance(builder, netlist, el, prefix, bindings, 0);
+        }
+        _ => {
+            return Err(ParseNetlistError::UnknownCard {
+                card: el.name.clone(),
+                line: el.line,
+            })
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn builds_divider() {
+        let c = parse("t\nV1 in 0 5\nR1 in out 1k\nR2 out 0 1k\n").unwrap();
+        assert_eq!(c.num_nodes(), 2);
+        assert_eq!(c.num_branches(), 1);
+        assert_eq!(c.devices().len(), 3);
+    }
+
+    #[test]
+    fn unknown_model_rejected() {
+        let e = parse("t\nD1 a 0 NOPE\nR1 a 0 1\n").unwrap_err();
+        assert!(matches!(e, ParseNetlistError::UnknownModel { .. }));
+    }
+
+    #[test]
+    fn subckt_flattening_names_and_nodes() {
+        let c = parse(
+            "t
+             V1 in 0 1
+             X1 in out DIV
+             X2 out out2 DIV
+             R9 out2 0 1k
+             .subckt DIV a y
+             R1 a mid 1k
+             R2 mid y 1k
+             .ends",
+        )
+        .unwrap();
+        // Internal `mid` nodes are distinct per instance.
+        assert!(c.node_index("x1.mid").is_some());
+        assert!(c.node_index("x2.mid").is_some());
+        assert_ne!(c.node_index("x1.mid"), c.node_index("x2.mid"));
+        // 3 outer (in/out/out2) + 2 internal.
+        assert_eq!(c.num_nodes(), 5);
+        // Devices renamed hierarchically.
+        assert!(c.devices().iter().any(|d| d.name() == "x1.R1"));
+    }
+
+    #[test]
+    fn nested_subckts_flatten() {
+        let c = parse(
+            "t
+             V1 a 0 1
+             X1 a b TOP
+             R0 b 0 1k
+             .subckt TOP p q
+             X2 p q INNER
+             .ends
+             .subckt INNER u v
+             R1 u v 2k
+             .ends",
+        )
+        .unwrap();
+        assert!(c.devices().iter().any(|d| d.name() == "x1.x2.R1"));
+    }
+
+    #[test]
+    fn subckt_arity_mismatch_rejected() {
+        let e = parse(
+            "t
+             X1 a b c DIV
+             .subckt DIV p q
+             R1 p q 1
+             .ends",
+        )
+        .unwrap_err();
+        assert!(matches!(e, ParseNetlistError::SubcktArityMismatch { .. }));
+    }
+
+    #[test]
+    fn undefined_subckt_rejected() {
+        let e = parse("t\nX1 a b MISSING\nR1 a 0 1\n").unwrap_err();
+        assert!(matches!(e, ParseNetlistError::UnknownSubckt { .. }));
+    }
+
+    #[test]
+    fn ground_is_shared_across_subckts() {
+        let c = parse(
+            "t
+             V1 a 0 1
+             X1 a SUB
+             .subckt SUB p
+             R1 p 0 1k
+             .ends",
+        )
+        .unwrap();
+        // Only node `a`; the subcircuit's ground is the global ground.
+        assert_eq!(c.num_nodes(), 1);
+    }
+
+    #[test]
+    fn transistor_models_resolve() {
+        let c = parse(
+            "t
+             V1 vcc 0 5
+             R1 vcc c 1k
+             Q1 c b 0 QN
+             R2 vcc b 100k
+             M1 vcc g 0 0 NM W=20u L=2u
+             R3 g 0 10k
+             .model QN NPN(IS=1e-15 BF=80)
+             .model NM NMOS(VTO=0.7 KP=1e-4)",
+        )
+        .unwrap();
+        assert!(c.is_nonlinear());
+        assert_eq!(c.devices().len(), 6);
+    }
+
+    #[test]
+    fn pnp_and_pmos_polarities() {
+        let c = parse(
+            "t
+             V1 vcc 0 5
+             Q1 0 b vcc QP
+             R1 vcc b 1k
+             M1 0 g vcc vcc PM
+             R2 g 0 1k
+             .model QP PNP(IS=1e-15)
+             .model PM PMOS(VTO=-0.8 KP=4e-5)",
+        )
+        .unwrap();
+        assert_eq!(c.devices().len(), 5);
+    }
+
+    #[test]
+    fn build_error_propagates() {
+        // Duplicate element names.
+        let e = parse("t\nR1 a 0 1\nR1 a 0 2\n").unwrap_err();
+        assert!(matches!(e, ParseNetlistError::Build { .. }));
+    }
+}

@@ -1,0 +1,167 @@
+//! Netlist parse errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while parsing a SPICE deck or building the circuit.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ParseNetlistError {
+    /// A token that should have been a number could not be parsed.
+    InvalidNumber {
+        /// The offending token.
+        token: String,
+        /// 1-based source line (0 when unknown).
+        line: usize,
+    },
+    /// An element card has too few fields.
+    MissingField {
+        /// The card's element name.
+        card: String,
+        /// What was expected, e.g. `"2 nodes and a value"`.
+        expected: &'static str,
+        /// 1-based source line.
+        line: usize,
+    },
+    /// The card's leading letter is not a supported element or directive.
+    UnknownCard {
+        /// The raw card text.
+        card: String,
+        /// 1-based source line.
+        line: usize,
+    },
+    /// An element references a `.model` that was never defined.
+    UnknownModel {
+        /// The model name.
+        model: String,
+        /// Element that referenced it.
+        element: String,
+    },
+    /// A `.model` card names an unsupported device kind.
+    UnknownModelKind {
+        /// The kind keyword, e.g. `"JFET"`.
+        kind: String,
+        /// 1-based source line.
+        line: usize,
+    },
+    /// An `X` card references a subcircuit that was never defined.
+    UnknownSubckt {
+        /// The subcircuit name.
+        name: String,
+        /// 1-based source line.
+        line: usize,
+    },
+    /// An `X` card's node count does not match the `.subckt` port count.
+    SubcktArityMismatch {
+        /// The subcircuit name.
+        name: String,
+        /// Nodes supplied on the `X` card.
+        found: usize,
+        /// Ports in the definition.
+        expected: usize,
+        /// 1-based source line.
+        line: usize,
+    },
+    /// `.subckt` without matching `.ends`.
+    UnterminatedSubckt {
+        /// The subcircuit name.
+        name: String,
+    },
+    /// Subcircuit instantiation recursion exceeded the expansion limit.
+    SubcktRecursion {
+        /// The subcircuit where the limit tripped.
+        name: String,
+    },
+    /// Building the MNA circuit failed (duplicate names, dangling nodes…).
+    Build {
+        /// Human-readable cause from the MNA builder.
+        cause: String,
+    },
+    /// The deck is empty.
+    EmptyDeck,
+    /// An `.include` could not be expanded (missing file, cycle, depth).
+    Include {
+        /// The offending file path.
+        path: String,
+        /// Why it failed.
+        cause: String,
+    },
+}
+
+impl fmt::Display for ParseNetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseNetlistError::InvalidNumber { token, line } => {
+                write!(f, "line {line}: invalid number `{token}`")
+            }
+            ParseNetlistError::MissingField {
+                card,
+                expected,
+                line,
+            } => {
+                write!(f, "line {line}: card `{card}` needs {expected}")
+            }
+            ParseNetlistError::UnknownCard { card, line } => {
+                write!(f, "line {line}: unknown card `{card}`")
+            }
+            ParseNetlistError::UnknownModel { model, element } => {
+                write!(
+                    f,
+                    "element `{element}` references undefined model `{model}`"
+                )
+            }
+            ParseNetlistError::UnknownModelKind { kind, line } => {
+                write!(f, "line {line}: unsupported model kind `{kind}`")
+            }
+            ParseNetlistError::UnknownSubckt { name, line } => {
+                write!(f, "line {line}: undefined subcircuit `{name}`")
+            }
+            ParseNetlistError::SubcktArityMismatch {
+                name,
+                found,
+                expected,
+                line,
+            } => {
+                write!(
+                    f,
+                    "line {line}: subcircuit `{name}` called with {found} nodes, defined with {expected}"
+                )
+            }
+            ParseNetlistError::UnterminatedSubckt { name } => {
+                write!(f, "subcircuit `{name}` has no matching .ends")
+            }
+            ParseNetlistError::SubcktRecursion { name } => {
+                write!(f, "subcircuit `{name}` exceeds the recursion limit")
+            }
+            ParseNetlistError::Build { cause } => write!(f, "circuit build failed: {cause}"),
+            ParseNetlistError::EmptyDeck => write!(f, "netlist is empty"),
+            ParseNetlistError::Include { path, cause } => {
+                write!(f, "cannot include `{path}`: {cause}")
+            }
+        }
+    }
+}
+
+impl Error for ParseNetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_line() {
+        let e = ParseNetlistError::UnknownCard {
+            card: "Zfoo".into(),
+            line: 7,
+        };
+        let s = e.to_string();
+        assert!(s.contains("line 7"));
+        assert!(s.contains("Zfoo"));
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn check<T: Error + Send + Sync + 'static>() {}
+        check::<ParseNetlistError>();
+    }
+}

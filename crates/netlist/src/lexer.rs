@@ -1,0 +1,133 @@
+//! Line-oriented SPICE deck lexer: comments, continuations, tokenization.
+
+/// One logical card: the joined tokens plus the 1-based line number where
+/// the card started.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Logical {
+    pub line: usize,
+    pub tokens: Vec<String>,
+}
+
+/// Splits a deck into title + logical cards.
+///
+/// * the first line is the title (classic SPICE),
+/// * `*` starts a comment line, `;` an inline comment,
+/// * `+` at the start of a line continues the previous card,
+/// * `(`, `)`, `,` and `=` are treated as separators, with `=` preserved as
+///   its own token so `key=value`, `key =value` and `key = value` all
+///   tokenize identically.
+pub(crate) fn lex(source: &str) -> (String, Vec<Logical>) {
+    let mut lines = source.lines().enumerate();
+    let title = lines
+        .next()
+        .map(|(_, l)| l.trim().to_owned())
+        .unwrap_or_default();
+
+    let mut cards: Vec<Logical> = Vec::new();
+    for (idx, raw) in lines {
+        let line_no = idx + 1; // humans count from 1
+        let mut text = raw;
+        if let Some(pos) = text.find(';') {
+            text = &text[..pos];
+        }
+        let text = text.trim();
+        if text.is_empty() || text.starts_with('*') {
+            continue;
+        }
+        if let Some(rest) = text.strip_prefix('+') {
+            if let Some(last) = cards.last_mut() {
+                last.tokens.extend(tokenize(rest));
+                continue;
+            }
+            // A leading continuation with nothing to continue: treat as a
+            // fresh card so the parser reports a sensible error.
+        }
+        let tokens = tokenize(text.strip_prefix('+').unwrap_or(text));
+        if !tokens.is_empty() {
+            cards.push(Logical {
+                line: line_no,
+                tokens,
+            });
+        }
+    }
+    (title, cards)
+}
+
+fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for ch in text.chars() {
+        match ch {
+            c if c.is_whitespace() => flush(&mut cur, &mut out),
+            '(' | ')' | ',' => flush(&mut cur, &mut out),
+            '=' => {
+                flush(&mut cur, &mut out);
+                out.push("=".to_owned());
+            }
+            c => cur.push(c),
+        }
+    }
+    flush(&mut cur, &mut out);
+    out
+}
+
+fn flush(cur: &mut String, out: &mut Vec<String>) {
+    if !cur.is_empty() {
+        out.push(std::mem::take(cur));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_line_is_title() {
+        let (title, cards) = lex("my circuit\nR1 a 0 1k\n");
+        assert_eq!(title, "my circuit");
+        assert_eq!(cards.len(), 1);
+        assert_eq!(cards[0].tokens, vec!["R1", "a", "0", "1k"]);
+    }
+
+    #[test]
+    fn comments_are_stripped() {
+        let (_, cards) = lex("t\n* full comment\nR1 a 0 1k ; inline\n");
+        assert_eq!(cards.len(), 1);
+        assert_eq!(cards[0].tokens, vec!["R1", "a", "0", "1k"]);
+    }
+
+    #[test]
+    fn continuation_lines_join() {
+        let (_, cards) = lex("t\nQ1 c b\n+ e QMOD\n");
+        assert_eq!(cards.len(), 1);
+        assert_eq!(cards[0].tokens, vec!["Q1", "c", "b", "e", "QMOD"]);
+    }
+
+    #[test]
+    fn parens_and_equals_tokenize() {
+        let (_, cards) = lex("t\n.model NM NMOS(VTO=1 KP = 2e-5)\n");
+        assert_eq!(
+            cards[0].tokens,
+            vec![".model", "NM", "NMOS", "VTO", "=", "1", "KP", "=", "2e-5"]
+        );
+    }
+
+    #[test]
+    fn line_numbers_are_tracked() {
+        let (_, cards) = lex("t\n\n\nR1 a 0 1\n");
+        assert_eq!(cards[0].line, 4);
+    }
+
+    #[test]
+    fn empty_deck() {
+        let (title, cards) = lex("");
+        assert_eq!(title, "");
+        assert!(cards.is_empty());
+    }
+
+    #[test]
+    fn commas_are_separators() {
+        let (_, cards) = lex("t\nE1 1 0, 2 0 10\n");
+        assert_eq!(cards[0].tokens, vec!["E1", "1", "0", "2", "0", "10"]);
+    }
+}

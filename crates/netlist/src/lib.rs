@@ -1,0 +1,79 @@
+//! SPICE netlist lexer, parser and circuit builder.
+//!
+//! Implements the classic SPICE deck dialect needed for DC analysis:
+//!
+//! * first line is the title,
+//! * `*` comment lines, `;` inline comments, `+` continuation lines,
+//! * engineering suffixes (`k`, `meg`, `u`, `n`, `p`, `f`, …) on all values,
+//! * element cards `R`, `C`, `L`, `V`, `I`, `E` (VCVS), `G` (VCCS), `D`,
+//!   `Q` (BJT), `M` (MOSFET),
+//! * `.model` cards for `D`, `NPN`, `PNP`, `NMOS`, `PMOS`,
+//! * `.subckt` / `.ends` definitions and `X` instances (flattened with
+//!   hierarchical `x<inst>.` name prefixes),
+//! * `.end` terminator (optional).
+//!
+//! The top-level entry point [`parse`] returns a ready-to-solve
+//! [`Circuit`].
+//!
+//! [`Circuit`]: rlpta_mna::Circuit
+//!
+//! # Example
+//!
+//! ```
+//! let circuit = rlpta_netlist::parse(
+//!     "diode clamp
+//!      V1 in 0 5
+//!      R1 in out 1k
+//!      D1 out 0 DMOD
+//!      .model DMOD D(IS=1e-14)
+//!      .end",
+//! )?;
+//! assert_eq!(circuit.num_nodes(), 2);
+//! # Ok::<(), rlpta_netlist::ParseNetlistError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ast;
+mod build;
+mod error;
+mod include;
+mod lexer;
+mod parser;
+pub mod units;
+mod write;
+
+pub use ast::{AnalysisCard, ElementCard, ModelCard, ModelKind, Netlist, Subckt};
+pub use build::build_circuit;
+pub use error::ParseNetlistError;
+pub use include::expand_includes;
+pub use parser::parse_netlist;
+pub use write::write_netlist;
+
+use rlpta_mna::Circuit;
+
+/// Parses a SPICE deck into a ready-to-solve [`Circuit`].
+///
+/// Subcircuits are flattened and `.model` cards resolved.
+///
+/// # Errors
+///
+/// Returns [`ParseNetlistError`] describing the offending line for lexical,
+/// syntactic and semantic (unknown model/node arity) problems.
+pub fn parse(source: &str) -> Result<Circuit, ParseNetlistError> {
+    let netlist = parse_netlist(source)?;
+    build_circuit(&netlist)
+}
+
+/// Reads a deck from disk, expands `.include` directives (relative to each
+/// including file) and parses the result into a [`Circuit`].
+///
+/// # Errors
+///
+/// Returns [`ParseNetlistError`] for include failures and every error
+/// [`parse`] can produce.
+pub fn parse_file(path: impl AsRef<std::path::Path>) -> Result<Circuit, ParseNetlistError> {
+    let source = expand_includes(path.as_ref())?;
+    parse(&source)
+}

@@ -1,0 +1,599 @@
+//! Card-level parser: logical cards → [`Netlist`].
+
+use crate::ast::{AnalysisCard, ElementCard, ModelCard, ModelKind, Netlist, Subckt};
+use crate::lexer::{lex, Logical};
+use crate::units::parse_value;
+use crate::ParseNetlistError;
+use std::collections::HashMap;
+
+/// Parses a SPICE deck into its [`Netlist`] AST (models and subcircuits
+/// resolved by name but not yet flattened).
+///
+/// # Errors
+///
+/// Returns [`ParseNetlistError`] for malformed cards with the offending
+/// 1-based line number.
+pub fn parse_netlist(source: &str) -> Result<Netlist, ParseNetlistError> {
+    let (title, cards) = lex(source);
+    let mut netlist = Netlist {
+        title,
+        ..Netlist::default()
+    };
+    let mut stack: Vec<Subckt> = Vec::new();
+
+    for card in &cards {
+        let head = card.tokens[0].to_ascii_lowercase();
+        if head == ".end" {
+            break;
+        }
+        if head == ".subckt" {
+            let (name, ports) = parse_subckt_header(card)?;
+            stack.push(Subckt {
+                name,
+                ports,
+                elements: Vec::new(),
+                instances: Vec::new(),
+            });
+            continue;
+        }
+        if head == ".ends" {
+            let sub = stack.pop().ok_or_else(|| ParseNetlistError::UnknownCard {
+                card: ".ends without .subckt".into(),
+                line: card.line,
+            })?;
+            netlist.subckts.insert(sub.name.to_ascii_lowercase(), sub);
+            continue;
+        }
+        if head == ".model" {
+            let model = parse_model(card)?;
+            netlist
+                .models
+                .insert(model.name.to_ascii_lowercase(), model);
+            continue;
+        }
+        if head == ".nodeset" {
+            parse_nodeset(card, &mut netlist)?;
+            continue;
+        }
+        if head == ".op" {
+            netlist.analyses.push(AnalysisCard::Op);
+            continue;
+        }
+        if head == ".dc" {
+            netlist.analyses.push(parse_dc(card)?);
+            continue;
+        }
+        if head == ".tran" {
+            netlist.analyses.push(parse_tran(card)?);
+            continue;
+        }
+        if head == ".ac" {
+            netlist.analyses.push(parse_ac(card)?);
+            continue;
+        }
+        if head.starts_with('.') {
+            // Other directives (.options, .title, .print …) are ignored.
+            continue;
+        }
+        let element = parse_element(card)?;
+        let is_instance = element.name.to_ascii_lowercase().starts_with('x');
+        let target: &mut Vec<ElementCard> = match (stack.last_mut(), is_instance) {
+            (Some(sub), false) => &mut sub.elements,
+            (Some(sub), true) => &mut sub.instances,
+            (None, false) => &mut netlist.elements,
+            (None, true) => &mut netlist.instances,
+        };
+        target.push(element);
+    }
+
+    if let Some(sub) = stack.pop() {
+        return Err(ParseNetlistError::UnterminatedSubckt { name: sub.name });
+    }
+    if netlist.elements.is_empty() && netlist.instances.is_empty() {
+        return Err(ParseNetlistError::EmptyDeck);
+    }
+    Ok(netlist)
+}
+
+fn parse_subckt_header(card: &Logical) -> Result<(String, Vec<String>), ParseNetlistError> {
+    if card.tokens.len() < 3 {
+        return Err(ParseNetlistError::MissingField {
+            card: ".subckt".into(),
+            expected: "a name and at least one port",
+            line: card.line,
+        });
+    }
+    Ok((card.tokens[1].clone(), card.tokens[2..].to_vec()))
+}
+
+fn parse_model(card: &Logical) -> Result<ModelCard, ParseNetlistError> {
+    if card.tokens.len() < 3 {
+        return Err(ParseNetlistError::MissingField {
+            card: ".model".into(),
+            expected: "a name and a kind",
+            line: card.line,
+        });
+    }
+    let name = card.tokens[1].clone();
+    let kind = match card.tokens[2].to_ascii_uppercase().as_str() {
+        "D" => ModelKind::Diode,
+        "NPN" => ModelKind::Npn,
+        "PNP" => ModelKind::Pnp,
+        "NMOS" => ModelKind::Nmos,
+        "PMOS" => ModelKind::Pmos,
+        "NJF" => ModelKind::Njf,
+        "PJF" => ModelKind::Pjf,
+        other => {
+            return Err(ParseNetlistError::UnknownModelKind {
+                kind: other.to_owned(),
+                line: card.line,
+            })
+        }
+    };
+    let params = parse_params(&card.tokens[3..], card.line)?;
+    Ok(ModelCard { name, kind, params })
+}
+
+/// Parses trailing `key = value` triples.
+fn parse_params(tokens: &[String], line: usize) -> Result<HashMap<String, f64>, ParseNetlistError> {
+    let mut params = HashMap::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if i + 2 < tokens.len() + 1 && tokens.get(i + 1).map(String::as_str) == Some("=") {
+            let key = tokens[i].to_ascii_uppercase();
+            let raw = tokens.get(i + 2).ok_or(ParseNetlistError::MissingField {
+                card: key.clone(),
+                expected: "a value after `=`",
+                line,
+            })?;
+            let value = parse_value(raw).map_err(|_| ParseNetlistError::InvalidNumber {
+                token: raw.clone(),
+                line,
+            })?;
+            params.insert(key, value);
+            i += 3;
+        } else {
+            i += 1;
+        }
+    }
+    Ok(params)
+}
+
+/// Parses `.nodeset v(node)=volts …` pairs. The lexer has already split
+/// parentheses and `=`, so the token stream is `v node = volts` repeated.
+fn parse_nodeset(card: &Logical, netlist: &mut Netlist) -> Result<(), ParseNetlistError> {
+    let toks = &card.tokens[1..];
+    let mut i = 0;
+    while i < toks.len() {
+        if !toks[i].eq_ignore_ascii_case("v") || i + 3 > toks.len() {
+            return Err(ParseNetlistError::MissingField {
+                card: ".nodeset".into(),
+                expected: "v(node)=value pairs",
+                line: card.line,
+            });
+        }
+        let node = toks.get(i + 1).ok_or(ParseNetlistError::MissingField {
+            card: ".nodeset".into(),
+            expected: "a node name",
+            line: card.line,
+        })?;
+        if toks.get(i + 2).map(String::as_str) != Some("=") {
+            return Err(ParseNetlistError::MissingField {
+                card: ".nodeset".into(),
+                expected: "`=` after the node",
+                line: card.line,
+            });
+        }
+        let raw = toks.get(i + 3).ok_or(ParseNetlistError::MissingField {
+            card: ".nodeset".into(),
+            expected: "a value",
+            line: card.line,
+        })?;
+        let v = parse_value(raw).map_err(|_| ParseNetlistError::InvalidNumber {
+            token: raw.clone(),
+            line: card.line,
+        })?;
+        netlist.nodesets.insert(node.clone(), v);
+        i += 4;
+    }
+    Ok(())
+}
+
+fn parse_dc(card: &Logical) -> Result<AnalysisCard, ParseNetlistError> {
+    if card.tokens.len() < 5 {
+        return Err(ParseNetlistError::MissingField {
+            card: ".dc".into(),
+            expected: "a source and start/stop/step",
+            line: card.line,
+        });
+    }
+    let num = |i: usize| {
+        parse_value(&card.tokens[i]).map_err(|_| ParseNetlistError::InvalidNumber {
+            token: card.tokens[i].clone(),
+            line: card.line,
+        })
+    };
+    Ok(AnalysisCard::Dc {
+        source: card.tokens[1].clone(),
+        start: num(2)?,
+        stop: num(3)?,
+        step: num(4)?,
+    })
+}
+
+fn parse_tran(card: &Logical) -> Result<AnalysisCard, ParseNetlistError> {
+    if card.tokens.len() < 3 {
+        return Err(ParseNetlistError::MissingField {
+            card: ".tran".into(),
+            expected: "a step and a stop time",
+            line: card.line,
+        });
+    }
+    let num = |i: usize| {
+        parse_value(&card.tokens[i]).map_err(|_| ParseNetlistError::InvalidNumber {
+            token: card.tokens[i].clone(),
+            line: card.line,
+        })
+    };
+    Ok(AnalysisCard::Tran {
+        step: num(1)?,
+        stop: num(2)?,
+    })
+}
+
+fn parse_ac(card: &Logical) -> Result<AnalysisCard, ParseNetlistError> {
+    // `.ac dec N fstart fstop` (only the `dec` form is supported).
+    if card.tokens.len() < 5 || !card.tokens[1].eq_ignore_ascii_case("dec") {
+        return Err(ParseNetlistError::MissingField {
+            card: ".ac".into(),
+            expected: "`dec`, points/decade, fstart, fstop",
+            line: card.line,
+        });
+    }
+    let points: usize = card.tokens[2]
+        .parse()
+        .map_err(|_| ParseNetlistError::InvalidNumber {
+            token: card.tokens[2].clone(),
+            line: card.line,
+        })?;
+    let num = |i: usize| {
+        parse_value(&card.tokens[i]).map_err(|_| ParseNetlistError::InvalidNumber {
+            token: card.tokens[i].clone(),
+            line: card.line,
+        })
+    };
+    Ok(AnalysisCard::Ac {
+        points_per_decade: points,
+        f_start: num(3)?,
+        f_stop: num(4)?,
+    })
+}
+
+fn parse_element(card: &Logical) -> Result<ElementCard, ParseNetlistError> {
+    let name = card.tokens[0].clone();
+    let kind = name
+        .chars()
+        .next()
+        .map(|c| c.to_ascii_lowercase())
+        .unwrap_or(' ');
+    let line = card.line;
+
+    // Split the positional tokens (before any `key = value` group).
+    let mut positional: Vec<&String> = Vec::new();
+    let mut i = 1;
+    while i < card.tokens.len() {
+        if card.tokens.get(i + 1).map(String::as_str) == Some("=") {
+            break;
+        }
+        positional.push(&card.tokens[i]);
+        i += 1;
+    }
+    let params = parse_params(&card.tokens[i..], line)?;
+
+    let missing = |expected: &'static str| ParseNetlistError::MissingField {
+        card: name.clone(),
+        expected,
+        line,
+    };
+    let number = |tok: &String| {
+        parse_value(tok).map_err(|_| ParseNetlistError::InvalidNumber {
+            token: tok.clone(),
+            line,
+        })
+    };
+
+    let mut el = ElementCard {
+        name: name.clone(),
+        line,
+        params,
+        ..ElementCard::default()
+    };
+    match kind {
+        'r' | 'c' | 'l' => {
+            if positional.len() < 3 {
+                return Err(missing("two nodes and a value"));
+            }
+            el.nodes = vec![positional[0].clone(), positional[1].clone()];
+            el.value = Some(number(positional[2])?);
+        }
+        'v' | 'i' => {
+            if positional.len() < 3 {
+                return Err(missing("two nodes and a value"));
+            }
+            el.nodes = vec![positional[0].clone(), positional[1].clone()];
+            // Accept both `V1 a 0 5` and `V1 a 0 DC 5`.
+            let val_tok = if positional[2].eq_ignore_ascii_case("dc") {
+                positional
+                    .get(3)
+                    .ok_or_else(|| missing("a value after DC"))?
+            } else {
+                positional[2]
+            };
+            el.value = Some(number(val_tok)?);
+        }
+        'e' | 'g' => {
+            if positional.len() < 5 {
+                return Err(missing("four nodes and a gain"));
+            }
+            el.nodes = positional[..4].iter().map(|s| (*s).clone()).collect();
+            el.value = Some(number(positional[4])?);
+        }
+        'f' | 'h' => {
+            // F/H: out+ out- Vctrl gain — the control source goes in `model`.
+            if positional.len() < 4 {
+                return Err(missing("two nodes, a control source and a gain"));
+            }
+            el.nodes = vec![positional[0].clone(), positional[1].clone()];
+            el.model = Some(positional[2].clone());
+            el.value = Some(number(positional[3])?);
+        }
+        'd' => {
+            if positional.len() < 3 {
+                return Err(missing("two nodes and a model"));
+            }
+            el.nodes = vec![positional[0].clone(), positional[1].clone()];
+            el.model = Some(positional[2].clone());
+        }
+        'q' | 'j' => {
+            if positional.len() < 4 {
+                return Err(missing("three nodes and a model"));
+            }
+            el.nodes = positional[..3].iter().map(|s| (*s).clone()).collect();
+            el.model = Some(positional[3].clone());
+        }
+        'm' => {
+            if positional.len() < 5 {
+                return Err(missing("four nodes and a model"));
+            }
+            el.nodes = positional[..4].iter().map(|s| (*s).clone()).collect();
+            el.model = Some(positional[4].clone());
+        }
+        'x' => {
+            if positional.len() < 2 {
+                return Err(missing("at least one node and a subcircuit name"));
+            }
+            // Last positional token is the subcircuit name.
+            el.model = Some(positional[positional.len() - 1].clone());
+            el.nodes = positional[..positional.len() - 1]
+                .iter()
+                .map(|s| (*s).clone())
+                .collect();
+        }
+        _ => {
+            return Err(ParseNetlistError::UnknownCard {
+                card: card.tokens.join(" "),
+                line,
+            })
+        }
+    }
+    Ok(el)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_elements() {
+        let n = parse_netlist(
+            "test
+             R1 a b 1k
+             C1 b 0 1u
+             L1 a 0 10m
+             V1 a 0 5
+             I1 0 b 1m
+             .end",
+        )
+        .unwrap();
+        assert_eq!(n.title, "test");
+        assert_eq!(n.elements.len(), 5);
+        assert_eq!(n.elements[0].value, Some(1e3));
+        assert_eq!(n.elements[1].value, Some(1e-6));
+        assert_eq!(n.elements[4].nodes, vec!["0", "b"]);
+    }
+
+    #[test]
+    fn dc_keyword_on_sources() {
+        let n = parse_netlist("t\nV1 a 0 DC 3.3\n").unwrap();
+        assert_eq!(n.elements[0].value, Some(3.3));
+    }
+
+    #[test]
+    fn parses_models_with_params() {
+        let n = parse_netlist(
+            "t
+             D1 a 0 DX
+             .model DX D(IS=2e-15 N=1.5)",
+        )
+        .unwrap();
+        let m = n.model("DX").unwrap();
+        assert_eq!(m.kind, ModelKind::Diode);
+        assert_eq!(m.param("IS", 0.0), 2e-15);
+        assert_eq!(m.param("N", 0.0), 1.5);
+    }
+
+    #[test]
+    fn parses_mosfet_with_geometry() {
+        let n = parse_netlist(
+            "t
+             M1 d g s b NMOD W=10u L=1u
+             .model NMOD NMOS(VTO=0.7 KP=5e-5)",
+        )
+        .unwrap();
+        let m = &n.elements[0];
+        assert_eq!(m.nodes, vec!["d", "g", "s", "b"]);
+        assert_eq!(m.model.as_deref(), Some("NMOD"));
+        assert!((m.params["W"] - 1e-5).abs() < 1e-18);
+        assert!((m.params["L"] - 1e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn parses_subckt_definition_and_instance() {
+        let n = parse_netlist(
+            "t
+             X1 in out INV
+             .subckt INV a y
+             R1 a y 1k
+             .ends",
+        )
+        .unwrap();
+        assert_eq!(n.instances.len(), 1);
+        assert_eq!(n.instances[0].nodes, vec!["in", "out"]);
+        assert_eq!(n.instances[0].model.as_deref(), Some("INV"));
+        let s = n.subckt("inv").unwrap();
+        assert_eq!(s.ports, vec!["a", "y"]);
+        assert_eq!(s.elements.len(), 1);
+    }
+
+    #[test]
+    fn unterminated_subckt_rejected() {
+        let e = parse_netlist("t\n.subckt FOO a\nR1 a 0 1\n").unwrap_err();
+        assert!(matches!(e, ParseNetlistError::UnterminatedSubckt { .. }));
+    }
+
+    #[test]
+    fn unknown_card_reports_line() {
+        let e = parse_netlist("t\nR1 a 0 1\nZ9 a 0 1\n").unwrap_err();
+        match e {
+            ParseNetlistError::UnknownCard { line, .. } => assert_eq!(line, 3),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_fields_rejected() {
+        assert!(matches!(
+            parse_netlist("t\nR1 a 0\n").unwrap_err(),
+            ParseNetlistError::MissingField { .. }
+        ));
+        assert!(matches!(
+            parse_netlist("t\nQ1 c b QM\n").unwrap_err(),
+            ParseNetlistError::MissingField { .. }
+        ));
+    }
+
+    #[test]
+    fn unknown_model_kind_rejected() {
+        assert!(matches!(
+            parse_netlist("t\nR1 a 0 1\n.model J1 JFET(X=1)\n").unwrap_err(),
+            ParseNetlistError::UnknownModelKind { .. }
+        ));
+    }
+
+    #[test]
+    fn empty_deck_rejected() {
+        assert!(matches!(
+            parse_netlist("title only\n").unwrap_err(),
+            ParseNetlistError::EmptyDeck
+        ));
+    }
+
+    #[test]
+    fn cards_after_end_are_ignored() {
+        let n = parse_netlist("t\nR1 a 0 1\n.end\ngarbage here\n").unwrap();
+        assert_eq!(n.elements.len(), 1);
+    }
+
+    #[test]
+    fn bad_number_reports_token() {
+        let e = parse_netlist("t\nR1 a 0 banana\n").unwrap_err();
+        match e {
+            ParseNetlistError::InvalidNumber { token, .. } => assert_eq!(token, "banana"),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod directive_tests {
+    use super::*;
+
+    #[test]
+    fn nodeset_pairs_parse() {
+        let n = parse_netlist("t\nR1 a 0 1\n.nodeset v(a)=1.5 v(b) = 2.5m\n").unwrap();
+        assert_eq!(n.nodesets["a"], 1.5);
+        assert!((n.nodesets["b"] - 2.5e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn nodeset_rejects_malformed() {
+        assert!(parse_netlist("t\nR1 a 0 1\n.nodeset a=1.5\n").is_err());
+        assert!(parse_netlist("t\nR1 a 0 1\n.nodeset v(a) 1.5\n").is_err());
+    }
+
+    #[test]
+    fn dc_card_parses() {
+        let n = parse_netlist("t\nV1 a 0 1\nR1 a 0 1\n.dc V1 0 5 0.5\n").unwrap();
+        assert_eq!(
+            n.analyses,
+            vec![AnalysisCard::Dc {
+                source: "V1".into(),
+                start: 0.0,
+                stop: 5.0,
+                step: 0.5
+            }]
+        );
+    }
+
+    #[test]
+    fn tran_card_parses_with_suffixes() {
+        let n = parse_netlist("t\nV1 a 0 1\nR1 a 0 1\n.tran 1u 1m\n").unwrap();
+        match n.analyses[0] {
+            AnalysisCard::Tran { step, stop } => {
+                assert!((step - 1e-6).abs() < 1e-18);
+                assert!((stop - 1e-3).abs() < 1e-15);
+            }
+            ref other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn op_card_parses() {
+        let n = parse_netlist("t\nR1 a 0 1\nV1 a 0 1\n.op\n").unwrap();
+        assert_eq!(n.analyses, vec![AnalysisCard::Op]);
+    }
+
+    #[test]
+    fn incomplete_analysis_cards_error() {
+        assert!(parse_netlist("t\nR1 a 0 1\n.dc V1 0 5\n").is_err());
+        assert!(parse_netlist("t\nR1 a 0 1\n.tran 1u\n").is_err());
+        assert!(parse_netlist("t\nR1 a 0 1\n.ac lin 10 1 1k\n").is_err());
+    }
+
+    #[test]
+    fn ac_card_parses() {
+        let n = parse_netlist("t\nV1 a 0 1\nR1 a 0 1\n.ac dec 10 1 1meg\n").unwrap();
+        match n.analyses[0] {
+            AnalysisCard::Ac {
+                points_per_decade,
+                f_start,
+                f_stop,
+            } => {
+                assert_eq!(points_per_decade, 10);
+                assert_eq!(f_start, 1.0);
+                assert_eq!(f_stop, 1e6);
+            }
+            ref other => panic!("unexpected: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! SPICE engineering-notation number parsing.
+//!
+//! SPICE values carry case-insensitive engineering suffixes and may be
+//! followed by arbitrary unit letters that are ignored (`10kOhm`, `5VOLTS`).
+//! The multipliers:
+//!
+//! | suffix | factor  |        | suffix | factor  |
+//! |--------|---------|--------|--------|---------|
+//! | `t`    | 1e12    |        | `u`    | 1e−6    |
+//! | `g`    | 1e9     |        | `n`    | 1e−9    |
+//! | `meg`  | 1e6     |        | `p`    | 1e−12   |
+//! | `k`    | 1e3     |        | `f`    | 1e−15   |
+//! | `m`    | 1e−3    |        | `mil`  | 25.4e−6 |
+
+use crate::ParseNetlistError;
+
+/// Parses a SPICE number with optional engineering suffix and unit letters.
+///
+/// # Errors
+///
+/// Returns [`ParseNetlistError::InvalidNumber`] when the token has no leading
+/// numeric part.
+///
+/// # Example
+///
+/// ```
+/// use rlpta_netlist::units::parse_value;
+///
+/// assert_eq!(parse_value("2.2k").unwrap(), 2200.0);
+/// assert_eq!(parse_value("1MEG").unwrap(), 1e6);
+/// assert!((parse_value("100nF").unwrap() - 1e-7).abs() < 1e-19);
+/// assert!(parse_value("abc").is_err());
+/// ```
+pub fn parse_value(token: &str) -> Result<f64, ParseNetlistError> {
+    let invalid = || ParseNetlistError::InvalidNumber {
+        token: token.to_owned(),
+        line: 0,
+    };
+    let bytes = token.as_bytes();
+    // Longest prefix that parses as a float: digits, sign, dot, exponent.
+    let mut end = 0;
+    let mut seen_digit = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        let ok = match b {
+            b'0'..=b'9' => {
+                seen_digit = true;
+                true
+            }
+            b'+' | b'-' => i == 0 || matches!(bytes[i - 1], b'e' | b'E'),
+            b'.' => true,
+            b'e' | b'E' => {
+                // Only an exponent if followed by a digit or sign+digit.
+                let next = bytes.get(i + 1);
+                let next2 = bytes.get(i + 2);
+                seen_digit
+                    && matches!(
+                        (next, next2),
+                        (Some(b'0'..=b'9'), _) | (Some(b'+') | Some(b'-'), Some(b'0'..=b'9'))
+                    )
+            }
+            _ => false,
+        };
+        if !ok {
+            break;
+        }
+        i += 1;
+        end = i;
+    }
+    if !seen_digit {
+        return Err(invalid());
+    }
+    let mantissa: f64 = token[..end].parse().map_err(|_| invalid())?;
+    let suffix = token[end..].to_ascii_lowercase();
+    let factor = if suffix.starts_with("meg") {
+        1e6
+    } else if suffix.starts_with("mil") {
+        25.4e-6
+    } else {
+        match suffix.chars().next() {
+            Some('t') => 1e12,
+            Some('g') => 1e9,
+            Some('k') => 1e3,
+            Some('m') => 1e-3,
+            Some('u') => 1e-6,
+            Some('n') => 1e-9,
+            Some('p') => 1e-12,
+            Some('f') => 1e-15,
+            _ => 1.0,
+        }
+    };
+    Ok(mantissa * factor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_numbers() {
+        assert_eq!(parse_value("5").unwrap(), 5.0);
+        assert_eq!(parse_value("-3.25").unwrap(), -3.25);
+        assert_eq!(parse_value("1e-3").unwrap(), 1e-3);
+        assert_eq!(parse_value("2.5E6").unwrap(), 2.5e6);
+    }
+
+    fn assert_close(actual: f64, expect: f64) {
+        assert!(
+            (actual - expect).abs() <= 1e-12 * expect.abs(),
+            "{actual} != {expect}"
+        );
+    }
+
+    #[test]
+    fn engineering_suffixes() {
+        assert_close(parse_value("1t").unwrap(), 1e12);
+        assert_close(parse_value("2G").unwrap(), 2e9);
+        assert_close(parse_value("3meg").unwrap(), 3e6);
+        assert_close(parse_value("4K").unwrap(), 4e3);
+        assert_close(parse_value("5m").unwrap(), 5e-3);
+        assert_close(parse_value("6u").unwrap(), 6e-6);
+        assert_close(parse_value("7n").unwrap(), 7e-9);
+        assert_close(parse_value("8p").unwrap(), 8e-12);
+        assert_close(parse_value("9f").unwrap(), 9e-15);
+        assert_close(parse_value("1mil").unwrap(), 25.4e-6);
+    }
+
+    #[test]
+    fn meg_vs_m_disambiguation() {
+        assert_eq!(parse_value("1m").unwrap(), 1e-3);
+        assert_eq!(parse_value("1meg").unwrap(), 1e6);
+        assert_eq!(parse_value("1MEGA").unwrap(), 1e6);
+    }
+
+    #[test]
+    fn trailing_units_ignored() {
+        assert_close(parse_value("10kohm").unwrap(), 1e4);
+        assert_close(parse_value("100nF").unwrap(), 1e-7);
+        assert_close(parse_value("5Volts").unwrap(), 5.0);
+        assert_close(parse_value("2.2uH").unwrap(), 2.2e-6);
+    }
+
+    #[test]
+    fn exponent_followed_by_suffix() {
+        assert_eq!(parse_value("1e3k").unwrap(), 1e6);
+    }
+
+    #[test]
+    fn exponent_letter_without_digits_is_unit() {
+        // "1e" — 'e' has no digits after it, treated as a unit letter.
+        assert_eq!(parse_value("1e").unwrap(), 1.0);
+    }
+
+    #[test]
+    fn invalid_tokens_rejected() {
+        assert!(parse_value("abc").is_err());
+        assert!(parse_value("").is_err());
+        assert!(parse_value("-").is_err());
+        assert!(parse_value(".k").is_err());
+    }
+}

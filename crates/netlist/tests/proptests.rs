@@ -1,0 +1,87 @@
+//! Property-based tests for the netlist front end.
+
+use proptest::prelude::*;
+use rlpta_netlist::units::parse_value;
+use rlpta_netlist::{parse, parse_netlist};
+
+proptest! {
+    /// The tokenizer/parser must never panic, whatever bytes arrive.
+    #[test]
+    fn parser_never_panics(deck in ".{0,400}") {
+        let _ = parse_netlist(&deck);
+    }
+
+    /// Number parsing never panics and either errors or returns finite.
+    #[test]
+    fn parse_value_total(token in ".{0,40}") {
+        if let Ok(v) = parse_value(&token) {
+            prop_assert!(v.is_finite());
+        }
+    }
+
+    /// Numbers printed in exponent form round-trip through the parser.
+    #[test]
+    fn exponent_form_roundtrips(v in -1e12f64..1e12) {
+        let s = format!("{v:e}");
+        let back = parse_value(&s).expect("exponent form is valid SPICE");
+        let tol = 1e-12 * v.abs().max(1e-12);
+        prop_assert!((back - v).abs() <= tol, "{s}: {back} vs {v}");
+    }
+
+    /// Engineering suffixes scale exactly as documented.
+    #[test]
+    fn suffix_scaling(mantissa in 0.001f64..1000.0) {
+        let cases = [
+            ("k", 1e3), ("meg", 1e6), ("g", 1e9), ("t", 1e12),
+            ("m", 1e-3), ("u", 1e-6), ("n", 1e-9), ("p", 1e-12), ("f", 1e-15),
+        ];
+        for (suffix, factor) in cases {
+            let token = format!("{mantissa}{suffix}");
+            let v = parse_value(&token).expect("valid token");
+            let expect = mantissa * factor;
+            prop_assert!((v - expect).abs() <= 1e-9 * expect.abs(), "{token}");
+        }
+    }
+
+    /// A generated resistor ladder parses into exactly the devices written.
+    #[test]
+    fn resistor_ladder_roundtrip(n in 1usize..30, r_kohm in 0.1f64..100.0) {
+        let mut deck = String::from("ladder\nV1 n0 0 5\n");
+        for i in 0..n {
+            deck += &format!("R{i} n{i} n{} {r_kohm}k\n", i + 1);
+        }
+        deck += &format!("RL n{n} 0 {r_kohm}k\n");
+        let c = parse(&deck).expect("ladder parses");
+        prop_assert_eq!(c.devices().len(), n + 2);
+        prop_assert_eq!(c.num_nodes(), n + 1);
+        prop_assert_eq!(c.num_branches(), 1);
+    }
+
+    /// Subcircuit instantiation scales node counts linearly and never
+    /// collides names across instances.
+    #[test]
+    fn subckt_instances_are_isolated(n in 1usize..12) {
+        let mut deck = String::from(
+            "instances\nV1 top 0 1\n.subckt CELL p\nR1 p m 1k\nR2 m 0 1k\n.ends\n",
+        );
+        for i in 0..n {
+            deck += &format!("X{i} top CELL\n");
+        }
+        let c = parse(&deck).expect("parses");
+        // 1 shared top node + n private `m` nodes.
+        prop_assert_eq!(c.num_nodes(), 1 + n);
+        prop_assert_eq!(c.devices().len(), 1 + 2 * n);
+    }
+
+    /// Comments and blank lines never change the parse result.
+    #[test]
+    fn comments_are_transparent(blanks in 0usize..5) {
+        let filler: String = "\n".repeat(blanks) + "* a comment line\n";
+        let deck_a = format!("t\n{filler}R1 a 0 1k\n{filler}V1 a 0 1\n");
+        let deck_b = "t\nR1 a 0 1k\nV1 a 0 1\n";
+        let a = parse(&deck_a).expect("a");
+        let b = parse(deck_b).expect("b");
+        prop_assert_eq!(a.devices().len(), b.devices().len());
+        prop_assert_eq!(a.num_nodes(), b.num_nodes());
+    }
+}

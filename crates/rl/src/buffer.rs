@@ -1,0 +1,177 @@
+//! Uniform experience replay.
+
+use rand::Rng;
+
+/// One `(s, a, r, s′, done)` transition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transition {
+    /// State the action was taken in.
+    pub state: Vec<f64>,
+    /// Action taken.
+    pub action: Vec<f64>,
+    /// Reward observed.
+    pub reward: f64,
+    /// Successor state.
+    pub next_state: Vec<f64>,
+    /// Whether the episode terminated at `next_state` (bootstrapping stops).
+    pub done: bool,
+}
+
+/// Fixed-capacity FIFO ring buffer with uniform random sampling.
+///
+/// # Example
+///
+/// ```
+/// use rlpta_rl::{ReplayBuffer, Transition};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut buf = ReplayBuffer::new(2);
+/// let t = Transition {
+///     state: vec![0.0], action: vec![0.0], reward: 1.0,
+///     next_state: vec![1.0], done: false,
+/// };
+/// buf.push(t.clone());
+/// buf.push(t.clone());
+/// buf.push(t); // evicts the oldest
+/// assert_eq!(buf.len(), 2);
+/// let mut rng = StdRng::seed_from_u64(0);
+/// assert_eq!(buf.sample(3, &mut rng).len(), 3); // sampling with replacement
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ReplayBuffer {
+    capacity: usize,
+    items: Vec<Transition>,
+    head: usize,
+}
+
+impl ReplayBuffer {
+    /// Creates a buffer holding at most `capacity` transitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Self {
+            capacity,
+            items: Vec::with_capacity(capacity.min(1024)),
+            head: 0,
+        }
+    }
+
+    /// Number of stored transitions.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Returns `true` if the buffer holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Maximum number of transitions.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Appends a transition, evicting the oldest when full.
+    pub fn push(&mut self, t: Transition) {
+        if self.items.len() < self.capacity {
+            self.items.push(t);
+        } else {
+            self.items[self.head] = t;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    /// Samples `n` transitions uniformly **with replacement** (standard
+    /// practice for small RL batches). Returns an empty vector when the
+    /// buffer is empty.
+    pub fn sample(&self, n: usize, rng: &mut impl Rng) -> Vec<Transition> {
+        if self.items.is_empty() {
+            return Vec::new();
+        }
+        (0..n)
+            .map(|_| self.items[rng.gen_range(0..self.items.len())].clone())
+            .collect()
+    }
+
+    /// Iterates over the stored transitions in arbitrary order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Transition> {
+        self.items.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn t(r: f64) -> Transition {
+        Transition {
+            state: vec![r],
+            action: vec![0.0],
+            reward: r,
+            next_state: vec![r + 1.0],
+            done: false,
+        }
+    }
+
+    #[test]
+    fn push_and_len() {
+        let mut b = ReplayBuffer::new(10);
+        assert!(b.is_empty());
+        b.push(t(1.0));
+        b.push(t(2.0));
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn fifo_eviction() {
+        let mut b = ReplayBuffer::new(3);
+        for i in 0..5 {
+            b.push(t(i as f64));
+        }
+        assert_eq!(b.len(), 3);
+        let rewards: Vec<f64> = b.iter().map(|x| x.reward).collect();
+        // 0 and 1 evicted.
+        assert!(!rewards.contains(&0.0));
+        assert!(!rewards.contains(&1.0));
+        assert!(rewards.contains(&4.0));
+    }
+
+    #[test]
+    fn sample_empty_returns_empty() {
+        let b = ReplayBuffer::new(4);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(b.sample(8, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn sample_with_replacement_exceeds_len() {
+        let mut b = ReplayBuffer::new(4);
+        b.push(t(1.0));
+        let mut rng = StdRng::seed_from_u64(0);
+        let s = b.sample(10, &mut rng);
+        assert_eq!(s.len(), 10);
+        assert!(s.iter().all(|x| x.reward == 1.0));
+    }
+
+    #[test]
+    fn sampling_is_seed_deterministic() {
+        let mut b = ReplayBuffer::new(16);
+        for i in 0..16 {
+            b.push(t(i as f64));
+        }
+        let s1 = b.sample(5, &mut StdRng::seed_from_u64(7));
+        let s2 = b.sample(5, &mut StdRng::seed_from_u64(7));
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = ReplayBuffer::new(0);
+    }
+}

@@ -1,0 +1,56 @@
+//! From-scratch reinforcement learning: MLP + Adam + TD3 with prioritized
+//! and shared replay.
+//!
+//! This crate is the neural substrate of the paper's RL-S stepping agent.
+//! It deliberately avoids any tensor framework — the TD3 networks are tiny
+//! (two hidden layers of a few dozen units), so a hand-rolled dense
+//! [`Mlp`] with exact analytic backpropagation and an [`Adam`] optimizer is
+//! simpler, fully deterministic, and fast.
+//!
+//! Components, mapping to §4 of the paper:
+//!
+//! * [`Mlp`]/[`Adam`] — function approximators and optimizer,
+//! * [`Td3Agent`] — twin critics, target networks, delayed policy update,
+//!   target-policy smoothing (Algorithm 2),
+//! * [`ReplayBuffer`] — uniform ring buffer,
+//! * [`SumTree`]/[`PrioritizedReplay`] — TD-error priority sampling (§4.4),
+//! * the public/shared buffer for dual-agent collaborative learning (§4.3)
+//!   is composed from these primitives in `rlpta-core`.
+//!
+//! # Example
+//!
+//! ```
+//! use rlpta_rl::{Td3Agent, Td3Config, Transition};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let mut agent = Td3Agent::new(Td3Config::new(3, 1), &mut rng);
+//! let a = agent.act(&[0.1, -0.2, 0.3]);
+//! assert!(a[0] >= -1.0 && a[0] <= 1.0); // tanh-bounded action
+//! let t = Transition {
+//!     state: vec![0.1, -0.2, 0.3],
+//!     action: a.clone(),
+//!     reward: 1.0,
+//!     next_state: vec![0.0, 0.0, 0.0],
+//!     done: false,
+//! };
+//! let _td_error = agent.train_on_batch(&[t], &mut rng);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adam;
+mod buffer;
+mod mlp;
+mod persist;
+mod priority;
+mod sumtree;
+mod td3;
+
+pub use adam::Adam;
+pub use buffer::{ReplayBuffer, Transition};
+pub use mlp::{Activation, Mlp};
+pub use priority::PrioritizedReplay;
+pub use sumtree::SumTree;
+pub use td3::{Td3Agent, Td3Config};

@@ -1,0 +1,430 @@
+//! Dense multi-layer perceptron with exact analytic backpropagation.
+
+use rand::Rng;
+
+/// Activation function applied between layers or at the output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Activation {
+    /// Identity.
+    Linear,
+    /// Rectified linear unit.
+    Relu,
+    /// Hyperbolic tangent (used by the TD3 actor output to bound actions).
+    Tanh,
+}
+
+impl Activation {
+    fn apply(self, z: f64) -> f64 {
+        match self {
+            Activation::Linear => z,
+            Activation::Relu => z.max(0.0),
+            Activation::Tanh => z.tanh(),
+        }
+    }
+
+    /// Derivative expressed through the *post-activation* value `a = f(z)`,
+    /// which is what the backward pass has cached.
+    fn deriv_from_output(self, a: f64) -> f64 {
+        match self {
+            Activation::Linear => 1.0,
+            Activation::Relu => {
+                if a > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => 1.0 - a * a,
+        }
+    }
+}
+
+/// Forward-pass cache needed by [`Mlp::backward`]: the input and every
+/// layer's post-activation output.
+#[derive(Debug, Clone)]
+pub struct ForwardCache {
+    activations: Vec<Vec<f64>>,
+}
+
+impl ForwardCache {
+    /// The network output this cache was produced with.
+    pub fn output(&self) -> &[f64] {
+        self.activations
+            .last()
+            .expect("cache has at least the input")
+    }
+}
+
+/// A dense MLP with ReLU hidden layers, a configurable output activation and
+/// flat parameter storage (weights then bias per layer), which makes Adam
+/// steps and Polyak target updates trivial.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mlp {
+    dims: Vec<usize>,
+    output: Activation,
+    params: Vec<f64>,
+}
+
+impl Mlp {
+    /// Creates a network with layer widths `dims` (`[input, h1, …, output]`)
+    /// and the given output activation, Xavier-initialized from `rng`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two dims are given or any dim is zero.
+    pub fn new(dims: &[usize], output: Activation, rng: &mut impl Rng) -> Self {
+        assert!(dims.len() >= 2, "need at least input and output dims");
+        assert!(dims.iter().all(|&d| d > 0), "zero-width layer");
+        let mut params = Vec::with_capacity(Self::count_params(dims));
+        for l in 0..dims.len() - 1 {
+            let (fan_in, fan_out) = (dims[l], dims[l + 1]);
+            let scale = (6.0 / (fan_in + fan_out) as f64).sqrt();
+            for _ in 0..fan_in * fan_out {
+                params.push(rng.gen_range(-scale..scale));
+            }
+            params.extend(std::iter::repeat_n(0.0, fan_out));
+        }
+        Self {
+            dims: dims.to_vec(),
+            output,
+            params,
+        }
+    }
+
+    /// Creates a zero-initialized network (used when loading parameters
+    /// from storage).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two dims are given or any dim is zero.
+    pub fn zeroed(dims: &[usize], output: Activation) -> Self {
+        assert!(dims.len() >= 2, "need at least input and output dims");
+        assert!(dims.iter().all(|&d| d > 0), "zero-width layer");
+        Self {
+            dims: dims.to_vec(),
+            output,
+            params: vec![0.0; Self::count_params(dims)],
+        }
+    }
+
+    fn count_params(dims: &[usize]) -> usize {
+        dims.windows(2).map(|w| w[0] * w[1] + w[1]).sum()
+    }
+
+    /// The layer widths (`[input, hidden…, output]`).
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// The output activation.
+    pub fn output_activation(&self) -> Activation {
+        self.output
+    }
+
+    /// Input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.dims[0]
+    }
+
+    /// Output dimension.
+    pub fn output_dim(&self) -> usize {
+        *self.dims.last().expect("dims nonempty")
+    }
+
+    /// Number of parameters.
+    pub fn num_params(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Borrows the flat parameter vector.
+    pub fn params(&self) -> &[f64] {
+        &self.params
+    }
+
+    /// Mutably borrows the flat parameter vector (used by the optimizer).
+    pub fn params_mut(&mut self) -> &mut [f64] {
+        &mut self.params
+    }
+
+    /// Polyak/soft update: `θ ← τ·θ_src + (1−τ)·θ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two networks have different shapes.
+    pub fn soft_update_from(&mut self, src: &Mlp, tau: f64) {
+        assert_eq!(self.dims, src.dims, "shape mismatch in soft update");
+        for (t, s) in self.params.iter_mut().zip(&src.params) {
+            *t = tau * s + (1.0 - tau) * *t;
+        }
+    }
+
+    /// Copies all parameters from `src` (hard target sync).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two networks have different shapes.
+    pub fn copy_from(&mut self, src: &Mlp) {
+        assert_eq!(self.dims, src.dims, "shape mismatch in copy");
+        self.params.copy_from_slice(&src.params);
+    }
+
+    /// Forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.input_dim()`.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        self.forward_cached(x).output().to_vec()
+    }
+
+    /// Forward pass that retains per-layer activations for
+    /// [`Mlp::backward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.input_dim()`.
+    pub fn forward_cached(&self, x: &[f64]) -> ForwardCache {
+        assert_eq!(x.len(), self.input_dim(), "input dimension mismatch");
+        let n_layers = self.dims.len() - 1;
+        let mut activations = Vec::with_capacity(n_layers + 1);
+        activations.push(x.to_vec());
+        let mut offset = 0;
+        for l in 0..n_layers {
+            let (fan_in, fan_out) = (self.dims[l], self.dims[l + 1]);
+            let w = &self.params[offset..offset + fan_in * fan_out];
+            let b = &self.params[offset + fan_in * fan_out..offset + fan_in * fan_out + fan_out];
+            offset += fan_in * fan_out + fan_out;
+            let act = if l == n_layers - 1 {
+                self.output
+            } else {
+                Activation::Relu
+            };
+            let prev = &activations[l];
+            let mut out = Vec::with_capacity(fan_out);
+            for i in 0..fan_out {
+                let mut z = b[i];
+                let row = &w[i * fan_in..(i + 1) * fan_in];
+                for (wij, aj) in row.iter().zip(prev) {
+                    z += wij * aj;
+                }
+                out.push(act.apply(z));
+            }
+            activations.push(out);
+        }
+        ForwardCache { activations }
+    }
+
+    /// Backward pass: given `∂L/∂output`, accumulates `∂L/∂θ` into `grads`
+    /// (same layout/length as [`Mlp::params`]) and returns `∂L/∂input`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grads.len() != self.num_params()` or the gradient length
+    /// does not match the output dimension.
+    pub fn backward(
+        &self,
+        cache: &ForwardCache,
+        grad_output: &[f64],
+        grads: &mut [f64],
+    ) -> Vec<f64> {
+        assert_eq!(grads.len(), self.num_params(), "gradient buffer mismatch");
+        assert_eq!(
+            grad_output.len(),
+            self.output_dim(),
+            "output gradient mismatch"
+        );
+        let n_layers = self.dims.len() - 1;
+
+        // Layer parameter offsets.
+        let mut offsets = Vec::with_capacity(n_layers);
+        let mut off = 0;
+        for l in 0..n_layers {
+            offsets.push(off);
+            off += self.dims[l] * self.dims[l + 1] + self.dims[l + 1];
+        }
+
+        let mut g = grad_output.to_vec();
+        for l in (0..n_layers).rev() {
+            let (fan_in, fan_out) = (self.dims[l], self.dims[l + 1]);
+            let act = if l == n_layers - 1 {
+                self.output
+            } else {
+                Activation::Relu
+            };
+            let a_out = &cache.activations[l + 1];
+            let a_in = &cache.activations[l];
+            // δ = g ⊙ f'(z), with f' recovered from the cached output.
+            let delta: Vec<f64> = g
+                .iter()
+                .zip(a_out)
+                .map(|(gi, ai)| gi * act.deriv_from_output(*ai))
+                .collect();
+            let w_off = offsets[l];
+            let b_off = w_off + fan_in * fan_out;
+            for i in 0..fan_out {
+                let di = delta[i];
+                if di != 0.0 {
+                    let row = &mut grads[w_off + i * fan_in..w_off + (i + 1) * fan_in];
+                    for (gw, aj) in row.iter_mut().zip(a_in) {
+                        *gw += di * aj;
+                    }
+                }
+                grads[b_off + i] += di;
+            }
+            // Propagate to the previous layer: g_prev[j] = Σ_i W[i,j]·δ[i].
+            let w = &self.params[w_off..w_off + fan_in * fan_out];
+            let mut g_prev = vec![0.0; fan_in];
+            for i in 0..fan_out {
+                let di = delta[i];
+                if di != 0.0 {
+                    let row = &w[i * fan_in..(i + 1) * fan_in];
+                    for (j, wij) in row.iter().enumerate() {
+                        g_prev[j] += wij * di;
+                    }
+                }
+            }
+            g = g_prev;
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1234)
+    }
+
+    #[test]
+    fn shapes_and_param_count() {
+        let m = Mlp::new(&[3, 8, 2], Activation::Tanh, &mut rng());
+        assert_eq!(m.input_dim(), 3);
+        assert_eq!(m.output_dim(), 2);
+        assert_eq!(m.num_params(), 3 * 8 + 8 + 8 * 2 + 2);
+        assert_eq!(m.forward(&[0.0, 0.0, 0.0]).len(), 2);
+    }
+
+    #[test]
+    fn tanh_output_is_bounded() {
+        let m = Mlp::new(&[2, 16, 1], Activation::Tanh, &mut rng());
+        for x in [-100.0, -1.0, 0.0, 1.0, 100.0] {
+            let y = m.forward(&[x, -x])[0];
+            assert!((-1.0..=1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn forward_is_deterministic() {
+        let m = Mlp::new(&[4, 8, 3], Activation::Linear, &mut rng());
+        let x = [0.3, -0.2, 0.9, 0.0];
+        assert_eq!(m.forward(&x), m.forward(&x));
+    }
+
+    #[test]
+    fn gradient_check_parameters() {
+        // Analytic ∂L/∂θ vs central finite differences, L = Σ output².
+        let mut m = Mlp::new(&[3, 6, 5, 2], Activation::Tanh, &mut rng());
+        let x = [0.5, -0.3, 0.8];
+        let loss = |m: &Mlp| -> f64 { m.forward(&x).iter().map(|v| v * v).sum() };
+
+        let cache = m.forward_cached(&x);
+        let grad_out: Vec<f64> = cache.output().iter().map(|v| 2.0 * v).collect();
+        let mut grads = vec![0.0; m.num_params()];
+        m.backward(&cache, &grad_out, &mut grads);
+
+        let h = 1e-6;
+        for k in (0..m.num_params()).step_by(7) {
+            let orig = m.params()[k];
+            m.params_mut()[k] = orig + h;
+            let lp = loss(&m);
+            m.params_mut()[k] = orig - h;
+            let lm = loss(&m);
+            m.params_mut()[k] = orig;
+            let fd = (lp - lm) / (2.0 * h);
+            assert!(
+                (fd - grads[k]).abs() < 1e-5 * (1.0 + fd.abs()),
+                "param {k}: fd {fd} vs analytic {}",
+                grads[k]
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_check_inputs() {
+        // ∂L/∂x via backward's return value.
+        let m = Mlp::new(&[4, 8, 1], Activation::Linear, &mut rng());
+        let x = [0.1, 0.7, -0.4, 0.2];
+        let cache = m.forward_cached(&x);
+        let mut grads = vec![0.0; m.num_params()];
+        let gx = m.backward(&cache, &[1.0], &mut grads);
+
+        let h = 1e-6;
+        for k in 0..x.len() {
+            let mut xp = x;
+            xp[k] += h;
+            let mut xm = x;
+            xm[k] -= h;
+            let fd = (m.forward(&xp)[0] - m.forward(&xm)[0]) / (2.0 * h);
+            assert!(
+                (fd - gx[k]).abs() < 1e-6 * (1.0 + fd.abs()),
+                "input {k}: {fd} vs {}",
+                gx[k]
+            );
+        }
+    }
+
+    #[test]
+    fn soft_update_interpolates() {
+        let a = Mlp::new(&[2, 4, 1], Activation::Linear, &mut rng());
+        let mut b = a.clone();
+        let mut src = a.clone();
+        for p in src.params_mut() {
+            *p += 1.0;
+        }
+        b.soft_update_from(&src, 0.25);
+        for ((pa, pb), ps) in a.params().iter().zip(b.params()).zip(src.params()) {
+            let expect = 0.25 * ps + 0.75 * pa;
+            assert!((pb - expect).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn copy_from_syncs_exactly() {
+        let a = Mlp::new(&[2, 3, 1], Activation::Tanh, &mut rng());
+        let mut b = Mlp::new(&[2, 3, 1], Activation::Tanh, &mut StdRng::seed_from_u64(99));
+        b.copy_from(&a);
+        assert_eq!(a.params(), b.params());
+    }
+
+    #[test]
+    #[should_panic(expected = "input dimension mismatch")]
+    fn forward_validates_input() {
+        let m = Mlp::new(&[3, 2], Activation::Linear, &mut rng());
+        let _ = m.forward(&[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn soft_update_validates_shape() {
+        let mut a = Mlp::new(&[2, 2], Activation::Linear, &mut rng());
+        let b = Mlp::new(&[3, 2], Activation::Linear, &mut rng());
+        a.soft_update_from(&b, 0.5);
+    }
+
+    #[test]
+    fn relu_hidden_layers_clip_negatives() {
+        // A single hidden unit with forced negative pre-activation outputs 0.
+        let mut m = Mlp::new(&[1, 1, 1], Activation::Linear, &mut rng());
+        // layer0: w=1, b=-10 → z = x − 10 < 0 → relu = 0; layer1: w=5, b=3.
+        let p = m.params_mut();
+        p[0] = 1.0;
+        p[1] = -10.0;
+        p[2] = 5.0;
+        p[3] = 3.0;
+        assert_eq!(m.forward(&[1.0])[0], 3.0);
+    }
+}

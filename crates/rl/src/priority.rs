@@ -1,0 +1,189 @@
+//! TD-error prioritized experience replay (§4.4 of the paper).
+
+use crate::{SumTree, Transition};
+use rand::Rng;
+
+/// Replay buffer whose sampling probability is proportional to each
+/// transition's stored |TD-error| priority, backed by a [`SumTree`].
+///
+/// New transitions enter with the current maximum priority so they are
+/// guaranteed to be replayed at least once; priorities are refreshed after
+/// each critic update via [`PrioritizedReplay::update_priority`]. A small
+/// floor keeps low-error samples alive, which is the paper's "does not
+/// completely eliminate beneficial small-weight samples" property.
+#[derive(Debug, Clone)]
+pub struct PrioritizedReplay {
+    tree: SumTree,
+    items: Vec<Transition>,
+    head: usize,
+    max_priority: f64,
+}
+
+impl PrioritizedReplay {
+    /// Priority floor added to every stored |TD-error|.
+    pub const PRIORITY_FLOOR: f64 = 1e-3;
+
+    /// Creates a buffer with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            tree: SumTree::new(capacity),
+            items: Vec::new(),
+            head: 0,
+            max_priority: 1.0,
+        }
+    }
+
+    /// Number of stored transitions.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Returns `true` when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Maximum number of transitions.
+    pub fn capacity(&self) -> usize {
+        self.tree.capacity()
+    }
+
+    /// Appends a transition at the current max priority, evicting FIFO when
+    /// full.
+    pub fn push(&mut self, t: Transition) {
+        let idx = if self.items.len() < self.capacity() {
+            self.items.push(t);
+            self.items.len() - 1
+        } else {
+            let idx = self.head;
+            self.items[idx] = t;
+            self.head = (self.head + 1) % self.capacity();
+            idx
+        };
+        self.tree.set(idx, self.max_priority);
+    }
+
+    /// Samples `n` transitions proportionally to priority (with
+    /// replacement), returning `(buffer index, transition)` pairs so the
+    /// caller can refresh priorities after training. Empty if the buffer is
+    /// empty.
+    pub fn sample(&self, n: usize, rng: &mut impl Rng) -> Vec<(usize, Transition)> {
+        if self.items.is_empty() || self.tree.total() <= 0.0 {
+            return Vec::new();
+        }
+        (0..n)
+            .map(|_| {
+                let v = rng.gen_range(0.0..self.tree.total());
+                let idx = self.tree.find(v).min(self.items.len() - 1);
+                (idx, self.items[idx].clone())
+            })
+            .collect()
+    }
+
+    /// Refreshes the priority of buffer slot `index` with a new |TD-error|.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds or `td_error` is non-finite.
+    pub fn update_priority(&mut self, index: usize, td_error: f64) {
+        assert!(index < self.items.len(), "index out of bounds");
+        assert!(td_error.is_finite(), "TD error must be finite");
+        let p = td_error.abs() + Self::PRIORITY_FLOOR;
+        self.max_priority = self.max_priority.max(p);
+        self.tree.set(index, p);
+    }
+
+    /// Iterates over stored transitions in slot order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Transition> {
+        self.items.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn t(r: f64) -> Transition {
+        Transition {
+            state: vec![r],
+            action: vec![0.0],
+            reward: r,
+            next_state: vec![r],
+            done: false,
+        }
+    }
+
+    #[test]
+    fn new_items_get_max_priority() {
+        let mut b = PrioritizedReplay::new(4);
+        b.push(t(0.0));
+        b.update_priority(0, 10.0);
+        b.push(t(1.0)); // must inherit the raised max priority
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = b.sample(1000, &mut rng);
+        let n1 = hits.iter().filter(|(i, _)| *i == 1).count();
+        // Slot 1 has priority ≈ slot 0's, so it is sampled often.
+        assert!(n1 > 300, "new item undersampled: {n1}");
+    }
+
+    #[test]
+    fn high_td_error_is_sampled_more() {
+        let mut b = PrioritizedReplay::new(4);
+        for i in 0..4 {
+            b.push(t(i as f64));
+        }
+        for i in 0..4 {
+            b.update_priority(i, if i == 2 { 10.0 } else { 0.01 });
+        }
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = b.sample(2000, &mut rng);
+        let n2 = hits.iter().filter(|(i, _)| *i == 2).count();
+        assert!(n2 > 1700, "high-priority sample count {n2}");
+    }
+
+    #[test]
+    fn low_priority_samples_still_appear() {
+        // The floor keeps small-TD-error samples alive (paper §4.4).
+        let mut b = PrioritizedReplay::new(2);
+        b.push(t(0.0));
+        b.push(t(1.0));
+        b.update_priority(0, 0.0); // floor only
+        b.update_priority(1, 1.0);
+        let mut rng = StdRng::seed_from_u64(17);
+        let hits = b.sample(20_000, &mut rng);
+        let n0 = hits.iter().filter(|(i, _)| *i == 0).count();
+        assert!(n0 > 0, "floored sample never drawn");
+    }
+
+    #[test]
+    fn fifo_eviction_when_full() {
+        let mut b = PrioritizedReplay::new(2);
+        b.push(t(0.0));
+        b.push(t(1.0));
+        b.push(t(2.0)); // evicts slot 0
+        assert_eq!(b.len(), 2);
+        let rewards: Vec<f64> = b.iter().map(|x| x.reward).collect();
+        assert!(rewards.contains(&2.0));
+        assert!(!rewards.contains(&0.0));
+    }
+
+    #[test]
+    fn empty_sample_is_empty() {
+        let b = PrioritizedReplay::new(4);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(b.sample(5, &mut rng).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of bounds")]
+    fn update_validates_index() {
+        let mut b = PrioritizedReplay::new(4);
+        b.update_priority(0, 1.0);
+    }
+}

@@ -1,0 +1,200 @@
+//! Binary sum tree for proportional priority sampling.
+
+/// A complete binary tree whose leaves hold non-negative priorities and
+/// whose internal nodes hold the sum of their children — `O(log n)` update
+/// and proportional sampling, exactly the structure §4.4 of the paper
+/// describes for TD-error priority sampling.
+///
+/// # Example
+///
+/// ```
+/// use rlpta_rl::SumTree;
+///
+/// let mut t = SumTree::new(4);
+/// t.set(0, 1.0);
+/// t.set(1, 3.0);
+/// assert_eq!(t.total(), 4.0);
+/// // Mass in [0,1) lands on leaf 0; mass in [1,4) lands on leaf 1.
+/// assert_eq!(t.find(0.5), 0);
+/// assert_eq!(t.find(2.0), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SumTree {
+    /// Requested number of usable leaves.
+    capacity: usize,
+    /// Actual leaf count, padded to a power of two so every leaf sits at the
+    /// same depth and cumulative mass follows leaf order.
+    leaves: usize,
+    /// Heap-style storage: `tree[0]` is the root; leaves start at
+    /// `leaves − 1`.
+    tree: Vec<f64>,
+}
+
+impl SumTree {
+    /// Creates a tree with `capacity` zero-priority leaves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        let leaves = capacity.next_power_of_two();
+        Self {
+            capacity,
+            leaves,
+            tree: vec![0.0; 2 * leaves - 1],
+        }
+    }
+
+    /// Number of usable leaves.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total priority mass (the root).
+    pub fn total(&self) -> f64 {
+        self.tree[0]
+    }
+
+    /// Priority of leaf `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= capacity`.
+    pub fn get(&self, index: usize) -> f64 {
+        assert!(index < self.capacity, "leaf index out of bounds");
+        self.tree[self.leaves - 1 + index]
+    }
+
+    /// Sets the priority of leaf `index`, updating ancestor sums.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= capacity` or `priority` is negative/non-finite.
+    pub fn set(&mut self, index: usize, priority: f64) {
+        assert!(index < self.capacity, "leaf index out of bounds");
+        assert!(
+            priority.is_finite() && priority >= 0.0,
+            "priority must be ≥ 0"
+        );
+        let mut pos = self.leaves - 1 + index;
+        let delta = priority - self.tree[pos];
+        self.tree[pos] = priority;
+        while pos > 0 {
+            pos = (pos - 1) / 2;
+            self.tree[pos] += delta;
+        }
+    }
+
+    /// Finds the leaf index owning cumulative mass `value ∈ [0, total)`:
+    /// descends from the root, going left when the left subtree's sum covers
+    /// `value`, otherwise subtracting it and going right.
+    ///
+    /// Values outside the range are clamped to the nearest end.
+    pub fn find(&self, value: f64) -> usize {
+        let mut v = value.clamp(0.0, self.total().max(0.0));
+        let mut pos = 0usize;
+        while pos < self.leaves - 1 {
+            let left = 2 * pos + 1;
+            let right = left + 1;
+            if v < self.tree[left] || self.tree[right] == 0.0 {
+                pos = left;
+            } else {
+                v -= self.tree[left];
+                pos = right;
+            }
+        }
+        (pos - (self.leaves - 1)).min(self.capacity - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn total_tracks_sets() {
+        let mut t = SumTree::new(8);
+        t.set(0, 2.0);
+        t.set(3, 5.0);
+        t.set(7, 1.0);
+        assert_eq!(t.total(), 8.0);
+        t.set(3, 0.0);
+        assert_eq!(t.total(), 3.0);
+        assert_eq!(t.get(0), 2.0);
+    }
+
+    #[test]
+    fn parent_sum_invariant_after_random_updates() {
+        let mut t = SumTree::new(16);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..200 {
+            t.set(rng.gen_range(0..16), rng.gen_range(0.0..10.0));
+        }
+        // Verify every internal node is the sum of its children.
+        for pos in 0..15 {
+            let sum = t.tree[2 * pos + 1] + t.tree[2 * pos + 2];
+            assert!((t.tree[pos] - sum).abs() < 1e-9, "node {pos}");
+        }
+    }
+
+    #[test]
+    fn find_respects_mass_boundaries() {
+        let mut t = SumTree::new(4);
+        t.set(0, 1.0);
+        t.set(1, 2.0);
+        t.set(2, 3.0);
+        t.set(3, 4.0);
+        assert_eq!(t.find(0.5), 0);
+        assert_eq!(t.find(1.5), 1);
+        assert_eq!(t.find(3.5), 2);
+        assert_eq!(t.find(9.9), 3);
+    }
+
+    #[test]
+    fn zero_priority_leaves_are_never_found() {
+        let mut t = SumTree::new(8);
+        t.set(2, 1.0);
+        t.set(5, 1.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            let leaf = t.find(rng.gen_range(0.0..t.total()));
+            assert!(leaf == 2 || leaf == 5, "found zero-priority leaf {leaf}");
+        }
+    }
+
+    #[test]
+    fn sampling_frequency_is_proportional() {
+        let mut t = SumTree::new(4);
+        t.set(0, 1.0);
+        t.set(1, 9.0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 20_000;
+        let mut hits = [0usize; 4];
+        for _ in 0..n {
+            hits[t.find(rng.gen_range(0.0..t.total()))] += 1;
+        }
+        let ratio = hits[1] as f64 / hits[0] as f64;
+        assert!((ratio - 9.0).abs() < 1.0, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn non_power_of_two_capacity() {
+        let mut t = SumTree::new(5);
+        for i in 0..5 {
+            t.set(i, 1.0);
+        }
+        assert_eq!(t.total(), 5.0);
+        for i in 0..5 {
+            assert_eq!(t.find(i as f64 + 0.5), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "priority must be")]
+    fn negative_priority_rejected() {
+        SumTree::new(2).set(0, -1.0);
+    }
+}

@@ -1,0 +1,462 @@
+//! Twin Delayed Deep Deterministic policy gradient (TD3, Fujimoto et al.
+//! 2018) — the agent architecture of the paper's Algorithm 2.
+
+use self::rand_distr_free::sample_standard_normal;
+use crate::{Activation, Adam, Mlp, Transition};
+use rand::Rng;
+
+/// Minimal Box–Muller standard normal sampler so we only depend on `rand`'s
+/// uniform source.
+mod rand_distr_free {
+    use rand::Rng;
+
+    pub fn sample_standard_normal(rng: &mut impl Rng) -> f64 {
+        // Box–Muller; u1 in (0,1] to avoid ln(0).
+        let u1: f64 = 1.0 - rng.gen::<f64>();
+        let u2: f64 = rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+/// Hyper-parameters for a [`Td3Agent`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Td3Config {
+    /// State dimension.
+    pub state_dim: usize,
+    /// Action dimension (actions are tanh-bounded to `[−1, 1]`).
+    pub action_dim: usize,
+    /// Hidden layer widths for actor and critics.
+    pub hidden: Vec<usize>,
+    /// Actor learning rate.
+    pub actor_lr: f64,
+    /// Critic learning rate.
+    pub critic_lr: f64,
+    /// Discount factor γ.
+    pub gamma: f64,
+    /// Polyak averaging coefficient τ for target networks.
+    pub tau: f64,
+    /// Actor/target update period `d` (delayed policy updates).
+    pub policy_delay: u64,
+    /// Target-policy smoothing noise σ̃.
+    pub policy_noise: f64,
+    /// Smoothing noise clip `c`.
+    pub noise_clip: f64,
+    /// Exploration noise σ added by [`Td3Agent::act_exploring`].
+    pub exploration_noise: f64,
+}
+
+impl Td3Config {
+    /// Defaults from the TD3 paper, scaled for the small PTA control
+    /// problem: hidden `[64, 64]`, lr 1e−3, γ 0.99, τ 0.005, delay 2,
+    /// σ̃ 0.2 clipped at 0.5, exploration σ 0.1.
+    pub fn new(state_dim: usize, action_dim: usize) -> Self {
+        Self {
+            state_dim,
+            action_dim,
+            hidden: vec![64, 64],
+            actor_lr: 1e-3,
+            critic_lr: 1e-3,
+            gamma: 0.99,
+            tau: 0.005,
+            policy_delay: 2,
+            policy_noise: 0.2,
+            noise_clip: 0.5,
+            exploration_noise: 0.1,
+        }
+    }
+}
+
+/// A TD3 actor–critic agent: deterministic tanh policy, twin Q critics,
+/// target networks with Polyak updates, delayed policy updates and
+/// target-policy smoothing.
+#[derive(Debug, Clone)]
+pub struct Td3Agent {
+    config: Td3Config,
+    actor: Mlp,
+    actor_target: Mlp,
+    critic1: Mlp,
+    critic2: Mlp,
+    critic1_target: Mlp,
+    critic2_target: Mlp,
+    actor_opt: Adam,
+    critic1_opt: Adam,
+    critic2_opt: Adam,
+    train_steps: u64,
+}
+
+impl Td3Agent {
+    /// Creates an agent with freshly initialized networks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state_dim` or `action_dim` is zero.
+    pub fn new(config: Td3Config, rng: &mut impl Rng) -> Self {
+        assert!(
+            config.state_dim > 0 && config.action_dim > 0,
+            "zero dimension"
+        );
+        let mut actor_dims = vec![config.state_dim];
+        actor_dims.extend(&config.hidden);
+        actor_dims.push(config.action_dim);
+        let mut critic_dims = vec![config.state_dim + config.action_dim];
+        critic_dims.extend(&config.hidden);
+        critic_dims.push(1);
+
+        let actor = Mlp::new(&actor_dims, Activation::Tanh, rng);
+        let critic1 = Mlp::new(&critic_dims, Activation::Linear, rng);
+        let critic2 = Mlp::new(&critic_dims, Activation::Linear, rng);
+        let actor_target = actor.clone();
+        let critic1_target = critic1.clone();
+        let critic2_target = critic2.clone();
+        let actor_opt = Adam::new(actor.num_params(), config.actor_lr);
+        let critic1_opt = Adam::new(critic1.num_params(), config.critic_lr);
+        let critic2_opt = Adam::new(critic2.num_params(), config.critic_lr);
+        Self {
+            config,
+            actor,
+            actor_target,
+            critic1,
+            critic2,
+            critic1_target,
+            critic2_target,
+            actor_opt,
+            critic1_opt,
+            critic2_opt,
+            train_steps: 0,
+        }
+    }
+
+    /// The agent's configuration.
+    pub fn config(&self) -> &Td3Config {
+        &self.config
+    }
+
+    /// Number of [`Td3Agent::train_on_batch`] calls so far.
+    pub fn train_steps(&self) -> u64 {
+        self.train_steps
+    }
+
+    /// The six networks in persistence order: actor, actor target,
+    /// critic 1, critic 2, critic-1 target, critic-2 target.
+    pub fn networks(&self) -> [&Mlp; 6] {
+        [
+            &self.actor,
+            &self.actor_target,
+            &self.critic1,
+            &self.critic2,
+            &self.critic1_target,
+            &self.critic2_target,
+        ]
+    }
+
+    /// Reassembles an agent from stored networks (same order as
+    /// [`Td3Agent::networks`]) and a training-step counter. Optimizer
+    /// moments and replay contents restart fresh.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the network shapes disagree with the
+    /// configuration.
+    pub fn from_networks(
+        config: Td3Config,
+        networks: Vec<Mlp>,
+        train_steps: u64,
+    ) -> Result<Self, String> {
+        if networks.len() != 6 {
+            return Err(format!("expected 6 networks, got {}", networks.len()));
+        }
+        let mut it = networks.into_iter();
+        let actor = it.next().expect("len checked");
+        let actor_target = it.next().expect("len checked");
+        let critic1 = it.next().expect("len checked");
+        let critic2 = it.next().expect("len checked");
+        let critic1_target = it.next().expect("len checked");
+        let critic2_target = it.next().expect("len checked");
+        if actor.input_dim() != config.state_dim || actor.output_dim() != config.action_dim {
+            return Err("actor shape disagrees with config".into());
+        }
+        if critic1.input_dim() != config.state_dim + config.action_dim || critic1.output_dim() != 1
+        {
+            return Err("critic shape disagrees with config".into());
+        }
+        let actor_opt = Adam::new(actor.num_params(), config.actor_lr);
+        let critic1_opt = Adam::new(critic1.num_params(), config.critic_lr);
+        let critic2_opt = Adam::new(critic2.num_params(), config.critic_lr);
+        Ok(Self {
+            config,
+            actor,
+            actor_target,
+            critic1,
+            critic2,
+            critic1_target,
+            critic2_target,
+            actor_opt,
+            critic1_opt,
+            critic2_opt,
+            train_steps,
+        })
+    }
+
+    /// Deterministic policy action, each component in `[−1, 1]`.
+    pub fn act(&self, state: &[f64]) -> Vec<f64> {
+        self.actor.forward(state)
+    }
+
+    /// Policy action with Gaussian exploration noise, clipped to `[−1, 1]`.
+    pub fn act_exploring(&self, state: &[f64], rng: &mut impl Rng) -> Vec<f64> {
+        self.act(state)
+            .into_iter()
+            .map(|a| {
+                (a + self.config.exploration_noise * sample_standard_normal(rng)).clamp(-1.0, 1.0)
+            })
+            .collect()
+    }
+
+    /// Q-value of `(state, action)` under the first critic.
+    pub fn q_value(&self, state: &[f64], action: &[f64]) -> f64 {
+        let sa = [state, action].concat();
+        self.critic1.forward(&sa)[0]
+    }
+
+    /// One TD3 training step on a batch (Algorithm 2 lines 9–18). Returns
+    /// the per-sample TD errors `y − Q₁(s,a)` computed *before* the update,
+    /// which feed priority refreshes.
+    ///
+    /// An empty batch is a no-op returning an empty vector.
+    pub fn train_on_batch(&mut self, batch: &[Transition], rng: &mut impl Rng) -> Vec<f64> {
+        if batch.is_empty() {
+            return Vec::new();
+        }
+        let n = batch.len() as f64;
+        let cfg = self.config.clone();
+
+        // --- targets with smoothed target policy ---
+        let mut targets = Vec::with_capacity(batch.len());
+        for t in batch {
+            let mut a2 = self.actor_target.forward(&t.next_state);
+            for a in &mut a2 {
+                let eps = (cfg.policy_noise * sample_standard_normal(rng))
+                    .clamp(-cfg.noise_clip, cfg.noise_clip);
+                *a = (*a + eps).clamp(-1.0, 1.0);
+            }
+            let sa2 = [t.next_state.as_slice(), a2.as_slice()].concat();
+            let q1 = self.critic1_target.forward(&sa2)[0];
+            let q2 = self.critic2_target.forward(&sa2)[0];
+            let not_done = if t.done { 0.0 } else { 1.0 };
+            targets.push(t.reward + cfg.gamma * not_done * q1.min(q2));
+        }
+
+        // --- critic updates: L = 1/N Σ (Q(s,a) − y)² ---
+        let mut td_errors = Vec::with_capacity(batch.len());
+        let mut g1 = vec![0.0; self.critic1.num_params()];
+        let mut g2 = vec![0.0; self.critic2.num_params()];
+        for (t, &y) in batch.iter().zip(&targets) {
+            let sa = [t.state.as_slice(), t.action.as_slice()].concat();
+            let c1 = self.critic1.forward_cached(&sa);
+            let c2 = self.critic2.forward_cached(&sa);
+            let q1 = c1.output()[0];
+            let q2 = c2.output()[0];
+            td_errors.push(y - q1);
+            self.critic1.backward(&c1, &[2.0 * (q1 - y) / n], &mut g1);
+            self.critic2.backward(&c2, &[2.0 * (q2 - y) / n], &mut g2);
+        }
+        self.critic1_opt.step(self.critic1.params_mut(), &g1);
+        self.critic2_opt.step(self.critic2.params_mut(), &g2);
+
+        self.train_steps += 1;
+
+        // --- delayed policy + target updates ---
+        if self.train_steps.is_multiple_of(cfg.policy_delay) {
+            let mut ga = vec![0.0; self.actor.num_params()];
+            let mut scratch = vec![0.0; self.critic1.num_params()];
+            for t in batch {
+                let ac = self.actor.forward_cached(&t.state);
+                let a = ac.output().to_vec();
+                let sa = [t.state.as_slice(), a.as_slice()].concat();
+                let cc = self.critic1.forward_cached(&sa);
+                // Maximize Q ⇒ minimize −Q: ∂(−Q)/∂input, action slice.
+                scratch.iter_mut().for_each(|v| *v = 0.0);
+                let gin = self.critic1.backward(&cc, &[-1.0 / n], &mut scratch);
+                let ga_out = &gin[cfg.state_dim..];
+                self.actor.backward(&ac, ga_out, &mut ga);
+            }
+            self.actor_opt.step(self.actor.params_mut(), &ga);
+            self.actor_target.soft_update_from(&self.actor, cfg.tau);
+            self.critic1_target.soft_update_from(&self.critic1, cfg.tau);
+            self.critic2_target.soft_update_from(&self.critic2, cfg.tau);
+        }
+        td_errors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(2024)
+    }
+
+    fn transition(s: f64, a: f64, r: f64, s2: f64) -> Transition {
+        Transition {
+            state: vec![s],
+            action: vec![a],
+            reward: r,
+            next_state: vec![s2],
+            done: false,
+        }
+    }
+
+    #[test]
+    fn actions_are_bounded() {
+        let agent = Td3Agent::new(Td3Config::new(3, 2), &mut rng());
+        let a = agent.act(&[10.0, -10.0, 0.0]);
+        assert_eq!(a.len(), 2);
+        assert!(a.iter().all(|v| (-1.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    fn exploration_noise_stays_bounded() {
+        let agent = Td3Agent::new(Td3Config::new(2, 1), &mut rng());
+        let mut r = rng();
+        for _ in 0..100 {
+            let a = agent.act_exploring(&[0.5, -0.5], &mut r);
+            assert!((-1.0..=1.0).contains(&a[0]));
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_noop() {
+        let mut agent = Td3Agent::new(Td3Config::new(2, 1), &mut rng());
+        let before = agent.train_steps();
+        let errs = agent.train_on_batch(&[], &mut rng());
+        assert!(errs.is_empty());
+        assert_eq!(agent.train_steps(), before);
+    }
+
+    #[test]
+    fn td_errors_have_batch_length() {
+        let mut agent = Td3Agent::new(Td3Config::new(1, 1), &mut rng());
+        let batch = vec![
+            transition(0.0, 0.1, 1.0, 0.5),
+            transition(0.5, -0.2, 0.0, 1.0),
+        ];
+        let errs = agent.train_on_batch(&batch, &mut rng());
+        assert_eq!(errs.len(), 2);
+        assert!(errs.iter().all(|e| e.is_finite()));
+    }
+
+    #[test]
+    fn critic_learns_constant_reward() {
+        // One state, one action, reward always 1, episode ends: Q → 1.
+        let mut agent = Td3Agent::new(Td3Config::new(1, 1), &mut rng());
+        let mut r = rng();
+        let t = Transition {
+            state: vec![0.0],
+            action: vec![0.0],
+            reward: 1.0,
+            next_state: vec![0.0],
+            done: true,
+        };
+        for _ in 0..3000 {
+            agent.train_on_batch(std::slice::from_ref(&t), &mut r);
+        }
+        let q = agent.q_value(&[0.0], &[0.0]);
+        assert!((q - 1.0).abs() < 0.15, "Q = {q}");
+    }
+
+    #[test]
+    fn actor_moves_toward_higher_q_action() {
+        // Reward = action (bigger action ⇒ bigger reward, done episodes).
+        // After training the actor should output a large positive action.
+        let mut agent = Td3Agent::new(Td3Config::new(1, 1), &mut rng());
+        let mut r = rng();
+        for i in 0..3000 {
+            let a = if i % 3 == 0 {
+                -0.8
+            } else {
+                (i % 10) as f64 / 5.0 - 1.0
+            };
+            let t = Transition {
+                state: vec![0.0],
+                action: vec![a],
+                reward: a,
+                next_state: vec![0.0],
+                done: true,
+            };
+            agent.train_on_batch(&[t], &mut r);
+        }
+        let out = agent.act(&[0.0])[0];
+        assert!(out > 0.5, "actor output {out} should approach +1");
+    }
+
+    #[test]
+    fn targets_lag_behind_online_networks() {
+        let mut agent = Td3Agent::new(Td3Config::new(1, 1), &mut rng());
+        let snapshot = agent.actor_target.clone();
+        let mut r = rng();
+        let batch = vec![transition(0.1, 0.2, 0.5, 0.3)];
+        for _ in 0..4 {
+            agent.train_on_batch(&batch, &mut r);
+        }
+        // Online actor changed; target moved but only by a τ-sized amount.
+        let online_diff: f64 = agent
+            .actor
+            .params()
+            .iter()
+            .zip(snapshot.params())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        let target_diff: f64 = agent
+            .actor_target
+            .params()
+            .iter()
+            .zip(snapshot.params())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(online_diff > 0.0);
+        assert!(target_diff < online_diff, "targets must trail online nets");
+    }
+
+    #[test]
+    fn policy_delay_gates_actor_updates() {
+        let cfg = Td3Config {
+            policy_delay: 4,
+            ..Td3Config::new(1, 1)
+        };
+        let mut agent = Td3Agent::new(cfg, &mut rng());
+        let actor_before = agent.actor.params().to_vec();
+        let mut r = rng();
+        let batch = vec![transition(0.1, 0.2, 0.5, 0.3)];
+        // 3 steps < delay: actor untouched.
+        for _ in 0..3 {
+            agent.train_on_batch(&batch, &mut r);
+        }
+        assert_eq!(agent.actor.params(), actor_before.as_slice());
+        // 4th step triggers the policy update.
+        agent.train_on_batch(&batch, &mut r);
+        assert_ne!(agent.actor.params(), actor_before.as_slice());
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let mk = || {
+            let mut r = StdRng::seed_from_u64(5);
+            let mut agent = Td3Agent::new(Td3Config::new(2, 1), &mut r);
+            let batch = vec![Transition {
+                state: vec![0.1, -0.1],
+                action: vec![0.2],
+                reward: 0.5,
+                next_state: vec![0.3, -0.3],
+                done: false,
+            }];
+            for _ in 0..10 {
+                agent.train_on_batch(&batch, &mut r);
+            }
+            agent.act(&[0.3, -0.3])
+        };
+        assert_eq!(mk(), mk());
+    }
+}

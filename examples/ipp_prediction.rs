@@ -1,0 +1,71 @@
+//! Initial-parameter prediction (the paper's §3) in miniature: run Bayesian
+//! active learning over a small training corpus, then let the Gaussian
+//! process propose pseudo-element parameters for an unseen circuit and
+//! compare against the default setting.
+//!
+//! ```sh
+//! cargo run --release --example ipp_prediction
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rlpta::circuits::{by_name, training_corpus};
+use rlpta::core::{predict_params, IppOracle, PtaKind, PtaParams};
+use rlpta::gp::{ActiveLearner, ActiveLearnerConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let corpus: Vec<_> = training_corpus().into_iter().take(16).collect();
+    let circuits: Vec<_> = corpus.iter().map(|b| b.circuit.clone()).collect();
+    let features: Vec<Vec<f64>> = corpus.iter().map(|b| b.features().to_vec()).collect();
+    let flags: Vec<bool> = corpus.iter().map(|b| b.is_bjt).collect();
+
+    let mut learner = ActiveLearner::new(
+        features,
+        flags,
+        ActiveLearnerConfig {
+            rounds: 3,
+            mle_starts: 8,
+            ei_candidates: 96,
+            w_range: 2.0,
+        },
+    );
+    let mut oracle = IppOracle::new(&circuits, PtaKind::cepta());
+    let mut rng = StdRng::seed_from_u64(7);
+
+    println!("offline: active learning over {} circuits…", corpus.len());
+    learner.offline_train(&mut oracle, &mut rng)?;
+    println!(
+        "  {} solver-in-the-loop evaluations, {} GP samples",
+        oracle.evaluations(),
+        learner.samples().len()
+    );
+
+    // Online: an unseen circuit.
+    let bench = by_name("UA733").expect("known benchmark");
+    let params = predict_params(&learner, &bench.features().to_vec(), bench.is_bjt, &mut rng)?;
+    println!(
+        "\npredicted parameters for `{}`: C = {:.3e} F, L = {:.3e} H, tau = {:.3e} s",
+        bench.name, params.c_node, params.l_branch, params.tau
+    );
+
+    let mut eval = IppOracle::new(std::slice::from_ref(&bench.circuit), PtaKind::cepta());
+    let default = eval
+        .run_raw(&bench.circuit, PtaParams::default())
+        .expect("runs");
+    let tuned = eval.run_raw(&bench.circuit, params).expect("runs");
+    println!(
+        "default z=(1,1,1): {} NR iterations (converged: {})",
+        default.nr_iterations, default.converged
+    );
+    println!(
+        "IPP-predicted    : {} NR iterations (converged: {})",
+        tuned.nr_iterations, tuned.converged
+    );
+    if default.converged && tuned.converged {
+        println!(
+            "speedup: {:.2}X",
+            default.nr_iterations as f64 / tuned.nr_iterations as f64
+        );
+    }
+    Ok(())
+}

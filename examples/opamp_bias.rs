@@ -1,0 +1,70 @@
+//! Solving a multi-stage BJT op-amp bias point with every continuation
+//! method the crate offers, comparing their costs — the workload class the
+//! paper's introduction motivates (strongly nonlinear, feedback-coupled).
+//!
+//! ```sh
+//! cargo run --release --example opamp_bias
+//! ```
+
+use rlpta::circuits::by_name;
+use rlpta::core::{
+    GminStepping, NewtonRaphson, PtaKind, PtaSolver, SerStepping, SimpleStepping, SourceStepping,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bench = by_name("UA709").expect("UA709 is a known benchmark");
+    let circuit = &bench.circuit;
+    println!("circuit: {circuit}");
+
+    // 1. Plain Newton (may or may not converge on op-amps; report honestly).
+    match NewtonRaphson::default().solve(circuit) {
+        Ok(sol) => println!(
+            "newton         : converged, {:>5} NR iterations",
+            sol.stats.nr_iterations
+        ),
+        Err(e) => println!("newton         : {e}"),
+    }
+
+    // 2. Gmin stepping.
+    let gmin = GminStepping::default().solve(circuit)?;
+    println!(
+        "gmin stepping  : converged, {:>5} NR iterations over {} stages",
+        gmin.stats.nr_iterations, gmin.stats.pta_steps
+    );
+
+    // 3. Source stepping.
+    let src = SourceStepping::default().solve(circuit)?;
+    println!(
+        "source stepping: converged, {:>5} NR iterations over {} stages",
+        src.stats.nr_iterations, src.stats.pta_steps
+    );
+
+    // 4. PTA flavours with the two classical controllers.
+    for kind in [PtaKind::Pure, PtaKind::dpta(), PtaKind::cepta()] {
+        let mut simple = PtaSolver::new(kind, SimpleStepping::default());
+        let s = simple.solve(circuit)?;
+        let mut ser = PtaSolver::new(kind, SerStepping::default());
+        let a = ser.solve(circuit)?;
+        println!(
+            "{:<6} simple  : {:>5} NR / {:>3} steps   adaptive: {:>5} NR / {:>3} steps",
+            kind.name(),
+            s.stats.nr_iterations,
+            s.stats.pta_steps,
+            a.stats.nr_iterations,
+            a.stats.pta_steps
+        );
+    }
+
+    // All methods must land on the same operating point.
+    let reference = GminStepping::default().solve(circuit)?;
+    let mut dpta = PtaSolver::new(PtaKind::dpta(), SimpleStepping::default());
+    let check = dpta.solve(circuit)?;
+    let max_dev = reference
+        .x
+        .iter()
+        .zip(&check.x)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max);
+    println!("max deviation between gmin and DPTA solutions: {max_dev:.3e}");
+    Ok(())
+}

@@ -1,0 +1,76 @@
+//! Transient analysis on top of the DC engine: find the operating point of
+//! a common-emitter amplifier, then drive its input with a pulse and watch
+//! the inverted, amplified output — DC analysis as "the initial solution
+//! for transient analysis", exactly the role the paper's introduction
+//! assigns it.
+//!
+//! ```sh
+//! cargo run --release --example transient_pulse
+//! ```
+
+use rlpta::core::{NewtonRaphson, Transient, Waveform};
+use rlpta::netlist::parse;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let circuit = parse(
+        "pulsed amplifier
+         V1 vcc 0 12
+         VIN in 0 0
+         RS in b 10k
+         R1 vcc b 100k
+         R2 b 0 22k
+         RC vcc c 4.7k
+         RE e 0 1k
+         CE e 0 100u
+         Q1 c b e QN
+         .model QN NPN(IS=1e-15 BF=150)",
+    )?;
+
+    // 1. DC operating point (the paper's subject).
+    let dc = NewtonRaphson::default().solve(&circuit)?;
+    println!(
+        "DC operating point: v(c) = {:.3} V, v(b) = {:.3} V  ({} NR iterations)",
+        dc.voltage(&circuit, "c").ok_or("node c")?,
+        dc.voltage(&circuit, "b").ok_or("node b")?,
+        dc.stats.nr_iterations
+    );
+
+    // 2. Transient: superimpose a 50 mV pulse on the input bias.
+    let tran = Transient::new(2e-3, 2e-6).with_stimulus(
+        "VIN",
+        Waveform::Pulse {
+            v1: 0.0,
+            v2: 0.05,
+            delay: 0.2e-3,
+            rise: 1e-6,
+            fall: 1e-6,
+            width: 0.8e-3,
+            period: 2e-3,
+        },
+    );
+    let points = tran.run(&circuit, Some(&dc.x))?;
+    let c_idx = circuit.node_index("c").ok_or("node c")?;
+
+    let vc0 = dc.voltage(&circuit, "c").ok_or("node c")?;
+    let during: Vec<f64> = points
+        .iter()
+        .filter(|p| p.time > 0.5e-3 && p.time < 0.9e-3)
+        .map(|p| p.x[c_idx])
+        .collect();
+    let v_pulse = during.iter().sum::<f64>() / during.len() as f64;
+    println!("collector during pulse: {v_pulse:.3} V (rest {vc0:.3} V)");
+    println!("inverting gain ≈ {:.1}", (v_pulse - vc0) / 0.05);
+
+    // A coarse ASCII oscillogram of v(c).
+    let (vmin, vmax) = points.iter().fold((f64::MAX, f64::MIN), |(lo, hi), p| {
+        (lo.min(p.x[c_idx]), hi.max(p.x[c_idx]))
+    });
+    println!("\nv(c) over 2 ms  [{vmin:.2} V … {vmax:.2} V]");
+    let stride = points.len() / 40;
+    for p in points.iter().step_by(stride.max(1)) {
+        let frac = (p.x[c_idx] - vmin) / (vmax - vmin + 1e-12);
+        let col = (frac * 60.0) as usize;
+        println!("{:>9.2e} |{}*", p.time, " ".repeat(col));
+    }
+    Ok(())
+}

@@ -1,0 +1,345 @@
+//! `rlpta` — command-line DC operating-point solver.
+//!
+//! ```text
+//! rlpta <netlist.cir> [options]
+//!
+//! options:
+//!   --method <newton|gmin|source|homotopy|pta|dpta|rpta|cepta>   solver (default dpta)
+//!   --controller <simple|ser|rl>                   PTA stepping (default simple)
+//!   --seed <u64>                                   RL controller seed
+//!   --sweep <SRC> <START> <STOP> <STEP>            DC sweep instead of one point
+//!   --tran <T_STOP> <H>                            transient from the DC point
+//!   --ac <SRC> <PTS/DEC> <FSTART> <FSTOP>          AC sweep at the DC point
+//!   --node <NAME>                                  print only this node (repeatable)
+//!   --stats                                        print solver statistics
+//! ```
+
+use rlpta::core::{
+    op_report, AcSweep, DcSweep, GminStepping, NewtonHomotopy, NewtonRaphson, PtaKind, PtaSolver,
+    RlStepping, RlSteppingConfig, SerStepping, SimpleStepping, Solution, SourceStepping, Transient,
+};
+use rlpta::mna::Circuit;
+use std::process::ExitCode;
+
+#[derive(Debug)]
+struct Options {
+    file: String,
+    method: String,
+    controller: String,
+    seed: u64,
+    sweep: Option<(String, f64, f64, f64)>,
+    tran: Option<(f64, f64)>,
+    ac: Option<(String, usize, f64, f64)>,
+    nodes: Vec<String>,
+    stats: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: rlpta <netlist.cir> [--method newton|gmin|source|homotopy|pta|dpta|rpta|cepta] \
+     [--controller simple|ser|rl] [--seed N] \
+     [--sweep SRC START STOP STEP] [--tran T_STOP H] \
+     [--ac SRC PTS FSTART FSTOP] [--node NAME]... [--stats]"
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        file: String::new(),
+        method: "dpta".into(),
+        controller: "simple".into(),
+        seed: 0,
+        sweep: None,
+        tran: None,
+        ac: None,
+        nodes: Vec::new(),
+        stats: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--method" => {
+                opts.method = it.next().ok_or("missing value for --method")?.clone();
+            }
+            "--controller" => {
+                opts.controller = it.next().ok_or("missing value for --controller")?.clone();
+            }
+            "--seed" => {
+                opts.seed = it
+                    .next()
+                    .ok_or("missing value for --seed")?
+                    .parse()
+                    .map_err(|_| "bad --seed value".to_string())?;
+            }
+            "--sweep" => {
+                let src = it.next().ok_or("missing sweep source")?.clone();
+                let mut num = || -> Result<f64, String> {
+                    it.next()
+                        .ok_or("missing sweep number")?
+                        .parse()
+                        .map_err(|_| "bad sweep number".to_string())
+                };
+                let (a, b, s) = (num()?, num()?, num()?);
+                opts.sweep = Some((src, a, b, s));
+            }
+            "--tran" => {
+                let mut num = || -> Result<f64, String> {
+                    it.next()
+                        .ok_or("missing transient number")?
+                        .parse()
+                        .map_err(|_| "bad transient number".to_string())
+                };
+                let (t_stop, h) = (num()?, num()?);
+                opts.tran = Some((t_stop, h));
+            }
+            "--ac" => {
+                let src = it.next().ok_or("missing AC source")?.clone();
+                let pts: usize = it
+                    .next()
+                    .ok_or("missing AC points/decade")?
+                    .parse()
+                    .map_err(|_| "bad AC points".to_string())?;
+                let mut num = || -> Result<f64, String> {
+                    it.next()
+                        .ok_or("missing AC frequency")?
+                        .parse()
+                        .map_err(|_| "bad AC frequency".to_string())
+                };
+                let (f1, f2) = (num()?, num()?);
+                opts.ac = Some((src, pts, f1, f2));
+            }
+            "--node" => {
+                opts.nodes
+                    .push(it.next().ok_or("missing value for --node")?.clone());
+            }
+            "--stats" => opts.stats = true,
+            "--help" | "-h" => return Err(usage().to_string()),
+            other if opts.file.is_empty() && !other.starts_with('-') => {
+                opts.file = other.to_string();
+            }
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+    if opts.file.is_empty() {
+        return Err(usage().to_string());
+    }
+    Ok(opts)
+}
+
+fn solve(circuit: &Circuit, opts: &Options) -> Result<Solution, String> {
+    let kind = match opts.method.as_str() {
+        "pta" => PtaKind::Pure,
+        "dpta" => PtaKind::dpta(),
+        "cepta" => PtaKind::cepta(),
+        "newton" => {
+            return NewtonRaphson::default()
+                .solve(circuit)
+                .map_err(|e| e.to_string())
+        }
+        "homotopy" => {
+            return NewtonHomotopy::default()
+                .solve(circuit)
+                .map_err(|e| e.to_string())
+        }
+        "rpta" => PtaKind::rpta(),
+        "gmin" => {
+            return GminStepping::default()
+                .solve(circuit)
+                .map_err(|e| e.to_string())
+        }
+        "source" => {
+            return SourceStepping::default()
+                .solve(circuit)
+                .map_err(|e| e.to_string())
+        }
+        other => return Err(format!("unknown method `{other}`")),
+    };
+    match opts.controller.as_str() {
+        "simple" => PtaSolver::new(kind, SimpleStepping::default())
+            .solve(circuit)
+            .map_err(|e| e.to_string()),
+        "ser" => PtaSolver::new(kind, SerStepping::default())
+            .solve(circuit)
+            .map_err(|e| e.to_string()),
+        "rl" => {
+            let rl = RlStepping::new(RlSteppingConfig::new(opts.seed));
+            PtaSolver::new(kind, rl)
+                .solve(circuit)
+                .map_err(|e| e.to_string())
+        }
+        other => Err(format!("unknown controller `{other}`")),
+    }
+}
+
+fn print_solution(circuit: &Circuit, solution: &Solution, opts: &Options) {
+    if opts.nodes.is_empty() {
+        print!("{}", op_report(circuit, solution));
+    } else {
+        for node in &opts.nodes {
+            match solution.voltage(circuit, node) {
+                Some(v) => println!("v({node}) = {v:.6e} V"),
+                None => eprintln!("warning: no node named `{node}`"),
+            }
+        }
+    }
+    if opts.stats {
+        println!("stats: {}", solution.stats);
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = parse_args(&args)?;
+    let source = rlpta::netlist::expand_includes(std::path::Path::new(&opts.file))
+        .map_err(|e| e.to_string())?;
+    let netlist = rlpta::netlist::parse_netlist(&source).map_err(|e| e.to_string())?;
+    let circuit = rlpta::netlist::build_circuit(&netlist).map_err(|e| e.to_string())?;
+
+    // Honor in-deck analysis cards when no analysis flag was given.
+    if opts.sweep.is_none() && opts.tran.is_none() && opts.ac.is_none() {
+        for card in &netlist.analyses {
+            match card {
+                rlpta::netlist::AnalysisCard::Dc {
+                    source,
+                    start,
+                    stop,
+                    step,
+                } => {
+                    opts.sweep = Some((source.clone(), *start, *stop, *step));
+                    break;
+                }
+                rlpta::netlist::AnalysisCard::Tran { step, stop } => {
+                    opts.tran = Some((*stop, *step));
+                    break;
+                }
+                rlpta::netlist::AnalysisCard::Ac {
+                    points_per_decade,
+                    f_start,
+                    f_stop,
+                } => {
+                    // Deck .ac has no source column; excite the first V source.
+                    let vsrc = circuit.devices().iter().find_map(|d| match d {
+                        rlpta::devices::Device::Vsource(v) => Some(v.name().to_owned()),
+                        _ => None,
+                    });
+                    if let Some(v) = vsrc {
+                        opts.ac = Some((v, *points_per_decade, *f_start, *f_stop));
+                    }
+                    break;
+                }
+                rlpta::netlist::AnalysisCard::Op => break,
+                _ => {}
+            }
+        }
+    }
+    if !netlist.nodesets.is_empty() {
+        eprintln!(
+            "note: {} .nodeset value(s) available for warm starts",
+            netlist.nodesets.len()
+        );
+    }
+
+    if let Some((src, pts, f1, f2)) = opts.ac.clone() {
+        let dc = solve(&circuit, &opts)?;
+        let sweep = AcSweep::log(f1, f2, pts)
+            .map_err(|e| e.to_string())?
+            .with_source(src, 1.0, 0.0);
+        let points = sweep.run(&circuit, &dc).map_err(|e| e.to_string())?;
+        let node_names: Vec<String> = if opts.nodes.is_empty() {
+            (0..circuit.num_nodes())
+                .map(|i| circuit.node_name(i).to_owned())
+                .collect()
+        } else {
+            opts.nodes.clone()
+        };
+        print!("{:>14}", "freq");
+        for n in &node_names {
+            print!("{:>14}{:>10}", format!("|v({n})| dB"), "phase");
+        }
+        println!();
+        for p in &points {
+            print!("{:>14.4e}", p.frequency);
+            for n in &node_names {
+                match circuit.node_index(n) {
+                    Some(i) => print!("{:>14.3}{:>10.1}", p.magnitude_db(i), p.phase_deg(i)),
+                    None => print!("{:>14}{:>10}", "-", "-"),
+                }
+            }
+            println!();
+        }
+        return Ok(());
+    }
+    if let Some((t_stop, h)) = opts.tran {
+        // Transient from the DC operating point.
+        let dc = solve(&circuit, &opts)?;
+        let tran = Transient::new(t_stop, h);
+        let points = tran.run(&circuit, Some(&dc.x)).map_err(|e| e.to_string())?;
+        let node_names: Vec<String> = if opts.nodes.is_empty() {
+            (0..circuit.num_nodes())
+                .map(|i| circuit.node_name(i).to_owned())
+                .collect()
+        } else {
+            opts.nodes.clone()
+        };
+        print!("{:>14}", "time");
+        for n in &node_names {
+            print!("{:>16}", format!("v({n})"));
+        }
+        println!();
+        let stride = (points.len() / 50).max(1);
+        for p in points.iter().step_by(stride) {
+            print!("{:>14.6e}", p.time);
+            for n in &node_names {
+                match circuit.node_index(n) {
+                    Some(i) => print!("{:>16.6e}", p.x[i]),
+                    None => print!("{:>16}", "-"),
+                }
+            }
+            println!();
+        }
+        return Ok(());
+    }
+    match &opts.sweep {
+        None => {
+            let solution = solve(&circuit, &opts)?;
+            print_solution(&circuit, &solution, &opts);
+        }
+        Some((src, start, stop, step)) => {
+            let sweep =
+                DcSweep::linear(src.clone(), *start, *stop, *step).map_err(|e| e.to_string())?;
+            let points = sweep.run(&circuit).map_err(|e| e.to_string())?;
+            // Header: swept value then requested (or all) node voltages.
+            let node_names: Vec<String> = if opts.nodes.is_empty() {
+                (0..circuit.num_nodes())
+                    .map(|i| circuit.node_name(i).to_owned())
+                    .collect()
+            } else {
+                opts.nodes.clone()
+            };
+            print!("{src:>12}");
+            for n in &node_names {
+                print!("{:>16}", format!("v({n})"));
+            }
+            println!();
+            for p in &points {
+                print!("{:>12.4e}", p.value);
+                for n in &node_names {
+                    match p.solution.voltage(&circuit, n) {
+                        Some(v) => print!("{v:>16.6e}"),
+                        None => print!("{:>16}", "-"),
+                    }
+                }
+                println!();
+            }
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! # rlpta — RL-accelerated pseudo-transient analysis for nonlinear DC circuit simulation
+//!
+//! Facade crate re-exporting the full `rlpta` workspace: a from-scratch
+//! SPICE-like DC engine (netlist parser, device models, MNA, sparse LU,
+//! Newton–Raphson, Gmin/source stepping, PTA/DPTA/CEPTA continuation) plus
+//! the two machine-learning acceleration stages of the DAC'22 paper
+//! *"Accelerating Nonlinear DC Circuit Simulation with Reinforcement
+//! Learning"*:
+//!
+//! 1. **IPP** — Gaussian-process initial-parameter prediction (`gp`),
+//! 2. **RL-S** — TD3 dual-agent reinforcement-learning time stepping (`rl`).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use rlpta::netlist::parse;
+//! use rlpta::core::NewtonRaphson;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let circuit = parse(
+//!     "divider
+//!      V1 in 0 5
+//!      R1 in out 1k
+//!      R2 out 0 1k
+//!      .end",
+//! )?;
+//! let solution = NewtonRaphson::default().solve(&circuit)?;
+//! let v_out = solution.voltage(&circuit, "out").expect("node exists");
+//! assert!((v_out - 2.5).abs() < 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use rlpta_circuits as circuits;
+pub use rlpta_core as core;
+pub use rlpta_devices as devices;
+pub use rlpta_gp as gp;
+pub use rlpta_linalg as linalg;
+pub use rlpta_mna as mna;
+pub use rlpta_netlist as netlist;
+pub use rlpta_rl as rl;

@@ -1,0 +1,168 @@
+//! Integration tests for the higher-level analyses: DC sweep, transient,
+//! step tracing and in-deck analysis cards — the full downstream pipeline a
+//! library user exercises after DC convergence.
+
+use rlpta::core::{
+    DcSweep, NewtonRaphson, PtaKind, PtaSolver, SimpleStepping, TraceController, Transient,
+    Waveform,
+};
+use rlpta::netlist::{parse, parse_netlist, AnalysisCard};
+
+#[test]
+fn dc_sweep_of_diode_clamp_shows_knee() {
+    let c = parse("clamp\nV1 in 0 0\nR1 in out 1k\nD1 out 0 DX\n.model DX D(IS=1e-14)\n").unwrap();
+    let points = DcSweep::linear("V1", 0.0, 5.0, 0.25)
+        .unwrap()
+        .run(&c)
+        .unwrap();
+    let out = c.node_index("out").unwrap();
+    // Below the knee the output follows the input; above it clamps.
+    let early = points[2].solution.x[out]; // v_in = 0.5
+    let late = points.last().unwrap().solution.x[out]; // v_in = 5
+    assert!(
+        (early - 0.47).abs() < 0.1,
+        "below knee follows input: {early}"
+    );
+    assert!(late < 0.85, "clamped: {late}");
+}
+
+#[test]
+fn transient_square_wave_through_rc_integrator() {
+    let c = parse("int\nV1 in 0 0\nR1 in out 10k\nC1 out 0 10n\n").unwrap();
+    // τ = 100 µs, drive period 400 µs: triangle-ish output.
+    let tran = Transient::new(0.8e-3, 1e-6).with_stimulus(
+        "V1",
+        Waveform::Pulse {
+            v1: -1.0,
+            v2: 1.0,
+            delay: 0.0,
+            rise: 0.0,
+            fall: 0.0,
+            width: 0.2e-3,
+            period: 0.4e-3,
+        },
+    );
+    let points = tran.run(&c, None).unwrap();
+    let out = c.node_index("out").unwrap();
+    let max = points.iter().map(|p| p.x[out]).fold(f64::MIN, f64::max);
+    let min = points.iter().map(|p| p.x[out]).fold(f64::MAX, f64::min);
+    // The integrator smooths the ±1 V square wave into a smaller swing.
+    assert!(max < 1.0 && max > 0.3, "max = {max}");
+    assert!(min > -1.0 && min < -0.1, "min = {min}");
+}
+
+#[test]
+fn traced_pta_run_reconstructs_iteration_totals() {
+    let bench = rlpta::circuits::by_name("SCHMITT").unwrap();
+    let mut solver = PtaSolver::new(
+        PtaKind::dpta(),
+        TraceController::new(SimpleStepping::default()),
+    );
+    let sol = solver.solve(&bench.circuit).unwrap();
+    let trace = solver.controller_mut().entries();
+    let total_iters: usize = trace.iter().map(|e| e.observation.nr_iterations).sum();
+    assert_eq!(total_iters, sol.stats.nr_iterations);
+    // Step sizes grow overall from h0 to convergence.
+    let first = trace.first().unwrap().observation.step;
+    let last = trace.last().unwrap().observation.step;
+    assert!(last > 10.0 * first, "h grew from {first:e} to {last:e}");
+}
+
+#[test]
+fn deck_analysis_cards_drive_the_same_apis() {
+    let deck = "deck
+         V1 in 0 0
+         R1 in out 2k
+         R2 out 0 2k
+         .dc V1 0 4 2
+         .tran 1u 10u
+         .nodeset v(out)=1.0
+         .end";
+    let netlist = parse_netlist(deck).unwrap();
+    assert_eq!(netlist.analyses.len(), 2);
+    assert_eq!(netlist.nodesets["out"], 1.0);
+    let c = rlpta::netlist::build_circuit(&netlist).unwrap();
+    for card in &netlist.analyses {
+        match card {
+            AnalysisCard::Dc {
+                source,
+                start,
+                stop,
+                step,
+            } => {
+                let pts = DcSweep::linear(source.clone(), *start, *stop, *step)
+                    .unwrap()
+                    .run(&c)
+                    .unwrap();
+                assert_eq!(pts.len(), 3);
+                let out = c.node_index("out").unwrap();
+                assert!((pts[2].solution.x[out] - 2.0).abs() < 1e-9);
+            }
+            AnalysisCard::Tran { step, stop } => {
+                let pts = Transient::new(*stop, *step).run(&c, None).unwrap();
+                assert!(pts.len() > 5);
+            }
+            AnalysisCard::Op => {}
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn nodeset_guess_warm_starts_newton() {
+    let c = parse(
+        "ws\nV1 vcc 0 12\nR1 vcc b 100k\nR2 b 0 22k\nRC vcc c 2.2k\nRE e 0 1k\nQ1 c b e QN\n.model QN NPN(IS=1e-15 BF=120)\n",
+    )
+    .unwrap();
+    let cold = NewtonRaphson::default().solve(&c).unwrap();
+    // Warm start from the known solution: must converge in ≤ 2 iterations.
+    let warm = NewtonRaphson::default().solve_from(&c, &cold.x).unwrap();
+    assert!(warm.stats.nr_iterations <= 2);
+    for (a, b) in warm.x.iter().zip(&cold.x) {
+        assert!((a - b).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn sweep_and_transient_agree_on_final_dc_value() {
+    // After a long transient with a DC source, the state equals the DC
+    // solution that a sweep endpoint produces.
+    let c = parse("agree\nV1 in 0 3\nR1 in out 1k\nC1 out 0 1n\nR2 out 0 3k\n").unwrap();
+    let dc = NewtonRaphson::default().solve(&c).unwrap();
+    let tran = Transient::new(50e-6, 0.1e-6); // 50τ
+    let pts = tran.run(&c, None).unwrap();
+    let out = c.node_index("out").unwrap();
+    assert!(
+        (pts.last().unwrap().x[out] - dc.x[out]).abs() < 1e-4,
+        "transient settles to the DC point"
+    );
+}
+
+#[test]
+fn ac_sweep_at_the_dc_operating_point() {
+    use rlpta::core::AcSweep;
+    // Band-pass-ish RC ladder: verify magnitudes are bounded by the input
+    // and roll off at the extremes.
+    let c =
+        parse("ladder\nV1 in 0 0\nC1 in a 100n\nR1 a 0 10k\nR2 a b 10k\nC2 b 0 100n\n").unwrap();
+    let op = NewtonRaphson::default().solve(&c).unwrap();
+    let sweep = AcSweep::log(1.0, 1e6, 2)
+        .unwrap()
+        .with_source("V1", 1.0, 0.0);
+    let pts = sweep.run(&c, &op).unwrap();
+    let b = c.node_index("b").unwrap();
+    let mags: Vec<f64> = pts.iter().map(|p| p.magnitude(b)).collect();
+    let peak = mags.iter().cloned().fold(0.0, f64::max);
+    assert!(peak > 0.2 && peak <= 1.0, "peak {peak}");
+    assert!(mags[0] < 0.05, "low-frequency rolloff: {}", mags[0]);
+    assert!(*mags.last().unwrap() < 0.05, "high-frequency rolloff");
+}
+
+#[test]
+fn rpta_is_a_usable_fourth_flavour() {
+    let bench = rlpta::circuits::by_name("UA733").unwrap();
+    let mut solver = PtaSolver::new(PtaKind::rpta(), SimpleStepping::default());
+    let sol = solver.solve(&bench.circuit).unwrap();
+    assert!(sol.stats.converged);
+    assert!(sol.residual_norm(&bench.circuit) < 1e-8);
+}

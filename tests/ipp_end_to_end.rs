@@ -1,0 +1,81 @@
+//! End-to-end initial-parameter prediction: GP active learning over real
+//! solver runs, then online prediction for an unseen circuit.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rlpta::circuits::{by_name, training_corpus};
+use rlpta::core::{predict_params, IppOracle, PtaKind, PtaParams};
+use rlpta::gp::{ActiveLearner, ActiveLearnerConfig, IterationOracle};
+
+fn mini_corpus() -> Vec<rlpta::circuits::Benchmark> {
+    training_corpus().into_iter().take(8).collect()
+}
+
+#[test]
+fn oracle_evaluates_and_penalizes() {
+    let corpus = mini_corpus();
+    let circuits: Vec<_> = corpus.iter().map(|b| b.circuit.clone()).collect();
+    let mut oracle = IppOracle::new(&circuits, PtaKind::cepta());
+    let good = oracle.evaluate(0, &[0.0, 0.0, 0.0]);
+    assert!(good.is_finite() && good > 0.0);
+    assert_eq!(oracle.evaluations(), 1);
+}
+
+#[test]
+fn offline_training_collects_samples_per_round() {
+    let corpus = mini_corpus();
+    let circuits: Vec<_> = corpus.iter().map(|b| b.circuit.clone()).collect();
+    let features: Vec<Vec<f64>> = corpus.iter().map(|b| b.features().to_vec()).collect();
+    let flags: Vec<bool> = corpus.iter().map(|b| b.is_bjt).collect();
+    let mut learner = ActiveLearner::new(
+        features,
+        flags,
+        ActiveLearnerConfig {
+            rounds: 1,
+            mle_starts: 4,
+            ei_candidates: 24,
+            w_range: 1.5,
+        },
+    );
+    let mut oracle = IppOracle::new(&circuits, PtaKind::cepta());
+    let mut rng = StdRng::seed_from_u64(1);
+    learner.offline_train(&mut oracle, &mut rng).unwrap();
+    // Seeding (8) + one round (8).
+    assert_eq!(learner.samples().len(), 16);
+}
+
+#[test]
+fn predicted_params_are_usable_and_convergent() {
+    let corpus = mini_corpus();
+    let circuits: Vec<_> = corpus.iter().map(|b| b.circuit.clone()).collect();
+    let features: Vec<Vec<f64>> = corpus.iter().map(|b| b.features().to_vec()).collect();
+    let flags: Vec<bool> = corpus.iter().map(|b| b.is_bjt).collect();
+    let mut learner = ActiveLearner::new(
+        features,
+        flags,
+        ActiveLearnerConfig {
+            rounds: 1,
+            mle_starts: 4,
+            ei_candidates: 24,
+            w_range: 1.5,
+        },
+    );
+    let mut oracle = IppOracle::new(&circuits, PtaKind::cepta());
+    let mut rng = StdRng::seed_from_u64(2);
+    learner.offline_train(&mut oracle, &mut rng).unwrap();
+
+    let bench = by_name("gm1").unwrap();
+    let params = predict_params(&learner, &bench.features().to_vec(), bench.is_bjt, &mut rng)
+        .expect("prediction succeeds");
+    assert!(params.c_node > 1e-7 && params.c_node < 1e7);
+    assert!(params.tau > 1e-7 && params.tau < 1e7);
+
+    // The predicted parameters must still produce a convergent run.
+    let mut eval = IppOracle::new(std::slice::from_ref(&bench.circuit), PtaKind::cepta());
+    let stats = eval.run_raw(&bench.circuit, params).expect("runs");
+    assert!(stats.converged, "IPP parameters must not break convergence");
+    let default = eval
+        .run_raw(&bench.circuit, PtaParams::default())
+        .expect("runs");
+    assert!(default.converged);
+}

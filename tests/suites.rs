@@ -1,0 +1,88 @@
+//! The shipped benchmark suites must all be solvable — the precondition for
+//! every experiment in the paper reproduction.
+
+use rlpta::circuits::{by_name, table2, table3};
+use rlpta::core::{PtaConfig, PtaKind, PtaSolver, SimpleStepping};
+
+fn solve(bench: &rlpta::circuits::Benchmark, kind: PtaKind) -> rlpta::core::SolveStats {
+    let cfg = PtaConfig {
+        max_steps: 20_000,
+        ..PtaConfig::default()
+    };
+    let mut solver = PtaSolver::with_config(kind, SimpleStepping::default(), cfg);
+    solver
+        .solve(&bench.circuit)
+        .unwrap_or_else(|e| panic!("{} failed under {}: {e}", bench.name, kind.name()))
+        .stats
+}
+
+#[test]
+fn every_table2_circuit_solves_under_cepta() {
+    for bench in table2() {
+        let stats = solve(&bench, PtaKind::cepta());
+        assert!(stats.converged, "{}", bench.name);
+    }
+}
+
+#[test]
+fn representative_table3_circuits_solve_under_dpta() {
+    // The release-mode harness covers all 33; here a spread of easy, MOS,
+    // bistable and class-AB rows keeps debug-mode test time sane.
+    for name in [
+        "bias",
+        "cram",
+        "slowlatch",
+        "ab_integ",
+        "TADEGLOW",
+        "MOSMEM",
+    ] {
+        let bench = by_name(name).unwrap();
+        let stats = solve(&bench, PtaKind::dpta());
+        assert!(stats.converged, "{name}");
+        assert!(stats.nr_iterations > 0 && stats.pta_steps > 0, "{name}");
+    }
+}
+
+#[test]
+fn solutions_are_true_operating_points() {
+    for name in ["latch", "gm6", "mosrect", "D11"] {
+        let bench = by_name(name).unwrap();
+        let cfg = PtaConfig {
+            max_steps: 20_000,
+            ..PtaConfig::default()
+        };
+        let mut solver = PtaSolver::with_config(PtaKind::dpta(), SimpleStepping::default(), cfg);
+        let sol = solver.solve(&bench.circuit).unwrap();
+        assert!(
+            sol.residual_norm(&bench.circuit) < 1e-8,
+            "{name}: residual {:.3e}",
+            sol.residual_norm(&bench.circuit)
+        );
+    }
+}
+
+#[test]
+fn table3_row_order_matches_paper() {
+    let names: Vec<String> = table3().into_iter().map(|b| b.name).collect();
+    assert_eq!(names[0], "astabl");
+    assert_eq!(names[3], "nagle");
+    assert_eq!(names[32], "MOSMEM");
+    assert_eq!(names.len(), 33);
+}
+
+#[test]
+fn type_flags_match_paper_table2() {
+    // Table 2 lists Adding and MOSBandgap as MOS, the other five as BJT.
+    let expected = [
+        ("Adding", false),
+        ("MOSBandgap", false),
+        ("6stageLimAmp", true),
+        ("TRCKTorig", true),
+        ("UA709", true),
+        ("UA733", true),
+        ("D22", true),
+    ];
+    for (name, is_bjt) in expected {
+        assert_eq!(by_name(name).unwrap().is_bjt, is_bjt, "{name}");
+    }
+}
