@@ -4,7 +4,7 @@
 //! mirrors). Reports convergence and cost per method — the "who even
 //! finishes" table that motivates continuation methods in the first place.
 
-use rlpta_bench::{experiment_config, pretrain_rl, run_adaptive, run_rl, run_simple};
+use rlpta_bench::{experiment_config, pretrain_rl, run_adaptive, run_rl, run_robust, run_simple};
 use rlpta_circuits::stress;
 use rlpta_core::{GminStepping, NewtonRaphson, PtaKind, SourceStepping};
 use std::time::Instant;
@@ -13,12 +13,13 @@ fn main() {
     let t0 = Instant::now();
     println!("# Stress suite: convergence and NR-iteration cost per method");
     println!(
-        "{:<12}{:>9}{:>9}{:>9}{:>11}{:>11}{:>9}",
-        "Circuit", "newton", "gmin", "source", "dpta-simp", "dpta-ser", "dpta-rl"
+        "{:<12}{:>9}{:>9}{:>9}{:>11}{:>11}{:>9}{:>9}",
+        "Circuit", "newton", "gmin", "source", "dpta-simp", "dpta-ser", "dpta-rl", "robust"
     );
     let rl = pretrain_rl(PtaKind::dpta(), 2022, 2);
     let mut rows = 0;
     let mut rl_wins = 0;
+    let mut robust_ok = 0;
     for bench in stress() {
         let cell = |r: Result<rlpta_core::Solution, rlpta_core::SolveError>| match r {
             Ok(s) => s.stats.nr_iterations.to_string(),
@@ -30,6 +31,7 @@ fn main() {
         let simple = run_simple(&bench, PtaKind::dpta());
         let ser = run_adaptive(&bench, PtaKind::dpta());
         let rls = run_rl(&bench, PtaKind::dpta(), &rl);
+        let robust = run_robust(&bench);
         let stat = |s: &rlpta_core::SolveStats| {
             if s.converged {
                 s.nr_iterations.to_string()
@@ -40,19 +42,24 @@ fn main() {
         if ser.converged && rls.converged && rls.nr_iterations < ser.nr_iterations {
             rl_wins += 1;
         }
+        if robust.converged {
+            robust_ok += 1;
+        }
         rows += 1;
         println!(
-            "{:<12}{:>9}{:>9}{:>9}{:>11}{:>11}{:>9}",
+            "{:<12}{:>9}{:>9}{:>9}{:>11}{:>11}{:>9}{:>9}",
             bench.name,
             newton,
             gmin,
             source,
             stat(&simple),
             stat(&ser),
-            stat(&rls)
+            stat(&rls),
+            stat(&robust)
         );
         let _ = experiment_config();
     }
     println!("# RL-S beats adaptive on {rl_wins}/{rows} stress circuits");
+    println!("# escalation ladder converges on {robust_ok}/{rows} stress circuits");
     println!("# total wall time {:.1?}", t0.elapsed());
 }

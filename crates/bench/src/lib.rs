@@ -14,9 +14,10 @@
 
 use rlpta_circuits::{training_corpus, Benchmark};
 use rlpta_core::{
-    PtaConfig, PtaKind, PtaSolver, RlStepping, RlSteppingConfig, SerStepping, SimpleStepping,
-    SolveError, SolveStats, StepController,
+    PtaConfig, PtaKind, PtaSolver, RlStepping, RlSteppingConfig, RobustDcSolver, SerStepping,
+    SimpleStepping, SolveBudget, SolveError, SolveStats, StepController,
 };
+use std::time::Duration;
 
 /// Step budget used by every experiment (generous; failures count as
 /// non-convergent rather than panicking).
@@ -24,6 +25,37 @@ pub fn experiment_config() -> PtaConfig {
     PtaConfig {
         max_steps: 20_000,
         ..PtaConfig::default()
+    }
+}
+
+/// Budget applied to the robust-ladder column: experiments must terminate
+/// even on decks the ladder cannot crack.
+pub fn robust_budget() -> SolveBudget {
+    SolveBudget::with_deadline(Duration::from_secs(60)).nr_iterations(2_000_000)
+}
+
+/// Runs one benchmark through the full [`RobustDcSolver`] escalation ladder
+/// under [`robust_budget`]. The returned stats accumulate every stage that
+/// ran; `converged == false` marks total failure (all strategies or budget).
+pub fn run_robust(bench: &Benchmark) -> SolveStats {
+    let solver = RobustDcSolver::default().with_budget(robust_budget());
+    match solver.solve(&bench.circuit) {
+        Ok(sol) => sol.stats,
+        Err(
+            SolveError::NonConvergent { stats } | SolveError::BudgetExhausted { stats, .. },
+        ) => stats,
+        Err(SolveError::AllStrategiesFailed { attempts }) => {
+            let mut stats = SolveStats::default();
+            for a in &attempts {
+                stats.absorb(&a.stats);
+            }
+            stats.converged = false;
+            stats
+        }
+        Err(e) => {
+            eprintln!("warning: {} failed structurally: {e}", bench.name);
+            SolveStats::default()
+        }
     }
 }
 
@@ -159,6 +191,14 @@ mod tests {
     fn run_simple_on_small_circuit() {
         let b = rlpta_circuits::by_name("gm1").expect("known");
         let s = run_simple(&b, PtaKind::dpta());
+        assert!(s.converged);
+        assert!(s.nr_iterations > 0);
+    }
+
+    #[test]
+    fn run_robust_on_small_circuit() {
+        let b = rlpta_circuits::by_name("gm1").expect("known");
+        let s = run_robust(&b);
         assert!(s.converged);
         assert!(s.nr_iterations > 0);
     }

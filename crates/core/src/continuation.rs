@@ -1,6 +1,8 @@
 //! Classic continuation baselines: Gmin stepping and source stepping.
 
+use crate::error::SolvePhase;
 use crate::newton::{newton_iterate, NewtonConfig};
+use crate::recovery::{BudgetMeter, SolveBudget};
 use crate::{Solution, SolveError, SolveStats};
 use rlpta_mna::Circuit;
 
@@ -52,16 +54,52 @@ impl GminStepping {
     /// [`SolveError::NonConvergent`] when a stage fails even after the ramp,
     /// [`SolveError::Singular`] for defective circuits.
     pub fn solve(&self, circuit: &Circuit) -> Result<Solution, SolveError> {
+        self.solve_metered(
+            circuit,
+            &vec![0.0; circuit.dim()],
+            &mut BudgetMeter::unlimited(),
+        )
+    }
+
+    /// Runs the continuation under a resource [`SolveBudget`].
+    ///
+    /// # Errors
+    ///
+    /// See [`GminStepping::solve`], plus [`SolveError::BudgetExhausted`]
+    /// when the budget runs out first.
+    pub fn solve_budgeted(
+        &self,
+        circuit: &Circuit,
+        budget: &SolveBudget,
+    ) -> Result<Solution, SolveError> {
+        let mut meter = budget.start();
+        meter.set_phase(SolvePhase::Continuation);
+        self.solve_metered(circuit, &vec![0.0; circuit.dim()], &mut meter)
+    }
+
+    pub(crate) fn solve_metered(
+        &self,
+        circuit: &Circuit,
+        x0: &[f64],
+        meter: &mut BudgetMeter,
+    ) -> Result<Solution, SolveError> {
         let mut stats = SolveStats::default();
-        let mut x = vec![0.0; circuit.dim()];
-        let mut state = circuit.new_state();
+        let mut x = x0.to_vec();
+        // Cold starts keep the historical zeroed limiter state; a warm start
+        // seeds the limiter history from the supplied iterate.
+        let mut state = if x0.iter().any(|v| *v != 0.0) {
+            circuit.seeded_state(x0)
+        } else {
+            circuit.new_state()
+        };
         let mut gmin = self.gmin_start;
         loop {
+            meter.charge_step(1)?;
             let cfg = NewtonConfig {
                 gmin,
                 ..self.newton.clone()
             };
-            let out = newton_iterate(circuit, &cfg, &x, &mut state, &mut |_, _, _| {})?;
+            let out = newton_iterate(circuit, &cfg, &x, &mut state, &mut |_, _, _| {}, meter)?;
             stats.nr_iterations += out.iterations;
             stats.lu_factorizations += out.lu_factorizations;
             stats.pta_steps += 1; // one continuation stage
@@ -111,19 +149,53 @@ impl SourceStepping {
     /// [`SolveError::NonConvergent`] if the increment underflows
     /// [`SourceStepping::min_increment`].
     pub fn solve(&self, circuit: &Circuit) -> Result<Solution, SolveError> {
+        self.solve_metered(
+            circuit,
+            &vec![0.0; circuit.dim()],
+            &mut BudgetMeter::unlimited(),
+        )
+    }
+
+    /// Runs the continuation under a resource [`SolveBudget`].
+    ///
+    /// # Errors
+    ///
+    /// See [`SourceStepping::solve`], plus [`SolveError::BudgetExhausted`]
+    /// when the budget runs out first.
+    pub fn solve_budgeted(
+        &self,
+        circuit: &Circuit,
+        budget: &SolveBudget,
+    ) -> Result<Solution, SolveError> {
+        let mut meter = budget.start();
+        meter.set_phase(SolvePhase::Continuation);
+        self.solve_metered(circuit, &vec![0.0; circuit.dim()], &mut meter)
+    }
+
+    pub(crate) fn solve_metered(
+        &self,
+        circuit: &Circuit,
+        x0: &[f64],
+        meter: &mut BudgetMeter,
+    ) -> Result<Solution, SolveError> {
         let mut stats = SolveStats::default();
-        let mut x = vec![0.0; circuit.dim()];
-        let mut state = circuit.new_state();
+        let mut x = x0.to_vec();
+        let mut state = if x0.iter().any(|v| *v != 0.0) {
+            circuit.seeded_state(x0)
+        } else {
+            circuit.new_state()
+        };
         let mut lambda = 0.0_f64;
         let mut dl = self.initial_increment;
         while lambda < 1.0 {
+            meter.charge_step(1)?;
             let next = (lambda + dl).min(1.0);
             let cfg = NewtonConfig {
                 source_scale: next,
                 ..self.newton.clone()
             };
             let saved_state = state.clone();
-            let out = newton_iterate(circuit, &cfg, &x, &mut state, &mut |_, _, _| {})?;
+            let out = newton_iterate(circuit, &cfg, &x, &mut state, &mut |_, _, _| {}, meter)?;
             stats.nr_iterations += out.iterations;
             stats.lu_factorizations += out.lu_factorizations;
             stats.pta_steps += 1;

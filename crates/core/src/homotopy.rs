@@ -13,7 +13,9 @@
 //! the curve turns, the step shrinks and the run may fail, which is exactly
 //! the weakness the paper ascribes to homotopy methods.
 
+use crate::error::SolvePhase;
 use crate::newton::{newton_iterate, NewtonConfig};
+use crate::recovery::{BudgetMeter, SolveBudget};
 use crate::{Solution, SolveError, SolveStats};
 use rlpta_mna::Circuit;
 
@@ -68,17 +70,55 @@ impl NewtonHomotopy {
     /// [`NewtonHomotopy::min_step`]; [`SolveError::Singular`] for structural
     /// defects.
     pub fn solve(&self, circuit: &Circuit) -> Result<Solution, SolveError> {
-        let dim = circuit.dim();
-        let x0 = vec![0.0; dim];
-        // F(x₀): the constant deformation term.
-        let f0 = circuit.residual(&x0);
+        self.solve_metered(
+            circuit,
+            &vec![0.0; circuit.dim()],
+            &mut BudgetMeter::unlimited(),
+        )
+    }
+
+    /// Runs the continuation under a resource [`SolveBudget`].
+    ///
+    /// # Errors
+    ///
+    /// See [`NewtonHomotopy::solve`], plus [`SolveError::BudgetExhausted`]
+    /// when the budget runs out first.
+    pub fn solve_budgeted(
+        &self,
+        circuit: &Circuit,
+        budget: &SolveBudget,
+    ) -> Result<Solution, SolveError> {
+        let mut meter = budget.start();
+        meter.set_phase(SolvePhase::Homotopy);
+        self.solve_metered(circuit, &vec![0.0; circuit.dim()], &mut meter)
+    }
+
+    pub(crate) fn solve_metered(
+        &self,
+        circuit: &Circuit,
+        x0: &[f64],
+        meter: &mut BudgetMeter,
+    ) -> Result<Solution, SolveError> {
+        // F(x₀): the constant deformation term. A poisoned starting point
+        // would contaminate every λ stage, so reject it up front.
+        let f0 = circuit.residual(x0);
+        if !f0.iter().all(|v| v.is_finite()) {
+            return Err(SolveError::NonFinite {
+                phase: SolvePhase::Residual,
+            });
+        }
 
         let mut stats = SolveStats::default();
-        let mut x = x0;
-        let mut state = circuit.new_state();
+        let mut x = x0.to_vec();
+        let mut state = if x0.iter().any(|v| *v != 0.0) {
+            circuit.seeded_state(x0)
+        } else {
+            circuit.new_state()
+        };
         let mut lambda = 0.0f64;
         let mut dl = self.initial_step;
         while lambda < 1.0 {
+            meter.charge_step(1)?;
             let next = (lambda + dl).min(1.0);
             let scale = 1.0 - next;
             let f0_ref = f0.as_slice();
@@ -91,7 +131,7 @@ impl NewtonHomotopy {
                     }
                 };
             let saved_state = state.clone();
-            let out = newton_iterate(circuit, &self.newton, &x, &mut state, &mut deform)?;
+            let out = newton_iterate(circuit, &self.newton, &x, &mut state, &mut deform, meter)?;
             stats.nr_iterations += out.iterations;
             stats.lu_factorizations += out.lu_factorizations;
             stats.pta_steps += 1;

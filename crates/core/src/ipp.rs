@@ -1,7 +1,7 @@
 //! IPP glue: binds the Gaussian-process active learner of `rlpta-gp` to
 //! real PTA runs (the paper's §3 pipeline).
 
-use crate::{PtaConfig, PtaKind, PtaParams, PtaSolver, SimpleStepping};
+use crate::{PtaConfig, PtaKind, PtaParams, PtaSolver, SimpleStepping, SolveBudget};
 use rlpta_gp::{ActiveLearner, GpError, IterationOracle};
 use rlpta_mna::Circuit;
 
@@ -18,6 +18,7 @@ pub struct IppOracle<'a> {
     circuits: &'a [Circuit],
     kind: PtaKind,
     config: PtaConfig,
+    budget: SolveBudget,
     evaluations: usize,
 }
 
@@ -33,8 +34,17 @@ impl<'a> IppOracle<'a> {
             circuits,
             kind,
             config,
+            budget: SolveBudget::UNLIMITED,
             evaluations: 0,
         }
+    }
+
+    /// Caps every training solve with `budget` (wall-clock / NR iteration /
+    /// step ceilings); an exhausted run counts as a divergence.
+    #[must_use]
+    pub fn with_budget(mut self, budget: SolveBudget) -> Self {
+        self.budget = budget;
+        self
     }
 
     /// Total solver invocations so far.
@@ -49,9 +59,12 @@ impl<'a> IppOracle<'a> {
         let mut solver =
             PtaSolver::with_config(self.kind, SimpleStepping::default(), self.config.clone())
                 .with_params(params);
-        match solver.solve(circuit) {
+        match solver.solve_budgeted(circuit, &self.budget) {
             Ok(sol) => Some(sol.stats),
-            Err(crate::SolveError::NonConvergent { stats }) => {
+            Err(
+                crate::SolveError::NonConvergent { stats }
+                | crate::SolveError::BudgetExhausted { stats, .. },
+            ) => {
                 let mut s = stats;
                 s.converged = false;
                 Some(s)

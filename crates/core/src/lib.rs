@@ -18,7 +18,11 @@
 //!   sample buffer and TD-error priority sampling, trained online during
 //!   the simulation,
 //! * [`IppOracle`] / [`predict_params`] — the glue binding the
-//!   Gaussian-process active learner of `rlpta-gp` to real PTA runs.
+//!   Gaussian-process active learner of `rlpta-gp` to real PTA runs,
+//! * [`RobustDcSolver`] — the resilience layer: an escalation ladder over
+//!   all of the above with uniform [`SolveBudget`] enforcement, non-finite
+//!   guards and (behind the `faults` feature) a deterministic
+//!   fault-injection harness ([`recovery`]).
 //!
 //! # Example
 //!
@@ -43,6 +47,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Panics are unacceptable in the solver hot path: every failure must come
+// back as a structured `SolveError`. Test code is exempt.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 mod ac;
 mod continuation;
@@ -51,6 +58,7 @@ mod homotopy;
 mod ipp;
 mod newton;
 mod pta;
+pub mod recovery;
 mod report;
 mod rl_stepping;
 mod solution;
@@ -61,11 +69,14 @@ mod transient;
 
 pub use ac::{AcPoint, AcStimulus, AcSweep};
 pub use continuation::{GminStepping, SourceStepping};
-pub use error::SolveError;
+pub use error::{SolveError, SolvePhase};
 pub use homotopy::NewtonHomotopy;
 pub use ipp::{default_pta_params, predict_params, IppOracle};
 pub use newton::{NewtonConfig, NewtonRaphson};
 pub use pta::{CeptaConfig, DptaConfig, PtaConfig, PtaKind, PtaParams, PtaSolver, RptaConfig};
+#[cfg(feature = "faults")]
+pub use recovery::FaultPlan;
+pub use recovery::{AttemptReport, LadderStage, RobustDcSolver, SolveBudget};
 pub use report::op_report;
 pub use rl_stepping::{RlStepping, RlSteppingConfig};
 pub use solution::{Solution, SolveStats};

@@ -1,5 +1,7 @@
 //! Damped Newton–Raphson with SPICE convergence criteria.
 
+use crate::error::SolvePhase;
+use crate::recovery::{BudgetMeter, SolveBudget};
 use crate::{Solution, SolveError, SolveStats};
 use rlpta_devices::EvalCtx;
 use rlpta_linalg::{norms, SparseLu, Triplet};
@@ -72,25 +74,33 @@ pub(crate) struct NrOutcome {
 ///
 /// Returns `Ok` with `converged == false` when the iteration budget runs out
 /// (the PTA loop treats that as a rollback signal, not an error); `Err` only
-/// on unrecoverable problems (singular system after Gmin bumps).
+/// on unrecoverable problems: a singular system after Gmin bumps, a
+/// non-finite value that step rollback could not clear, or an exhausted
+/// [`SolveBudget`] (`meter` charges one unit per iteration, so wall-clock
+/// deadlines are honored to within a single assembly + factorization).
 pub(crate) fn newton_iterate(
     circuit: &Circuit,
     config: &NewtonConfig,
     x0: &[f64],
     state: &mut [f64],
     extra: &mut ExtraStamps<'_>,
+    meter: &mut BudgetMeter,
 ) -> Result<NrOutcome, SolveError> {
     let dim = circuit.dim();
     debug_assert_eq!(x0.len(), dim, "x0 dimension mismatch");
     let num_nodes = circuit.num_nodes();
 
     let mut x = x0.to_vec();
+    // Last iterate whose stamps evaluated finite — the rollback anchor for
+    // the non-finite guard below.
+    let mut x_prev: Option<Vec<f64>> = None;
     let mut jac = Triplet::with_capacity(dim, dim, 16 * circuit.devices().len() + 2 * dim);
     let mut res = vec![0.0; dim];
     let mut lu_count = 0usize;
     let mut last_residual = f64::INFINITY;
 
     for iter in 1..=config.max_iterations {
+        meter.charge_nr(1)?;
         let ctx = EvalCtx {
             x: &x,
             gmin: config.gmin,
@@ -98,10 +108,35 @@ pub(crate) fn newton_iterate(
         };
         circuit.assemble_into(&ctx, &mut jac, &mut res, state);
         extra(&x, &mut jac, &mut res);
+        #[cfg(feature = "faults")]
+        crate::recovery::perturb_residual(&mut res);
+
+        // Non-finite guard on stamps: a NaN/Inf in the assembled system
+        // (device model evaluated out of range, overflowing exponential…)
+        // must not reach the factorization. Retreat halfway toward the last
+        // clean iterate and retry; each retreat consumes an iteration, so
+        // the loop still terminates. With no clean iterate to retreat to,
+        // the poison is structural — fail.
+        if !(jac.all_finite() && res.iter().all(|v| v.is_finite())) {
+            match &x_prev {
+                Some(prev) => {
+                    for (xi, pi) in x.iter_mut().zip(prev) {
+                        *xi = 0.5 * (*xi + *pi);
+                    }
+                    last_residual = f64::INFINITY;
+                    continue;
+                }
+                None => {
+                    return Err(SolveError::NonFinite {
+                        phase: SolvePhase::DeviceStamp,
+                    })
+                }
+            }
+        }
         last_residual = norms::inf_norm(&res);
 
         // Factorize, escalating a diagonal Gmin shunt on singularity.
-        let mut lu = None;
+        let mut factorized = None;
         for bump in 0..4 {
             if bump > 0 {
                 let gshunt = 1e-9 * 100f64.powi(bump);
@@ -112,17 +147,36 @@ pub(crate) fn newton_iterate(
             lu_count += 1;
             match SparseLu::factorize(&jac.to_csr()) {
                 Ok(f) => {
-                    lu = Some(f);
+                    factorized = Some(f);
                     break;
                 }
                 Err(_) if bump < 3 => continue,
                 Err(e) => return Err(SolveError::Singular(e)),
             }
         }
-        let lu = lu.expect("factorization loop returns or errors");
+        let lu = match factorized {
+            Some(f) => f,
+            // Unreachable: the loop above either breaks with a factorization
+            // or returns the final error. Kept as a structured error rather
+            // than a panic path.
+            None => {
+                return Err(SolveError::Singular(rlpta_linalg::LinalgError::Singular {
+                    step: 0,
+                    pivot: 0.0,
+                }))
+            }
+        };
 
         let neg_res: Vec<f64> = res.iter().map(|v| -v).collect();
         let mut dx = lu.solve(&neg_res)?;
+        // Non-finite guard on the update: a finite but near-singular system
+        // can still produce Inf/NaN through the triangular solves. No
+        // damping recovers a direction from NaN — fail structurally.
+        if !dx.iter().all(|v| v.is_finite()) {
+            return Err(SolveError::NonFinite {
+                phase: SolvePhase::NewtonUpdate,
+            });
+        }
 
         // Global damping on node voltages — only meaningful for nonlinear
         // circuits (a linear solve is exact in one full step).
@@ -149,7 +203,7 @@ pub(crate) fn newton_iterate(
             (n - o).abs() <= config.reltol * n.abs().max(o.abs()) + atol
         });
 
-        x = x_new;
+        x_prev = Some(std::mem::replace(&mut x, x_new));
 
         if dx_ok {
             // Re-evaluate the residual at the accepted point to reject
@@ -166,6 +220,17 @@ pub(crate) fn newton_iterate(
             };
             circuit.assemble_into(&ctx, &mut jac, &mut res, state);
             extra(&x, &mut jac, &mut res);
+            #[cfg(feature = "faults")]
+            crate::recovery::perturb_residual(&mut res);
+            // `inf_norm` folds with `f64::max`, which *discards* NaN — a
+            // poisoned residual would read as 0.0 and convergence-check
+            // true. Scan for finiteness first; a poisoned point is simply
+            // not converged (the guard at the top of the next iteration
+            // handles the retreat).
+            if !res.iter().all(|v| v.is_finite()) {
+                last_residual = f64::INFINITY;
+                continue;
+            }
             last_residual = norms::inf_norm(&res);
             let limiting_active = state
                 .iter()
@@ -242,8 +307,34 @@ impl NewtonRaphson {
     ///
     /// See [`NewtonRaphson::solve`].
     pub fn solve_from(&self, circuit: &Circuit, x0: &[f64]) -> Result<Solution, SolveError> {
+        self.solve_metered(circuit, x0, &mut BudgetMeter::unlimited())
+    }
+
+    /// Solves under a resource [`SolveBudget`]: the wall-clock deadline and
+    /// iteration caps are checked on every Newton iteration.
+    ///
+    /// # Errors
+    ///
+    /// See [`NewtonRaphson::solve`], plus [`SolveError::BudgetExhausted`]
+    /// when the budget runs out first.
+    pub fn solve_budgeted(
+        &self,
+        circuit: &Circuit,
+        budget: &SolveBudget,
+    ) -> Result<Solution, SolveError> {
+        let mut meter = budget.start();
+        meter.set_phase(SolvePhase::Newton);
+        self.solve_metered(circuit, &vec![0.0; circuit.dim()], &mut meter)
+    }
+
+    fn solve_metered(
+        &self,
+        circuit: &Circuit,
+        x0: &[f64],
+        meter: &mut BudgetMeter,
+    ) -> Result<Solution, SolveError> {
         let mut state = circuit.seeded_state(x0);
-        let out = newton_iterate(circuit, &self.config, x0, &mut state, &mut |_, _, _| {})?;
+        let out = newton_iterate(circuit, &self.config, x0, &mut state, &mut |_, _, _| {}, meter)?;
         let stats = SolveStats {
             nr_iterations: out.iterations,
             pta_steps: 0,

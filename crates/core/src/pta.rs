@@ -24,7 +24,9 @@
 
 #![allow(clippy::needless_range_loop)]
 
+use crate::error::SolvePhase;
 use crate::newton::{newton_iterate, NewtonConfig};
+use crate::recovery::{BudgetMeter, SolveBudget};
 use crate::{Solution, SolveError, SolveStats, StepController, StepObservation};
 use rlpta_devices::Device;
 use rlpta_linalg::{norms, Triplet};
@@ -262,6 +264,32 @@ impl<C: StepController> PtaSolver<C> {
     /// * [`SolveError::NonConvergent`] when the step budget is exhausted or
     ///   the controller stalls at `h_min`.
     pub fn solve(&mut self, circuit: &Circuit) -> Result<Solution, SolveError> {
+        self.solve_metered(circuit, &mut BudgetMeter::unlimited())
+    }
+
+    /// Runs PTA under a resource [`SolveBudget`]: deadline and iteration
+    /// caps are enforced at every inner Newton iteration, the step cap at
+    /// every pseudo time point.
+    ///
+    /// # Errors
+    ///
+    /// See [`PtaSolver::solve`], plus [`SolveError::BudgetExhausted`] when
+    /// the budget runs out first.
+    pub fn solve_budgeted(
+        &mut self,
+        circuit: &Circuit,
+        budget: &SolveBudget,
+    ) -> Result<Solution, SolveError> {
+        let mut meter = budget.start();
+        meter.set_phase(SolvePhase::PseudoTransient);
+        self.solve_metered(circuit, &mut meter)
+    }
+
+    pub(crate) fn solve_metered(
+        &mut self,
+        circuit: &Circuit,
+        meter: &mut BudgetMeter,
+    ) -> Result<Solution, SolveError> {
         let dim = circuit.dim();
         let num_nodes = circuit.num_nodes();
         let params = self.config.params;
@@ -303,6 +331,7 @@ impl<C: StepController> PtaSolver<C> {
         let mut t = 0.0;
 
         for _ in 0..self.config.max_steps {
+            meter.charge_step(1)?;
             let h_eff = alpha * h;
             // CEPTA series resistance at the end of this step.
             let r_t = match self.kind {
@@ -349,15 +378,37 @@ impl<C: StepController> PtaSolver<C> {
                 newton_cfg.source_scale = ((t + h) / r.ramp_time).min(1.0);
             }
             let saved_state = dev_state.clone();
-            let out = newton_iterate(circuit, &newton_cfg, &x_time, &mut dev_state, &mut pseudo)?;
+            let out = newton_iterate(
+                circuit,
+                &newton_cfg,
+                &x_time,
+                &mut dev_state,
+                &mut pseudo,
+                meter,
+            )?;
             stats.nr_iterations += out.iterations;
             stats.lu_factorizations += out.lu_factorizations;
 
-            if out.converged {
+            // Steady-state test on the *original* residual. `inf_norm` folds
+            // with `f64::max`, which discards NaN — scan for finiteness
+            // explicitly, otherwise a poisoned residual reads as 0.0 and a
+            // garbage point is declared the operating point. A non-finite
+            // original residual demotes the step to a rejection.
+            let res_orig = if out.converged {
+                let rvec = circuit.residual(&out.x);
+                if rvec.iter().all(|v| v.is_finite()) {
+                    Some(norms::inf_norm(&rvec))
+                } else {
+                    None
+                }
+            } else {
+                None
+            };
+
+            if let Some(res_orig) = res_orig {
                 stalled_rejects = 0;
                 let gamma = norms::max_relative_change(&out.x, &x_time, 1e-6);
                 last_gamma = gamma;
-                let res_orig = norms::inf_norm(&circuit.residual(&out.x));
                 t += h;
                 stats.pta_steps += 1;
 

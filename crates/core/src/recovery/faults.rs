@@ -1,0 +1,133 @@
+//! Unified deterministic fault-injection plan (behind the `faults` feature).
+//!
+//! A [`FaultPlan`] arms any combination of three failure modes, all seeded
+//! and thread-local so chaos runs are reproducible and parallel test threads
+//! do not interfere:
+//!
+//! * **singular pivots** — a fraction of sparse LU factorizations fail
+//!   (`rlpta-linalg`'s injection hook),
+//! * **NaN stamps** — a fraction of device Jacobian stamps is poisoned
+//!   (`rlpta-devices`' injection hook),
+//! * **oscillating residuals** — an alternating-sign perturbation added to
+//!   the assembled Newton residual, defeating convergence the way a
+//!   limit-cycling device model does.
+//!
+//! The contract under any armed plan: every solver entry point returns a
+//! structured [`SolveError`](crate::SolveError) — no panic, no hang, no
+//! silently-wrong solution.
+
+use std::cell::Cell;
+
+thread_local! {
+    static OSCILLATION: Cell<Option<(f64, bool)>> = const { Cell::new(None) };
+}
+
+/// A deterministic chaos scenario. Fields left `None` leave that failure
+/// mode disarmed.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Seed shared by all armed injectors.
+    pub seed: u64,
+    /// Fail roughly one in `period` LU factorizations (1 = all).
+    pub singular_pivot_period: Option<u64>,
+    /// Poison roughly one in `period` Jacobian stamps with NaN (1 = all).
+    pub nan_stamp_period: Option<u64>,
+    /// Amplitude of the alternating residual perturbation.
+    pub oscillation_amplitude: Option<f64>,
+}
+
+impl FaultPlan {
+    /// A plan with the given seed and nothing armed yet.
+    pub fn seeded(seed: u64) -> Self {
+        Self {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Returns a copy that fails one in `period` factorizations.
+    #[must_use]
+    pub fn singular_pivots(mut self, period: u64) -> Self {
+        self.singular_pivot_period = Some(period);
+        self
+    }
+
+    /// Returns a copy that poisons one in `period` Jacobian stamps.
+    #[must_use]
+    pub fn nan_stamps(mut self, period: u64) -> Self {
+        self.nan_stamp_period = Some(period);
+        self
+    }
+
+    /// Returns a copy that perturbs every assembled residual by ±`amplitude`
+    /// with alternating sign.
+    #[must_use]
+    pub fn oscillating_residual(mut self, amplitude: f64) -> Self {
+        self.oscillation_amplitude = Some(amplitude);
+        self
+    }
+
+    /// Installs the plan on the current thread, replacing whatever was
+    /// armed before.
+    pub fn install(&self) {
+        FaultPlan::clear();
+        if let Some(p) = self.singular_pivot_period {
+            rlpta_linalg::faults::arm_singular(self.seed, p);
+        }
+        if let Some(p) = self.nan_stamp_period {
+            rlpta_devices::faults::arm_nan_stamps(self.seed, p);
+        }
+        if let Some(a) = self.oscillation_amplitude {
+            OSCILLATION.with(|o| o.set(Some((a, false))));
+        }
+    }
+
+    /// Disarms every injector on the current thread.
+    pub fn clear() {
+        rlpta_linalg::faults::disarm();
+        rlpta_devices::faults::disarm();
+        OSCILLATION.with(|o| o.set(None));
+    }
+}
+
+/// Called by `newton_iterate` after assembly: adds the armed oscillation
+/// perturbation (alternating sign per call) to the residual.
+pub(crate) fn perturb_residual(res: &mut [f64]) {
+    OSCILLATION.with(|o| {
+        if let Some((amp, flip)) = o.get() {
+            let signed = if flip { -amp } else { amp };
+            for r in res.iter_mut() {
+                *r += signed;
+            }
+            o.set(Some((amp, !flip)));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oscillation_alternates_sign() {
+        FaultPlan::seeded(1).oscillating_residual(2.0).install();
+        let mut r = vec![0.0, 0.0];
+        perturb_residual(&mut r);
+        assert_eq!(r, vec![2.0, 2.0]);
+        perturb_residual(&mut r);
+        assert_eq!(r, vec![0.0, 0.0], "second call subtracts");
+        FaultPlan::clear();
+        perturb_residual(&mut r);
+        assert_eq!(r, vec![0.0, 0.0], "cleared plan is a no-op");
+    }
+
+    #[test]
+    fn install_replaces_previous_plan() {
+        FaultPlan::seeded(1).oscillating_residual(1.0).install();
+        FaultPlan::seeded(2).singular_pivots(1).install();
+        let mut r = vec![0.0];
+        perturb_residual(&mut r);
+        assert_eq!(r, vec![0.0], "oscillation disarmed by reinstall");
+        FaultPlan::clear();
+    }
+}

@@ -5,7 +5,7 @@
 //! stress test for it, because a sweep crosses device regions (cut-off,
 //! saturation, breakdown) point after point.
 
-use crate::{GminStepping, NewtonRaphson, Solution, SolveError, SolveStats};
+use crate::{NewtonRaphson, RobustDcSolver, Solution, SolveError, SolveStats};
 use rlpta_mna::Circuit;
 
 /// A single sweep point: the swept source value and its solution.
@@ -99,12 +99,14 @@ impl DcSweep {
     }
 
     /// Runs the sweep: each point warm-starts Newton from the previous
-    /// solution; a failed point falls back to Gmin stepping.
+    /// solution; a failed point falls back to the full [`RobustDcSolver`]
+    /// escalation ladder.
     ///
     /// # Errors
     ///
     /// * [`SolveError::InvalidConfig`] if the source does not exist,
-    /// * [`SolveError::NonConvergent`] if a point fails even with fallback.
+    /// * [`SolveError::AllStrategiesFailed`] if a point defeats every rung
+    ///   of the fallback ladder.
     pub fn run(&self, circuit: &Circuit) -> Result<Vec<SweepPoint>, SolveError> {
         let mut work = circuit.clone();
         if !work.set_source_dc(&self.source, self.values[0]) {
@@ -124,9 +126,9 @@ impl DcSweep {
             };
             let solution = match attempt {
                 Ok(sol) => sol,
-                // Region crossings can defeat a warm-started Newton; Gmin
-                // stepping recovers from scratch.
-                Err(_) => GminStepping::default().solve(&work)?,
+                // Region crossings can defeat a warm-started Newton; the
+                // escalation ladder recovers from scratch.
+                Err(_) => RobustDcSolver::default().solve(&work)?,
             };
             total.absorb(&solution.stats);
             x_prev = Some(solution.x.clone());

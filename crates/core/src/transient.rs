@@ -8,6 +8,7 @@
 //! elements) and the time-varying sources are added on top.
 
 use crate::newton::{newton_iterate, NewtonConfig};
+use crate::recovery::BudgetMeter;
 use crate::{SolveError, SolveStats};
 use rlpta_devices::Device;
 use rlpta_linalg::Triplet;
@@ -210,6 +211,7 @@ impl Transient {
             None => vec![0.0; dim],
         };
         let mut state = work.seeded_state(&x);
+        let mut meter = BudgetMeter::unlimited();
         let mut stats = SolveStats::default();
 
         // Reactive elements: (a, b, C) for capacitors, (a, b, branch, L)
@@ -281,7 +283,8 @@ impl Transient {
                 }
             };
             let saved_state = state.clone();
-            let out = newton_iterate(&work, &self.newton, &x, &mut state, &mut companion)?;
+            let out =
+                newton_iterate(&work, &self.newton, &x, &mut state, &mut companion, &mut meter)?;
             stats.nr_iterations += out.iterations;
             stats.lu_factorizations += out.lu_factorizations;
             if out.converged {

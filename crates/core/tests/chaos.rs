@@ -1,0 +1,194 @@
+//! Chaos suite: deterministic fault injection against the full escalation
+//! ladder.
+//!
+//! Every run in this file executes with a [`FaultPlan`] installed — singular
+//! pivots in the sparse LU, NaN device stamps, or an oscillating residual —
+//! and must end in a *structured* outcome: either a finite solution (the
+//! solver rode out an intermittent fault) or a typed [`SolveError`]. Zero
+//! panics, zero hangs, and on total failure a populated per-stage attempt
+//! trail.
+//!
+//! Requires `--features faults`.
+
+use rlpta_core::{
+    FaultPlan, GminStepping, LadderStage, NewtonConfig, NewtonHomotopy, PtaConfig, RobustDcSolver,
+    SolveBudget, SolveError, SourceStepping,
+};
+use rlpta_mna::Circuit;
+use std::time::Duration;
+
+/// Three circuit families: diode network, BJT mirror bank, MOS amplifier.
+fn chaos_circuits() -> Vec<(&'static str, Circuit)> {
+    ["D10", "gm1", "mosamp"]
+        .iter()
+        .map(|n| {
+            (
+                *n,
+                rlpta_circuits::by_name(n).expect("known benchmark").circuit,
+            )
+        })
+        .collect()
+}
+
+/// A deliberately small ladder so a run where *every* stage fails still
+/// finishes in milliseconds and produces a full trail.
+fn tiny_ladder() -> RobustDcSolver {
+    let newton = NewtonConfig {
+        max_iterations: 10,
+        ..NewtonConfig::default()
+    };
+    RobustDcSolver::new(vec![
+        LadderStage::DampedNewton(newton.clone()),
+        LadderStage::GminStepping(GminStepping {
+            newton: newton.clone(),
+            ..GminStepping::default()
+        }),
+        LadderStage::SourceStepping(SourceStepping {
+            min_increment: 0.05,
+            newton: newton.clone(),
+            ..SourceStepping::default()
+        }),
+        LadderStage::Cepta(PtaConfig {
+            max_steps: 15,
+            newton: newton.clone(),
+            ..PtaConfig::default()
+        }),
+        LadderStage::Dpta(PtaConfig {
+            max_steps: 15,
+            newton: newton.clone(),
+            ..PtaConfig::default()
+        }),
+        LadderStage::NewtonHomotopy(NewtonHomotopy {
+            min_step: 0.099,
+            newton,
+            ..NewtonHomotopy::default()
+        }),
+    ])
+    // Backstop against hangs; generous enough that the tiny stages finish
+    // long before it trips.
+    .with_budget(SolveBudget::with_deadline(Duration::from_secs(30)))
+}
+
+const STAGE_NAMES: [&str; 6] = [
+    "newton",
+    "gmin-stepping",
+    "source-stepping",
+    "cepta",
+    "dpta",
+    "newton-homotopy",
+];
+
+fn constant_fault_plans(seed: u64) -> Vec<(&'static str, FaultPlan)> {
+    vec![
+        ("singular-pivot", FaultPlan::seeded(seed).singular_pivots(1)),
+        ("nan-stamp", FaultPlan::seeded(seed).nan_stamps(1)),
+        (
+            "oscillating-residual",
+            FaultPlan::seeded(seed).oscillating_residual(10.0),
+        ),
+    ]
+}
+
+/// ≥ 50 seeded runs (3 fault kinds × 3 circuit families × 6 seeds = 54),
+/// each under a *constant* fault no strategy can survive: every run must
+/// return a structured error carrying the ordered per-stage attempt trail.
+#[test]
+fn constant_faults_produce_full_attempt_trails() {
+    let circuits = chaos_circuits();
+    let solver = tiny_ladder();
+    let mut runs = 0usize;
+    for seed in 0..6u64 {
+        for (fault_name, plan) in constant_fault_plans(seed) {
+            for (circ_name, circuit) in &circuits {
+                plan.install();
+                let result = solver.solve(circuit);
+                FaultPlan::clear();
+                runs += 1;
+                let ctx = format!("fault={fault_name} circuit={circ_name} seed={seed}");
+                match result {
+                    Err(SolveError::AllStrategiesFailed { attempts }) => {
+                        assert_eq!(attempts.len(), STAGE_NAMES.len(), "{ctx}");
+                        for (attempt, expected) in attempts.iter().zip(STAGE_NAMES) {
+                            assert_eq!(attempt.strategy, expected, "{ctx}");
+                            assert!(
+                                matches!(
+                                    *attempt.error,
+                                    SolveError::NonConvergent { .. }
+                                        | SolveError::Singular(_)
+                                        | SolveError::NonFinite { .. }
+                                ),
+                                "{ctx}: unexpected stage error {:?}",
+                                attempt.error
+                            );
+                        }
+                    }
+                    other => panic!("{ctx}: expected AllStrategiesFailed, got {other:?}"),
+                }
+            }
+        }
+    }
+    assert!(runs >= 50, "chaos coverage: {runs} runs");
+}
+
+/// Intermittent faults (period > 1): the solver may recover or fail, but the
+/// outcome must always be structured — a finite solution or a typed error —
+/// and the run must respect the wall-clock backstop.
+#[test]
+fn intermittent_faults_never_panic_or_hang() {
+    let circuits = chaos_circuits();
+    let solver = tiny_ladder();
+    let mut runs = 0usize;
+    for seed in 0..6u64 {
+        let period = 2 + seed % 5;
+        let plans = vec![
+            FaultPlan::seeded(seed).singular_pivots(period),
+            FaultPlan::seeded(seed).nan_stamps(period * 3),
+            FaultPlan::seeded(seed)
+                .singular_pivots(period * 7)
+                .nan_stamps(period * 5)
+                .oscillating_residual(1e-9),
+        ];
+        for plan in plans {
+            for (circ_name, circuit) in &circuits {
+                plan.install();
+                let result = solver.solve(circuit);
+                FaultPlan::clear();
+                runs += 1;
+                let ctx = format!("circuit={circ_name} seed={seed} period={period}");
+                match result {
+                    Ok(sol) => {
+                        assert!(
+                            sol.x.iter().all(|v| v.is_finite()),
+                            "{ctx}: poison leaked into a returned solution"
+                        );
+                        assert!(sol.stats.converged, "{ctx}");
+                    }
+                    Err(
+                        SolveError::AllStrategiesFailed { .. }
+                        | SolveError::BudgetExhausted { .. }
+                        | SolveError::NonConvergent { .. },
+                    ) => {}
+                    Err(other) => panic!("{ctx}: unstructured failure {other:?}"),
+                }
+            }
+        }
+    }
+    assert!(runs >= 50, "chaos coverage: {runs} runs");
+}
+
+/// Faults must not outlive their plan: after `clear()` the same solver and
+/// circuit succeed normally.
+#[test]
+fn cleared_plan_restores_clean_behavior() {
+    let c = rlpta_circuits::by_name("D10").expect("known benchmark").circuit;
+    let solver = RobustDcSolver::default();
+
+    FaultPlan::seeded(7).singular_pivots(1).install();
+    let poisoned = solver.solve(&c);
+    FaultPlan::clear();
+    assert!(poisoned.is_err(), "constant singular pivots must fail");
+
+    let clean = solver.solve(&c).expect("clean solve after clear()");
+    assert!(clean.stats.converged);
+    assert!(clean.x.iter().all(|v| v.is_finite()));
+}

@@ -3,7 +3,8 @@
 
 use proptest::prelude::*;
 use rlpta_core::{
-    NewtonRaphson, PtaKind, PtaSolver, SerStepping, SimpleStepping, StepController, StepObservation,
+    NewtonRaphson, PtaKind, PtaSolver, RobustDcSolver, SerStepping, SimpleStepping, SolveBudget,
+    SolveError, StepController, StepObservation,
 };
 
 /// Builds an n-stage resistor ladder deck driven by `v` volts.
@@ -111,5 +112,73 @@ proptest! {
         let c = rlpta_netlist::parse(&ladder_deck(n, v, 1.0)).expect("parses");
         let sol = NewtonRaphson::default().solve(&c).expect("solves");
         prop_assert!(sol.residual_norm(&c) < 1e-9 * (1.0 + v.abs()));
+    }
+
+    /// The escalation ladder is total: random — including badly scaled —
+    /// nonlinear circuits either solve to a finite point or come back as a
+    /// structured `SolveError`. Never a panic, never poison in an `Ok`.
+    #[test]
+    fn robust_solver_is_total(
+        v in -50.0f64..50.0,
+        r_ohm in 1e-2f64..1e8,
+        is_sat in 1e-18f64..1e-10,
+        stages in 1usize..4,
+    ) {
+        let mut deck = format!("rand\nV1 n0 0 {v}\n");
+        for i in 0..stages {
+            deck += &format!("R{i} n{i} n{} {r_ohm}\n", i + 1);
+            deck += &format!("D{i} n{} 0 DX\n", i + 1);
+        }
+        deck += &format!(".model DX D(IS={is_sat:e})\n");
+        let c = rlpta_netlist::parse(&deck).expect("parses");
+        let solver = RobustDcSolver::default()
+            .with_budget(SolveBudget::UNLIMITED.nr_iterations(50_000));
+        match solver.solve(&c) {
+            Ok(sol) => {
+                prop_assert!(sol.stats.converged);
+                prop_assert!(sol.x.iter().all(|x| x.is_finite()),
+                    "non-finite entry in accepted solution");
+            }
+            // Any typed error is an acceptable outcome for a hostile deck;
+            // reaching here at all means no panic and no hang.
+            Err(SolveError::InvalidConfig { .. }) =>
+                prop_assert!(false, "valid deck rejected as config error"),
+            Err(_) => {}
+        }
+    }
+}
+
+#[cfg(feature = "faults")]
+mod under_faults {
+    use super::*;
+    use rlpta_core::FaultPlan;
+
+    proptest! {
+        /// Totality holds under seeded fault injection too: intermittent
+        /// singular pivots and NaN stamps never escape as panics or
+        /// non-finite solutions.
+        #[test]
+        fn robust_solver_is_total_under_faults(
+            seed in any::<u64>(),
+            period in 2u64..12,
+            v in 1.0f64..20.0,
+            r_ohm in 10.0f64..1e5,
+        ) {
+            let deck = format!(
+                "clamp\nV1 in 0 {v}\nR1 in out {r_ohm}\nD1 out 0 DX\n.model DX D(IS=1e-14)\n"
+            );
+            let c = rlpta_netlist::parse(&deck).expect("parses");
+            let solver = RobustDcSolver::default()
+                .with_budget(SolveBudget::UNLIMITED.nr_iterations(50_000));
+            FaultPlan::seeded(seed)
+                .singular_pivots(period)
+                .nan_stamps(period * 3)
+                .install();
+            let result = solver.solve(&c);
+            FaultPlan::clear();
+            if let Ok(sol) = result {
+                prop_assert!(sol.x.iter().all(|x| x.is_finite()));
+            }
+        }
     }
 }

@@ -1,0 +1,89 @@
+//! Integration tests for the resilience layer: budget deadlines hold in
+//! real time, and the escalation ladder dominates every individual strategy
+//! on the benchmark suites.
+
+use rlpta_core::{
+    GminStepping, LadderStage, NewtonConfig, NewtonHomotopy, NewtonRaphson, PtaConfig, PtaKind,
+    PtaSolver, RobustDcSolver, SimpleStepping, SolveBudget, SolveError, SourceStepping,
+};
+use std::time::{Duration, Instant};
+
+/// A configuration that grinds essentially forever: Newton converges at
+/// every pseudo-time point, but the steady-state tolerance is unreachable,
+/// so every step is *accepted* and the march would run its hundred-million
+/// step budget. Only the wall-clock deadline can stop it — in any build
+/// profile.
+fn grinding_ladder() -> RobustDcSolver {
+    RobustDcSolver::new(vec![LadderStage::Cepta(PtaConfig {
+        max_steps: 100_000_000,
+        steady_ftol: 1e-300,
+        newton: NewtonConfig {
+            max_iterations: 50,
+            ..NewtonConfig::default()
+        },
+        ..PtaConfig::default()
+    })])
+}
+
+#[test]
+fn budget_deadline_holds_within_factor_two() {
+    let c = rlpta_circuits::by_name("SCHMITT")
+        .expect("known benchmark")
+        .circuit;
+    let deadline = Duration::from_millis(250);
+    let solver = grinding_ladder().with_budget(SolveBudget::with_deadline(deadline));
+    let t0 = Instant::now();
+    let result = solver.solve(&c);
+    let elapsed = t0.elapsed();
+    match result {
+        Err(SolveError::BudgetExhausted { stats, .. }) => {
+            assert!(
+                stats.nr_iterations > 0,
+                "the grinder should have done real work before the deadline"
+            );
+        }
+        other => panic!("expected BudgetExhausted, got {other:?}"),
+    }
+    // The deadline is checked at every NR iteration, so overshoot is at most
+    // one iteration plus scheduling noise — 2× is a generous envelope.
+    assert!(
+        elapsed < 2 * deadline,
+        "deadline {deadline:?} overshot: took {elapsed:?}"
+    );
+}
+
+/// The ladder must solve every suite circuit that *any* individual strategy
+/// solves (the whole point of escalation). Checked over a fast subset
+/// spanning diode, BJT and MOS families.
+#[test]
+fn ladder_dominates_every_individual_strategy() {
+    let names = [
+        "D10", "D11", "gm1", "bias", "mosamp", "SCHMITT", "latch", "Adding",
+    ];
+    let robust = RobustDcSolver::default();
+    for name in names {
+        let c = rlpta_circuits::by_name(name)
+            .expect("known benchmark")
+            .circuit;
+        let individual_solved = NewtonRaphson::default().solve(&c).is_ok()
+            || GminStepping::default().solve(&c).is_ok()
+            || SourceStepping::default().solve(&c).is_ok()
+            || PtaSolver::new(PtaKind::cepta(), SimpleStepping::default())
+                .solve(&c)
+                .is_ok()
+            || PtaSolver::new(PtaKind::dpta(), SimpleStepping::default())
+                .solve(&c)
+                .is_ok()
+            || NewtonHomotopy::default().solve(&c).is_ok();
+        if individual_solved {
+            let sol = robust
+                .solve(&c)
+                .unwrap_or_else(|e| panic!("{name}: a strategy solves this but the ladder failed: {e}"));
+            assert!(sol.stats.converged, "{name}");
+            assert!(
+                sol.x.iter().all(|v| v.is_finite()),
+                "{name}: non-finite solution"
+            );
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Deterministic NaN-stamp fault injection (behind the `faults` feature).
+//!
+//! When armed, a seeded fraction of Jacobian stamps is replaced by `NaN`,
+//! simulating a device model evaluated outside its numeric range (exponent
+//! overflow in a junction law, division by a collapsed geometry term…).
+//! The solver layer above must detect the poison and fail *structurally* —
+//! never propagate it into a "converged" solution. State is thread-local so
+//! parallel test threads do not interfere.
+
+use std::cell::Cell;
+
+#[derive(Debug, Clone, Copy)]
+struct Plan {
+    seed: u64,
+    period: u64,
+    counter: u64,
+}
+
+thread_local! {
+    static PLAN: Cell<Option<Plan>> = const { Cell::new(None) };
+}
+
+/// SplitMix64 finalizer — a cheap, well-mixed hash of the call counter.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Arms NaN-stamp injection on this thread: roughly one in `period` Jacobian
+/// stamps (deterministically chosen from `seed`) is poisoned.
+pub fn arm_nan_stamps(seed: u64, period: u64) {
+    PLAN.with(|p| {
+        p.set(Some(Plan {
+            seed,
+            period: period.max(1),
+            counter: 0,
+        }))
+    });
+}
+
+/// Disarms injection on this thread.
+pub fn disarm() {
+    PLAN.with(|p| p.set(None));
+}
+
+/// Consumes one trigger slot; `true` means the current stamp must be `NaN`.
+pub(crate) fn fire_nan() -> bool {
+    PLAN.with(|p| match p.get() {
+        None => false,
+        Some(mut plan) => {
+            let n = plan.counter;
+            plan.counter = plan.counter.wrapping_add(1);
+            p.set(Some(plan));
+            splitmix(plan.seed ^ n).is_multiple_of(plan.period)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_never_fires() {
+        disarm();
+        assert!((0..100).all(|_| !fire_nan()));
+    }
+
+    #[test]
+    fn armed_sequence_is_reproducible() {
+        arm_nan_stamps(3, 4);
+        let a: Vec<bool> = (0..32).map(|_| fire_nan()).collect();
+        arm_nan_stamps(3, 4);
+        let b: Vec<bool> = (0..32).map(|_| fire_nan()).collect();
+        disarm();
+        assert_eq!(a, b);
+        assert!(a.iter().any(|&f| f));
+    }
+}

@@ -45,6 +45,8 @@ mod bjt;
 mod current_controlled;
 mod device;
 mod diode;
+#[cfg(feature = "faults")]
+pub mod faults;
 mod jfet;
 pub mod limit;
 mod mosfet;

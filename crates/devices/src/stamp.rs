@@ -84,6 +84,10 @@ impl<'a> Stamper<'a> {
     /// ground, in which case the contribution is dropped).
     pub fn jac_nodes(&mut self, row: Node, col: Node, g: f64) {
         if let (Some(r), Some(c)) = (row.index(), col.index()) {
+            // Injected fault: a seeded fraction of stamps is poisoned with
+            // NaN, standing in for a device model evaluated out of range.
+            #[cfg(feature = "faults")]
+            let g = if crate::faults::fire_nan() { f64::NAN } else { g };
             self.jacobian.push(r, c, g);
         }
     }

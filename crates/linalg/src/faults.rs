@@ -1,0 +1,92 @@
+//! Deterministic fault injection for the sparse LU kernel (behind the
+//! `faults` feature).
+//!
+//! The chaos test-suite in `rlpta-core` arms this module to make a seeded,
+//! reproducible fraction of factorizations fail with
+//! [`LinalgError::Singular`](crate::LinalgError::Singular) — exercising every
+//! recovery path (Gmin bumps, escalation ladder) without needing a genuinely
+//! defective matrix. State is thread-local so parallel test threads do not
+//! interfere.
+
+use std::cell::Cell;
+
+#[derive(Debug, Clone, Copy)]
+struct Plan {
+    seed: u64,
+    period: u64,
+    counter: u64,
+}
+
+thread_local! {
+    static PLAN: Cell<Option<Plan>> = const { Cell::new(None) };
+}
+
+/// SplitMix64 finalizer — a cheap, well-mixed hash of the call counter.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Arms singular-pivot injection on this thread: roughly one in `period`
+/// factorizations (deterministically chosen from `seed`) will fail.
+/// `period == 1` fails every factorization.
+pub fn arm_singular(seed: u64, period: u64) {
+    PLAN.with(|p| {
+        p.set(Some(Plan {
+            seed,
+            period: period.max(1),
+            counter: 0,
+        }))
+    });
+}
+
+/// Disarms injection on this thread.
+pub fn disarm() {
+    PLAN.with(|p| p.set(None));
+}
+
+/// Consumes one trigger slot; `true` means the current factorization must
+/// report a singular pivot.
+pub(crate) fn fire_singular() -> bool {
+    PLAN.with(|p| match p.get() {
+        None => false,
+        Some(mut plan) => {
+            let n = plan.counter;
+            plan.counter = plan.counter.wrapping_add(1);
+            p.set(Some(plan));
+            splitmix(plan.seed ^ n).is_multiple_of(plan.period)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_never_fires() {
+        disarm();
+        assert!((0..100).all(|_| !fire_singular()));
+    }
+
+    #[test]
+    fn period_one_always_fires() {
+        arm_singular(42, 1);
+        assert!((0..100).all(|_| fire_singular()));
+        disarm();
+    }
+
+    #[test]
+    fn seeded_sequence_is_reproducible() {
+        arm_singular(7, 5);
+        let a: Vec<bool> = (0..64).map(|_| fire_singular()).collect();
+        arm_singular(7, 5);
+        let b: Vec<bool> = (0..64).map(|_| fire_singular()).collect();
+        disarm();
+        assert_eq!(a, b);
+        assert!(a.iter().any(|&f| f), "period 5 fires within 64 draws");
+        assert!(a.iter().any(|&f| !f), "period 5 is not every draw");
+    }
+}

@@ -35,9 +35,15 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Panics are unacceptable in the solver hot path: every fallible operation
+// must surface as a `LinalgError`. Test code is exempt (it compiles with
+// `cfg(test)` and asserts freely).
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 mod dense;
 mod error;
+#[cfg(feature = "faults")]
+pub mod faults;
 pub mod norms;
 mod ordering;
 mod sparse;

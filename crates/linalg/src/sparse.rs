@@ -90,6 +90,14 @@ impl Triplet {
         self.entries.clear();
     }
 
+    /// `true` when every stored value is finite — the cheap poison check the
+    /// Newton loop runs after assembly, before the value reaches the
+    /// factorization (a single NaN stamp would otherwise silently corrupt
+    /// the whole LU).
+    pub fn all_finite(&self) -> bool {
+        self.entries.iter().all(|&(_, _, v)| v.is_finite())
+    }
+
     /// Converts to CSR, summing duplicate entries and dropping explicit zeros
     /// that result from cancellation only when the summed value is exactly 0
     /// *and* no entry was pushed there (structural zeros are never created;
@@ -106,8 +114,10 @@ impl Triplet {
         let mut values = Vec::with_capacity(sorted.len());
         let mut last: Option<(usize, usize)> = None;
         for (r, c, v) in sorted {
-            if last == Some((r, c)) {
-                *values.last_mut().expect("values nonempty when last set") += v;
+            // `last` is only `Some` after at least one push, so `last_mut`
+            // matching it implies `values` is nonempty.
+            if let (true, Some(tail)) = (last == Some((r, c)), values.last_mut()) {
+                *tail += v;
             } else {
                 counts[r + 1] += 1;
                 col_indices.push(c);

@@ -88,6 +88,15 @@ impl SparseLu {
                 expected: "square matrix".into(),
             });
         }
+        // Injected fault: a seeded fraction of factorizations report a
+        // singular pivot, exercising the callers' recovery paths.
+        #[cfg(feature = "faults")]
+        if crate::faults::fire_singular() {
+            return Err(LinalgError::Singular {
+                step: 0,
+                pivot: 0.0,
+            });
+        }
         let n = a.rows();
         let q = ordering.permutation(a);
         // Column access pattern: work on Aᵀ (CSR of transpose = CSC of A).
