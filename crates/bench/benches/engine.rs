@@ -1,0 +1,83 @@
+//! Engine-level benchmarks: the symbolic/numeric LU split that every warm
+//! Newton iteration rides on, and the pooled batch engine over a corpus.
+//!
+//! The `symbolic_reuse` group is the acceptance check for the split: on the
+//! largest suite circuit (`fadd32`, 132 unknowns) a numeric-only
+//! `refactorize` replay must beat a from-scratch `factorize` of the same
+//! Jacobian — that gap is what the engine banks at every Newton iteration
+//! after the first.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rlpta_bench::robust_budget;
+use rlpta_circuits::by_name;
+use rlpta_core::DcEngine;
+use rlpta_devices::EvalCtx;
+use rlpta_linalg::{CsrMatrix, LuWorkspace, SparseLu, Triplet};
+
+/// The Jacobian of the largest suite circuit at its DC operating point —
+/// the exact matrix the warm iterations of a PTA march keep refactorizing.
+fn largest_jacobian() -> CsrMatrix {
+    let bench = by_name("fadd32").expect("known benchmark");
+    let c = &bench.circuit;
+    let sol = DcEngine::builder()
+        .robust()
+        .budget(robust_budget())
+        .build()
+        .solve(c)
+        .expect("fadd32 solves");
+    let dim = c.dim();
+    let mut jac = Triplet::with_capacity(dim, dim, 16 * c.devices().len() + 2 * dim);
+    let mut res = vec![0.0; dim];
+    let mut state = c.seeded_state(&sol.x);
+    let ctx = EvalCtx {
+        x: &sol.x,
+        gmin: EvalCtx::DEFAULT_GMIN,
+        source_scale: 1.0,
+    };
+    c.assemble_into(&ctx, &mut jac, &mut res, &mut state);
+    jac.to_csr()
+}
+
+fn bench_symbolic_reuse(c: &mut Criterion) {
+    let a = largest_jacobian();
+    let mut group = c.benchmark_group("symbolic_reuse");
+    group.bench_function("full_factorize_fadd32", |b| {
+        b.iter(|| SparseLu::factorize(&a).unwrap())
+    });
+    let mut ws = LuWorkspace::new();
+    ws.factorize(&a).unwrap(); // record the symbolic pattern once
+    group.bench_function("refactorize_fadd32", |b| {
+        b.iter(|| ws.factorize(&a).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_batch_engine(c: &mut Criterion) {
+    let circuits: Vec<_> = ["D10", "gm1", "bias", "mosamp", "latch", "SCHMITT", "Adding", "D11"]
+        .iter()
+        .map(|n| by_name(n).expect("known benchmark").circuit)
+        .collect();
+    let mut group = c.benchmark_group("batch_engine");
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        let engine = DcEngine::builder()
+            .robust()
+            .budget(robust_budget())
+            .threads(threads)
+            .build();
+        group.bench_with_input(
+            BenchmarkId::new("robust_corpus", threads),
+            &engine,
+            |b, engine| {
+                b.iter(|| {
+                    let results = engine.solve_batch(&circuits);
+                    assert!(results.iter().all(|r| r.is_ok()));
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_symbolic_reuse, bench_batch_engine);
+criterion_main!(benches);

@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rlpta_circuits::by_name;
-use rlpta_core::{GminStepping, PtaKind, PtaSolver, SerStepping, SimpleStepping};
+use rlpta_core::{GminStepping, PtaConfig, PtaKind, PtaSolver, SerStepping, SimpleStepping};
 
 fn bench_newton(c: &mut Criterion) {
     let mut group = c.benchmark_group("continuation");
@@ -25,7 +25,7 @@ fn bench_pta_flavours(c: &mut Criterion) {
             &kind,
             |b, &kind| {
                 b.iter(|| {
-                    PtaSolver::new(kind, SimpleStepping::default())
+                    PtaSolver::with_config(kind, SimpleStepping::default(), PtaConfig::default())
                         .solve(&bench.circuit)
                         .unwrap()
                 })
@@ -42,14 +42,14 @@ fn bench_controllers(c: &mut Criterion) {
         let bench = by_name(name).expect("known benchmark");
         group.bench_with_input(BenchmarkId::new("simple", name), &bench, |b, bench| {
             b.iter(|| {
-                PtaSolver::new(PtaKind::dpta(), SimpleStepping::default())
+                PtaSolver::with_config(PtaKind::dpta(), SimpleStepping::default(), PtaConfig::default())
                     .solve(&bench.circuit)
                     .unwrap()
             })
         });
         group.bench_with_input(BenchmarkId::new("adaptive", name), &bench, |b, bench| {
             b.iter(|| {
-                PtaSolver::new(PtaKind::dpta(), SerStepping::default())
+                PtaSolver::with_config(PtaKind::dpta(), SerStepping::default(), PtaConfig::default())
                     .solve(&bench.circuit)
                     .unwrap()
             })

@@ -3,14 +3,15 @@
 //! priority sampling. Not a paper table — engineering evidence that each
 //! mechanism earns its place.
 
-use rlpta_bench::{experiment_config, run_with};
+use rlpta_bench::{bench_threads, experiment_config, run_rl_batch};
 use rlpta_circuits::{table3, training_corpus};
 use rlpta_core::{PtaKind, PtaSolver, RlStepping, RlSteppingConfig};
 use std::time::Instant;
 
-/// Pretrain a controller variant across the corpus and total its evaluation
-/// iterations over a hard-circuit subset.
-fn evaluate(label: &str, config: RlSteppingConfig) {
+/// Pretrain a controller variant across the corpus (serial — learning is
+/// carried circuit to circuit) and total its evaluation iterations over a
+/// hard-circuit subset on the pooled engine.
+fn evaluate(label: &str, config: RlSteppingConfig, threads: usize) {
     let kind = PtaKind::dpta();
     let mut rl = RlStepping::new(config);
     for _ in 0..2 {
@@ -29,16 +30,14 @@ fn evaluate(label: &str, config: RlSteppingConfig) {
         "THM5",
         "MOSMEM",
     ];
+    let benches: Vec<_> = table3()
+        .into_iter()
+        .filter(|b| subset.contains(&b.name.as_str()))
+        .collect();
     let mut total_ite = 0usize;
     let mut total_ste = 0usize;
     let mut failures = 0usize;
-    for b in table3()
-        .into_iter()
-        .filter(|b| subset.contains(&b.name.as_str()))
-    {
-        let mut fresh = rl.clone();
-        fresh.unfreeze();
-        let (stats, _) = run_with(&b, kind, fresh);
+    for stats in run_rl_batch(&benches, kind, &rl, threads) {
         if stats.converged {
             total_ite += stats.nr_iterations;
             total_ste += stats.pta_steps;
@@ -53,14 +52,17 @@ fn evaluate(label: &str, config: RlSteppingConfig) {
 
 fn main() {
     let t0 = Instant::now();
+    let threads = bench_threads();
     println!("# RL-S ablations on the hard-circuit subset (lower is better)");
-    evaluate("full RL-S", RlSteppingConfig::new(7));
+    println!("# evaluation pool: {threads} thread(s)");
+    evaluate("full RL-S", RlSteppingConfig::new(7), threads);
     evaluate(
         "single agent (no dual)",
         RlSteppingConfig {
             dual_agents: false,
             ..RlSteppingConfig::new(7)
         },
+        threads,
     );
     evaluate(
         "uniform sampling (no prio)",
@@ -68,6 +70,7 @@ fn main() {
             priority_sampling: false,
             ..RlSteppingConfig::new(7)
         },
+        threads,
     );
     evaluate(
         "no public buffer (cap 1)",
@@ -75,6 +78,7 @@ fn main() {
             public_capacity: 1,
             ..RlSteppingConfig::new(7)
         },
+        threads,
     );
     evaluate(
         "no exploration noise",
@@ -85,6 +89,7 @@ fn main() {
             },
             ..RlSteppingConfig::new(7)
         },
+        threads,
     );
     evaluate(
         "conservative growth (m small)",
@@ -93,6 +98,7 @@ fn main() {
             forward_n: 0.0,
             ..RlSteppingConfig::new(7)
         },
+        threads,
     );
     println!("# total wall time {:.1?}", t0.elapsed());
 }

@@ -3,8 +3,13 @@
 //!
 //! The output prints the two bar series of the figure (RL-S vs adaptive and
 //! RL-S vs simple, NR-iteration ratios) plus an ASCII rendition.
+//!
+//! Pass `--threads N` (or set `RLPTA_THREADS`) to evaluate the corpus on a
+//! worker pool; the numbers are identical at any width.
 
-use rlpta_bench::{pretrain_rl, run_adaptive, run_rl, run_simple};
+use rlpta_bench::{
+    bench_threads, pretrain_rl, run_adaptive_batch, run_rl_batch, run_simple_batch,
+};
 use rlpta_circuits::fig5;
 use rlpta_core::PtaKind;
 use std::time::Instant;
@@ -17,7 +22,9 @@ fn bar(ratio: f64) -> String {
 fn main() {
     let t0 = Instant::now();
     let kind = PtaKind::cepta();
+    let threads = bench_threads();
     println!("# Fig. 5 — speed-up of RL-S over conventional stepping for CEPTA");
+    println!("# evaluation pool: {threads} thread(s)");
     let rl = pretrain_rl(kind, 2022, 2);
     println!(
         "# RL-S pretrained on the training corpus ({} transitions)",
@@ -28,12 +35,14 @@ fn main() {
         "Circuit", "simple", "adaptive", "rl-s", "vs adaptive"
     );
 
+    let benches = fig5();
+    let simple = run_simple_batch(&benches, kind, threads);
+    let adaptive = run_adaptive_batch(&benches, kind, threads);
+    let rls = run_rl_batch(&benches, kind, &rl, threads);
+
     let mut vs_adaptive = Vec::new();
     let mut vs_simple = Vec::new();
-    for bench in fig5() {
-        let s = run_simple(&bench, kind);
-        let a = run_adaptive(&bench, kind);
-        let r = run_rl(&bench, kind, &rl);
+    for (((bench, s), a), r) in benches.iter().zip(&simple).zip(&adaptive).zip(&rls) {
         let ratio = |b: &rlpta_core::SolveStats| {
             if b.converged && r.converged && r.nr_iterations > 0 {
                 Some(b.nr_iterations as f64 / r.nr_iterations as f64)
@@ -41,8 +50,8 @@ fn main() {
                 None
             }
         };
-        let ra = ratio(&a);
-        let rs = ratio(&s);
+        let ra = ratio(a);
+        let rs = ratio(s);
         if let Some(v) = ra {
             vs_adaptive.push(v);
         }

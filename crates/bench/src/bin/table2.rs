@@ -8,7 +8,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rlpta_bench::{ite_cell, run_simple};
+use rlpta_bench::{bench_threads, ite_cell, run_simple};
 use rlpta_circuits::{table2, training_corpus};
 use rlpta_core::{IppOracle, PtaKind, PtaParams};
 use rlpta_gp::{ActiveLearner, ActiveLearnerConfig};
@@ -31,11 +31,12 @@ fn main() {
             w_range: 2.0,
         },
     );
-    let mut oracle = IppOracle::new(&circuits, PtaKind::cepta());
+    let threads = bench_threads();
+    let mut oracle = IppOracle::new(&circuits, PtaKind::cepta()).with_threads(threads);
     let mut rng = StdRng::seed_from_u64(2022);
     println!("# Table 2 — IPP vs default CEPTA (# of NR iterations)");
     println!(
-        "# offline: Bayesian active learning over {} training circuits",
+        "# offline: Bayesian active learning over {} training circuits ({threads} oracle thread(s))",
         corpus.len()
     );
     learner

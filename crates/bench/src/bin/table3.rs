@@ -3,7 +3,10 @@
 //! NR iterations (`#Ite`), pseudo steps (`#Ste`), iteration speedup and
 //! step-count reduction, with the paper's Average row.
 
-use rlpta_bench::{ite_cell, pretrain_rl, run_adaptive, run_rl, speedup, ste_cell, step_reduction};
+use rlpta_bench::{
+    bench_threads, ite_cell, pretrain_rl, run_adaptive_batch, run_rl_batch, speedup, ste_cell,
+    step_reduction,
+};
 use rlpta_circuits::table3;
 use rlpta_core::PtaKind;
 use std::time::Instant;
@@ -11,7 +14,9 @@ use std::time::Instant;
 fn main() {
     let t0 = Instant::now();
     let kind = PtaKind::dpta();
+    let threads = bench_threads();
     println!("# Table 3 — RL-S vs adaptive stepping for DPTA");
+    println!("# evaluation pool: {threads} thread(s)");
     let rl = pretrain_rl(kind, 2022, 2);
     println!(
         "# RL-S pretrained on the training corpus ({} transitions)",
@@ -22,13 +27,15 @@ fn main() {
         "Circuits", "Ada#Ite", "Ada#Ste", "RL#Ite", "RL#Ste", "Speed(#Ite)", "Red(#Ste)"
     );
 
+    let benches = table3();
+    let adaptive = run_adaptive_batch(&benches, kind, threads);
+    let rls = run_rl_batch(&benches, kind, &rl, threads);
+
     let mut ratios = Vec::new();
     let mut reductions = Vec::new();
-    for bench in table3() {
-        let a = run_adaptive(&bench, kind);
-        let r = run_rl(&bench, kind, &rl);
-        let sp = speedup(&a, &r);
-        let red = step_reduction(&a, &r);
+    for ((bench, a), r) in benches.iter().zip(&adaptive).zip(&rls) {
+        let sp = speedup(a, r);
+        let red = step_reduction(a, r);
         if a.converged && r.converged {
             ratios.push(a.nr_iterations as f64 / r.nr_iterations as f64);
             reductions.push(100.0 * (1.0 - r.pta_steps as f64 / a.pta_steps as f64));
@@ -36,10 +43,10 @@ fn main() {
         println!(
             "{:<14}{:>10}{:>8}{:>10}{:>8}{:>12}{:>10}",
             bench.name,
-            ite_cell(&a),
-            ste_cell(&a),
-            ite_cell(&r),
-            ste_cell(&r),
+            ite_cell(a),
+            ste_cell(a),
+            ite_cell(r),
+            ste_cell(r),
             sp,
             red
         );

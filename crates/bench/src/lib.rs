@@ -14,36 +14,55 @@
 
 use rlpta_circuits::{training_corpus, Benchmark};
 use rlpta_core::{
-    PtaConfig, PtaKind, PtaSolver, RlStepping, RlSteppingConfig, RobustDcSolver, SerStepping,
-    SimpleStepping, SolveBudget, SolveError, SolveStats, StepController,
+    DcEngine, EngineConfig, PtaConfig, PtaKind, PtaSolver, RlStepping, RlSteppingConfig,
+    SerStepping, SimpleStepping, Solution, SolveBudget, SolveError, SolveStats, StepController,
 };
-use std::time::Duration;
 
 /// Step budget used by every experiment (generous; failures count as
-/// non-convergent rather than panicking).
+/// non-convergent rather than panicking). The values come from
+/// [`EngineConfig::experiment`] so the harness and the engine agree.
 pub fn experiment_config() -> PtaConfig {
-    PtaConfig {
-        max_steps: 20_000,
-        ..PtaConfig::default()
-    }
+    EngineConfig::experiment().pta()
 }
 
 /// Budget applied to the robust-ladder column: experiments must terminate
 /// even on decks the ladder cannot crack.
 pub fn robust_budget() -> SolveBudget {
-    SolveBudget::with_deadline(Duration::from_secs(60)).nr_iterations(2_000_000)
+    EngineConfig::experiment().budget()
 }
 
-/// Runs one benchmark through the full [`RobustDcSolver`] escalation ladder
-/// under [`robust_budget`]. The returned stats accumulate every stage that
-/// ran; `converged == false` marks total failure (all strategies or budget).
-pub fn run_robust(bench: &Benchmark) -> SolveStats {
-    let solver = RobustDcSolver::default().with_budget(robust_budget());
-    match solver.solve(&bench.circuit) {
+/// Pool width for the experiment binaries: `--threads N` on the command
+/// line wins, then the `RLPTA_THREADS` environment variable, then serial.
+/// `0` sizes the pool to the host. Results are identical at any width —
+/// only wall-clock time changes.
+pub fn bench_threads() -> usize {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == "--threads" {
+            if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                return n;
+            }
+        } else if let Some(n) = arg.strip_prefix("--threads=").and_then(|v| v.parse().ok()) {
+            return n;
+        }
+    }
+    std::env::var("RLPTA_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
+/// Collapses an engine result to the stats the tables print: errors that
+/// carry partial work keep it, total ladder failures absorb every stage,
+/// and anything structural warns and counts as an empty failed run.
+fn stats_of(result: Result<Solution, SolveError>, name: &str) -> SolveStats {
+    match result {
         Ok(sol) => sol.stats,
-        Err(
-            SolveError::NonConvergent { stats } | SolveError::BudgetExhausted { stats, .. },
-        ) => stats,
+        Err(SolveError::NonConvergent { stats } | SolveError::BudgetExhausted { stats, .. }) => {
+            let mut s = stats;
+            s.converged = false;
+            s
+        }
         Err(SolveError::AllStrategiesFailed { attempts }) => {
             let mut stats = SolveStats::default();
             for a in &attempts {
@@ -53,10 +72,44 @@ pub fn run_robust(bench: &Benchmark) -> SolveStats {
             stats
         }
         Err(e) => {
-            eprintln!("warning: {} failed structurally: {e}", bench.name);
+            eprintln!("warning: {name} failed structurally: {e}");
             SolveStats::default()
         }
     }
+}
+
+/// The evaluation engine behind the batch helpers: one PTA flavour under
+/// [`experiment_config`] on `threads` pooled workers.
+fn eval_engine(kind: PtaKind, threads: usize) -> DcEngine {
+    DcEngine::builder()
+        .kind(kind)
+        .pta_config(experiment_config())
+        .threads(threads)
+        .build()
+}
+
+/// Runs one benchmark through the full escalation ladder under
+/// [`robust_budget`]. The returned stats accumulate every stage that ran;
+/// `converged == false` marks total failure (all strategies or budget).
+pub fn run_robust(bench: &Benchmark) -> SolveStats {
+    run_robust_batch(std::slice::from_ref(bench), 1).remove(0)
+}
+
+/// [`run_robust`] over a whole suite on `threads` pooled workers. Stats
+/// come back in input order and are identical at any thread count.
+pub fn run_robust_batch(benches: &[Benchmark], threads: usize) -> Vec<SolveStats> {
+    let circuits: Vec<_> = benches.iter().map(|b| b.circuit.clone()).collect();
+    let engine = DcEngine::builder()
+        .robust()
+        .budget(robust_budget())
+        .threads(threads)
+        .build();
+    engine
+        .solve_batch(&circuits)
+        .into_iter()
+        .zip(benches)
+        .map(|(r, b)| stats_of(r, &b.name))
+        .collect()
 }
 
 /// Runs one benchmark under an arbitrary controller and returns the
@@ -80,14 +133,43 @@ pub fn run_with<C: StepController + Clone>(
     (stats, controller)
 }
 
+/// [`run_with`] over a whole suite on `threads` pooled workers. Every job
+/// gets its own clone of `controller` (the per-benchmark evaluation
+/// protocol), so the stats are identical at any thread count; the trained
+/// clones are discarded — use the serial [`run_with`] to keep learning.
+pub fn run_batch_with<C: StepController + Clone + Sync>(
+    benches: &[Benchmark],
+    kind: PtaKind,
+    controller: C,
+    threads: usize,
+) -> Vec<SolveStats> {
+    let circuits: Vec<_> = benches.iter().map(|b| b.circuit.clone()).collect();
+    eval_engine(kind, threads)
+        .solve_batch_with(&circuits, &controller)
+        .into_iter()
+        .zip(benches)
+        .map(|(r, b)| stats_of(r, &b.name))
+        .collect()
+}
+
 /// Runs a benchmark with the simple iteration-counting controller.
 pub fn run_simple(bench: &Benchmark, kind: PtaKind) -> SolveStats {
     run_with(bench, kind, SimpleStepping::default()).0
 }
 
+/// [`run_simple`] over a whole suite on `threads` pooled workers.
+pub fn run_simple_batch(benches: &[Benchmark], kind: PtaKind, threads: usize) -> Vec<SolveStats> {
+    run_batch_with(benches, kind, SimpleStepping::default(), threads)
+}
+
 /// Runs a benchmark with the adaptive SER controller.
 pub fn run_adaptive(bench: &Benchmark, kind: PtaKind) -> SolveStats {
     run_with(bench, kind, SerStepping::default()).0
+}
+
+/// [`run_adaptive`] over a whole suite on `threads` pooled workers.
+pub fn run_adaptive_batch(benches: &[Benchmark], kind: PtaKind, threads: usize) -> Vec<SolveStats> {
+    run_batch_with(benches, kind, SerStepping::default(), threads)
 }
 
 /// Pre-trains one RL-S controller across the training corpus (the paper's
@@ -111,6 +193,21 @@ pub fn run_rl(bench: &Benchmark, kind: PtaKind, pretrained: &RlStepping) -> Solv
     let mut rl = pretrained.clone();
     rl.unfreeze();
     run_with(bench, kind, rl).0
+}
+
+/// [`run_rl`] over a whole suite on `threads` pooled workers: every circuit
+/// starts from its own unfrozen clone of `pretrained` and adapts online in
+/// isolation — exactly the serial per-benchmark protocol, so the stats
+/// match a [`run_rl`] loop bit for bit at any thread count.
+pub fn run_rl_batch(
+    benches: &[Benchmark],
+    kind: PtaKind,
+    pretrained: &RlStepping,
+    threads: usize,
+) -> Vec<SolveStats> {
+    let mut rl = pretrained.clone();
+    rl.unfreeze();
+    run_batch_with(benches, kind, rl, threads)
 }
 
 /// Formats `a / b` as the paper's `X.XXx` speedup column (`-` on failure).
@@ -201,5 +298,44 @@ mod tests {
         let s = run_robust(&b);
         assert!(s.converged);
         assert!(s.nr_iterations > 0);
+    }
+
+    #[test]
+    fn batch_helpers_match_serial_loops() {
+        let benches: Vec<_> = ["gm1", "bias", "D10"]
+            .iter()
+            .map(|n| rlpta_circuits::by_name(n).expect("known"))
+            .collect();
+        let kind = PtaKind::dpta();
+        let serial: Vec<_> = benches.iter().map(|b| run_simple(b, kind)).collect();
+        assert_eq!(run_simple_batch(&benches, kind, 3), serial);
+        let serial: Vec<_> = benches.iter().map(|b| run_adaptive(b, kind)).collect();
+        assert_eq!(run_adaptive_batch(&benches, kind, 3), serial);
+        let serial: Vec<_> = benches.iter().map(run_robust).collect();
+        assert_eq!(run_robust_batch(&benches, 3), serial);
+    }
+
+    /// The acceptance check behind `fig5 --threads 4`: a pooled batch run
+    /// of the whole Fig. 5 corpus is *identical* — solutions, stats and
+    /// typed errors — to the serial run. A per-run NR cap keeps the test
+    /// fast in debug builds without touching the determinism question.
+    #[test]
+    fn fig5_batch_is_identical_to_serial_run() {
+        let benches = rlpta_circuits::fig5();
+        let circuits: Vec<_> = benches.iter().map(|b| b.circuit.clone()).collect();
+        let engine = |threads: usize| {
+            DcEngine::builder()
+                .kind(PtaKind::cepta())
+                .pta_config(experiment_config())
+                .budget(SolveBudget::UNLIMITED.nr_iterations(5_000))
+                .threads(threads)
+                .build()
+        };
+        let serial = engine(1).solve_batch(&circuits);
+        let pooled = engine(4).solve_batch(&circuits);
+        assert_eq!(serial.len(), pooled.len());
+        for (i, (s, p)) in serial.iter().zip(&pooled).enumerate() {
+            assert_eq!(s, p, "{} diverged between serial and pooled", benches[i].name);
+        }
     }
 }

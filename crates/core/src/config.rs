@@ -1,0 +1,145 @@
+//! One configuration surface for the whole solver stack.
+//!
+//! Historically each layer grew its own knobs — [`NewtonConfig`] for the
+//! inner iteration, [`PtaConfig`] for the pseudo-transient march,
+//! [`RlSteppingConfig`] for the learned controller, [`SolveBudget`] for
+//! resource caps — and callers (the bench harness in particular)
+//! hand-assembled all four with inconsistent field names. This module
+//! re-exports every configuration type from one place and adds
+//! [`EngineConfig`], a flat struct with the *consistent* names
+//! (`max_steps`, `max_iters`, `deadline`) that lowers onto the per-layer
+//! types via [`EngineConfig::pta`] and [`EngineConfig::budget`].
+//!
+//! ```
+//! use rlpta_core::config::EngineConfig;
+//! use rlpta_core::DcEngine;
+//!
+//! let engine = DcEngine::builder()
+//!     .config(EngineConfig::experiment())
+//!     .build();
+//! assert!(engine.budget().wall_clock.is_some());
+//! ```
+
+pub use crate::newton::NewtonConfig;
+pub use crate::pta::{CeptaConfig, DptaConfig, PtaConfig, PtaKind, PtaParams, RptaConfig};
+pub use crate::recovery::SolveBudget;
+pub use crate::rl_stepping::RlSteppingConfig;
+use std::time::Duration;
+
+/// Flat, consistently-named configuration for a [`DcEngine`](crate::DcEngine).
+///
+/// Apply with [`DcEngineBuilder::config`](crate::DcEngineBuilder::config),
+/// which lowers it onto a [`PtaConfig`] *and* a [`SolveBudget`] in one
+/// step. Fields not represented here (pseudo-element parameters' fine
+/// structure, Newton damping internals) keep their [`PtaConfig`] defaults;
+/// use [`DcEngineBuilder::pta_config`](crate::DcEngineBuilder::pta_config)
+/// when you need full control.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineConfig {
+    /// Maximum pseudo-transient time points per solve
+    /// (→ [`PtaConfig::max_steps`]).
+    pub max_steps: usize,
+    /// Maximum Newton iterations per time point
+    /// (→ [`NewtonConfig::max_iterations`] of the PTA inner loop).
+    pub max_iters: usize,
+    /// Wall-clock deadline per job (→ [`SolveBudget::wall_clock`]).
+    pub deadline: Option<Duration>,
+    /// Cap on total Newton iterations per job, all phases combined
+    /// (→ [`SolveBudget::max_nr_iterations`]).
+    pub max_nr_total: Option<usize>,
+    /// Pseudo-element sizing (→ [`PtaConfig::params`]).
+    pub params: PtaParams,
+    /// Steady-state residual tolerance (→ [`PtaConfig::steady_ftol`]).
+    pub steady_ftol: f64,
+}
+
+impl Default for EngineConfig {
+    /// Mirrors [`PtaConfig::default`] with an unlimited budget.
+    fn default() -> Self {
+        let pta = PtaConfig::default();
+        Self {
+            max_steps: pta.max_steps,
+            max_iters: pta.newton.max_iterations,
+            deadline: None,
+            max_nr_total: None,
+            params: pta.params,
+            steady_ftol: pta.steady_ftol,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The settings every paper experiment runs under: a generous
+    /// 20 000-step march (failures count as non-convergent rather than
+    /// running forever), a 60 s wall-clock deadline and a 2 M cap on total
+    /// Newton iterations per job.
+    pub fn experiment() -> Self {
+        Self {
+            max_steps: 20_000,
+            deadline: Some(Duration::from_secs(60)),
+            max_nr_total: Some(2_000_000),
+            ..Self::default()
+        }
+    }
+
+    /// Lowers onto the pseudo-transient configuration.
+    pub fn pta(&self) -> PtaConfig {
+        let defaults = PtaConfig::default();
+        PtaConfig {
+            params: self.params,
+            newton: NewtonConfig {
+                max_iterations: self.max_iters,
+                ..defaults.newton
+            },
+            max_steps: self.max_steps,
+            steady_ftol: self.steady_ftol,
+            ..defaults
+        }
+    }
+
+    /// Lowers onto the per-job resource budget.
+    pub fn budget(&self) -> SolveBudget {
+        let mut budget = match self.deadline {
+            Some(d) => SolveBudget::with_deadline(d),
+            None => SolveBudget::UNLIMITED,
+        };
+        if let Some(cap) = self.max_nr_total {
+            budget = budget.nr_iterations(cap);
+        }
+        budget
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_mirrors_pta_defaults() {
+        let cfg = EngineConfig::default();
+        let pta = PtaConfig::default();
+        assert_eq!(cfg.pta(), pta);
+        assert_eq!(cfg.budget(), SolveBudget::UNLIMITED);
+    }
+
+    #[test]
+    fn experiment_caps_everything() {
+        let cfg = EngineConfig::experiment();
+        assert_eq!(cfg.pta().max_steps, 20_000);
+        let budget = cfg.budget();
+        assert_eq!(budget.wall_clock, Some(Duration::from_secs(60)));
+        assert_eq!(budget.max_nr_iterations, Some(2_000_000));
+    }
+
+    #[test]
+    fn lowering_preserves_custom_fields() {
+        let cfg = EngineConfig {
+            max_iters: 17,
+            steady_ftol: 1e-7,
+            ..EngineConfig::default()
+        };
+        let pta = cfg.pta();
+        assert_eq!(pta.newton.max_iterations, 17);
+        assert_eq!(pta.steady_ftol, 1e-7);
+    }
+}

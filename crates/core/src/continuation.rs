@@ -4,6 +4,7 @@ use crate::error::SolvePhase;
 use crate::newton::{newton_iterate, NewtonConfig};
 use crate::recovery::{BudgetMeter, SolveBudget};
 use crate::{Solution, SolveError, SolveStats};
+use rlpta_linalg::LuWorkspace;
 use rlpta_mna::Circuit;
 
 /// Gmin stepping: solve with a large junction shunt conductance, then relax
@@ -93,13 +94,24 @@ impl GminStepping {
             circuit.new_state()
         };
         let mut gmin = self.gmin_start;
+        // One LU pattern serves the whole ramp: Gmin only rescales the
+        // diagonal stamps.
+        let mut lu_ws = LuWorkspace::new();
         loop {
             meter.charge_step(1)?;
             let cfg = NewtonConfig {
                 gmin,
                 ..self.newton.clone()
             };
-            let out = newton_iterate(circuit, &cfg, &x, &mut state, &mut |_, _, _| {}, meter)?;
+            let out = newton_iterate(
+                circuit,
+                &cfg,
+                &x,
+                &mut state,
+                &mut |_, _, _| {},
+                meter,
+                &mut lu_ws,
+            )?;
             stats.nr_iterations += out.iterations;
             stats.lu_factorizations += out.lu_factorizations;
             stats.pta_steps += 1; // one continuation stage
@@ -187,6 +199,9 @@ impl SourceStepping {
         };
         let mut lambda = 0.0_f64;
         let mut dl = self.initial_increment;
+        // The source ramp scales right-hand sides, not the Jacobian pattern:
+        // every stage replays one symbolic analysis.
+        let mut lu_ws = LuWorkspace::new();
         while lambda < 1.0 {
             meter.charge_step(1)?;
             let next = (lambda + dl).min(1.0);
@@ -195,7 +210,15 @@ impl SourceStepping {
                 ..self.newton.clone()
             };
             let saved_state = state.clone();
-            let out = newton_iterate(circuit, &cfg, &x, &mut state, &mut |_, _, _| {}, meter)?;
+            let out = newton_iterate(
+                circuit,
+                &cfg,
+                &x,
+                &mut state,
+                &mut |_, _, _| {},
+                meter,
+                &mut lu_ws,
+            )?;
             stats.nr_iterations += out.iterations;
             stats.lu_factorizations += out.lu_factorizations;
             stats.pta_steps += 1;

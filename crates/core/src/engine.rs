@@ -1,0 +1,932 @@
+//! The batch DC engine: one configurable entry point for every solve shape.
+//!
+//! [`DcEngine`] replaces the constructor zoo (`NewtonRaphson::new`,
+//! `PtaSolver::new`, `RobustDcSolver::new`) with a single builder:
+//!
+//! ```
+//! use rlpta_core::{DcEngine, PtaKind, SolveBudget, Stepping};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let circuit = rlpta_netlist::parse(
+//!     "clamp\nV1 in 0 5\nR1 in out 1k\nD1 out 0 DX\n.model DX D(IS=1e-14)",
+//! )?;
+//! let engine = DcEngine::builder()
+//!     .kind(PtaKind::cepta())
+//!     .stepping(Stepping::default())
+//!     .budget(SolveBudget::UNLIMITED)
+//!     .threads(1)
+//!     .build();
+//! let solution = engine.solve(&circuit)?;
+//! assert!(solution.stats.converged);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Beyond single solves, the engine runs *batches* — independent jobs on a
+//! vendored work-stealing thread pool (`rlpta-threadpool`) with
+//! deterministic, submission-ordered results:
+//!
+//! * [`DcEngine::solve_batch`] — one job per circuit (bench corpora, GP
+//!   training evaluations),
+//! * [`DcEngine::sweep`] — sweep points in fixed-size chunks with
+//!   warm-start handoff at chunk boundaries; output is **bit-identical for
+//!   every thread count** (see below),
+//! * the robust strategy races its ladder rungs concurrently when
+//!   `threads > 1`, picking the lowest-index success.
+//!
+//! # Determinism
+//!
+//! Parallel results must not depend on scheduling. Every batch entry point
+//! upholds: *the same engine configuration produces bitwise-identical
+//! results for every `threads` value*, because
+//!
+//! * jobs never share mutable state — each owns its circuit clone,
+//!   controller clone and LU workspace,
+//! * results are collected in submission order, not completion order,
+//! * the sweep chunk layout is a fixed configuration constant
+//!   ([`DcEngine::DEFAULT_SWEEP_CHUNK`]), never derived from the worker
+//!   count, and chunk interiors depend only on the serially-computed
+//!   boundary solutions.
+//!
+//! The one *documented* deviation: the robust strategy with `threads > 1`
+//! races cold-started rungs instead of escalating serially with warm-start
+//! carry, so its iterate (not its correctness) can differ from the serial
+//! ladder. Batches and sweeps never use the raced path internally.
+
+use crate::error::{SolveError, SolvePhase};
+use crate::newton::{newton_iterate, NewtonConfig, NewtonRaphson};
+use crate::pta::{PtaConfig, PtaKind, PtaSolver};
+use crate::recovery::{AttemptReport, LadderStage, RobustDcSolver, SolveBudget};
+use crate::rl_stepping::{RlStepping, RlSteppingConfig};
+use crate::stepping::{SerStepping, SimpleStepping, StepController, StepObservation};
+use crate::sweep::{DcSweep, SweepPoint, SweepReport};
+use crate::{Solution, SolveStats};
+use rlpta_linalg::LuWorkspace;
+use rlpta_mna::Circuit;
+use rlpta_threadpool::ThreadPool;
+
+/// Step-control policy selector for the engine builder — the data half of a
+/// [`StepController`], cheap to clone into every parallel job.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Stepping {
+    /// Iteration-counting `IMAX`/`IMIN` stepping (the paper's "simple").
+    Simple(SimpleStepping),
+    /// Switched evolution/relaxation (the paper's "adaptive" baseline).
+    Ser(SerStepping),
+    /// The RL-S TD3 dual-agent controller, built fresh (untrained) per
+    /// solve from this configuration. To evaluate a *pre-trained*
+    /// controller use [`DcEngine::solve_batch_with`].
+    Rl(RlSteppingConfig),
+}
+
+impl Default for Stepping {
+    fn default() -> Self {
+        Stepping::Simple(SimpleStepping::default())
+    }
+}
+
+impl Stepping {
+    /// Short name matching [`StepController::name`].
+    pub fn name(&self) -> &'static str {
+        match self {
+            Stepping::Simple(_) => "simple",
+            Stepping::Ser(_) => "adaptive-ser",
+            Stepping::Rl(_) => "rl",
+        }
+    }
+
+    fn controller(&self) -> AnyController {
+        match self {
+            Stepping::Simple(s) => AnyController::Simple(s.clone()),
+            Stepping::Ser(s) => AnyController::Ser(s.clone()),
+            Stepping::Rl(cfg) => AnyController::Rl(Box::new(RlStepping::new(cfg.clone()))),
+        }
+    }
+}
+
+/// Runtime-dispatched controller behind the [`Stepping`] selector.
+#[derive(Debug, Clone)]
+enum AnyController {
+    Simple(SimpleStepping),
+    Ser(SerStepping),
+    Rl(Box<RlStepping>),
+}
+
+impl StepController for AnyController {
+    fn initial_step(&mut self) -> f64 {
+        match self {
+            AnyController::Simple(c) => c.initial_step(),
+            AnyController::Ser(c) => c.initial_step(),
+            AnyController::Rl(c) => c.initial_step(),
+        }
+    }
+
+    fn next_step(&mut self, obs: &StepObservation) -> f64 {
+        match self {
+            AnyController::Simple(c) => c.next_step(obs),
+            AnyController::Ser(c) => c.next_step(obs),
+            AnyController::Rl(c) => c.next_step(obs),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            AnyController::Simple(c) => c.name(),
+            AnyController::Ser(c) => c.name(),
+            AnyController::Rl(c) => c.name(),
+        }
+    }
+
+    fn reset(&mut self) {
+        match self {
+            AnyController::Simple(c) => c.reset(),
+            AnyController::Ser(c) => c.reset(),
+            AnyController::Rl(c) => c.reset(),
+        }
+    }
+}
+
+/// Which solve algorithm the engine drives.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Strategy {
+    /// Plain damped Newton–Raphson (no continuation).
+    Newton,
+    /// One pseudo-transient flavour with the configured [`Stepping`].
+    Pta(PtaKind),
+    /// The escalation ladder; raced concurrently when `threads > 1`.
+    Robust(Vec<LadderStage>),
+}
+
+/// Builder for [`DcEngine`] — the single public entry point to the DC
+/// solver stack. Unset options keep production defaults: the robust
+/// escalation ladder, simple stepping, unlimited budget, one thread.
+#[derive(Debug, Clone)]
+pub struct DcEngineBuilder {
+    strategy: Strategy,
+    stepping: Stepping,
+    config: PtaConfig,
+    newton: NewtonConfig,
+    budget: SolveBudget,
+    threads: usize,
+    sweep_chunk: usize,
+    #[cfg(feature = "faults")]
+    fault_plan: Option<crate::recovery::FaultPlan>,
+}
+
+impl Default for DcEngineBuilder {
+    fn default() -> Self {
+        Self {
+            strategy: Strategy::Robust(RobustDcSolver::default_ladder()),
+            stepping: Stepping::default(),
+            config: PtaConfig::default(),
+            newton: NewtonConfig::default(),
+            budget: SolveBudget::UNLIMITED,
+            threads: 1,
+            sweep_chunk: DcEngine::DEFAULT_SWEEP_CHUNK,
+            #[cfg(feature = "faults")]
+            fault_plan: None,
+        }
+    }
+}
+
+impl DcEngineBuilder {
+    /// Solve with one pseudo-transient flavour (plus the configured
+    /// [`Stepping`]) instead of the full ladder.
+    #[must_use]
+    pub fn kind(mut self, kind: PtaKind) -> Self {
+        self.strategy = Strategy::Pta(kind);
+        self
+    }
+
+    /// Solve with plain damped Newton–Raphson only.
+    #[must_use]
+    pub fn newton(mut self) -> Self {
+        self.strategy = Strategy::Newton;
+        self
+    }
+
+    /// Solve with the default escalation ladder (the builder default).
+    #[must_use]
+    pub fn robust(mut self) -> Self {
+        self.strategy = Strategy::Robust(RobustDcSolver::default_ladder());
+        self
+    }
+
+    /// Solve with an explicit escalation ladder.
+    #[must_use]
+    pub fn ladder(mut self, stages: Vec<LadderStage>) -> Self {
+        self.strategy = Strategy::Robust(stages);
+        self
+    }
+
+    /// Step-control policy for pseudo-transient strategies.
+    #[must_use]
+    pub fn stepping(mut self, stepping: Stepping) -> Self {
+        self.stepping = stepping;
+        self
+    }
+
+    /// Applies a unified [`EngineConfig`](crate::config::EngineConfig):
+    /// sets the PTA limits *and* the solve budget in one call.
+    #[must_use]
+    pub fn config(mut self, config: crate::config::EngineConfig) -> Self {
+        self.budget = config.budget();
+        self.config = config.pta();
+        self
+    }
+
+    /// Raw pseudo-transient limits and tolerances.
+    #[must_use]
+    pub fn pta_config(mut self, config: PtaConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Newton options for the [`DcEngineBuilder::newton`] strategy and for
+    /// the warm-started point solves inside [`DcEngine::sweep`]. (The PTA
+    /// inner loop uses the tighter per-point Newton options carried by
+    /// [`PtaConfig`].)
+    #[must_use]
+    pub fn newton_config(mut self, config: NewtonConfig) -> Self {
+        self.newton = config;
+        self
+    }
+
+    /// Per-job resource budget (deadline / NR cap / step cap). Every batch
+    /// job and sweep point gets a fresh meter from this budget.
+    #[must_use]
+    pub fn budget(mut self, budget: SolveBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Worker-thread count for batch entry points; `0` sizes the pool to
+    /// the host, `1` (the default) runs serially on the calling thread.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = if threads == 0 {
+            rlpta_threadpool::available_threads()
+        } else {
+            threads
+        };
+        self
+    }
+
+    /// Sweep chunk size (points per parallel job). A fixed layout constant:
+    /// changing it changes the warm-start chain, so it is deliberately
+    /// **not** derived from the thread count — otherwise results would
+    /// depend on the machine. Clamped to at least 1.
+    #[must_use]
+    pub fn sweep_chunk(mut self, points: usize) -> Self {
+        self.sweep_chunk = points.max(1);
+        self
+    }
+
+    /// Installs a deterministic fault-injection plan inside **every** job
+    /// (batch, sweep chunk, raced rung) before it runs, so chaos scenarios
+    /// reach pooled workers — [`FaultPlan`](crate::recovery::FaultPlan)
+    /// state is thread-local and would otherwise stay on the caller's
+    /// thread. Cleared again when each job finishes.
+    #[cfg(feature = "faults")]
+    #[must_use]
+    pub fn fault_plan(mut self, plan: crate::recovery::FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Finalizes the engine.
+    pub fn build(self) -> DcEngine {
+        DcEngine {
+            strategy: self.strategy,
+            stepping: self.stepping,
+            config: self.config,
+            newton: self.newton,
+            budget: self.budget,
+            threads: self.threads.max(1),
+            sweep_chunk: self.sweep_chunk.max(1),
+            #[cfg(feature = "faults")]
+            fault_plan: self.fault_plan,
+        }
+    }
+}
+
+/// The batch DC-solve engine. Construct via [`DcEngine::builder`]; see the
+/// [module documentation](self) for the determinism contract.
+#[derive(Debug, Clone)]
+pub struct DcEngine {
+    strategy: Strategy,
+    stepping: Stepping,
+    config: PtaConfig,
+    newton: NewtonConfig,
+    budget: SolveBudget,
+    threads: usize,
+    sweep_chunk: usize,
+    #[cfg(feature = "faults")]
+    fault_plan: Option<crate::recovery::FaultPlan>,
+}
+
+impl Default for DcEngine {
+    /// The builder defaults: robust ladder, simple stepping, one thread.
+    fn default() -> Self {
+        Self::builder().build()
+    }
+}
+
+impl DcEngine {
+    /// Default sweep chunk size. Eight points per job keeps the warm-start
+    /// chains long enough to pay while giving a typical transfer-curve
+    /// sweep enough chunks to fill a small pool.
+    pub const DEFAULT_SWEEP_CHUNK: usize = 8;
+
+    /// Starts configuring an engine.
+    pub fn builder() -> DcEngineBuilder {
+        DcEngineBuilder::default()
+    }
+
+    /// Worker-thread count used by the batch entry points.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The configured solve strategy.
+    pub fn strategy(&self) -> &Strategy {
+        &self.strategy
+    }
+
+    /// The per-job resource budget.
+    pub fn budget(&self) -> &SolveBudget {
+        &self.budget
+    }
+
+    /// Solves one circuit with the configured strategy.
+    ///
+    /// # Errors
+    ///
+    /// The underlying solver's errors ([`SolveError::NonConvergent`],
+    /// [`SolveError::Singular`], [`SolveError::AllStrategiesFailed`], …),
+    /// plus [`SolveError::BudgetExhausted`] under a finite budget and
+    /// [`SolveError::WorkerPanic`] if a raced ladder rung panics.
+    pub fn solve(&self, circuit: &Circuit) -> Result<Solution, SolveError> {
+        #[cfg(feature = "faults")]
+        let _guard = self.install_faults();
+        self.solve_one(circuit)
+    }
+
+    /// Solves every circuit as an independent pooled job; results come back
+    /// in input order, one per circuit, failures per slot.
+    ///
+    /// A panicking job is isolated by the pool and surfaces as
+    /// [`SolveError::WorkerPanic`] in its slot only.
+    /// Batch jobs always run their strategy *serially* — the circuits
+    /// themselves are the parallel unit, so racing ladder rungs inside a
+    /// job would multiply work without helping wall-clock time.
+    pub fn solve_batch(&self, circuits: &[Circuit]) -> Vec<Result<Solution, SolveError>> {
+        self.run_jobs(
+            circuits
+                .iter()
+                .map(|c| move || self.solve_serial(c))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Solves every circuit with a caller-supplied step controller — the
+    /// path for evaluating one *pre-trained* RL controller across a corpus:
+    /// each job gets its own clone, so training state is shared into every
+    /// job but never mutated across jobs.
+    ///
+    /// Runs the PTA flavour of the configured strategy
+    /// ([`PtaKind::default`] when the strategy is not PTA).
+    pub fn solve_batch_with<C>(
+        &self,
+        circuits: &[Circuit],
+        controller: &C,
+    ) -> Vec<Result<Solution, SolveError>>
+    where
+        C: StepController + Clone + Sync,
+    {
+        let kind = self.pta_kind_or_default();
+        self.run_jobs(
+            circuits
+                .iter()
+                .map(|c| {
+                    move || {
+                        let mut solver =
+                            PtaSolver::with_config(kind, controller.clone(), self.config.clone());
+                        solver.solve_budgeted(c, &self.budget)
+                    }
+                })
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Runs a DC sweep in fixed-size chunks with warm-start handoff at the
+    /// chunk boundaries.
+    ///
+    /// Phase 1 solves the first point of every chunk serially, each
+    /// warm-started from the previous boundary solution. Phase 2 solves the
+    /// chunk interiors as parallel jobs, warm-starting point-to-point
+    /// within the chunk from its boundary. The computation per point is
+    /// fully determined by the chunk layout ([`DcEngineBuilder::sweep_chunk`])
+    /// — never by the thread count — so the report is bit-identical for
+    /// every `threads` value.
+    ///
+    /// One LU factorization workspace is reused across all points of a
+    /// chain (boundary chain and each chunk interior), so after the first
+    /// point every Newton iteration replays the recorded symbolic pattern.
+    ///
+    /// # Errors
+    ///
+    /// * [`SolveError::InvalidConfig`] if the swept source does not exist,
+    /// * the first failing point's error otherwise (points after it in the
+    ///   same chain are not attempted; other chunks may have completed).
+    pub fn sweep(&self, circuit: &Circuit, sweep: &DcSweep) -> Result<SweepReport, SolveError> {
+        #[cfg(feature = "faults")]
+        let _guard = self.install_faults();
+        let values = sweep.values();
+        let source = sweep.source();
+        {
+            let mut probe = circuit.clone();
+            if !probe.set_source_dc(source, values[0]) {
+                return Err(SolveError::InvalidConfig {
+                    detail: format!("no independent source named `{source}`"),
+                });
+            }
+        }
+        let chunk = self.sweep_chunk;
+        let n_chunks = values.len().div_ceil(chunk);
+
+        // Phase 1: chunk boundaries, a serial warm-start chain.
+        let mut boundaries: Vec<Solution> = Vec::with_capacity(n_chunks);
+        {
+            let mut work = circuit.clone();
+            let mut lu_ws = LuWorkspace::new();
+            for k in 0..n_chunks {
+                work.set_source_dc(source, values[k * chunk]);
+                let warm = boundaries.last().map(|s| s.x.as_slice());
+                let sol = self.solve_sweep_point(&work, warm, &mut lu_ws)?;
+                boundaries.push(sol);
+            }
+        }
+
+        // Phase 2: chunk interiors, one pooled job per chunk.
+        let interiors = self.run_jobs(
+            (0..n_chunks)
+                .map(|k| {
+                    let boundary = &boundaries[k];
+                    move || {
+                        let hi = ((k + 1) * chunk).min(values.len());
+                        let mut work = circuit.clone();
+                        let mut lu_ws = LuWorkspace::new();
+                        let mut prev = boundary.x.clone();
+                        let mut points = Vec::with_capacity(hi - (k * chunk + 1));
+                        for &v in &values[k * chunk + 1..hi] {
+                            work.set_source_dc(source, v);
+                            let sol = self.solve_sweep_point(&work, Some(&prev), &mut lu_ws)?;
+                            prev.clone_from(&sol.x);
+                            points.push(SweepPoint { value: v, solution: sol });
+                        }
+                        Ok(points)
+                    }
+                })
+                .collect::<Vec<_>>(),
+        );
+
+        let mut points = Vec::with_capacity(values.len());
+        let mut stats = SolveStats::default();
+        for (k, (boundary, interior)) in boundaries.into_iter().zip(interiors).enumerate() {
+            stats.absorb(&boundary.stats);
+            points.push(SweepPoint {
+                value: values[k * chunk],
+                solution: boundary,
+            });
+            for p in interior? {
+                stats.absorb(&p.solution.stats);
+                points.push(p);
+            }
+        }
+        stats.converged = points.iter().all(|p| p.solution.stats.converged);
+        Ok(SweepReport { points, stats })
+    }
+
+    // --- internals -------------------------------------------------------
+
+    fn pta_kind_or_default(&self) -> PtaKind {
+        match &self.strategy {
+            Strategy::Pta(kind) => *kind,
+            _ => PtaKind::default(),
+        }
+    }
+
+    fn solve_one(&self, circuit: &Circuit) -> Result<Solution, SolveError> {
+        match &self.strategy {
+            Strategy::Robust(stages) if self.threads > 1 && stages.len() > 1 => {
+                self.solve_raced(stages, circuit)
+            }
+            _ => self.solve_serial(circuit),
+        }
+    }
+
+    /// One circuit through the configured strategy with no intra-solve
+    /// parallelism — the per-job body of every batch entry point.
+    fn solve_serial(&self, circuit: &Circuit) -> Result<Solution, SolveError> {
+        match &self.strategy {
+            Strategy::Newton => NewtonRaphson::from_config(self.newton.clone())
+                .solve_budgeted(circuit, &self.budget),
+            Strategy::Pta(kind) => {
+                let mut solver =
+                    PtaSolver::with_config(*kind, self.stepping.controller(), self.config.clone());
+                solver.solve_budgeted(circuit, &self.budget)
+            }
+            Strategy::Robust(stages) => RobustDcSolver::from_stages(stages.clone())
+                .with_budget(self.budget)
+                .solve(circuit),
+        }
+    }
+
+    /// Races every ladder rung concurrently from a cold start, each under
+    /// its own meter from the shared budget. Winner = lowest-index success
+    /// (deterministic for any thread count); the aggregate statistics
+    /// charge the winner plus every lower rung, matching what a serial
+    /// early-exit ladder would have reported.
+    fn solve_raced(
+        &self,
+        stages: &[LadderStage],
+        circuit: &Circuit,
+    ) -> Result<Solution, SolveError> {
+        let results = self.run_jobs(
+            stages
+                .iter()
+                .map(|stage| {
+                    move || {
+                        RobustDcSolver::from_stages(vec![stage.clone()])
+                            .with_budget(self.budget)
+                            .solve(circuit)
+                    }
+                })
+                .collect::<Vec<_>>(),
+        );
+
+        let mut attempts: Vec<AttemptReport> = Vec::new();
+        let mut budget_hit: Option<SolveError> = None;
+        for result in results {
+            match result {
+                Ok(mut sol) => {
+                    let mut total = SolveStats::default();
+                    for a in &attempts {
+                        total.absorb(&a.stats);
+                    }
+                    total.absorb(&sol.stats);
+                    sol.stats = total;
+                    return Ok(sol);
+                }
+                Err(SolveError::AllStrategiesFailed { attempts: mut a }) => {
+                    // Each rung ran as a single-stage ladder, so its trail
+                    // carries exactly one report.
+                    attempts.append(&mut a);
+                }
+                Err(e @ SolveError::BudgetExhausted { .. }) => {
+                    if budget_hit.is_none() {
+                        budget_hit = Some(e);
+                    }
+                }
+                Err(e) => {
+                    return Err(e);
+                }
+            }
+        }
+        match budget_hit {
+            Some(e) => Err(e),
+            None => Err(SolveError::AllStrategiesFailed { attempts }),
+        }
+    }
+
+    /// One sweep point: warm-started damped Newton with the shared LU
+    /// workspace; a region crossing that defeats Newton falls back to the
+    /// serial escalation ladder (the engine's own stages when the strategy
+    /// is robust, the default ladder otherwise).
+    fn solve_sweep_point(
+        &self,
+        work: &Circuit,
+        warm: Option<&[f64]>,
+        lu_ws: &mut LuWorkspace,
+    ) -> Result<Solution, SolveError> {
+        let zeros;
+        let x0: &[f64] = match warm {
+            Some(x) => x,
+            None => {
+                zeros = vec![0.0; work.dim()];
+                &zeros
+            }
+        };
+        let mut meter = self.budget.start();
+        meter.set_phase(SolvePhase::Newton);
+        let mut state = work.seeded_state(x0);
+        let attempt = newton_iterate(
+            work,
+            &self.newton,
+            x0,
+            &mut state,
+            &mut |_, _, _| {},
+            &mut meter,
+            lu_ws,
+        );
+        match attempt {
+            Ok(out) if out.converged => Ok(Solution {
+                x: out.x,
+                stats: SolveStats {
+                    nr_iterations: out.iterations,
+                    lu_factorizations: out.lu_factorizations,
+                    converged: true,
+                    ..SolveStats::default()
+                },
+            }),
+            Err(e @ SolveError::BudgetExhausted { .. }) => Err(e),
+            _ => {
+                let stages = match &self.strategy {
+                    Strategy::Robust(stages) => stages.clone(),
+                    _ => RobustDcSolver::default_ladder(),
+                };
+                RobustDcSolver::from_stages(stages)
+                    .with_budget(self.budget)
+                    .solve(work)
+            }
+        }
+    }
+
+    /// Runs fallible jobs on the pool, mapping pool-level panics to
+    /// [`SolveError::WorkerPanic`] per slot. Installs the configured fault
+    /// plan inside each job (and clears it after), so injection reaches
+    /// pooled workers whose thread-locals start disarmed.
+    fn run_jobs<T, F>(&self, jobs: Vec<F>) -> Vec<Result<T, SolveError>>
+    where
+        T: Send,
+        F: FnOnce() -> Result<T, SolveError> + Send,
+    {
+        #[cfg(feature = "faults")]
+        let plan = self.fault_plan;
+        let wrapped: Vec<_> = jobs
+            .into_iter()
+            .map(|job| {
+                move || {
+                    #[cfg(feature = "faults")]
+                    if let Some(p) = plan {
+                        p.install();
+                    }
+                    let out = job();
+                    #[cfg(feature = "faults")]
+                    if plan.is_some() {
+                        crate::recovery::FaultPlan::clear();
+                    }
+                    out
+                }
+            })
+            .collect();
+        ThreadPool::new(self.threads)
+            .run(wrapped)
+            .into_iter()
+            .map(|r| match r {
+                Ok(inner) => inner,
+                Err(panic) => Err(SolveError::WorkerPanic {
+                    detail: panic.to_string(),
+                }),
+            })
+            .collect()
+    }
+
+    /// Installs the engine's fault plan on the *calling* thread for serial
+    /// entry points; the returned guard restores a disarmed state on drop.
+    #[cfg(feature = "faults")]
+    fn install_faults(&self) -> Option<FaultGuard> {
+        self.fault_plan.map(|plan| {
+            plan.install();
+            FaultGuard
+        })
+    }
+}
+
+/// Clears the thread-local injectors when a serial faulted solve finishes.
+#[cfg(feature = "faults")]
+struct FaultGuard;
+
+#[cfg(feature = "faults")]
+impl Drop for FaultGuard {
+    fn drop(&mut self) {
+        crate::recovery::FaultPlan::clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diode_clamp() -> Circuit {
+        rlpta_netlist::parse("t\nV1 in 0 5\nR1 in out 1k\nD1 out 0 DX\n.model DX D(IS=1e-14)\n")
+            .unwrap()
+    }
+
+    fn corpus() -> Vec<Circuit> {
+        vec![
+            rlpta_netlist::parse("a\nV1 a 0 10\nR1 a b 2k\nR2 b 0 3k\n").unwrap(),
+            diode_clamp(),
+            rlpta_netlist::parse(
+                "b\nV1 vcc 0 12\nR1 vcc b 100k\nR2 b 0 22k\nRC vcc c 2.2k\nRE e 0 1k\nQ1 c b e QN\n.model QN NPN(IS=1e-15 BF=120)",
+            )
+            .unwrap(),
+        ]
+    }
+
+    #[test]
+    fn builder_defaults_solve_a_circuit() {
+        let engine = DcEngine::builder().build();
+        let c = diode_clamp();
+        let sol = engine.solve(&c).unwrap();
+        assert!(sol.stats.converged);
+        let v = sol.voltage(&c, "out").unwrap();
+        assert!(v > 0.55 && v < 0.85, "diode drop {v}");
+    }
+
+    #[test]
+    fn newton_strategy_matches_plain_newton() {
+        let c = diode_clamp();
+        let via_engine = DcEngine::builder().newton().build().solve(&c).unwrap();
+        let direct = crate::NewtonRaphson::default().solve(&c).unwrap();
+        assert_eq!(via_engine.x, direct.x);
+    }
+
+    #[test]
+    fn pta_strategy_solves_with_each_stepping() {
+        let c = diode_clamp();
+        for stepping in [
+            Stepping::Simple(SimpleStepping::default()),
+            Stepping::Ser(SerStepping::default()),
+        ] {
+            let engine = DcEngine::builder()
+                .kind(PtaKind::cepta())
+                .stepping(stepping.clone())
+                .build();
+            let sol = engine.solve(&c).unwrap();
+            assert!(sol.stats.converged, "stepping {}", stepping.name());
+        }
+    }
+
+    #[test]
+    fn batch_results_identical_serial_vs_parallel() {
+        let circuits = corpus();
+        let serial = DcEngine::builder()
+            .kind(PtaKind::cepta())
+            .threads(1)
+            .build()
+            .solve_batch(&circuits);
+        let parallel = DcEngine::builder()
+            .kind(PtaKind::cepta())
+            .threads(4)
+            .build()
+            .solve_batch(&circuits);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s, p, "batch solve must not depend on thread count");
+        }
+    }
+
+    #[test]
+    fn batch_preserves_input_order_and_isolates_failures() {
+        let mut circuits = corpus();
+        // A circuit Newton cannot solve in one iteration and PTA cannot
+        // rescue within a 1-step budget: its slot must fail, others succeed.
+        circuits.insert(1, diode_clamp());
+        let engine = DcEngine::builder()
+            .kind(PtaKind::Pure)
+            .budget(SolveBudget::UNLIMITED.steps(1))
+            .threads(3)
+            .build();
+        let results = engine.solve_batch(&circuits);
+        assert_eq!(results.len(), circuits.len());
+        // The linear divider solves in the first PTA step... actually under
+        // a 1-step budget even easy circuits may trip; what matters here is
+        // slot alignment: every result corresponds to its input circuit.
+        for r in &results {
+            match r {
+                Ok(sol) => assert!(sol.stats.converged),
+                Err(e) => assert!(
+                    matches!(
+                        e,
+                        SolveError::BudgetExhausted { .. } | SolveError::NonConvergent { .. }
+                    ),
+                    "unexpected {e:?}"
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn raced_robust_matches_serial_winner() {
+        let c = diode_clamp();
+        let stages = RobustDcSolver::default_ladder();
+        let raced = DcEngine::builder()
+            .ladder(stages.clone())
+            .threads(4)
+            .build()
+            .solve(&c)
+            .unwrap();
+        let serial = DcEngine::builder()
+            .ladder(stages)
+            .threads(1)
+            .build()
+            .solve(&c)
+            .unwrap();
+        // Newton (rung 0) wins in both; cold vs warm start is identical for
+        // the first rung, so even the iterates agree.
+        assert_eq!(raced.x, serial.x);
+        assert_eq!(raced.stats, serial.stats);
+    }
+
+    #[test]
+    fn raced_robust_all_failing_collects_ordered_attempts() {
+        let c = diode_clamp();
+        let doomed = NewtonConfig {
+            max_iterations: 1,
+            ..NewtonConfig::default()
+        };
+        let engine = DcEngine::builder()
+            .ladder(vec![
+                LadderStage::DampedNewton(doomed.clone()),
+                LadderStage::DampedNewton(doomed),
+            ])
+            .threads(2)
+            .build();
+        match engine.solve(&c) {
+            Err(SolveError::AllStrategiesFailed { attempts }) => {
+                assert_eq!(attempts.len(), 2);
+                assert!(attempts.iter().all(|a| a.strategy == "newton"));
+            }
+            other => panic!("expected AllStrategiesFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sweep_is_bit_identical_across_thread_counts() {
+        let c = rlpta_netlist::parse(
+            "t\nV1 in 0 0\nR1 in a 100\nD1 a 0 DX\n.model DX D(IS=1e-14)\n",
+        )
+        .unwrap();
+        let sweep = DcSweep::linear("V1", 0.0, 2.0, 0.1).unwrap();
+        let serial = DcEngine::builder()
+            .threads(1)
+            .build()
+            .sweep(&c, &sweep)
+            .unwrap();
+        for threads in [2, 4, 7] {
+            let parallel = DcEngine::builder()
+                .threads(threads)
+                .build()
+                .sweep(&c, &sweep)
+                .unwrap();
+            assert_eq!(
+                serial, parallel,
+                "sweep output depends on thread count {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_reuses_one_workspace_per_chain() {
+        // 21 points, chunk 8 → 3 boundary solves + 3 interior chains. The
+        // lu_factorizations aggregate must show far fewer *symbolic*
+        // analyses than factorizations — indirectly: the sweep solves all
+        // points and each point's Newton work stays tiny with warm starts.
+        let c = rlpta_netlist::parse(
+            "t\nV1 in 0 0\nR1 in a 100\nD1 a 0 DX\n.model DX D(IS=1e-14)\n",
+        )
+        .unwrap();
+        let sweep = DcSweep::linear("V1", 0.0, 2.0, 0.1).unwrap();
+        let report = DcEngine::builder().build().sweep(&c, &sweep).unwrap();
+        assert_eq!(report.points.len(), 21);
+        assert!(report.stats.converged);
+        assert!(report.stats.nr_iterations > 0);
+    }
+
+    #[test]
+    fn sweep_unknown_source_is_invalid_config() {
+        let c = diode_clamp();
+        let sweep = DcSweep::linear("V99", 0.0, 1.0, 0.5).unwrap();
+        assert!(matches!(
+            DcEngine::builder().build().sweep(&c, &sweep),
+            Err(SolveError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn stepping_names_are_stable() {
+        assert_eq!(Stepping::default().name(), "simple");
+        assert_eq!(Stepping::Ser(SerStepping::default()).name(), "adaptive-ser");
+        assert_eq!(Stepping::Rl(RlSteppingConfig::new(1)).name(), "rl");
+    }
+
+    #[test]
+    fn threads_zero_means_auto() {
+        let engine = DcEngine::builder().threads(0).build();
+        assert!(engine.threads() >= 1);
+    }
+}

@@ -85,6 +85,13 @@ pub enum SolveError {
         /// One report per attempted ladder stage, in execution order.
         attempts: Vec<AttemptReport>,
     },
+    /// A pooled worker job panicked. The [`DcEngine`](crate::DcEngine)
+    /// isolates the panic to the job's own result slot — the pool and the
+    /// sibling jobs keep running.
+    WorkerPanic {
+        /// The panic payload (when it was a string) or a placeholder.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SolveError {
@@ -111,6 +118,9 @@ impl fmt::Display for SolveError {
                     write!(f, "; {}: {}", a.strategy, a.error)?;
                 }
                 Ok(())
+            }
+            SolveError::WorkerPanic { detail } => {
+                write!(f, "solver worker panicked: {detail}")
             }
         }
     }

@@ -117,6 +117,9 @@ impl NewtonHomotopy {
         };
         let mut lambda = 0.0f64;
         let mut dl = self.initial_step;
+        // The deformation touches only the residual, never the Jacobian
+        // pattern: one symbolic analysis serves every λ stage.
+        let mut lu_ws = rlpta_linalg::LuWorkspace::new();
         while lambda < 1.0 {
             meter.charge_step(1)?;
             let next = (lambda + dl).min(1.0);
@@ -131,7 +134,15 @@ impl NewtonHomotopy {
                     }
                 };
             let saved_state = state.clone();
-            let out = newton_iterate(circuit, &self.newton, &x, &mut state, &mut deform, meter)?;
+            let out = newton_iterate(
+                circuit,
+                &self.newton,
+                &x,
+                &mut state,
+                &mut deform,
+                meter,
+                &mut lu_ws,
+            )?;
             stats.nr_iterations += out.iterations;
             stats.lu_factorizations += out.lu_factorizations;
             stats.pta_steps += 1;

@@ -19,6 +19,7 @@ pub struct IppOracle<'a> {
     kind: PtaKind,
     config: PtaConfig,
     budget: SolveBudget,
+    threads: usize,
     evaluations: usize,
 }
 
@@ -35,6 +36,7 @@ impl<'a> IppOracle<'a> {
             kind,
             config,
             budget: SolveBudget::UNLIMITED,
+            threads: 1,
             evaluations: 0,
         }
     }
@@ -47,6 +49,20 @@ impl<'a> IppOracle<'a> {
         self
     }
 
+    /// Evaluates the active learner's per-round proposal batches on
+    /// `threads` pooled workers (`0` sizes the pool to the host). The
+    /// training *results* are identical at any thread count: each solve is
+    /// independent and costs come back in job order.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = if threads == 0 {
+            rlpta_threadpool::available_threads()
+        } else {
+            threads
+        };
+        self
+    }
+
     /// Total solver invocations so far.
     pub fn evaluations(&self) -> usize {
         self.evaluations
@@ -56,31 +72,69 @@ impl<'a> IppOracle<'a> {
     /// experiment harness for reporting).
     pub fn run_raw(&mut self, circuit: &Circuit, params: PtaParams) -> Option<crate::SolveStats> {
         self.evaluations += 1;
-        let mut solver =
-            PtaSolver::with_config(self.kind, SimpleStepping::default(), self.config.clone())
-                .with_params(params);
-        match solver.solve_budgeted(circuit, &self.budget) {
-            Ok(sol) => Some(sol.stats),
-            Err(
-                crate::SolveError::NonConvergent { stats }
-                | crate::SolveError::BudgetExhausted { stats, .. },
-            ) => {
-                let mut s = stats;
-                s.converged = false;
-                Some(s)
-            }
-            Err(_) => None,
+        run_stats(self.kind, &self.config, &self.budget, circuit, params)
+    }
+}
+
+/// One budgeted PTA solve, shared by the serial and pooled evaluation paths.
+fn run_stats(
+    kind: PtaKind,
+    config: &PtaConfig,
+    budget: &SolveBudget,
+    circuit: &Circuit,
+    params: PtaParams,
+) -> Option<crate::SolveStats> {
+    let mut solver = PtaSolver::with_config(kind, SimpleStepping::default(), config.clone())
+        .with_params(params);
+    match solver.solve_budgeted(circuit, budget) {
+        Ok(sol) => Some(sol.stats),
+        Err(
+            crate::SolveError::NonConvergent { stats }
+            | crate::SolveError::BudgetExhausted { stats, .. },
+        ) => {
+            let mut s = stats;
+            s.converged = false;
+            Some(s)
         }
+        Err(_) => None,
+    }
+}
+
+/// Log-scaled cost of one run's statistics.
+fn stats_cost(stats: Option<crate::SolveStats>) -> f64 {
+    match stats {
+        Some(stats) if stats.converged => (stats.nr_iterations as f64).max(1.0).ln(),
+        _ => DIVERGED_COST,
     }
 }
 
 impl IterationOracle for IppOracle<'_> {
     fn evaluate(&mut self, circuit: usize, w: &[f64]) -> f64 {
         let params = PtaParams::from_w(w);
-        match self.run_raw(&self.circuits[circuit], params) {
-            Some(stats) if stats.converged => (stats.nr_iterations as f64).max(1.0).ln(),
-            _ => DIVERGED_COST,
-        }
+        stats_cost(self.run_raw(&self.circuits[circuit], params))
+    }
+
+    /// Pooled override: a round's proposals are independent solves, so run
+    /// them concurrently. Oracle evaluation draws no randomness, and costs
+    /// return in job order, so training results match the serial oracle
+    /// bit for bit.
+    fn evaluate_batch(&mut self, jobs: &[(usize, Vec<f64>)]) -> Vec<f64> {
+        self.evaluations += jobs.len();
+        let pool = rlpta_threadpool::ThreadPool::new(self.threads);
+        pool.map(jobs, |(circuit, w)| {
+            run_stats(
+                self.kind,
+                &self.config,
+                &self.budget,
+                &self.circuits[*circuit],
+                PtaParams::from_w(w),
+            )
+        })
+        .into_iter()
+        // A panicked job (impossible under normal operation) counts as a
+        // divergence rather than aborting a long offline training run.
+        .map(|r| stats_cost(r.unwrap_or(None)))
+        .collect()
     }
 }
 
@@ -145,6 +199,22 @@ mod tests {
         oracle.config.max_steps = 2;
         let cost = oracle.evaluate(0, &[8.0, -8.0, 0.0]);
         assert_eq!(cost, DIVERGED_COST);
+    }
+
+    #[test]
+    fn pooled_batch_matches_serial_costs() {
+        let circuits = training_circuits();
+        let jobs = vec![
+            (0usize, vec![0.0, 0.0, 0.0]),
+            (1, vec![0.5, -0.5, 0.0]),
+            (0, vec![1.0, 1.0, 1.0]),
+        ];
+        let mut serial = IppOracle::new(&circuits, PtaKind::Pure);
+        let expected: Vec<f64> = jobs.iter().map(|(c, w)| serial.evaluate(*c, w)).collect();
+        let mut pooled = IppOracle::new(&circuits, PtaKind::Pure).with_threads(3);
+        let got = pooled.evaluate_batch(&jobs);
+        assert_eq!(got, expected, "pooled batch must match serial bit for bit");
+        assert_eq!(pooled.evaluations(), jobs.len());
     }
 
     #[test]

@@ -22,12 +22,16 @@
 //! * [`RobustDcSolver`] — the resilience layer: an escalation ladder over
 //!   all of the above with uniform [`SolveBudget`] enforcement, non-finite
 //!   guards and (behind the `faults` feature) a deterministic
-//!   fault-injection harness ([`recovery`]).
+//!   fault-injection harness ([`recovery`]),
+//! * [`DcEngine`] — the single public entry point tying it together:
+//!   strategy selection via a builder, symbolic-LU reuse across Newton
+//!   iterations and batch execution (corpora, sweeps, raced ladders) on a
+//!   deterministic thread pool ([`engine`](crate::DcEngine)).
 //!
 //! # Example
 //!
 //! ```
-//! use rlpta_core::{PtaKind, PtaSolver, SimpleStepping};
+//! use rlpta_core::{DcEngine, PtaKind};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let circuit = rlpta_netlist::parse(
@@ -37,8 +41,8 @@
 //!      D1 out 0 DX
 //!      .model DX D(IS=1e-14)",
 //! )?;
-//! let mut solver = PtaSolver::new(PtaKind::Pure, SimpleStepping::default());
-//! let solution = solver.solve(&circuit)?;
+//! let engine = DcEngine::builder().kind(PtaKind::Pure).build();
+//! let solution = engine.solve(&circuit)?;
 //! let v = solution.voltage(&circuit, "out").expect("node exists");
 //! assert!(v > 0.5 && v < 0.9); // one diode drop
 //! # Ok(())
@@ -52,7 +56,9 @@
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 mod ac;
+pub mod config;
 mod continuation;
+mod engine;
 mod error;
 mod homotopy;
 mod ipp;
@@ -68,7 +74,9 @@ mod trace;
 mod transient;
 
 pub use ac::{AcPoint, AcStimulus, AcSweep};
+pub use config::EngineConfig;
 pub use continuation::{GminStepping, SourceStepping};
+pub use engine::{DcEngine, DcEngineBuilder, Stepping, Strategy};
 pub use error::{SolveError, SolvePhase};
 pub use homotopy::NewtonHomotopy;
 pub use ipp::{default_pta_params, predict_params, IppOracle};
@@ -81,6 +89,6 @@ pub use report::op_report;
 pub use rl_stepping::{RlStepping, RlSteppingConfig};
 pub use solution::{Solution, SolveStats};
 pub use stepping::{SerStepping, SimpleStepping, StepController, StepObservation};
-pub use sweep::{DcSweep, SweepPoint};
+pub use sweep::{DcSweep, SweepPoint, SweepReport};
 pub use trace::{TraceController, TraceEntry};
 pub use transient::{Stimulus, Transient, TransientPoint, Waveform};

@@ -4,7 +4,7 @@ use crate::error::SolvePhase;
 use crate::recovery::{BudgetMeter, SolveBudget};
 use crate::{Solution, SolveError, SolveStats};
 use rlpta_devices::EvalCtx;
-use rlpta_linalg::{norms, SparseLu, Triplet};
+use rlpta_linalg::{norms, LuWorkspace, Triplet};
 use rlpta_mna::Circuit;
 
 /// Extra-stamp hook: `(x, jacobian, residual)` — the PTA engine injects
@@ -78,6 +78,11 @@ pub(crate) struct NrOutcome {
 /// non-finite value that step rollback could not clear, or an exhausted
 /// [`SolveBudget`] (`meter` charges one unit per iteration, so wall-clock
 /// deadlines are honored to within a single assembly + factorization).
+///
+/// `lu_ws` caches the symbolic LU pattern across factorizations; callers
+/// that solve repeatedly on one circuit (PTA steps, continuation stages,
+/// sweep points) pass a persistent workspace so every iteration after the
+/// first replays the pattern instead of redoing the symbolic analysis.
 pub(crate) fn newton_iterate(
     circuit: &Circuit,
     config: &NewtonConfig,
@@ -85,6 +90,7 @@ pub(crate) fn newton_iterate(
     state: &mut [f64],
     extra: &mut ExtraStamps<'_>,
     meter: &mut BudgetMeter,
+    lu_ws: &mut LuWorkspace,
 ) -> Result<NrOutcome, SolveError> {
     let dim = circuit.dim();
     debug_assert_eq!(x0.len(), dim, "x0 dimension mismatch");
@@ -145,7 +151,7 @@ pub(crate) fn newton_iterate(
                 }
             }
             lu_count += 1;
-            match SparseLu::factorize(&jac.to_csr()) {
+            match lu_ws.factorize(&jac.to_csr()) {
                 Ok(f) => {
                     factorized = Some(f);
                     break;
@@ -281,7 +287,16 @@ pub struct NewtonRaphson {
 
 impl NewtonRaphson {
     /// Creates a solver with the given configuration.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `DcEngine::builder().newton().newton_config(..)` instead"
+    )]
     pub fn new(config: NewtonConfig) -> Self {
+        Self::from_config(config)
+    }
+
+    /// In-crate constructor behind the deprecated public shim.
+    pub(crate) fn from_config(config: NewtonConfig) -> Self {
         Self { config }
     }
 
@@ -334,7 +349,16 @@ impl NewtonRaphson {
         meter: &mut BudgetMeter,
     ) -> Result<Solution, SolveError> {
         let mut state = circuit.seeded_state(x0);
-        let out = newton_iterate(circuit, &self.config, x0, &mut state, &mut |_, _, _| {}, meter)?;
+        let mut lu_ws = LuWorkspace::new();
+        let out = newton_iterate(
+            circuit,
+            &self.config,
+            x0,
+            &mut state,
+            &mut |_, _, _| {},
+            meter,
+            &mut lu_ws,
+        )?;
         let stats = SolveStats {
             nr_iterations: out.iterations,
             pta_steps: 0,
@@ -443,7 +467,7 @@ mod tests {
             max_iterations: 2,
             ..NewtonConfig::default()
         };
-        let err = NewtonRaphson::new(cfg).solve(&hard).unwrap_err();
+        let err = NewtonRaphson::from_config(cfg).solve(&hard).unwrap_err();
         assert!(matches!(err, SolveError::NonConvergent { .. }));
         let _ = NewtonRaphson::default().solve(&c);
     }

@@ -215,12 +215,12 @@ pub struct PtaSolver<C> {
 
 impl<C: StepController> PtaSolver<C> {
     /// Creates a solver with default configuration.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `DcEngine::builder().kind(..).stepping(..)` instead"
+    )]
     pub fn new(kind: PtaKind, controller: C) -> Self {
-        Self {
-            kind,
-            config: PtaConfig::default(),
-            controller,
-        }
+        Self::with_config(kind, controller, PtaConfig::default())
     }
 
     /// Creates a solver with an explicit configuration.
@@ -329,6 +329,11 @@ impl<C: StepController> PtaSolver<C> {
             .initial_step()
             .clamp(self.config.h_min, self.config.h_max);
         let mut t = 0.0;
+        // The pseudo-element stamps land on the diagonal (and source
+        // branches) every step, so the augmented Jacobian pattern is
+        // constant across the whole transient: one symbolic analysis serves
+        // every Newton iteration of every time point.
+        let mut lu_ws = rlpta_linalg::LuWorkspace::new();
 
         for _ in 0..self.config.max_steps {
             meter.charge_step(1)?;
@@ -385,6 +390,7 @@ impl<C: StepController> PtaSolver<C> {
                 &mut dev_state,
                 &mut pseudo,
                 meter,
+                &mut lu_ws,
             )?;
             stats.nr_iterations += out.iterations;
             stats.lu_factorizations += out.lu_factorizations;
@@ -484,6 +490,8 @@ impl<C: StepController> PtaSolver<C> {
 
 #[cfg(test)]
 mod tests {
+    // The deprecated constructor shims stay under test until removal.
+    #![allow(deprecated)]
     use super::*;
     use crate::{NewtonRaphson, SerStepping, SimpleStepping};
 

@@ -100,13 +100,22 @@ pub struct RobustDcSolver {
 
 impl Default for RobustDcSolver {
     fn default() -> Self {
-        Self::new(Self::default_ladder())
+        Self::from_stages(Self::default_ladder())
     }
 }
 
 impl RobustDcSolver {
     /// A solver with explicit stages, run in order, and no budget limits.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `DcEngine::builder().ladder(..)` (or `.robust()`) instead"
+    )]
     pub fn new(stages: Vec<LadderStage>) -> Self {
+        Self::from_stages(stages)
+    }
+
+    /// In-crate constructor behind the deprecated public shim.
+    pub(crate) fn from_stages(stages: Vec<LadderStage>) -> Self {
         Self {
             stages,
             budget: SolveBudget::UNLIMITED,
@@ -251,7 +260,16 @@ fn run_stage(
         LadderStage::DampedNewton(cfg) => {
             meter.set_phase(SolvePhase::Newton);
             let mut state = circuit.seeded_state(x0);
-            match newton_iterate(circuit, cfg, x0, &mut state, &mut |_, _, _| {}, meter) {
+            let mut lu_ws = rlpta_linalg::LuWorkspace::new();
+            match newton_iterate(
+                circuit,
+                cfg,
+                x0,
+                &mut state,
+                &mut |_, _, _| {},
+                meter,
+                &mut lu_ws,
+            ) {
                 Ok(out) => {
                     let stats = SolveStats {
                         nr_iterations: out.iterations,
@@ -322,7 +340,7 @@ mod tests {
     #[test]
     fn ladder_escalates_past_a_crippled_newton_stage() {
         let c = diode_clamp();
-        let solver = RobustDcSolver::new(vec![
+        let solver = RobustDcSolver::from_stages(vec![
             // One Newton iteration cannot solve a diode clamp…
             LadderStage::DampedNewton(NewtonConfig {
                 max_iterations: 1,
@@ -346,7 +364,7 @@ mod tests {
             max_iterations: 1,
             ..NewtonConfig::default()
         };
-        let solver = RobustDcSolver::new(vec![
+        let solver = RobustDcSolver::from_stages(vec![
             LadderStage::DampedNewton(doomed_newton.clone()),
             LadderStage::NewtonHomotopy(NewtonHomotopy {
                 initial_step: 0.1,
@@ -388,7 +406,7 @@ mod tests {
     fn empty_ladder_is_invalid_config() {
         let c = diode_clamp();
         assert!(matches!(
-            RobustDcSolver::new(vec![]).solve(&c),
+            RobustDcSolver::from_stages(vec![]).solve(&c),
             Err(SolveError::InvalidConfig { .. })
         ));
     }
@@ -415,7 +433,7 @@ mod tests {
     #[test]
     fn nr_iteration_cap_stops_ladder() {
         let c = diode_clamp();
-        let solver = RobustDcSolver::new(vec![
+        let solver = RobustDcSolver::from_stages(vec![
             LadderStage::DampedNewton(NewtonConfig {
                 max_iterations: 1,
                 ..NewtonConfig::default()

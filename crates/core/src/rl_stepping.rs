@@ -377,6 +377,8 @@ impl StepController for RlStepping {
 
 #[cfg(test)]
 mod tests {
+    // The deprecated constructor shims stay under test until removal.
+    #![allow(deprecated)]
     use super::*;
     use crate::{PtaKind, PtaSolver};
 

@@ -3,9 +3,12 @@
 //!
 //! DC transfer curves are the natural consumer of a fast DC engine — and a
 //! stress test for it, because a sweep crosses device regions (cut-off,
-//! saturation, breakdown) point after point.
+//! saturation, breakdown) point after point. [`DcSweep::run`] delegates to
+//! [`DcEngine::sweep`](crate::DcEngine::sweep), which reuses one LU
+//! factorization workspace per warm-start chain and can distribute chunks
+//! of points across a thread pool without changing the result.
 
-use crate::{NewtonRaphson, RobustDcSolver, Solution, SolveError, SolveStats};
+use crate::{Solution, SolveError, SolveStats};
 use rlpta_mna::Circuit;
 
 /// A single sweep point: the swept source value and its solution.
@@ -15,6 +18,18 @@ pub struct SweepPoint {
     pub value: f64,
     /// Operating point at that value.
     pub solution: Solution,
+}
+
+/// Everything a finished sweep produced: the per-point solutions plus the
+/// aggregate solver statistics (total Newton iterations, LU
+/// factorizations, …) across all points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// One entry per sweep value, in sweep order.
+    pub points: Vec<SweepPoint>,
+    /// Work summed over every point; `converged` is true only when every
+    /// point converged.
+    pub stats: SolveStats,
 }
 
 /// DC sweep of one independent source (`.dc` in SPICE decks).
@@ -29,10 +44,10 @@ pub struct SweepPoint {
 ///     "divider\nV1 in 0 0\nR1 in out 1k\nR2 out 0 1k\n",
 /// )?;
 /// let sweep = DcSweep::linear("V1", 0.0, 4.0, 1.0)?;
-/// let points = sweep.run(&circuit)?;
-/// assert_eq!(points.len(), 5);
+/// let report = sweep.run(&circuit)?;
+/// assert_eq!(report.points.len(), 5);
 /// let out = circuit.node_index("out").expect("node exists");
-/// assert!((points[4].solution.x[out] - 2.0).abs() < 1e-9);
+/// assert!((report.points[4].solution.x[out] - 2.0).abs() < 1e-9);
 /// # Ok(())
 /// # }
 /// ```
@@ -98,43 +113,21 @@ impl DcSweep {
         &self.values
     }
 
-    /// Runs the sweep: each point warm-starts Newton from the previous
-    /// solution; a failed point falls back to the full [`RobustDcSolver`]
-    /// escalation ladder.
+    /// Runs the sweep serially on a default [`DcEngine`](crate::DcEngine):
+    /// each point warm-starts Newton from its predecessor in the chain and
+    /// replays the factorization pattern recorded at the first point; a
+    /// region crossing that defeats Newton falls back to the full
+    /// escalation ladder. Use [`DcEngine::sweep`](crate::DcEngine::sweep)
+    /// directly for multi-threaded runs or custom budgets — the result is
+    /// identical.
     ///
     /// # Errors
     ///
     /// * [`SolveError::InvalidConfig`] if the source does not exist,
     /// * [`SolveError::AllStrategiesFailed`] if a point defeats every rung
     ///   of the fallback ladder.
-    pub fn run(&self, circuit: &Circuit) -> Result<Vec<SweepPoint>, SolveError> {
-        let mut work = circuit.clone();
-        if !work.set_source_dc(&self.source, self.values[0]) {
-            return Err(SolveError::InvalidConfig {
-                detail: format!("no independent source named `{}`", self.source),
-            });
-        }
-        let newton = NewtonRaphson::default();
-        let mut points = Vec::with_capacity(self.values.len());
-        let mut x_prev: Option<Vec<f64>> = None;
-        let mut total = SolveStats::default();
-        for &v in &self.values {
-            work.set_source_dc(&self.source, v);
-            let attempt = match &x_prev {
-                Some(x0) => newton.solve_from(&work, x0),
-                None => newton.solve(&work),
-            };
-            let solution = match attempt {
-                Ok(sol) => sol,
-                // Region crossings can defeat a warm-started Newton; the
-                // escalation ladder recovers from scratch.
-                Err(_) => RobustDcSolver::default().solve(&work)?,
-            };
-            total.absorb(&solution.stats);
-            x_prev = Some(solution.x.clone());
-            points.push(SweepPoint { value: v, solution });
-        }
-        Ok(points)
+    pub fn run(&self, circuit: &Circuit) -> Result<SweepReport, SolveError> {
+        crate::DcEngine::builder().build().sweep(circuit, self)
     }
 }
 
@@ -172,16 +165,19 @@ mod tests {
             rlpta_netlist::parse("t\nV1 in 0 0\nR1 in a 100\nD1 a 0 DX\n.model DX D(IS=1e-14)\n")
                 .unwrap();
         let sweep = DcSweep::linear("V1", 0.0, 2.0, 0.25).unwrap();
-        let points = sweep.run(&c).unwrap();
+        let report = sweep.run(&c).unwrap();
         let a = c.node_index("a").unwrap();
         let mut prev = -1.0;
-        for p in &points {
+        for p in &report.points {
             let va = p.solution.x[a];
             assert!(va >= prev - 1e-9, "monotone junction voltage");
             prev = va;
         }
         // Junction clamps below a volt even at v_in = 2.
         assert!(prev < 1.0, "clamped at {prev}");
+        // Aggregate stats must reflect real work across all points.
+        assert!(report.stats.converged);
+        assert!(report.stats.nr_iterations >= report.points.len());
     }
 
     #[test]
@@ -197,13 +193,14 @@ mod tests {
         )
         .unwrap();
         let sweep = DcSweep::linear("V2", 0.0, 5.0, 0.5).unwrap();
-        let points = sweep.run(&c).unwrap();
+        let report = sweep.run(&c).unwrap();
         let out = c.node_index("out").unwrap();
+        let points = &report.points;
         assert!(points.first().unwrap().solution.x[out] > 4.5);
         assert!(points.last().unwrap().solution.x[out] < 0.5);
         // Output must be monotonically non-increasing along the sweep.
         let mut prev = f64::INFINITY;
-        for p in &points {
+        for p in points {
             assert!(p.solution.x[out] <= prev + 1e-6);
             prev = p.solution.x[out];
         }
@@ -213,9 +210,9 @@ mod tests {
     fn current_source_sweep() {
         let c = rlpta_netlist::parse("t\nI1 0 a 0\nR1 a 0 1k\n").unwrap();
         let sweep = DcSweep::linear("I1", 0.0, 5e-3, 1e-3).unwrap();
-        let points = sweep.run(&c).unwrap();
+        let report = sweep.run(&c).unwrap();
         let a = c.node_index("a").unwrap();
-        for p in &points {
+        for p in &report.points {
             assert!((p.solution.x[a] - 1e3 * p.value).abs() < 1e-9);
         }
     }

@@ -20,15 +20,16 @@ pub struct TraceEntry {
 /// # Example
 ///
 /// ```
-/// use rlpta_core::{PtaKind, PtaSolver, SimpleStepping, TraceController};
+/// use rlpta_core::{PtaConfig, PtaKind, PtaSolver, SimpleStepping, TraceController};
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let c = rlpta_netlist::parse(
 ///     "t\nV1 in 0 5\nR1 in out 1k\nD1 out 0 DX\n.model DX D(IS=1e-14)",
 /// )?;
-/// let mut solver = PtaSolver::new(
+/// let mut solver = PtaSolver::with_config(
 ///     PtaKind::dpta(),
 ///     TraceController::new(SimpleStepping::default()),
+///     PtaConfig::default(),
 /// );
 /// let sol = solver.solve(&c)?;
 /// let trace = solver.controller_mut().entries();
@@ -109,6 +110,8 @@ impl<C: StepController> StepController for TraceController<C> {
 
 #[cfg(test)]
 mod tests {
+    // The deprecated constructor shims stay under test until removal.
+    #![allow(deprecated)]
     use super::*;
     use crate::{PtaKind, PtaSolver, SimpleStepping};
 

@@ -240,6 +240,10 @@ impl Transient {
         let mut t = 0.0;
         let mut h = self.h;
         let mut halvings = 0usize;
+        // Companion-model stamps keep a fixed pattern across time steps
+        // (only conductance values track the step size), so every point
+        // replays one symbolic analysis.
+        let mut lu_ws = rlpta_linalg::LuWorkspace::new();
         // Stop when the remaining interval is a negligible fraction of the
         // nominal step: float accumulation otherwise leaves a ~1e-19 s
         // sliver whose companion conductance C/h overflows any tolerance.
@@ -283,8 +287,15 @@ impl Transient {
                 }
             };
             let saved_state = state.clone();
-            let out =
-                newton_iterate(&work, &self.newton, &x, &mut state, &mut companion, &mut meter)?;
+            let out = newton_iterate(
+                &work,
+                &self.newton,
+                &x,
+                &mut state,
+                &mut companion,
+                &mut meter,
+                &mut lu_ws,
+            )?;
             stats.nr_iterations += out.iterations;
             stats.lu_factorizations += out.lu_factorizations;
             if out.converged {

@@ -11,8 +11,8 @@
 //! Requires `--features faults`.
 
 use rlpta_core::{
-    FaultPlan, GminStepping, LadderStage, NewtonConfig, NewtonHomotopy, PtaConfig, RobustDcSolver,
-    SolveBudget, SolveError, SourceStepping,
+    DcEngine, FaultPlan, GminStepping, LadderStage, NewtonConfig, NewtonHomotopy, PtaConfig,
+    RobustDcSolver, SolveBudget, SolveError, SourceStepping,
 };
 use rlpta_mna::Circuit;
 use std::time::Duration;
@@ -32,12 +32,12 @@ fn chaos_circuits() -> Vec<(&'static str, Circuit)> {
 
 /// A deliberately small ladder so a run where *every* stage fails still
 /// finishes in milliseconds and produces a full trail.
-fn tiny_ladder() -> RobustDcSolver {
+fn tiny_stages() -> Vec<LadderStage> {
     let newton = NewtonConfig {
         max_iterations: 10,
         ..NewtonConfig::default()
     };
-    RobustDcSolver::new(vec![
+    vec![
         LadderStage::DampedNewton(newton.clone()),
         LadderStage::GminStepping(GminStepping {
             newton: newton.clone(),
@@ -63,10 +63,16 @@ fn tiny_ladder() -> RobustDcSolver {
             newton,
             ..NewtonHomotopy::default()
         }),
-    ])
-    // Backstop against hangs; generous enough that the tiny stages finish
-    // long before it trips.
-    .with_budget(SolveBudget::with_deadline(Duration::from_secs(30)))
+    ]
+}
+
+/// The tiny ladder on a serial engine, with a wall-clock backstop against
+/// hangs; generous enough that the tiny stages finish long before it trips.
+fn tiny_engine() -> DcEngine {
+    DcEngine::builder()
+        .ladder(tiny_stages())
+        .budget(SolveBudget::with_deadline(Duration::from_secs(30)))
+        .build()
 }
 
 const STAGE_NAMES: [&str; 6] = [
@@ -95,7 +101,7 @@ fn constant_fault_plans(seed: u64) -> Vec<(&'static str, FaultPlan)> {
 #[test]
 fn constant_faults_produce_full_attempt_trails() {
     let circuits = chaos_circuits();
-    let solver = tiny_ladder();
+    let solver = tiny_engine();
     let mut runs = 0usize;
     for seed in 0..6u64 {
         for (fault_name, plan) in constant_fault_plans(seed) {
@@ -136,7 +142,7 @@ fn constant_faults_produce_full_attempt_trails() {
 #[test]
 fn intermittent_faults_never_panic_or_hang() {
     let circuits = chaos_circuits();
-    let solver = tiny_ladder();
+    let solver = tiny_engine();
     let mut runs = 0usize;
     for seed in 0..6u64 {
         let period = 2 + seed % 5;
@@ -191,4 +197,46 @@ fn cleared_plan_restores_clean_behavior() {
     let clean = solver.solve(&c).expect("clean solve after clear()");
     assert!(clean.stats.converged);
     assert!(clean.x.iter().all(|v| v.is_finite()));
+}
+
+/// Fault injection inside *pooled* workers: [`FaultPlan`] state is
+/// thread-local, so the engine must re-install the plan inside every job.
+/// Each faulted job must surface a structured per-job error — no panic
+/// escapes, no slot is lost, and the pool is not poisoned for clean work
+/// afterwards.
+#[test]
+fn pooled_workers_surface_faults_as_structured_errors() {
+    let circuits: Vec<Circuit> = chaos_circuits().into_iter().map(|(_, c)| c).collect();
+    let faulted = DcEngine::builder()
+        .ladder(tiny_stages())
+        .budget(SolveBudget::with_deadline(Duration::from_secs(30)))
+        .threads(3)
+        .fault_plan(FaultPlan::seeded(11).singular_pivots(1))
+        .build();
+    let results = faulted.solve_batch(&circuits);
+    assert_eq!(results.len(), circuits.len(), "one result slot per job");
+    for (i, result) in results.iter().enumerate() {
+        match result {
+            Err(SolveError::AllStrategiesFailed { attempts }) => {
+                assert_eq!(attempts.len(), STAGE_NAMES.len(), "job {i}");
+                for (attempt, expected) in attempts.iter().zip(STAGE_NAMES) {
+                    assert_eq!(attempt.strategy, expected, "job {i}");
+                }
+            }
+            other => panic!("job {i}: expected AllStrategiesFailed, got {other:?}"),
+        }
+    }
+    // Same engine shape minus the plan: the pool must be fully usable and
+    // the previous faults must not leak into new worker threads.
+    let clean = DcEngine::builder()
+        .ladder(tiny_stages())
+        .budget(SolveBudget::with_deadline(Duration::from_secs(30)))
+        .threads(3)
+        .build()
+        .solve_batch(&circuits);
+    for (i, result) in clean.into_iter().enumerate() {
+        let sol = result.unwrap_or_else(|e| panic!("clean job {i} failed: {e}"));
+        assert!(sol.stats.converged, "job {i}");
+        assert!(sol.x.iter().all(|v| v.is_finite()), "job {i}");
+    }
 }

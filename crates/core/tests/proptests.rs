@@ -3,8 +3,8 @@
 
 use proptest::prelude::*;
 use rlpta_core::{
-    NewtonRaphson, PtaKind, PtaSolver, RobustDcSolver, SerStepping, SimpleStepping, SolveBudget,
-    SolveError, StepController, StepObservation,
+    DcEngine, DcSweep, NewtonRaphson, PtaConfig, PtaKind, PtaSolver, RobustDcSolver, SerStepping,
+    SimpleStepping, SolveBudget, SolveError, StepController, StepObservation,
 };
 
 /// Builds an n-stage resistor ladder deck driven by `v` volts.
@@ -51,7 +51,11 @@ proptest! {
         );
         let c = rlpta_netlist::parse(&deck).expect("parses");
         let newton = NewtonRaphson::default().solve(&c).expect("newton");
-        let mut pta = PtaSolver::new(PtaKind::dpta(), SimpleStepping::default());
+        let mut pta = PtaSolver::with_config(
+            PtaKind::dpta(),
+            SimpleStepping::default(),
+            PtaConfig::default(),
+        );
         let sol = pta.solve(&c).expect("pta");
         for (a, b) in sol.x.iter().zip(&newton.x) {
             prop_assert!((a - b).abs() < 1e-4 * (1.0 + b.abs()), "{a} vs {b}");
@@ -112,6 +116,40 @@ proptest! {
         let c = rlpta_netlist::parse(&ladder_deck(n, v, 1.0)).expect("parses");
         let sol = NewtonRaphson::default().solve(&c).expect("solves");
         prop_assert!(sol.residual_norm(&c) < 1e-9 * (1.0 + v.abs()));
+    }
+
+    /// Chunked parallel sweeps are **bit-identical** to serial sweeps for
+    /// every sweep length, chunk size and thread count: the chunk layout —
+    /// not the scheduler — determines the warm-start chain of every point.
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_serial(
+        n_points in 2usize..18,
+        chunk in 1usize..9,
+        threads in 2usize..6,
+        v_stop in 0.5f64..5.0,
+    ) {
+        let c = rlpta_netlist::parse(
+            "t\nV1 in 0 0\nR1 in a 100\nD1 a 0 DX\n.model DX D(IS=1e-14)\n",
+        )
+        .expect("parses");
+        let values: Vec<f64> = (0..n_points)
+            .map(|i| v_stop * i as f64 / (n_points - 1) as f64)
+            .collect();
+        let sweep = DcSweep::new("V1", values).expect("valid sweep");
+        let serial = DcEngine::builder()
+            .threads(1)
+            .sweep_chunk(chunk)
+            .build()
+            .sweep(&c, &sweep)
+            .expect("serial sweep");
+        let parallel = DcEngine::builder()
+            .threads(threads)
+            .sweep_chunk(chunk)
+            .build()
+            .sweep(&c, &sweep)
+            .expect("parallel sweep");
+        // PartialEq on f64 vectors: bitwise-identical solutions and stats.
+        prop_assert_eq!(serial, parallel);
     }
 
     /// The escalation ladder is total: random — including badly scaled —

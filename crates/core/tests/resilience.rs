@@ -3,18 +3,18 @@
 //! on the benchmark suites.
 
 use rlpta_core::{
-    GminStepping, LadderStage, NewtonConfig, NewtonHomotopy, NewtonRaphson, PtaConfig, PtaKind,
-    PtaSolver, RobustDcSolver, SimpleStepping, SolveBudget, SolveError, SourceStepping,
+    DcEngine, GminStepping, LadderStage, NewtonConfig, NewtonHomotopy, NewtonRaphson, PtaConfig,
+    PtaKind, PtaSolver, RobustDcSolver, SimpleStepping, SolveBudget, SolveError, SourceStepping,
 };
 use std::time::{Duration, Instant};
 
-/// A configuration that grinds essentially forever: Newton converges at
-/// every pseudo-time point, but the steady-state tolerance is unreachable,
-/// so every step is *accepted* and the march would run its hundred-million
+/// A ladder that grinds essentially forever: Newton converges at every
+/// pseudo-time point, but the steady-state tolerance is unreachable, so
+/// every step is *accepted* and the march would run its hundred-million
 /// step budget. Only the wall-clock deadline can stop it — in any build
 /// profile.
-fn grinding_ladder() -> RobustDcSolver {
-    RobustDcSolver::new(vec![LadderStage::Cepta(PtaConfig {
+fn grinding_stages() -> Vec<LadderStage> {
+    vec![LadderStage::Cepta(PtaConfig {
         max_steps: 100_000_000,
         steady_ftol: 1e-300,
         newton: NewtonConfig {
@@ -22,7 +22,7 @@ fn grinding_ladder() -> RobustDcSolver {
             ..NewtonConfig::default()
         },
         ..PtaConfig::default()
-    })])
+    })]
 }
 
 #[test]
@@ -31,9 +31,12 @@ fn budget_deadline_holds_within_factor_two() {
         .expect("known benchmark")
         .circuit;
     let deadline = Duration::from_millis(250);
-    let solver = grinding_ladder().with_budget(SolveBudget::with_deadline(deadline));
+    let engine = DcEngine::builder()
+        .ladder(grinding_stages())
+        .budget(SolveBudget::with_deadline(deadline))
+        .build();
     let t0 = Instant::now();
-    let result = solver.solve(&c);
+    let result = engine.solve(&c);
     let elapsed = t0.elapsed();
     match result {
         Err(SolveError::BudgetExhausted { stats, .. }) => {
@@ -68,12 +71,20 @@ fn ladder_dominates_every_individual_strategy() {
         let individual_solved = NewtonRaphson::default().solve(&c).is_ok()
             || GminStepping::default().solve(&c).is_ok()
             || SourceStepping::default().solve(&c).is_ok()
-            || PtaSolver::new(PtaKind::cepta(), SimpleStepping::default())
-                .solve(&c)
-                .is_ok()
-            || PtaSolver::new(PtaKind::dpta(), SimpleStepping::default())
-                .solve(&c)
-                .is_ok()
+            || PtaSolver::with_config(
+                PtaKind::cepta(),
+                SimpleStepping::default(),
+                PtaConfig::default(),
+            )
+            .solve(&c)
+            .is_ok()
+            || PtaSolver::with_config(
+                PtaKind::dpta(),
+                SimpleStepping::default(),
+                PtaConfig::default(),
+            )
+            .solve(&c)
+            .is_ok()
             || NewtonHomotopy::default().solve(&c).is_ok();
         if individual_solved {
             let sol = robust

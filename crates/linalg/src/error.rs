@@ -28,6 +28,15 @@ pub enum LinalgError {
         /// Row where the negative diagonal was encountered.
         row: usize,
     },
+    /// A numeric refactorization found the matrix incompatible with the
+    /// recorded symbolic pattern — either an entry outside the pattern, or a
+    /// pivot that degraded so far that the recorded pivot sequence is no
+    /// longer safe. Recoverable: redo the full (symbolic + numeric)
+    /// factorization, which re-pivots.
+    PatternChanged {
+        /// Elimination step at which the mismatch was detected.
+        step: usize,
+    },
 }
 
 impl fmt::Display for LinalgError {
@@ -44,6 +53,12 @@ impl fmt::Display for LinalgError {
             }
             LinalgError::NotPositiveDefinite { row } => {
                 write!(f, "matrix is not positive definite (row {row})")
+            }
+            LinalgError::PatternChanged { step } => {
+                write!(
+                    f,
+                    "matrix no longer matches the recorded symbolic pattern (step {step})"
+                )
             }
         }
     }

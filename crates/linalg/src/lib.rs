@@ -48,9 +48,11 @@ pub mod norms;
 mod ordering;
 mod sparse;
 mod sparse_lu;
+mod symbolic;
 
 pub use dense::{Cholesky, DenseLu, DenseMatrix};
 pub use error::LinalgError;
 pub use ordering::ColumnOrdering;
 pub use sparse::{CsrMatrix, Triplet};
 pub use sparse_lu::SparseLu;
+pub use symbolic::{LuStats, LuWorkspace, SymbolicLu};

@@ -200,6 +200,25 @@ impl CsrMatrix {
         }
     }
 
+    /// The raw row-pointer array (`rows + 1` entries). Together with
+    /// [`CsrMatrix::col_indices`] it defines the sparsity structure — two
+    /// matrices with equal arrays are structurally identical entry for
+    /// entry, which is what [`crate::SymbolicLu`] checks before replaying
+    /// its precomputed scatter plan.
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// The raw column-index array, in row-major entry order.
+    pub fn col_indices(&self) -> &[usize] {
+        &self.col_indices
+    }
+
+    /// The raw value array, aligned with [`CsrMatrix::col_indices`].
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
     /// Borrows the column indices and values of one row.
     ///
     /// # Panics

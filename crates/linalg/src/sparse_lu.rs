@@ -41,22 +41,22 @@ const EMPTY: usize = usize::MAX;
 /// ```
 #[derive(Debug, Clone)]
 pub struct SparseLu {
-    n: usize,
+    pub(crate) n: usize,
     /// L stored by column (strictly below the pivot; unit diagonal implicit).
     /// Row indices are *original* row ids.
-    l_ptr: Vec<usize>,
-    l_rows: Vec<usize>,
-    l_vals: Vec<f64>,
+    pub(crate) l_ptr: Vec<usize>,
+    pub(crate) l_rows: Vec<usize>,
+    pub(crate) l_vals: Vec<f64>,
     /// U stored by column; row indices are *pivot positions* `< j`.
-    u_ptr: Vec<usize>,
-    u_rows: Vec<usize>,
-    u_vals: Vec<f64>,
+    pub(crate) u_ptr: Vec<usize>,
+    pub(crate) u_rows: Vec<usize>,
+    pub(crate) u_vals: Vec<f64>,
     /// Diagonal of U per pivot position.
-    u_diag: Vec<f64>,
+    pub(crate) u_diag: Vec<f64>,
     /// `p[j]` = original row pivoted at step `j`.
-    p: Vec<usize>,
+    pub(crate) p: Vec<usize>,
     /// Column permutation: column `q[j]` of `A` eliminated at step `j`.
-    q: Vec<usize>,
+    pub(crate) q: Vec<usize>,
 }
 
 impl SparseLu {
@@ -235,12 +235,15 @@ impl SparseLu {
                     continue;
                 }
                 let pos = pinv[r];
+                // Exact-zero entries (summed-to-zero MNA stamps, exact
+                // cancellation) stay *structural*: dropping them here would
+                // record a value-dependent pattern that a later
+                // [`SymbolicLu::refactorize`] of the same structure could
+                // fall outside of. The numeric loops skip zeros anyway.
                 if pos != EMPTY {
-                    if v != 0.0 {
-                        lu.u_rows.push(pos);
-                        lu.u_vals.push(v);
-                    }
-                } else if v != 0.0 {
+                    lu.u_rows.push(pos);
+                    lu.u_vals.push(v);
+                } else {
                     lu.l_rows.push(r);
                     lu.l_vals.push(v / pivot);
                 }

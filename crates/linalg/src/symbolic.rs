@@ -1,0 +1,738 @@
+//! Symbolic/numeric split of the Gilbert–Peierls factorization.
+//!
+//! A Newton–Raphson solve factorizes the same Jacobian *pattern* hundreds of
+//! times with different values: the MNA stamping in `rlpta-mna` keeps
+//! summed-to-zero entries structural, so the sparsity pattern is fixed across
+//! iterations, PTA steps and sweep points of one circuit. The expensive part
+//! of [`SparseLu::factorize`] that depends only on the pattern — the
+//! per-column depth-first search over the graph of `L`, the topological
+//! ordering, the pivot sequence and the fill-in pattern — can therefore be
+//! computed once and replayed.
+//!
+//! [`SymbolicLu`] records that replayable state (KLU-style): the row/column
+//! permutations `p`/`q` and the exact `L`/`U` pattern of a completed
+//! factorization. [`SymbolicLu::refactorize`] then performs the numeric-only
+//! left-looking pass inside the recorded pattern — no DFS, no pivot search —
+//! and produces a [`SparseLu`] that is bit-identical to what the full
+//! factorization would compute, at a fraction of the cost.
+//!
+//! Refactorization is *guarded*: if the new matrix has an entry outside the
+//! recorded pattern (e.g. a Gmin bump added diagonal entries), or a recorded
+//! pivot decays below [`SymbolicLu::REFACTOR_PIVOT_THRESHOLD`] of its
+//! column maximum, it fails with [`LinalgError::PatternChanged`] and the
+//! caller redoes the full factorization (which re-pivots). [`LuWorkspace`]
+//! packages that retry policy: call [`LuWorkspace::factorize`] every
+//! iteration and it transparently uses the cheap path when it can.
+
+use crate::{CsrMatrix, LinalgError, SparseLu};
+
+const EMPTY: usize = usize::MAX;
+
+/// The pattern half of a completed [`SparseLu`] factorization: permutations
+/// plus `L`/`U` sparsity structure, with no numeric values.
+///
+/// Obtained from [`SparseLu::symbolic`]; consumed by
+/// [`SymbolicLu::refactorize`]. Immutable and cheap to clone relative to a
+/// full factorization (plain index vectors, no graph work).
+#[derive(Debug, Clone)]
+pub struct SymbolicLu {
+    n: usize,
+    /// `p[j]` = original row pivoted at step `j`.
+    p: Vec<usize>,
+    /// Column permutation: column `q[j]` of `A` eliminated at step `j`.
+    q: Vec<usize>,
+    /// Inverse of `p`: `pinv[orig_row]` = pivot position.
+    pinv: Vec<usize>,
+    /// Pattern of `L` by column (original row ids, strictly below pivot).
+    l_ptr: Vec<usize>,
+    l_rows: Vec<usize>,
+    /// `pinv[l_rows[m]]` precomputed — the dense-workspace position every
+    /// `L` entry updates, so the hot replay loop does no indirection.
+    l_pos: Vec<usize>,
+    /// Pattern of `U` by column (pivot positions `< j`), stored in a valid
+    /// topological order for the left-looking triangular solve.
+    u_ptr: Vec<usize>,
+    u_rows: Vec<usize>,
+    /// Fast replay plan for matrices structurally identical to the one the
+    /// pattern was recorded from. [`SparseLu::factorize`] keeps exact zeros
+    /// structural, so a pattern recorded from the factorization of `a`
+    /// itself always validates; `None` is a defensive fallback to the
+    /// guarded general path.
+    plan: Option<ScatterPlan>,
+}
+
+/// Precomputed column-major traversal of the recorded `A` structure: where
+/// every raw CSR value of `A` lands in the dense replay workspace. Valid
+/// only while `A`'s structure matches the recorded `row_ptr`/`col_indices`
+/// arrays exactly, which the replay verifies with two slice compares.
+#[derive(Debug, Clone)]
+struct ScatterPlan {
+    a_row_ptr: Vec<usize>,
+    a_col_indices: Vec<usize>,
+    /// Per processing column `j`: entries `csc_ptr[j]..csc_ptr[j + 1]` of
+    /// `src`/`dst`.
+    csc_ptr: Vec<usize>,
+    /// Index into `A.values()` of each entry, column-major order.
+    src: Vec<usize>,
+    /// Dense-workspace (pivot-position) destination of each entry.
+    dst: Vec<usize>,
+}
+
+impl SparseLu {
+    /// Extracts the reusable symbolic pattern of this factorization.
+    ///
+    /// `a` must be the matrix this factorization was computed from; its
+    /// structure is recorded so later [`SymbolicLu::refactorize`] calls on
+    /// structurally identical matrices can replay through a precomputed
+    /// scatter plan with no per-entry pattern checks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` has different dimensions than the factorization.
+    pub fn symbolic(&self, a: &CsrMatrix) -> SymbolicLu {
+        assert_eq!(a.rows(), self.n, "pattern/matrix row mismatch");
+        assert_eq!(a.cols(), self.n, "pattern/matrix column mismatch");
+        let n = self.n;
+        let mut pinv = vec![EMPTY; n];
+        for (j, &row) in self.p.iter().enumerate() {
+            pinv[row] = j;
+        }
+        let l_pos: Vec<usize> = self.l_rows.iter().map(|&r| pinv[r]).collect();
+        let mut sym = SymbolicLu {
+            n,
+            p: self.p.clone(),
+            q: self.q.clone(),
+            pinv,
+            l_ptr: self.l_ptr.clone(),
+            l_rows: self.l_rows.clone(),
+            l_pos,
+            u_ptr: self.u_ptr.clone(),
+            u_rows: self.u_rows.clone(),
+            plan: None,
+        };
+        sym.plan = sym.build_plan(a);
+        sym
+    }
+}
+
+impl SymbolicLu {
+    /// Relative pivot-decay tolerance for refactorization. The recorded
+    /// pivot row is accepted while `|pivot| >= threshold * max_i |x_i|` over
+    /// the not-yet-pivoted rows of the column; below that the recorded pivot
+    /// sequence is considered numerically unsafe and the refactorization
+    /// bails out so the caller can re-pivot via a full factorization. One
+    /// decade looser than [`SparseLu::PIVOT_THRESHOLD`], since the recorded
+    /// sequence was chosen against the threshold on a nearby matrix.
+    pub const REFACTOR_PIVOT_THRESHOLD: f64 = 0.01;
+
+    /// Dimension of the recorded system.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Numeric-only factorization of `a` inside the recorded pattern.
+    ///
+    /// Replays the recorded pivot sequence and fill pattern with the values
+    /// of `a`; given the matrix the pattern was recorded from, the result is
+    /// bit-identical to [`SparseLu::factorize`] (same operations in the same
+    /// order) at a fraction of the cost.
+    ///
+    /// When `a` is structurally identical to the recorded matrix (two slice
+    /// compares against the recorded `row_ptr`/`col_indices`), the replay
+    /// runs through a precomputed scatter plan: no transpose, no per-entry
+    /// pattern checks, no permutation lookups in the inner loop — only the
+    /// numeric work and the pivot-decay guard. Otherwise (an entry dropped,
+    /// or no plan was recordable) a guarded general replay checks every
+    /// entry against the pattern.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::DimensionMismatch`] — `a` is not `n × n`.
+    /// * [`LinalgError::PatternChanged`] — `a` has an entry outside the
+    ///   recorded pattern, or a pivot decayed below
+    ///   [`SymbolicLu::REFACTOR_PIVOT_THRESHOLD`] of its column maximum.
+    ///   Recoverable: redo [`SparseLu::factorize`], which re-pivots.
+    /// * [`LinalgError::Singular`] — only under the `faults` feature, via
+    ///   the same seeded injection hook as the full factorization.
+    pub fn refactorize(&self, a: &CsrMatrix) -> Result<SparseLu, LinalgError> {
+        if a.rows() != self.n || a.cols() != self.n {
+            return Err(LinalgError::DimensionMismatch {
+                found: format!("{}x{}", a.rows(), a.cols()),
+                expected: format!("{n}x{n}", n = self.n),
+            });
+        }
+        // Injected fault, mirroring `SparseLu::factorize_with`: the numeric
+        // path must exercise the same recovery ladders as the full path.
+        #[cfg(feature = "faults")]
+        if crate::faults::fire_singular() {
+            return Err(LinalgError::Singular {
+                step: 0,
+                pivot: 0.0,
+            });
+        }
+        if let Some(plan) = &self.plan {
+            if plan.a_row_ptr == a.row_ptr() && plan.a_col_indices == a.col_indices() {
+                return self.replay_exact(a, plan);
+            }
+        }
+        self.replay_general(a)
+    }
+
+    /// An empty numeric shell over the recorded pattern, ready for a replay
+    /// to fill in.
+    fn empty_lu(&self) -> SparseLu {
+        SparseLu {
+            n: self.n,
+            l_ptr: self.l_ptr.clone(),
+            l_rows: self.l_rows.clone(),
+            l_vals: vec![0.0; self.l_rows.len()],
+            u_ptr: self.u_ptr.clone(),
+            u_rows: self.u_rows.clone(),
+            u_vals: vec![0.0; self.u_rows.len()],
+            u_diag: vec![0.0; self.n],
+            p: self.p.clone(),
+            q: self.q.clone(),
+        }
+    }
+
+    /// Checks the recorded pivot for column `j` against the decay
+    /// threshold, then commits the pivot and the scaled `L` column.
+    #[inline]
+    fn commit_column(
+        &self,
+        lu: &mut SparseLu,
+        x: &[f64],
+        j: usize,
+        ll: usize,
+        lh: usize,
+    ) -> Result<(), LinalgError> {
+        let pivot = x[j];
+        let mut max_abs = pivot.abs();
+        for k in ll..lh {
+            max_abs = max_abs.max(x[self.l_pos[k]].abs());
+        }
+        let pivot_safe = pivot.is_finite()
+            && pivot.abs() >= f64::MIN_POSITIVE
+            && pivot.abs() >= Self::REFACTOR_PIVOT_THRESHOLD * max_abs;
+        if !pivot_safe {
+            // NaN/Inf pivots and NaN column maxima fail the comparisons
+            // and land here too.
+            return Err(LinalgError::PatternChanged { step: j });
+        }
+        lu.u_diag[j] = pivot;
+        for k in ll..lh {
+            lu.l_vals[k] = x[self.l_pos[k]] / pivot;
+        }
+        Ok(())
+    }
+
+    /// The hot path: structure already verified equal to the recorded
+    /// matrix, so scatter through the plan and run the bare numeric loop.
+    fn replay_exact(&self, a: &CsrMatrix, plan: &ScatterPlan) -> Result<SparseLu, LinalgError> {
+        let n = self.n;
+        let vals = a.values();
+        let mut lu = self.empty_lu();
+        // Dense workspace indexed by *pivot position*.
+        let mut x = vec![0.0; n];
+        for j in 0..n {
+            let ul = lu.u_ptr[j];
+            let uh = lu.u_ptr[j + 1];
+            let ll = lu.l_ptr[j];
+            let lh = lu.l_ptr[j + 1];
+
+            // Clear the recorded pattern of this column, then scatter
+            // A(:, q[j]) through the precomputed positions.
+            for k in ul..uh {
+                x[lu.u_rows[k]] = 0.0;
+            }
+            x[j] = 0.0;
+            for k in ll..lh {
+                x[self.l_pos[k]] = 0.0;
+            }
+            for t in plan.csc_ptr[j]..plan.csc_ptr[j + 1] {
+                x[plan.dst[t]] = vals[plan.src[t]];
+            }
+
+            // Numeric left-looking triangular solve: the recorded U entries
+            // are stored in a valid topological order, so a linear sweep
+            // replays the same floating-point operations as the full
+            // factorization's DFS-ordered solve. The plan's closure check
+            // guarantees every update lands inside the cleared pattern.
+            for k in ul..uh {
+                let pos = lu.u_rows[k];
+                let xj = x[pos];
+                lu.u_vals[k] = xj;
+                if xj != 0.0 {
+                    for m in lu.l_ptr[pos]..lu.l_ptr[pos + 1] {
+                        x[self.l_pos[m]] -= lu.l_vals[m] * xj;
+                    }
+                }
+            }
+
+            self.commit_column(&mut lu, &x, j, ll, lh)?;
+        }
+        Ok(lu)
+    }
+
+    /// The guarded path for matrices whose structure deviates from the
+    /// recorded one (an entry dropped to structural zero, or no plan):
+    /// every scatter and every update is checked against the pattern.
+    fn replay_general(&self, a: &CsrMatrix) -> Result<SparseLu, LinalgError> {
+        let n = self.n;
+        let at = a.transpose();
+        let mut lu = self.empty_lu();
+
+        // Dense workspace indexed by *pivot position*, plus a per-column
+        // stamp marking which positions belong to the recorded pattern.
+        let mut x = vec![0.0; n];
+        let mut mark = vec![EMPTY; n];
+
+        for j in 0..n {
+            let ul = lu.u_ptr[j];
+            let uh = lu.u_ptr[j + 1];
+            let ll = lu.l_ptr[j];
+            let lh = lu.l_ptr[j + 1];
+
+            // Mark and clear the recorded pattern of this column.
+            for k in ul..uh {
+                mark[lu.u_rows[k]] = j;
+                x[lu.u_rows[k]] = 0.0;
+            }
+            mark[j] = j;
+            x[j] = 0.0;
+            for k in ll..lh {
+                let pos = self.l_pos[k];
+                mark[pos] = j;
+                x[pos] = 0.0;
+            }
+
+            // Scatter A(:, q[j]); every entry must land inside the pattern.
+            let (a_rows, a_vals) = at.row(self.q[j]);
+            for (&r, &v) in a_rows.iter().zip(a_vals) {
+                let pos = self.pinv[r];
+                if mark[pos] != j {
+                    return Err(LinalgError::PatternChanged { step: j });
+                }
+                x[pos] = v;
+            }
+
+            // Checked left-looking triangular solve (same operation order
+            // as the exact replay and the full factorization).
+            for k in ul..uh {
+                let pos = lu.u_rows[k];
+                let xj = x[pos];
+                lu.u_vals[k] = xj;
+                if xj != 0.0 {
+                    for m in lu.l_ptr[pos]..lu.l_ptr[pos + 1] {
+                        let target = self.l_pos[m];
+                        if mark[target] != j {
+                            // Update lands outside the recorded pattern —
+                            // not representable, re-pivot from scratch.
+                            return Err(LinalgError::PatternChanged { step: j });
+                        }
+                        x[target] -= lu.l_vals[m] * xj;
+                    }
+                }
+            }
+
+            self.commit_column(&mut lu, &x, j, ll, lh)?;
+        }
+        Ok(lu)
+    }
+
+    /// Builds the exact-structure replay plan: column-major traversal of
+    /// `a`'s raw CSR entries with their workspace destinations. Returns
+    /// `None` when the recorded pattern is not closed under the replay's
+    /// scatters and updates; since [`SparseLu::factorize`] keeps exact
+    /// zeros structural, that cannot happen for the matrix the pattern was
+    /// recorded from, and `None` only defends against a caller passing a
+    /// mismatched `a` — those replays take the guarded general path.
+    fn build_plan(&self, a: &CsrMatrix) -> Option<ScatterPlan> {
+        let n = self.n;
+        let row_ptr = a.row_ptr();
+        let col_indices = a.col_indices();
+        // Bucket A's CSR entries by original column, preserving the
+        // increasing-row order the transpose-based path scatters in.
+        let mut col_entries: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+        for r in 0..n {
+            for idx in row_ptr[r]..row_ptr[r + 1] {
+                col_entries[col_indices[idx]].push((idx, r));
+            }
+        }
+        let mut mark = vec![EMPTY; n];
+        let mut csc_ptr = Vec::with_capacity(n + 1);
+        let mut src = Vec::with_capacity(a.nnz());
+        let mut dst = Vec::with_capacity(a.nnz());
+        csc_ptr.push(0);
+        for j in 0..n {
+            for k in self.u_ptr[j]..self.u_ptr[j + 1] {
+                mark[self.u_rows[k]] = j;
+            }
+            mark[j] = j;
+            for k in self.l_ptr[j]..self.l_ptr[j + 1] {
+                mark[self.l_pos[k]] = j;
+            }
+            // Every A entry of this column must land inside the pattern.
+            for &(idx, r) in &col_entries[self.q[j]] {
+                let pos = self.pinv[r];
+                if mark[pos] != j {
+                    return None;
+                }
+                src.push(idx);
+                dst.push(pos);
+            }
+            csc_ptr.push(src.len());
+            // Every update target of the triangular pass must land inside
+            // the pattern *whatever the values*: validating the closure
+            // here once lets the exact replay skip all per-entry checks.
+            for k in self.u_ptr[j]..self.u_ptr[j + 1] {
+                let pos = self.u_rows[k];
+                for m in self.l_ptr[pos]..self.l_ptr[pos + 1] {
+                    if mark[self.l_pos[m]] != j {
+                        return None;
+                    }
+                }
+            }
+        }
+        Some(ScatterPlan {
+            a_row_ptr: row_ptr.to_vec(),
+            a_col_indices: col_indices.to_vec(),
+            csc_ptr,
+            src,
+            dst,
+        })
+    }
+}
+
+/// Counters describing how a [`LuWorkspace`] serviced its factorization
+/// requests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LuStats {
+    /// Full (symbolic + numeric) factorizations performed.
+    pub full_factorizations: u64,
+    /// Cheap numeric-only refactorizations performed.
+    pub refactorizations: u64,
+    /// Refactorization attempts that bailed out (pattern change or pivot
+    /// decay) and fell back to a full factorization. Each fallback is also
+    /// counted in `full_factorizations`.
+    pub fallbacks: u64,
+}
+
+/// A factorization cache for repeated solves on one matrix pattern.
+///
+/// Call [`LuWorkspace::factorize`] wherever [`SparseLu::factorize`] was
+/// called in a loop: the first call does the full factorization and records
+/// its [`SymbolicLu`]; subsequent calls replay the pattern with the cheap
+/// numeric pass, transparently falling back to a full factorization (and
+/// re-recording the pattern) when the matrix outgrows it.
+///
+/// The workspace is single-circuit state: reuse it across iterations, steps
+/// and sweep points of one circuit, and use one workspace per thread — it is
+/// `Send` but deliberately not shared.
+///
+/// # Example
+///
+/// ```
+/// use rlpta_linalg::{LuWorkspace, Triplet};
+///
+/// # fn main() -> Result<(), rlpta_linalg::LinalgError> {
+/// let mut ws = LuWorkspace::new();
+/// for scale in [1.0, 2.0, 3.0] {
+///     let mut t = Triplet::new(2, 2);
+///     t.push(0, 0, 4.0 * scale);
+///     t.push(0, 1, 1.0);
+///     t.push(1, 0, 1.0);
+///     t.push(1, 1, 3.0 * scale);
+///     let lu = ws.factorize(&t.to_csr())?;
+///     let _x = lu.solve(&[1.0, 2.0])?;
+/// }
+/// // One full factorization, two pattern replays.
+/// assert_eq!(ws.stats().full_factorizations, 1);
+/// assert_eq!(ws.stats().refactorizations, 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LuWorkspace {
+    symbolic: Option<SymbolicLu>,
+    stats: LuStats,
+}
+
+impl LuWorkspace {
+    /// An empty workspace; the first [`LuWorkspace::factorize`] call records
+    /// the pattern.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Factorizes `a`, reusing the recorded symbolic pattern when possible.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SparseLu::factorize`]; [`LinalgError::PatternChanged`] is
+    /// never surfaced (it triggers the internal fallback).
+    pub fn factorize(&mut self, a: &CsrMatrix) -> Result<SparseLu, LinalgError> {
+        if let Some(sym) = &self.symbolic {
+            if sym.dim() == a.rows() && a.rows() == a.cols() {
+                match sym.refactorize(a) {
+                    Ok(lu) => {
+                        self.stats.refactorizations += 1;
+                        return Ok(lu);
+                    }
+                    Err(LinalgError::PatternChanged { .. })
+                    | Err(LinalgError::Singular { .. }) => {
+                        // Pattern outgrown or pivot decayed (or an injected
+                        // singular under the `faults` feature): re-pivot
+                        // from scratch below.
+                        self.stats.fallbacks += 1;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        let lu = SparseLu::factorize(a)?;
+        self.stats.full_factorizations += 1;
+        self.symbolic = Some(lu.symbolic(a));
+        Ok(lu)
+    }
+
+    /// Drops the recorded pattern; the next call re-records it. Use when
+    /// switching the workspace to a different circuit.
+    pub fn reset(&mut self) {
+        self.symbolic = None;
+    }
+
+    /// The recorded pattern, if any.
+    pub fn symbolic(&self) -> Option<&SymbolicLu> {
+        self.symbolic.as_ref()
+    }
+
+    /// Usage counters.
+    pub fn stats(&self) -> LuStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Triplet;
+    use rand::prelude::*;
+
+    fn residual_inf(a: &CsrMatrix, x: &[f64], b: &[f64]) -> f64 {
+        a.matvec(x)
+            .iter()
+            .zip(b)
+            .map(|(yi, bi)| (yi - bi).abs())
+            .fold(0.0, f64::max)
+    }
+
+    fn random_system(rng: &mut StdRng, n: usize) -> (CsrMatrix, Vec<f64>) {
+        let mut t = Triplet::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 5.0 + rng.gen::<f64>());
+            for _ in 0..3 {
+                let j = rng.gen_range(0..n);
+                t.push(i, j, rng.gen_range(-1.0..1.0));
+            }
+        }
+        let b = (0..n).map(|_| rng.gen_range(-5.0..5.0)).collect();
+        (t.to_csr(), b)
+    }
+
+    /// Same matrix, same values: the replay must be bit-identical to the
+    /// full factorization (same operations in the same order).
+    #[test]
+    fn refactorize_is_bit_identical_on_same_matrix() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10 {
+            let n = rng.gen_range(3..40);
+            let (a, b) = random_system(&mut rng, n);
+            let full = SparseLu::factorize(&a).unwrap();
+            let replay = full.symbolic(&a).refactorize(&a).unwrap();
+            assert_eq!(full.solve(&b).unwrap(), replay.solve(&b).unwrap());
+        }
+    }
+
+    #[test]
+    fn refactorize_solves_perturbed_values() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10 {
+            let n = rng.gen_range(3..40);
+            let (a, b) = random_system(&mut rng, n);
+            let sym = SparseLu::factorize(&a).unwrap().symbolic(&a);
+            // Same pattern, different values: rebuild with scaled entries.
+            let mut t = Triplet::new(n, n);
+            for (r, c, v) in a.iter() {
+                t.push(r, c, v * rng.gen_range(0.5..2.0));
+            }
+            let a2 = t.to_csr();
+            let lu = sym.refactorize(&a2).unwrap();
+            let x = lu.solve(&b).unwrap();
+            assert!(residual_inf(&a2, &x, &b) < 1e-8);
+        }
+    }
+
+    #[test]
+    fn entry_outside_pattern_is_rejected() {
+        let mut t = Triplet::new(3, 3);
+        for i in 0..3 {
+            t.push(i, i, 2.0);
+        }
+        let a = t.to_csr();
+        let sym = SparseLu::factorize(&a).unwrap().symbolic(&a);
+        // Add an off-diagonal entry the diagonal pattern cannot hold.
+        t.push(2, 0, -1.0);
+        assert!(matches!(
+            sym.refactorize(&t.to_csr()),
+            Err(LinalgError::PatternChanged { .. })
+        ));
+    }
+
+    #[test]
+    fn decayed_pivot_is_rejected() {
+        // Recorded with a healthy diagonal, replayed with the (0,0) pivot
+        // collapsed relative to the subdiagonal: the recorded pivot choice
+        // is no longer within tolerance.
+        let mut t = Triplet::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.push(1, 0, 1.0);
+        t.push(0, 1, 1.0);
+        t.push(1, 1, 3.0);
+        let a = t.to_csr();
+        let sym = SparseLu::factorize(&a).unwrap().symbolic(&a);
+        let mut t2 = Triplet::new(2, 2);
+        t2.push(0, 0, 1e-9);
+        t2.push(1, 0, 1.0);
+        t2.push(0, 1, 1.0);
+        t2.push(1, 1, 3.0);
+        assert!(matches!(
+            sym.refactorize(&t2.to_csr()),
+            Err(LinalgError::PatternChanged { .. })
+        ));
+    }
+
+    #[test]
+    fn nan_entry_is_rejected_not_propagated() {
+        let mut t = Triplet::new(2, 2);
+        t.push(0, 0, 2.0);
+        t.push(1, 1, 2.0);
+        let a = t.to_csr();
+        let sym = SparseLu::factorize(&a).unwrap().symbolic(&a);
+        let mut t2 = Triplet::new(2, 2);
+        t2.push(0, 0, f64::NAN);
+        t2.push(1, 1, 2.0);
+        assert!(matches!(
+            sym.refactorize(&t2.to_csr()),
+            Err(LinalgError::PatternChanged { .. })
+        ));
+    }
+
+    #[test]
+    fn refactorize_rejects_wrong_dimension() {
+        let sym = SparseLu::factorize(&CsrMatrix::identity(3))
+            .unwrap()
+            .symbolic(&CsrMatrix::identity(3));
+        assert!(matches!(
+            sym.refactorize(&CsrMatrix::identity(4)),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn workspace_replays_then_falls_back_on_growth() {
+        let mut ws = LuWorkspace::new();
+        let mut t = Triplet::new(3, 3);
+        for i in 0..3 {
+            t.push(i, i, 2.0);
+        }
+        ws.factorize(&t.to_csr()).unwrap();
+        ws.factorize(&t.to_csr()).unwrap();
+        assert_eq!(ws.stats().full_factorizations, 1);
+        assert_eq!(ws.stats().refactorizations, 1);
+        // Grow the pattern (like a Gmin bump adding coupling): fallback.
+        t.push(0, 2, -0.5);
+        t.push(2, 0, -0.5);
+        let lu = ws.factorize(&t.to_csr()).unwrap();
+        assert_eq!(ws.stats().fallbacks, 1);
+        assert_eq!(ws.stats().full_factorizations, 2);
+        // The grown pattern is now the recorded one.
+        ws.factorize(&t.to_csr()).unwrap();
+        assert_eq!(ws.stats().refactorizations, 2);
+        let x = lu.solve(&[1.0, 2.0, 3.0]).unwrap();
+        assert!(x.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn workspace_shrunk_pattern_still_replays() {
+        // A value dropping to exactly zero keeps the entry structural in
+        // Triplet, but even a truly absent entry is a subset of the
+        // recorded pattern and must replay fine.
+        let mut t = Triplet::new(2, 2);
+        t.push(0, 0, 4.0);
+        t.push(0, 1, 1.0);
+        t.push(1, 0, 1.0);
+        t.push(1, 1, 3.0);
+        let mut ws = LuWorkspace::new();
+        ws.factorize(&t.to_csr()).unwrap();
+        let mut t2 = Triplet::new(2, 2);
+        t2.push(0, 0, 4.0);
+        t2.push(1, 1, 3.0);
+        let lu = ws.factorize(&t2.to_csr()).unwrap();
+        assert_eq!(ws.stats().refactorizations, 1);
+        assert_eq!(lu.solve(&[4.0, 3.0]).unwrap(), vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn workspace_reset_forgets_pattern() {
+        let mut ws = LuWorkspace::new();
+        ws.factorize(&CsrMatrix::identity(3)).unwrap();
+        ws.reset();
+        assert!(ws.symbolic().is_none());
+        ws.factorize(&CsrMatrix::identity(3)).unwrap();
+        assert_eq!(ws.stats().full_factorizations, 2);
+    }
+
+    #[test]
+    fn workspace_handles_dimension_switch() {
+        let mut ws = LuWorkspace::new();
+        ws.factorize(&CsrMatrix::identity(3)).unwrap();
+        // Different size: silently re-records rather than erroring.
+        ws.factorize(&CsrMatrix::identity(5)).unwrap();
+        assert_eq!(ws.stats().full_factorizations, 2);
+        assert_eq!(ws.stats().fallbacks, 0);
+    }
+
+    #[test]
+    fn workspace_surfaces_genuine_singularity() {
+        let mut t = Triplet::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.push(0, 1, 2.0);
+        t.push(1, 0, 2.0);
+        t.push(1, 1, 4.0);
+        let mut ws = LuWorkspace::new();
+        assert!(matches!(
+            ws.factorize(&t.to_csr()),
+            Err(LinalgError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn long_replay_sequence_stays_accurate() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let n = 30;
+        let (a, b) = random_system(&mut rng, n);
+        let mut ws = LuWorkspace::new();
+        for _ in 0..50 {
+            let mut t = Triplet::new(n, n);
+            for (r, c, v) in a.iter() {
+                t.push(r, c, v * rng.gen_range(0.8..1.25));
+            }
+            let ai = t.to_csr();
+            let x = ws.factorize(&ai).unwrap().solve(&b).unwrap();
+            assert!(residual_inf(&ai, &x, &b) < 1e-8);
+        }
+        assert_eq!(ws.stats().full_factorizations, 1);
+        assert_eq!(ws.stats().refactorizations, 49);
+    }
+}

@@ -8,7 +8,8 @@
 
 use rlpta::circuits::by_name;
 use rlpta::core::{
-    GminStepping, NewtonRaphson, PtaKind, PtaSolver, SerStepping, SimpleStepping, SourceStepping,
+    GminStepping, NewtonRaphson, PtaConfig, PtaKind, PtaSolver, SerStepping, SimpleStepping,
+    SourceStepping,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -41,9 +42,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. PTA flavours with the two classical controllers.
     for kind in [PtaKind::Pure, PtaKind::dpta(), PtaKind::cepta()] {
-        let mut simple = PtaSolver::new(kind, SimpleStepping::default());
+        let mut simple = PtaSolver::with_config(kind, SimpleStepping::default(), PtaConfig::default());
         let s = simple.solve(circuit)?;
-        let mut ser = PtaSolver::new(kind, SerStepping::default());
+        let mut ser = PtaSolver::with_config(kind, SerStepping::default(), PtaConfig::default());
         let a = ser.solve(circuit)?;
         println!(
             "{:<6} simple  : {:>5} NR / {:>3} steps   adaptive: {:>5} NR / {:>3} steps",
@@ -57,7 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // All methods must land on the same operating point.
     let reference = GminStepping::default().solve(circuit)?;
-    let mut dpta = PtaSolver::new(PtaKind::dpta(), SimpleStepping::default());
+    let mut dpta = PtaSolver::with_config(PtaKind::dpta(), SimpleStepping::default(), PtaConfig::default());
     let check = dpta.solve(circuit)?;
     let max_dev = reference
         .x

@@ -4,7 +4,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use rlpta::core::{NewtonRaphson, PtaKind, PtaSolver, SimpleStepping};
+use rlpta::core::{NewtonRaphson, PtaConfig, PtaKind, PtaSolver, SimpleStepping};
 use rlpta::netlist::parse;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -30,7 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Pseudo-transient analysis — the paper's continuation method — reaches
     // the same operating point from the relaxed all-zero state.
-    let mut pta = PtaSolver::new(PtaKind::dpta(), SimpleStepping::default());
+    let mut pta = PtaSolver::with_config(PtaKind::dpta(), SimpleStepping::default(), PtaConfig::default());
     let solution = pta.solve(&circuit)?;
     println!(
         "DPTA:            v(out) = {:.6} V in {} NR iterations over {} steps",

@@ -7,7 +7,9 @@
 //! ```
 
 use rlpta::circuits::{by_name, training_corpus};
-use rlpta::core::{PtaKind, PtaSolver, RlStepping, RlSteppingConfig, SerStepping, SimpleStepping};
+use rlpta::core::{
+    PtaConfig, PtaKind, PtaSolver, RlStepping, RlSteppingConfig, SerStepping, SimpleStepping,
+};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let kind = PtaKind::dpta();
@@ -22,7 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for epoch in 0..2 {
         for bench in &training_corpus() {
-            let mut solver = PtaSolver::new(kind, rl.clone());
+            let mut solver = PtaSolver::with_config(kind, rl.clone(), PtaConfig::default());
             if solver.solve(&bench.circuit).is_ok() {
                 rl = solver.controller_mut().clone();
             }
@@ -39,12 +41,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bench = by_name("slowlatch").expect("known benchmark");
     println!("\nevaluating on `{}`:", bench.name);
 
-    let mut simple = PtaSolver::new(kind, SimpleStepping::default());
+    let mut simple = PtaSolver::with_config(kind, SimpleStepping::default(), PtaConfig::default());
     let s = simple.solve(&bench.circuit)?;
-    let mut adaptive = PtaSolver::new(kind, SerStepping::default());
+    let mut adaptive = PtaSolver::with_config(kind, SerStepping::default(), PtaConfig::default());
     let a = adaptive.solve(&bench.circuit)?;
     rl.unfreeze(); // keep learning online during the evaluation run
-    let mut rl_solver = PtaSolver::new(kind, rl);
+    let mut rl_solver = PtaSolver::with_config(kind, rl, PtaConfig::default());
     let r = rl_solver.solve(&bench.circuit)?;
 
     println!(

@@ -15,7 +15,8 @@
 //! ```
 
 use rlpta::core::{
-    op_report, AcSweep, DcSweep, GminStepping, NewtonHomotopy, NewtonRaphson, PtaKind, PtaSolver,
+    op_report, AcSweep, DcSweep, GminStepping, NewtonHomotopy, NewtonRaphson, PtaConfig, PtaKind,
+    PtaSolver,
     RlStepping, RlSteppingConfig, SerStepping, SimpleStepping, Solution, SourceStepping, Transient,
 };
 use rlpta::mna::Circuit;
@@ -153,15 +154,15 @@ fn solve(circuit: &Circuit, opts: &Options) -> Result<Solution, String> {
         other => return Err(format!("unknown method `{other}`")),
     };
     match opts.controller.as_str() {
-        "simple" => PtaSolver::new(kind, SimpleStepping::default())
+        "simple" => PtaSolver::with_config(kind, SimpleStepping::default(), PtaConfig::default())
             .solve(circuit)
             .map_err(|e| e.to_string()),
-        "ser" => PtaSolver::new(kind, SerStepping::default())
+        "ser" => PtaSolver::with_config(kind, SerStepping::default(), PtaConfig::default())
             .solve(circuit)
             .map_err(|e| e.to_string()),
         "rl" => {
             let rl = RlStepping::new(RlSteppingConfig::new(opts.seed));
-            PtaSolver::new(kind, rl)
+            PtaSolver::with_config(kind, rl, PtaConfig::default())
                 .solve(circuit)
                 .map_err(|e| e.to_string())
         }
@@ -305,7 +306,7 @@ fn run() -> Result<(), String> {
         Some((src, start, stop, step)) => {
             let sweep =
                 DcSweep::linear(src.clone(), *start, *stop, *step).map_err(|e| e.to_string())?;
-            let points = sweep.run(&circuit).map_err(|e| e.to_string())?;
+            let points = sweep.run(&circuit).map_err(|e| e.to_string())?.points;
             // Header: swept value then requested (or all) node voltages.
             let node_names: Vec<String> = if opts.nodes.is_empty() {
                 (0..circuit.num_nodes())

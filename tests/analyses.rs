@@ -3,7 +3,8 @@
 //! library user exercises after DC convergence.
 
 use rlpta::core::{
-    DcSweep, NewtonRaphson, PtaKind, PtaSolver, SimpleStepping, TraceController, Transient,
+    DcSweep, NewtonRaphson, PtaConfig, PtaKind, PtaSolver, SimpleStepping, TraceController,
+    Transient,
     Waveform,
 };
 use rlpta::netlist::{parse, parse_netlist, AnalysisCard};
@@ -14,7 +15,8 @@ fn dc_sweep_of_diode_clamp_shows_knee() {
     let points = DcSweep::linear("V1", 0.0, 5.0, 0.25)
         .unwrap()
         .run(&c)
-        .unwrap();
+        .unwrap()
+        .points;
     let out = c.node_index("out").unwrap();
     // Below the knee the output follows the input; above it clamps.
     let early = points[2].solution.x[out]; // v_in = 0.5
@@ -54,9 +56,10 @@ fn transient_square_wave_through_rc_integrator() {
 #[test]
 fn traced_pta_run_reconstructs_iteration_totals() {
     let bench = rlpta::circuits::by_name("SCHMITT").unwrap();
-    let mut solver = PtaSolver::new(
+    let mut solver = PtaSolver::with_config(
         PtaKind::dpta(),
         TraceController::new(SimpleStepping::default()),
+        PtaConfig::default(),
     );
     let sol = solver.solve(&bench.circuit).unwrap();
     let trace = solver.controller_mut().entries();
@@ -93,7 +96,8 @@ fn deck_analysis_cards_drive_the_same_apis() {
                 let pts = DcSweep::linear(source.clone(), *start, *stop, *step)
                     .unwrap()
                     .run(&c)
-                    .unwrap();
+                    .unwrap()
+                    .points;
                 assert_eq!(pts.len(), 3);
                 let out = c.node_index("out").unwrap();
                 assert!((pts[2].solution.x[out] - 2.0).abs() < 1e-9);
@@ -161,7 +165,7 @@ fn ac_sweep_at_the_dc_operating_point() {
 #[test]
 fn rpta_is_a_usable_fourth_flavour() {
     let bench = rlpta::circuits::by_name("UA733").unwrap();
-    let mut solver = PtaSolver::new(PtaKind::rpta(), SimpleStepping::default());
+    let mut solver = PtaSolver::with_config(PtaKind::rpta(), SimpleStepping::default(), PtaConfig::default());
     let sol = solver.solve(&bench.circuit).unwrap();
     assert!(sol.stats.converged);
     assert!(sol.residual_norm(&bench.circuit) < 1e-8);

@@ -1,6 +1,6 @@
 //! End-to-end pipeline tests: netlist text → parser → MNA → solver.
 
-use rlpta::core::{GminStepping, NewtonRaphson, PtaKind, PtaSolver, SimpleStepping};
+use rlpta::core::{GminStepping, NewtonRaphson, PtaConfig, PtaKind, PtaSolver, SimpleStepping};
 use rlpta::netlist::parse;
 
 #[test]
@@ -90,7 +90,7 @@ fn all_continuation_methods_agree_on_bjt_amp() {
     .unwrap();
     let newton = NewtonRaphson::default().solve(&c).unwrap();
     let gmin = GminStepping::default().solve(&c).unwrap();
-    let mut pta = PtaSolver::new(PtaKind::dpta(), SimpleStepping::default());
+    let mut pta = PtaSolver::with_config(PtaKind::dpta(), SimpleStepping::default(), PtaConfig::default());
     let dpta = pta.solve(&c).unwrap();
     for (name, sol) in [("gmin", &gmin), ("dpta", &dpta)] {
         for (i, (a, b)) in sol.x.iter().zip(&newton.x).enumerate() {
@@ -117,7 +117,7 @@ fn pta_finds_operating_point_without_newton_convergence() {
          .model QN NPN(IS=1e-15 BF=120)",
     )
     .unwrap();
-    let mut pta = PtaSolver::new(PtaKind::dpta(), SimpleStepping::default());
+    let mut pta = PtaSolver::with_config(PtaKind::dpta(), SimpleStepping::default(), PtaConfig::default());
     let sol = pta.solve(&c).unwrap();
     assert!(sol.stats.converged);
     assert!(sol.residual_norm(&c) < 1e-8, "true DC point");

@@ -2,14 +2,16 @@
 //! be a *functioning* controller (convergent, learning, transferable).
 
 use rlpta::circuits::by_name;
-use rlpta::core::{PtaKind, PtaSolver, RlStepping, RlSteppingConfig, SerStepping, SimpleStepping};
+use rlpta::core::{
+    PtaConfig, PtaKind, PtaSolver, RlStepping, RlSteppingConfig, SerStepping, SimpleStepping,
+};
 
 fn pretrain(names: &[&str], seed: u64) -> RlStepping {
     let mut rl = RlStepping::new(RlSteppingConfig::new(seed));
     for _ in 0..2 {
         for name in names {
             let bench = by_name(name).unwrap();
-            let mut solver = PtaSolver::new(PtaKind::dpta(), rl.clone());
+            let mut solver = PtaSolver::with_config(PtaKind::dpta(), rl.clone(), PtaConfig::default());
             if solver.solve(&bench.circuit).is_ok() {
                 rl = solver.controller_mut().clone();
             }
@@ -24,7 +26,7 @@ fn rl_controller_solves_unseen_circuit() {
     let bench = by_name("SCHMITT").unwrap();
     let mut eval = rl.clone();
     eval.unfreeze();
-    let mut solver = PtaSolver::new(PtaKind::dpta(), eval);
+    let mut solver = PtaSolver::with_config(PtaKind::dpta(), eval, PtaConfig::default());
     let sol = solver.solve(&bench.circuit).unwrap();
     assert!(sol.stats.converged);
     assert!(sol.residual_norm(&bench.circuit) < 1e-8);
@@ -39,7 +41,7 @@ fn rl_experience_transfers_across_circuits() {
     let bench = by_name("gm6").unwrap();
     let mut next = rl.clone();
     next.unfreeze();
-    let mut solver = PtaSolver::new(PtaKind::dpta(), next);
+    let mut solver = PtaSolver::with_config(PtaKind::dpta(), next, PtaConfig::default());
     solver.solve(&bench.circuit).unwrap();
     assert!(solver.controller_mut().transitions_seen() > before);
 }
@@ -51,7 +53,7 @@ fn frozen_policy_is_deterministic() {
     let run = || {
         let mut frozen = rl.clone();
         frozen.freeze();
-        let mut solver = PtaSolver::new(PtaKind::dpta(), frozen);
+        let mut solver = PtaSolver::with_config(PtaKind::dpta(), frozen, PtaConfig::default());
         solver.solve(&bench.circuit).unwrap().stats
     };
     let a = run();
@@ -67,12 +69,12 @@ fn pretrained_rl_beats_adaptive_on_hard_circuit() {
     let rl = pretrain(&["bias", "latch", "gm1", "SCHMITT", "cram"], 2022);
     let bench = by_name("slowlatch").unwrap();
 
-    let mut adaptive = PtaSolver::new(PtaKind::dpta(), SerStepping::default());
+    let mut adaptive = PtaSolver::with_config(PtaKind::dpta(), SerStepping::default(), PtaConfig::default());
     let a = adaptive.solve(&bench.circuit).unwrap().stats;
 
     let mut eval = rl.clone();
     eval.unfreeze();
-    let mut rl_solver = PtaSolver::new(PtaKind::dpta(), eval);
+    let mut rl_solver = PtaSolver::with_config(PtaKind::dpta(), eval, PtaConfig::default());
     let r = rl_solver.solve(&bench.circuit).unwrap().stats;
 
     assert!(
@@ -87,11 +89,11 @@ fn pretrained_rl_beats_adaptive_on_hard_circuit() {
 fn rl_works_with_simple_as_sanity_same_circuit() {
     // Both controllers must find the *same* operating point.
     let bench = by_name("DCOSC").unwrap();
-    let mut simple = PtaSolver::new(PtaKind::dpta(), SimpleStepping::default());
+    let mut simple = PtaSolver::with_config(PtaKind::dpta(), SimpleStepping::default(), PtaConfig::default());
     let s = simple.solve(&bench.circuit).unwrap();
     let mut rl_ctl = RlStepping::new(RlSteppingConfig::new(9));
     rl_ctl.unfreeze();
-    let mut rl_solver = PtaSolver::new(PtaKind::dpta(), rl_ctl);
+    let mut rl_solver = PtaSolver::with_config(PtaKind::dpta(), rl_ctl, PtaConfig::default());
     let r = rl_solver.solve(&bench.circuit).unwrap();
     for (a, b) in s.x.iter().zip(&r.x) {
         assert!((a - b).abs() < 1e-3, "{a} vs {b}");

@@ -1,0 +1,309 @@
+//! Minimal std-only work-stealing thread pool for batch workloads.
+//!
+//! The `rlpta` batch engine fans embarrassingly-parallel jobs (sweep chunks,
+//! corpus circuits, raced ladder rungs) over OS threads. The build
+//! environment has no crates-io access, so this vendored crate implements
+//! exactly the subset the workspace needs:
+//!
+//! * **scoped batches** — jobs may borrow from the caller's stack
+//!   (internally [`std::thread::scope`]), so circuits and configs are shared
+//!   by reference, never cloned per worker;
+//! * **work stealing from a shared ladder** — workers claim the next
+//!   unstarted job with one atomic `fetch_add`, the degenerate (single
+//!   global deque) but contention-free form of work stealing: a worker that
+//!   finishes early immediately steals the next pending index, so one slow
+//!   job never idles the rest of the pool;
+//! * **deterministic result ordering** — results come back in job-submission
+//!   order, whatever the execution interleaving was;
+//! * **panic isolation** — a panicking job is caught ([`std::panic::catch_unwind`])
+//!   and surfaced as a structured [`JobPanic`] for *that slot only*; the
+//!   pool itself never unwinds, never poisons, and the remaining jobs run to
+//!   completion.
+//!
+//! # Example
+//!
+//! ```
+//! use rlpta_threadpool::ThreadPool;
+//!
+//! let pool = ThreadPool::new(4);
+//! let squares = pool.run((0..8).map(|i| move || i * i).collect::<Vec<_>>());
+//! let squares: Vec<_> = squares.into_iter().map(|r| r.unwrap()).collect();
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A job panicked inside a pool worker. The payload is stringified (panic
+/// payloads are `Box<dyn Any>`; `&str` and `String` payloads are preserved,
+/// anything else is reported opaquely).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobPanic {
+    /// Index of the job in the submitted batch.
+    pub job: usize,
+    /// Stringified panic payload.
+    pub detail: String,
+}
+
+impl fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job {} panicked: {}", self.job, self.detail)
+    }
+}
+
+impl std::error::Error for JobPanic {}
+
+fn payload_to_string(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// Number of worker threads the host offers, with a floor of 1. Used by
+/// callers that take "0 = auto" thread counts.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// A fixed-width scoped thread pool.
+///
+/// The pool is a *policy object*: it holds only the worker count. Each
+/// [`ThreadPool::run`] call spawns scoped workers for the duration of the
+/// batch, which keeps the crate free of `unsafe` lifetime laundering while
+/// still amortizing well (batch jobs here are milliseconds-to-seconds
+/// solver runs, not microsecond tasks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// A pool with `threads` workers; `0` means [`available_threads`].
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: if threads == 0 {
+                available_threads()
+            } else {
+                threads
+            },
+        }
+    }
+
+    /// Worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs every job, returning per-job results **in submission order**.
+    ///
+    /// A job that panics yields `Err(JobPanic)` in its slot; every other job
+    /// still runs. With one worker (or one job) the batch degrades to an
+    /// in-order serial loop on the calling thread — same results, no spawn.
+    pub fn run<T, F>(&self, jobs: Vec<F>) -> Vec<Result<T, JobPanic>>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        let n = jobs.len();
+        let run_one = |i: usize, job: F| {
+            catch_unwind(AssertUnwindSafe(job)).map_err(|p| JobPanic {
+                job: i,
+                detail: payload_to_string(p),
+            })
+        };
+        if self.threads <= 1 || n <= 1 {
+            return jobs
+                .into_iter()
+                .enumerate()
+                .map(|(i, job)| run_one(i, job))
+                .collect();
+        }
+
+        // Job slots: taken exactly once by whichever worker claims the index.
+        let slots: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+        let results: Vec<Mutex<Option<Result<T, JobPanic>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+
+        std::thread::scope(|scope| {
+            for _ in 0..self.threads.min(n) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    // Locks are uncontended by construction (each index is
+                    // claimed once) and never poisoned (jobs are caught).
+                    let job = slots[i]
+                        .lock()
+                        .expect("job slot lock")
+                        .take()
+                        .expect("job claimed twice");
+                    let out = run_one(i, job);
+                    *results[i].lock().expect("result slot lock") = Some(out);
+                });
+            }
+        });
+
+        results
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("result lock")
+                    .expect("every claimed job stores a result")
+            })
+            .collect()
+    }
+
+    /// Parallel map with deterministic output order; panics in `f` surface
+    /// as `Err(JobPanic)` per item.
+    pub fn map<I, T, U, F>(&self, items: I, f: F) -> Vec<Result<U, JobPanic>>
+    where
+        I: IntoIterator<Item = T>,
+        T: Send,
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        let f = &f;
+        self.run(
+            items
+                .into_iter()
+                .map(|item| move || f(item))
+                .collect::<Vec<_>>(),
+        )
+    }
+}
+
+impl Default for ThreadPool {
+    /// A pool sized to the host ([`available_threads`]).
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn results_in_submission_order() {
+        let pool = ThreadPool::new(4);
+        // Reverse sleeps so late jobs finish first if ordering were by
+        // completion.
+        let jobs: Vec<_> = (0..16)
+            .map(|i| {
+                move || {
+                    std::thread::sleep(std::time::Duration::from_millis((16 - i) % 4));
+                    i
+                }
+            })
+            .collect();
+        let out: Vec<_> = pool.run(jobs).into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(out, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let serial = ThreadPool::new(1);
+        let parallel = ThreadPool::new(8);
+        let mk = || (0..32).map(|i| move || i * 7 + 1).collect::<Vec<_>>();
+        let a: Vec<_> = serial.run(mk()).into_iter().map(|r| r.unwrap()).collect();
+        let b: Vec<_> = parallel.run(mk()).into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn panic_is_isolated_to_its_slot() {
+        let pool = ThreadPool::new(3);
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..6usize)
+            .map(|i| {
+                Box::new(move || {
+                    if i == 2 {
+                        panic!("boom {i}");
+                    }
+                    i
+                }) as Box<dyn FnOnce() -> usize + Send>
+            })
+            .collect();
+        let out = pool.run(jobs);
+        for (i, r) in out.iter().enumerate() {
+            if i == 2 {
+                let e = r.as_ref().unwrap_err();
+                assert_eq!(e.job, 2);
+                assert!(e.detail.contains("boom"), "{e}");
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), i);
+            }
+        }
+    }
+
+    #[test]
+    fn pool_survives_panics_for_later_batches() {
+        let pool = ThreadPool::new(2);
+        let first = pool.run(vec![|| panic!("die"), || 1]);
+        assert!(first[0].is_err());
+        let second: Vec<_> = pool
+            .run(vec![|| 10, || 20])
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(second, vec![10, 20]);
+    }
+
+    #[test]
+    fn jobs_borrow_from_caller() {
+        let data = [1.0f64, 2.0, 3.0];
+        let pool = ThreadPool::new(2);
+        let out: Vec<_> = pool
+            .map(0..data.len(), |i| data[i] * 2.0)
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(out, vec![2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn zero_threads_means_auto() {
+        assert!(ThreadPool::new(0).threads() >= 1);
+        assert!(ThreadPool::default().threads() >= 1);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let pool = ThreadPool::new(4);
+        let out = pool.run(Vec::<fn() -> ()>::new());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn all_workers_participate_under_load() {
+        // Not a strict guarantee, but with 4 workers and staggered jobs the
+        // claim counter must be fully drained.
+        let started = AtomicBool::new(false);
+        let pool = ThreadPool::new(4);
+        let jobs: Vec<_> = (0..64)
+            .map(|i| {
+                let started = &started;
+                move || {
+                    started.store(true, Ordering::Relaxed);
+                    i
+                }
+            })
+            .collect();
+        let out = pool.run(jobs);
+        assert_eq!(out.len(), 64);
+        assert!(started.load(Ordering::Relaxed));
+    }
+}
