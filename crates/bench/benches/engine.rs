@@ -8,9 +8,9 @@
 //! after the first.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rlpta_bench::robust_budget;
+use rlpta_bench::{experiment_config, robust_budget};
 use rlpta_circuits::by_name;
-use rlpta_core::DcEngine;
+use rlpta_core::{DcEngine, PtaKind, PtaSolver, SimpleStepping};
 use rlpta_devices::EvalCtx;
 use rlpta_linalg::{CsrMatrix, LuWorkspace, SparseLu, Triplet};
 
@@ -79,5 +79,36 @@ fn bench_batch_engine(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_symbolic_reuse, bench_batch_engine);
+/// The telemetry zero-cost guard: the engine's default `NullSink` path
+/// (every event built and forwarded to a no-op sink) must sit within
+/// measurement noise of the bare solver's no-sink path on the same
+/// circuit. A visible gap between the two bars means event emission grew
+/// a hot-path cost — treat that as a regression.
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let circuit = by_name("gm1").expect("known benchmark").circuit;
+    let kind = PtaKind::cepta();
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.bench_function("no_sink", |b| {
+        b.iter(|| {
+            PtaSolver::with_config(kind, SimpleStepping::default(), experiment_config())
+                .solve(&circuit)
+                .unwrap()
+        })
+    });
+    let engine = DcEngine::builder()
+        .kind(kind)
+        .pta_config(experiment_config())
+        .build();
+    group.bench_function("null_sink_engine", |b| {
+        b.iter(|| engine.solve(&circuit).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_symbolic_reuse,
+    bench_batch_engine,
+    bench_telemetry_overhead
+);
 criterion_main!(benches);

@@ -2,6 +2,9 @@
 //! dual agents, the public (collaborative) sample buffer, and TD-error
 //! priority sampling. Not a paper table — engineering evidence that each
 //! mechanism earns its place.
+//!
+//! Pass `--trace-jsonl <path>` to stream the evaluation runs' telemetry
+//! events to a line-JSON file.
 
 use rlpta_bench::{bench_threads, experiment_config, run_rl_batch};
 use rlpta_circuits::{table3, training_corpus};
@@ -36,17 +39,22 @@ fn evaluate(label: &str, config: RlSteppingConfig, threads: usize) {
         .collect();
     let mut total_ite = 0usize;
     let mut total_ste = 0usize;
+    let mut total_lu_f = 0usize;
+    let mut total_lu_r = 0usize;
     let mut failures = 0usize;
     for stats in run_rl_batch(&benches, kind, &rl, threads) {
         if stats.converged {
             total_ite += stats.nr_iterations;
             total_ste += stats.pta_steps;
+            total_lu_f += stats.lu_factorizations;
+            total_lu_r += stats.lu_refactorizations;
         } else {
             failures += 1;
         }
     }
     println!(
-        "{label:<28} total #Ite {total_ite:>6}  total #Ste {total_ste:>6}  failures {failures}"
+        "{label:<28} total #Ite {total_ite:>6}  total #Ste {total_ste:>6}  \
+         LU f/r {total_lu_f:>6}/{total_lu_r:<6}  failures {failures}"
     );
 }
 

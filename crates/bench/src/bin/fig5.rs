@@ -5,10 +5,12 @@
 //! RL-S vs simple, NR-iteration ratios) plus an ASCII rendition.
 //!
 //! Pass `--threads N` (or set `RLPTA_THREADS`) to evaluate the corpus on a
-//! worker pool; the numbers are identical at any width.
+//! worker pool; the numbers are identical at any width. Pass
+//! `--trace-jsonl <path>` to stream the run's telemetry events — RL
+//! training steps included — to a line-JSON file.
 
 use rlpta_bench::{
-    bench_threads, pretrain_rl, run_adaptive_batch, run_rl_batch, run_simple_batch,
+    bench_threads, lu_cell, pretrain_rl, run_adaptive_batch, run_rl_batch, run_simple_batch,
 };
 use rlpta_circuits::fig5;
 use rlpta_core::PtaKind;
@@ -31,8 +33,8 @@ fn main() {
         rl.transitions_seen()
     );
     println!(
-        "{:<14}{:>12}{:>12}{:>12}  {:<12}vs simple",
-        "Circuit", "simple", "adaptive", "rl-s", "vs adaptive"
+        "{:<14}{:>12}{:>12}{:>12}{:>12}  {:<12}vs simple",
+        "Circuit", "simple", "adaptive", "rl-s", "rl LU f/r", "vs adaptive"
     );
 
     let benches = fig5();
@@ -59,7 +61,7 @@ fn main() {
             vs_simple.push(v);
         }
         println!(
-            "{:<14}{:>12}{:>12}{:>12}  {:<32}{}",
+            "{:<14}{:>12}{:>12}{:>12}{:>12}  {:<32}{}",
             bench.name,
             if s.converged {
                 s.nr_iterations.to_string()
@@ -76,6 +78,7 @@ fn main() {
             } else {
                 "N/A".into()
             },
+            lu_cell(r),
             ra.map_or("-".to_string(), |v| format!("{v:.2}X {}", bar(v))),
             rs.map_or("-".to_string(), |v| format!("{v:.2}X {}", bar(v))),
         );

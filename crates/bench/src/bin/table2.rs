@@ -5,10 +5,13 @@
 //! Offline phase: Bayesian active learning (Algorithm 1) over the
 //! 43-circuit training corpus with the real CEPTA solver in the loop.
 //! Online phase: the GP proposes `z*` per unseen circuit from its features.
+//!
+//! Pass `--trace-jsonl <path>` to stream the run's telemetry events
+//! (acquisition rounds, solver work) to a line-JSON file.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rlpta_bench::{bench_threads, ite_cell, run_simple};
+use rlpta_bench::{bench_threads, ite_cell, lu_cell, run_simple, trace_sink};
 use rlpta_circuits::{table2, training_corpus};
 use rlpta_core::{IppOracle, PtaKind, PtaParams};
 use rlpta_gp::{ActiveLearner, ActiveLearnerConfig};
@@ -33,6 +36,9 @@ fn main() {
     );
     let threads = bench_threads();
     let mut oracle = IppOracle::new(&circuits, PtaKind::cepta()).with_threads(threads);
+    if let Some(sink) = trace_sink() {
+        oracle = oracle.with_telemetry(sink);
+    }
     let mut rng = StdRng::seed_from_u64(2022);
     println!("# Table 2 — IPP vs default CEPTA (# of NR iterations)");
     println!(
@@ -50,8 +56,8 @@ fn main() {
     );
 
     println!(
-        "{:<14}{:<6}{:>8}{:>7}{:>9}{:>7}{:>10}",
-        "Circuits", "Type", "#Nodes", "#Elem", "CEPTA", "IPP", "Speedup"
+        "{:<14}{:<6}{:>8}{:>7}{:>9}{:>7}{:>10}{:>12}{:>12}",
+        "Circuits", "Type", "#Nodes", "#Elem", "CEPTA", "IPP", "Speedup", "C-LU f/r", "IPP-LU f/r"
     );
     let mut ratios = Vec::new();
     for bench in table2() {
@@ -76,14 +82,16 @@ fn main() {
             "-".into()
         };
         println!(
-            "{:<14}{:<6}{:>8}{:>7}{:>9}{:>7}{:>10}",
+            "{:<14}{:<6}{:>8}{:>7}{:>9}{:>7}{:>10}{:>12}{:>12}",
             bench.name,
             if bench.is_bjt { "BJT" } else { "MOS" },
             f.num_nodes,
             bench.circuit.devices().len(),
             ite_cell(&base),
             ite_cell(&ipp),
-            speed
+            speed,
+            lu_cell(&base),
+            lu_cell(&ipp)
         );
     }
     if !ratios.is_empty() {

@@ -1,11 +1,16 @@
 //! Regenerates **Table 3**: simulation efficiency comparison between the
 //! proposed RL-S and adaptive stepping for **DPTA** on 33 circuits —
 //! NR iterations (`#Ite`), pseudo steps (`#Ste`), iteration speedup and
-//! step-count reduction, with the paper's Average row.
+//! step-count reduction, with the paper's Average row. The `LU f/r`
+//! columns split each run's LU work into full factorizations and
+//! symbolic-replay refactorizations.
+//!
+//! Pass `--trace-jsonl <path>` to stream the run's telemetry events to a
+//! line-JSON file.
 
 use rlpta_bench::{
-    bench_threads, ite_cell, pretrain_rl, run_adaptive_batch, run_rl_batch, speedup, ste_cell,
-    step_reduction,
+    bench_threads, ite_cell, lu_cell, pretrain_rl, run_adaptive_batch, run_rl_batch, speedup,
+    ste_cell, step_reduction,
 };
 use rlpta_circuits::table3;
 use rlpta_core::PtaKind;
@@ -23,8 +28,16 @@ fn main() {
         rl.transitions_seen()
     );
     println!(
-        "{:<14}{:>10}{:>8}{:>10}{:>8}{:>12}{:>10}",
-        "Circuits", "Ada#Ite", "Ada#Ste", "RL#Ite", "RL#Ste", "Speed(#Ite)", "Red(#Ste)"
+        "{:<14}{:>10}{:>8}{:>10}{:>8}{:>12}{:>10}{:>12}{:>12}",
+        "Circuits",
+        "Ada#Ite",
+        "Ada#Ste",
+        "RL#Ite",
+        "RL#Ste",
+        "Speed(#Ite)",
+        "Red(#Ste)",
+        "AdaLU f/r",
+        "RL-LU f/r"
     );
 
     let benches = table3();
@@ -41,14 +54,16 @@ fn main() {
             reductions.push(100.0 * (1.0 - r.pta_steps as f64 / a.pta_steps as f64));
         }
         println!(
-            "{:<14}{:>10}{:>8}{:>10}{:>8}{:>12}{:>10}",
+            "{:<14}{:>10}{:>8}{:>10}{:>8}{:>12}{:>10}{:>12}{:>12}",
             bench.name,
             ite_cell(a),
             ste_cell(a),
             ite_cell(r),
             ste_cell(r),
             sp,
-            red
+            red,
+            lu_cell(a),
+            lu_cell(r)
         );
     }
     if !ratios.is_empty() {

@@ -14,9 +14,11 @@
 
 use rlpta_circuits::{training_corpus, Benchmark};
 use rlpta_core::{
-    DcEngine, EngineConfig, PtaConfig, PtaKind, PtaSolver, RlStepping, RlSteppingConfig,
-    SerStepping, SimpleStepping, Solution, SolveBudget, SolveError, SolveStats, StepController,
+    DcEngine, EngineConfig, JsonlSink, PtaConfig, PtaKind, PtaSolver, RlStepping,
+    RlSteppingConfig, SerStepping, SimpleStepping, Sink, Solution, SolveBudget, SolveError,
+    SolveStats, Span, StepController,
 };
+use std::sync::{Arc, OnceLock};
 
 /// Step budget used by every experiment (generous; failures count as
 /// non-convergent rather than panicking). The values come from
@@ -52,6 +54,43 @@ pub fn bench_threads() -> usize {
         .unwrap_or(1)
 }
 
+/// The shared JSONL trace sink for the experiment binaries: pass
+/// `--trace-jsonl <path>` (or set `RLPTA_TRACE_JSONL`) to stream every
+/// telemetry event of the run — LU work, NR iterations, PTA steps, RL
+/// training, batch fan-out — to one line-JSON file. All batch helpers
+/// attach it automatically; `None` (the default) keeps the zero-cost
+/// [`rlpta_core::NullSink`] path.
+pub fn trace_sink() -> Option<Arc<dyn Sink>> {
+    static SINK: OnceLock<Option<Arc<dyn Sink>>> = OnceLock::new();
+    SINK.get_or_init(|| {
+        let path = trace_jsonl_path()?;
+        match JsonlSink::create(&path) {
+            Ok(sink) => Some(Arc::new(sink) as Arc<dyn Sink>),
+            Err(e) => {
+                eprintln!("warning: cannot open trace file {path}: {e}");
+                None
+            }
+        }
+    })
+    .clone()
+}
+
+/// `--trace-jsonl <path>` / `--trace-jsonl=<path>` on the command line
+/// wins, then the `RLPTA_TRACE_JSONL` environment variable.
+fn trace_jsonl_path() -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == "--trace-jsonl" {
+            if let Some(p) = args.next() {
+                return Some(p);
+            }
+        } else if let Some(p) = arg.strip_prefix("--trace-jsonl=") {
+            return Some(p.to_string());
+        }
+    }
+    std::env::var("RLPTA_TRACE_JSONL").ok()
+}
+
 /// Collapses an engine result to the stats the tables print: errors that
 /// carry partial work keep it, total ladder failures absorb every stage,
 /// and anything structural warns and counts as an empty failed run.
@@ -81,11 +120,14 @@ fn stats_of(result: Result<Solution, SolveError>, name: &str) -> SolveStats {
 /// The evaluation engine behind the batch helpers: one PTA flavour under
 /// [`experiment_config`] on `threads` pooled workers.
 fn eval_engine(kind: PtaKind, threads: usize) -> DcEngine {
-    DcEngine::builder()
+    let mut builder = DcEngine::builder()
         .kind(kind)
         .pta_config(experiment_config())
-        .threads(threads)
-        .build()
+        .threads(threads);
+    if let Some(sink) = trace_sink() {
+        builder = builder.telemetry(sink);
+    }
+    builder.build()
 }
 
 /// Runs one benchmark through the full escalation ladder under
@@ -99,12 +141,15 @@ pub fn run_robust(bench: &Benchmark) -> SolveStats {
 /// come back in input order and are identical at any thread count.
 pub fn run_robust_batch(benches: &[Benchmark], threads: usize) -> Vec<SolveStats> {
     let circuits: Vec<_> = benches.iter().map(|b| b.circuit.clone()).collect();
-    let engine = DcEngine::builder()
+    let mut builder = DcEngine::builder()
         .robust()
         .budget(robust_budget())
-        .threads(threads)
-        .build();
-    engine
+        .threads(threads);
+    if let Some(sink) = trace_sink() {
+        builder = builder.telemetry(sink);
+    }
+    builder
+        .build()
         .solve_batch(&circuits)
         .into_iter()
         .zip(benches)
@@ -153,8 +198,11 @@ pub fn run_batch_with<C: StepController + Clone + Sync>(
 }
 
 /// Runs a benchmark with the simple iteration-counting controller.
+///
+/// Routes through the shared evaluation engine so a `--trace-jsonl` sink
+/// sees serial runs too.
 pub fn run_simple(bench: &Benchmark, kind: PtaKind) -> SolveStats {
-    run_with(bench, kind, SimpleStepping::default()).0
+    run_simple_batch(std::slice::from_ref(bench), kind, 1).remove(0)
 }
 
 /// [`run_simple`] over a whole suite on `threads` pooled workers.
@@ -163,8 +211,11 @@ pub fn run_simple_batch(benches: &[Benchmark], kind: PtaKind, threads: usize) ->
 }
 
 /// Runs a benchmark with the adaptive SER controller.
+///
+/// Routes through the shared evaluation engine so a `--trace-jsonl` sink
+/// sees serial runs too.
 pub fn run_adaptive(bench: &Benchmark, kind: PtaKind) -> SolveStats {
-    run_with(bench, kind, SerStepping::default()).0
+    run_adaptive_batch(std::slice::from_ref(bench), kind, 1).remove(0)
 }
 
 /// [`run_adaptive`] over a whole suite on `threads` pooled workers.
@@ -176,6 +227,11 @@ pub fn run_adaptive_batch(benches: &[Benchmark], kind: PtaKind, threads: usize) 
 /// offline phase), returning it ready for per-circuit online adaptation.
 pub fn pretrain_rl(kind: PtaKind, seed: u64, epochs: usize) -> RlStepping {
     let mut rl = RlStepping::new(RlSteppingConfig::new(seed));
+    if let Some(sink) = trace_sink() {
+        // TrainStep events flow during the offline phase; a frozen
+        // controller never trains, so evaluation runs stay silent.
+        rl.attach_telemetry(sink, Span::default());
+    }
     let corpus = training_corpus();
     for _ in 0..epochs {
         for b in &corpus {
@@ -247,6 +303,15 @@ pub fn ste_cell(stats: &SolveStats) -> String {
     } else {
         "N/A".into()
     }
+}
+
+/// `LU f/r` cell: full factorizations vs symbolic-replay refactorizations.
+/// Printed even on failure — the LU work was spent either way.
+pub fn lu_cell(stats: &SolveStats) -> String {
+    format!(
+        "{}/{}",
+        stats.lu_factorizations, stats.lu_refactorizations
+    )
 }
 
 #[cfg(test)]

@@ -3,7 +3,8 @@
 use crate::error::SolvePhase;
 use crate::newton::{newton_iterate, NewtonConfig};
 use crate::recovery::{BudgetMeter, SolveBudget};
-use crate::{Solution, SolveError, SolveStats};
+use crate::telemetry::{Payload, StatsFold, Tele};
+use crate::{Solution, SolveError};
 use rlpta_linalg::LuWorkspace;
 use rlpta_mna::Circuit;
 
@@ -59,6 +60,7 @@ impl GminStepping {
             circuit,
             &vec![0.0; circuit.dim()],
             &mut BudgetMeter::unlimited(),
+            &Tele::disabled(),
         )
     }
 
@@ -75,7 +77,12 @@ impl GminStepping {
     ) -> Result<Solution, SolveError> {
         let mut meter = budget.start();
         meter.set_phase(SolvePhase::Continuation);
-        self.solve_metered(circuit, &vec![0.0; circuit.dim()], &mut meter)
+        self.solve_metered(
+            circuit,
+            &vec![0.0; circuit.dim()],
+            &mut meter,
+            &Tele::disabled(),
+        )
     }
 
     pub(crate) fn solve_metered(
@@ -83,8 +90,10 @@ impl GminStepping {
         circuit: &Circuit,
         x0: &[f64],
         meter: &mut BudgetMeter,
+        tele: &Tele<'_>,
     ) -> Result<Solution, SolveError> {
-        let mut stats = SolveStats::default();
+        let fold = StatsFold::default();
+        let tele = tele.child(&fold);
         let mut x = x0.to_vec();
         // Cold starts keep the historical zeroed limiter state; a warm start
         // seeds the limiter history from the supplied iterate.
@@ -111,17 +120,24 @@ impl GminStepping {
                 &mut |_, _, _| {},
                 meter,
                 &mut lu_ws,
+                &tele,
             )?;
-            stats.nr_iterations += out.iterations;
-            stats.lu_factorizations += out.lu_factorizations;
-            stats.pta_steps += 1; // one continuation stage
+            tele.emit(Payload::StageStep {
+                accepted: out.converged,
+                control: gmin,
+            });
             if !out.converged {
-                return Err(SolveError::NonConvergent { stats });
+                return Err(SolveError::NonConvergent {
+                    stats: fold.snapshot(),
+                });
             }
             x = out.x;
             if gmin <= self.gmin_target {
-                stats.converged = true;
-                return Ok(Solution { x, stats });
+                tele.emit(Payload::SolveDone { converged: true });
+                return Ok(Solution {
+                    x,
+                    stats: fold.snapshot(),
+                });
             }
             gmin = (gmin / self.reduction).max(self.gmin_target);
         }
@@ -165,6 +181,7 @@ impl SourceStepping {
             circuit,
             &vec![0.0; circuit.dim()],
             &mut BudgetMeter::unlimited(),
+            &Tele::disabled(),
         )
     }
 
@@ -181,7 +198,12 @@ impl SourceStepping {
     ) -> Result<Solution, SolveError> {
         let mut meter = budget.start();
         meter.set_phase(SolvePhase::Continuation);
-        self.solve_metered(circuit, &vec![0.0; circuit.dim()], &mut meter)
+        self.solve_metered(
+            circuit,
+            &vec![0.0; circuit.dim()],
+            &mut meter,
+            &Tele::disabled(),
+        )
     }
 
     pub(crate) fn solve_metered(
@@ -189,8 +211,10 @@ impl SourceStepping {
         circuit: &Circuit,
         x0: &[f64],
         meter: &mut BudgetMeter,
+        tele: &Tele<'_>,
     ) -> Result<Solution, SolveError> {
-        let mut stats = SolveStats::default();
+        let fold = StatsFold::default();
+        let tele = tele.child(&fold);
         let mut x = x0.to_vec();
         let mut state = if x0.iter().any(|v| *v != 0.0) {
             circuit.seeded_state(x0)
@@ -218,25 +242,31 @@ impl SourceStepping {
                 &mut |_, _, _| {},
                 meter,
                 &mut lu_ws,
+                &tele,
             )?;
-            stats.nr_iterations += out.iterations;
-            stats.lu_factorizations += out.lu_factorizations;
-            stats.pta_steps += 1;
+            tele.emit(Payload::StageStep {
+                accepted: out.converged,
+                control: next,
+            });
             if out.converged {
                 lambda = next;
                 x = out.x;
                 dl *= self.growth;
             } else {
-                stats.rejected_steps += 1;
                 state = saved_state;
                 dl /= 4.0;
                 if dl < self.min_increment {
-                    return Err(SolveError::NonConvergent { stats });
+                    return Err(SolveError::NonConvergent {
+                        stats: fold.snapshot(),
+                    });
                 }
             }
         }
-        stats.converged = true;
-        Ok(Solution { x, stats })
+        tele.emit(Payload::SolveDone { converged: true });
+        Ok(Solution {
+            x,
+            stats: fold.snapshot(),
+        })
     }
 }
 

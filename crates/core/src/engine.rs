@@ -60,10 +60,12 @@ use crate::recovery::{AttemptReport, LadderStage, RobustDcSolver, SolveBudget};
 use crate::rl_stepping::{RlStepping, RlSteppingConfig};
 use crate::stepping::{SerStepping, SimpleStepping, StepController, StepObservation};
 use crate::sweep::{DcSweep, SweepPoint, SweepReport};
+use crate::telemetry::{NullSink, Payload, Sink, Span, StatsFold, Tele};
 use crate::{Solution, SolveStats};
 use rlpta_linalg::LuWorkspace;
 use rlpta_mna::Circuit;
 use rlpta_threadpool::ThreadPool;
+use std::sync::Arc;
 
 /// Step-control policy selector for the engine builder — the data half of a
 /// [`StepController`], cheap to clone into every parallel job.
@@ -145,6 +147,14 @@ impl StepController for AnyController {
             AnyController::Rl(c) => c.reset(),
         }
     }
+
+    fn attach_telemetry(&mut self, sink: Arc<dyn Sink>, span: Span) {
+        match self {
+            AnyController::Simple(c) => c.attach_telemetry(sink, span),
+            AnyController::Ser(c) => c.attach_telemetry(sink, span),
+            AnyController::Rl(c) => c.attach_telemetry(sink, span),
+        }
+    }
 }
 
 /// Which solve algorithm the engine drives.
@@ -171,6 +181,7 @@ pub struct DcEngineBuilder {
     budget: SolveBudget,
     threads: usize,
     sweep_chunk: usize,
+    telemetry: Arc<dyn Sink>,
     #[cfg(feature = "faults")]
     fault_plan: Option<crate::recovery::FaultPlan>,
 }
@@ -185,6 +196,7 @@ impl Default for DcEngineBuilder {
             budget: SolveBudget::UNLIMITED,
             threads: 1,
             sweep_chunk: DcEngine::DEFAULT_SWEEP_CHUNK,
+            telemetry: Arc::new(NullSink),
             #[cfg(feature = "faults")]
             fault_plan: None,
         }
@@ -274,6 +286,18 @@ impl DcEngineBuilder {
         self
     }
 
+    /// Telemetry sink receiving the unified event stream from every solve
+    /// the engine runs — LU kernel operations, Newton iterations, PTA
+    /// steps, ladder attempts, batch fan-out and sweep points, each tagged
+    /// with its [`Span`]. The default [`NullSink`] drops everything at zero
+    /// cost; see [`Collector`](crate::telemetry::Collector) and
+    /// [`JsonlSink`](crate::telemetry::JsonlSink) for real consumers.
+    #[must_use]
+    pub fn telemetry(mut self, sink: Arc<dyn Sink>) -> Self {
+        self.telemetry = sink;
+        self
+    }
+
     /// Sweep chunk size (points per parallel job). A fixed layout constant:
     /// changing it changes the warm-start chain, so it is deliberately
     /// **not** derived from the thread count — otherwise results would
@@ -306,6 +330,7 @@ impl DcEngineBuilder {
             budget: self.budget,
             threads: self.threads.max(1),
             sweep_chunk: self.sweep_chunk.max(1),
+            telemetry: self.telemetry,
             #[cfg(feature = "faults")]
             fault_plan: self.fault_plan,
         }
@@ -323,6 +348,7 @@ pub struct DcEngine {
     budget: SolveBudget,
     threads: usize,
     sweep_chunk: usize,
+    telemetry: Arc<dyn Sink>,
     #[cfg(feature = "faults")]
     fault_plan: Option<crate::recovery::FaultPlan>,
 }
@@ -371,7 +397,9 @@ impl DcEngine {
     pub fn solve(&self, circuit: &Circuit) -> Result<Solution, SolveError> {
         #[cfg(feature = "faults")]
         let _guard = self.install_faults();
-        self.solve_one(circuit)
+        let out = self.solve_one(circuit);
+        self.telemetry.finish();
+        out
     }
 
     /// Solves every circuit as an independent pooled job; results come back
@@ -383,12 +411,20 @@ impl DcEngine {
     /// themselves are the parallel unit, so racing ladder rungs inside a
     /// job would multiply work without helping wall-clock time.
     pub fn solve_batch(&self, circuits: &[Circuit]) -> Vec<Result<Solution, SolveError>> {
-        self.run_jobs(
+        let out = self.run_jobs(
             circuits
                 .iter()
-                .map(|c| move || self.solve_serial(c))
+                .enumerate()
+                .map(|(i, c)| {
+                    move || {
+                        let tele = Tele::root(&*self.telemetry, Span::for_job(i));
+                        self.solve_serial(c, &tele)
+                    }
+                })
                 .collect::<Vec<_>>(),
-        )
+        );
+        self.telemetry.finish();
+        out
     }
 
     /// Solves every circuit with a caller-supplied step controller — the
@@ -407,18 +443,27 @@ impl DcEngine {
         C: StepController + Clone + Sync,
     {
         let kind = self.pta_kind_or_default();
-        self.run_jobs(
+        let out = self.run_jobs(
             circuits
                 .iter()
-                .map(|c| {
+                .enumerate()
+                .map(|(i, c)| {
                     move || {
+                        let span = Span::for_job(i);
+                        let tele = Tele::root(&*self.telemetry, span);
+                        let mut ctrl = controller.clone();
+                        ctrl.attach_telemetry(self.telemetry.clone(), span);
                         let mut solver =
-                            PtaSolver::with_config(kind, controller.clone(), self.config.clone());
-                        solver.solve_budgeted(c, &self.budget)
+                            PtaSolver::with_config(kind, ctrl, self.config.clone());
+                        let mut meter = self.budget.start();
+                        meter.set_phase(SolvePhase::PseudoTransient);
+                        solver.solve_metered(c, &mut meter, &tele)
                     }
                 })
                 .collect::<Vec<_>>(),
-        )
+        );
+        self.telemetry.finish();
+        out
     }
 
     /// Runs a DC sweep in fixed-size chunks with warm-start handoff at the
@@ -457,15 +502,23 @@ impl DcEngine {
         let chunk = self.sweep_chunk;
         let n_chunks = values.len().div_ceil(chunk);
 
-        // Phase 1: chunk boundaries, a serial warm-start chain.
+        // Phase 1: chunk boundaries, a serial warm-start chain. Boundary
+        // events ride the job-less span (they belong to the shared chain,
+        // not to any one chunk job).
         let mut boundaries: Vec<Solution> = Vec::with_capacity(n_chunks);
         {
+            let tele = Tele::root(&*self.telemetry, Span::default());
             let mut work = circuit.clone();
             let mut lu_ws = LuWorkspace::new();
             for k in 0..n_chunks {
                 work.set_source_dc(source, values[k * chunk]);
                 let warm = boundaries.last().map(|s| s.x.as_slice());
-                let sol = self.solve_sweep_point(&work, warm, &mut lu_ws)?;
+                let sol = self.solve_sweep_point(&work, warm, &mut lu_ws, &tele)?;
+                tele.emit(Payload::SweepPoint {
+                    index: k * chunk,
+                    value: values[k * chunk],
+                    stats: sol.stats,
+                });
                 boundaries.push(sol);
             }
         }
@@ -476,14 +529,21 @@ impl DcEngine {
                 .map(|k| {
                     let boundary = &boundaries[k];
                     move || {
+                        let tele = Tele::root(&*self.telemetry, Span::for_job(k));
                         let hi = ((k + 1) * chunk).min(values.len());
                         let mut work = circuit.clone();
                         let mut lu_ws = LuWorkspace::new();
                         let mut prev = boundary.x.clone();
                         let mut points = Vec::with_capacity(hi - (k * chunk + 1));
-                        for &v in &values[k * chunk + 1..hi] {
+                        for (off, &v) in values[k * chunk + 1..hi].iter().enumerate() {
                             work.set_source_dc(source, v);
-                            let sol = self.solve_sweep_point(&work, Some(&prev), &mut lu_ws)?;
+                            let sol =
+                                self.solve_sweep_point(&work, Some(&prev), &mut lu_ws, &tele)?;
+                            tele.emit(Payload::SweepPoint {
+                                index: k * chunk + 1 + off,
+                                value: v,
+                                stats: sol.stats,
+                            });
                             prev.clone_from(&sol.x);
                             points.push(SweepPoint { value: v, solution: sol });
                         }
@@ -507,6 +567,7 @@ impl DcEngine {
             }
         }
         stats.converged = points.iter().all(|p| p.solution.stats.converged);
+        self.telemetry.finish();
         Ok(SweepReport { points, stats })
     }
 
@@ -524,24 +585,38 @@ impl DcEngine {
             Strategy::Robust(stages) if self.threads > 1 && stages.len() > 1 => {
                 self.solve_raced(stages, circuit)
             }
-            _ => self.solve_serial(circuit),
+            _ => {
+                let tele = Tele::root(&*self.telemetry, Span::default());
+                self.solve_serial(circuit, &tele)
+            }
         }
     }
 
     /// One circuit through the configured strategy with no intra-solve
     /// parallelism — the per-job body of every batch entry point.
-    fn solve_serial(&self, circuit: &Circuit) -> Result<Solution, SolveError> {
+    fn solve_serial(&self, circuit: &Circuit, tele: &Tele<'_>) -> Result<Solution, SolveError> {
         match &self.strategy {
-            Strategy::Newton => NewtonRaphson::from_config(self.newton.clone())
-                .solve_budgeted(circuit, &self.budget),
+            Strategy::Newton => {
+                let mut meter = self.budget.start();
+                meter.set_phase(SolvePhase::Newton);
+                NewtonRaphson::from_config(self.newton.clone()).solve_metered(
+                    circuit,
+                    &vec![0.0; circuit.dim()],
+                    &mut meter,
+                    tele,
+                )
+            }
             Strategy::Pta(kind) => {
-                let mut solver =
-                    PtaSolver::with_config(*kind, self.stepping.controller(), self.config.clone());
-                solver.solve_budgeted(circuit, &self.budget)
+                let mut ctrl = self.stepping.controller();
+                ctrl.attach_telemetry(self.telemetry.clone(), tele.span());
+                let mut solver = PtaSolver::with_config(*kind, ctrl, self.config.clone());
+                let mut meter = self.budget.start();
+                meter.set_phase(SolvePhase::PseudoTransient);
+                solver.solve_metered(circuit, &mut meter, tele)
             }
             Strategy::Robust(stages) => RobustDcSolver::from_stages(stages.clone())
                 .with_budget(self.budget)
-                .solve(circuit),
+                .solve_with(circuit, tele),
         }
     }
 
@@ -558,11 +633,15 @@ impl DcEngine {
         let results = self.run_jobs(
             stages
                 .iter()
-                .map(|stage| {
+                .enumerate()
+                .map(|(i, stage)| {
                     move || {
+                        // Each raced rung is its own pooled job; its events
+                        // carry the rung index so losers stay attributable.
+                        let tele = Tele::root(&*self.telemetry, Span::for_job(i));
                         RobustDcSolver::from_stages(vec![stage.clone()])
                             .with_budget(self.budget)
-                            .solve(circuit)
+                            .solve_with(circuit, &tele)
                     }
                 })
                 .collect::<Vec<_>>(),
@@ -611,6 +690,7 @@ impl DcEngine {
         work: &Circuit,
         warm: Option<&[f64]>,
         lu_ws: &mut LuWorkspace,
+        tele: &Tele<'_>,
     ) -> Result<Solution, SolveError> {
         let zeros;
         let x0: &[f64] = match warm {
@@ -623,6 +703,8 @@ impl DcEngine {
         let mut meter = self.budget.start();
         meter.set_phase(SolvePhase::Newton);
         let mut state = work.seeded_state(x0);
+        let fold = StatsFold::default();
+        let point_tele = tele.child(&fold);
         let attempt = newton_iterate(
             work,
             &self.newton,
@@ -631,26 +713,28 @@ impl DcEngine {
             &mut |_, _, _| {},
             &mut meter,
             lu_ws,
+            &point_tele,
         );
         match attempt {
-            Ok(out) if out.converged => Ok(Solution {
-                x: out.x,
-                stats: SolveStats {
-                    nr_iterations: out.iterations,
-                    lu_factorizations: out.lu_factorizations,
-                    converged: true,
-                    ..SolveStats::default()
-                },
-            }),
+            Ok(out) if out.converged => {
+                point_tele.emit(Payload::SolveDone { converged: true });
+                Ok(Solution {
+                    x: out.x,
+                    stats: fold.snapshot(),
+                })
+            }
             Err(e @ SolveError::BudgetExhausted { .. }) => Err(e),
             _ => {
+                // The failed warm-start attempt's work is not charged to
+                // the fallback solution (matching the historical stats),
+                // but its events are already on the stream above.
                 let stages = match &self.strategy {
                     Strategy::Robust(stages) => stages.clone(),
                     _ => RobustDcSolver::default_ladder(),
                 };
                 RobustDcSolver::from_stages(stages)
                     .with_budget(self.budget)
-                    .solve(work)
+                    .solve_with(work, tele)
             }
         }
     }
@@ -666,14 +750,21 @@ impl DcEngine {
     {
         #[cfg(feature = "faults")]
         let plan = self.fault_plan;
+        let of = jobs.len();
         let wrapped: Vec<_> = jobs
             .into_iter()
-            .map(|job| {
+            .enumerate()
+            .map(|(i, job)| {
                 move || {
                     #[cfg(feature = "faults")]
                     if let Some(p) = plan {
                         p.install();
                     }
+                    // Announce the pooled job on the stream. The span is
+                    // built on the worker thread so it carries the real
+                    // worker index.
+                    Tele::root(&*self.telemetry, Span::for_job(i))
+                        .emit(Payload::BatchJob { job: i, of });
                     let out = job();
                     #[cfg(feature = "faults")]
                     if plan.is_some() {

@@ -16,7 +16,8 @@
 use crate::error::SolvePhase;
 use crate::newton::{newton_iterate, NewtonConfig};
 use crate::recovery::{BudgetMeter, SolveBudget};
-use crate::{Solution, SolveError, SolveStats};
+use crate::telemetry::{Payload, StatsFold, Tele};
+use crate::{Solution, SolveError};
 use rlpta_mna::Circuit;
 
 /// Newton-homotopy DC solver.
@@ -74,6 +75,7 @@ impl NewtonHomotopy {
             circuit,
             &vec![0.0; circuit.dim()],
             &mut BudgetMeter::unlimited(),
+            &Tele::disabled(),
         )
     }
 
@@ -90,7 +92,12 @@ impl NewtonHomotopy {
     ) -> Result<Solution, SolveError> {
         let mut meter = budget.start();
         meter.set_phase(SolvePhase::Homotopy);
-        self.solve_metered(circuit, &vec![0.0; circuit.dim()], &mut meter)
+        self.solve_metered(
+            circuit,
+            &vec![0.0; circuit.dim()],
+            &mut meter,
+            &Tele::disabled(),
+        )
     }
 
     pub(crate) fn solve_metered(
@@ -98,6 +105,7 @@ impl NewtonHomotopy {
         circuit: &Circuit,
         x0: &[f64],
         meter: &mut BudgetMeter,
+        tele: &Tele<'_>,
     ) -> Result<Solution, SolveError> {
         // F(x₀): the constant deformation term. A poisoned starting point
         // would contaminate every λ stage, so reject it up front.
@@ -108,7 +116,8 @@ impl NewtonHomotopy {
             });
         }
 
-        let mut stats = SolveStats::default();
+        let fold = StatsFold::default();
+        let tele = tele.child(&fold);
         let mut x = x0.to_vec();
         let mut state = if x0.iter().any(|v| *v != 0.0) {
             circuit.seeded_state(x0)
@@ -142,25 +151,31 @@ impl NewtonHomotopy {
                 &mut deform,
                 meter,
                 &mut lu_ws,
+                &tele,
             )?;
-            stats.nr_iterations += out.iterations;
-            stats.lu_factorizations += out.lu_factorizations;
-            stats.pta_steps += 1;
+            tele.emit(Payload::StageStep {
+                accepted: out.converged,
+                control: next,
+            });
             if out.converged {
                 lambda = next;
                 x = out.x;
                 dl *= self.growth;
             } else {
                 state = saved_state;
-                stats.rejected_steps += 1;
                 dl /= 4.0;
                 if dl < self.min_step {
-                    return Err(SolveError::NonConvergent { stats });
+                    return Err(SolveError::NonConvergent {
+                        stats: fold.snapshot(),
+                    });
                 }
             }
         }
-        stats.converged = true;
-        Ok(Solution { x, stats })
+        tele.emit(Payload::SolveDone { converged: true });
+        Ok(Solution {
+            x,
+            stats: fold.snapshot(),
+        })
     }
 }
 

@@ -1,9 +1,11 @@
 //! IPP glue: binds the Gaussian-process active learner of `rlpta-gp` to
 //! real PTA runs (the paper's §3 pipeline).
 
+use crate::telemetry::{Event, Payload, Sink, Span};
 use crate::{PtaConfig, PtaKind, PtaParams, PtaSolver, SimpleStepping, SolveBudget};
 use rlpta_gp::{ActiveLearner, GpError, IterationOracle};
 use rlpta_mna::Circuit;
+use std::sync::Arc;
 
 /// Cost assigned to a non-convergent run (log scale — roughly e¹² ≈ 160 000
 /// "virtual" iterations, far above any convergent run).
@@ -21,6 +23,8 @@ pub struct IppOracle<'a> {
     budget: SolveBudget,
     threads: usize,
     evaluations: usize,
+    rounds: usize,
+    telemetry: Option<Arc<dyn Sink>>,
 }
 
 impl<'a> IppOracle<'a> {
@@ -38,6 +42,8 @@ impl<'a> IppOracle<'a> {
             budget: SolveBudget::UNLIMITED,
             threads: 1,
             evaluations: 0,
+            rounds: 0,
+            telemetry: None,
         }
     }
 
@@ -60,6 +66,15 @@ impl<'a> IppOracle<'a> {
         } else {
             threads
         };
+        self
+    }
+
+    /// Streams one [`Payload::AcquisitionRound`] event per proposal batch
+    /// the active learner evaluates — GP training progress on the same
+    /// event stream as the solver work it triggers.
+    #[must_use]
+    pub fn with_telemetry(mut self, sink: Arc<dyn Sink>) -> Self {
+        self.telemetry = Some(sink);
         self
     }
 
@@ -120,21 +135,34 @@ impl IterationOracle for IppOracle<'_> {
     /// bit for bit.
     fn evaluate_batch(&mut self, jobs: &[(usize, Vec<f64>)]) -> Vec<f64> {
         self.evaluations += jobs.len();
+        self.rounds += 1;
         let pool = rlpta_threadpool::ThreadPool::new(self.threads);
-        pool.map(jobs, |(circuit, w)| {
-            run_stats(
-                self.kind,
-                &self.config,
-                &self.budget,
-                &self.circuits[*circuit],
-                PtaParams::from_w(w),
-            )
-        })
-        .into_iter()
-        // A panicked job (impossible under normal operation) counts as a
-        // divergence rather than aborting a long offline training run.
-        .map(|r| stats_cost(r.unwrap_or(None)))
-        .collect()
+        let costs: Vec<f64> = pool
+            .map(jobs, |(circuit, w)| {
+                run_stats(
+                    self.kind,
+                    &self.config,
+                    &self.budget,
+                    &self.circuits[*circuit],
+                    PtaParams::from_w(w),
+                )
+            })
+            .into_iter()
+            // A panicked job (impossible under normal operation) counts as a
+            // divergence rather than aborting a long offline training run.
+            .map(|r| stats_cost(r.unwrap_or(None)))
+            .collect();
+        if let Some(sink) = &self.telemetry {
+            sink.emit(&Event {
+                span: Span::default(),
+                payload: Payload::AcquisitionRound {
+                    round: self.rounds,
+                    evaluations: self.evaluations,
+                    best_cost: costs.iter().copied().fold(f64::INFINITY, f64::min),
+                },
+            });
+        }
+        costs
     }
 }
 

@@ -26,7 +26,11 @@
 //! * [`DcEngine`] — the single public entry point tying it together:
 //!   strategy selection via a builder, symbolic-LU reuse across Newton
 //!   iterations and batch execution (corpora, sweeps, raced ladders) on a
-//!   deterministic thread pool ([`engine`](crate::DcEngine)).
+//!   deterministic thread pool ([`engine`](crate::DcEngine)),
+//! * [`telemetry`] — one typed event stream from the LU kernel up to the
+//!   RL trainer, consumed through pluggable [`Sink`]s; the classic report
+//!   types ([`SolveStats`], [`TraceEntry`], [`AttemptReport`],
+//!   [`SweepReport`]) are derived fold/filter views over it.
 //!
 //! # Example
 //!
@@ -70,6 +74,7 @@ mod rl_stepping;
 mod solution;
 mod stepping;
 mod sweep;
+pub mod telemetry;
 mod trace;
 mod transient;
 
@@ -90,5 +95,6 @@ pub use rl_stepping::{RlStepping, RlSteppingConfig};
 pub use solution::{Solution, SolveStats};
 pub use stepping::{SerStepping, SimpleStepping, StepController, StepObservation};
 pub use sweep::{DcSweep, SweepPoint, SweepReport};
+pub use telemetry::{Collector, CounterSink, Event, JsonlSink, NullSink, Payload, Sink, Span};
 pub use trace::{TraceController, TraceEntry};
 pub use transient::{Stimulus, Transient, TransientPoint, Waveform};

@@ -2,9 +2,10 @@
 
 use crate::error::SolvePhase;
 use crate::recovery::{BudgetMeter, SolveBudget};
-use crate::{Solution, SolveError, SolveStats};
+use crate::telemetry::{Payload, StatsFold, Tele};
+use crate::{Solution, SolveError};
 use rlpta_devices::EvalCtx;
-use rlpta_linalg::{norms, LuWorkspace, Triplet};
+use rlpta_linalg::{norms, LuOp, LuWorkspace, Triplet};
 use rlpta_mna::Circuit;
 
 /// Extra-stamp hook: `(x, jacobian, residual)` — the PTA engine injects
@@ -58,8 +59,10 @@ pub(crate) struct NrOutcome {
     pub iterations: usize,
     /// Whether the run converged.
     pub converged: bool,
-    /// LU factorizations performed.
+    /// Full LU factorizations performed (including failed attempts).
     pub lu_factorizations: usize,
+    /// Numeric-only LU pattern replays performed.
+    pub lu_refactorizations: usize,
     /// Infinity norm of the (possibly pseudo-augmented) residual at the
     /// final iterate.
     pub residual: f64,
@@ -83,6 +86,14 @@ pub(crate) struct NrOutcome {
 /// that solve repeatedly on one circuit (PTA steps, continuation stages,
 /// sweep points) pass a persistent workspace so every iteration after the
 /// first replays the pattern instead of redoing the symbolic analysis.
+///
+/// `tele` receives one `NrIteration` per budget-cleared iteration, one
+/// `LuFactorized`/`LuReplayed` per factorization attempt (read off the
+/// workspace's `last_op`) and a terminal `NrOutcome` on both `Ok` paths —
+/// the raw counters of [`crate::SolveStats`] are folds of these events.
+// Internal plumbing shared by every solver; the alternative — a context
+// struct rebuilt at each call site — would just rename the arguments.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn newton_iterate(
     circuit: &Circuit,
     config: &NewtonConfig,
@@ -91,6 +102,7 @@ pub(crate) fn newton_iterate(
     extra: &mut ExtraStamps<'_>,
     meter: &mut BudgetMeter,
     lu_ws: &mut LuWorkspace,
+    tele: &Tele<'_>,
 ) -> Result<NrOutcome, SolveError> {
     let dim = circuit.dim();
     debug_assert_eq!(x0.len(), dim, "x0 dimension mismatch");
@@ -102,11 +114,13 @@ pub(crate) fn newton_iterate(
     let mut x_prev: Option<Vec<f64>> = None;
     let mut jac = Triplet::with_capacity(dim, dim, 16 * circuit.devices().len() + 2 * dim);
     let mut res = vec![0.0; dim];
-    let mut lu_count = 0usize;
+    let mut lu_full = 0usize;
+    let mut lu_replay = 0usize;
     let mut last_residual = f64::INFINITY;
 
     for iter in 1..=config.max_iterations {
         meter.charge_nr(1)?;
+        tele.emit(Payload::NrIteration { iteration: iter });
         let ctx = EvalCtx {
             x: &x,
             gmin: config.gmin,
@@ -150,14 +164,33 @@ pub(crate) fn newton_iterate(
                     jac.push(i, i, gshunt);
                 }
             }
-            lu_count += 1;
             match lu_ws.factorize(&jac.to_csr()) {
                 Ok(f) => {
+                    if lu_ws.last_op() == Some(LuOp::Replay) {
+                        lu_replay += 1;
+                        tele.emit(Payload::LuReplayed { dim });
+                    } else {
+                        lu_full += 1;
+                        tele.emit(Payload::LuFactorized { dim });
+                    }
                     factorized = Some(f);
                     break;
                 }
-                Err(_) if bump < 3 => continue,
-                Err(e) => return Err(SolveError::Singular(e)),
+                // A failed call always went through the full path (replay
+                // failures fall back internally), so it counts as an
+                // attempted full factorization.
+                Err(_) if bump < 3 => {
+                    lu_full += 1;
+                    tele.emit(Payload::LuFactorized { dim });
+                    continue;
+                }
+                Err(e) => {
+                    // The local counter feeds only the NrOutcome payload,
+                    // which this error return never emits; the event alone
+                    // records the final failed attempt.
+                    tele.emit(Payload::LuFactorized { dim });
+                    return Err(SolveError::Singular(e));
+                }
             }
         }
         let lu = match factorized {
@@ -243,21 +276,37 @@ pub(crate) fn newton_iterate(
                 .zip(&state_before)
                 .any(|(a, b)| (a - b).abs() > 1e-9);
             if !limiting_active && last_residual <= config.residual_tol {
+                tele.emit(Payload::NrOutcome {
+                    iterations: iter,
+                    converged: true,
+                    lu_factorizations: lu_full,
+                    lu_refactorizations: lu_replay,
+                    residual: last_residual,
+                });
                 return Ok(NrOutcome {
                     x,
                     iterations: iter,
                     converged: true,
-                    lu_factorizations: lu_count,
+                    lu_factorizations: lu_full,
+                    lu_refactorizations: lu_replay,
                     residual: last_residual,
                 });
             }
         }
     }
+    tele.emit(Payload::NrOutcome {
+        iterations: config.max_iterations,
+        converged: false,
+        lu_factorizations: lu_full,
+        lu_refactorizations: lu_replay,
+        residual: last_residual,
+    });
     Ok(NrOutcome {
         x,
         iterations: config.max_iterations,
         converged: false,
-        lu_factorizations: lu_count,
+        lu_factorizations: lu_full,
+        lu_refactorizations: lu_replay,
         residual: last_residual,
     })
 }
@@ -322,7 +371,7 @@ impl NewtonRaphson {
     ///
     /// See [`NewtonRaphson::solve`].
     pub fn solve_from(&self, circuit: &Circuit, x0: &[f64]) -> Result<Solution, SolveError> {
-        self.solve_metered(circuit, x0, &mut BudgetMeter::unlimited())
+        self.solve_metered(circuit, x0, &mut BudgetMeter::unlimited(), &Tele::disabled())
     }
 
     /// Solves under a resource [`SolveBudget`]: the wall-clock deadline and
@@ -339,15 +388,23 @@ impl NewtonRaphson {
     ) -> Result<Solution, SolveError> {
         let mut meter = budget.start();
         meter.set_phase(SolvePhase::Newton);
-        self.solve_metered(circuit, &vec![0.0; circuit.dim()], &mut meter)
+        self.solve_metered(
+            circuit,
+            &vec![0.0; circuit.dim()],
+            &mut meter,
+            &Tele::disabled(),
+        )
     }
 
-    fn solve_metered(
+    pub(crate) fn solve_metered(
         &self,
         circuit: &Circuit,
         x0: &[f64],
         meter: &mut BudgetMeter,
+        tele: &Tele<'_>,
     ) -> Result<Solution, SolveError> {
+        let fold = StatsFold::default();
+        let tele = tele.child(&fold);
         let mut state = circuit.seeded_state(x0);
         let mut lu_ws = LuWorkspace::new();
         let out = newton_iterate(
@@ -358,14 +415,13 @@ impl NewtonRaphson {
             &mut |_, _, _| {},
             meter,
             &mut lu_ws,
+            &tele,
         )?;
-        let stats = SolveStats {
-            nr_iterations: out.iterations,
-            pta_steps: 0,
-            rejected_steps: 0,
-            lu_factorizations: out.lu_factorizations,
+        tele.emit(Payload::SolveDone {
             converged: out.converged,
-        };
+        });
+        // The returned counters are the fold of the events just emitted.
+        let stats = fold.snapshot();
         if out.converged {
             Ok(Solution { x: out.x, stats })
         } else {

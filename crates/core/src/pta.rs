@@ -27,7 +27,8 @@
 use crate::error::SolvePhase;
 use crate::newton::{newton_iterate, NewtonConfig};
 use crate::recovery::{BudgetMeter, SolveBudget};
-use crate::{Solution, SolveError, SolveStats, StepController, StepObservation};
+use crate::telemetry::{Payload, StatsFold, Tele};
+use crate::{Solution, SolveError, StepController, StepObservation};
 use rlpta_devices::Device;
 use rlpta_linalg::{norms, Triplet};
 use rlpta_mna::Circuit;
@@ -264,7 +265,7 @@ impl<C: StepController> PtaSolver<C> {
     /// * [`SolveError::NonConvergent`] when the step budget is exhausted or
     ///   the controller stalls at `h_min`.
     pub fn solve(&mut self, circuit: &Circuit) -> Result<Solution, SolveError> {
-        self.solve_metered(circuit, &mut BudgetMeter::unlimited())
+        self.solve_metered(circuit, &mut BudgetMeter::unlimited(), &Tele::disabled())
     }
 
     /// Runs PTA under a resource [`SolveBudget`]: deadline and iteration
@@ -282,13 +283,18 @@ impl<C: StepController> PtaSolver<C> {
     ) -> Result<Solution, SolveError> {
         let mut meter = budget.start();
         meter.set_phase(SolvePhase::PseudoTransient);
-        self.solve_metered(circuit, &mut meter)
+        self.solve_metered(circuit, &mut meter, &Tele::disabled())
     }
 
+    /// Runs PTA under an explicit budget meter and telemetry context. The
+    /// returned / error-carried [`crate::SolveStats`] are a fold of the
+    /// events emitted into `tele` (one `PtaStep` per attempted time point,
+    /// plus the inner Newton events).
     pub(crate) fn solve_metered(
         &mut self,
         circuit: &Circuit,
         meter: &mut BudgetMeter,
+        tele: &Tele<'_>,
     ) -> Result<Solution, SolveError> {
         let dim = circuit.dim();
         let num_nodes = circuit.num_nodes();
@@ -309,7 +315,8 @@ impl<C: StepController> PtaSolver<C> {
             })
             .collect();
 
-        let mut stats = SolveStats::default();
+        let fold = StatsFold::default();
+        let tele = tele.child(&fold);
         let mut x_time = vec![0.0; dim];
         // Junction-limiting device state, persisted across time points.
         let mut dev_state = circuit.new_state();
@@ -320,7 +327,6 @@ impl<C: StepController> PtaSolver<C> {
             _ => 1.0,
         };
         let mut prev_dx: Option<Vec<f64>> = None;
-        let mut last_gamma = 1.0;
         let mut stalled_rejects = 0usize;
 
         self.controller.reset();
@@ -391,9 +397,8 @@ impl<C: StepController> PtaSolver<C> {
                 &mut pseudo,
                 meter,
                 &mut lu_ws,
+                &tele,
             )?;
-            stats.nr_iterations += out.iterations;
-            stats.lu_factorizations += out.lu_factorizations;
 
             // Steady-state test on the *original* residual. `inf_norm` folds
             // with `f64::max`, which discards NaN — scan for finiteness
@@ -414,9 +419,7 @@ impl<C: StepController> PtaSolver<C> {
             if let Some(res_orig) = res_orig {
                 stalled_rejects = 0;
                 let gamma = norms::max_relative_change(&out.x, &x_time, 1e-6);
-                last_gamma = gamma;
                 t += h;
-                stats.pta_steps += 1;
 
                 // Flavour-specific state updates.
                 if let PtaKind::Cepta(_) = self.kind {
@@ -448,43 +451,79 @@ impl<C: StepController> PtaSolver<C> {
                     nr_iterations: out.iterations,
                     nr_converged: true,
                     residual: res_orig,
-                    gamma,
+                    gamma: Some(gamma),
                     pta_converged: steady,
                     step: h,
                     time: t,
                 };
                 let h_next = self.controller.next_step(&obs);
+                tele.emit(Payload::PtaStep {
+                    accepted: true,
+                    h,
+                    h_next,
+                    gamma: Some(gamma),
+                    nr_iterations: out.iterations,
+                    residual: res_orig,
+                    pta_converged: steady,
+                    time: t,
+                });
                 if steady {
-                    stats.converged = true;
-                    return Ok(Solution { x: x_time, stats });
+                    tele.emit(Payload::SolveDone { converged: true });
+                    return Ok(Solution {
+                        x: x_time,
+                        stats: fold.snapshot(),
+                    });
                 }
                 h = h_next.clamp(self.config.h_min, self.config.h_max);
             } else {
-                stats.rejected_steps += 1;
                 // Roll back the limiter history along with the solution.
                 dev_state = saved_state;
                 if h <= self.config.h_min * 1.000_001 {
                     stalled_rejects += 1;
                     if stalled_rejects >= self.config.max_stalled_rejects {
-                        return Err(SolveError::NonConvergent { stats });
+                        // Fatal stall: the controller is not consulted (no
+                        // next step exists), so the event carries h as-is.
+                        tele.emit(Payload::PtaStep {
+                            accepted: false,
+                            h,
+                            h_next: h,
+                            gamma: None,
+                            nr_iterations: out.iterations,
+                            residual: out.residual,
+                            pta_converged: false,
+                            time: t,
+                        });
+                        return Err(SolveError::NonConvergent {
+                            stats: fold.snapshot(),
+                        });
                     }
                 }
                 let obs = StepObservation {
                     nr_iterations: out.iterations,
                     nr_converged: false,
                     residual: out.residual,
-                    gamma: last_gamma,
+                    gamma: None,
                     pta_converged: false,
                     step: h,
                     time: t,
                 };
-                h = self
-                    .controller
-                    .next_step(&obs)
-                    .clamp(self.config.h_min, self.config.h_max);
+                let h_next = self.controller.next_step(&obs);
+                tele.emit(Payload::PtaStep {
+                    accepted: false,
+                    h,
+                    h_next,
+                    gamma: None,
+                    nr_iterations: out.iterations,
+                    residual: out.residual,
+                    pta_converged: false,
+                    time: t,
+                });
+                h = h_next.clamp(self.config.h_min, self.config.h_max);
             }
         }
-        Err(SolveError::NonConvergent { stats })
+        Err(SolveError::NonConvergent {
+            stats: fold.snapshot(),
+        })
     }
 }
 
@@ -643,6 +682,9 @@ mod tests {
         let mut pta = PtaSolver::new(PtaKind::Pure, SimpleStepping::default());
         let sol = pta.solve(&c).unwrap();
         assert!(sol.stats.nr_iterations >= sol.stats.pta_steps);
-        assert!(sol.stats.lu_factorizations >= sol.stats.nr_iterations);
+        // Every NR iteration sets up at least one linear solve; with one
+        // matrix pattern all but the first are cheap replays.
+        assert!(sol.stats.lu_total() >= sol.stats.nr_iterations);
+        assert!(sol.stats.lu_refactorizations > sol.stats.lu_factorizations);
     }
 }

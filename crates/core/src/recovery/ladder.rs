@@ -14,6 +14,7 @@ use crate::homotopy::NewtonHomotopy;
 use crate::newton::{newton_iterate, NewtonConfig};
 use crate::pta::{PtaConfig, PtaKind, PtaParams, PtaSolver};
 use crate::recovery::budget::{BudgetMeter, SolveBudget};
+use crate::telemetry::{Payload, StatsFold, Tele};
 use crate::{SimpleStepping, Solution, SolveStats};
 use rlpta_mna::Circuit;
 use std::time::{Duration, Instant};
@@ -26,9 +27,9 @@ pub struct AttemptReport {
     pub strategy: &'static str,
     /// The error that ended the stage.
     pub error: Box<SolveError>,
-    /// Work the stage performed. Taken from the error's own statistics when
-    /// it carries them (`NonConvergent`), otherwise from the budget meter's
-    /// charge delta (NR iterations and outer steps only).
+    /// Work the stage performed, folded from the stage's own telemetry
+    /// event stream (so it is exact for every error kind, not just
+    /// `NonConvergent`).
     pub stats: SolveStats,
     /// Wall-clock time the stage consumed.
     pub elapsed: Duration,
@@ -183,6 +184,18 @@ impl RobustDcSolver {
     /// * [`SolveError::BudgetExhausted`] when the global budget ran out,
     /// * [`SolveError::AllStrategiesFailed`] when every stage ran and failed.
     pub fn solve(&self, circuit: &Circuit) -> Result<Solution, SolveError> {
+        self.solve_with(circuit, &Tele::disabled())
+    }
+
+    /// Ladder run with a telemetry context: every stage's events flow into
+    /// `tele`, failed stages additionally emit a [`Payload::LadderAttempt`]
+    /// summary, and both the success totals and the per-attempt stats are
+    /// folds over that same stream.
+    pub(crate) fn solve_with(
+        &self,
+        circuit: &Circuit,
+        tele: &Tele<'_>,
+    ) -> Result<Solution, SolveError> {
         if self.stages.is_empty() {
             return Err(SolveError::InvalidConfig {
                 detail: "escalation ladder has no stages".into(),
@@ -191,18 +204,23 @@ impl RobustDcSolver {
         let mut meter = self.budget.start();
         let mut attempts: Vec<AttemptReport> = Vec::with_capacity(self.stages.len());
         let mut warm: Option<Vec<f64>> = None;
-        let mut total = SolveStats::default();
+        // Every stage's raw events pass through this fold, so the success
+        // totals include the work of failed attempts without any absorb
+        // bookkeeping.
+        let total_fold = StatsFold::default();
+        let tele = tele.child(&total_fold);
         for stage in &self.stages {
             meter.set_phase(SolvePhase::Escalation);
             meter.check_deadline()?;
-            let spent_before = meter.spent();
             let t0 = Instant::now();
-            let (result, carry) = run_stage(stage, circuit, warm.as_deref(), &mut meter);
+            let stage_fold = StatsFold::default();
+            let stage_tele = tele.child(&stage_fold);
+            let (result, carry) =
+                run_stage(stage, circuit, warm.as_deref(), &mut meter, &stage_tele);
             let elapsed = t0.elapsed();
             match result {
                 Ok(mut sol) => {
-                    total.absorb(&sol.stats);
-                    sol.stats = total;
+                    sol.stats = total_fold.snapshot();
                     return Ok(sol);
                 }
                 Err(e @ SolveError::BudgetExhausted { .. }) => {
@@ -212,19 +230,12 @@ impl RobustDcSolver {
                     return Err(e);
                 }
                 Err(e) => {
-                    let stats = match &e {
-                        SolveError::NonConvergent { stats } => *stats,
-                        _ => {
-                            let after = meter.spent();
-                            SolveStats {
-                                nr_iterations: after.nr_iterations
-                                    - spent_before.nr_iterations,
-                                pta_steps: after.pta_steps - spent_before.pta_steps,
-                                ..SolveStats::default()
-                            }
-                        }
-                    };
-                    total.absorb(&stats);
+                    let stats = stage_fold.snapshot();
+                    tele.emit(Payload::LadderAttempt {
+                        strategy: stage.name().to_string(),
+                        error: e.to_string(),
+                        stats,
+                    });
                     attempts.push(AttemptReport {
                         strategy: stage.name(),
                         error: Box::new(e),
@@ -250,6 +261,7 @@ fn run_stage(
     circuit: &Circuit,
     warm: Option<&[f64]>,
     meter: &mut BudgetMeter,
+    tele: &Tele<'_>,
 ) -> (Result<Solution, SolveError>, Option<Vec<f64>>) {
     let zeros = vec![0.0; circuit.dim()];
     let x0: &[f64] = match warm {
@@ -261,6 +273,8 @@ fn run_stage(
             meter.set_phase(SolvePhase::Newton);
             let mut state = circuit.seeded_state(x0);
             let mut lu_ws = rlpta_linalg::LuWorkspace::new();
+            let fold = StatsFold::default();
+            let tele = tele.child(&fold);
             match newton_iterate(
                 circuit,
                 cfg,
@@ -269,14 +283,13 @@ fn run_stage(
                 &mut |_, _, _| {},
                 meter,
                 &mut lu_ws,
+                &tele,
             ) {
                 Ok(out) => {
-                    let stats = SolveStats {
-                        nr_iterations: out.iterations,
-                        lu_factorizations: out.lu_factorizations,
+                    tele.emit(Payload::SolveDone {
                         converged: out.converged,
-                        ..SolveStats::default()
-                    };
+                    });
+                    let stats = fold.snapshot();
                     if out.converged {
                         (Ok(Solution { x: out.x, stats }), None)
                     } else {
@@ -289,30 +302,30 @@ fn run_stage(
         }
         LadderStage::GminStepping(gm) => {
             meter.set_phase(SolvePhase::Continuation);
-            (gm.solve_metered(circuit, x0, meter), None)
+            (gm.solve_metered(circuit, x0, meter, tele), None)
         }
         LadderStage::SourceStepping(ss) => {
             meter.set_phase(SolvePhase::Continuation);
             // Source stepping ramps λ from 0, where the exact solution is the
             // zero state — a warm iterate from full-strength sources would
             // start the ramp *further* from its own curve.
-            (ss.solve_metered(circuit, &zeros, meter), None)
+            (ss.solve_metered(circuit, &zeros, meter, tele), None)
         }
         LadderStage::Cepta(cfg) => {
             meter.set_phase(SolvePhase::PseudoTransient);
             let mut solver =
                 PtaSolver::with_config(PtaKind::cepta(), SimpleStepping::default(), cfg.clone());
-            (solver.solve_metered(circuit, meter), None)
+            (solver.solve_metered(circuit, meter, tele), None)
         }
         LadderStage::Dpta(cfg) => {
             meter.set_phase(SolvePhase::PseudoTransient);
             let mut solver =
                 PtaSolver::with_config(PtaKind::dpta(), SimpleStepping::default(), cfg.clone());
-            (solver.solve_metered(circuit, meter), None)
+            (solver.solve_metered(circuit, meter, tele), None)
         }
         LadderStage::NewtonHomotopy(h) => {
             meter.set_phase(SolvePhase::Homotopy);
-            (h.solve_metered(circuit, x0, meter), None)
+            (h.solve_metered(circuit, x0, meter, tele), None)
         }
     }
 }

@@ -2,10 +2,12 @@
 //! (§4), with collaborative learning through a public sample buffer (§4.3)
 //! and TD-error priority sampling (§4.4).
 
+use crate::telemetry::{Event, Payload, Sink, Span};
 use crate::{StepController, StepObservation};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rlpta_rl::{PrioritizedReplay, Td3Agent, Td3Config, Transition};
+use std::sync::Arc;
 
 /// Which of the dual agents produced an action.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -103,6 +105,9 @@ pub struct RlStepping {
     /// Greedy mode: exploration and training disabled (evaluation runs).
     frozen: bool,
     transitions_seen: usize,
+    /// Attached telemetry: `TrainStep` events go here. `None` (the default)
+    /// skips metric computation entirely, so evaluation runs pay nothing.
+    telemetry: Option<(Arc<dyn Sink>, Span)>,
 }
 
 impl RlStepping {
@@ -142,6 +147,7 @@ impl RlStepping {
             pending: None,
             frozen: false,
             transitions_seen: 0,
+            telemetry: None,
             config,
         }
     }
@@ -213,10 +219,14 @@ impl RlStepping {
     }
 
     /// Encodes Table 1's simulation state into the normalized state vector.
+    /// A rejected step carries no Γ (there is no new solution to compare);
+    /// its slot encodes the worst case `1.0` — "no measurable progress".
     fn encode(obs: &StepObservation) -> Vec<f64> {
         let iters = (obs.nr_iterations as f64 / 30.0).clamp(0.0, 1.0);
         let res = ((obs.residual.max(1e-16).log10() + 16.0) / 20.0).clamp(0.0, 1.0);
-        let gamma = ((obs.gamma.max(1e-12).log10() + 12.0) / 14.0).clamp(0.0, 1.0);
+        let gamma = obs
+            .gamma
+            .map_or(1.0, |g| ((g.max(1e-12).log10() + 12.0) / 14.0).clamp(0.0, 1.0));
         vec![
             iters,
             res,
@@ -236,7 +246,15 @@ impl RlStepping {
     /// an exploit a purely positive per-step reward invites.
     fn reward(&self, s_prev: &[f64], s_next: &[f64], obs: &StepObservation) -> f64 {
         let w = &self.config.reward_weights;
-        -1.0 + w[0] * (s_prev[2] - s_next[2]) - w[1] * s_next[0] + w[2] * (s_prev[1] - s_next[1])
+        // No Γ on a rejected step means no Γ-improvement signal either way:
+        // the rejection penalty below already prices the failure, and a
+        // phantom (s_prev − 1.0) delta would double-charge it.
+        let dgamma = if obs.gamma.is_some() {
+            s_prev[2] - s_next[2]
+        } else {
+            0.0
+        };
+        -1.0 + w[0] * dgamma - w[1] * s_next[0] + w[2] * (s_prev[1] - s_next[1])
             - w[3] * if obs.nr_converged { 0.0 } else { 1.0 }
             + w[4] * if obs.pta_converged { 1.0 } else { 0.0 }
     }
@@ -294,6 +312,46 @@ impl RlStepping {
                 self.public_buffer.update_priority(*idx, *err);
             }
         }
+        self.emit_train_step(role, &batch, &td);
+    }
+
+    /// Emits a `TrainStep` event with loss metrics recomputed from the
+    /// just-trained networks. Only runs with telemetry attached (training
+    /// configurations that opted in) — the extra forward passes cost
+    /// nothing otherwise.
+    fn emit_train_step(&self, role: AgentRole, batch: &[Transition], td: &[f64]) {
+        let Some((sink, span)) = &self.telemetry else {
+            return;
+        };
+        let n = td.len().max(1) as f64;
+        let td_error = td.iter().map(|e| e.abs()).sum::<f64>() / n;
+        let critic_loss = td.iter().map(|e| e * e).sum::<f64>() / n;
+        let agent = self.agent(role);
+        // TD3's actor objective: maximize Q₁(s, π(s)) — report its negation
+        // as the loss being minimized.
+        let actor_loss = -batch
+            .iter()
+            .map(|t| agent.q_value(&t.state, &agent.act(&t.state)))
+            .sum::<f64>()
+            / batch.len().max(1) as f64;
+        let buffer_occupancy = match role {
+            AgentRole::Forward => self.forward_buffer.len(),
+            AgentRole::Backward => self.backward_buffer.len(),
+        };
+        sink.emit(&Event {
+            span: *span,
+            payload: Payload::TrainStep {
+                role: match role {
+                    AgentRole::Forward => "forward",
+                    AgentRole::Backward => "backward",
+                }
+                .to_string(),
+                td_error,
+                actor_loss,
+                critic_loss,
+                buffer_occupancy,
+            },
+        });
     }
 }
 
@@ -373,6 +431,10 @@ impl StepController for RlStepping {
         self.h = self.config.h0;
         self.pending = None;
     }
+
+    fn attach_telemetry(&mut self, sink: Arc<dyn Sink>, span: Span) {
+        self.telemetry = Some((sink, span));
+    }
 }
 
 #[cfg(test)]
@@ -387,7 +449,7 @@ mod tests {
             nr_iterations: iters,
             nr_converged: conv,
             residual: res,
-            gamma,
+            gamma: Some(gamma),
             pta_converged: done,
             step: h,
             time: 0.0,

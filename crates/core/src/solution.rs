@@ -13,8 +13,12 @@ pub struct SolveStats {
     pub pta_steps: usize,
     /// Rejected (rolled-back) time points.
     pub rejected_steps: usize,
-    /// Sparse LU factorizations performed.
+    /// Full (symbolic + numeric) sparse LU factorizations performed.
     pub lu_factorizations: usize,
+    /// Cheap numeric-only LU pattern replays performed. Together with
+    /// [`SolveStats::lu_factorizations`] this counts every linear solve
+    /// setup; the split shows how much the symbolic cache is saving.
+    pub lu_refactorizations: usize,
     /// Whether the run reached the DC operating point.
     pub converged: bool,
 }
@@ -27,7 +31,13 @@ impl SolveStats {
         self.pta_steps += other.pta_steps;
         self.rejected_steps += other.rejected_steps;
         self.lu_factorizations += other.lu_factorizations;
+        self.lu_refactorizations += other.lu_refactorizations;
         self.converged = other.converged;
+    }
+
+    /// Total linear-solve setups: full factorizations plus pattern replays.
+    pub fn lu_total(&self) -> usize {
+        self.lu_factorizations + self.lu_refactorizations
     }
 }
 
@@ -35,8 +45,14 @@ impl fmt::Display for SolveStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} NR iterations, {} steps ({} rejected), converged: {}",
-            self.nr_iterations, self.pta_steps, self.rejected_steps, self.converged
+            "{} NR iterations, {} steps ({} rejected), {} LU ({} full / {} replay), converged: {}",
+            self.nr_iterations,
+            self.pta_steps,
+            self.rejected_steps,
+            self.lu_total(),
+            self.lu_factorizations,
+            self.lu_refactorizations,
+            self.converged
         )
     }
 }
@@ -149,12 +165,16 @@ mod tests {
             pta_steps: 1,
             rejected_steps: 1,
             lu_factorizations: 4,
+            lu_refactorizations: 2,
             converged: true,
         };
         a.absorb(&b);
         assert_eq!(a.nr_iterations, 8);
         assert_eq!(a.pta_steps, 3);
         assert_eq!(a.rejected_steps, 1);
+        assert_eq!(a.lu_factorizations, 4);
+        assert_eq!(a.lu_refactorizations, 2);
+        assert_eq!(b.lu_total(), 6);
         assert!(a.converged);
     }
 

@@ -1,6 +1,9 @@
 //! Time-step control for the PTA loop: the controller trait and the two
 //! classical baselines the paper compares against.
 
+use crate::telemetry::{Sink, Span};
+use std::sync::Arc;
+
 /// What the PTA loop observed at one attempted time point — the simulation
 //  state of the paper's Table 1.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -15,8 +18,9 @@ pub struct StepObservation {
     /// gave up.
     pub residual: f64,
     /// Maximum relative change of the solution vs the previous time point
-    /// (`Γ`). Meaningless for rejected steps (carries the last value).
-    pub gamma: f64,
+    /// (`Γ`). `None` for rejected steps — there is no new solution to
+    /// compare, so no stale value is ever carried.
+    pub gamma: Option<f64>,
     /// Whether the PTA reached steady state at this point (`PTA_flag`).
     pub pta_converged: bool,
     /// The step size `h` that produced this observation.
@@ -45,6 +49,13 @@ pub trait StepController {
     /// Resets internal state between circuits. Learning controllers keep
     /// their networks but clear per-run episode state.
     fn reset(&mut self) {}
+
+    /// Attaches a telemetry sink so the controller can report internal
+    /// events (e.g. [`crate::telemetry::Payload::TrainStep`] from the RL
+    /// controller). The span tags every emitted event, letting the engine
+    /// label per-job controllers in a batch. Stateless controllers ignore
+    /// it — the default is a no-op.
+    fn attach_telemetry(&mut self, _sink: Arc<dyn Sink>, _span: Span) {}
 }
 
 /// The conventional iteration-counting controller (`IMAX`/`IMIN`, §2.1):
@@ -204,7 +215,7 @@ mod tests {
             nr_iterations: iters,
             nr_converged: converged,
             residual,
-            gamma: 0.1,
+            gamma: converged.then_some(0.1),
             pta_converged: false,
             step: 1e-9,
             time: 0.0,

@@ -1,0 +1,1469 @@
+//! Unified telemetry: one typed event stream from the LU kernel to the RL
+//! trainer.
+//!
+//! Every solver layer emits [`Event`]s through a pluggable [`Sink`]:
+//!
+//! * the linear layer reports [`Payload::LuFactorized`] /
+//!   [`Payload::LuReplayed`] per factorization (full vs scatter-plan
+//!   replay, read off `rlpta_linalg::LuWorkspace::last_op`),
+//! * Newton reports [`Payload::NrIteration`] / [`Payload::NrOutcome`],
+//! * the PTA loop and transient integrator report [`Payload::PtaStep`],
+//!   continuation/homotopy outer stages report [`Payload::StageStep`],
+//! * the escalation ladder reports [`Payload::LadderAttempt`],
+//! * the RL step controller reports [`Payload::TrainStep`] (training
+//!   configuration only — frozen policies are silent),
+//! * the GP active-learning oracle reports [`Payload::AcquisitionRound`],
+//! * the batch engine reports [`Payload::BatchJob`] / [`Payload::SweepPoint`]
+//!   and tags every event with a [`Span`] (job id + worker id) so parallel
+//!   runs merge deterministically in input order.
+//!
+//! The legacy report types are *derived views* over this stream:
+//! [`fold_stats`] rebuilds [`SolveStats`], [`fold_trace`] rebuilds the
+//! [`TraceEntry`] list, [`fold_attempts`] rebuilds the ladder attempt trail
+//! and [`fold_sweep_stats`] rebuilds a sweep's aggregate counters.
+//! Internally the solvers themselves use the same fold (a per-solve
+//! [`StatsFold`] registered on the emission path), so the counters they
+//! return are definitionally equal to the fold of the events they emitted.
+//!
+//! Four sinks ship with the crate: [`NullSink`] (default — events are
+//! dropped; the hot-path cost is bounded by constructing a small POD
+//! payload), [`Collector`] (in-memory, for inspection and tests),
+//! [`JsonlSink`] (std-only line-JSON writer with deterministic job-ordered
+//! flushing) and [`CounterSink`] (per-kind occurrence counts).
+
+use crate::solution::SolveStats;
+use crate::stepping::StepObservation;
+use crate::trace::TraceEntry;
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::fmt::{self, Write as _};
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// Where an event came from: the batch job it belongs to and the pool
+/// worker that produced it.
+///
+/// `job` is the submission index within a batch (sweep chunk, corpus
+/// circuit, raced ladder rung) and is deterministic — streams grouped by
+/// job id are identical across thread counts. `worker` identifies
+/// *scheduling* and is not deterministic; diff tooling normalizes it away.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Batch job index (input order), `None` for standalone solves.
+    pub job: Option<usize>,
+    /// Pool worker index; `0` on the calling thread and in serial runs.
+    pub worker: usize,
+}
+
+impl Span {
+    /// A span for batch job `job` on the worker running the current thread.
+    pub fn for_job(job: usize) -> Self {
+        Self {
+            job: Some(job),
+            worker: rlpta_threadpool::current_worker(),
+        }
+    }
+}
+
+/// A typed telemetry payload. Field sets mirror what the corresponding
+/// layer knows at emission time; quantities derivable by folding (totals,
+/// rates) are intentionally not duplicated here.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// A full (symbolic + numeric) sparse LU factorization ran.
+    LuFactorized {
+        /// Matrix dimension.
+        dim: usize,
+    },
+    /// A cached scatter plan was replayed with a numeric-only pass.
+    LuReplayed {
+        /// Matrix dimension.
+        dim: usize,
+    },
+    /// One Newton–Raphson iteration started (after passing the budget
+    /// check). The count of these events is `SolveStats::nr_iterations`.
+    NrIteration {
+        /// 1-based iteration index within the current NR run.
+        iteration: usize,
+    },
+    /// A Newton–Raphson run finished without a hard error.
+    NrOutcome {
+        /// Iterations executed.
+        iterations: usize,
+        /// Whether the SPICE criteria were met.
+        converged: bool,
+        /// Full LU factorizations in this run.
+        lu_factorizations: usize,
+        /// Numeric-only LU replays in this run.
+        lu_refactorizations: usize,
+        /// Final residual infinity norm.
+        residual: f64,
+    },
+    /// One attempted pseudo-transient (or real transient) time point.
+    PtaStep {
+        /// Whether the point was accepted (`false` = rolled back).
+        accepted: bool,
+        /// Step size that produced the attempt.
+        h: f64,
+        /// The controller's raw reply for the next step (before clamping).
+        h_next: f64,
+        /// Max relative solution change Γ; `None` on rejected steps.
+        gamma: Option<f64>,
+        /// NR iterations spent on the attempt.
+        nr_iterations: usize,
+        /// Residual infinity norm where NR stopped.
+        residual: f64,
+        /// Whether this point reached pseudo-steady state.
+        pta_converged: bool,
+        /// Pseudo time after the point.
+        time: f64,
+    },
+    /// One outer stage of a continuation (Gmin/source) or homotopy run.
+    /// Folds count every stage as a step and failed stages additionally as
+    /// rejections.
+    StageStep {
+        /// Whether the stage's NR run converged.
+        accepted: bool,
+        /// The continuation control after the stage (gmin value, source
+        /// level λ, or homotopy λ).
+        control: f64,
+    },
+    /// A ladder rung failed and the solver escalated past it.
+    LadderAttempt {
+        /// Strategy name of the failed rung.
+        strategy: String,
+        /// Stringified error the rung died with.
+        error: String,
+        /// Work spent on the rung (fold of the rung's own events).
+        stats: SolveStats,
+    },
+    /// One TD3 training step of the RL step controller. Emitted only when
+    /// the controller is unfrozen (training configuration).
+    TrainStep {
+        /// Which agent trained (`"forward"` or `"backward"`).
+        role: String,
+        /// Mean absolute TD error of the sampled batch.
+        td_error: f64,
+        /// Actor objective `−mean Q₁(s, π(s))` over the batch.
+        actor_loss: f64,
+        /// Critic-1 MSE loss `mean((y − Q₁)²)` over the batch.
+        critic_loss: f64,
+        /// Transitions currently held in the agent's private buffer.
+        buffer_occupancy: usize,
+    },
+    /// One acquisition round of the GP active-learning (IPP) loop.
+    AcquisitionRound {
+        /// 1-based round counter of the emitting oracle.
+        round: usize,
+        /// Candidate parameter vectors evaluated this round.
+        evaluations: usize,
+        /// Best (lowest) cost observed this round.
+        best_cost: f64,
+    },
+    /// One solved sweep point.
+    SweepPoint {
+        /// Global point index along the sweep.
+        index: usize,
+        /// Swept source value at this point.
+        value: f64,
+        /// Per-point solve counters.
+        stats: SolveStats,
+    },
+    /// A batch job started on the pool.
+    BatchJob {
+        /// Job index in submission order.
+        job: usize,
+        /// Total jobs in the batch.
+        of: usize,
+    },
+    /// Terminal event of one strategy run; the last one in a stream wins
+    /// when folding the `converged` flag.
+    SolveDone {
+        /// Whether the run reached the operating point.
+        converged: bool,
+    },
+}
+
+impl Payload {
+    /// Stable kind name (used by [`CounterSink`] and the JSON encoding).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Payload::LuFactorized { .. } => "LuFactorized",
+            Payload::LuReplayed { .. } => "LuReplayed",
+            Payload::NrIteration { .. } => "NrIteration",
+            Payload::NrOutcome { .. } => "NrOutcome",
+            Payload::PtaStep { .. } => "PtaStep",
+            Payload::StageStep { .. } => "StageStep",
+            Payload::LadderAttempt { .. } => "LadderAttempt",
+            Payload::TrainStep { .. } => "TrainStep",
+            Payload::AcquisitionRound { .. } => "AcquisitionRound",
+            Payload::SweepPoint { .. } => "SweepPoint",
+            Payload::BatchJob { .. } => "BatchJob",
+            Payload::SolveDone { .. } => "SolveDone",
+        }
+    }
+}
+
+/// One telemetry event: a [`Span`] tag plus a typed [`Payload`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Job/worker provenance.
+    pub span: Span,
+    /// What happened.
+    pub payload: Payload,
+}
+
+/// A pluggable event consumer.
+///
+/// Sinks are shared across pool workers (`Send + Sync`) and must tolerate
+/// concurrent `emit` calls; events for one job always arrive in program
+/// order from a single thread, but events of *different* jobs interleave
+/// arbitrarily. Order-sensitive sinks should group by `event.span.job`
+/// (see [`Collector::events`] and [`JsonlSink`]).
+pub trait Sink: Send + Sync + fmt::Debug {
+    /// Consumes one event.
+    fn emit(&self, event: &Event);
+
+    /// Flush hook, called by the engine at the end of each entry point
+    /// (`solve` / `solve_batch` / `sweep`). Sinks that buffer for
+    /// deterministic ordering write out here.
+    fn finish(&self) {}
+}
+
+/// The default sink: drops every event. Kept allocation-free so the
+/// telemetry layer costs only payload construction when unused (pinned by
+/// the `engine` criterion bench).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn emit(&self, _event: &Event) {}
+}
+
+fn job_key(job: Option<usize>) -> (u8, usize) {
+    match job {
+        None => (0, 0),
+        Some(j) => (1, j),
+    }
+}
+
+/// An in-memory sink for inspection and tests.
+#[derive(Debug, Default)]
+pub struct Collector {
+    events: Mutex<Vec<Event>>,
+}
+
+impl Collector {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The collected events, merged deterministically: stably sorted by job
+    /// id (un-jobbed events first, then jobs in submission order), with
+    /// per-job program order preserved. With this merge, a parallel batch
+    /// produces exactly the stream of the serial run modulo worker ids.
+    pub fn events(&self) -> Vec<Event> {
+        let mut out = self.events.lock().expect("collector lock").clone();
+        out.sort_by_key(|e| job_key(e.span.job));
+        out
+    }
+
+    /// Events in raw arrival order (scheduler-dependent under parallelism).
+    pub fn raw_events(&self) -> Vec<Event> {
+        self.events.lock().expect("collector lock").clone()
+    }
+
+    /// Drains the collector, returning the merged stream.
+    pub fn take(&self) -> Vec<Event> {
+        let mut out = std::mem::take(&mut *self.events.lock().expect("collector lock"));
+        out.sort_by_key(|e| job_key(e.span.job));
+        out
+    }
+
+    /// Number of events collected so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("collector lock").len()
+    }
+
+    /// Whether nothing has been collected.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Sink for Collector {
+    fn emit(&self, event: &Event) {
+        self.events.lock().expect("collector lock").push(event.clone());
+    }
+}
+
+/// Counts events per payload kind — the cheapest "what happened" summary.
+#[derive(Debug, Default)]
+pub struct CounterSink {
+    counts: Mutex<BTreeMap<&'static str, u64>>,
+}
+
+impl CounterSink {
+    /// An empty counter sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Occurrence counts keyed by [`Payload::kind`], sorted by kind name.
+    pub fn counts(&self) -> Vec<(&'static str, u64)> {
+        self.counts
+            .lock()
+            .expect("counter lock")
+            .iter()
+            .map(|(k, v)| (*k, *v))
+            .collect()
+    }
+
+    /// Count for one kind (0 if never seen).
+    pub fn count(&self, kind: &str) -> u64 {
+        self.counts
+            .lock()
+            .expect("counter lock")
+            .get(kind)
+            .copied()
+            .unwrap_or(0)
+    }
+}
+
+impl Sink for CounterSink {
+    fn emit(&self, event: &Event) {
+        *self
+            .counts
+            .lock()
+            .expect("counter lock")
+            .entry(event.payload.kind())
+            .or_insert(0) += 1;
+    }
+}
+
+struct JsonlState {
+    out: Box<dyn Write + Send>,
+    pending: BTreeMap<(u8, usize), Vec<String>>,
+    error: bool,
+}
+
+impl fmt::Debug for JsonlState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JsonlState")
+            .field("pending_jobs", &self.pending.len())
+            .field("error", &self.error)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A std-only line-JSON writer.
+///
+/// Events are buffered per job and written out on [`Sink::finish`] in job
+/// order (un-jobbed events first), so the emitted file is bitwise
+/// deterministic across thread counts except for the `"worker"` field.
+/// I/O errors are latched: the first failed write disables the sink for
+/// the rest of the run rather than panicking inside a solver.
+#[derive(Debug)]
+pub struct JsonlSink {
+    state: Mutex<JsonlState>,
+}
+
+impl JsonlSink {
+    /// Writes to `path`, truncating any existing file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the file-creation error.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(Self::new(io::BufWriter::new(file)))
+    }
+
+    /// Writes to an arbitrary writer.
+    pub fn new(out: impl Write + Send + 'static) -> Self {
+        Self {
+            state: Mutex::new(JsonlState {
+                out: Box::new(out),
+                pending: BTreeMap::new(),
+                error: false,
+            }),
+        }
+    }
+}
+
+impl Sink for JsonlSink {
+    fn emit(&self, event: &Event) {
+        let mut st = self.state.lock().expect("jsonl lock");
+        if st.error {
+            return;
+        }
+        let line = event.to_json();
+        st.pending
+            .entry(job_key(event.span.job))
+            .or_default()
+            .push(line);
+    }
+
+    fn finish(&self) {
+        let mut st = self.state.lock().expect("jsonl lock");
+        if st.error {
+            return;
+        }
+        let groups = std::mem::take(&mut st.pending);
+        for (_, lines) in groups {
+            for line in lines {
+                if writeln!(st.out, "{line}").is_err() {
+                    st.error = true;
+                    return;
+                }
+            }
+        }
+        if st.out.flush().is_err() {
+            st.error = true;
+        }
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON encoding
+// ---------------------------------------------------------------------------
+
+fn push_json_str(buf: &mut String, s: &str) {
+    buf.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => buf.push_str("\\\""),
+            '\\' => buf.push_str("\\\\"),
+            '\n' => buf.push_str("\\n"),
+            '\r' => buf.push_str("\\r"),
+            '\t' => buf.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(buf, "\\u{:04x}", c as u32);
+            }
+            c => buf.push(c),
+        }
+    }
+    buf.push('"');
+}
+
+fn push_f64(buf: &mut String, v: f64) {
+    if v.is_finite() {
+        // `{:?}` is the shortest representation that round-trips exactly.
+        let _ = write!(buf, "{v:?}");
+    } else if v.is_nan() {
+        buf.push_str("\"NaN\"");
+    } else if v > 0.0 {
+        buf.push_str("\"inf\"");
+    } else {
+        buf.push_str("\"-inf\"");
+    }
+}
+
+fn push_field_usize(buf: &mut String, key: &str, v: usize) {
+    let _ = write!(buf, ",\"{key}\":{v}");
+}
+
+fn push_field_bool(buf: &mut String, key: &str, v: bool) {
+    let _ = write!(buf, ",\"{key}\":{v}");
+}
+
+fn push_field_f64(buf: &mut String, key: &str, v: f64) {
+    let _ = write!(buf, ",\"{key}\":");
+    push_f64(buf, v);
+}
+
+fn push_field_str(buf: &mut String, key: &str, v: &str) {
+    let _ = write!(buf, ",\"{key}\":");
+    push_json_str(buf, v);
+}
+
+fn push_stats(buf: &mut String, stats: &SolveStats) {
+    push_field_usize(buf, "nr_iterations", stats.nr_iterations);
+    push_field_usize(buf, "pta_steps", stats.pta_steps);
+    push_field_usize(buf, "rejected_steps", stats.rejected_steps);
+    push_field_usize(buf, "lu_factorizations", stats.lu_factorizations);
+    push_field_usize(buf, "lu_refactorizations", stats.lu_refactorizations);
+    push_field_bool(buf, "converged", stats.converged);
+}
+
+impl Event {
+    /// Encodes the event as one flat JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(128);
+        s.push_str("{\"event\":");
+        push_json_str(&mut s, self.payload.kind());
+        match self.span.job {
+            Some(j) => {
+                let _ = write!(s, ",\"job\":{j}");
+            }
+            None => s.push_str(",\"job\":null"),
+        }
+        let _ = write!(s, ",\"worker\":{}", self.span.worker);
+        match &self.payload {
+            Payload::LuFactorized { dim } | Payload::LuReplayed { dim } => {
+                push_field_usize(&mut s, "dim", *dim);
+            }
+            Payload::NrIteration { iteration } => {
+                push_field_usize(&mut s, "iteration", *iteration);
+            }
+            Payload::NrOutcome {
+                iterations,
+                converged,
+                lu_factorizations,
+                lu_refactorizations,
+                residual,
+            } => {
+                push_field_usize(&mut s, "iterations", *iterations);
+                push_field_bool(&mut s, "converged", *converged);
+                push_field_usize(&mut s, "lu_factorizations", *lu_factorizations);
+                push_field_usize(&mut s, "lu_refactorizations", *lu_refactorizations);
+                push_field_f64(&mut s, "residual", *residual);
+            }
+            Payload::PtaStep {
+                accepted,
+                h,
+                h_next,
+                gamma,
+                nr_iterations,
+                residual,
+                pta_converged,
+                time,
+            } => {
+                push_field_bool(&mut s, "accepted", *accepted);
+                push_field_f64(&mut s, "h", *h);
+                push_field_f64(&mut s, "h_next", *h_next);
+                match gamma {
+                    Some(g) => push_field_f64(&mut s, "gamma", *g),
+                    None => s.push_str(",\"gamma\":null"),
+                }
+                push_field_usize(&mut s, "nr_iterations", *nr_iterations);
+                push_field_f64(&mut s, "residual", *residual);
+                push_field_bool(&mut s, "pta_converged", *pta_converged);
+                push_field_f64(&mut s, "time", *time);
+            }
+            Payload::StageStep { accepted, control } => {
+                push_field_bool(&mut s, "accepted", *accepted);
+                push_field_f64(&mut s, "control", *control);
+            }
+            Payload::LadderAttempt {
+                strategy,
+                error,
+                stats,
+            } => {
+                push_field_str(&mut s, "strategy", strategy);
+                push_field_str(&mut s, "error", error);
+                push_stats(&mut s, stats);
+            }
+            Payload::TrainStep {
+                role,
+                td_error,
+                actor_loss,
+                critic_loss,
+                buffer_occupancy,
+            } => {
+                push_field_str(&mut s, "role", role);
+                push_field_f64(&mut s, "td_error", *td_error);
+                push_field_f64(&mut s, "actor_loss", *actor_loss);
+                push_field_f64(&mut s, "critic_loss", *critic_loss);
+                push_field_usize(&mut s, "buffer_occupancy", *buffer_occupancy);
+            }
+            Payload::AcquisitionRound {
+                round,
+                evaluations,
+                best_cost,
+            } => {
+                push_field_usize(&mut s, "round", *round);
+                push_field_usize(&mut s, "evaluations", *evaluations);
+                push_field_f64(&mut s, "best_cost", *best_cost);
+            }
+            Payload::SweepPoint {
+                index,
+                value,
+                stats,
+            } => {
+                push_field_usize(&mut s, "index", *index);
+                push_field_f64(&mut s, "value", *value);
+                push_stats(&mut s, stats);
+            }
+            Payload::BatchJob { job, of } => {
+                // `"job"` is taken by the span tag on every line; the
+                // payload's own index serializes as `"index"`.
+                push_field_usize(&mut s, "index", *job);
+                push_field_usize(&mut s, "of", *of);
+            }
+            Payload::SolveDone { converged } => {
+                push_field_bool(&mut s, "converged", *converged);
+            }
+        }
+        s.push('}');
+        s
+    }
+
+    /// Parses one line produced by [`Event::to_json`] back into an event.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description on malformed input or an
+    /// unknown event kind.
+    pub fn parse_json(line: &str) -> Result<Event, String> {
+        let fields = parse_object(line)?;
+        let kind = fields.str_field("event")?;
+        let job = match fields.get("job") {
+            Some(JsonValue::Null) | None => None,
+            Some(JsonValue::Num(n)) => Some(*n as usize),
+            Some(v) => return Err(format!("bad job field: {v:?}")),
+        };
+        let worker = fields.usize_field("worker").unwrap_or(0);
+        let payload = match kind.as_str() {
+            "LuFactorized" => Payload::LuFactorized {
+                dim: fields.usize_field("dim")?,
+            },
+            "LuReplayed" => Payload::LuReplayed {
+                dim: fields.usize_field("dim")?,
+            },
+            "NrIteration" => Payload::NrIteration {
+                iteration: fields.usize_field("iteration")?,
+            },
+            "NrOutcome" => Payload::NrOutcome {
+                iterations: fields.usize_field("iterations")?,
+                converged: fields.bool_field("converged")?,
+                lu_factorizations: fields.usize_field("lu_factorizations")?,
+                lu_refactorizations: fields.usize_field("lu_refactorizations")?,
+                residual: fields.f64_field("residual")?,
+            },
+            "PtaStep" => Payload::PtaStep {
+                accepted: fields.bool_field("accepted")?,
+                h: fields.f64_field("h")?,
+                h_next: fields.f64_field("h_next")?,
+                gamma: match fields.get("gamma") {
+                    Some(JsonValue::Null) | None => None,
+                    _ => Some(fields.f64_field("gamma")?),
+                },
+                nr_iterations: fields.usize_field("nr_iterations")?,
+                residual: fields.f64_field("residual")?,
+                pta_converged: fields.bool_field("pta_converged")?,
+                time: fields.f64_field("time")?,
+            },
+            "StageStep" => Payload::StageStep {
+                accepted: fields.bool_field("accepted")?,
+                control: fields.f64_field("control")?,
+            },
+            "LadderAttempt" => Payload::LadderAttempt {
+                strategy: fields.str_field("strategy")?,
+                error: fields.str_field("error")?,
+                stats: fields.stats()?,
+            },
+            "TrainStep" => Payload::TrainStep {
+                role: fields.str_field("role")?,
+                td_error: fields.f64_field("td_error")?,
+                actor_loss: fields.f64_field("actor_loss")?,
+                critic_loss: fields.f64_field("critic_loss")?,
+                buffer_occupancy: fields.usize_field("buffer_occupancy")?,
+            },
+            "AcquisitionRound" => Payload::AcquisitionRound {
+                round: fields.usize_field("round")?,
+                evaluations: fields.usize_field("evaluations")?,
+                best_cost: fields.f64_field("best_cost")?,
+            },
+            "SweepPoint" => Payload::SweepPoint {
+                index: fields.usize_field("index")?,
+                value: fields.f64_field("value")?,
+                stats: fields.stats()?,
+            },
+            "BatchJob" => Payload::BatchJob {
+                job: fields.usize_field("index")?,
+                of: fields.usize_field("of")?,
+            },
+            "SolveDone" => Payload::SolveDone {
+                converged: fields.bool_field("converged")?,
+            },
+            other => return Err(format!("unknown event kind {other:?}")),
+        };
+        Ok(Event {
+            span: Span { job, worker },
+            payload,
+        })
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum JsonValue {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+}
+
+struct JsonFields(Vec<(String, JsonValue)>);
+
+impl JsonFields {
+    fn get(&self, key: &str) -> Option<&JsonValue> {
+        self.0.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    fn f64_field(&self, key: &str) -> Result<f64, String> {
+        match self.get(key) {
+            Some(JsonValue::Num(n)) => Ok(*n),
+            Some(JsonValue::Str(s)) => match s.as_str() {
+                "NaN" => Ok(f64::NAN),
+                "inf" => Ok(f64::INFINITY),
+                "-inf" => Ok(f64::NEG_INFINITY),
+                other => Err(format!("field {key:?}: non-numeric string {other:?}")),
+            },
+            other => Err(format!("field {key:?}: expected number, got {other:?}")),
+        }
+    }
+
+    fn usize_field(&self, key: &str) -> Result<usize, String> {
+        match self.get(key) {
+            Some(JsonValue::Num(n)) if *n >= 0.0 && n.fract() == 0.0 => Ok(*n as usize),
+            other => Err(format!("field {key:?}: expected integer, got {other:?}")),
+        }
+    }
+
+    fn bool_field(&self, key: &str) -> Result<bool, String> {
+        match self.get(key) {
+            Some(JsonValue::Bool(b)) => Ok(*b),
+            other => Err(format!("field {key:?}: expected bool, got {other:?}")),
+        }
+    }
+
+    fn str_field(&self, key: &str) -> Result<String, String> {
+        match self.get(key) {
+            Some(JsonValue::Str(s)) => Ok(s.clone()),
+            other => Err(format!("field {key:?}: expected string, got {other:?}")),
+        }
+    }
+
+    fn stats(&self) -> Result<SolveStats, String> {
+        Ok(SolveStats {
+            nr_iterations: self.usize_field("nr_iterations")?,
+            pta_steps: self.usize_field("pta_steps")?,
+            rejected_steps: self.usize_field("rejected_steps")?,
+            lu_factorizations: self.usize_field("lu_factorizations")?,
+            lu_refactorizations: self.usize_field("lu_refactorizations")?,
+            converged: self.bool_field("converged")?,
+        })
+    }
+}
+
+/// A minimal parser for the flat JSON objects this module writes: string
+/// keys, scalar values (string / number / bool / null), no nesting.
+fn parse_object(line: &str) -> Result<JsonFields, String> {
+    let mut p = Cursor {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut fields = Vec::new();
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+    } else {
+        loop {
+            p.skip_ws();
+            let key = p.parse_string()?;
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            let value = p.parse_value()?;
+            fields.push((key, value));
+            p.skip_ws();
+            match p.next() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                other => return Err(format!("expected ',' or '}}', got {other:?}")),
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err("trailing bytes after object".to_string());
+    }
+    Ok(JsonFields(fields))
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        match self.next() {
+            Some(got) if got == b => Ok(()),
+            got => Err(format!("expected {:?}, got {got:?}", b as char)),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.next() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self.next().ok_or("truncated \\u escape")?;
+                            code = code * 16
+                                + (d as char)
+                                    .to_digit(16)
+                                    .ok_or_else(|| format!("bad hex digit {:?}", d as char))?;
+                        }
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                Some(b) if b < 0x80 => out.push(b as char),
+                Some(b) => {
+                    // Re-assemble the UTF-8 sequence starting at `b`.
+                    let start = self.pos - 1;
+                    let len = match b {
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let end = (start + len).min(self.bytes.len());
+                    let chunk = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|e| format!("bad utf-8 in string: {e}"))?;
+                    out.push_str(chunk);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'"') => Ok(JsonValue::Str(self.parse_string()?)),
+            Some(b't') => self.parse_keyword("true", JsonValue::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", JsonValue::Bool(false)),
+            Some(b'n') => self.parse_keyword("null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => {
+                let start = self.pos;
+                while matches!(
+                    self.peek(),
+                    Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+                ) {
+                    self.pos += 1;
+                }
+                let text = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|e| format!("bad number: {e}"))?;
+                text.parse::<f64>()
+                    .map(JsonValue::Num)
+                    .map_err(|e| format!("bad number {text:?}: {e}"))
+            }
+            other => Err(format!("unexpected value start {other:?}")),
+        }
+    }
+
+    fn parse_keyword(&mut self, kw: &str, value: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(value)
+        } else {
+            Err(format!("expected keyword {kw:?}"))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Derived views
+// ---------------------------------------------------------------------------
+
+/// Folds a stream back into [`SolveStats`] — the derived view behind every
+/// solver's returned counters.
+///
+/// Rules: `nr_iterations` counts [`Payload::NrIteration`]; accepted /
+/// rejected [`Payload::PtaStep`]s count as steps / rejections;
+/// [`Payload::StageStep`]s count as steps and failed ones additionally as
+/// rejections; LU events split into full factorizations and replays; the
+/// *last* [`Payload::SolveDone`] decides `converged` (matching
+/// [`SolveStats::absorb`]'s last-wins semantics across ladder rungs).
+/// Summary payloads ([`Payload::LadderAttempt`], [`Payload::SweepPoint`])
+/// are ignored — their embedded stats summarize raw events already in the
+/// stream.
+pub fn fold_stats<'a>(events: impl IntoIterator<Item = &'a Event>) -> SolveStats {
+    let fold = StatsFold::default();
+    for e in events {
+        fold.apply(&e.payload);
+    }
+    fold.snapshot()
+}
+
+/// Rebuilds the step-controller trace — what [`crate::TraceController`]
+/// records — from the stream's [`Payload::PtaStep`] events.
+pub fn fold_trace<'a>(events: impl IntoIterator<Item = &'a Event>) -> Vec<TraceEntry> {
+    events
+        .into_iter()
+        .filter_map(|e| match &e.payload {
+            Payload::PtaStep {
+                accepted,
+                h,
+                h_next,
+                gamma,
+                nr_iterations,
+                residual,
+                pta_converged,
+                time,
+            } => Some(TraceEntry {
+                observation: StepObservation {
+                    nr_iterations: *nr_iterations,
+                    nr_converged: *accepted,
+                    residual: *residual,
+                    gamma: *gamma,
+                    pta_converged: *pta_converged,
+                    step: *h,
+                    time: *time,
+                },
+                next_step: *h_next,
+            }),
+            _ => None,
+        })
+        .collect()
+}
+
+/// A ladder attempt reconstructed from the stream — the derived form of
+/// [`crate::AttemptReport`] (wall-clock time is runtime-only and not part
+/// of the stream).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LadderAttemptView {
+    /// Strategy name of the failed rung.
+    pub strategy: String,
+    /// Stringified error.
+    pub error: String,
+    /// Work spent on the rung.
+    pub stats: SolveStats,
+}
+
+/// Rebuilds the escalation-ladder attempt trail from
+/// [`Payload::LadderAttempt`] events.
+pub fn fold_attempts<'a>(events: impl IntoIterator<Item = &'a Event>) -> Vec<LadderAttemptView> {
+    events
+        .into_iter()
+        .filter_map(|e| match &e.payload {
+            Payload::LadderAttempt {
+                strategy,
+                error,
+                stats,
+            } => Some(LadderAttemptView {
+                strategy: strategy.clone(),
+                error: error.clone(),
+                stats: *stats,
+            }),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Rebuilds a sweep's aggregate counters from [`Payload::SweepPoint`]
+/// events: per-point stats absorbed in sweep order, `converged` iff every
+/// point converged (matching `SweepReport::stats`).
+pub fn fold_sweep_stats<'a>(events: impl IntoIterator<Item = &'a Event>) -> SolveStats {
+    let mut points: Vec<(usize, SolveStats)> = events
+        .into_iter()
+        .filter_map(|e| match &e.payload {
+            Payload::SweepPoint { index, stats, .. } => Some((*index, *stats)),
+            _ => None,
+        })
+        .collect();
+    points.sort_by_key(|(i, _)| *i);
+    let mut stats = SolveStats::default();
+    let mut all = !points.is_empty();
+    for (_, s) in &points {
+        stats.absorb(s);
+        all &= s.converged;
+    }
+    stats.converged = all;
+    stats
+}
+
+// ---------------------------------------------------------------------------
+// Internal emission plumbing
+// ---------------------------------------------------------------------------
+
+/// Per-solve accumulator applying the [`fold_stats`] rules incrementally.
+/// Registered on the emission path by every solver, which makes its
+/// returned [`SolveStats`] a derived view of the events it emitted by
+/// construction.
+#[derive(Debug, Default)]
+pub(crate) struct StatsFold {
+    nr_iterations: Cell<usize>,
+    pta_steps: Cell<usize>,
+    rejected_steps: Cell<usize>,
+    lu_factorizations: Cell<usize>,
+    lu_refactorizations: Cell<usize>,
+    converged: Cell<bool>,
+}
+
+impl StatsFold {
+    pub(crate) fn apply(&self, payload: &Payload) {
+        match payload {
+            Payload::NrIteration { .. } => {
+                self.nr_iterations.set(self.nr_iterations.get() + 1);
+            }
+            Payload::LuFactorized { .. } => {
+                self.lu_factorizations.set(self.lu_factorizations.get() + 1);
+            }
+            Payload::LuReplayed { .. } => {
+                self.lu_refactorizations
+                    .set(self.lu_refactorizations.get() + 1);
+            }
+            Payload::PtaStep { accepted, .. } => {
+                if *accepted {
+                    self.pta_steps.set(self.pta_steps.get() + 1);
+                } else {
+                    self.rejected_steps.set(self.rejected_steps.get() + 1);
+                }
+            }
+            Payload::StageStep { accepted, .. } => {
+                self.pta_steps.set(self.pta_steps.get() + 1);
+                if !accepted {
+                    self.rejected_steps.set(self.rejected_steps.get() + 1);
+                }
+            }
+            Payload::SolveDone { converged } => self.converged.set(*converged),
+            _ => {}
+        }
+    }
+
+    pub(crate) fn snapshot(&self) -> SolveStats {
+        SolveStats {
+            nr_iterations: self.nr_iterations.get(),
+            pta_steps: self.pta_steps.get(),
+            rejected_steps: self.rejected_steps.get(),
+            lu_factorizations: self.lu_factorizations.get(),
+            lu_refactorizations: self.lu_refactorizations.get(),
+            converged: self.converged.get(),
+        }
+    }
+}
+
+/// The telemetry context threaded through the solver layers: a chain of
+/// [`StatsFold`]s (one per nested scope — e.g. ladder total → ladder stage
+/// → inner PTA run) plus the user [`Sink`] at the root. Emitting walks the
+/// fold chain, then forwards a span-tagged [`Event`] to the sink.
+#[derive(Clone, Copy)]
+pub(crate) struct Tele<'a> {
+    sink: Option<&'a dyn Sink>,
+    span: Span,
+    fold: Option<&'a StatsFold>,
+    parent: Option<&'a Tele<'a>>,
+}
+
+impl<'a> Tele<'a> {
+    /// A context with no sink and no folds — for public solver entry
+    /// points that only need their own child fold.
+    pub(crate) fn disabled() -> Tele<'static> {
+        Tele {
+            sink: None,
+            span: Span::default(),
+            fold: None,
+            parent: None,
+        }
+    }
+
+    /// A root context forwarding to `sink` with every event tagged `span`.
+    pub(crate) fn root(sink: &'a dyn Sink, span: Span) -> Tele<'a> {
+        Tele {
+            sink: Some(sink),
+            span,
+            fold: None,
+            parent: None,
+        }
+    }
+
+    /// The span this context tags its events with.
+    pub(crate) fn span(&self) -> Span {
+        self.span
+    }
+
+    /// A child context that additionally accumulates into `fold`.
+    pub(crate) fn child(&'a self, fold: &'a StatsFold) -> Tele<'a> {
+        Tele {
+            sink: self.sink,
+            span: self.span,
+            fold: Some(fold),
+            parent: Some(self),
+        }
+    }
+
+    /// Emits one payload: applies every fold on the chain, then forwards
+    /// to the sink (if any).
+    pub(crate) fn emit(&self, payload: Payload) {
+        let mut node = Some(self);
+        while let Some(t) = node {
+            if let Some(f) = t.fold {
+                f.apply(&payload);
+            }
+            node = t.parent;
+        }
+        if let Some(sink) = self.sink {
+            sink.emit(&Event {
+                span: self.span,
+                payload,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(payload: Payload) -> Event {
+        Event {
+            span: Span::default(),
+            payload,
+        }
+    }
+
+    fn sample_stats() -> SolveStats {
+        SolveStats {
+            nr_iterations: 12,
+            pta_steps: 5,
+            rejected_steps: 2,
+            lu_factorizations: 3,
+            lu_refactorizations: 9,
+            converged: true,
+        }
+    }
+
+    fn all_payloads() -> Vec<Payload> {
+        vec![
+            Payload::LuFactorized { dim: 7 },
+            Payload::LuReplayed { dim: 7 },
+            Payload::NrIteration { iteration: 3 },
+            Payload::NrOutcome {
+                iterations: 4,
+                converged: true,
+                lu_factorizations: 1,
+                lu_refactorizations: 3,
+                residual: 1.5e-9,
+            },
+            Payload::PtaStep {
+                accepted: true,
+                h: 1e-3,
+                h_next: 2e-3,
+                gamma: Some(0.25),
+                nr_iterations: 4,
+                residual: 3.0e-10,
+                pta_converged: false,
+                time: 0.125,
+            },
+            Payload::PtaStep {
+                accepted: false,
+                h: 8.0,
+                h_next: 1.0,
+                gamma: None,
+                nr_iterations: 10,
+                residual: f64::NAN,
+                pta_converged: false,
+                time: 0.125,
+            },
+            Payload::StageStep {
+                accepted: true,
+                control: 1e-6,
+            },
+            Payload::LadderAttempt {
+                strategy: "damped-newton".to_string(),
+                error: "did not converge: \"hard\"\n".to_string(),
+                stats: sample_stats(),
+            },
+            Payload::TrainStep {
+                role: "forward".to_string(),
+                td_error: 0.5,
+                actor_loss: -1.25,
+                critic_loss: 0.0625,
+                buffer_occupancy: 48,
+            },
+            Payload::AcquisitionRound {
+                round: 2,
+                evaluations: 5,
+                best_cost: 41.0,
+            },
+            Payload::SweepPoint {
+                index: 3,
+                value: -0.5,
+                stats: sample_stats(),
+            },
+            Payload::BatchJob { job: 1, of: 4 },
+            Payload::SolveDone { converged: true },
+        ]
+    }
+
+    #[test]
+    fn json_round_trips_every_payload_kind() {
+        for (i, payload) in all_payloads().into_iter().enumerate() {
+            let event = Event {
+                span: Span {
+                    job: if i % 2 == 0 { Some(i) } else { None },
+                    worker: i % 3,
+                },
+                payload,
+            };
+            let line = event.to_json();
+            let back = Event::parse_json(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            // NaN breaks PartialEq; compare the re-encoding instead.
+            assert_eq!(back.to_json(), line);
+            if !line.contains("NaN") {
+                assert_eq!(back, event);
+            }
+        }
+    }
+
+    #[test]
+    fn json_escapes_are_parsed_back() {
+        let e = ev(Payload::LadderAttempt {
+            strategy: "a\\b\"c\n\tµ".to_string(),
+            error: "\u{1}control".to_string(),
+            stats: SolveStats::default(),
+        });
+        let back = Event::parse_json(&e.to_json()).expect("parse");
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Event::parse_json("").is_err());
+        assert!(Event::parse_json("{}").is_err());
+        assert!(Event::parse_json("{\"event\":\"NoSuchKind\"}").is_err());
+        assert!(Event::parse_json("{\"event\":\"SolveDone\",\"converged\":true} x").is_err());
+    }
+
+    #[test]
+    fn fold_stats_applies_counting_rules() {
+        let events: Vec<Event> = [
+            Payload::NrIteration { iteration: 1 },
+            Payload::NrIteration { iteration: 2 },
+            Payload::LuFactorized { dim: 4 },
+            Payload::LuReplayed { dim: 4 },
+            Payload::LuReplayed { dim: 4 },
+            Payload::PtaStep {
+                accepted: true,
+                h: 1.0,
+                h_next: 2.0,
+                gamma: Some(0.1),
+                nr_iterations: 2,
+                residual: 0.0,
+                pta_converged: false,
+                time: 1.0,
+            },
+            Payload::PtaStep {
+                accepted: false,
+                h: 2.0,
+                h_next: 0.25,
+                gamma: None,
+                nr_iterations: 10,
+                residual: 1.0,
+                pta_converged: false,
+                time: 1.0,
+            },
+            Payload::StageStep {
+                accepted: false,
+                control: 0.5,
+            },
+            // Summary payloads must not double-count.
+            Payload::LadderAttempt {
+                strategy: "x".to_string(),
+                error: "y".to_string(),
+                stats: sample_stats(),
+            },
+            Payload::SweepPoint {
+                index: 0,
+                value: 0.0,
+                stats: sample_stats(),
+            },
+            Payload::SolveDone { converged: false },
+            Payload::SolveDone { converged: true },
+        ]
+        .into_iter()
+        .map(ev)
+        .collect();
+        let stats = fold_stats(&events);
+        assert_eq!(
+            stats,
+            SolveStats {
+                nr_iterations: 2,
+                pta_steps: 2, // accepted PtaStep + StageStep
+                rejected_steps: 2,
+                lu_factorizations: 1,
+                lu_refactorizations: 2,
+                converged: true, // last SolveDone wins
+            }
+        );
+    }
+
+    #[test]
+    fn fold_sweep_stats_orders_by_index_and_ands_convergence() {
+        let mk = |index, converged| {
+            ev(Payload::SweepPoint {
+                index,
+                value: index as f64,
+                stats: SolveStats {
+                    nr_iterations: index + 1,
+                    converged,
+                    ..Default::default()
+                },
+            })
+        };
+        let events = vec![mk(2, true), mk(0, true), mk(1, false)];
+        let stats = fold_sweep_stats(&events);
+        assert_eq!(stats.nr_iterations, 6);
+        assert!(!stats.converged);
+        assert!(!fold_sweep_stats(&[]).converged);
+    }
+
+    #[test]
+    fn collector_merges_jobs_in_input_order() {
+        let c = Collector::new();
+        let mk = |job, iteration| Event {
+            span: Span { job, worker: 0 },
+            payload: Payload::NrIteration { iteration },
+        };
+        // Arrival order scrambles jobs; merge must restore job order while
+        // keeping per-job program order.
+        c.emit(&mk(Some(1), 10));
+        c.emit(&mk(None, 0));
+        c.emit(&mk(Some(0), 1));
+        c.emit(&mk(Some(1), 11));
+        c.emit(&mk(Some(0), 2));
+        let order: Vec<(Option<usize>, usize)> = c
+            .events()
+            .iter()
+            .map(|e| match e.payload {
+                Payload::NrIteration { iteration } => (e.span.job, iteration),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                (None, 0),
+                (Some(0), 1),
+                (Some(0), 2),
+                (Some(1), 10),
+                (Some(1), 11)
+            ]
+        );
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.take().len(), 5);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn counter_sink_counts_by_kind() {
+        let c = CounterSink::new();
+        c.emit(&ev(Payload::NrIteration { iteration: 1 }));
+        c.emit(&ev(Payload::NrIteration { iteration: 2 }));
+        c.emit(&ev(Payload::SolveDone { converged: true }));
+        assert_eq!(c.count("NrIteration"), 2);
+        assert_eq!(c.count("SolveDone"), 1);
+        assert_eq!(c.count("PtaStep"), 0);
+        assert_eq!(c.counts().len(), 2);
+    }
+
+    #[test]
+    fn jsonl_sink_flushes_in_job_order() {
+        let path = std::env::temp_dir().join(format!(
+            "rlpta-jsonl-test-{}.jsonl",
+            std::process::id()
+        ));
+        {
+            let sink = JsonlSink::create(&path).expect("create");
+            let mk = |job| Event {
+                span: Span { job, worker: 3 },
+                payload: Payload::SolveDone { converged: true },
+            };
+            sink.emit(&mk(Some(1)));
+            sink.emit(&mk(None));
+            sink.emit(&mk(Some(0)));
+            sink.finish();
+        }
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let jobs: Vec<Option<usize>> = text
+            .lines()
+            .map(|l| Event::parse_json(l).expect("line parses").span.job)
+            .collect();
+        assert_eq!(jobs, vec![None, Some(0), Some(1)]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn tele_chain_applies_all_folds_and_forwards_once() {
+        let collector = Collector::new();
+        let outer_fold = StatsFold::default();
+        let inner_fold = StatsFold::default();
+        let root = Tele::root(&collector, Span::for_job(7));
+        let outer = root.child(&outer_fold);
+        let inner = outer.child(&inner_fold);
+        inner.emit(Payload::NrIteration { iteration: 1 });
+        inner.emit(Payload::SolveDone { converged: true });
+        assert_eq!(outer_fold.snapshot().nr_iterations, 1);
+        assert_eq!(inner_fold.snapshot().nr_iterations, 1);
+        assert!(outer_fold.snapshot().converged);
+        assert_eq!(collector.len(), 2, "sink sees each event exactly once");
+        assert_eq!(collector.events()[0].span.job, Some(7));
+        // Snapshot equals the batch fold of the captured stream.
+        assert_eq!(fold_stats(&collector.events()), inner_fold.snapshot());
+    }
+
+    #[test]
+    fn fold_trace_maps_pta_steps() {
+        let events = vec![
+            ev(Payload::PtaStep {
+                accepted: true,
+                h: 1e-3,
+                h_next: 2e-3,
+                gamma: Some(0.5),
+                nr_iterations: 3,
+                residual: 1e-10,
+                pta_converged: false,
+                time: 1e-3,
+            }),
+            ev(Payload::NrIteration { iteration: 1 }),
+        ];
+        let trace = fold_trace(&events);
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace[0].next_step, 2e-3);
+        assert_eq!(trace[0].observation.step, 1e-3);
+        assert!(trace[0].observation.nr_converged);
+        assert_eq!(trace[0].observation.gamma, Some(0.5));
+    }
+}

@@ -69,15 +69,17 @@ impl<C: StepController> TraceController<C> {
     }
 
     /// Renders the trace as CSV (`time,step,next_step,iters,converged,
-    /// residual,gamma`).
+    /// residual,gamma`). Rejected steps carry no Γ; their gamma cell is
+    /// empty.
     pub fn to_csv(&self) -> String {
         let mut out =
             String::from("time,step,next_step,nr_iterations,nr_converged,residual,gamma\n");
         for e in &self.entries {
             let o = &e.observation;
+            let gamma = o.gamma.map_or(String::new(), |g| format!("{g:e}"));
             out.push_str(&format!(
-                "{:e},{:e},{:e},{},{},{:e},{:e}\n",
-                o.time, o.step, e.next_step, o.nr_iterations, o.nr_converged, o.residual, o.gamma
+                "{:e},{:e},{:e},{},{},{:e},{}\n",
+                o.time, o.step, e.next_step, o.nr_iterations, o.nr_converged, o.residual, gamma
             ));
         }
         out
@@ -174,7 +176,7 @@ mod tests {
             nr_iterations: 2,
             nr_converged: true,
             residual: 1.0,
-            gamma: 0.1,
+            gamma: Some(0.1),
             pta_converged: false,
             step: h,
             time: h,

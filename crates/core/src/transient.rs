@@ -9,7 +9,8 @@
 
 use crate::newton::{newton_iterate, NewtonConfig};
 use crate::recovery::BudgetMeter;
-use crate::{SolveError, SolveStats};
+use crate::telemetry::{Payload, StatsFold, Tele};
+use crate::SolveError;
 use rlpta_devices::Device;
 use rlpta_linalg::Triplet;
 use rlpta_mna::Circuit;
@@ -212,7 +213,11 @@ impl Transient {
         };
         let mut state = work.seeded_state(&x);
         let mut meter = BudgetMeter::unlimited();
-        let mut stats = SolveStats::default();
+        // Time points fold into the same stats shape as PTA steps so that a
+        // non-convergence error carries the usual counters.
+        let fold = StatsFold::default();
+        let root = Tele::disabled();
+        let tele = root.child(&fold);
 
         // Reactive elements: (a, b, C) for capacitors, (a, b, branch, L)
         // for inductors.
@@ -295,13 +300,12 @@ impl Transient {
                 &mut companion,
                 &mut meter,
                 &mut lu_ws,
+                &tele,
             )?;
-            stats.nr_iterations += out.iterations;
-            stats.lu_factorizations += out.lu_factorizations;
-            if out.converged {
+            let accepted = out.converged;
+            if accepted {
                 x = out.x;
                 t = t_next;
-                stats.pta_steps += 1;
                 points.push(TransientPoint {
                     time: t,
                     x: x.clone(),
@@ -312,12 +316,23 @@ impl Transient {
                 }
             } else {
                 state = saved_state;
-                stats.rejected_steps += 1;
                 halvings += 1;
-                if halvings > self.max_halvings {
-                    return Err(SolveError::NonConvergent { stats });
-                }
                 h /= 2.0;
+            }
+            tele.emit(Payload::PtaStep {
+                accepted,
+                h: h_step,
+                h_next: h,
+                gamma: None,
+                nr_iterations: out.iterations,
+                residual: out.residual,
+                pta_converged: false,
+                time: t_next,
+            });
+            if !accepted && halvings > self.max_halvings {
+                return Err(SolveError::NonConvergent {
+                    stats: fold.snapshot(),
+                });
             }
         }
         Ok(points)

@@ -80,7 +80,7 @@ proptest! {
                 nr_iterations: iters,
                 nr_converged: conv,
                 residual: res,
-                gamma,
+                gamma: Some(gamma),
                 pta_converged: false,
                 step: h,
                 time: 0.0,
@@ -150,6 +150,41 @@ proptest! {
             .expect("parallel sweep");
         // PartialEq on f64 vectors: bitwise-identical solutions and stats.
         prop_assert_eq!(serial, parallel);
+    }
+
+    /// Telemetry streams merge deterministically: a parallel batch run
+    /// produces exactly the serial run's event stream after the job-order
+    /// merge, modulo worker ids.
+    #[test]
+    fn parallel_batch_event_stream_matches_serial(
+        n_circuits in 1usize..6,
+        threads in 2usize..5,
+        v in 1.0f64..10.0,
+    ) {
+        let circuits: Vec<_> = (0..n_circuits)
+            .map(|i| {
+                rlpta_netlist::parse(&format!(
+                    "c{i}\nV1 in 0 {v}\nR1 in out {}k\nD1 out 0 DX\n.model DX D(IS=1e-14)\n",
+                    i + 1
+                ))
+                .expect("parses")
+            })
+            .collect();
+        let run = |threads: usize| {
+            let collector = std::sync::Arc::new(rlpta_core::Collector::new());
+            let engine = DcEngine::builder()
+                .kind(PtaKind::cepta())
+                .threads(threads)
+                .telemetry(collector.clone())
+                .build();
+            let _ = engine.solve_batch(&circuits);
+            let mut events = collector.events();
+            for e in &mut events {
+                e.span.worker = 0;
+            }
+            events
+        };
+        prop_assert_eq!(run(1), run(threads));
     }
 
     /// The escalation ladder is total: random — including badly scaled —

@@ -1,0 +1,96 @@
+//! RL-S checkpointing: a trained dual-agent controller persists through
+//! `save_policy`/`load_policy`, and a frozen reload replays bit-identical
+//! stepping decisions. `TrainStep` telemetry flows only in training
+//! configurations (telemetry attached *and* not frozen).
+
+use rlpta_core::{
+    Collector, Payload, PtaConfig, PtaKind, PtaSolver, RlStepping, RlSteppingConfig, Span,
+    StepController, TraceController,
+};
+use std::sync::Arc;
+
+fn fixed_circuit() -> rlpta_mna::Circuit {
+    rlpta_netlist::parse(
+        "fix\nV1 in 0 5\nR1 in out 1k\nD1 out 0 DX\n.model DX D(IS=1e-14)\n",
+    )
+    .expect("parses")
+}
+
+/// Pre-trains a controller across two corpus circuits — enough transitions
+/// to pass the warmup gate and run real TD3 updates.
+fn trained_controller() -> RlStepping {
+    let mut rl = RlStepping::new(RlSteppingConfig::new(7));
+    for name in ["gm1", "bias"] {
+        let b = rlpta_circuits::by_name(name).expect("known benchmark");
+        let mut solver = PtaSolver::with_config(PtaKind::dpta(), rl.clone(), PtaConfig::default());
+        let _ = solver.solve(&b.circuit);
+        rl = solver.controller_mut().clone();
+    }
+    rl
+}
+
+#[test]
+fn reloaded_policy_replays_identical_stepping_decisions() {
+    let mut trained = trained_controller();
+    assert!(
+        trained.transitions_seen() > 8,
+        "pre-training must clear the warmup gate ({} transitions)",
+        trained.transitions_seen()
+    );
+    let mut buf = Vec::new();
+    trained.save_policy(&mut buf).expect("policy saves");
+    let mut reloaded =
+        RlStepping::load_policy(RlSteppingConfig::new(7), &mut &buf[..]).expect("policy loads");
+    // Frozen: no exploration noise, no training — decisions depend only on
+    // the persisted networks.
+    trained.freeze();
+    reloaded.freeze();
+    let c = fixed_circuit();
+    let run = |ctl: RlStepping| {
+        let mut solver =
+            PtaSolver::with_config(PtaKind::dpta(), TraceController::new(ctl), PtaConfig::default());
+        solver.solve(&c).expect("solves");
+        solver.controller_mut().entries().to_vec()
+    };
+    let original = run(trained);
+    let restored = run(reloaded);
+    assert!(!original.is_empty());
+    assert_eq!(
+        original, restored,
+        "a frozen reload must replay the checkpointed policy bit for bit"
+    );
+}
+
+#[test]
+fn train_step_events_flow_only_while_training() {
+    let c = fixed_circuit();
+    let train_steps = |sink: &Collector| {
+        sink.events()
+            .iter()
+            .filter(|e| matches!(e.payload, Payload::TrainStep { .. }))
+            .count()
+    };
+
+    // Training configuration: telemetry attached, controller unfrozen.
+    let sink = Arc::new(Collector::new());
+    let mut rl = trained_controller();
+    rl.attach_telemetry(sink.clone(), Span::default());
+    let mut solver = PtaSolver::with_config(PtaKind::dpta(), rl.clone(), PtaConfig::default());
+    let _ = solver.solve(&c);
+    assert!(
+        train_steps(&sink) > 0,
+        "an unfrozen controller with telemetry must stream TrainStep events"
+    );
+
+    // Evaluation configuration: same wiring, frozen — silence.
+    let frozen_sink = Arc::new(Collector::new());
+    rl.freeze();
+    rl.attach_telemetry(frozen_sink.clone(), Span::default());
+    let mut solver = PtaSolver::with_config(PtaKind::dpta(), rl, PtaConfig::default());
+    let _ = solver.solve(&c);
+    assert_eq!(
+        train_steps(&frozen_sink),
+        0,
+        "a frozen controller must not emit TrainStep events"
+    );
+}

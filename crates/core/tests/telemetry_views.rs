@@ -1,0 +1,157 @@
+//! Integration tests for the telemetry layer: every classic report type
+//! (`SolveStats`, `TraceEntry`, `AttemptReport`, `SweepReport`) is a
+//! derived fold/filter view over the engine's event stream, and the JSONL
+//! stream round-trips losslessly.
+
+use rlpta_core::telemetry::{fold_attempts, fold_stats, fold_sweep_stats, fold_trace};
+use rlpta_core::{
+    Collector, DcEngine, DcSweep, EngineConfig, Event, JsonlSink, LadderStage, NewtonConfig,
+    PtaConfig, PtaKind, PtaSolver, SimpleStepping, SolveBudget, SolveError, TraceController,
+};
+use std::sync::Arc;
+
+/// The acceptance pin: for **every** Fig. 5 corpus circuit, folding the
+/// event stream reproduces the solver's returned counters exactly —
+/// convergent or not. A per-run NR cap keeps the corpus sweep fast in
+/// debug builds without touching the equivalence question.
+#[test]
+fn fig5_stats_are_derived_views_of_the_event_stream() {
+    for bench in rlpta_circuits::fig5() {
+        let collector = Arc::new(Collector::new());
+        let engine = DcEngine::builder()
+            .kind(PtaKind::cepta())
+            .pta_config(EngineConfig::experiment().pta())
+            .budget(SolveBudget::UNLIMITED.nr_iterations(5_000))
+            .telemetry(collector.clone())
+            .build();
+        let stats = match engine.solve(&bench.circuit) {
+            Ok(sol) => sol.stats,
+            Err(
+                SolveError::NonConvergent { stats } | SolveError::BudgetExhausted { stats, .. },
+            ) => stats,
+            Err(e) => panic!("{}: structural failure: {e}", bench.name),
+        };
+        assert_eq!(
+            fold_stats(&collector.events()),
+            stats,
+            "{}: folded view diverges from returned stats",
+            bench.name
+        );
+    }
+}
+
+/// The escalation ladder's attempt trail is reconstructible from
+/// `LadderAttempt` events: same strategies, same errors, same per-stage
+/// work.
+#[test]
+fn ladder_attempt_trail_is_a_derived_view() {
+    let c = rlpta_circuits::by_name("SCHMITT")
+        .expect("known benchmark")
+        .circuit;
+    // A ladder guaranteed to fail every rung quickly: Newton starved of
+    // iterations, CEPTA starved of steps.
+    let stages = vec![
+        LadderStage::DampedNewton(NewtonConfig {
+            max_iterations: 3,
+            ..NewtonConfig::default()
+        }),
+        LadderStage::Cepta(PtaConfig {
+            max_steps: 2,
+            ..PtaConfig::default()
+        }),
+    ];
+    let collector = Arc::new(Collector::new());
+    let engine = DcEngine::builder()
+        .ladder(stages)
+        .telemetry(collector.clone())
+        .build();
+    let attempts = match engine.solve(&c) {
+        Err(SolveError::AllStrategiesFailed { attempts }) => attempts,
+        other => panic!("expected total ladder failure, got {other:?}"),
+    };
+    let views = fold_attempts(&collector.events());
+    assert_eq!(views.len(), attempts.len());
+    for (v, a) in views.iter().zip(&attempts) {
+        assert_eq!(v.strategy, a.strategy);
+        assert_eq!(v.error, a.error.to_string());
+        assert_eq!(v.stats, a.stats);
+    }
+}
+
+/// `fold_trace` over engine events reproduces what an explicit
+/// `TraceController` wrapper records on the identical serial run.
+#[test]
+fn step_trace_is_a_derived_view() {
+    let c = rlpta_netlist::parse(
+        "t\nV1 in 0 5\nR1 in out 1k\nD1 out 0 DX\n.model DX D(IS=1e-14)\n",
+    )
+    .expect("parses");
+    // Reference: the wrapper records every observation/decision pair.
+    let mut solver = PtaSolver::with_config(
+        PtaKind::dpta(),
+        TraceController::new(SimpleStepping::default()),
+        PtaConfig::default(),
+    );
+    solver.solve(&c).expect("solves");
+    let reference = solver.controller_mut().entries().to_vec();
+    assert!(!reference.is_empty());
+    // Same run through the engine, reconstructed from `PtaStep` events.
+    let collector = Arc::new(Collector::new());
+    let engine = DcEngine::builder()
+        .kind(PtaKind::dpta())
+        .telemetry(collector.clone())
+        .build();
+    engine.solve(&c).expect("solves");
+    assert_eq!(fold_trace(&collector.events()), reference);
+}
+
+/// A sweep's aggregate counters fold back out of its `SweepPoint` events —
+/// chunked and parallel.
+#[test]
+fn sweep_stats_are_a_derived_view() {
+    let c = rlpta_netlist::parse(
+        "t\nV1 in 0 0\nR1 in a 100\nD1 a 0 DX\n.model DX D(IS=1e-14)\n",
+    )
+    .expect("parses");
+    let values: Vec<f64> = (0..9).map(|i| i as f64 * 0.5).collect();
+    let sweep = DcSweep::new("V1", values).expect("valid sweep");
+    let collector = Arc::new(Collector::new());
+    let engine = DcEngine::builder()
+        .threads(3)
+        .sweep_chunk(3)
+        .telemetry(collector.clone())
+        .build();
+    let report = engine.sweep(&c, &sweep).expect("sweeps");
+    assert_eq!(fold_sweep_stats(&collector.events()), report.stats);
+}
+
+/// The `--trace-jsonl` path end to end: an engine run streamed through
+/// `JsonlSink` parses back line by line, re-serializes bit-identically,
+/// and still folds to the solver's counters.
+#[test]
+fn jsonl_stream_round_trips_through_the_engine() {
+    let path = std::env::temp_dir().join("rlpta-telemetry-roundtrip.jsonl");
+    let c = rlpta_netlist::parse(
+        "t\nV1 in 0 5\nR1 in out 1k\nD1 out 0 DX\n.model DX D(IS=1e-14)\n",
+    )
+    .expect("parses");
+    let stats = {
+        let sink = Arc::new(JsonlSink::create(&path).expect("creates trace file"));
+        let engine = DcEngine::builder()
+            .kind(PtaKind::cepta())
+            .telemetry(sink)
+            .build();
+        engine.solve(&c).expect("solves").stats
+    };
+    let text = std::fs::read_to_string(&path).expect("reads back");
+    std::fs::remove_file(&path).ok();
+    let events: Vec<Event> = text
+        .lines()
+        .map(|l| Event::parse_json(l).expect("every line parses"))
+        .collect();
+    assert!(!events.is_empty());
+    for (line, e) in text.lines().zip(&events) {
+        assert_eq!(e.to_json(), line, "parse/serialize must be bit-stable");
+    }
+    assert_eq!(fold_stats(&events), stats);
+}

@@ -55,4 +55,4 @@ pub use error::LinalgError;
 pub use ordering::ColumnOrdering;
 pub use sparse::{CsrMatrix, Triplet};
 pub use sparse_lu::SparseLu;
-pub use symbolic::{LuStats, LuWorkspace, SymbolicLu};
+pub use symbolic::{LuOp, LuStats, LuWorkspace, SymbolicLu};

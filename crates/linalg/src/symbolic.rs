@@ -418,6 +418,21 @@ pub struct LuStats {
     pub fallbacks: u64,
 }
 
+/// How a [`LuWorkspace`] serviced its most recent factorization request.
+///
+/// This is the telemetry hook consumed by `rlpta-core`: downstream solvers
+/// read it after each [`LuWorkspace::factorize`] call to emit distinct
+/// `LuFactorized` / `LuReplayed` events without re-deriving the decision
+/// from [`LuStats`] deltas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LuOp {
+    /// A full symbolic + numeric factorization ran (first call, pattern
+    /// change, or pivot-decay fallback).
+    Full,
+    /// The recorded scatter plan was replayed with a numeric-only pass.
+    Replay,
+}
+
 /// A factorization cache for repeated solves on one matrix pattern.
 ///
 /// Call [`LuWorkspace::factorize`] wherever [`SparseLu::factorize`] was
@@ -456,6 +471,7 @@ pub struct LuStats {
 pub struct LuWorkspace {
     symbolic: Option<SymbolicLu>,
     stats: LuStats,
+    last_op: Option<LuOp>,
 }
 
 impl LuWorkspace {
@@ -477,6 +493,7 @@ impl LuWorkspace {
                 match sym.refactorize(a) {
                     Ok(lu) => {
                         self.stats.refactorizations += 1;
+                        self.last_op = Some(LuOp::Replay);
                         return Ok(lu);
                     }
                     Err(LinalgError::PatternChanged { .. })
@@ -492,8 +509,16 @@ impl LuWorkspace {
         }
         let lu = SparseLu::factorize(a)?;
         self.stats.full_factorizations += 1;
+        self.last_op = Some(LuOp::Full);
         self.symbolic = Some(lu.symbolic(a));
         Ok(lu)
+    }
+
+    /// How the most recent *successful* [`LuWorkspace::factorize`] call was
+    /// serviced; `None` before the first success. Failed calls leave the
+    /// previous value untouched.
+    pub fn last_op(&self) -> Option<LuOp> {
+        self.last_op
     }
 
     /// Drops the recorded pattern; the next call re-records it. Use when

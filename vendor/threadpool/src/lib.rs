@@ -34,10 +34,28 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::cell::Cell;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+thread_local! {
+    /// Index of the pool worker running on this thread, `0` outside a pool.
+    static WORKER: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Index of the pool worker executing the current job.
+///
+/// Inside a [`ThreadPool::run`] batch this is the spawn index of the worker
+/// thread (`0..threads`). On the calling thread — including the serial
+/// fast path that runs batches in-line — it is `0`, so serial and
+/// single-worker runs report the same id. The value identifies *scheduling*,
+/// not work: consumers that need determinism should key on job ids and
+/// treat the worker id as diagnostic.
+pub fn current_worker() -> usize {
+    WORKER.with(Cell::get)
+}
 
 /// A job panicked inside a pool worker. The payload is stringified (panic
 /// payloads are `Box<dyn Any>`; `&str` and `String` payloads are preserved,
@@ -137,21 +155,25 @@ impl ThreadPool {
         let next = AtomicUsize::new(0);
 
         std::thread::scope(|scope| {
-            for _ in 0..self.threads.min(n) {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
+            let (slots, results, next, run_one) = (&slots, &results, &next, &run_one);
+            for w in 0..self.threads.min(n) {
+                scope.spawn(move || {
+                    WORKER.with(|c| c.set(w));
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        // Locks are uncontended by construction (each index is
+                        // claimed once) and never poisoned (jobs are caught).
+                        let job = slots[i]
+                            .lock()
+                            .expect("job slot lock")
+                            .take()
+                            .expect("job claimed twice");
+                        let out = run_one(i, job);
+                        *results[i].lock().expect("result slot lock") = Some(out);
                     }
-                    // Locks are uncontended by construction (each index is
-                    // claimed once) and never poisoned (jobs are caught).
-                    let job = slots[i]
-                        .lock()
-                        .expect("job slot lock")
-                        .take()
-                        .expect("job claimed twice");
-                    let out = run_one(i, job);
-                    *results[i].lock().expect("result slot lock") = Some(out);
                 });
             }
         });
@@ -278,6 +300,29 @@ mod tests {
     fn zero_threads_means_auto() {
         assert!(ThreadPool::new(0).threads() >= 1);
         assert!(ThreadPool::default().threads() >= 1);
+    }
+
+    #[test]
+    fn worker_ids_bounded_and_zero_on_caller() {
+        assert_eq!(current_worker(), 0);
+        let pool = ThreadPool::new(3);
+        let ids: Vec<_> = pool
+            .map(0..16, |_| {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                current_worker()
+            })
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        assert!(ids.iter().all(|&w| w < 3));
+        // Serial fast path stays on the caller thread: id 0 everywhere.
+        let serial = ThreadPool::new(1);
+        let ids: Vec<_> = serial
+            .map(0..4, |_| current_worker())
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(ids, vec![0, 0, 0, 0]);
     }
 
     #[test]
