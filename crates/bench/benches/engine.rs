@@ -83,7 +83,11 @@ fn bench_batch_engine(c: &mut Criterion) {
 /// (every event built and forwarded to a no-op sink) must sit within
 /// measurement noise of the bare solver's no-sink path on the same
 /// circuit. A visible gap between the two bars means event emission grew
-/// a hot-path cost — treat that as a regression.
+/// a hot-path cost — treat that as a regression. The third bar turns full
+/// timing instrumentation on (a `MetricsRegistry` sink, which wants
+/// timing, so every phase samples the clock twice and folds a histogram
+/// entry) — the measured price of `--profile`/`--bench-json`, expected to
+/// be small but nonzero.
 fn bench_telemetry_overhead(c: &mut Criterion) {
     let circuit = by_name("gm1").expect("known benchmark").circuit;
     let kind = PtaKind::cepta();
@@ -101,6 +105,15 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
         .build();
     group.bench_function("null_sink_engine", |b| {
         b.iter(|| engine.solve(&circuit).unwrap())
+    });
+    let metrics = std::sync::Arc::new(rlpta_core::MetricsRegistry::new());
+    let timed_engine = DcEngine::builder()
+        .kind(kind)
+        .pta_config(experiment_config())
+        .telemetry(metrics)
+        .build();
+    group.bench_function("timing_instrumented_engine", |b| {
+        b.iter(|| timed_engine.solve(&circuit).unwrap())
     });
     group.finish();
 }

@@ -4,17 +4,23 @@
 //! mechanism earns its place.
 //!
 //! Pass `--trace-jsonl <path>` to stream the evaluation runs' telemetry
-//! events to a line-JSON file.
+//! events to a line-JSON file, `--bench-json <path>` for a machine-readable
+//! report of the full RL-S variant, `--profile` for the self-time tree.
 
-use rlpta_bench::{bench_threads, experiment_config, run_rl_batch};
+use rlpta_bench::{bench_threads, experiment_config, finish_run, run_rl_batch};
 use rlpta_circuits::{table3, training_corpus};
 use rlpta_core::{PtaKind, PtaSolver, RlStepping, RlSteppingConfig};
 use std::time::Instant;
 
 /// Pretrain a controller variant across the corpus (serial — learning is
 /// carried circuit to circuit) and total its evaluation iterations over a
-/// hard-circuit subset on the pooled engine.
-fn evaluate(label: &str, config: RlSteppingConfig, threads: usize) {
+/// hard-circuit subset on the pooled engine. Returns the per-circuit rows
+/// for report emission.
+fn evaluate(
+    label: &str,
+    config: RlSteppingConfig,
+    threads: usize,
+) -> Vec<(String, rlpta_core::SolveStats)> {
     let kind = PtaKind::dpta();
     let mut rl = RlStepping::new(config);
     for _ in 0..2 {
@@ -42,7 +48,8 @@ fn evaluate(label: &str, config: RlSteppingConfig, threads: usize) {
     let mut total_lu_f = 0usize;
     let mut total_lu_r = 0usize;
     let mut failures = 0usize;
-    for stats in run_rl_batch(&benches, kind, &rl, threads) {
+    let stats = run_rl_batch(&benches, kind, &rl, threads);
+    for stats in &stats {
         if stats.converged {
             total_ite += stats.nr_iterations;
             total_ste += stats.pta_steps;
@@ -56,6 +63,11 @@ fn evaluate(label: &str, config: RlSteppingConfig, threads: usize) {
         "{label:<28} total #Ite {total_ite:>6}  total #Ste {total_ste:>6}  \
          LU f/r {total_lu_f:>6}/{total_lu_r:<6}  failures {failures}"
     );
+    benches
+        .iter()
+        .zip(stats)
+        .map(|(b, s)| (b.name.clone(), s))
+        .collect()
 }
 
 fn main() {
@@ -63,7 +75,7 @@ fn main() {
     let threads = bench_threads();
     println!("# RL-S ablations on the hard-circuit subset (lower is better)");
     println!("# evaluation pool: {threads} thread(s)");
-    evaluate("full RL-S", RlSteppingConfig::new(7), threads);
+    let full_rows = evaluate("full RL-S", RlSteppingConfig::new(7), threads);
     evaluate(
         "single agent (no dual)",
         RlSteppingConfig {
@@ -108,5 +120,5 @@ fn main() {
         },
         threads,
     );
-    println!("# total wall time {:.1?}", t0.elapsed());
+    finish_run("ablation", "dpta", "rl-s", threads, &full_rows, t0);
 }

@@ -3,8 +3,11 @@
 //! source stepping are often inferior…", "homotopy is difficult…", "PTA has
 //! proven the most practical"). Reports NR iterations per method, `FAIL`
 //! where the method does not converge.
+//!
+//! `--bench-json <path>` reports the DPTA column; `--profile` prints the
+//! self-time tree.
 
-use rlpta_bench::run_simple;
+use rlpta_bench::{bench_threads, finish_run, run_simple};
 use rlpta_circuits::table3;
 use rlpta_core::{
     GminStepping, NewtonHomotopy, NewtonRaphson, PtaKind, Solution, SolveError, SourceStepping,
@@ -27,6 +30,7 @@ fn main() {
     );
     let mut fails = [0usize; 6];
     let mut rows = 0usize;
+    let mut report_rows = Vec::new();
     for bench in table3() {
         let newton = cell(NewtonRaphson::default().solve(&bench.circuit));
         let gmin = cell(GminStepping::default().solve(&bench.circuit));
@@ -57,11 +61,12 @@ fn main() {
             "{:<14}{:>9}{:>9}{:>9}{:>10}{:>9}{:>9}",
             bench.name, newton, gmin, source, hom, pta_cell, dpta_cell
         );
+        report_rows.push((bench.name.clone(), dpta));
     }
     println!(
         "# failures/{rows}: newton {} gmin {} source {} homotopy {} pta {} dpta {}",
         fails[0], fails[1], fails[2], fails[3], fails[4], fails[5]
     );
     println!("# paper §1: Gmin/source often inferior, homotopy fragile, PTA most practical");
-    println!("# total wall time {:.1?}", t0.elapsed());
+    finish_run("baselines", "dpta", "simple", bench_threads(), &report_rows, t0);
 }

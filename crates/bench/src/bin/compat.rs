@@ -3,8 +3,11 @@
 //! every PTA flavour (pure PTA, DPTA, CEPTA) over a circuit subset and
 //! reports the per-flavour speedups (the paper demonstrates DPTA gaining
 //! more than CEPTA; Table 3 is the DPTA column of this comparison).
+//!
+//! `--bench-json <path>` reports the RL-DPTA column; `--profile` prints
+//! the self-time tree.
 
-use rlpta_bench::{pretrain_rl, run_adaptive, run_rl};
+use rlpta_bench::{bench_threads, finish_run, pretrain_rl, run_adaptive, run_rl};
 use rlpta_circuits::table3;
 use rlpta_core::PtaKind;
 use std::time::Instant;
@@ -40,6 +43,7 @@ fn main() {
 
     let mut sums = [0.0f64; 4];
     let mut counts = [0usize; 4];
+    let mut rows = Vec::new();
     for bench in table3()
         .into_iter()
         .filter(|b| subset.contains(&b.name.as_str()))
@@ -48,6 +52,9 @@ fn main() {
         for (i, &kind) in kinds.iter().enumerate() {
             let a = run_adaptive(&bench, kind);
             let r = run_rl(&bench, kind, &pretrained[i]);
+            if kind == PtaKind::dpta() {
+                rows.push((bench.name.clone(), r));
+            }
             if a.converged && r.converged && r.nr_iterations > 0 {
                 let ratio = a.nr_iterations as f64 / r.nr_iterations as f64;
                 sums[i] += ratio;
@@ -72,5 +79,5 @@ fn main() {
     }
     println!();
     println!("# paper: RL-DPTA achieves the largest reductions; RL-S transfers to every flavour");
-    println!("# total wall time {:.1?}", t0.elapsed());
+    finish_run("compat", "dpta", "rl-s", bench_threads(), &rows, t0);
 }

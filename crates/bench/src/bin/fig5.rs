@@ -7,10 +7,12 @@
 //! Pass `--threads N` (or set `RLPTA_THREADS`) to evaluate the corpus on a
 //! worker pool; the numbers are identical at any width. Pass
 //! `--trace-jsonl <path>` to stream the run's telemetry events — RL
-//! training steps included — to a line-JSON file.
+//! training steps included — to a line-JSON file, `--bench-json <path>` for
+//! a machine-readable report, `--profile` for the self-time tree.
 
 use rlpta_bench::{
-    bench_threads, lu_cell, pretrain_rl, run_adaptive_batch, run_rl_batch, run_simple_batch,
+    bench_threads, finish_run, lu_cell, pretrain_rl, run_adaptive_batch, run_rl_batch,
+    run_simple_batch,
 };
 use rlpta_circuits::fig5;
 use rlpta_core::PtaKind;
@@ -95,5 +97,10 @@ fn main() {
     };
     summary("adaptive", &vs_adaptive, 3.77);
     summary("simple", &vs_simple, 2.71);
-    println!("# total wall time {:.1?}", t0.elapsed());
+    let rows: Vec<_> = benches
+        .iter()
+        .zip(&rls)
+        .map(|(b, s)| (b.name.clone(), *s))
+        .collect();
+    finish_run("fig5", "cepta", "rl-s", threads, &rows, t0);
 }

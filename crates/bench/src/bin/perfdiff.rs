@@ -1,0 +1,185 @@
+//! Performance-regression gate: diffs two [`BenchReport`] files.
+//!
+//! ```text
+//! perfdiff <baseline.json> <candidate.json> [--threshold <pct>] \
+//!          [--min-count <n>] [--warn-only]
+//! ```
+//!
+//! Compares the deterministic work counters (NR iterations, PTA steps,
+//! total LU work) and, where both sides carry timing, the per-phase p50 /
+//! p99 wall times plus the end-to-end wall clock. A relative increase
+//! beyond `--threshold` percent (default 30) is a regression. Phases with
+//! fewer than `--min-count` samples (default 5) on either side are skipped
+//! — their percentiles are noise. Exit codes: `0` clean, `1` regression
+//! (suppressed by `--warn-only`), `2` usage/parse error.
+//!
+//! Diffing a report against itself always exits 0, whatever the threshold.
+
+use rlpta_bench::report::BenchReport;
+use std::process::ExitCode;
+
+/// One comparison outcome, ready for the summary table.
+struct Delta {
+    what: String,
+    base: u64,
+    cand: u64,
+    regressed: bool,
+}
+
+fn rel_change(base: u64, cand: u64) -> f64 {
+    if base == 0 {
+        if cand == 0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (cand as f64 - base as f64) / base as f64
+    }
+}
+
+fn check(deltas: &mut Vec<Delta>, what: impl Into<String>, base: u64, cand: u64, threshold: f64) {
+    deltas.push(Delta {
+        what: what.into(),
+        base,
+        cand,
+        regressed: rel_change(base, cand) > threshold,
+    });
+}
+
+fn run() -> Result<bool, String> {
+    let mut positional = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--threshold" || a == "--min-count" {
+            // Skip the option's value so it is not mistaken for a path.
+            let _ = args.next();
+        } else if !a.starts_with("--") {
+            positional.push(a);
+        }
+    }
+    let [baseline_path, candidate_path] = positional.as_slice() else {
+        return Err(
+            "usage: perfdiff <baseline.json> <candidate.json> [--threshold <pct>] \
+             [--min-count <n>] [--warn-only]"
+                .to_string(),
+        );
+    };
+    let threshold_pct: f64 = match rlpta_bench::arg_value("threshold") {
+        Some(v) => v
+            .parse()
+            .map_err(|e| format!("bad --threshold {v:?}: {e}"))?,
+        None => 30.0,
+    };
+    let min_count: u64 = match rlpta_bench::arg_value("min-count") {
+        Some(v) => v
+            .parse()
+            .map_err(|e| format!("bad --min-count {v:?}: {e}"))?,
+        None => 5,
+    };
+    let threshold = threshold_pct / 100.0;
+
+    let base = BenchReport::load(baseline_path)?;
+    let cand = BenchReport::load(candidate_path)?;
+    if base.schema_version != cand.schema_version {
+        return Err(format!(
+            "schema mismatch: baseline v{}, candidate v{}",
+            base.schema_version, cand.schema_version
+        ));
+    }
+    println!(
+        "perfdiff: {} ({} @ {}) vs {} ({} @ {}), threshold {threshold_pct}%",
+        baseline_path, base.bench, base.git_rev, candidate_path, cand.bench, cand.git_rev
+    );
+    for (label, b, c) in [
+        ("bench", &base.bench, &cand.bench),
+        ("strategy", &base.strategy, &cand.strategy),
+        ("stepping", &base.stepping, &cand.stepping),
+    ] {
+        if b != c {
+            println!("note: {label} differs ({b} vs {c}) — comparing anyway");
+        }
+    }
+    if base.threads != cand.threads {
+        println!(
+            "note: thread counts differ ({} vs {}) — wall times are not like-for-like",
+            base.threads, cand.threads
+        );
+    }
+
+    let mut deltas = Vec::new();
+    // Deterministic work counters first: immune to machine noise, so any
+    // move beyond the threshold is a real algorithmic regression.
+    check(&mut deltas, "nr_iterations", base.nr_iterations, cand.nr_iterations, threshold);
+    check(&mut deltas, "pta_steps", base.pta_steps, cand.pta_steps, threshold);
+    check(
+        &mut deltas,
+        "lu_total",
+        base.lu_factorizations + base.lu_refactorizations,
+        cand.lu_factorizations + cand.lu_refactorizations,
+        threshold,
+    );
+    check(
+        &mut deltas,
+        "non_converged",
+        (base.circuits - base.converged) as u64,
+        (cand.circuits - cand.converged) as u64,
+        // Any newly failing circuit is a regression regardless of ratio.
+        0.0,
+    );
+    // Wall-clock comparisons only where both sides actually timed.
+    if base.wall_nanos > 0 && cand.wall_nanos > 0 {
+        check(&mut deltas, "wall_time", base.wall_nanos, cand.wall_nanos, threshold);
+    }
+    let mut skipped = 0usize;
+    for bp in &base.phases {
+        let Some(cp) = cand.phase(&bp.phase) else {
+            println!("note: phase {} absent from candidate", bp.phase);
+            continue;
+        };
+        if bp.count < min_count || cp.count < min_count {
+            skipped += 1;
+            continue;
+        }
+        check(&mut deltas, format!("{} p50", bp.phase), bp.p50_nanos, cp.p50_nanos, threshold);
+        check(&mut deltas, format!("{} p99", bp.phase), bp.p99_nanos, cp.p99_nanos, threshold);
+    }
+    if skipped > 0 {
+        println!("note: {skipped} phase(s) skipped (fewer than {min_count} samples)");
+    }
+
+    let mut regressions = 0usize;
+    for d in &deltas {
+        let pct = rel_change(d.base, d.cand) * 100.0;
+        let verdict = if d.regressed { "REGRESSION" } else { "ok" };
+        println!(
+            "{:<24} {:>14} -> {:>14}  {:>+8.1}%  {verdict}",
+            d.what, d.base, d.cand, pct
+        );
+        if d.regressed {
+            regressions += 1;
+        }
+    }
+    if regressions == 0 {
+        println!("perfdiff: no regressions beyond {threshold_pct}%");
+    } else {
+        println!("perfdiff: {regressions} regression(s) beyond {threshold_pct}%");
+    }
+    Ok(regressions > 0)
+}
+
+fn main() -> ExitCode {
+    let warn_only = rlpta_bench::arg_flag("warn-only");
+    match run() {
+        Ok(false) => ExitCode::SUCCESS,
+        Ok(true) if warn_only => {
+            println!("perfdiff: --warn-only set, not failing the build");
+            ExitCode::SUCCESS
+        }
+        Ok(true) => ExitCode::from(1),
+        Err(e) => {
+            eprintln!("perfdiff: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

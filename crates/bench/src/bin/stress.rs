@@ -3,8 +3,14 @@
 //! metastability, deep-saturation TTL, Darlington stages, ECL, narrow-bias
 //! mirrors). Reports convergence and cost per method — the "who even
 //! finishes" table that motivates continuation methods in the first place.
+//!
+//! `--bench-json <path>` reports the escalation-ladder column; `--profile`
+//! prints the self-time tree (ladder stages included).
 
-use rlpta_bench::{experiment_config, pretrain_rl, run_adaptive, run_rl, run_robust, run_simple};
+use rlpta_bench::{
+    bench_threads, experiment_config, finish_run, pretrain_rl, run_adaptive, run_rl, run_robust,
+    run_simple,
+};
 use rlpta_circuits::stress;
 use rlpta_core::{GminStepping, NewtonRaphson, PtaKind, SourceStepping};
 use std::time::Instant;
@@ -20,6 +26,7 @@ fn main() {
     let mut rows = 0;
     let mut rl_wins = 0;
     let mut robust_ok = 0;
+    let mut report_rows = Vec::new();
     for bench in stress() {
         let cell = |r: Result<rlpta_core::Solution, rlpta_core::SolveError>| match r {
             Ok(s) => s.stats.nr_iterations.to_string(),
@@ -46,6 +53,7 @@ fn main() {
             robust_ok += 1;
         }
         rows += 1;
+        report_rows.push((bench.name.clone(), robust));
         println!(
             "{:<12}{:>9}{:>9}{:>9}{:>11}{:>11}{:>9}{:>9}",
             bench.name,
@@ -61,5 +69,5 @@ fn main() {
     }
     println!("# RL-S beats adaptive on {rl_wins}/{rows} stress circuits");
     println!("# escalation ladder converges on {robust_ok}/{rows} stress circuits");
-    println!("# total wall time {:.1?}", t0.elapsed());
+    finish_run("stress", "robust", "ladder", bench_threads(), &report_rows, t0);
 }

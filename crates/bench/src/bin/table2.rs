@@ -7,11 +7,13 @@
 //! Online phase: the GP proposes `z*` per unseen circuit from its features.
 //!
 //! Pass `--trace-jsonl <path>` to stream the run's telemetry events
-//! (acquisition rounds, solver work) to a line-JSON file.
+//! (acquisition rounds, solver work) to a line-JSON file, `--bench-json
+//! <path>` for a machine-readable report, `--profile` for the self-time
+//! tree (GP fit and acquisition phases included).
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rlpta_bench::{bench_threads, ite_cell, lu_cell, run_simple, trace_sink};
+use rlpta_bench::{bench_threads, finish_run, ite_cell, lu_cell, run_simple, time_gp_fit, trace_sink};
 use rlpta_circuits::{table2, training_corpus};
 use rlpta_core::{IppOracle, PtaKind, PtaParams};
 use rlpta_gp::{ActiveLearner, ActiveLearnerConfig};
@@ -45,9 +47,11 @@ fn main() {
         "# offline: Bayesian active learning over {} training circuits ({threads} oracle thread(s))",
         corpus.len()
     );
-    learner
-        .offline_train(&mut oracle, &mut rng)
-        .expect("offline training fits");
+    time_gp_fit(|| {
+        learner
+            .offline_train(&mut oracle, &mut rng)
+            .expect("offline training fits");
+    });
     println!(
         "# offline done: {} solver runs, {} samples, {:.1?}",
         oracle.evaluations(),
@@ -60,6 +64,7 @@ fn main() {
         "Circuits", "Type", "#Nodes", "#Elem", "CEPTA", "IPP", "Speedup", "C-LU f/r", "IPP-LU f/r"
     );
     let mut ratios = Vec::new();
+    let mut rows = Vec::new();
     for bench in table2() {
         let f = bench.features();
         // Baseline: default z = (1,1,1).
@@ -93,11 +98,12 @@ fn main() {
             lu_cell(&base),
             lu_cell(&ipp)
         );
+        rows.push((bench.name.clone(), ipp));
     }
     if !ratios.is_empty() {
         let max = ratios.iter().cloned().fold(f64::MIN, f64::max);
         let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
         println!("# speedup: avg {avg:.2}X, max {max:.2}X (paper: 1.56X–3.10X, rescues one non-convergent case)");
     }
-    println!("# total wall time {:.1?}", t0.elapsed());
+    finish_run("table2", "cepta", "ipp", threads, &rows, t0);
 }

@@ -6,11 +6,12 @@
 //! symbolic-replay refactorizations.
 //!
 //! Pass `--trace-jsonl <path>` to stream the run's telemetry events to a
-//! line-JSON file.
+//! line-JSON file, `--bench-json <path>` for a machine-readable report,
+//! `--profile` for the self-time tree.
 
 use rlpta_bench::{
-    bench_threads, ite_cell, lu_cell, pretrain_rl, run_adaptive_batch, run_rl_batch, speedup,
-    ste_cell, step_reduction,
+    bench_threads, finish_run, ite_cell, lu_cell, pretrain_rl, run_adaptive_batch, run_rl_batch,
+    speedup, ste_cell, step_reduction,
 };
 use rlpta_circuits::table3;
 use rlpta_core::PtaKind;
@@ -78,5 +79,10 @@ fn main() {
         println!("# degrades catastrophically on oscillation-prone circuits; see EXPERIMENTS.md)");
         println!("# measured max speedup: {max_sp:.2}X");
     }
-    println!("# total wall time {:.1?}", t0.elapsed());
+    let rows: Vec<_> = benches
+        .iter()
+        .zip(&rls)
+        .map(|(b, s)| (b.name.clone(), *s))
+        .collect();
+    finish_run("table3", "dpta", "rl-s", threads, &rows, t0);
 }

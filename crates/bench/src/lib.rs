@@ -8,17 +8,26 @@
 //! * `table3` — RL-S vs adaptive stepping for DPTA (33 circuits),
 //! * `ablation` — design-choice ablations (dual agents, public buffer,
 //!   priority sampling) on a hard-circuit subset.
+//!
+//! Every binary also understands the shared observability flags:
+//! `--threads N`, `--trace-jsonl <path>` (raw event stream),
+//! `--bench-json <path>` (machine-readable [`report::BenchReport`] for the
+//! `perfdiff` regression gate) and `--profile` (ASCII self-time tree on
+//! stdout, `#`-prefixed so table output stays diffable).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod report;
+
 use rlpta_circuits::{training_corpus, Benchmark};
 use rlpta_core::{
-    DcEngine, EngineConfig, JsonlSink, PtaConfig, PtaKind, PtaSolver, RlStepping,
-    RlSteppingConfig, SerStepping, SimpleStepping, Sink, Solution, SolveBudget, SolveError,
-    SolveStats, Span, StepController,
+    DcEngine, EngineConfig, Event, FanoutSink, JsonlSink, MetricsRegistry, Payload, Phase,
+    PtaConfig, PtaKind, PtaSolver, RlStepping, RlSteppingConfig, SerStepping, SimpleStepping,
+    Sink, Solution, SolveBudget, SolveError, SolveStats, Span, StepController,
 };
 use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 /// Step budget used by every experiment (generous; failures count as
 /// non-convergent rather than panicking). The values come from
@@ -33,43 +42,68 @@ pub fn robust_budget() -> SolveBudget {
     EngineConfig::experiment().budget()
 }
 
+/// Value of a `--name <v>` / `--name=<v>` command-line option, if present.
+pub fn arg_value(name: &str) -> Option<String> {
+    let flag = format!("--{name}");
+    let prefixed = format!("--{name}=");
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == flag {
+            if let Some(v) = args.next() {
+                return Some(v);
+            }
+        } else if let Some(v) = arg.strip_prefix(&prefixed) {
+            return Some(v.to_string());
+        }
+    }
+    None
+}
+
+/// Whether a bare `--name` flag is present on the command line.
+pub fn arg_flag(name: &str) -> bool {
+    let flag = format!("--{name}");
+    std::env::args().any(|a| a == flag)
+}
+
 /// Pool width for the experiment binaries: `--threads N` on the command
 /// line wins, then the `RLPTA_THREADS` environment variable, then serial.
 /// `0` sizes the pool to the host. Results are identical at any width —
 /// only wall-clock time changes.
 pub fn bench_threads() -> usize {
-    let mut args = std::env::args();
-    while let Some(arg) = args.next() {
-        if arg == "--threads" {
-            if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
-                return n;
-            }
-        } else if let Some(n) = arg.strip_prefix("--threads=").and_then(|v| v.parse().ok()) {
-            return n;
-        }
-    }
-    std::env::var("RLPTA_THREADS")
-        .ok()
+    arg_value("threads")
+        .or_else(|| std::env::var("RLPTA_THREADS").ok())
         .and_then(|v| v.parse().ok())
         .unwrap_or(1)
 }
 
-/// The shared JSONL trace sink for the experiment binaries: pass
-/// `--trace-jsonl <path>` (or set `RLPTA_TRACE_JSONL`) to stream every
-/// telemetry event of the run — LU work, NR iterations, PTA steps, RL
-/// training, batch fan-out — to one line-JSON file. All batch helpers
-/// attach it automatically; `None` (the default) keeps the zero-cost
-/// [`rlpta_core::NullSink`] path.
+/// The shared telemetry sink for the experiment binaries, composing (via
+/// [`FanoutSink`]) whichever observability consumers the command line asks
+/// for:
+///
+/// * `--trace-jsonl <path>` (or `RLPTA_TRACE_JSONL`) — stream every event
+///   — LU work, NR iterations, PTA steps, RL training, batch fan-out,
+///   phase timing — to one line-JSON file;
+/// * `--bench-json <path>` / `--profile` — fold events into the process
+///   [`MetricsRegistry`] (see [`metrics_registry`]) for reports.
+///
+/// All batch helpers attach it automatically; `None` (the default) keeps
+/// the zero-cost [`rlpta_core::NullSink`] path, timing gated off.
 pub fn trace_sink() -> Option<Arc<dyn Sink>> {
     static SINK: OnceLock<Option<Arc<dyn Sink>>> = OnceLock::new();
     SINK.get_or_init(|| {
-        let path = trace_jsonl_path()?;
-        match JsonlSink::create(&path) {
-            Ok(sink) => Some(Arc::new(sink) as Arc<dyn Sink>),
-            Err(e) => {
-                eprintln!("warning: cannot open trace file {path}: {e}");
-                None
+        let mut fanout = FanoutSink::new();
+        if let Some(path) = trace_jsonl_path() {
+            match JsonlSink::create(&path) {
+                Ok(sink) => fanout = fanout.with(Arc::new(sink)),
+                Err(e) => eprintln!("warning: cannot open trace file {path}: {e}"),
             }
+        }
+        if let Some(metrics) = metrics_registry() {
+            fanout = fanout.with(metrics);
+        }
+        match fanout.len() {
+            0 => None,
+            _ => Some(Arc::new(fanout) as Arc<dyn Sink>),
         }
     })
     .clone()
@@ -78,17 +112,99 @@ pub fn trace_sink() -> Option<Arc<dyn Sink>> {
 /// `--trace-jsonl <path>` / `--trace-jsonl=<path>` on the command line
 /// wins, then the `RLPTA_TRACE_JSONL` environment variable.
 fn trace_jsonl_path() -> Option<String> {
-    let mut args = std::env::args();
-    while let Some(arg) = args.next() {
-        if arg == "--trace-jsonl" {
-            if let Some(p) = args.next() {
-                return Some(p);
+    arg_value("trace-jsonl").or_else(|| std::env::var("RLPTA_TRACE_JSONL").ok())
+}
+
+/// `--bench-json <path>`: where to write the machine-readable
+/// [`report::BenchReport`], if requested (`RLPTA_BENCH_JSON` as fallback).
+pub fn bench_json_path() -> Option<String> {
+    arg_value("bench-json").or_else(|| std::env::var("RLPTA_BENCH_JSON").ok())
+}
+
+/// Whether `--profile` asked for the ASCII self-time tree on stdout.
+pub fn profile_enabled() -> bool {
+    arg_flag("profile")
+}
+
+/// The process-wide metrics aggregator, live only when `--bench-json` or
+/// `--profile` asked for timing collection (so plain table runs keep the
+/// no-clock-sampling fast path). Shared with [`trace_sink`] so one event
+/// stream feeds both the JSONL trace and the folded statistics.
+pub fn metrics_registry() -> Option<Arc<MetricsRegistry>> {
+    static REGISTRY: OnceLock<Option<Arc<MetricsRegistry>>> = OnceLock::new();
+    REGISTRY
+        .get_or_init(|| {
+            (bench_json_path().is_some() || profile_enabled())
+                .then(|| Arc::new(MetricsRegistry::new()))
+        })
+        .clone()
+}
+
+/// Times `body` as [`Phase::GpFit`] on the shared sink (the GP crate has no
+/// telemetry dependency, so the harness wraps its training entry point).
+/// Without a timing-hungry sink the clock is never sampled.
+pub fn time_gp_fit<T>(body: impl FnOnce() -> T) -> T {
+    let sink = trace_sink().filter(|s| s.wants_timing());
+    let t0 = sink.as_ref().map(|_| Instant::now());
+    let out = body();
+    if let (Some(sink), Some(t0)) = (sink, t0) {
+        sink.emit(&Event {
+            span: Span::default(),
+            payload: Payload::PhaseTiming {
+                phase: Phase::GpFit,
+                nanos: t0.elapsed().as_nanos() as u64,
+            },
+        });
+    }
+    out
+}
+
+/// Standard epilogue for every experiment binary: given the headline
+/// series (`rows`, in suite order) and run metadata, writes the
+/// `--bench-json` report, prints the `--profile` self-time tree (as
+/// `#`-prefixed lines so CI's stdout diff ignores them), and always prints
+/// the `# total wall time` trailer the binaries used to print themselves.
+pub fn finish_run(
+    bench: &str,
+    strategy: &str,
+    stepping: &str,
+    threads: usize,
+    rows: &[(String, SolveStats)],
+    t0: Instant,
+) {
+    let wall = t0.elapsed();
+    let metrics = metrics_registry();
+    if profile_enabled() {
+        if let Some(m) = &metrics {
+            let rates = m.rates();
+            println!("#\n# --- self-time profile ({bench}) ---");
+            for line in m.profile_tree().lines() {
+                println!("# {line}");
             }
-        } else if let Some(p) = arg.strip_prefix("--trace-jsonl=") {
-            return Some(p.to_string());
+            println!(
+                "# rates: {:.0} NR iters/s, {:.0} steps/s, {:.1}% LU replay hit-rate",
+                rates.nr_iters_per_sec,
+                rates.steps_per_sec,
+                100.0 * rates.refactorize_hit_rate,
+            );
         }
     }
-    std::env::var("RLPTA_TRACE_JSONL").ok()
+    if let Some(path) = bench_json_path() {
+        let rep = report::BenchReport::from_run(
+            bench,
+            strategy,
+            stepping,
+            threads,
+            rows,
+            wall,
+            metrics.as_deref(),
+        );
+        match rep.write(&path) {
+            Ok(()) => println!("# bench report: {path}"),
+            Err(e) => eprintln!("warning: {e}"),
+        }
+    }
+    println!("# total wall time: {:.2}s", wall.as_secs_f64());
 }
 
 /// Collapses an engine result to the stats the tables print: errors that

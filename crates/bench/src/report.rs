@@ -1,0 +1,610 @@
+//! Machine-readable bench reports: the stable-schema JSON the `--bench-json`
+//! flag writes and the `perfdiff` regression gate consumes.
+//!
+//! The schema is versioned ([`SCHEMA_VERSION`]); the golden-file test in
+//! `tests/report.rs` pins the exact serialized form, so widening the schema
+//! requires an explicit version bump alongside the golden update. Encoding
+//! is hand-rolled (stable field order, `{:?}` floats that round-trip
+//! exactly); parsing uses a small recursive JSON reader since reports nest
+//! arrays of objects, unlike the flat telemetry event lines.
+
+use rlpta_core::{HistogramSummary, MetricsRegistry, Phase, SolveStats};
+use std::fmt::Write as _;
+
+/// Version of the serialized [`BenchReport`] layout. Bump only together
+/// with the golden file in `tests/golden_bench_report.json`.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Timing statistics for one instrumented phase, in nanoseconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseStat {
+    /// Stable phase name (see [`rlpta_core::Phase::name`]).
+    pub phase: String,
+    /// Number of recorded spans.
+    pub count: u64,
+    /// Exact total.
+    pub sum_nanos: u64,
+    /// Smallest span.
+    pub min_nanos: u64,
+    /// Largest span.
+    pub max_nanos: u64,
+    /// Median span.
+    pub p50_nanos: u64,
+    /// 90th-percentile span.
+    pub p90_nanos: u64,
+    /// 99th-percentile span.
+    pub p99_nanos: u64,
+}
+
+impl PhaseStat {
+    fn from_summary(phase: Phase, s: HistogramSummary) -> Self {
+        Self {
+            phase: phase.name().to_string(),
+            count: s.count,
+            sum_nanos: s.sum_nanos,
+            min_nanos: s.min_nanos,
+            max_nanos: s.max_nanos,
+            p50_nanos: s.p50_nanos,
+            p90_nanos: s.p90_nanos,
+            p99_nanos: s.p99_nanos,
+        }
+    }
+}
+
+/// Per-circuit outcome row (the headline series of the emitting binary).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CircuitRow {
+    /// Benchmark circuit name.
+    pub circuit: String,
+    /// Whether the solve converged.
+    pub converged: bool,
+    /// NR iterations spent.
+    pub nr_iterations: u64,
+    /// PTA steps accepted.
+    pub pta_steps: u64,
+    /// Full LU factorizations.
+    pub lu_factorizations: u64,
+    /// Numeric-only LU replays.
+    pub lu_refactorizations: u64,
+}
+
+/// One experiment binary's machine-readable result: run metadata,
+/// aggregate work counters, per-circuit rows and per-phase wall-time
+/// percentiles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Serialized-layout version ([`SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Emitting binary (`fig5`, `table2`, …).
+    pub bench: String,
+    /// Solve strategy of the headline series (`cepta`, `dpta`, `robust`, …).
+    pub strategy: String,
+    /// Step controller of the headline series (`rl-s`, `simple`, `ser`, …).
+    pub stepping: String,
+    /// Worker-pool width the run used.
+    pub threads: usize,
+    /// `git rev-parse --short HEAD` at run time (`unknown` outside a
+    /// checkout).
+    pub git_rev: String,
+    /// End-to-end wall time of the binary, nanoseconds.
+    pub wall_nanos: u64,
+    /// Circuits in the headline series.
+    pub circuits: usize,
+    /// How many of them converged.
+    pub converged: usize,
+    /// Total NR iterations across the headline series.
+    pub nr_iterations: u64,
+    /// Total accepted PTA steps.
+    pub pta_steps: u64,
+    /// Total full LU factorizations.
+    pub lu_factorizations: u64,
+    /// Total numeric-only LU replays.
+    pub lu_refactorizations: u64,
+    /// Fraction of LU solves served by a symbolic replay.
+    pub refactorize_hit_rate: f64,
+    /// Per-circuit rows of the headline series.
+    pub rows: Vec<CircuitRow>,
+    /// Per-phase timing statistics (empty when timing was not collected).
+    pub phases: Vec<PhaseStat>,
+}
+
+impl BenchReport {
+    /// Builds a report from the run's aggregated metrics plus metadata.
+    /// `rows` is the headline series in suite order.
+    pub fn from_run(
+        bench: &str,
+        strategy: &str,
+        stepping: &str,
+        threads: usize,
+        rows: &[(String, SolveStats)],
+        wall: std::time::Duration,
+        metrics: Option<&MetricsRegistry>,
+    ) -> Self {
+        let mut total = SolveStats::default();
+        let converged = rows.iter().filter(|(_, s)| s.converged).count();
+        for (_, s) in rows {
+            total.absorb(s);
+        }
+        let lu_total = total.lu_factorizations + total.lu_refactorizations;
+        Self {
+            schema_version: SCHEMA_VERSION,
+            bench: bench.to_string(),
+            strategy: strategy.to_string(),
+            stepping: stepping.to_string(),
+            threads,
+            git_rev: git_rev(),
+            wall_nanos: wall.as_nanos() as u64,
+            circuits: rows.len(),
+            converged,
+            nr_iterations: total.nr_iterations as u64,
+            pta_steps: total.pta_steps as u64,
+            lu_factorizations: total.lu_factorizations as u64,
+            lu_refactorizations: total.lu_refactorizations as u64,
+            refactorize_hit_rate: if lu_total == 0 {
+                0.0
+            } else {
+                total.lu_refactorizations as f64 / lu_total as f64
+            },
+            rows: rows
+                .iter()
+                .map(|(name, s)| CircuitRow {
+                    circuit: name.clone(),
+                    converged: s.converged,
+                    nr_iterations: s.nr_iterations as u64,
+                    pta_steps: s.pta_steps as u64,
+                    lu_factorizations: s.lu_factorizations as u64,
+                    lu_refactorizations: s.lu_refactorizations as u64,
+                })
+                .collect(),
+            phases: metrics
+                .map(|m| {
+                    m.summaries()
+                        .into_iter()
+                        .map(|(p, s)| PhaseStat::from_summary(p, s))
+                        .collect()
+                })
+                .unwrap_or_default(),
+        }
+    }
+
+    /// Serializes with stable field order and 2-space indentation.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"schema_version\": {},", self.schema_version);
+        let _ = writeln!(s, "  \"bench\": {},", json_str(&self.bench));
+        let _ = writeln!(s, "  \"strategy\": {},", json_str(&self.strategy));
+        let _ = writeln!(s, "  \"stepping\": {},", json_str(&self.stepping));
+        let _ = writeln!(s, "  \"threads\": {},", self.threads);
+        let _ = writeln!(s, "  \"git_rev\": {},", json_str(&self.git_rev));
+        let _ = writeln!(s, "  \"wall_nanos\": {},", self.wall_nanos);
+        let _ = writeln!(s, "  \"circuits\": {},", self.circuits);
+        let _ = writeln!(s, "  \"converged\": {},", self.converged);
+        let _ = writeln!(s, "  \"nr_iterations\": {},", self.nr_iterations);
+        let _ = writeln!(s, "  \"pta_steps\": {},", self.pta_steps);
+        let _ = writeln!(s, "  \"lu_factorizations\": {},", self.lu_factorizations);
+        let _ = writeln!(
+            s,
+            "  \"lu_refactorizations\": {},",
+            self.lu_refactorizations
+        );
+        let _ = writeln!(
+            s,
+            "  \"refactorize_hit_rate\": {:?},",
+            self.refactorize_hit_rate
+        );
+        s.push_str("  \"rows\": [");
+        for (i, r) in self.rows.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            let _ = write!(
+                s,
+                "{sep}    {{\"circuit\": {}, \"converged\": {}, \"nr_iterations\": {}, \
+                 \"pta_steps\": {}, \"lu_factorizations\": {}, \"lu_refactorizations\": {}}}",
+                json_str(&r.circuit),
+                r.converged,
+                r.nr_iterations,
+                r.pta_steps,
+                r.lu_factorizations,
+                r.lu_refactorizations,
+            );
+        }
+        if !self.rows.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("],\n");
+        s.push_str("  \"phases\": [");
+        for (i, p) in self.phases.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            let _ = write!(
+                s,
+                "{sep}    {{\"phase\": {}, \"count\": {}, \"sum_nanos\": {}, \"min_nanos\": {}, \
+                 \"max_nanos\": {}, \"p50_nanos\": {}, \"p90_nanos\": {}, \"p99_nanos\": {}}}",
+                json_str(&p.phase),
+                p.count,
+                p.sum_nanos,
+                p.min_nanos,
+                p.max_nanos,
+                p.p50_nanos,
+                p.p90_nanos,
+                p.p99_nanos,
+            );
+        }
+        if !self.phases.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("]\n}\n");
+        s
+    }
+
+    /// Parses a report produced by [`BenchReport::to_json`] (field order
+    /// and whitespace are free; unknown fields are ignored for forward
+    /// compatibility within a schema version).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first malformed construct.
+    pub fn parse(text: &str) -> Result<BenchReport, String> {
+        let v = JsonVal::parse(text)?;
+        let obj = v.as_obj("report")?;
+        let phases = match obj_get(obj, "phases") {
+            Some(v) => v
+                .as_arr("phases")?
+                .iter()
+                .map(|p| {
+                    let o = p.as_obj("phase entry")?;
+                    Ok(PhaseStat {
+                        phase: get_str(o, "phase")?,
+                        count: get_u64(o, "count")?,
+                        sum_nanos: get_u64(o, "sum_nanos")?,
+                        min_nanos: get_u64(o, "min_nanos")?,
+                        max_nanos: get_u64(o, "max_nanos")?,
+                        p50_nanos: get_u64(o, "p50_nanos")?,
+                        p90_nanos: get_u64(o, "p90_nanos")?,
+                        p99_nanos: get_u64(o, "p99_nanos")?,
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?,
+            None => Vec::new(),
+        };
+        let rows = match obj_get(obj, "rows") {
+            Some(v) => v
+                .as_arr("rows")?
+                .iter()
+                .map(|p| {
+                    let o = p.as_obj("row entry")?;
+                    Ok(CircuitRow {
+                        circuit: get_str(o, "circuit")?,
+                        converged: get_bool(o, "converged")?,
+                        nr_iterations: get_u64(o, "nr_iterations")?,
+                        pta_steps: get_u64(o, "pta_steps")?,
+                        lu_factorizations: get_u64(o, "lu_factorizations")?,
+                        lu_refactorizations: get_u64(o, "lu_refactorizations")?,
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?,
+            None => Vec::new(),
+        };
+        Ok(BenchReport {
+            schema_version: get_u64(obj, "schema_version")? as u32,
+            bench: get_str(obj, "bench")?,
+            strategy: get_str(obj, "strategy")?,
+            stepping: get_str(obj, "stepping")?,
+            threads: get_u64(obj, "threads")? as usize,
+            git_rev: get_str(obj, "git_rev")?,
+            wall_nanos: get_u64(obj, "wall_nanos")?,
+            circuits: get_u64(obj, "circuits")? as usize,
+            converged: get_u64(obj, "converged")? as usize,
+            nr_iterations: get_u64(obj, "nr_iterations")?,
+            pta_steps: get_u64(obj, "pta_steps")?,
+            lu_factorizations: get_u64(obj, "lu_factorizations")?,
+            lu_refactorizations: get_u64(obj, "lu_refactorizations")?,
+            refactorize_hit_rate: get_f64(obj, "refactorize_hit_rate")?,
+            rows,
+            phases,
+        })
+    }
+
+    /// Reads and parses a report file.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and parse errors, stringified with the path.
+    pub fn load(path: &str) -> Result<BenchReport, String> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        Self::parse(&text).map_err(|e| format!("{path}: {e}"))
+    }
+
+    /// Serializes to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying write failure, stringified with the path.
+    pub fn write(&self, path: &str) -> Result<(), String> {
+        std::fs::write(path, self.to_json()).map_err(|e| format!("cannot write {path}: {e}"))
+    }
+
+    /// The phase entry with the given stable name, if present.
+    pub fn phase(&self, name: &str) -> Option<&PhaseStat> {
+        self.phases.iter().find(|p| p.phase == name)
+    }
+}
+
+/// Short git revision of the working tree, `RLPTA_GIT_REV` override first
+/// (CI sets it so containers without a `.git` still stamp reports).
+pub fn git_rev() -> String {
+    if let Ok(rev) = std::env::var("RLPTA_GIT_REV") {
+        if !rev.is_empty() {
+            return rev;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+// ---------------------------------------------------------------------------
+// A minimal recursive JSON reader (objects, arrays, scalars) for report
+// files. The telemetry crate's parser is flat by design; reports nest.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum JsonVal {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<JsonVal>),
+    Obj(Vec<(String, JsonVal)>),
+}
+
+type Obj = [(String, JsonVal)];
+
+fn obj_get<'a>(obj: &'a Obj, key: &str) -> Option<&'a JsonVal> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn get_u64(obj: &Obj, key: &str) -> Result<u64, String> {
+    match obj_get(obj, key) {
+        Some(JsonVal::Num(n)) if *n >= 0.0 && n.fract() == 0.0 => Ok(*n as u64),
+        other => Err(format!("field {key:?}: expected integer, got {other:?}")),
+    }
+}
+
+fn get_f64(obj: &Obj, key: &str) -> Result<f64, String> {
+    match obj_get(obj, key) {
+        Some(JsonVal::Num(n)) => Ok(*n),
+        other => Err(format!("field {key:?}: expected number, got {other:?}")),
+    }
+}
+
+fn get_bool(obj: &Obj, key: &str) -> Result<bool, String> {
+    match obj_get(obj, key) {
+        Some(JsonVal::Bool(b)) => Ok(*b),
+        other => Err(format!("field {key:?}: expected bool, got {other:?}")),
+    }
+}
+
+fn get_str(obj: &Obj, key: &str) -> Result<String, String> {
+    match obj_get(obj, key) {
+        Some(JsonVal::Str(s)) => Ok(s.clone()),
+        other => Err(format!("field {key:?}: expected string, got {other:?}")),
+    }
+}
+
+impl JsonVal {
+    fn parse(text: &str) -> Result<JsonVal, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing bytes at offset {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    fn as_obj(&self, what: &str) -> Result<&Obj, String> {
+        match self {
+            JsonVal::Obj(fields) => Ok(fields),
+            other => Err(format!("{what}: expected object, got {other:?}")),
+        }
+    }
+
+    fn as_arr(&self, what: &str) -> Result<&[JsonVal], String> {
+        match self {
+            JsonVal::Arr(items) => Ok(items),
+            other => Err(format!("{what}: expected array, got {other:?}")),
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        match self.bump() {
+            Some(got) if got == b => Ok(()),
+            got => Err(format!(
+                "offset {}: expected {:?}, got {got:?}",
+                self.pos,
+                b as char
+            )),
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonVal, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonVal::Str(self.string()?)),
+            Some(b't') => self.keyword("true", JsonVal::Bool(true)),
+            Some(b'f') => self.keyword("false", JsonVal::Bool(false)),
+            Some(b'n') => self.keyword("null", JsonVal::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            other => Err(format!("offset {}: unexpected {other:?}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonVal, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonVal::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let v = self.value()?;
+            fields.push((key, v));
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(JsonVal::Obj(fields)),
+                other => return Err(format!("object: expected ',' or '}}', got {other:?}")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonVal, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonVal::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(JsonVal::Arr(items)),
+                other => return Err(format!("array: expected ',' or ']', got {other:?}")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self.bump().ok_or("truncated \\u escape")?;
+                            code = code * 16
+                                + (d as char)
+                                    .to_digit(16)
+                                    .ok_or_else(|| format!("bad hex digit {:?}", d as char))?;
+                        }
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                Some(b) if b < 0x80 => out.push(b as char),
+                Some(b) => {
+                    let start = self.pos - 1;
+                    let len = match b {
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let end = (start + len).min(self.bytes.len());
+                    let chunk = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|e| format!("bad utf-8 in string: {e}"))?;
+                    out.push_str(chunk);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonVal, String> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|e| format!("bad number: {e}"))?;
+        text.parse::<f64>()
+            .map(JsonVal::Num)
+            .map_err(|e| format!("bad number {text:?}: {e}"))
+    }
+
+    fn keyword(&mut self, kw: &str, value: JsonVal) -> Result<JsonVal, String> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(value)
+        } else {
+            Err(format!("offset {}: expected keyword {kw:?}", self.pos))
+        }
+    }
+}

@@ -136,6 +136,13 @@ impl IterationOracle for IppOracle<'_> {
     fn evaluate_batch(&mut self, jobs: &[(usize, Vec<f64>)]) -> Vec<f64> {
         self.evaluations += jobs.len();
         self.rounds += 1;
+        // Out-of-band round timing, gated on the sink's appetite so
+        // untimed oracles never read the clock.
+        let round_timer = self
+            .telemetry
+            .as_ref()
+            .filter(|sink| sink.wants_timing())
+            .map(|_| std::time::Instant::now());
         let pool = rlpta_threadpool::ThreadPool::new(self.threads);
         let costs: Vec<f64> = pool
             .map(jobs, |(circuit, w)| {
@@ -153,6 +160,15 @@ impl IterationOracle for IppOracle<'_> {
             .map(|r| stats_cost(r.unwrap_or(None)))
             .collect();
         if let Some(sink) = &self.telemetry {
+            if let Some(t0) = round_timer {
+                sink.emit(&Event {
+                    span: Span::default(),
+                    payload: Payload::PhaseTiming {
+                        phase: crate::telemetry::Phase::GpAcquisition,
+                        nanos: t0.elapsed().as_nanos() as u64,
+                    },
+                });
+            }
             sink.emit(&Event {
                 span: Span::default(),
                 payload: Payload::AcquisitionRound {

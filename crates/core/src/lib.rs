@@ -58,6 +58,9 @@
 // Panics are unacceptable in the solver hot path: every failure must come
 // back as a structured `SolveError`. Test code is exempt.
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
+// All profiling goes through the telemetry timing layer; stray `dbg!`
+// prints would corrupt the deterministic streams CI diffs.
+#![warn(clippy::dbg_macro)]
 
 mod ac;
 pub mod config;
@@ -95,6 +98,9 @@ pub use rl_stepping::{RlStepping, RlSteppingConfig};
 pub use solution::{Solution, SolveStats};
 pub use stepping::{SerStepping, SimpleStepping, StepController, StepObservation};
 pub use sweep::{DcSweep, SweepPoint, SweepReport};
-pub use telemetry::{Collector, CounterSink, Event, JsonlSink, NullSink, Payload, Sink, Span};
+pub use telemetry::{
+    Collector, CounterSink, DerivedRates, Event, FanoutSink, Histogram, HistogramSummary,
+    JsonlSink, MetricsRegistry, NullSink, Payload, Phase, Sink, Span,
+};
 pub use trace::{TraceController, TraceEntry};
 pub use transient::{Stimulus, Transient, TransientPoint, Waveform};

@@ -2,7 +2,8 @@
 
 use crate::error::SolvePhase;
 use crate::recovery::{BudgetMeter, SolveBudget};
-use crate::telemetry::{Payload, StatsFold, Tele};
+use crate::telemetry::timing::time_phase;
+use crate::telemetry::{Payload, Phase, StatsFold, Tele};
 use crate::{Solution, SolveError};
 use rlpta_devices::EvalCtx;
 use rlpta_linalg::{norms, LuOp, LuWorkspace, Triplet};
@@ -107,6 +108,9 @@ pub(crate) fn newton_iterate(
     let dim = circuit.dim();
     debug_assert_eq!(x0.len(), dim, "x0 dimension mismatch");
     let num_nodes = circuit.num_nodes();
+    // Whole-run timing span; the guard emits on every exit path, error
+    // returns included.
+    let _nr_span = tele.time(Phase::NewtonSolve);
 
     let mut x = x0.to_vec();
     // Last iterate whose stamps evaluated finite — the rollback anchor for
@@ -126,8 +130,10 @@ pub(crate) fn newton_iterate(
             gmin: config.gmin,
             source_scale: config.source_scale,
         };
-        circuit.assemble_into(&ctx, &mut jac, &mut res, state);
-        extra(&x, &mut jac, &mut res);
+        time_phase!(tele, Phase::MatrixStamp, {
+            circuit.assemble_into(&ctx, &mut jac, &mut res, state);
+            extra(&x, &mut jac, &mut res);
+        });
         #[cfg(feature = "faults")]
         crate::recovery::perturb_residual(&mut res);
 
@@ -164,13 +170,18 @@ pub(crate) fn newton_iterate(
                     jac.push(i, i, gshunt);
                 }
             }
+            // Deferred timer: full factorize vs symbolic replay is only
+            // known after the call, read off the workspace's `last_op`.
+            let lu_timer = tele.timer();
             match lu_ws.factorize(&jac.to_csr()) {
                 Ok(f) => {
                     if lu_ws.last_op() == Some(LuOp::Replay) {
                         lu_replay += 1;
+                        lu_timer.finish(tele, Phase::LuReplay);
                         tele.emit(Payload::LuReplayed { dim });
                     } else {
                         lu_full += 1;
+                        lu_timer.finish(tele, Phase::LuFactorize);
                         tele.emit(Payload::LuFactorized { dim });
                     }
                     factorized = Some(f);
@@ -181,6 +192,7 @@ pub(crate) fn newton_iterate(
                 // attempted full factorization.
                 Err(_) if bump < 3 => {
                     lu_full += 1;
+                    lu_timer.finish(tele, Phase::LuFactorize);
                     tele.emit(Payload::LuFactorized { dim });
                     continue;
                 }
@@ -188,6 +200,7 @@ pub(crate) fn newton_iterate(
                     // The local counter feeds only the NrOutcome payload,
                     // which this error return never emits; the event alone
                     // records the final failed attempt.
+                    lu_timer.finish(tele, Phase::LuFactorize);
                     tele.emit(Payload::LuFactorized { dim });
                     return Err(SolveError::Singular(e));
                 }
@@ -257,8 +270,10 @@ pub(crate) fn newton_iterate(
                 gmin: config.gmin,
                 source_scale: config.source_scale,
             };
-            circuit.assemble_into(&ctx, &mut jac, &mut res, state);
-            extra(&x, &mut jac, &mut res);
+            time_phase!(tele, Phase::MatrixStamp, {
+                circuit.assemble_into(&ctx, &mut jac, &mut res, state);
+                extra(&x, &mut jac, &mut res);
+            });
             #[cfg(feature = "faults")]
             crate::recovery::perturb_residual(&mut res);
             // `inf_norm` folds with `f64::max`, which *discards* NaN — a

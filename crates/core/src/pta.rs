@@ -27,7 +27,7 @@
 use crate::error::SolvePhase;
 use crate::newton::{newton_iterate, NewtonConfig};
 use crate::recovery::{BudgetMeter, SolveBudget};
-use crate::telemetry::{Payload, StatsFold, Tele};
+use crate::telemetry::{Payload, Phase, StatsFold, Tele};
 use crate::{Solution, SolveError, StepController, StepObservation};
 use rlpta_devices::Device;
 use rlpta_linalg::{norms, Triplet};
@@ -343,6 +343,9 @@ impl<C: StepController> PtaSolver<C> {
 
         for _ in 0..self.config.max_steps {
             meter.charge_step(1)?;
+            // Times the whole attempted point: stamping, the inner Newton
+            // run and the controller's step proposal.
+            let _step_span = tele.time(Phase::PtaStep);
             let h_eff = alpha * h;
             // CEPTA series resistance at the end of this step.
             let r_t = match self.kind {

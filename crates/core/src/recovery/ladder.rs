@@ -14,7 +14,7 @@ use crate::homotopy::NewtonHomotopy;
 use crate::newton::{newton_iterate, NewtonConfig};
 use crate::pta::{PtaConfig, PtaKind, PtaParams, PtaSolver};
 use crate::recovery::budget::{BudgetMeter, SolveBudget};
-use crate::telemetry::{Payload, StatsFold, Tele};
+use crate::telemetry::{Payload, Phase, StatsFold, Tele};
 use crate::{SimpleStepping, Solution, SolveStats};
 use rlpta_mna::Circuit;
 use std::time::{Duration, Instant};
@@ -215,8 +215,10 @@ impl RobustDcSolver {
             let t0 = Instant::now();
             let stage_fold = StatsFold::default();
             let stage_tele = tele.child(&stage_fold);
+            let stage_timer = stage_tele.timer();
             let (result, carry) =
                 run_stage(stage, circuit, warm.as_deref(), &mut meter, &stage_tele);
+            stage_timer.finish(&stage_tele, Phase::LadderStage);
             let elapsed = t0.elapsed();
             match result {
                 Ok(mut sol) => {

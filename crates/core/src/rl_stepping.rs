@@ -2,7 +2,7 @@
 //! (§4), with collaborative learning through a public sample buffer (§4.3)
 //! and TD-error priority sampling (§4.4).
 
-use crate::telemetry::{Event, Payload, Sink, Span};
+use crate::telemetry::{Event, Payload, Phase, Sink, Span};
 use crate::{StepController, StepObservation};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -269,6 +269,29 @@ impl RlStepping {
         self.config.backward_c / (1.0 + (self.config.backward_b - a).exp())
     }
 
+    /// Starts a wall-clock sample iff a timing-hungry sink is attached —
+    /// evaluation runs without telemetry never read the clock.
+    fn phase_timer(&self) -> Option<std::time::Instant> {
+        self.telemetry
+            .as_ref()
+            .filter(|(sink, _)| sink.wants_timing())
+            .map(|_| std::time::Instant::now())
+    }
+
+    /// Closes a [`RlStepping::phase_timer`] sample as an out-of-band
+    /// `PhaseTiming` event on the attached sink.
+    fn finish_phase(&self, start: Option<std::time::Instant>, phase: Phase) {
+        if let (Some(t0), Some((sink, span))) = (start, &self.telemetry) {
+            sink.emit(&Event {
+                span: *span,
+                payload: Payload::PhaseTiming {
+                    phase,
+                    nanos: t0.elapsed().as_nanos() as u64,
+                },
+            });
+        }
+    }
+
     fn agent(&self, role: AgentRole) -> &Td3Agent {
         match role {
             AgentRole::Forward => &self.forward,
@@ -280,6 +303,7 @@ impl RlStepping {
         if self.transitions_seen < self.config.warmup {
             return;
         }
+        let train_timer = self.phase_timer();
         let half = (self.config.batch_size / 2).max(1);
         let private = match role {
             AgentRole::Forward => &self.forward_buffer,
@@ -312,6 +336,7 @@ impl RlStepping {
                 self.public_buffer.update_priority(*idx, *err);
             }
         }
+        self.finish_phase(train_timer, Phase::RlTrain);
         self.emit_train_step(role, &batch, &td);
     }
 
@@ -404,6 +429,7 @@ impl StepController for RlStepping {
         } else {
             AgentRole::Backward
         };
+        let infer_timer = self.phase_timer();
         let action = if self.frozen {
             self.agent(role).act(&s_next)
         } else {
@@ -412,6 +438,7 @@ impl StepController for RlStepping {
                 AgentRole::Backward => self.backward.act_exploring(&s_next, &mut self.rng),
             }
         };
+        self.finish_phase(infer_timer, Phase::RlInference);
         let factor = match role {
             AgentRole::Forward => self.forward_factor(action[0]),
             AgentRole::Backward => self.backward_factor(action[0]),

@@ -25,11 +25,26 @@
 //! [`StatsFold`] registered on the emission path), so the counters they
 //! return are definitionally equal to the fold of the events they emitted.
 //!
-//! Four sinks ship with the crate: [`NullSink`] (default — events are
+//! Sinks shipping with the crate: [`NullSink`] (default — events are
 //! dropped; the hot-path cost is bounded by constructing a small POD
 //! payload), [`Collector`] (in-memory, for inspection and tests),
 //! [`JsonlSink`] (std-only line-JSON writer with deterministic job-ordered
-//! flushing) and [`CounterSink`] (per-kind occurrence counts).
+//! flushing), [`CounterSink`] (per-kind occurrence counts),
+//! [`MetricsRegistry`] (streaming per-phase histograms, see [`metrics`])
+//! and [`FanoutSink`] (tee to several sinks).
+//!
+//! On top of the deterministic stream sits an *out-of-band* timing layer
+//! (see [`timing`]): scoped guards emit [`Payload::PhaseTiming`] with
+//! wall-clock nanoseconds per instrumented [`Phase`]. Timing events ride
+//! the same sink but are excluded from every determinism comparison, and
+//! the whole layer is disabled — no clock reads at all — unless the root
+//! sink opts in via [`Sink::wants_timing`].
+
+pub mod metrics;
+pub mod timing;
+
+pub use metrics::{DerivedRates, Histogram, HistogramSummary, MetricsRegistry};
+pub use timing::Phase;
 
 use crate::solution::SolveStats;
 use crate::stepping::StepObservation;
@@ -183,6 +198,16 @@ pub enum Payload {
         /// Whether the run reached the operating point.
         converged: bool,
     },
+    /// Out-of-band wall-clock timing for one scoped phase (see
+    /// [`timing`]). Durations are scheduler- and load-dependent, so every
+    /// determinism comparison filters these events out (use
+    /// [`Payload::is_timing`]); the counting folds ignore them.
+    PhaseTiming {
+        /// Which instrumented phase the measurement covers.
+        phase: Phase,
+        /// Elapsed wall-clock nanoseconds.
+        nanos: u64,
+    },
 }
 
 impl Payload {
@@ -201,7 +226,14 @@ impl Payload {
             Payload::SweepPoint { .. } => "SweepPoint",
             Payload::BatchJob { .. } => "BatchJob",
             Payload::SolveDone { .. } => "SolveDone",
+            Payload::PhaseTiming { .. } => "PhaseTiming",
         }
+    }
+
+    /// Whether this is an out-of-band timing payload — the predicate every
+    /// determinism comparison uses to normalize wall-clock data away.
+    pub fn is_timing(&self) -> bool {
+        matches!(self, Payload::PhaseTiming { .. })
     }
 }
 
@@ -229,6 +261,14 @@ pub trait Sink: Send + Sync + fmt::Debug {
     /// (`solve` / `solve_batch` / `sweep`). Sinks that buffer for
     /// deterministic ordering write out here.
     fn finish(&self) {}
+
+    /// Whether this sink wants [`Payload::PhaseTiming`] events. Resolved
+    /// once when the root telemetry context is built: a `false` here means
+    /// the solvers never read the clock at all (see [`timing`]). Defaults
+    /// to `true`; [`NullSink`] declines.
+    fn wants_timing(&self) -> bool {
+        true
+    }
 }
 
 /// The default sink: drops every event. Kept allocation-free so the
@@ -239,6 +279,59 @@ pub struct NullSink;
 
 impl Sink for NullSink {
     fn emit(&self, _event: &Event) {}
+
+    fn wants_timing(&self) -> bool {
+        false
+    }
+}
+
+/// Tees every event to several sinks — e.g. a [`JsonlSink`] trace plus a
+/// [`MetricsRegistry`] aggregation on the same run. Timing is enabled iff
+/// any member wants it.
+#[derive(Debug, Default)]
+pub struct FanoutSink {
+    sinks: Vec<std::sync::Arc<dyn Sink>>,
+}
+
+impl FanoutSink {
+    /// An empty fanout (acts like [`NullSink`] until sinks are added).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a member sink, builder-style.
+    pub fn with(mut self, sink: std::sync::Arc<dyn Sink>) -> Self {
+        self.sinks.push(sink);
+        self
+    }
+
+    /// Number of member sinks.
+    pub fn len(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// Whether there are no member sinks.
+    pub fn is_empty(&self) -> bool {
+        self.sinks.is_empty()
+    }
+}
+
+impl Sink for FanoutSink {
+    fn emit(&self, event: &Event) {
+        for s in &self.sinks {
+            s.emit(event);
+        }
+    }
+
+    fn finish(&self) {
+        for s in &self.sinks {
+            s.finish();
+        }
+    }
+
+    fn wants_timing(&self) -> bool {
+        self.sinks.iter().any(|s| s.wants_timing())
+    }
 }
 
 fn job_key(job: Option<usize>) -> (u8, usize) {
@@ -602,6 +695,10 @@ impl Event {
             Payload::SolveDone { converged } => {
                 push_field_bool(&mut s, "converged", *converged);
             }
+            Payload::PhaseTiming { phase, nanos } => {
+                push_field_str(&mut s, "phase", phase.name());
+                let _ = write!(s, ",\"nanos\":{nanos}");
+            }
         }
         s.push('}');
         s
@@ -685,6 +782,14 @@ impl Event {
             "SolveDone" => Payload::SolveDone {
                 converged: fields.bool_field("converged")?,
             },
+            "PhaseTiming" => {
+                let name = fields.str_field("phase")?;
+                Payload::PhaseTiming {
+                    phase: Phase::from_name(&name)
+                        .ok_or_else(|| format!("unknown phase {name:?}"))?,
+                    nanos: fields.u64_field("nanos")?,
+                }
+            }
             other => return Err(format!("unknown event kind {other:?}")),
         };
         Ok(Event {
@@ -725,6 +830,13 @@ impl JsonFields {
     fn usize_field(&self, key: &str) -> Result<usize, String> {
         match self.get(key) {
             Some(JsonValue::Num(n)) if *n >= 0.0 && n.fract() == 0.0 => Ok(*n as usize),
+            other => Err(format!("field {key:?}: expected integer, got {other:?}")),
+        }
+    }
+
+    fn u64_field(&self, key: &str) -> Result<u64, String> {
+        match self.get(key) {
+            Some(JsonValue::Num(n)) if *n >= 0.0 && n.fract() == 0.0 => Ok(*n as u64),
             other => Err(format!("field {key:?}: expected integer, got {other:?}")),
         }
     }
@@ -1085,6 +1197,9 @@ pub(crate) struct Tele<'a> {
     span: Span,
     fold: Option<&'a StatsFold>,
     parent: Option<&'a Tele<'a>>,
+    /// Resolved once at the root from [`Sink::wants_timing`]; when false
+    /// the timing guards never read the clock.
+    timing: bool,
 }
 
 impl<'a> Tele<'a> {
@@ -1096,6 +1211,7 @@ impl<'a> Tele<'a> {
             span: Span::default(),
             fold: None,
             parent: None,
+            timing: false,
         }
     }
 
@@ -1106,6 +1222,7 @@ impl<'a> Tele<'a> {
             span,
             fold: None,
             parent: None,
+            timing: sink.wants_timing(),
         }
     }
 
@@ -1121,7 +1238,25 @@ impl<'a> Tele<'a> {
             span: self.span,
             fold: Some(fold),
             parent: Some(self),
+            timing: self.timing,
         }
+    }
+
+    /// Whether the root sink opted into wall-clock timing.
+    pub(crate) fn timing_enabled(&self) -> bool {
+        self.timing
+    }
+
+    /// A scoped timer for `phase`: emits [`Payload::PhaseTiming`] on drop,
+    /// or does nothing at all (no clock read) when timing is disabled.
+    pub(crate) fn time<'t>(&'t self, phase: Phase) -> timing::TimedGuard<'t, 'a> {
+        timing::TimedGuard::new(self, phase)
+    }
+
+    /// A deferred-phase timer for sites where the phase is only known
+    /// after the fact; finish with [`timing::PhaseTimer::finish`].
+    pub(crate) fn timer(&self) -> timing::PhaseTimer {
+        timing::PhaseTimer::new(self.timing)
     }
 
     /// Emits one payload: applies every fold on the chain, then forwards
@@ -1225,6 +1360,10 @@ mod tests {
             },
             Payload::BatchJob { job: 1, of: 4 },
             Payload::SolveDone { converged: true },
+            Payload::PhaseTiming {
+                phase: Phase::LuReplay,
+                nanos: 123_456_789,
+            },
         ]
     }
 
@@ -1385,6 +1524,47 @@ mod tests {
         assert_eq!(c.len(), 5);
         assert_eq!(c.take().len(), 5);
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn stats_fold_ignores_timing_payloads() {
+        let events = vec![
+            ev(Payload::NrIteration { iteration: 1 }),
+            ev(Payload::PhaseTiming {
+                phase: Phase::NewtonSolve,
+                nanos: 999,
+            }),
+            ev(Payload::SolveDone { converged: true }),
+        ];
+        let stats = fold_stats(&events);
+        assert_eq!(stats.nr_iterations, 1);
+        assert!(stats.converged);
+        let stripped: Vec<Event> = events
+            .iter()
+            .filter(|e| !e.payload.is_timing())
+            .cloned()
+            .collect();
+        assert_eq!(fold_stats(&stripped), stats, "timing is out-of-band");
+    }
+
+    #[test]
+    fn fanout_tees_to_all_members_and_resolves_timing() {
+        assert!(!FanoutSink::new().wants_timing(), "empty fanout is silent");
+        let null_only = FanoutSink::new().with(std::sync::Arc::new(NullSink));
+        assert!(!null_only.wants_timing());
+        let collector = std::sync::Arc::new(Collector::new());
+        let counter = std::sync::Arc::new(CounterSink::new());
+        let fan = FanoutSink::new()
+            .with(std::sync::Arc::new(NullSink))
+            .with(collector.clone())
+            .with(counter.clone());
+        assert!(fan.wants_timing(), "collector opts in");
+        assert_eq!(fan.len(), 3);
+        assert!(!fan.is_empty());
+        fan.emit(&ev(Payload::SolveDone { converged: true }));
+        fan.finish();
+        assert_eq!(collector.len(), 1);
+        assert_eq!(counter.count("SolveDone"), 1);
     }
 
     #[test]

@@ -1,0 +1,102 @@
+//! Property-based tests for the streaming histogram math behind
+//! `MetricsRegistry`: percentile monotonicity, exact count/sum/min/max
+//! preservation under merge, and merge associativity/commutativity — the
+//! invariants that make worker-shard aggregation safe.
+
+use proptest::prelude::*;
+use rlpta_core::Histogram;
+
+fn hist_of(values: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for v in values {
+        h.record(*v);
+    }
+    h
+}
+
+proptest! {
+    /// p50 ≤ p90 ≤ p99, all pinned inside the observed [min, max], with
+    /// the extremes exact at q = 0 and q = 1.
+    #[test]
+    fn percentiles_are_monotone_and_bounded(
+        values in proptest::collection::vec(0u64..2_000_000_000, 1..200),
+    ) {
+        let h = hist_of(&values);
+        let (p50, p90, p99) = (h.percentile(0.5), h.percentile(0.9), h.percentile(0.99));
+        prop_assert!(h.min() <= p50, "{} > p50 {p50}", h.min());
+        prop_assert!(p50 <= p90 && p90 <= p99, "p50 {p50} p90 {p90} p99 {p99}");
+        prop_assert!(p99 <= h.max(), "p99 {p99} > {}", h.max());
+        // q = 0 lands in the min's bucket (≤ one bucket of overshoot);
+        // q = 1 is exact by the [min, max] clamp.
+        let p0 = h.percentile(0.0);
+        prop_assert!(p0 as f64 <= h.min() as f64 * 1.125 + 1.0, "p0 {p0} vs min {}", h.min());
+        prop_assert_eq!(h.percentile(1.0), *values.iter().max().expect("non-empty"));
+    }
+
+    /// Percentile estimates carry at most the bucket's relative error:
+    /// the log bucketing uses 8 sub-buckets per octave, so ≤ 12.5 %
+    /// against the exact order statistic (exact below 16).
+    #[test]
+    fn percentiles_track_exact_order_statistics(
+        values in proptest::collection::vec(0u64..1_000_000_000, 1..100),
+        q in 0.0f64..1.0,
+    ) {
+        let h = hist_of(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let exact = sorted[rank - 1];
+        let got = h.percentile(q);
+        prop_assert!(got >= exact, "estimate {got} below exact {exact}");
+        prop_assert!(
+            got as f64 <= exact as f64 * 1.125 + 1.0,
+            "estimate {got} overshoots exact {exact} beyond one bucket"
+        );
+    }
+
+    /// Splitting a sample arbitrarily into two shards and merging them
+    /// reproduces the unsharded histogram exactly — bucket populations,
+    /// count, sum, min, max, every percentile.
+    #[test]
+    fn merge_is_exact_and_commutative(
+        values in proptest::collection::vec(0u64..2_000_000_000, 0..200),
+        mask in proptest::collection::vec(any::<bool>(), 0..200),
+    ) {
+        let whole = hist_of(&values);
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for (i, v) in values.iter().enumerate() {
+            if mask.get(i).copied().unwrap_or(false) {
+                a.record(*v);
+            } else {
+                b.record(*v);
+            }
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba, "merge must be commutative");
+        prop_assert_eq!(&ab, &whole, "shard merge must equal the unsharded fold");
+        prop_assert_eq!(ab.count(), values.len() as u64);
+        prop_assert_eq!(ab.sum(), values.iter().sum::<u64>());
+    }
+
+    /// Three-way shard merges associate: (a ∪ b) ∪ c == a ∪ (b ∪ c).
+    #[test]
+    fn merge_is_associative(
+        a_vals in proptest::collection::vec(0u64..1_000_000_000, 0..60),
+        b_vals in proptest::collection::vec(0u64..1_000_000_000, 0..60),
+        c_vals in proptest::collection::vec(0u64..1_000_000_000, 0..60),
+    ) {
+        let (a, b, c) = (hist_of(&a_vals), hist_of(&b_vals), hist_of(&c_vals));
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+}

@@ -179,6 +179,9 @@ proptest! {
                 .build();
             let _ = engine.solve_batch(&circuits);
             let mut events = collector.events();
+            // Out-of-band wall-clock payloads are scheduler-dependent by
+            // nature; determinism is claimed modulo timing and worker ids.
+            events.retain(|e| !e.payload.is_timing());
             for e in &mut events {
                 e.span.worker = 0;
             }

@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Regenerates every checked-in results file in one deterministic recipe.
+#
+#   sh results/regen.sh [threads]
+#
+# Table rows are bit-identical at any thread count (the engine's
+# determinism contract); only the `#`-prefixed banner/timing lines vary
+# run to run. `--profile` appends each run's self-time tree so the files
+# double as a coarse perf log. Companion BenchReport JSON lands next to
+# each table for perfdiff spelunking (results/*.json, not checked in).
+set -eu
+cd "$(dirname "$0")/.."
+THREADS="${1:-4}"
+
+cargo build --release -p rlpta-bench
+
+for bin in fig5 table2 table3 ablation compat stress baselines; do
+    echo "== $bin (threads=$THREADS)"
+    cargo run --release -q -p rlpta-bench --bin "$bin" -- \
+        --threads "$THREADS" --profile --bench-json "results/$bin.json" \
+        > "results/$bin.txt"
+done
+echo "done: results/*.txt regenerated"
