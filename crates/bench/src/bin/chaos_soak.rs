@@ -1,0 +1,308 @@
+//! Chaos soak: ≥ 200 seeded fault plans driven through the full engine —
+//! serial solves, pooled batches and quarantined sweeps — with the
+//! certification layer cross-checked against an independent clean residual
+//! re-evaluation.
+//!
+//! The hard invariant the soak enforces (CI fails on violation): **no
+//! fault-corrupted solve is ever graded `certified`** — whenever the engine
+//! returns a solution whose fault-free KCL residual exceeds the certifier's
+//! own threshold, the attached grade must have been demoted. Batches and
+//! sweeps under injected failures must complete with structured partial
+//! results (per-slot errors, quarantine lists), never abort the run.
+//!
+//! Writes a machine-readable quarantine report (`--out <path>`, stdout
+//! otherwise) that CI uploads as an artifact. Requires `--features faults`.
+
+use rlpta_bench::arg_value;
+use rlpta_core::certify::RESIDUAL_CERTIFIED;
+use rlpta_core::{
+    DcEngine, DcSweep, FaultPlan, GminStepping, HealthGrade, LadderStage, NewtonConfig,
+    NewtonHomotopy, PtaConfig, SolveBudget, SolveError, SourceStepping,
+};
+use rlpta_mna::Circuit;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// A small ladder (short stage caps) so even a run where every stage fails
+/// under a constant fault finishes in milliseconds.
+fn soak_stages() -> Vec<LadderStage> {
+    let newton = NewtonConfig {
+        max_iterations: 10,
+        ..NewtonConfig::default()
+    };
+    vec![
+        LadderStage::DampedNewton(newton.clone()),
+        LadderStage::GminStepping(GminStepping {
+            newton: newton.clone(),
+            ..GminStepping::default()
+        }),
+        LadderStage::SourceStepping(SourceStepping {
+            min_increment: 0.05,
+            newton: newton.clone(),
+            ..SourceStepping::default()
+        }),
+        LadderStage::Cepta(PtaConfig {
+            max_steps: 15,
+            newton: newton.clone(),
+            ..PtaConfig::default()
+        }),
+        LadderStage::Dpta(PtaConfig {
+            max_steps: 15,
+            newton: newton.clone(),
+            ..PtaConfig::default()
+        }),
+        LadderStage::NewtonHomotopy(NewtonHomotopy {
+            min_step: 0.099,
+            newton,
+            ..NewtonHomotopy::default()
+        }),
+    ]
+}
+
+fn soak_engine(plan: FaultPlan, threads: usize) -> DcEngine {
+    DcEngine::builder()
+        .ladder(soak_stages())
+        .budget(SolveBudget::with_deadline(Duration::from_secs(30)))
+        .threads(threads)
+        .retries(1)
+        .fault_plan(plan)
+        .build()
+}
+
+/// Eight plans per seed: three constant (unsurvivable) and five
+/// intermittent fault mixes.
+fn plans_for(seed: u64) -> Vec<FaultPlan> {
+    let period = 2 + seed % 5;
+    vec![
+        FaultPlan::seeded(seed).singular_pivots(1),
+        FaultPlan::seeded(seed).nan_stamps(1),
+        FaultPlan::seeded(seed).oscillating_residual(10.0),
+        FaultPlan::seeded(seed).singular_pivots(period),
+        FaultPlan::seeded(seed).nan_stamps(period * 3),
+        FaultPlan::seeded(seed).singular_pivots(period * 2),
+        FaultPlan::seeded(seed).nan_stamps(period),
+        FaultPlan::seeded(seed)
+            .singular_pivots(period * 7)
+            .nan_stamps(period * 5)
+            .oscillating_residual(1e-9),
+    ]
+}
+
+#[derive(Default)]
+struct Tally {
+    plans: usize,
+    solves: usize,
+    ok: usize,
+    certified: usize,
+    suspect: usize,
+    errors: usize,
+    batch_jobs: usize,
+    batch_failures: usize,
+    sweep_points: usize,
+    sweep_quarantined: usize,
+    violations: Vec<String>,
+}
+
+fn main() {
+    let t0 = Instant::now();
+    let circuits: Vec<(&str, Circuit)> = ["D10", "gm1", "mosamp"]
+        .iter()
+        .map(|n| {
+            (
+                *n,
+                rlpta_circuits::by_name(n).expect("known benchmark").circuit,
+            )
+        })
+        .collect();
+    let mut tally = Tally::default();
+
+    // Serial solves: every plan against one rotating circuit. The clean
+    // residual re-evaluation runs after the engine's fault guard dropped,
+    // so it sees the true KCL mismatch of whatever the engine returned.
+    for seed in 0..25u64 {
+        for (p, plan) in plans_for(seed).into_iter().enumerate() {
+            tally.plans += 1;
+            let (name, circuit) = &circuits[(seed as usize + p) % circuits.len()];
+            let engine = soak_engine(plan, 1);
+            tally.solves += 1;
+            match engine.solve(circuit) {
+                Ok(sol) => {
+                    tally.ok += 1;
+                    let Some(health) = sol.health.as_ref() else {
+                        tally
+                            .violations
+                            .push(format!("{name} repro={plan:?}: solution without health"));
+                        continue;
+                    };
+                    match health.grade {
+                        HealthGrade::Certified => tally.certified += 1,
+                        HealthGrade::Suspect => tally.suspect += 1,
+                        HealthGrade::Rejected => {
+                            tally.violations.push(format!(
+                                "{name} repro={plan:?}: rejected solution escaped the engine"
+                            ));
+                            continue;
+                        }
+                    }
+                    let clean_residual = sol.residual_norm(circuit);
+                    if health.grade == HealthGrade::Certified && clean_residual > RESIDUAL_CERTIFIED
+                    {
+                        tally.violations.push(format!(
+                            "{name} repro={plan:?}: certified but corrupted \
+                             (clean residual {clean_residual:.3e})"
+                        ));
+                    }
+                }
+                Err(
+                    SolveError::AllStrategiesFailed { .. }
+                    | SolveError::BudgetExhausted { .. }
+                    | SolveError::NonConvergent { .. }
+                    | SolveError::CertificationFailed { .. },
+                ) => tally.errors += 1,
+                Err(other) => tally
+                    .violations
+                    .push(format!("{name} repro={plan:?}: unstructured failure {other}")),
+            }
+        }
+    }
+
+    // Pooled batches under constant faults: every slot must come back as a
+    // structured error — the batch completes, nothing aborts.
+    for seed in 0..5u64 {
+        let plan = FaultPlan::seeded(seed).singular_pivots(1);
+        let batch: Vec<Circuit> = circuits.iter().map(|(_, c)| c.clone()).collect();
+        let results = soak_engine(plan, 3).solve_batch(&batch);
+        tally.batch_jobs += results.len();
+        if results.len() != batch.len() {
+            tally.violations.push(format!(
+                "repro={plan:?}: batch returned {} slots for {} jobs",
+                results.len(),
+                batch.len()
+            ));
+        }
+        for (i, r) in results.iter().enumerate() {
+            match r {
+                Ok(_) => tally.violations.push(format!(
+                    "job {i} repro={plan:?}: constant singular pivots produced a solution"
+                )),
+                Err(_) => tally.batch_failures += 1,
+            }
+        }
+    }
+
+    // Faulted sweeps: intermittent singular pivots must degrade to ordered
+    // partial results — survivors plus quarantine must cover every value.
+    // A deliberately fragile engine (single Newton rung, no retries) so the
+    // faults actually defeat some points and the quarantine path runs.
+    let sweep_circuit = rlpta_netlist::parse(
+        "t\nV1 in 0 0\nR1 in a 100\nD1 a 0 DX\n.model DX D(IS=1e-14)\n",
+    )
+    .expect("valid netlist");
+    let sweep = DcSweep::linear("V1", 0.0, 2.0, 0.125).expect("valid sweep");
+    // Seeds 0..3 arm a *constant* fault (period 1): every point must land
+    // in quarantine and the report must still come back structured.
+    for seed in 0..10u64 {
+        let period = if seed < 3 { 1 } else { 2 + seed % 4 };
+        let plan = FaultPlan::seeded(seed).singular_pivots(period);
+        let fragile = DcEngine::builder()
+            .ladder(vec![LadderStage::DampedNewton(NewtonConfig {
+                max_iterations: 10,
+                ..NewtonConfig::default()
+            })])
+            .budget(SolveBudget::with_deadline(Duration::from_secs(30)))
+            .threads(3)
+            .fault_plan(plan)
+            .build();
+        match fragile.sweep(&sweep_circuit, &sweep) {
+            Ok(report) => {
+                tally.sweep_points += report.points.len();
+                tally.sweep_quarantined += report.quarantined.len();
+                if report.points.len() + report.quarantined.len() != sweep.values().len() {
+                    tally.violations.push(format!(
+                        "repro={plan:?}: sweep covered {}+{} of {} values",
+                        report.points.len(),
+                        report.quarantined.len(),
+                        sweep.values().len()
+                    ));
+                }
+                if !report.quarantined.windows(2).all(|w| w[0].index < w[1].index) {
+                    tally
+                        .violations
+                        .push(format!("repro={plan:?}: quarantine list out of order"));
+                }
+                if period == 1 && !report.points.is_empty() {
+                    tally.violations.push(format!(
+                        "repro={plan:?}: {} points survived a constant singular fault",
+                        report.points.len()
+                    ));
+                }
+            }
+            Err(e) => tally
+                .violations
+                .push(format!("repro={plan:?}: sweep aborted: {e}")),
+        }
+    }
+
+    let report = render_report(&tally, t0.elapsed());
+    match arg_value("out") {
+        Some(path) => {
+            std::fs::write(&path, &report).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(2);
+            });
+            println!("# chaos soak report: {path}");
+        }
+        None => print!("{report}"),
+    }
+    println!(
+        "# chaos soak: {} plans, {} solves ({} ok / {} errors), \
+         {} batch jobs, {} sweep points + {} quarantined, {} violations",
+        tally.plans,
+        tally.solves,
+        tally.ok,
+        tally.errors,
+        tally.batch_jobs,
+        tally.sweep_points,
+        tally.sweep_quarantined,
+        tally.violations.len()
+    );
+    assert!(
+        tally.plans >= 200,
+        "soak coverage: only {} plans",
+        tally.plans
+    );
+    if !tally.violations.is_empty() {
+        for v in &tally.violations {
+            eprintln!("VIOLATION: {v}");
+        }
+        std::process::exit(1);
+    }
+}
+
+fn render_report(t: &Tally, wall: Duration) -> String {
+    let mut s = String::with_capacity(1024);
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"bench\": \"chaos_soak\",");
+    let _ = writeln!(s, "  \"git_rev\": \"{}\",", rlpta_bench::report::git_rev());
+    let _ = writeln!(s, "  \"wall_nanos\": {},", wall.as_nanos());
+    let _ = writeln!(s, "  \"plans\": {},", t.plans);
+    let _ = writeln!(s, "  \"solves\": {},", t.solves);
+    let _ = writeln!(s, "  \"ok\": {},", t.ok);
+    let _ = writeln!(s, "  \"certified\": {},", t.certified);
+    let _ = writeln!(s, "  \"suspect\": {},", t.suspect);
+    let _ = writeln!(s, "  \"structured_errors\": {},", t.errors);
+    let _ = writeln!(s, "  \"batch_jobs\": {},", t.batch_jobs);
+    let _ = writeln!(s, "  \"batch_failures\": {},", t.batch_failures);
+    let _ = writeln!(s, "  \"sweep_points\": {},", t.sweep_points);
+    let _ = writeln!(s, "  \"sweep_quarantined\": {},", t.sweep_quarantined);
+    s.push_str("  \"violations\": [");
+    for (i, v) in t.violations.iter().enumerate() {
+        let sep = if i == 0 { "\n" } else { ",\n" };
+        let _ = write!(s, "{sep}    \"{}\"", v.replace('\\', "\\\\").replace('"', "\\\""));
+    }
+    if !t.violations.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("]\n}\n");
+    s
+}

@@ -8,8 +8,8 @@
 //! prints the self-time tree (ladder stages included).
 
 use rlpta_bench::{
-    bench_threads, experiment_config, finish_run, pretrain_rl, run_adaptive, run_rl, run_robust,
-    run_simple,
+    bench_threads, experiment_config, finish_run, pretrain_rl, run_adaptive, run_rl,
+    run_robust_graded, run_simple,
 };
 use rlpta_circuits::stress;
 use rlpta_core::{GminStepping, NewtonRaphson, PtaKind, SourceStepping};
@@ -19,8 +19,9 @@ fn main() {
     let t0 = Instant::now();
     println!("# Stress suite: convergence and NR-iteration cost per method");
     println!(
-        "{:<12}{:>9}{:>9}{:>9}{:>11}{:>11}{:>9}{:>9}",
-        "Circuit", "newton", "gmin", "source", "dpta-simp", "dpta-ser", "dpta-rl", "robust"
+        "{:<12}{:>9}{:>9}{:>9}{:>11}{:>11}{:>9}{:>9}{:>11}",
+        "Circuit", "newton", "gmin", "source", "dpta-simp", "dpta-ser", "dpta-rl", "robust",
+        "health"
     );
     let rl = pretrain_rl(PtaKind::dpta(), 2022, 2);
     let mut rows = 0;
@@ -38,7 +39,7 @@ fn main() {
         let simple = run_simple(&bench, PtaKind::dpta());
         let ser = run_adaptive(&bench, PtaKind::dpta());
         let rls = run_rl(&bench, PtaKind::dpta(), &rl);
-        let robust = run_robust(&bench);
+        let (robust, health) = run_robust_graded(&bench);
         let stat = |s: &rlpta_core::SolveStats| {
             if s.converged {
                 s.nr_iterations.to_string()
@@ -55,7 +56,7 @@ fn main() {
         rows += 1;
         report_rows.push((bench.name.clone(), robust));
         println!(
-            "{:<12}{:>9}{:>9}{:>9}{:>11}{:>11}{:>9}{:>9}",
+            "{:<12}{:>9}{:>9}{:>9}{:>11}{:>11}{:>9}{:>9}{:>11}",
             bench.name,
             newton,
             gmin,
@@ -63,7 +64,8 @@ fn main() {
             stat(&simple),
             stat(&ser),
             stat(&rls),
-            stat(&robust)
+            stat(&robust),
+            health
         );
         let _ = experiment_config();
     }

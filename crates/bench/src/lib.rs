@@ -189,6 +189,20 @@ pub fn finish_run(
             );
         }
     }
+    if let Some(m) = &metrics {
+        // Health columns folded from the certification telemetry: how many
+        // solutions were graded, how many rescue refinement steps ran and
+        // how many sweep points were quarantined.
+        let graded = m.kind_count("Certified");
+        let refinements = m.kind_count("RefinementStep");
+        let quarantined = m.kind_count("Quarantined");
+        if graded + refinements + quarantined > 0 {
+            println!(
+                "# health: {graded} graded solutions, {refinements} refinement steps, \
+                 {quarantined} quarantined points"
+            );
+        }
+    }
     if let Some(path) = bench_json_path() {
         let rep = report::BenchReport::from_run(
             bench,
@@ -256,6 +270,24 @@ pub fn run_robust(bench: &Benchmark) -> SolveStats {
 /// [`run_robust`] over a whole suite on `threads` pooled workers. Stats
 /// come back in input order and are identical at any thread count.
 pub fn run_robust_batch(benches: &[Benchmark], threads: usize) -> Vec<SolveStats> {
+    run_robust_graded_batch(benches, threads)
+        .into_iter()
+        .map(|(stats, _)| stats)
+        .collect()
+}
+
+/// [`run_robust`] that also reports the certification grade attached to
+/// the solution — the `health` column of the stress table.
+pub fn run_robust_graded(bench: &Benchmark) -> (SolveStats, String) {
+    run_robust_graded_batch(std::slice::from_ref(bench), 1).remove(0)
+}
+
+/// [`run_robust_batch`] with each row's certification grade (`certified`
+/// or `suspect`; `-` marks a failed solve that produced nothing to grade).
+pub fn run_robust_graded_batch(
+    benches: &[Benchmark],
+    threads: usize,
+) -> Vec<(SolveStats, String)> {
     let circuits: Vec<_> = benches.iter().map(|b| b.circuit.clone()).collect();
     let mut builder = DcEngine::builder()
         .robust()
@@ -269,8 +301,23 @@ pub fn run_robust_batch(benches: &[Benchmark], threads: usize) -> Vec<SolveStats
         .solve_batch(&circuits)
         .into_iter()
         .zip(benches)
-        .map(|(r, b)| stats_of(r, &b.name))
+        .map(|(r, b)| {
+            let grade = health_cell(&r);
+            (stats_of(r, &b.name), grade)
+        })
         .collect()
+}
+
+/// `health` cell: the grade of the solution's certification report, `?`
+/// for a solution that somehow skipped certification and `-` on failure.
+pub fn health_cell(result: &Result<Solution, SolveError>) -> String {
+    match result {
+        Ok(sol) => sol
+            .health
+            .as_ref()
+            .map_or_else(|| "?".into(), |h| h.grade.name().to_string()),
+        Err(_) => "-".into(),
+    }
 }
 
 /// Runs one benchmark under an arbitrary controller and returns the

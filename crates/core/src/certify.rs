@@ -1,0 +1,397 @@
+//! Independent solution certification and numerical-health grading.
+//!
+//! A solver reporting "converged" is a claim about its *own* update norm —
+//! not proof the operating point satisfies KCL. This module re-derives the
+//! evidence from scratch at the returned iterate: it re-assembles the
+//! nonlinear residual `F(x)` (limiter-free, default Gmin, full sources),
+//! refactorizes the Jacobian `J(x)` and reads off three health signals:
+//!
+//! * **residual norm** — `‖F(x)‖_∞`, the direct KCL error,
+//! * **condition estimate** — Hager's 1-norm estimate of `κ₁(J)`
+//!   ([`SparseLu::cond_estimate`]), how much of the residual accuracy
+//!   survives the linear algebra,
+//! * **pivot growth** — [`SparseLu::pivot_growth`], element growth during
+//!   elimination (the classic backward-stability red flag).
+//!
+//! The three fold into a [`HealthGrade`]:
+//!
+//! * [`Certified`](HealthGrade::Certified) — residual at or below the
+//!   solver's own convergence tolerance **and** no conditioning red flags.
+//! * [`Suspect`](HealthGrade::Suspect) — the residual is acceptable but the
+//!   factorization looks fragile (huge condition estimate, runaway pivot
+//!   growth, or the certification factorization itself failed). The
+//!   solution is still returned; downstream consumers decide.
+//! * [`Rejected`](HealthGrade::Rejected) — the independently re-evaluated
+//!   residual is non-finite or far above tolerance. The engine never
+//!   returns such a point as-is: [`certify_into`] first attempts an
+//!   iterative-refinement rescue (plain, then equilibrated), and if the
+//!   point stays rejected the ladder demotes it and escalates to the next
+//!   strategy ([`SolveError::CertificationFailed`]).
+//!
+//! Every certified solve emits one [`Payload::Certified`] telemetry event
+//! (after any rescue) and each rescue correction emits
+//! [`Payload::RefinementStep`], so the metrics registry counts grades and
+//! rescue work per run with no extra bookkeeping.
+
+use crate::error::SolveError;
+use crate::telemetry::{Payload, Tele};
+use crate::Solution;
+use rlpta_devices::EvalCtx;
+use rlpta_linalg::{norms, SparseLu, Triplet};
+use rlpta_mna::Circuit;
+
+/// Residual infinity-norm at or below which a solution can be graded
+/// [`HealthGrade::Certified`] — matches the plain Newton solver's default
+/// `residual_tol`, so an honestly converged solve certifies cleanly.
+pub const RESIDUAL_CERTIFIED: f64 = 1e-6;
+
+/// Residual infinity-norm above which a solution is graded
+/// [`HealthGrade::Rejected`] outright (three decades of slack over
+/// [`RESIDUAL_CERTIFIED`] for loosened user tolerances).
+pub const RESIDUAL_REJECTED: f64 = 1e-3;
+
+/// Condition estimate at or above which an otherwise-clean solution is
+/// downgraded to [`HealthGrade::Suspect`]: at `κ₁ ≈ 1e12` roughly twelve of
+/// sixteen double-precision digits are lost in the linear solves.
+pub const COND_SUSPECT: f64 = 1e12;
+
+/// Pivot growth at or above which an otherwise-clean solution is downgraded
+/// to [`HealthGrade::Suspect`] — the same threshold at which the
+/// factorization itself switches to equilibration.
+pub const GROWTH_SUSPECT: f64 = 1e8;
+
+/// Maximum Newton-correction steps per rescue attempt in [`certify_into`].
+const RESCUE_STEPS: usize = 3;
+
+/// Refinement-iteration cap per rescue correction.
+const RESCUE_REFINEMENT_CAP: usize = 8;
+
+/// Certification verdict on one operating point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthGrade {
+    /// Independently verified: small residual, no conditioning red flags.
+    Certified,
+    /// Usable but fragile: acceptable residual, questionable numerics.
+    Suspect,
+    /// The residual check failed; the point must not be trusted.
+    Rejected,
+}
+
+impl HealthGrade {
+    /// Stable lowercase name (used in telemetry and reports).
+    pub fn name(&self) -> &'static str {
+        match self {
+            HealthGrade::Certified => "certified",
+            HealthGrade::Suspect => "suspect",
+            HealthGrade::Rejected => "rejected",
+        }
+    }
+}
+
+impl std::fmt::Display for HealthGrade {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The numerical-health record attached to every engine-returned
+/// [`Solution`].
+///
+/// All float fields are guaranteed finite-or-infinite, never NaN (a NaN
+/// measurement is reported as `f64::INFINITY`), so the derived `PartialEq`
+/// honours the engine's bit-identical determinism contract.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthReport {
+    /// `‖F(x)‖_∞` of the independently re-assembled KCL residual.
+    pub residual_norm: f64,
+    /// Hager 1-norm condition estimate of `J(x)`; `INFINITY` when the
+    /// certification factorization failed.
+    pub cond_estimate: f64,
+    /// Pivot growth of the certification factorization; `INFINITY` when it
+    /// failed.
+    pub pivot_growth: f64,
+    /// The folded verdict.
+    pub grade: HealthGrade,
+}
+
+/// Maps NaN to `INFINITY` so reports stay `PartialEq`-comparable.
+fn sanitize(v: f64) -> f64 {
+    if v.is_nan() {
+        f64::INFINITY
+    } else {
+        v
+    }
+}
+
+fn grade_of(residual_norm: f64, cond: f64, growth: f64) -> HealthGrade {
+    if !residual_norm.is_finite() || residual_norm > RESIDUAL_REJECTED {
+        HealthGrade::Rejected
+    } else if residual_norm <= RESIDUAL_CERTIFIED && cond < COND_SUSPECT && growth < GROWTH_SUSPECT
+    {
+        HealthGrade::Certified
+    } else {
+        HealthGrade::Suspect
+    }
+}
+
+/// One limiter-free assembly at `x`: returns `(J(x) triplets, F(x))`.
+fn assemble_at(circuit: &Circuit, x: &[f64]) -> (Triplet, Vec<f64>) {
+    let n = circuit.dim();
+    let ctx = EvalCtx::dc(x);
+    let mut jac = Triplet::with_capacity(n, n, 8 * circuit.devices().len());
+    let mut res = vec![0.0; n];
+    let mut state = circuit.seeded_state(x);
+    circuit.assemble_into(&ctx, &mut jac, &mut res, &mut state);
+    (jac, res)
+}
+
+/// Independently certifies an operating point: re-assembles the residual
+/// and Jacobian at `x` from the circuit alone (no solver state) and grades
+/// the result. Pure — same circuit and `x` always produce the same report.
+pub fn certify(circuit: &Circuit, x: &[f64]) -> HealthReport {
+    if x.len() != circuit.dim() || !x.iter().all(|v| v.is_finite()) {
+        return HealthReport {
+            residual_norm: f64::INFINITY,
+            cond_estimate: f64::INFINITY,
+            pivot_growth: f64::INFINITY,
+            grade: HealthGrade::Rejected,
+        };
+    }
+    let (jac, res) = assemble_at(circuit, x);
+    // `inf_norm` folds with `f64::max`, which discards NaN — scan first so a
+    // poisoned residual rejects instead of reading as 0.0.
+    let residual_norm = if res.iter().all(|v| v.is_finite()) {
+        norms::inf_norm(&res)
+    } else {
+        f64::INFINITY
+    };
+    let a = jac.to_csr();
+    let (cond_estimate, pivot_growth) = match SparseLu::factorize(&a) {
+        Ok(lu) => (
+            sanitize(lu.cond_estimate(&a).unwrap_or(f64::INFINITY)),
+            sanitize(lu.pivot_growth()),
+        ),
+        Err(_) => (f64::INFINITY, f64::INFINITY),
+    };
+    HealthReport {
+        residual_norm: sanitize(residual_norm),
+        cond_estimate,
+        pivot_growth,
+        grade: grade_of(residual_norm, cond_estimate, pivot_growth),
+    }
+}
+
+/// One rescue pass: up to [`RESCUE_STEPS`] Newton corrections at the
+/// current iterate, each linear solve iteratively refined to its residual
+/// plateau. Mutates `x` only with strictly improving steps; returns the
+/// best report seen.
+fn rescue_pass(
+    circuit: &Circuit,
+    x: &mut Vec<f64>,
+    equilibrate: bool,
+    mut best: HealthReport,
+    tele: &Tele<'_>,
+) -> HealthReport {
+    for step in 1..=RESCUE_STEPS {
+        let (jac, res) = assemble_at(circuit, x);
+        if !res.iter().all(|v| v.is_finite()) {
+            break;
+        }
+        let a = jac.to_csr();
+        let lu = if equilibrate {
+            SparseLu::factorize_equilibrated(&a)
+        } else {
+            SparseLu::factorize(&a)
+        };
+        let Ok(lu) = lu else { break };
+        let neg_f: Vec<f64> = res.iter().map(|v| -v).collect();
+        let Ok(refined) = lu.solve_refined_capped(&a, &neg_f, RESCUE_REFINEMENT_CAP) else {
+            break;
+        };
+        let candidate: Vec<f64> = x.iter().zip(&refined.x).map(|(a, b)| a + b).collect();
+        let report = certify(circuit, &candidate);
+        tele.emit(Payload::RefinementStep {
+            step,
+            residual: report.residual_norm,
+        });
+        if report.residual_norm < best.residual_norm {
+            *x = candidate;
+            best = report;
+            if best.grade != HealthGrade::Rejected {
+                break;
+            }
+        } else {
+            // Corrections stopped paying — further steps from the same
+            // iterate would recompute the same stall.
+            break;
+        }
+    }
+    best
+}
+
+/// Certifies `solution` in place: grades it, attempts the refinement rescue
+/// when the grade is [`HealthGrade::Rejected`] (plain corrections first,
+/// then equilibrated refactorization), attaches the final [`HealthReport`]
+/// and emits one [`Payload::Certified`] event. Returns the final grade; the
+/// caller decides what a surviving `Rejected` means (the ladder demotes it,
+/// the engine surfaces [`SolveError::CertificationFailed`]).
+pub(crate) fn certify_into(
+    circuit: &Circuit,
+    solution: &mut Solution,
+    tele: &Tele<'_>,
+) -> HealthGrade {
+    let mut report = certify(circuit, &solution.x);
+    if report.grade == HealthGrade::Rejected && solution.x.iter().all(|v| v.is_finite()) {
+        let mut x = solution.x.clone();
+        for equilibrate in [false, true] {
+            report = rescue_pass(circuit, &mut x, equilibrate, report, tele);
+            if report.grade != HealthGrade::Rejected {
+                break;
+            }
+        }
+        if report.grade != HealthGrade::Rejected {
+            solution.x = x;
+        }
+    }
+    tele.emit(Payload::Certified {
+        grade: report.grade.name().to_string(),
+        residual: report.residual_norm,
+        cond: report.cond_estimate,
+        growth: report.pivot_growth,
+    });
+    let grade = report.grade;
+    solution.health = Some(report);
+    grade
+}
+
+/// The [`SolveError`] a surviving rejection maps to.
+pub(crate) fn rejection_error(report: &HealthReport) -> SolveError {
+    SolveError::CertificationFailed {
+        residual_norm: report.residual_norm,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::{Collector, Span};
+    use crate::NewtonRaphson;
+    use std::sync::Arc;
+
+    fn diode_clamp() -> Circuit {
+        rlpta_netlist::parse("t\nV1 in 0 5\nR1 in out 1k\nD1 out 0 DX\n.model DX D(IS=1e-14)\n")
+            .unwrap()
+    }
+
+    #[test]
+    fn converged_newton_point_certifies() {
+        let c = diode_clamp();
+        let sol = NewtonRaphson::default().solve(&c).unwrap();
+        let report = certify(&c, &sol.x);
+        assert_eq!(report.grade, HealthGrade::Certified, "{report:?}");
+        assert!(report.residual_norm <= RESIDUAL_CERTIFIED);
+        assert!(report.cond_estimate >= 1.0);
+        assert!(report.pivot_growth >= 1.0);
+    }
+
+    #[test]
+    fn perturbed_point_is_rejected() {
+        let c = diode_clamp();
+        let mut sol = NewtonRaphson::default().solve(&c).unwrap();
+        sol.x[0] += 0.5;
+        let report = certify(&c, &sol.x);
+        assert_eq!(report.grade, HealthGrade::Rejected, "{report:?}");
+        assert!(report.residual_norm > RESIDUAL_REJECTED);
+    }
+
+    #[test]
+    fn non_finite_point_is_rejected_with_finite_free_report() {
+        let c = diode_clamp();
+        let x = vec![f64::NAN; c.dim()];
+        let report = certify(&c, &x);
+        assert_eq!(report.grade, HealthGrade::Rejected);
+        assert!(!report.residual_norm.is_nan());
+        assert!(!report.cond_estimate.is_nan());
+        assert!(!report.pivot_growth.is_nan());
+    }
+
+    #[test]
+    fn wrong_dimension_is_rejected() {
+        let c = diode_clamp();
+        assert_eq!(certify(&c, &[0.0]).grade, HealthGrade::Rejected);
+    }
+
+    #[test]
+    fn certify_is_deterministic() {
+        let c = diode_clamp();
+        let sol = NewtonRaphson::default().solve(&c).unwrap();
+        assert_eq!(certify(&c, &sol.x), certify(&c, &sol.x));
+    }
+
+    #[test]
+    fn rescue_repairs_a_mildly_perturbed_linear_point() {
+        // A linear divider: one exact Newton correction from any starting
+        // point lands on the operating point, so the rescue must recover a
+        // rejected perturbed iterate without escalating.
+        let c = rlpta_netlist::parse("t\nV1 a 0 10\nR1 a b 2k\nR2 b 0 3k\n").unwrap();
+        let exact = NewtonRaphson::default().solve(&c).unwrap();
+        let collector = Arc::new(Collector::default());
+        let tele = Tele::root(&*collector, Span::default());
+        let mut sol = exact.clone();
+        sol.x[0] += 2.0;
+        assert_eq!(certify(&c, &sol.x).grade, HealthGrade::Rejected);
+        let grade = certify_into(&c, &mut sol, &tele);
+        assert_eq!(grade, HealthGrade::Certified, "{:?}", sol.health);
+        for (got, want) in sol.x.iter().zip(&exact.x) {
+            assert!((got - want).abs() < 1e-9, "{got} vs {want}");
+        }
+        let events = collector.events();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.payload, Payload::RefinementStep { .. })));
+        assert!(events.iter().any(|e| matches!(
+            &e.payload,
+            Payload::Certified { grade, .. } if grade == "certified"
+        )));
+    }
+
+    #[test]
+    fn certify_into_attaches_report_and_emits_event() {
+        let c = diode_clamp();
+        let mut sol = NewtonRaphson::default().solve(&c).unwrap();
+        let collector = Arc::new(Collector::default());
+        let tele = Tele::root(&*collector, Span::default());
+        let grade = certify_into(&c, &mut sol, &tele);
+        assert_eq!(grade, HealthGrade::Certified);
+        let health = sol.health.expect("attached");
+        assert_eq!(health.grade, HealthGrade::Certified);
+        assert_eq!(
+            collector
+                .events()
+                .iter()
+                .filter(|e| e.payload.kind() == "Certified")
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn grade_names_are_stable() {
+        assert_eq!(HealthGrade::Certified.name(), "certified");
+        assert_eq!(HealthGrade::Suspect.name(), "suspect");
+        assert_eq!(HealthGrade::Rejected.name(), "rejected");
+        assert_eq!(HealthGrade::Suspect.to_string(), "suspect");
+    }
+
+    #[test]
+    fn grade_boundaries() {
+        use HealthGrade::*;
+        assert_eq!(grade_of(1e-9, 10.0, 2.0), Certified);
+        assert_eq!(grade_of(1e-9, COND_SUSPECT, 2.0), Suspect);
+        assert_eq!(grade_of(1e-9, 10.0, GROWTH_SUSPECT), Suspect);
+        assert_eq!(grade_of(1e-4, 10.0, 2.0), Suspect, "loose but usable");
+        assert_eq!(grade_of(1e-2, 10.0, 2.0), Rejected);
+        assert_eq!(grade_of(f64::NAN, 10.0, 2.0), Rejected);
+        assert_eq!(grade_of(f64::INFINITY, 10.0, 2.0), Rejected);
+    }
+}

@@ -137,6 +137,7 @@ impl GminStepping {
                 return Ok(Solution {
                     x,
                     stats: fold.snapshot(),
+                    health: None,
                 });
             }
             gmin = (gmin / self.reduction).max(self.gmin_target);
@@ -266,6 +267,7 @@ impl SourceStepping {
         Ok(Solution {
             x,
             stats: fold.snapshot(),
+            health: None,
         })
     }
 }

@@ -53,19 +53,21 @@
 //! carry, so its iterate (not its correctness) can differ from the serial
 //! ladder. Batches and sweeps never use the raced path internally.
 
+use crate::certify::{certify_into, HealthGrade};
 use crate::error::{SolveError, SolvePhase};
 use crate::newton::{newton_iterate, NewtonConfig, NewtonRaphson};
 use crate::pta::{PtaConfig, PtaKind, PtaSolver};
 use crate::recovery::{AttemptReport, LadderStage, RobustDcSolver, SolveBudget};
 use crate::rl_stepping::{RlStepping, RlSteppingConfig};
 use crate::stepping::{SerStepping, SimpleStepping, StepController, StepObservation};
-use crate::sweep::{DcSweep, SweepPoint, SweepReport};
+use crate::sweep::{DcSweep, QuarantinedPoint, SweepPoint, SweepReport};
 use crate::telemetry::{NullSink, Payload, Sink, Span, StatsFold, Tele};
 use crate::{Solution, SolveStats};
 use rlpta_linalg::LuWorkspace;
 use rlpta_mna::Circuit;
 use rlpta_threadpool::ThreadPool;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Step-control policy selector for the engine builder — the data half of a
 /// [`StepController`], cheap to clone into every parallel job.
@@ -181,6 +183,7 @@ pub struct DcEngineBuilder {
     budget: SolveBudget,
     threads: usize,
     sweep_chunk: usize,
+    retries: u32,
     telemetry: Arc<dyn Sink>,
     #[cfg(feature = "faults")]
     fault_plan: Option<crate::recovery::FaultPlan>,
@@ -196,6 +199,7 @@ impl Default for DcEngineBuilder {
             budget: SolveBudget::UNLIMITED,
             threads: 1,
             sweep_chunk: DcEngine::DEFAULT_SWEEP_CHUNK,
+            retries: 0,
             telemetry: Arc::new(NullSink),
             #[cfg(feature = "faults")]
             fault_plan: None,
@@ -308,6 +312,21 @@ impl DcEngineBuilder {
         self
     }
 
+    /// Extra solve attempts per batch job and per sweep point after a
+    /// retryable failure (anything except [`SolveError::InvalidConfig`],
+    /// [`SolveError::BudgetExhausted`] and [`SolveError::WorkerPanic`]),
+    /// with capped exponential backoff between attempts. The backoff never
+    /// runs the job past the wall-clock half of the
+    /// [`budget`](DcEngineBuilder::budget). Default `0`: one attempt, no
+    /// behavioral change. Retries are deterministic — the solver is a pure
+    /// function of its inputs, so a retry only helps against *transient*
+    /// causes (injected faults, future external solvers).
+    #[must_use]
+    pub fn retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
     /// Installs a deterministic fault-injection plan inside **every** job
     /// (batch, sweep chunk, raced rung) before it runs, so chaos scenarios
     /// reach pooled workers — [`FaultPlan`](crate::recovery::FaultPlan)
@@ -330,6 +349,7 @@ impl DcEngineBuilder {
             budget: self.budget,
             threads: self.threads.max(1),
             sweep_chunk: self.sweep_chunk.max(1),
+            retries: self.retries,
             telemetry: self.telemetry,
             #[cfg(feature = "faults")]
             fault_plan: self.fault_plan,
@@ -348,6 +368,7 @@ pub struct DcEngine {
     budget: SolveBudget,
     threads: usize,
     sweep_chunk: usize,
+    retries: u32,
     telemetry: Arc<dyn Sink>,
     #[cfg(feature = "faults")]
     fault_plan: Option<crate::recovery::FaultPlan>,
@@ -418,13 +439,13 @@ impl DcEngine {
                 .map(|(i, c)| {
                     move || {
                         let tele = Tele::root(&*self.telemetry, Span::for_job(i));
-                        self.solve_serial(c, &tele)
+                        self.solve_with_retries(|| self.solve_serial(c, &tele)).0
                     }
                 })
                 .collect::<Vec<_>>(),
         );
         self.telemetry.finish();
-        out
+        Self::label_panics(out, circuits)
     }
 
     /// Solves every circuit with a caller-supplied step controller — the
@@ -451,19 +472,23 @@ impl DcEngine {
                     move || {
                         let span = Span::for_job(i);
                         let tele = Tele::root(&*self.telemetry, span);
-                        let mut ctrl = controller.clone();
-                        ctrl.attach_telemetry(self.telemetry.clone(), span);
-                        let mut solver =
-                            PtaSolver::with_config(kind, ctrl, self.config.clone());
-                        let mut meter = self.budget.start();
-                        meter.set_phase(SolvePhase::PseudoTransient);
-                        solver.solve_metered(c, &mut meter, &tele)
+                        self.solve_with_retries(|| {
+                            let mut ctrl = controller.clone();
+                            ctrl.attach_telemetry(self.telemetry.clone(), span);
+                            let mut solver =
+                                PtaSolver::with_config(kind, ctrl, self.config.clone());
+                            let mut meter = self.budget.start();
+                            meter.set_phase(SolvePhase::PseudoTransient);
+                            let out = solver.solve_metered(c, &mut meter, &tele);
+                            self.certified(c, out, &tele)
+                        })
+                        .0
                     }
                 })
                 .collect::<Vec<_>>(),
         );
         self.telemetry.finish();
-        out
+        Self::label_panics(out, circuits)
     }
 
     /// Runs a DC sweep in fixed-size chunks with warm-start handoff at the
@@ -483,9 +508,13 @@ impl DcEngine {
     ///
     /// # Errors
     ///
-    /// * [`SolveError::InvalidConfig`] if the swept source does not exist,
-    /// * the first failing point's error otherwise (points after it in the
-    ///   same chain are not attempted; other chunks may have completed).
+    /// [`SolveError::InvalidConfig`] if the swept source does not exist. A
+    /// failing point does **not** abort the sweep: after the configured
+    /// [`retries`](DcEngineBuilder::retries) it is quarantined
+    /// ([`SweepReport::quarantined`]) and the warm-start chain resumes from
+    /// the last surviving point (cold when a chunk's own boundary died), so
+    /// a pathological bias point costs one entry in the quarantine list
+    /// instead of the whole curve.
     pub fn sweep(&self, circuit: &Circuit, sweep: &DcSweep) -> Result<SweepReport, SolveError> {
         #[cfg(feature = "faults")]
         let _guard = self.install_faults();
@@ -504,26 +533,53 @@ impl DcEngine {
 
         // Phase 1: chunk boundaries, a serial warm-start chain. Boundary
         // events ride the job-less span (they belong to the shared chain,
-        // not to any one chunk job).
-        let mut boundaries: Vec<Solution> = Vec::with_capacity(n_chunks);
+        // not to any one chunk job). A failed boundary is quarantined and
+        // the chain continues from the last good boundary.
+        let mut boundaries: Vec<Result<Solution, QuarantinedPoint>> =
+            Vec::with_capacity(n_chunks);
         {
             let tele = Tele::root(&*self.telemetry, Span::default());
             let mut work = circuit.clone();
             let mut lu_ws = LuWorkspace::new();
+            let mut last_good: Option<Vec<f64>> = None;
             for k in 0..n_chunks {
-                work.set_source_dc(source, values[k * chunk]);
-                let warm = boundaries.last().map(|s| s.x.as_slice());
-                let sol = self.solve_sweep_point(&work, warm, &mut lu_ws, &tele)?;
-                tele.emit(Payload::SweepPoint {
-                    index: k * chunk,
-                    value: values[k * chunk],
-                    stats: sol.stats,
+                let index = k * chunk;
+                work.set_source_dc(source, values[index]);
+                let (result, attempts) = self.solve_with_retries(|| {
+                    self.solve_sweep_point(&work, last_good.as_deref(), &mut lu_ws, &tele)
                 });
-                boundaries.push(sol);
+                match result {
+                    Ok(sol) => {
+                        tele.emit(Payload::SweepPoint {
+                            index,
+                            value: values[index],
+                            stats: sol.stats,
+                        });
+                        last_good = Some(sol.x.clone());
+                        boundaries.push(Ok(sol));
+                    }
+                    Err(e) => {
+                        let error = e.to_string();
+                        tele.emit(Payload::Quarantined {
+                            index,
+                            value: values[index],
+                            error: error.clone(),
+                        });
+                        boundaries.push(Err(QuarantinedPoint {
+                            index,
+                            value: values[index],
+                            error,
+                            attempts,
+                        }));
+                    }
+                }
             }
         }
 
-        // Phase 2: chunk interiors, one pooled job per chunk.
+        // Phase 2: chunk interiors, one pooled job per chunk. Failed points
+        // are quarantined inside the job; the chain continues from the last
+        // surviving point (cold start when the chunk's boundary itself was
+        // quarantined).
         let interiors = self.run_jobs(
             (0..n_chunks)
                 .map(|k| {
@@ -533,42 +589,98 @@ impl DcEngine {
                         let hi = ((k + 1) * chunk).min(values.len());
                         let mut work = circuit.clone();
                         let mut lu_ws = LuWorkspace::new();
-                        let mut prev = boundary.x.clone();
+                        let mut prev: Option<Vec<f64>> = match boundary {
+                            Ok(sol) => Some(sol.x.clone()),
+                            Err(_) => None,
+                        };
                         let mut points = Vec::with_capacity(hi - (k * chunk + 1));
+                        let mut quarantined: Vec<QuarantinedPoint> = Vec::new();
                         for (off, &v) in values[k * chunk + 1..hi].iter().enumerate() {
+                            let index = k * chunk + 1 + off;
                             work.set_source_dc(source, v);
-                            let sol =
-                                self.solve_sweep_point(&work, Some(&prev), &mut lu_ws, &tele)?;
-                            tele.emit(Payload::SweepPoint {
-                                index: k * chunk + 1 + off,
-                                value: v,
-                                stats: sol.stats,
+                            let (result, attempts) = self.solve_with_retries(|| {
+                                self.solve_sweep_point(&work, prev.as_deref(), &mut lu_ws, &tele)
                             });
-                            prev.clone_from(&sol.x);
-                            points.push(SweepPoint { value: v, solution: sol });
+                            match result {
+                                Ok(sol) => {
+                                    tele.emit(Payload::SweepPoint {
+                                        index,
+                                        value: v,
+                                        stats: sol.stats,
+                                    });
+                                    prev = Some(sol.x.clone());
+                                    points.push(SweepPoint { value: v, solution: sol });
+                                }
+                                Err(e) => {
+                                    let error = e.to_string();
+                                    tele.emit(Payload::Quarantined {
+                                        index,
+                                        value: v,
+                                        error: error.clone(),
+                                    });
+                                    quarantined.push(QuarantinedPoint {
+                                        index,
+                                        value: v,
+                                        error,
+                                        attempts,
+                                    });
+                                }
+                            }
                         }
-                        Ok(points)
+                        Ok((points, quarantined))
                     }
                 })
                 .collect::<Vec<_>>(),
         );
 
+        // Merge in sweep order. A chunk job that *panicked* quarantines its
+        // entire interior (the boundary, solved serially, survives on its
+        // own merits).
         let mut points = Vec::with_capacity(values.len());
+        let mut quarantined: Vec<QuarantinedPoint> = Vec::new();
         let mut stats = SolveStats::default();
         for (k, (boundary, interior)) in boundaries.into_iter().zip(interiors).enumerate() {
-            stats.absorb(&boundary.stats);
-            points.push(SweepPoint {
-                value: values[k * chunk],
-                solution: boundary,
-            });
-            for p in interior? {
-                stats.absorb(&p.solution.stats);
-                points.push(p);
+            match boundary {
+                Ok(sol) => {
+                    stats.absorb(&sol.stats);
+                    points.push(SweepPoint {
+                        value: values[k * chunk],
+                        solution: sol,
+                    });
+                }
+                Err(q) => quarantined.push(q),
+            }
+            match interior {
+                Ok((pts, qs)) => {
+                    for p in pts {
+                        stats.absorb(&p.solution.stats);
+                        points.push(p);
+                    }
+                    quarantined.extend(qs);
+                }
+                Err(e) => {
+                    let error = e.to_string();
+                    let hi = ((k + 1) * chunk).min(values.len());
+                    for (index, &value) in values.iter().enumerate().take(hi).skip(k * chunk + 1) {
+                        quarantined.push(QuarantinedPoint {
+                            index,
+                            value,
+                            error: error.clone(),
+                            attempts: 1,
+                        });
+                    }
+                }
             }
         }
-        stats.converged = points.iter().all(|p| p.solution.stats.converged);
+        quarantined.sort_by_key(|q| q.index);
+        stats.converged =
+            quarantined.is_empty() && points.iter().all(|p| p.solution.stats.converged);
         self.telemetry.finish();
-        Ok(SweepReport { points, stats })
+        Ok(SweepReport {
+            points,
+            stats,
+            quarantined,
+        })
     }
 
     // --- internals -------------------------------------------------------
@@ -593,18 +705,22 @@ impl DcEngine {
     }
 
     /// One circuit through the configured strategy with no intra-solve
-    /// parallelism — the per-job body of every batch entry point.
+    /// parallelism — the per-job body of every batch entry point. Every
+    /// success leaves with [`Solution::health`] populated: the ladder
+    /// certifies (and demotes) internally, the direct strategies go through
+    /// the [`DcEngine::certified`] gate here.
     fn solve_serial(&self, circuit: &Circuit, tele: &Tele<'_>) -> Result<Solution, SolveError> {
         match &self.strategy {
             Strategy::Newton => {
                 let mut meter = self.budget.start();
                 meter.set_phase(SolvePhase::Newton);
-                NewtonRaphson::from_config(self.newton.clone()).solve_metered(
+                let out = NewtonRaphson::from_config(self.newton.clone()).solve_metered(
                     circuit,
                     &vec![0.0; circuit.dim()],
                     &mut meter,
                     tele,
-                )
+                );
+                self.certified(circuit, out, tele)
             }
             Strategy::Pta(kind) => {
                 let mut ctrl = self.stepping.controller();
@@ -612,12 +728,89 @@ impl DcEngine {
                 let mut solver = PtaSolver::with_config(*kind, ctrl, self.config.clone());
                 let mut meter = self.budget.start();
                 meter.set_phase(SolvePhase::PseudoTransient);
-                solver.solve_metered(circuit, &mut meter, tele)
+                let out = solver.solve_metered(circuit, &mut meter, tele);
+                self.certified(circuit, out, tele)
             }
             Strategy::Robust(stages) => RobustDcSolver::from_stages(stages.clone())
                 .with_budget(self.budget)
                 .solve_with(circuit, tele),
         }
+    }
+
+    /// Certification gate for the non-ladder strategies: grades the
+    /// operating point (rescuing a rejected one, see
+    /// [`certify_into`](crate::certify)), attaches the report, and turns a
+    /// surviving rejection into [`SolveError::CertificationFailed`] — the
+    /// direct strategies have no further rung to demote to.
+    fn certified(
+        &self,
+        circuit: &Circuit,
+        result: Result<Solution, SolveError>,
+        tele: &Tele<'_>,
+    ) -> Result<Solution, SolveError> {
+        let mut sol = result?;
+        if sol.health.is_none() && certify_into(circuit, &mut sol, tele) == HealthGrade::Rejected {
+            let residual_norm = sol
+                .health
+                .as_ref()
+                .map_or(f64::INFINITY, |h| h.residual_norm);
+            return Err(SolveError::CertificationFailed { residual_norm });
+        }
+        Ok(sol)
+    }
+
+    /// Retry loop used by the batch and sweep entry points: re-runs a solve
+    /// up to `self.retries` extra times on retryable errors, sleeping a
+    /// capped exponential backoff between attempts (bounded by the job's
+    /// wall-clock budget). Returns the final outcome and attempts consumed.
+    fn solve_with_retries<F>(&self, mut solve: F) -> (Result<Solution, SolveError>, u32)
+    where
+        F: FnMut() -> Result<Solution, SolveError>,
+    {
+        const BACKOFF_CAP_MS: u64 = 50;
+        let started = Instant::now();
+        let mut attempts = 1u32;
+        let mut out = solve();
+        while attempts <= self.retries {
+            match &out {
+                Ok(_)
+                | Err(SolveError::InvalidConfig { .. }
+                | SolveError::BudgetExhausted { .. }
+                | SolveError::WorkerPanic { .. }) => break,
+                Err(_) => {}
+            }
+            let backoff =
+                Duration::from_millis((1u64 << (attempts - 1).min(6)).min(BACKOFF_CAP_MS));
+            if let Some(deadline) = self.budget.wall_clock {
+                if started.elapsed() + backoff >= deadline {
+                    break;
+                }
+            }
+            std::thread::sleep(backoff);
+            out = solve();
+            attempts += 1;
+        }
+        (out, attempts)
+    }
+
+    /// Enriches per-slot [`SolveError::WorkerPanic`] results with the job
+    /// index and circuit title, so a panicked batch job is attributable
+    /// without cross-referencing the input order.
+    fn label_panics(
+        results: Vec<Result<Solution, SolveError>>,
+        circuits: &[Circuit],
+    ) -> Vec<Result<Solution, SolveError>> {
+        results
+            .into_iter()
+            .zip(circuits)
+            .enumerate()
+            .map(|(i, (r, c))| match r {
+                Err(SolveError::WorkerPanic { detail }) => Err(SolveError::WorkerPanic {
+                    detail: format!("job {i} (circuit `{}`): {detail}", c.title()),
+                }),
+                other => other,
+            })
+            .collect()
     }
 
     /// Races every ladder rung concurrently from a cold start, each under
@@ -718,25 +911,31 @@ impl DcEngine {
         match attempt {
             Ok(out) if out.converged => {
                 point_tele.emit(Payload::SolveDone { converged: true });
-                Ok(Solution {
+                let mut sol = Solution {
                     x: out.x,
                     stats: fold.snapshot(),
-                })
-            }
-            Err(e @ SolveError::BudgetExhausted { .. }) => Err(e),
-            _ => {
-                // The failed warm-start attempt's work is not charged to
-                // the fallback solution (matching the historical stats),
-                // but its events are already on the stream above.
-                let stages = match &self.strategy {
-                    Strategy::Robust(stages) => stages.clone(),
-                    _ => RobustDcSolver::default_ladder(),
+                    health: None,
                 };
-                RobustDcSolver::from_stages(stages)
-                    .with_budget(self.budget)
-                    .solve_with(work, tele)
+                // A warm iterate that fails independent certification (even
+                // after the rescue) is treated like any other Newton defeat:
+                // fall through to the escalation ladder below.
+                if certify_into(work, &mut sol, &point_tele) != HealthGrade::Rejected {
+                    return Ok(sol);
+                }
             }
+            Err(e @ SolveError::BudgetExhausted { .. }) => return Err(e),
+            _ => {}
         }
+        // The failed warm-start attempt's work is not charged to the
+        // fallback solution (matching the historical stats), but its events
+        // are already on the stream above.
+        let stages = match &self.strategy {
+            Strategy::Robust(stages) => stages.clone(),
+            _ => RobustDcSolver::default_ladder(),
+        };
+        RobustDcSolver::from_stages(stages)
+            .with_budget(self.budget)
+            .solve_with(work, tele)
     }
 
     /// Runs fallible jobs on the pool, mapping pool-level panics to

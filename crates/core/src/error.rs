@@ -92,6 +92,14 @@ pub enum SolveError {
         /// The panic payload (when it was a string) or a placeholder.
         detail: String,
     },
+    /// The solver reported convergence but the independent certification
+    /// check (see [`crate::certify`]) rejected the operating point: the
+    /// re-evaluated KCL residual was too large even after iterative
+    /// refinement and equilibrated refactorization.
+    CertificationFailed {
+        /// Infinity norm of the independently re-evaluated residual.
+        residual_norm: f64,
+    },
 }
 
 impl fmt::Display for SolveError {
@@ -121,6 +129,12 @@ impl fmt::Display for SolveError {
             }
             SolveError::WorkerPanic { detail } => {
                 write!(f, "solver worker panicked: {detail}")
+            }
+            SolveError::CertificationFailed { residual_norm } => {
+                write!(
+                    f,
+                    "solution failed certification (re-evaluated residual {residual_norm:.3e})"
+                )
             }
         }
     }
@@ -219,6 +233,17 @@ mod tests {
         // `source` is the *last* (deepest-escalation) attempt's error.
         let src = Error::source(&e).expect("has source");
         assert_eq!(src.to_string(), inner.to_string());
+    }
+
+    #[test]
+    fn certification_failed_display_reports_residual() {
+        let e = SolveError::CertificationFailed {
+            residual_norm: 0.125,
+        };
+        let s = e.to_string();
+        assert!(s.contains("failed certification"), "{s}");
+        assert!(s.contains("1.250e-1"), "{s}");
+        assert!(Error::source(&e).is_none());
     }
 
     #[test]

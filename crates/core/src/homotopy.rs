@@ -175,6 +175,7 @@ impl NewtonHomotopy {
         Ok(Solution {
             x,
             stats: fold.snapshot(),
+            health: None,
         })
     }
 }

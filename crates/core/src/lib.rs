@@ -58,11 +58,13 @@
 // Panics are unacceptable in the solver hot path: every failure must come
 // back as a structured `SolveError`. Test code is exempt.
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
+#![cfg_attr(not(test), deny(clippy::panic))]
 // All profiling goes through the telemetry timing layer; stray `dbg!`
 // prints would corrupt the deterministic streams CI diffs.
 #![warn(clippy::dbg_macro)]
 
 mod ac;
+pub mod certify;
 pub mod config;
 mod continuation;
 mod engine;
@@ -82,6 +84,7 @@ mod trace;
 mod transient;
 
 pub use ac::{AcPoint, AcStimulus, AcSweep};
+pub use certify::{certify, HealthGrade, HealthReport};
 pub use config::EngineConfig;
 pub use continuation::{GminStepping, SourceStepping};
 pub use engine::{DcEngine, DcEngineBuilder, Stepping, Strategy};
@@ -97,7 +100,7 @@ pub use report::op_report;
 pub use rl_stepping::{RlStepping, RlSteppingConfig};
 pub use solution::{Solution, SolveStats};
 pub use stepping::{SerStepping, SimpleStepping, StepController, StepObservation};
-pub use sweep::{DcSweep, SweepPoint, SweepReport};
+pub use sweep::{DcSweep, QuarantinedPoint, SweepPoint, SweepReport};
 pub use telemetry::{
     Collector, CounterSink, DerivedRates, Event, FanoutSink, Histogram, HistogramSummary,
     JsonlSink, MetricsRegistry, NullSink, Payload, Phase, Sink, Span,

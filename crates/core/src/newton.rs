@@ -438,7 +438,11 @@ impl NewtonRaphson {
         // The returned counters are the fold of the events just emitted.
         let stats = fold.snapshot();
         if out.converged {
-            Ok(Solution { x: out.x, stats })
+            Ok(Solution {
+                x: out.x,
+                stats,
+                health: None,
+            })
         } else {
             Err(SolveError::NonConvergent { stats })
         }

@@ -475,6 +475,7 @@ impl<C: StepController> PtaSolver<C> {
                     return Ok(Solution {
                         x: x_time,
                         stats: fold.snapshot(),
+                        health: None,
                     });
                 }
                 h = h_next.clamp(self.config.h_min, self.config.h_max);

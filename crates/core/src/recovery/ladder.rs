@@ -8,6 +8,7 @@
 //! configurable object with a global [`SolveBudget`] and a machine-readable
 //! failure trail ([`AttemptReport`]).
 
+use crate::certify::{certify_into, HealthGrade};
 use crate::continuation::{GminStepping, SourceStepping};
 use crate::error::{SolveError, SolvePhase};
 use crate::homotopy::NewtonHomotopy;
@@ -222,6 +223,31 @@ impl RobustDcSolver {
             let elapsed = t0.elapsed();
             match result {
                 Ok(mut sol) => {
+                    // Independent certification gate: a stage claiming
+                    // convergence is demoted like any other failure when the
+                    // re-evaluated residual rejects the point (after the
+                    // refinement rescue inside `certify_into`).
+                    if certify_into(circuit, &mut sol, &tele) == HealthGrade::Rejected {
+                        let stats = stage_fold.snapshot();
+                        let e = match &sol.health {
+                            Some(report) => crate::certify::rejection_error(report),
+                            None => SolveError::CertificationFailed {
+                                residual_norm: f64::INFINITY,
+                            },
+                        };
+                        tele.emit(Payload::LadderAttempt {
+                            strategy: stage.name().to_string(),
+                            error: e.to_string(),
+                            stats,
+                        });
+                        attempts.push(AttemptReport {
+                            strategy: stage.name(),
+                            error: Box::new(e),
+                            stats,
+                            elapsed,
+                        });
+                        continue;
+                    }
                     sol.stats = total_fold.snapshot();
                     return Ok(sol);
                 }
@@ -293,7 +319,14 @@ fn run_stage(
                     });
                     let stats = fold.snapshot();
                     if out.converged {
-                        (Ok(Solution { x: out.x, stats }), None)
+                        (
+                            Ok(Solution {
+                                x: out.x,
+                                stats,
+                                health: None,
+                            }),
+                            None,
+                        )
                     } else {
                         let carry = out.x.iter().all(|v| v.is_finite()).then_some(out.x);
                         (Err(SolveError::NonConvergent { stats }), carry)

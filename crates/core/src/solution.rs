@@ -64,6 +64,11 @@ pub struct Solution {
     pub x: Vec<f64>,
     /// Run statistics.
     pub stats: SolveStats,
+    /// Independent certification of the operating point. Populated by the
+    /// [`DcEngine`](crate::DcEngine) on every returned solution; `None` only
+    /// when a raw strategy ([`crate::NewtonRaphson`], [`crate::PtaSolver`])
+    /// is driven directly without the engine or ladder on top.
+    pub health: Option<crate::HealthReport>,
 }
 
 impl Solution {
@@ -120,6 +125,7 @@ mod tests {
         let s = Solution {
             x: vec![4.0, 2.0, -2e-3],
             stats: SolveStats::default(),
+            health: None,
         };
         assert_eq!(s.voltage(&c, "out"), Some(2.0));
         assert_eq!(s.voltage(&c, "nope"), None);
@@ -131,6 +137,7 @@ mod tests {
         let s = Solution {
             x: vec![4.0, 2.0, -2e-3],
             stats: SolveStats::default(),
+            health: None,
         };
         assert_eq!(s.branch_current(&c, "V1"), Some(-2e-3));
         assert_eq!(s.branch_current(&c, "v1"), Some(-2e-3), "case-insensitive");
@@ -144,11 +151,13 @@ mod tests {
         let s = Solution {
             x: vec![4.0, 2.0, -2e-3],
             stats: SolveStats::default(),
+            health: None,
         };
         assert!(s.residual_norm(&c) < 1e-12);
         let bad = Solution {
             x: vec![4.0, 3.0, -2e-3],
             stats: SolveStats::default(),
+            health: None,
         };
         assert!(bad.residual_norm(&c) > 1e-4);
     }

@@ -20,16 +20,34 @@ pub struct SweepPoint {
     pub solution: Solution,
 }
 
+/// A sweep point that failed every solve attempt (including retries) and
+/// was excluded from [`SweepReport::points`]: the sweep degrades to
+/// structured partial output instead of aborting on the first bad point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuarantinedPoint {
+    /// Global index of the point along the sweep value list.
+    pub index: usize,
+    /// Swept source value at the point.
+    pub value: f64,
+    /// Stringified terminal [`SolveError`].
+    pub error: String,
+    /// Solve attempts consumed (1 + retries).
+    pub attempts: u32,
+}
+
 /// Everything a finished sweep produced: the per-point solutions plus the
 /// aggregate solver statistics (total Newton iterations, LU
 /// factorizations, …) across all points.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepReport {
-    /// One entry per sweep value, in sweep order.
+    /// One entry per *surviving* sweep value, in sweep order.
     pub points: Vec<SweepPoint>,
-    /// Work summed over every point; `converged` is true only when every
-    /// point converged.
+    /// Work summed over every surviving point; `converged` is true only
+    /// when every point converged and nothing was quarantined.
     pub stats: SolveStats,
+    /// Points that failed every attempt, in sweep order. Empty on a fully
+    /// healthy sweep.
+    pub quarantined: Vec<QuarantinedPoint>,
 }
 
 /// DC sweep of one independent source (`.dc` in SPICE decks).
@@ -123,9 +141,10 @@ impl DcSweep {
     ///
     /// # Errors
     ///
-    /// * [`SolveError::InvalidConfig`] if the source does not exist,
-    /// * [`SolveError::AllStrategiesFailed`] if a point defeats every rung
-    ///   of the fallback ladder.
+    /// [`SolveError::InvalidConfig`] if the source does not exist. A point
+    /// that defeats every rung of the fallback ladder does *not* abort the
+    /// sweep — it lands in [`SweepReport::quarantined`] and the remaining
+    /// points are still solved.
     pub fn run(&self, circuit: &Circuit) -> Result<SweepReport, SolveError> {
         crate::DcEngine::builder().build().sweep(circuit, self)
     }

@@ -198,6 +198,38 @@ pub enum Payload {
         /// Whether the run reached the operating point.
         converged: bool,
     },
+    /// A returned solution was independently certified (see
+    /// [`crate::certify`]). Emitted once per certified solve with the final
+    /// grade after any refinement rescue.
+    Certified {
+        /// Grade name: `"certified"`, `"suspect"` or `"rejected"`.
+        grade: String,
+        /// Independently re-evaluated residual infinity norm.
+        residual: f64,
+        /// Hager 1-norm condition estimate of the Jacobian at the solution.
+        cond: f64,
+        /// Pivot growth of the certification factorization.
+        growth: f64,
+    },
+    /// One iterative-refinement correction step of the certification rescue
+    /// path.
+    RefinementStep {
+        /// 1-based rescue step index.
+        step: usize,
+        /// Residual infinity norm after the step.
+        residual: f64,
+    },
+    /// A batch job or sweep point exhausted its retries and was quarantined:
+    /// the batch/sweep continues and reports the failure as structured
+    /// partial output instead of aborting.
+    Quarantined {
+        /// Job index (batch) or global point index (sweep).
+        index: usize,
+        /// Swept source value, or `0.0` for batch jobs.
+        value: f64,
+        /// Stringified terminal error.
+        error: String,
+    },
     /// Out-of-band wall-clock timing for one scoped phase (see
     /// [`timing`]). Durations are scheduler- and load-dependent, so every
     /// determinism comparison filters these events out (use
@@ -226,6 +258,9 @@ impl Payload {
             Payload::SweepPoint { .. } => "SweepPoint",
             Payload::BatchJob { .. } => "BatchJob",
             Payload::SolveDone { .. } => "SolveDone",
+            Payload::Certified { .. } => "Certified",
+            Payload::RefinementStep { .. } => "RefinementStep",
+            Payload::Quarantined { .. } => "Quarantined",
             Payload::PhaseTiming { .. } => "PhaseTiming",
         }
     }
@@ -695,6 +730,30 @@ impl Event {
             Payload::SolveDone { converged } => {
                 push_field_bool(&mut s, "converged", *converged);
             }
+            Payload::Certified {
+                grade,
+                residual,
+                cond,
+                growth,
+            } => {
+                push_field_str(&mut s, "grade", grade);
+                push_field_f64(&mut s, "residual", *residual);
+                push_field_f64(&mut s, "cond", *cond);
+                push_field_f64(&mut s, "growth", *growth);
+            }
+            Payload::RefinementStep { step, residual } => {
+                push_field_usize(&mut s, "step", *step);
+                push_field_f64(&mut s, "residual", *residual);
+            }
+            Payload::Quarantined {
+                index,
+                value,
+                error,
+            } => {
+                push_field_usize(&mut s, "index", *index);
+                push_field_f64(&mut s, "value", *value);
+                push_field_str(&mut s, "error", error);
+            }
             Payload::PhaseTiming { phase, nanos } => {
                 push_field_str(&mut s, "phase", phase.name());
                 let _ = write!(s, ",\"nanos\":{nanos}");
@@ -781,6 +840,21 @@ impl Event {
             },
             "SolveDone" => Payload::SolveDone {
                 converged: fields.bool_field("converged")?,
+            },
+            "Certified" => Payload::Certified {
+                grade: fields.str_field("grade")?,
+                residual: fields.f64_field("residual")?,
+                cond: fields.f64_field("cond")?,
+                growth: fields.f64_field("growth")?,
+            },
+            "RefinementStep" => Payload::RefinementStep {
+                step: fields.usize_field("step")?,
+                residual: fields.f64_field("residual")?,
+            },
+            "Quarantined" => Payload::Quarantined {
+                index: fields.usize_field("index")?,
+                value: fields.f64_field("value")?,
+                error: fields.str_field("error")?,
             },
             "PhaseTiming" => {
                 let name = fields.str_field("phase")?;
@@ -1360,6 +1434,21 @@ mod tests {
             },
             Payload::BatchJob { job: 1, of: 4 },
             Payload::SolveDone { converged: true },
+            Payload::Certified {
+                grade: "suspect".to_string(),
+                residual: 2.5e-8,
+                cond: 1.0e13,
+                growth: 4.0,
+            },
+            Payload::RefinementStep {
+                step: 2,
+                residual: 1.0e-11,
+            },
+            Payload::Quarantined {
+                index: 7,
+                value: -1.5,
+                error: "solve budget exhausted during newton iteration".to_string(),
+            },
             Payload::PhaseTiming {
                 phase: Phase::LuReplay,
                 nanos: 123_456_789,

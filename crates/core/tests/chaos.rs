@@ -10,9 +10,11 @@
 //!
 //! Requires `--features faults`.
 
+use proptest::prelude::*;
 use rlpta_core::{
-    DcEngine, FaultPlan, GminStepping, LadderStage, NewtonConfig, NewtonHomotopy, PtaConfig,
-    RobustDcSolver, SolveBudget, SolveError, SourceStepping,
+    certify, DcEngine, DcSweep, FaultPlan, GminStepping, HealthGrade, LadderStage, NewtonConfig,
+    NewtonHomotopy, PtaConfig, RobustDcSolver, SolveBudget, SolveError, SourceStepping,
+    SweepReport,
 };
 use rlpta_mna::Circuit;
 use std::time::Duration;
@@ -110,7 +112,10 @@ fn constant_faults_produce_full_attempt_trails() {
                 let result = solver.solve(circuit);
                 FaultPlan::clear();
                 runs += 1;
-                let ctx = format!("fault={fault_name} circuit={circ_name} seed={seed}");
+                // Every failure message carries the full reproducing plan
+                // (seed included), so a red run is one command away.
+                let ctx =
+                    format!("fault={fault_name} circuit={circ_name} seed={seed} repro={plan:?}");
                 match result {
                     Err(SolveError::AllStrategiesFailed { attempts }) => {
                         assert_eq!(attempts.len(), STAGE_NAMES.len(), "{ctx}");
@@ -160,7 +165,9 @@ fn intermittent_faults_never_panic_or_hang() {
                 let result = solver.solve(circuit);
                 FaultPlan::clear();
                 runs += 1;
-                let ctx = format!("circuit={circ_name} seed={seed} period={period}");
+                let ctx = format!(
+                    "circuit={circ_name} seed={seed} period={period} repro={plan:?}"
+                );
                 match result {
                     Ok(sol) => {
                         assert!(
@@ -168,11 +175,25 @@ fn intermittent_faults_never_panic_or_hang() {
                             "{ctx}: poison leaked into a returned solution"
                         );
                         assert!(sol.stats.converged, "{ctx}");
+                        // Every engine-returned solution carries a health
+                        // report, and a fault-corrupted point is never
+                        // silently certified: a surviving `Rejected` grade
+                        // is demoted inside the ladder, so what comes back
+                        // is at worst `Suspect`.
+                        let health = sol.health.as_ref().unwrap_or_else(|| {
+                            panic!("{ctx}: returned solution without a health report")
+                        });
+                        assert_ne!(
+                            health.grade,
+                            HealthGrade::Rejected,
+                            "{ctx}: rejected solution returned ({health:?})"
+                        );
                     }
                     Err(
                         SolveError::AllStrategiesFailed { .. }
                         | SolveError::BudgetExhausted { .. }
-                        | SolveError::NonConvergent { .. },
+                        | SolveError::NonConvergent { .. }
+                        | SolveError::CertificationFailed { .. },
                     ) => {}
                     Err(other) => panic!("{ctx}: unstructured failure {other:?}"),
                 }
@@ -189,14 +210,23 @@ fn cleared_plan_restores_clean_behavior() {
     let c = rlpta_circuits::by_name("D10").expect("known benchmark").circuit;
     let solver = RobustDcSolver::default();
 
-    FaultPlan::seeded(7).singular_pivots(1).install();
+    let plan = FaultPlan::seeded(7).singular_pivots(1);
+    plan.install();
     let poisoned = solver.solve(&c);
     FaultPlan::clear();
-    assert!(poisoned.is_err(), "constant singular pivots must fail");
+    assert!(
+        poisoned.is_err(),
+        "constant singular pivots must fail (repro={plan:?})"
+    );
 
-    let clean = solver.solve(&c).expect("clean solve after clear()");
-    assert!(clean.stats.converged);
-    assert!(clean.x.iter().all(|v| v.is_finite()));
+    let clean = solver
+        .solve(&c)
+        .unwrap_or_else(|e| panic!("clean solve after clear() of repro={plan:?}: {e}"));
+    assert!(clean.stats.converged, "repro={plan:?}");
+    assert!(
+        clean.x.iter().all(|v| v.is_finite()),
+        "repro={plan:?}"
+    );
 }
 
 /// Fault injection inside *pooled* workers: [`FaultPlan`] state is
@@ -207,23 +237,26 @@ fn cleared_plan_restores_clean_behavior() {
 #[test]
 fn pooled_workers_surface_faults_as_structured_errors() {
     let circuits: Vec<Circuit> = chaos_circuits().into_iter().map(|(_, c)| c).collect();
+    let plan = FaultPlan::seeded(11).singular_pivots(1);
     let faulted = DcEngine::builder()
         .ladder(tiny_stages())
         .budget(SolveBudget::with_deadline(Duration::from_secs(30)))
         .threads(3)
-        .fault_plan(FaultPlan::seeded(11).singular_pivots(1))
+        .fault_plan(plan)
         .build();
     let results = faulted.solve_batch(&circuits);
     assert_eq!(results.len(), circuits.len(), "one result slot per job");
     for (i, result) in results.iter().enumerate() {
         match result {
             Err(SolveError::AllStrategiesFailed { attempts }) => {
-                assert_eq!(attempts.len(), STAGE_NAMES.len(), "job {i}");
+                assert_eq!(attempts.len(), STAGE_NAMES.len(), "job {i} repro={plan:?}");
                 for (attempt, expected) in attempts.iter().zip(STAGE_NAMES) {
-                    assert_eq!(attempt.strategy, expected, "job {i}");
+                    assert_eq!(attempt.strategy, expected, "job {i} repro={plan:?}");
                 }
             }
-            other => panic!("job {i}: expected AllStrategiesFailed, got {other:?}"),
+            other => {
+                panic!("job {i} repro={plan:?}: expected AllStrategiesFailed, got {other:?}")
+            }
         }
     }
     // Same engine shape minus the plan: the pool must be fully usable and
@@ -238,5 +271,216 @@ fn pooled_workers_surface_faults_as_structured_errors() {
         let sol = result.unwrap_or_else(|e| panic!("clean job {i} failed: {e}"));
         assert!(sol.stats.converged, "job {i}");
         assert!(sol.x.iter().all(|v| v.is_finite()), "job {i}");
+    }
+}
+
+// --- property tests: certification & quarantine under injected corruption --
+
+/// A stiff 100 Ω divider: the exact operating point is trivial, and any
+/// state perturbation of ≥ 0.25 (volts or amps) drives the KCL residual at
+/// least 2.5 mA past the certifier's rejection threshold.
+fn stiff_divider() -> Circuit {
+    rlpta_netlist::parse("div\nV1 in 0 2\nR1 in out 100\nR2 out 0 100\n").expect("valid netlist")
+}
+
+/// Diode transfer circuit + 9-point sweep used by the quarantine proptest.
+fn sweep_fixture() -> (Circuit, DcSweep) {
+    let c = rlpta_netlist::parse("t\nV1 in 0 0\nR1 in a 100\nD1 a 0 DX\n.model DX D(IS=1e-14)\n")
+        .expect("valid netlist");
+    let sweep = DcSweep::linear("V1", 0.0, 2.0, 0.25).expect("valid sweep spec");
+    (c, sweep)
+}
+
+/// Clean (fault-free) serial reference sweep, computed once.
+fn clean_sweep_reference() -> &'static SweepReport {
+    static CLEAN: std::sync::OnceLock<SweepReport> = std::sync::OnceLock::new();
+    CLEAN.get_or_init(|| {
+        let (c, sweep) = sweep_fixture();
+        let report = DcEngine::builder()
+            .ladder(tiny_stages())
+            .sweep_chunk(3)
+            .build()
+            .sweep(&c, &sweep)
+            .expect("clean sweep");
+        assert!(report.quarantined.is_empty(), "reference sweep is healthy");
+        report
+    })
+}
+
+proptest! {
+    /// A converged point plus an injected state perturbation can never
+    /// grade `Certified`: the independently re-evaluated residual must
+    /// push the certificate to `Rejected`.
+    #[test]
+    fn certify_rejects_injected_residual_perturbations(
+        node in 0usize..8,
+        bump in 0.25f64..4.0,
+    ) {
+        let c = stiff_divider();
+        let sol = DcEngine::builder().build().solve(&c).expect("clean divider solves");
+        prop_assert!(
+            sol.health.as_ref().map(|h| h.grade) == Some(HealthGrade::Certified),
+            "clean solve must certify: {:?}", sol.health
+        );
+
+        let mut x = sol.x.clone();
+        let idx = node % x.len();
+        x[idx] += bump;
+        let report = certify(&c, &x);
+        prop_assert!(
+            report.grade == HealthGrade::Rejected,
+            "perturbing x[{idx}] by {bump} must reject, got {report:?}"
+        );
+        prop_assert!(report.residual_norm > 1e-3, "residual {report:?}");
+    }
+
+    /// NaN-stamped assembly can never certify: with a period-1 NaN stamp
+    /// armed, the certifier's own re-assembly is poisoned. The stamp hook
+    /// corrupts Jacobian conductances (not the residual vector), so the
+    /// poison surfaces as a non-finite condition/pivot-growth estimate and
+    /// the grade is demoted from `Certified`.
+    #[test]
+    fn certify_rejects_nan_stamped_assembly(seed in 0u64..1024) {
+        let c = stiff_divider();
+        let sol = DcEngine::builder().build().solve(&c).expect("clean divider solves");
+        let plan = FaultPlan::seeded(seed).nan_stamps(1);
+        plan.install();
+        let report = certify(&c, &sol.x);
+        FaultPlan::clear();
+        prop_assert!(
+            report.grade != HealthGrade::Certified,
+            "NaN-stamped certification must not certify (repro={plan:?}), got {report:?}"
+        );
+        prop_assert!(
+            report.cond_estimate.is_infinite() || report.pivot_growth.is_infinite()
+                || !report.residual_norm.is_finite(),
+            "poison left no trace in the report (repro={plan:?}): {report:?}"
+        );
+    }
+
+    /// A `Certified` grade stays trustworthy when the solve itself ran
+    /// under intermittent fault injection: re-evaluating the residual on a
+    /// clean thread afterwards must agree with the certificate, and no
+    /// `Rejected` solution may escape the engine.
+    #[test]
+    fn certified_grade_implies_small_residual_under_faults(
+        seed in 0u64..1024,
+        period in 2u64..8,
+    ) {
+        let c = rlpta_circuits::by_name("D10").expect("known benchmark").circuit;
+        let plan = FaultPlan::seeded(seed).nan_stamps(period);
+        let engine = DcEngine::builder()
+            .ladder(tiny_stages())
+            .budget(SolveBudget::with_deadline(Duration::from_secs(30)))
+            .fault_plan(plan)
+            .build();
+        if let Ok(sol) = engine.solve(&c) {
+            let health = sol.health.as_ref();
+            prop_assert!(health.is_some(), "no health report (repro={plan:?})");
+            let health = health.expect("checked above");
+            prop_assert!(
+                health.grade != HealthGrade::Rejected,
+                "rejected solution escaped (repro={plan:?}): {health:?}"
+            );
+            if health.grade == HealthGrade::Certified {
+                let resid = sol.residual_norm(&c);
+                prop_assert!(
+                    resid <= rlpta_core::certify::RESIDUAL_CERTIFIED,
+                    "certified but clean residual is {resid:.3e} (repro={plan:?})"
+                );
+            }
+        }
+    }
+
+    /// Quarantined sweeps degrade gracefully *and* deterministically: under
+    /// an intermittent fault plan the pooled report is bit-identical to the
+    /// serial one, quarantined + surviving indices partition the value list
+    /// in order, and surviving points match the clean serial reference.
+    #[test]
+    fn quarantined_sweep_returns_ordered_partial_results(
+        seed in 0u64..256,
+        period in 2u64..6,
+    ) {
+        let (c, sweep) = sweep_fixture();
+        let plan = FaultPlan::seeded(seed).singular_pivots(period);
+        let run = |threads: usize| {
+            DcEngine::builder()
+                .ladder(tiny_stages())
+                .budget(SolveBudget::with_deadline(Duration::from_secs(30)))
+                .threads(threads)
+                .sweep_chunk(3)
+                .retries(1)
+                .fault_plan(plan)
+                .build()
+                .sweep(&c, &sweep)
+                .expect("sweep only errors on bad config")
+        };
+        let serial = run(1);
+        let pooled = run(3);
+        prop_assert!(
+            serial == pooled,
+            "faulted sweep not thread-invariant (repro={plan:?})"
+        );
+
+        let values = sweep.values();
+        prop_assert!(
+            serial.points.len() + serial.quarantined.len() == values.len(),
+            "{} survivors + {} quarantined != {} values (repro={plan:?})",
+            serial.points.len(), serial.quarantined.len(), values.len()
+        );
+
+        // Quarantine entries are ordered, value-consistent and record at
+        // least one attempt (the engine ran with one retry).
+        let mut prev = None;
+        for q in &serial.quarantined {
+            prop_assert!(
+                prev.is_none_or(|p| q.index > p),
+                "quarantine out of order at {q:?} (repro={plan:?})"
+            );
+            prop_assert!(q.index < values.len(), "repro={plan:?}: {q:?}");
+            prop_assert!(q.value == values[q.index], "repro={plan:?}: {q:?}");
+            prop_assert!(q.attempts >= 1, "repro={plan:?}: {q:?}");
+            prop_assert!(!q.error.is_empty(), "repro={plan:?}: {q:?}");
+            prev = Some(q.index);
+        }
+
+        // Surviving points are exactly the value list minus the quarantined
+        // indices, in sweep order — equal to what a serial run keeps.
+        let dropped: std::collections::BTreeSet<usize> =
+            serial.quarantined.iter().map(|q| q.index).collect();
+        let expected: Vec<f64> = values
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !dropped.contains(i))
+            .map(|(_, v)| *v)
+            .collect();
+        let got: Vec<f64> = serial.points.iter().map(|p| p.value).collect();
+        prop_assert!(got == expected, "survivor order (repro={plan:?}): {got:?} != {expected:?}");
+
+        // Each survivor lands on the same operating point as the clean
+        // fault-free reference. Converged Newton leaves at most ~1e-6 A of
+        // residual against ≥ 10 mS of node conductance, so 1e-3 V bounds
+        // the spread between two legitimate converged answers.
+        let clean = clean_sweep_reference();
+        let mut survivors = serial.points.iter();
+        for (i, clean_point) in clean.points.iter().enumerate() {
+            if dropped.contains(&i) {
+                continue;
+            }
+            let p = survivors.next().expect("survivor count checked above");
+            prop_assert!(p.solution.stats.converged, "point {i} (repro={plan:?})");
+            let health = p.solution.health.as_ref();
+            prop_assert!(health.is_some(), "point {i} lacks health (repro={plan:?})");
+            prop_assert!(
+                health.expect("checked above").grade != HealthGrade::Rejected,
+                "point {i} rejected (repro={plan:?})"
+            );
+            for (a, b) in p.solution.x.iter().zip(&clean_point.solution.x) {
+                prop_assert!(
+                    (a - b).abs() < 1e-3,
+                    "point {i} diverged from clean reference (repro={plan:?})"
+                );
+            }
+        }
     }
 }

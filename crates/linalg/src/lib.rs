@@ -39,6 +39,7 @@
 // must surface as a `LinalgError`. Test code is exempt (it compiles with
 // `cfg(test)` and asserts freely).
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
+#![cfg_attr(not(test), deny(clippy::panic))]
 
 mod dense;
 mod error;
@@ -54,5 +55,5 @@ pub use dense::{Cholesky, DenseLu, DenseMatrix};
 pub use error::LinalgError;
 pub use ordering::ColumnOrdering;
 pub use sparse::{CsrMatrix, Triplet};
-pub use sparse_lu::SparseLu;
+pub use sparse_lu::{Refinement, SparseLu};
 pub use symbolic::{LuOp, LuStats, LuWorkspace, SymbolicLu};

@@ -15,9 +15,15 @@
 //! actually performed (the Gilbert–Peierls bound), which is what makes
 //! repeated Newton solves on large sparse circuit matrices cheap.
 
-use crate::{ColumnOrdering, CsrMatrix, LinalgError};
+use crate::{ColumnOrdering, CsrMatrix, LinalgError, Triplet};
 
 const EMPTY: usize = usize::MAX;
+
+/// Largest absolute value in `vals`; NaN entries are ignored (`f64::max`
+/// keeps the running maximum when the candidate is NaN).
+fn max_abs(vals: &[f64]) -> f64 {
+    vals.iter().fold(0.0f64, |m, &v| m.max(v.abs()))
+}
 
 /// Sparse LU factorization `P·A·Q = L·U` of a square [`CsrMatrix`].
 ///
@@ -57,6 +63,29 @@ pub struct SparseLu {
     pub(crate) p: Vec<usize>,
     /// Column permutation: column `q[j]` of `A` eliminated at step `j`.
     pub(crate) q: Vec<usize>,
+    /// Largest absolute entry of the matrix that was factorized (after
+    /// equilibration, when active). Denominator of [`SparseLu::pivot_growth`].
+    pub(crate) max_abs_a: f64,
+    /// Row equilibration scales `R` when the factorization was computed on
+    /// `R·A·C` instead of `A`; [`SparseLu::solve`] applies them transparently.
+    pub(crate) row_scale: Option<Vec<f64>>,
+    /// Column equilibration scales `C`.
+    pub(crate) col_scale: Option<Vec<f64>>,
+}
+
+/// Outcome of iterated refinement ([`SparseLu::solve_refined_capped`]): the
+/// refined solution together with the achieved backward residual, so callers
+/// (the certification layer in `rlpta-core`) can grade numerical health
+/// without recomputing it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Refinement {
+    /// The refined solution.
+    pub x: Vec<f64>,
+    /// Infinity norm of `b - A·x` at the returned solution.
+    pub residual: f64,
+    /// Refinement steps actually applied (0 when the plain solve already sat
+    /// at the plateau).
+    pub steps: usize,
 }
 
 impl SparseLu {
@@ -64,6 +93,15 @@ impl SparseLu {
     /// accepted whenever `|a_jj| >= PIVOT_THRESHOLD * max_i |a_ij|`; this is
     /// the classic SPICE compromise between stability and sparsity.
     pub const PIVOT_THRESHOLD: f64 = 0.1;
+
+    /// Pivot-growth factor above which [`SparseLu::factorize_conditioned`]
+    /// redoes the factorization with row/column equilibration. Growth this
+    /// large means threshold pivoting amplified entries by enough decades to
+    /// eat most of a double's mantissa.
+    pub const EQUILIBRATION_GROWTH_THRESHOLD: f64 = 1e8;
+
+    /// Default refinement-step cap used by [`SparseLu::solve_refined`].
+    pub const DEFAULT_REFINEMENT_CAP: usize = 8;
 
     /// Factorizes `a` with the default column ordering
     /// ([`ColumnOrdering::AscendingCount`]).
@@ -113,6 +151,9 @@ impl SparseLu {
             u_diag: vec![0.0; n],
             p: vec![EMPTY; n],
             q,
+            max_abs_a: max_abs(a.values()),
+            row_scale: None,
+            col_scale: None,
         };
         lu.l_ptr.push(0);
         lu.u_ptr.push(0);
@@ -257,6 +298,113 @@ impl SparseLu {
         Ok(lu)
     }
 
+    /// Factorizes `a` after row/column equilibration: the factorization runs
+    /// on `R·A·C` where `R` scales every row and `C` every column to unit
+    /// infinity norm, and [`SparseLu::solve`] /
+    /// [`SparseLu::solve_transposed`] undo the scaling transparently — the
+    /// returned factorization still solves the *original* system.
+    ///
+    /// Equilibration tames pivot growth on badly scaled Jacobians (PTA
+    /// pseudo-elements spread entries across many decades) at the cost of an
+    /// extra `O(nnz)` pass and a scaled copy of the matrix.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SparseLu::factorize`].
+    pub fn factorize_equilibrated(a: &CsrMatrix) -> Result<Self, LinalgError> {
+        Self::factorize_equilibrated_with(a, ColumnOrdering::default())
+    }
+
+    /// [`SparseLu::factorize_equilibrated`] with an explicit column ordering.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SparseLu::factorize`].
+    pub fn factorize_equilibrated_with(
+        a: &CsrMatrix,
+        ordering: ColumnOrdering,
+    ) -> Result<Self, LinalgError> {
+        if a.rows() != a.cols() {
+            return Err(LinalgError::DimensionMismatch {
+                found: format!("{}x{}", a.rows(), a.cols()),
+                expected: "square matrix".into(),
+            });
+        }
+        let n = a.rows();
+        // R: unit infinity norm per row.
+        let mut row_scale = vec![1.0f64; n];
+        for (r, scale) in row_scale.iter_mut().enumerate() {
+            let (_, vals) = a.row(r);
+            let m = max_abs(vals);
+            if m.is_finite() && m > 0.0 {
+                *scale = 1.0 / m;
+            }
+        }
+        // C: unit infinity norm per column of R·A.
+        let mut col_max = vec![0.0f64; n];
+        for (r, c, v) in a.iter() {
+            col_max[c] = col_max[c].max((row_scale[r] * v).abs());
+        }
+        let col_scale: Vec<f64> = col_max
+            .iter()
+            .map(|&m| if m.is_finite() && m > 0.0 { 1.0 / m } else { 1.0 })
+            .collect();
+        // Scaled copy; Triplet keeps exact zeros structural, so the scaled
+        // matrix has the same pattern as `a`.
+        let mut t = Triplet::with_capacity(n, n, a.nnz());
+        for (r, c, v) in a.iter() {
+            t.push(r, c, row_scale[r] * v * col_scale[c]);
+        }
+        let mut lu = Self::factorize_with(&t.to_csr(), ordering)?;
+        lu.row_scale = Some(row_scale);
+        lu.col_scale = Some(col_scale);
+        Ok(lu)
+    }
+
+    /// Factorizes `a`, automatically redoing the factorization with
+    /// row/column equilibration when the plain factorization's
+    /// [`SparseLu::pivot_growth`] crosses
+    /// [`SparseLu::EQUILIBRATION_GROWTH_THRESHOLD`] — the "conditioning
+    /// crossed a threshold" trigger of the certification layer.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SparseLu::factorize`]. If the plain factorization succeeds
+    /// but the equilibrated retry fails, the plain factorization is returned
+    /// (equilibration is an accuracy upgrade, not a correctness gate).
+    pub fn factorize_conditioned(a: &CsrMatrix) -> Result<Self, LinalgError> {
+        let lu = Self::factorize(a)?;
+        if lu.pivot_growth() > Self::EQUILIBRATION_GROWTH_THRESHOLD {
+            if let Ok(eq) = Self::factorize_equilibrated(a) {
+                return Ok(eq);
+            }
+        }
+        Ok(lu)
+    }
+
+    /// Pivot-growth factor `max|U| / max|A|` of this factorization (both
+    /// maxima over the matrix actually factorized, i.e. after equilibration
+    /// when active). Growth near 1 means the elimination never amplified
+    /// entries; each decade of growth costs roughly a decade of attainable
+    /// accuracy. Returns infinity when `U` grew out of a zero matrix and 1
+    /// for an empty system.
+    pub fn pivot_growth(&self) -> f64 {
+        let max_u = max_abs(&self.u_vals).max(max_abs(&self.u_diag));
+        if self.max_abs_a > 0.0 {
+            (max_u / self.max_abs_a).max(1.0)
+        } else if max_u > 0.0 {
+            f64::INFINITY
+        } else {
+            1.0
+        }
+    }
+
+    /// Whether this factorization was computed on an equilibrated
+    /// (row/column scaled) copy of the matrix.
+    pub fn is_equilibrated(&self) -> bool {
+        self.row_scale.is_some()
+    }
+
     /// Dimension of the factorized system.
     pub fn dim(&self) -> usize {
         self.n
@@ -280,8 +428,15 @@ impl SparseLu {
                 expected: format!("length {}", self.n),
             });
         }
-        // work[orig_row] starts as b and is progressively eliminated.
+        // work[orig_row] starts as b and is progressively eliminated. Under
+        // equilibration the factorization holds R·A·C, so solve
+        // (R·A·C)·z = R·b and return x = C·z.
         let mut work = b.to_vec();
+        if let Some(r) = &self.row_scale {
+            for (wi, ri) in work.iter_mut().zip(r) {
+                *wi *= ri;
+            }
+        }
         let mut y = vec![0.0; self.n];
         // Forward: L y = P b (unit diagonal).
         for j in 0..self.n {
@@ -308,18 +463,183 @@ impl SparseLu {
         for j in 0..self.n {
             x[self.q[j]] = y[j];
         }
+        if let Some(c) = &self.col_scale {
+            for (xi, ci) in x.iter_mut().zip(c) {
+                *xi *= ci;
+            }
+        }
         Ok(x)
     }
 
-    /// Solves `A x = b` and applies one step of iterative refinement, which
-    /// recovers accuracy lost to threshold pivoting on ill-conditioned PTA
-    /// Jacobians.
+    /// Solves `Aᵀ x = b` on the existing factorization — no transpose is
+    /// formed. With `P·A·Q = L·U` this is `Uᵀ y = Qᵀ b` (forward, since `Uᵀ`
+    /// is lower triangular), `Lᵀ w = y` (backward, unit diagonal), then
+    /// `x = Pᵀ w`. The certification layer's Hager condition estimator needs
+    /// exactly this `A⁻ᵀ` action.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != self.dim()`.
+    pub fn solve_transposed(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if b.len() != self.n {
+            return Err(LinalgError::DimensionMismatch {
+                found: format!("rhs length {}", b.len()),
+                expected: format!("length {}", self.n),
+            });
+        }
+        // Under equilibration the factorization holds B = R·A·C, so
+        // Bᵀ = C·Aᵀ·R: solve Bᵀ z = C·b and return x = R·z.
+        let mut v: Vec<f64> = (0..self.n).map(|j| b[self.q[j]]).collect();
+        if let Some(c) = &self.col_scale {
+            for (j, vj) in v.iter_mut().enumerate() {
+                *vj = b[self.q[j]] * c[self.q[j]];
+            }
+        }
+        // Forward: Uᵀ y = v. Row j of Uᵀ is column j of U (entries above the
+        // diagonal at pivot positions < j, plus the diagonal).
+        let mut y = vec![0.0; self.n];
+        for j in 0..self.n {
+            let mut s = v[j];
+            for k in self.u_ptr[j]..self.u_ptr[j + 1] {
+                s -= self.u_vals[k] * y[self.u_rows[k]];
+            }
+            y[j] = s / self.u_diag[j];
+        }
+        // Backward: Lᵀ w = y (unit diagonal). L's row indices are original
+        // row ids; map them to pivot positions via pinv.
+        let mut pinv = vec![EMPTY; self.n];
+        for (j, &row) in self.p.iter().enumerate() {
+            pinv[row] = j;
+        }
+        for j in (0..self.n).rev() {
+            let mut s = y[j];
+            for k in self.l_ptr[j]..self.l_ptr[j + 1] {
+                s -= self.l_vals[k] * y[pinv[self.l_rows[k]]];
+            }
+            y[j] = s;
+        }
+        // Undo the row permutation: x[p[j]] = w[j].
+        let mut x = vec![0.0; self.n];
+        for j in 0..self.n {
+            x[self.p[j]] = y[j];
+        }
+        if let Some(r) = &self.row_scale {
+            for (xi, ri) in x.iter_mut().zip(r) {
+                *xi *= ri;
+            }
+        }
+        Ok(x)
+    }
+
+    /// Hager-style estimate of the 1-norm condition number `κ₁(A) =
+    /// ‖A‖₁·‖A⁻¹‖₁`, using a handful of [`SparseLu::solve`] /
+    /// [`SparseLu::solve_transposed`] pairs to lower-bound `‖A⁻¹‖₁` — never
+    /// more than five, typically two. `a` must be the matrix this
+    /// factorization was computed from (pre-equilibration); its explicit
+    /// 1-norm supplies the `‖A‖₁` factor.
+    ///
+    /// The estimate is a lower bound that is almost always within a small
+    /// factor of the truth — exactly the fidelity certification grading
+    /// needs (decades matter, digits do not).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `a` disagrees with the
+    /// factorized dimension.
+    pub fn cond_estimate(&self, a: &CsrMatrix) -> Result<f64, LinalgError> {
+        if a.rows() != self.n || a.cols() != self.n {
+            return Err(LinalgError::DimensionMismatch {
+                found: format!("{}x{}", a.rows(), a.cols()),
+                expected: format!("{n}x{n}", n = self.n),
+            });
+        }
+        if self.n == 0 {
+            return Ok(1.0);
+        }
+        // ‖A‖₁ = max column sum of |A|.
+        let mut col_sum = vec![0.0f64; self.n];
+        for (_, c, v) in a.iter() {
+            col_sum[c] += v.abs();
+        }
+        let a_norm = col_sum.iter().fold(0.0f64, |m, &s| m.max(s));
+
+        // Hager's algorithm on A⁻¹: maximize ‖A⁻¹ x‖₁ over ‖x‖₁ = 1.
+        let n = self.n;
+        let nf = n as f64;
+        let mut x = vec![1.0 / nf; n];
+        let mut inv_norm = 0.0f64;
+        let mut last_j = EMPTY;
+        for _ in 0..5 {
+            let y = self.solve(&x)?;
+            let y_norm: f64 = y.iter().map(|v| v.abs()).sum();
+            inv_norm = inv_norm.max(y_norm);
+            if !y_norm.is_finite() {
+                break;
+            }
+            let xi: Vec<f64> = y
+                .iter()
+                .map(|&v| if v >= 0.0 { 1.0 } else { -1.0 })
+                .collect();
+            let z = self.solve_transposed(&xi)?;
+            let (j, z_max) = z
+                .iter()
+                .enumerate()
+                .fold((0, 0.0f64), |(bj, bm), (i, &v)| {
+                    if v.abs() > bm {
+                        (i, v.abs())
+                    } else {
+                        (bj, bm)
+                    }
+                });
+            let ztx: f64 = z.iter().zip(&x).map(|(zi, xi)| zi * xi).sum();
+            if z_max <= ztx || j == last_j {
+                break;
+            }
+            last_j = j;
+            x.iter_mut().for_each(|v| *v = 0.0);
+            x[j] = 1.0;
+        }
+        Ok((a_norm * inv_norm).max(1.0))
+    }
+
+    /// Solves `A x = b` with iterated refinement under the default step cap
+    /// ([`SparseLu::DEFAULT_REFINEMENT_CAP`]), which recovers accuracy lost
+    /// to threshold pivoting on ill-conditioned PTA Jacobians. Convenience
+    /// wrapper over [`SparseLu::solve_refined_capped`] that discards the
+    /// residual diagnostics.
     ///
     /// # Errors
     ///
     /// Returns [`LinalgError::DimensionMismatch`] if shapes disagree with the
     /// factorized system.
     pub fn solve_refined(&self, a: &CsrMatrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        Ok(self
+            .solve_refined_capped(a, b, Self::DEFAULT_REFINEMENT_CAP)?
+            .x)
+    }
+
+    /// Solves `A x = b` and iterates refinement steps until the backward
+    /// residual plateaus, up to `max_steps` correction solves.
+    ///
+    /// Each step computes `r = b - A·x` in working precision, solves
+    /// `A·dx = r` on the existing factorization and applies the correction.
+    /// Iteration stops when the residual stops improving by at least 2×
+    /// (the classic LAPACK `gerfs` plateau rule), reaches machine-level
+    /// smallness relative to `b` and `x`, or the cap is hit; a step that
+    /// *worsens* the residual is rolled back. The achieved residual is
+    /// returned in [`Refinement::residual`] so the certification layer can
+    /// grade the solve without re-deriving it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if shapes disagree with the
+    /// factorized system.
+    pub fn solve_refined_capped(
+        &self,
+        a: &CsrMatrix,
+        b: &[f64],
+        max_steps: usize,
+    ) -> Result<Refinement, LinalgError> {
         if a.rows() != self.n || a.cols() != self.n {
             return Err(LinalgError::DimensionMismatch {
                 found: format!("{}x{}", a.rows(), a.cols()),
@@ -327,13 +647,40 @@ impl SparseLu {
             });
         }
         let mut x = self.solve(b)?;
-        let ax = a.matvec(&x);
-        let r: Vec<f64> = b.iter().zip(&ax).map(|(bi, yi)| bi - yi).collect();
-        let dx = self.solve(&r)?;
-        for (xi, di) in x.iter_mut().zip(&dx) {
-            *xi += di;
+        let residual_of = |x: &[f64]| -> (Vec<f64>, f64) {
+            let ax = a.matvec(x);
+            let r: Vec<f64> = b.iter().zip(&ax).map(|(bi, yi)| bi - yi).collect();
+            let norm = r.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+            (r, norm)
+        };
+        let (mut r, mut rnorm) = residual_of(&x);
+        // Machine-level floor: refining below eps·(‖b‖ + ‖A‖-ish·‖x‖) only
+        // chases rounding noise.
+        let floor = f64::EPSILON
+            * (max_abs(b) + self.max_abs_a * max_abs(&x)).max(f64::MIN_POSITIVE);
+        let mut steps = 0;
+        while steps < max_steps && rnorm.is_finite() && rnorm > floor {
+            let dx = self.solve(&r)?;
+            let candidate: Vec<f64> = x.iter().zip(&dx).map(|(xi, di)| xi + di).collect();
+            let (cr, crnorm) = residual_of(&candidate);
+            if !crnorm.is_finite() || crnorm >= rnorm {
+                // The correction stopped helping; keep the best iterate.
+                break;
+            }
+            x = candidate;
+            steps += 1;
+            let plateaued = crnorm > 0.5 * rnorm;
+            r = cr;
+            rnorm = crnorm;
+            if plateaued {
+                break;
+            }
         }
-        Ok(x)
+        Ok(Refinement {
+            x,
+            residual: rnorm,
+            steps,
+        })
     }
 }
 
@@ -519,5 +866,170 @@ mod tests {
     fn nnz_reports_fill() {
         let lu = SparseLu::factorize(&CsrMatrix::identity(5)).unwrap();
         assert_eq!(lu.nnz(), 5);
+    }
+
+    #[test]
+    fn solve_refined_capped_reports_residual_and_steps() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 25;
+        let mut t = Triplet::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 1e-3 + rng.gen::<f64>() * 10.0);
+            for _ in 0..2 {
+                let j = rng.gen_range(0..n);
+                t.push(i, j, rng.gen_range(-2.0..2.0));
+            }
+        }
+        let a = t.to_csr();
+        let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let lu = SparseLu::factorize(&a).unwrap();
+        let ref0 = lu.solve_refined_capped(&a, &b, 0).unwrap();
+        let ref8 = lu.solve_refined_capped(&a, &b, 8).unwrap();
+        assert_eq!(ref0.steps, 0);
+        assert!(ref8.steps <= 8);
+        // The reported residual matches an independent recomputation.
+        assert!((residual_inf(&a, &ref8.x, &b) - ref8.residual).abs() < 1e-14);
+        assert!(ref8.residual <= ref0.residual);
+        assert!(ref8.residual < 1e-8);
+    }
+
+    #[test]
+    fn solve_transposed_matches_dense() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10 {
+            let n = rng.gen_range(3..25);
+            let mut t = Triplet::new(n, n);
+            for i in 0..n {
+                t.push(i, i, 4.0 + rng.gen::<f64>());
+                for _ in 0..2 {
+                    let j = rng.gen_range(0..n);
+                    t.push(i, j, rng.gen_range(-1.0..1.0));
+                }
+            }
+            let a = t.to_csr();
+            let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+            let lu = SparseLu::factorize(&a).unwrap();
+            let xt = lu.solve_transposed(&b).unwrap();
+            // Verify Aᵀ·xt = b: the residual of the transposed system.
+            let mut r = b.to_vec();
+            for (row, col, v) in a.iter() {
+                r[col] -= v * xt[row];
+            }
+            let rnorm = r.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+            assert!(rnorm < 1e-9, "transpose residual {rnorm}");
+        }
+    }
+
+    #[test]
+    fn pivot_growth_is_modest_on_well_scaled_matrix() {
+        let mut t = Triplet::new(3, 3);
+        for i in 0..3 {
+            t.push(i, i, 2.0);
+        }
+        t.push(0, 1, -1.0);
+        t.push(1, 0, -1.0);
+        let lu = SparseLu::factorize(&t.to_csr()).unwrap();
+        let g = lu.pivot_growth();
+        assert!((1.0..10.0).contains(&g), "growth {g}");
+    }
+
+    #[test]
+    fn replayed_factorization_reports_pivot_growth() {
+        let mut t = Triplet::new(3, 3);
+        for i in 0..3 {
+            t.push(i, i, 2.0);
+        }
+        t.push(0, 1, -1.0);
+        t.push(1, 0, -1.0);
+        let a = t.to_csr();
+        let full = SparseLu::factorize(&a).unwrap();
+        let replay = full.symbolic(&a).refactorize(&a).unwrap();
+        assert_eq!(full.pivot_growth(), replay.pivot_growth());
+    }
+
+    #[test]
+    fn cond_estimate_tracks_known_conditioning() {
+        // Diagonal matrix: κ₁ is exactly max/min diagonal.
+        let mut t = Triplet::new(3, 3);
+        t.push(0, 0, 1.0);
+        t.push(1, 1, 1e-6);
+        t.push(2, 2, 1.0);
+        let a = t.to_csr();
+        let lu = SparseLu::factorize(&a).unwrap();
+        let k = lu.cond_estimate(&a).unwrap();
+        assert!((k / 1e6 - 1.0).abs() < 1e-9, "estimate {k}");
+
+        // Identity: perfectly conditioned.
+        let i = CsrMatrix::identity(4);
+        let k = SparseLu::factorize(&i).unwrap().cond_estimate(&i).unwrap();
+        assert!((k - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equilibrated_solve_matches_plain_on_well_scaled_system() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let n = 12;
+        let mut t = Triplet::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 5.0 + rng.gen::<f64>());
+            let j = rng.gen_range(0..n);
+            t.push(i, j, rng.gen_range(-1.0..1.0));
+        }
+        let a = t.to_csr();
+        let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let plain = SparseLu::factorize(&a).unwrap().solve(&b).unwrap();
+        let lu_eq = SparseLu::factorize_equilibrated(&a).unwrap();
+        assert!(lu_eq.is_equilibrated());
+        let eq = lu_eq.solve(&b).unwrap();
+        for (u, v) in plain.iter().zip(&eq) {
+            assert!((u - v).abs() < 1e-9);
+        }
+        // Transposed solve honours the scaling too.
+        let xt = lu_eq.solve_transposed(&b).unwrap();
+        let mut r = b.to_vec();
+        for (row, col, v) in a.iter() {
+            r[col] -= v * xt[row];
+        }
+        assert!(r.iter().all(|v| v.abs() < 1e-9));
+    }
+
+    #[test]
+    fn equilibration_rescues_badly_scaled_system() {
+        // Rows spanning 12 decades: raw threshold pivoting loses accuracy,
+        // equilibration restores it.
+        let n = 4;
+        let mut t = Triplet::new(n, n);
+        t.push(0, 0, 1e9);
+        t.push(0, 1, 1e9);
+        t.push(1, 0, 1.0);
+        t.push(1, 1, 2.0);
+        t.push(1, 2, 1.0);
+        t.push(2, 1, 1e-3);
+        t.push(2, 2, 3e-3);
+        t.push(2, 3, 1e-3);
+        t.push(3, 2, 2.0);
+        t.push(3, 3, 5.0);
+        let a = t.to_csr();
+        let b = [1.0, 2.0, 3.0, 4.0];
+        let lu = SparseLu::factorize_equilibrated(&a).unwrap();
+        let x = lu.solve(&b).unwrap();
+        let scaled_r: f64 = a
+            .matvec(&x)
+            .iter()
+            .zip(&b)
+            .enumerate()
+            .map(|(i, (yi, bi))| {
+                let (_, vals) = a.row(i);
+                (yi - bi).abs() / vals.iter().fold(1.0f64, |m, v| m.max(v.abs()))
+            })
+            .fold(0.0, f64::max);
+        assert!(scaled_r < 1e-12, "row-scaled residual {scaled_r}");
+    }
+
+    #[test]
+    fn factorize_conditioned_keeps_plain_path_on_healthy_matrix() {
+        let a = CsrMatrix::identity(5);
+        let lu = SparseLu::factorize_conditioned(&a).unwrap();
+        assert!(!lu.is_equilibrated());
     }
 }

@@ -179,8 +179,10 @@ impl SymbolicLu {
     }
 
     /// An empty numeric shell over the recorded pattern, ready for a replay
-    /// to fill in.
-    fn empty_lu(&self) -> SparseLu {
+    /// to fill in. `a` is the matrix about to be replayed; its largest entry
+    /// seeds the pivot-growth denominator so replayed factorizations report
+    /// [`SparseLu::pivot_growth`] just like full ones.
+    fn empty_lu(&self, a: &CsrMatrix) -> SparseLu {
         SparseLu {
             n: self.n,
             l_ptr: self.l_ptr.clone(),
@@ -192,6 +194,12 @@ impl SymbolicLu {
             u_diag: vec![0.0; self.n],
             p: self.p.clone(),
             q: self.q.clone(),
+            max_abs_a: a
+                .values()
+                .iter()
+                .fold(0.0f64, |m, &v| m.max(v.abs())),
+            row_scale: None,
+            col_scale: None,
         }
     }
 
@@ -231,7 +239,7 @@ impl SymbolicLu {
     fn replay_exact(&self, a: &CsrMatrix, plan: &ScatterPlan) -> Result<SparseLu, LinalgError> {
         let n = self.n;
         let vals = a.values();
-        let mut lu = self.empty_lu();
+        let mut lu = self.empty_lu(a);
         // Dense workspace indexed by *pivot position*.
         let mut x = vec![0.0; n];
         for j in 0..n {
@@ -280,7 +288,7 @@ impl SymbolicLu {
     fn replay_general(&self, a: &CsrMatrix) -> Result<SparseLu, LinalgError> {
         let n = self.n;
         let at = a.transpose();
-        let mut lu = self.empty_lu();
+        let mut lu = self.empty_lu(a);
 
         // Dense workspace indexed by *pivot position*, plus a per-column
         // stamp marking which positions belong to the recorded pattern.
