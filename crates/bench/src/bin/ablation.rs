@@ -9,7 +9,8 @@
 
 use rlpta_bench::{bench_threads, experiment_config, finish_run, run_rl_batch};
 use rlpta_circuits::{table3, training_corpus};
-use rlpta_core::{PtaKind, PtaSolver, RlStepping, RlSteppingConfig};
+use rlpta_core::prelude::*;
+use rlpta_core::{PtaSolver, RlStepping};
 use std::time::Instant;
 
 /// Pretrain a controller variant across the corpus (serial — learning is

@@ -9,9 +9,8 @@
 
 use rlpta_bench::{bench_threads, finish_run, run_simple};
 use rlpta_circuits::table3;
-use rlpta_core::{
-    GminStepping, NewtonHomotopy, NewtonRaphson, PtaKind, Solution, SolveError, SourceStepping,
-};
+use rlpta_core::prelude::*;
+use rlpta_core::{GminStepping, NewtonHomotopy, NewtonRaphson, SourceStepping};
 use std::time::Instant;
 
 fn cell(r: Result<Solution, SolveError>) -> String {

@@ -15,10 +15,8 @@
 
 use rlpta_bench::arg_value;
 use rlpta_core::certify::RESIDUAL_CERTIFIED;
-use rlpta_core::{
-    DcEngine, DcSweep, FaultPlan, GminStepping, HealthGrade, LadderStage, NewtonConfig,
-    NewtonHomotopy, PtaConfig, SolveBudget, SolveError, SourceStepping,
-};
+use rlpta_core::prelude::*;
+use rlpta_core::{FaultPlan, GminStepping, NewtonHomotopy, SourceStepping};
 use rlpta_mna::Circuit;
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};

@@ -9,7 +9,7 @@
 
 use rlpta_bench::{bench_threads, finish_run, pretrain_rl, run_adaptive, run_rl};
 use rlpta_circuits::table3;
-use rlpta_core::PtaKind;
+use rlpta_core::prelude::*;
 use std::time::Instant;
 
 fn main() {

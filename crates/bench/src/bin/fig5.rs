@@ -15,7 +15,7 @@ use rlpta_bench::{
     run_simple_batch,
 };
 use rlpta_circuits::fig5;
-use rlpta_core::PtaKind;
+use rlpta_core::prelude::*;
 use std::time::Instant;
 
 fn bar(ratio: f64) -> String {

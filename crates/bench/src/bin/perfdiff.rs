@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! perfdiff <baseline.json> <candidate.json> [--threshold <pct>] \
-//!          [--min-count <n>] [--warn-only]
+//!          [--min-count <n>] [--warn-only] [--require-lower <counter>]
 //! ```
 //!
 //! Compares the deterministic work counters (NR iterations, PTA steps,
@@ -13,7 +13,15 @@
 //! — their percentiles are noise. Exit codes: `0` clean, `1` regression
 //! (suppressed by `--warn-only`), `2` usage/parse error.
 //!
-//! Diffing a report against itself always exits 0, whatever the threshold.
+//! `--require-lower <counter>` additionally demands that the candidate's
+//! named work counter (`nr_iterations`, `pta_steps`, `lu_factorizations`,
+//! `lu_refactorizations` or `lu_total`) is *strictly below* the baseline's
+//! — the shape of the CI gate asserting the warm service path beats cold
+//! solves. An unmet requirement is a hard failure that `--warn-only` does
+//! **not** suppress.
+//!
+//! Diffing a report against itself always exits 0, whatever the threshold
+//! (unless `--require-lower` demands strict improvement).
 
 use rlpta_bench::report::BenchReport;
 use std::process::ExitCode;
@@ -47,11 +55,36 @@ fn check(deltas: &mut Vec<Delta>, what: impl Into<String>, base: u64, cand: u64,
     });
 }
 
-fn run() -> Result<bool, String> {
+/// The named deterministic work counter of a report, for `--require-lower`.
+fn counter(report: &BenchReport, name: &str) -> Result<u64, String> {
+    Ok(match name {
+        "nr_iterations" => report.nr_iterations,
+        "pta_steps" => report.pta_steps,
+        "lu_factorizations" => report.lu_factorizations,
+        "lu_refactorizations" => report.lu_refactorizations,
+        "lu_total" => report.lu_factorizations + report.lu_refactorizations,
+        other => {
+            return Err(format!(
+                "unknown counter {other:?} for --require-lower (expected nr_iterations, \
+                 pta_steps, lu_factorizations, lu_refactorizations or lu_total)"
+            ))
+        }
+    })
+}
+
+/// What the diff concluded.
+struct Outcome {
+    /// A counter or timing moved beyond the threshold.
+    regressed: bool,
+    /// A `--require-lower` requirement was not met — never suppressed.
+    requirement_failed: bool,
+}
+
+fn run() -> Result<Outcome, String> {
     let mut positional = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
-        if a == "--threshold" || a == "--min-count" {
+        if a == "--threshold" || a == "--min-count" || a == "--require-lower" {
             // Skip the option's value so it is not mistaken for a path.
             let _ = args.next();
         } else if !a.starts_with("--") {
@@ -61,7 +94,7 @@ fn run() -> Result<bool, String> {
     let [baseline_path, candidate_path] = positional.as_slice() else {
         return Err(
             "usage: perfdiff <baseline.json> <candidate.json> [--threshold <pct>] \
-             [--min-count <n>] [--warn-only]"
+             [--min-count <n>] [--warn-only] [--require-lower <counter>]"
                 .to_string(),
         );
     };
@@ -165,18 +198,43 @@ fn run() -> Result<bool, String> {
     } else {
         println!("perfdiff: {regressions} regression(s) beyond {threshold_pct}%");
     }
-    Ok(regressions > 0)
+
+    let mut requirement_failed = false;
+    if let Some(name) = rlpta_bench::arg_value("require-lower") {
+        let b = counter(&base, &name)?;
+        let c = counter(&cand, &name)?;
+        if c < b {
+            println!("require-lower {name}: {c} < {b}  ok");
+        } else {
+            println!("require-lower {name}: {c} >= {b}  FAILED (strict improvement required)");
+            requirement_failed = true;
+        }
+    }
+    Ok(Outcome {
+        regressed: regressions > 0,
+        requirement_failed,
+    })
 }
 
 fn main() -> ExitCode {
     let warn_only = rlpta_bench::arg_flag("warn-only");
     match run() {
-        Ok(false) => ExitCode::SUCCESS,
-        Ok(true) if warn_only => {
+        Ok(Outcome {
+            requirement_failed: true,
+            ..
+        }) => {
+            // A --require-lower miss is a hard gate: --warn-only never
+            // suppresses it.
+            ExitCode::from(1)
+        }
+        Ok(Outcome {
+            regressed: false, ..
+        }) => ExitCode::SUCCESS,
+        Ok(_) if warn_only => {
             println!("perfdiff: --warn-only set, not failing the build");
             ExitCode::SUCCESS
         }
-        Ok(true) => ExitCode::from(1),
+        Ok(_) => ExitCode::from(1),
         Err(e) => {
             eprintln!("perfdiff: {e}");
             ExitCode::from(2)

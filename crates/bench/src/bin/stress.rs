@@ -12,7 +12,8 @@ use rlpta_bench::{
     run_robust_graded, run_simple,
 };
 use rlpta_circuits::stress;
-use rlpta_core::{GminStepping, NewtonRaphson, PtaKind, SourceStepping};
+use rlpta_core::prelude::*;
+use rlpta_core::{GminStepping, NewtonRaphson, SourceStepping};
 use std::time::Instant;
 
 fn main() {

@@ -15,7 +15,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rlpta_bench::{bench_threads, finish_run, ite_cell, lu_cell, run_simple, time_gp_fit, trace_sink};
 use rlpta_circuits::{table2, training_corpus};
-use rlpta_core::{IppOracle, PtaKind, PtaParams};
+use rlpta_core::prelude::*;
+use rlpta_core::{IppOracle, PtaParams};
 use rlpta_gp::{ActiveLearner, ActiveLearnerConfig};
 use std::time::Instant;
 

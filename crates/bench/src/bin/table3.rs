@@ -14,7 +14,7 @@ use rlpta_bench::{
     speedup, ste_cell, step_reduction,
 };
 use rlpta_circuits::table3;
-use rlpta_core::PtaKind;
+use rlpta_core::prelude::*;
 use std::time::Instant;
 
 fn main() {

@@ -1,7 +1,7 @@
 //! The batch DC engine: one configurable entry point for every solve shape.
 //!
-//! [`DcEngine`] replaces the constructor zoo (`NewtonRaphson::new`,
-//! `PtaSolver::new`, `RobustDcSolver::new`) with a single builder:
+//! [`DcEngine`] replaced the per-solver constructor zoo with a single
+//! builder — since v1 it is the only public way to assemble a solve:
 //!
 //! ```
 //! use rlpta_core::{DcEngine, PtaKind, SolveBudget, Stepping};
@@ -683,7 +683,77 @@ impl DcEngine {
         })
     }
 
+    /// Solves one circuit with a caller-managed warm start and LU
+    /// workspace — the reuse hook for long-lived callers
+    /// ([`SimService`](crate::service::SimService)) that carry symbolic
+    /// factorization plans and last-known operating points across requests.
+    ///
+    /// The solve path is exactly the sweep-point path: a damped Newton
+    /// iteration seeded from `warm` (zeros when `None`) that replays the
+    /// workspace's recorded symbolic pattern when it still matches the
+    /// circuit (falling back to a fresh analysis otherwise — a stale
+    /// workspace costs time, never correctness), independently certified,
+    /// with a defeat escalating to the serial recovery ladder.
+    ///
+    /// # Errors
+    ///
+    /// Same surface as [`DcEngine::solve`]; a failed warm attempt only
+    /// surfaces an error after the fallback ladder is also defeated.
+    pub fn solve_warm(
+        &self,
+        circuit: &Circuit,
+        warm: Option<&[f64]>,
+        lu_ws: &mut LuWorkspace,
+    ) -> Result<Solution, SolveError> {
+        #[cfg(feature = "faults")]
+        let _guard = self.install_faults();
+        let tele = Tele::root(&*self.telemetry, Span::default());
+        let out = self
+            .solve_with_retries(|| self.solve_sweep_point(circuit, warm, lu_ws, &tele))
+            .0;
+        self.telemetry.finish();
+        out
+    }
+
+    /// The engine's telemetry sink, shared so a service layer above the
+    /// engine can emit its own events (cache hits, queue admissions) onto
+    /// the same stream the solves write to.
+    pub fn telemetry(&self) -> Arc<dyn Sink> {
+        Arc::clone(&self.telemetry)
+    }
+
     // --- internals -------------------------------------------------------
+
+    /// A copy of this engine with a different per-job budget — lets the
+    /// service layer honor per-ticket budgets without rebuilding the full
+    /// configuration.
+    pub(crate) fn with_budget(&self, budget: SolveBudget) -> DcEngine {
+        let mut engine = self.clone();
+        engine.budget = budget;
+        engine
+    }
+
+    /// One serial PTA solve with a caller-supplied controller through the
+    /// certification gate — the single-job body of
+    /// [`DcEngine::solve_batch_with`], used by the service layer to run a
+    /// shared frozen RL policy without spinning up a batch pool.
+    pub(crate) fn solve_once_with<C>(
+        &self,
+        circuit: &Circuit,
+        controller: C,
+        tele: &Tele<'_>,
+    ) -> Result<Solution, SolveError>
+    where
+        C: StepController,
+    {
+        let mut ctrl = controller;
+        ctrl.attach_telemetry(self.telemetry.clone(), tele.span());
+        let mut solver = PtaSolver::with_config(self.pta_kind_or_default(), ctrl, self.config.clone());
+        let mut meter = self.budget.start();
+        meter.set_phase(SolvePhase::PseudoTransient);
+        let out = solver.solve_metered(circuit, &mut meter, tele);
+        self.certified(circuit, out, tele)
+    }
 
     fn pta_kind_or_default(&self) -> PtaKind {
         match &self.strategy {

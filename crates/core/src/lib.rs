@@ -76,6 +76,7 @@ mod pta;
 pub mod recovery;
 mod report;
 mod rl_stepping;
+pub mod service;
 mod solution;
 mod stepping;
 mod sweep;
@@ -98,6 +99,10 @@ pub use recovery::FaultPlan;
 pub use recovery::{AttemptReport, LadderStage, RobustDcSolver, SolveBudget};
 pub use report::op_report;
 pub use rl_stepping::{RlStepping, RlSteppingConfig};
+pub use service::{
+    CacheStats, JobId, JobTicket, Priority, ServiceError, SimService, SimServiceBuilder,
+    StructureKey,
+};
 pub use solution::{Solution, SolveStats};
 pub use stepping::{SerStepping, SimpleStepping, StepController, StepObservation};
 pub use sweep::{DcSweep, QuarantinedPoint, SweepPoint, SweepReport};
@@ -107,3 +112,38 @@ pub use telemetry::{
 };
 pub use trace::{TraceController, TraceEntry};
 pub use transient::{Stimulus, Transient, TransientPoint, Waveform};
+
+/// The one-true-path import for applications: the engine, the service and
+/// the types every caller of either touches (configuration, step-control
+/// policies, budgets, reports, the two error families). Deliberately
+/// *excludes* the individual solver types (`NewtonRaphson`, `PtaSolver`,
+/// …) — those are research-harness surface; applications drive
+/// [`DcEngine`] or [`SimService`].
+///
+/// ```
+/// use rlpta_core::prelude::*;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let circuit = rlpta_netlist::parse("t\nV1 a 0 1\nR1 a 0 1k")?;
+/// let report = DcEngine::builder().build().solve(&circuit)?;
+/// assert!(report.stats.converged);
+/// # Ok(())
+/// # }
+/// ```
+pub mod prelude {
+    pub use crate::certify::{HealthGrade, HealthReport};
+    pub use crate::config::EngineConfig;
+    pub use crate::engine::{DcEngine, DcEngineBuilder, Stepping, Strategy};
+    pub use crate::error::{SolveError, SolvePhase};
+    pub use crate::newton::NewtonConfig;
+    pub use crate::pta::{PtaConfig, PtaKind};
+    pub use crate::recovery::{LadderStage, SolveBudget};
+    pub use crate::rl_stepping::RlSteppingConfig;
+    pub use crate::stepping::{SerStepping, SimpleStepping};
+    pub use crate::service::{
+        CacheStats, JobId, JobTicket, Priority, ServiceError, SimService, SimServiceBuilder,
+        StructureKey,
+    };
+    pub use crate::solution::{Solution, SolveStats};
+    pub use crate::sweep::{DcSweep, QuarantinedPoint, SweepPoint, SweepReport};
+}

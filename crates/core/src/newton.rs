@@ -350,16 +350,8 @@ pub struct NewtonRaphson {
 }
 
 impl NewtonRaphson {
-    /// Creates a solver with the given configuration.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `DcEngine::builder().newton().newton_config(..)` instead"
-    )]
-    pub fn new(config: NewtonConfig) -> Self {
-        Self::from_config(config)
-    }
-
-    /// In-crate constructor behind the deprecated public shim.
+    /// In-crate constructor; the public path is
+    /// `DcEngine::builder().newton().newton_config(..)`.
     pub(crate) fn from_config(config: NewtonConfig) -> Self {
         Self { config }
     }

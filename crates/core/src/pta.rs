@@ -215,16 +215,8 @@ pub struct PtaSolver<C> {
 }
 
 impl<C: StepController> PtaSolver<C> {
-    /// Creates a solver with default configuration.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `DcEngine::builder().kind(..).stepping(..)` instead"
-    )]
-    pub fn new(kind: PtaKind, controller: C) -> Self {
-        Self::with_config(kind, controller, PtaConfig::default())
-    }
-
-    /// Creates a solver with an explicit configuration.
+    /// Creates a solver with an explicit configuration. (The engine-level
+    /// path is `DcEngine::builder().kind(..).stepping(..)`.)
     pub fn with_config(kind: PtaKind, controller: C, config: PtaConfig) -> Self {
         Self {
             kind,
@@ -533,8 +525,6 @@ impl<C: StepController> PtaSolver<C> {
 
 #[cfg(test)]
 mod tests {
-    // The deprecated constructor shims stay under test until removal.
-    #![allow(deprecated)]
     use super::*;
     use crate::{NewtonRaphson, SerStepping, SimpleStepping};
 
@@ -556,7 +546,7 @@ mod tests {
     fn pure_pta_matches_newton_on_diode_chain() {
         let c = diode_chain();
         let direct = NewtonRaphson::default().solve(&c).unwrap();
-        let mut pta = PtaSolver::new(PtaKind::Pure, SimpleStepping::default());
+        let mut pta = PtaSolver::with_config(PtaKind::Pure, SimpleStepping::default(), PtaConfig::default());
         let sol = pta.solve(&c).unwrap();
         for (a, b) in sol.x.iter().zip(&direct.x) {
             assert!((a - b).abs() < 1e-3, "{a} vs {b}");
@@ -578,7 +568,7 @@ mod tests {
              .model QN NPN(IS=1e-15 BF=100)",
         )
         .unwrap();
-        let mut pta = PtaSolver::new(PtaKind::dpta(), SimpleStepping::default());
+        let mut pta = PtaSolver::with_config(PtaKind::dpta(), SimpleStepping::default(), PtaConfig::default());
         let sol = pta.solve(&c).unwrap();
         let direct = NewtonRaphson::default().solve(&c).unwrap();
         assert!((sol.voltage(&c, "c").unwrap() - direct.voltage(&c, "c").unwrap()).abs() < 1e-3);
@@ -595,7 +585,7 @@ mod tests {
              .model NM NMOS(VTO=1 KP=5e-5)",
         )
         .unwrap();
-        let mut pta = PtaSolver::new(PtaKind::cepta(), SimpleStepping::default());
+        let mut pta = PtaSolver::with_config(PtaKind::cepta(), SimpleStepping::default(), PtaConfig::default());
         let sol = pta.solve(&c).unwrap();
         assert!(sol.stats.converged);
         let direct = NewtonRaphson::default().solve(&c).unwrap();
@@ -605,7 +595,7 @@ mod tests {
     #[test]
     fn ser_controller_also_converges() {
         let c = diode_chain();
-        let mut pta = PtaSolver::new(PtaKind::dpta(), SerStepping::default());
+        let mut pta = PtaSolver::with_config(PtaKind::dpta(), SerStepping::default(), PtaConfig::default());
         let sol = pta.solve(&c).unwrap();
         assert!(sol.stats.converged);
     }
@@ -614,7 +604,7 @@ mod tests {
     fn rejects_nonpositive_params() {
         let c = diode_chain();
         let mut pta =
-            PtaSolver::new(PtaKind::Pure, SimpleStepping::default()).with_params(PtaParams {
+            PtaSolver::with_config(PtaKind::Pure, SimpleStepping::default(), PtaConfig::default()).with_params(PtaParams {
                 c_node: 0.0,
                 l_branch: 1.0,
                 tau: 1.0,
@@ -659,7 +649,7 @@ mod tests {
     fn rpta_solves_diode_chain_and_matches_newton() {
         let c = diode_chain();
         let direct = NewtonRaphson::default().solve(&c).unwrap();
-        let mut pta = PtaSolver::new(PtaKind::rpta(), SimpleStepping::default());
+        let mut pta = PtaSolver::with_config(PtaKind::rpta(), SimpleStepping::default(), PtaConfig::default());
         let sol = pta.solve(&c).unwrap();
         assert!(sol.stats.converged);
         for (a, b) in sol.x.iter().zip(&direct.x) {
@@ -672,7 +662,7 @@ mod tests {
         // With a long ramp, convergence cannot happen before ramp_time.
         let c = diode_chain();
         let kind = PtaKind::Ramping(RptaConfig { ramp_time: 100.0 });
-        let mut pta = PtaSolver::new(kind, SimpleStepping::default());
+        let mut pta = PtaSolver::with_config(kind, SimpleStepping::default(), PtaConfig::default());
         let sol = pta.solve(&c).unwrap();
         assert!(sol.stats.converged);
         // The final pseudo time exceeded the ramp; verify through the true
@@ -683,7 +673,7 @@ mod tests {
     #[test]
     fn solution_stats_populated() {
         let c = diode_chain();
-        let mut pta = PtaSolver::new(PtaKind::Pure, SimpleStepping::default());
+        let mut pta = PtaSolver::with_config(PtaKind::Pure, SimpleStepping::default(), PtaConfig::default());
         let sol = pta.solve(&c).unwrap();
         assert!(sol.stats.nr_iterations >= sol.stats.pta_steps);
         // Every NR iteration sets up at least one linear solve; with one

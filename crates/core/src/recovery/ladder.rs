@@ -107,16 +107,8 @@ impl Default for RobustDcSolver {
 }
 
 impl RobustDcSolver {
-    /// A solver with explicit stages, run in order, and no budget limits.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `DcEngine::builder().ladder(..)` (or `.robust()`) instead"
-    )]
-    pub fn new(stages: Vec<LadderStage>) -> Self {
-        Self::from_stages(stages)
-    }
-
-    /// In-crate constructor behind the deprecated public shim.
+    /// In-crate constructor; the public path is
+    /// `DcEngine::builder().ladder(..)` (or `.robust()`).
     pub(crate) fn from_stages(stages: Vec<LadderStage>) -> Self {
         Self {
             stages,

@@ -163,6 +163,12 @@ impl RlStepping {
         self.frozen = false;
     }
 
+    /// Whether the policy is frozen (deterministic greedy actions, no
+    /// training) — the state a shared service policy must be in.
+    pub fn is_frozen(&self) -> bool {
+        self.frozen
+    }
+
     /// Total transitions observed across all runs.
     pub fn transitions_seen(&self) -> usize {
         self.transitions_seen
@@ -466,10 +472,8 @@ impl StepController for RlStepping {
 
 #[cfg(test)]
 mod tests {
-    // The deprecated constructor shims stay under test until removal.
-    #![allow(deprecated)]
     use super::*;
-    use crate::{PtaKind, PtaSolver};
+    use crate::{PtaConfig, PtaKind, PtaSolver};
 
     fn obs(iters: usize, conv: bool, res: f64, gamma: f64, done: bool, h: f64) -> StepObservation {
         StepObservation {
@@ -580,7 +584,7 @@ mod tests {
         )
         .unwrap();
         let rl = RlStepping::new(RlSteppingConfig::new(7));
-        let mut solver = PtaSolver::new(PtaKind::dpta(), rl);
+        let mut solver = PtaSolver::with_config(PtaKind::dpta(), rl, PtaConfig::default());
         let sol = solver.solve(&circuit).unwrap();
         assert!(sol.stats.converged);
         let v = sol.voltage(&circuit, "out").unwrap();

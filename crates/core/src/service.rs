@@ -1,0 +1,1275 @@
+//! The long-lived simulation service: cross-request reuse above the engine.
+//!
+//! [`DcEngine`] deliberately owns no state between calls — every solve is a
+//! pure function of its inputs, which is what makes batches and sweeps
+//! deterministic. Production traffic, however, is dominated by *repeats*:
+//! millions of requests share a handful of circuit topologies and differ
+//! only in parameter values. [`SimService`] is the layer that exploits
+//! that, owning three pieces of cross-request state:
+//!
+//! 1. **A sharded, structure-keyed plan cache.** [`StructureKey`] hashes the
+//!    MNA sparsity pattern together with the device topology (kinds,
+//!    terminal wiring, branch unknowns) — and deliberately *not* parameter
+//!    values, so a 1 kΩ and a 2 kΩ divider share a key. Each entry holds the
+//!    [`SymbolicLu`] scatter plan recorded by an earlier solve (an
+//!    [`Arc`], shared with the workspaces that replay it) plus the last
+//!    certified operating point as a warm start. Eviction is LRU under a
+//!    byte budget; a cached plan that no longer matches the assembled
+//!    pattern (a hash collision, or a structural change that kept the key)
+//!    is **invalidated and re-recorded, never replayed stale** — and even a
+//!    bypassed check would be caught by [`LuWorkspace`]'s own guarded-replay
+//!    fallback, so staleness can cost time, not correctness.
+//! 2. **A bounded priority job queue with admission control.** Work enters
+//!    as ([`Circuit`], [`JobTicket`]) pairs; a full queue refuses new work
+//!    with [`ServiceError::QueueFull`] and a ticket whose deadline cannot
+//!    be met refuses with [`ServiceError::DeadlineUnmeetable`] — callers
+//!    get backpressure instead of unbounded latency. [`SimService::drain`]
+//!    executes the queue on the engine's thread pool, grouping jobs that
+//!    share a [`StructureKey`] into the same worker so a cached plan is
+//!    fetched once and stays core-local for the whole group (the group also
+//!    forms a warm-start chain, like a sweep chunk).
+//! 3. **A shared RL-policy handle.** A frozen, checkpointed
+//!    [`RlStepping`] policy is loaded once at service construction and
+//!    cloned per job that needs it (a cold solve the plain Newton path
+//!    cannot crack), instead of being re-loaded per request.
+//!
+//! Every cache and queue transition is published on the engine's telemetry
+//! stream ([`Payload::CacheHit`], [`Payload::CacheMiss`],
+//! [`Payload::CacheEvicted`], [`Payload::JobQueued`],
+//! [`Payload::JobAdmitted`]), so the existing
+//! [`MetricsRegistry`](crate::telemetry::MetricsRegistry) counts them with
+//! no further wiring.
+//!
+//! # Determinism
+//!
+//! Draining inherits the engine's contract: job grouping and intra-group
+//! order depend only on submission order and ticket priorities, group
+//! chains reuse one workspace exactly like sweep chunks, and results come
+//! back keyed by [`JobId`] in submission order — the same queue drains to
+//! bit-identical solutions at every thread count.
+//!
+//! # Example
+//!
+//! ```
+//! use rlpta_core::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let circuit = rlpta_netlist::parse(
+//!     "divider\nV1 in 0 5\nR1 in out 1k\nR2 out 0 1k",
+//! )?;
+//! let mut service = SimService::builder(DcEngine::builder().build()).build();
+//! let a = service.submit(circuit.clone(), JobTicket::default())?;
+//! let b = service.submit(circuit.clone(), JobTicket::default())?;
+//! let results = service.drain();
+//! assert_eq!(results.len(), 2);
+//! assert!(results.iter().all(|(_, r)| r.is_ok()));
+//! assert_eq!((results[0].0, results[1].0), (a, b));
+//! // Same structure, same drain: one group, one cache lookup (a miss —
+//! // the cache was empty), the plan shared inside the group.
+//! assert_eq!(service.cache_stats().misses, 1);
+//! // A later request replays the now-cached symbolic analysis:
+//! service.submit(circuit, JobTicket::default())?;
+//! service.drain();
+//! assert_eq!(service.cache_stats().hits, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+// The service types are this crate's outward-facing v1 surface: every
+// public struct must stay extensible without a major version bump.
+#![deny(clippy::exhaustive_structs)]
+
+use crate::engine::DcEngine;
+use crate::error::SolveError;
+use crate::recovery::SolveBudget;
+use crate::rl_stepping::{RlStepping, RlSteppingConfig};
+use crate::telemetry::{Payload, Span, Tele};
+use crate::Solution;
+use rlpta_devices::{Device, EvalCtx};
+use rlpta_linalg::{CsrMatrix, FnvHasher, LuWorkspace, SymbolicLu};
+use rlpta_mna::Circuit;
+use rlpta_threadpool::ThreadPool;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Identifies one submitted job; returned by [`SimService::submit`] and
+/// carried back by [`SimService::drain`]. Ids are assigned in submission
+/// order and never reused within a service instance.
+pub type JobId = usize;
+
+// ---------------------------------------------------------------------------
+// StructureKey
+// ---------------------------------------------------------------------------
+
+/// A stable digest of a circuit's *structure*: the MNA sparsity pattern
+/// plus the device topology (kinds, terminal wiring, branch-unknown
+/// layout). Parameter values are deliberately excluded — circuits that
+/// differ only in component values share a key, which is exactly the
+/// population whose symbolic LU analysis is interchangeable.
+///
+/// The key carries the MNA dimension and pattern entry count alongside the
+/// hash, so two keys are equal only when hash *and* both counts agree;
+/// beyond that, every cache hit re-verifies the cached plan against the
+/// assembled pattern ([`SymbolicLu::compatible_with`]) before replaying —
+/// a collision is detected, counted as an invalidation, and re-analyzed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StructureKey {
+    dim: usize,
+    nnz: usize,
+    hash: u64,
+}
+
+impl StructureKey {
+    /// Computes the key for `circuit` (assembling its Jacobian pattern once
+    /// at the zero operating point — device stamps touch the same matrix
+    /// positions at every operating point, so the pattern is
+    /// representative).
+    pub fn of(circuit: &Circuit) -> Self {
+        Self::with_matrix(circuit).0
+    }
+
+    /// [`StructureKey::of`] plus the assembled pattern, for callers that
+    /// need the matrix to validate a cached plan without assembling twice.
+    pub(crate) fn with_matrix(circuit: &Circuit) -> (Self, CsrMatrix) {
+        let x0 = vec![0.0; circuit.dim()];
+        let (triplet, _rhs) = circuit.assemble(&EvalCtx::dc(&x0));
+        let csr = triplet.to_csr();
+        let mut h = FnvHasher::new();
+        h.write_u64(csr.pattern_hash());
+        h.write_usize(circuit.num_nodes());
+        h.write_usize(circuit.num_branches());
+        h.write_usize(circuit.state_len());
+        for device in circuit.devices() {
+            h.write_u64(device_tag(device));
+            h.write_usize(device.branch_count());
+            for node in device.nodes() {
+                h.write_u64(node.index().map_or(u64::MAX, |i| i as u64));
+            }
+        }
+        let key = Self {
+            dim: circuit.dim(),
+            nnz: csr.nnz(),
+            hash: h.finish(),
+        };
+        (key, csr)
+    }
+
+    /// MNA dimension of the keyed structure.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Entry count of the keyed sparsity pattern.
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// The combined pattern + topology hash (the value carried by the
+    /// cache telemetry events).
+    pub fn hash(&self) -> u64 {
+        self.hash
+    }
+}
+
+impl fmt::Display for StructureKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}/d{}n{}", self.hash, self.dim, self.nnz)
+    }
+}
+
+/// Stable per-variant tag; the wildcard arm covers future device kinds
+/// added behind `#[non_exhaustive]` (they still key distinctly from every
+/// current kind, just not from each other until given a tag).
+fn device_tag(device: &Device) -> u64 {
+    match device {
+        Device::Resistor(_) => 1,
+        Device::Capacitor(_) => 2,
+        Device::Inductor(_) => 3,
+        Device::Vsource(_) => 4,
+        Device::Isource(_) => 5,
+        Device::Vcvs(_) => 6,
+        Device::Vccs(_) => 7,
+        Device::Cccs(_) => 8,
+        Device::Ccvs(_) => 9,
+        Device::Diode(_) => 10,
+        Device::Bjt(_) => 11,
+        Device::Mosfet(_) => 12,
+        Device::Jfet(_) => 13,
+        _ => u64::MAX,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tickets and errors
+// ---------------------------------------------------------------------------
+
+/// Scheduling class of a [`JobTicket`]. Higher priorities drain first (and
+/// lead their topology group's warm-start chain); within a priority, jobs
+/// run in submission order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[non_exhaustive]
+pub enum Priority {
+    /// Background work: bulk re-characterization, speculative solves.
+    Low,
+    /// Interactive traffic (the default).
+    #[default]
+    Normal,
+    /// Latency-sensitive traffic.
+    High,
+    /// Drop-everything traffic (e.g. a solve blocking a tape-out check).
+    Critical,
+}
+
+impl Priority {
+    /// Short lowercase name, used in telemetry events.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Priority::Low => "low",
+            Priority::Normal => "normal",
+            Priority::High => "high",
+            Priority::Critical => "critical",
+        }
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Per-job scheduling contract handed to [`SimService::submit`]: a
+/// priority class, an optional deadline (measured from submission) and an
+/// optional per-job [`SolveBudget`] overriding the engine's.
+///
+/// Construct with [`JobTicket::default`] and the `with_*` methods:
+///
+/// ```
+/// use rlpta_core::service::{JobTicket, Priority};
+/// use std::time::Duration;
+///
+/// let ticket = JobTicket::default()
+///     .with_priority(Priority::High)
+///     .with_deadline(Duration::from_secs(5));
+/// assert_eq!(ticket.priority, Priority::High);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[non_exhaustive]
+pub struct JobTicket {
+    /// Scheduling class; see [`Priority`].
+    pub priority: Priority,
+    /// Latest acceptable completion, measured from submission. `None`
+    /// means the job waits as long as it takes.
+    pub deadline: Option<Duration>,
+    /// Per-job resource budget; `None` inherits the engine's budget.
+    pub budget: Option<SolveBudget>,
+}
+
+impl JobTicket {
+    /// Returns the ticket with a different [`Priority`].
+    #[must_use]
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Returns the ticket with a completion deadline (from submission).
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Returns the ticket with a per-job [`SolveBudget`] override.
+    #[must_use]
+    pub fn with_budget(mut self, budget: SolveBudget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+}
+
+/// Errors surfaced by [`SimService`] — the service-side siblings of
+/// [`SolveError`], shaped the same way (non-exhaustive, actionable
+/// [`Display`](fmt::Display) context, [`Error::source`] chaining) so
+/// callers handle one error family end to end.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ServiceError {
+    /// The bounded job queue is full; the caller should retry after a
+    /// drain, shed load, or build the service with a larger
+    /// [`queue_capacity`](SimServiceBuilder::queue_capacity).
+    QueueFull {
+        /// The configured queue capacity that was hit.
+        capacity: usize,
+    },
+    /// The ticket's deadline cannot be met — it is zero, shorter than the
+    /// job's own wall-clock solve budget, or it expired while the job
+    /// waited in the queue. Resubmit with a looser deadline, a higher
+    /// [`Priority`], or a tighter budget.
+    DeadlineUnmeetable {
+        /// The deadline the ticket asked for.
+        deadline: Duration,
+        /// Why it cannot be met.
+        detail: String,
+    },
+    /// The solve itself failed; see the wrapped [`SolveError`].
+    Solve(SolveError),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::QueueFull { capacity } => write!(
+                f,
+                "job queue full ({capacity} jobs queued); drain the service or \
+                 raise queue_capacity"
+            ),
+            ServiceError::DeadlineUnmeetable { deadline, detail } => write!(
+                f,
+                "deadline of {deadline:?} cannot be met: {detail}"
+            ),
+            ServiceError::Solve(e) => write!(f, "solve failed: {e}"),
+        }
+    }
+}
+
+impl Error for ServiceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServiceError::Solve(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SolveError> for ServiceError {
+    fn from(e: SolveError) -> Self {
+        ServiceError::Solve(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Plan cache
+// ---------------------------------------------------------------------------
+
+/// Cache effectiveness counters, cumulative since service construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct CacheStats {
+    /// Lookups that found a compatible plan.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries dropped by LRU eviction under the byte budget.
+    pub evictions: u64,
+    /// Entries dropped because the cached plan no longer matched the
+    /// assembled pattern (hash collision or structural drift): counted as
+    /// a miss *and* an invalidation.
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction of all lookups; `0.0` before the first lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct CacheEntry {
+    symbolic: Arc<SymbolicLu>,
+    /// Last certified operating point for this structure, reusable as a
+    /// warm start by the next job with the same key.
+    warm: Option<Vec<f64>>,
+    bytes: usize,
+    last_used: u64,
+}
+
+struct Shard {
+    entries: HashMap<StructureKey, CacheEntry>,
+    bytes: usize,
+}
+
+/// The sharded structure-keyed cache. Shard choice is a pure function of
+/// the key, eviction order is a pure function of the (monotonic) access
+/// ticks, so the cache's behavior is deterministic for a given request
+/// sequence.
+struct PlanCache {
+    shards: Vec<Mutex<Shard>>,
+    /// Per-shard byte budget.
+    shard_budget: usize,
+    tick: Mutex<u64>,
+    stats: Mutex<CacheStats>,
+}
+
+struct CacheSeed {
+    symbolic: Arc<SymbolicLu>,
+    warm: Option<Vec<f64>>,
+}
+
+impl PlanCache {
+    fn new(total_bytes: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        Self {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        entries: HashMap::new(),
+                        bytes: 0,
+                    })
+                })
+                .collect(),
+            shard_budget: (total_bytes / shards).max(1),
+            tick: Mutex::new(0),
+            stats: Mutex::new(CacheStats::default()),
+        }
+    }
+
+    fn shard(&self, key: &StructureKey) -> &Mutex<Shard> {
+        &self.shards[(key.hash as usize) % self.shards.len()]
+    }
+
+    fn next_tick(&self) -> u64 {
+        let mut t = lock(&self.tick);
+        *t += 1;
+        *t
+    }
+
+    /// Looks `key` up, verifying the cached plan against the freshly
+    /// assembled pattern. An incompatible entry is removed (invalidation)
+    /// and reported as a miss — the service re-records a fresh analysis
+    /// rather than replaying a stale plan.
+    fn lookup(&self, key: &StructureKey, pattern: &CsrMatrix, tele: &Tele<'_>) -> Option<CacheSeed> {
+        let tick = self.next_tick();
+        let mut shard = lock(self.shard(key));
+        let compatible = match shard.entries.get_mut(key) {
+            Some(entry) => {
+                if entry.symbolic.compatible_with(pattern) {
+                    entry.last_used = tick;
+                    true
+                } else {
+                    false
+                }
+            }
+            None => {
+                drop(shard);
+                lock(&self.stats).misses += 1;
+                tele.emit(Payload::CacheMiss {
+                    key: key.hash,
+                    dim: key.dim,
+                });
+                return None;
+            }
+        };
+        if compatible {
+            let entry = &shard.entries[key];
+            let seed = CacheSeed {
+                symbolic: Arc::clone(&entry.symbolic),
+                warm: entry.warm.clone(),
+            };
+            drop(shard);
+            lock(&self.stats).hits += 1;
+            tele.emit(Payload::CacheHit {
+                key: key.hash,
+                dim: key.dim,
+            });
+            Some(seed)
+        } else {
+            if let Some(dead) = shard.entries.remove(key) {
+                shard.bytes = shard.bytes.saturating_sub(dead.bytes);
+            }
+            drop(shard);
+            let mut stats = lock(&self.stats);
+            stats.invalidations += 1;
+            stats.misses += 1;
+            tele.emit(Payload::CacheMiss {
+                key: key.hash,
+                dim: key.dim,
+            });
+            None
+        }
+    }
+
+    /// Inserts or refreshes the entry for `key`, then evicts
+    /// least-recently-used entries (never the one just inserted) until the
+    /// shard is back under its byte budget.
+    fn insert(
+        &self,
+        key: StructureKey,
+        symbolic: Arc<SymbolicLu>,
+        warm: Option<Vec<f64>>,
+        tele: &Tele<'_>,
+    ) {
+        let tick = self.next_tick();
+        let bytes = symbolic.approx_bytes()
+            + warm.as_ref().map_or(0, |w| w.len() * std::mem::size_of::<f64>());
+        let mut shard = lock(self.shard(&key));
+        if let Some(old) = shard.entries.insert(
+            key,
+            CacheEntry {
+                symbolic,
+                warm,
+                bytes,
+                last_used: tick,
+            },
+        ) {
+            shard.bytes = shard.bytes.saturating_sub(old.bytes);
+        }
+        shard.bytes += bytes;
+        let mut evicted = Vec::new();
+        while shard.bytes > self.shard_budget && shard.entries.len() > 1 {
+            // Ticks are unique, so the minimum is unique: eviction order
+            // does not depend on HashMap iteration order.
+            let Some((&victim, _)) = shard
+                .entries
+                .iter()
+                .filter(|(k, _)| **k != key)
+                .min_by_key(|(_, e)| e.last_used)
+            else {
+                break;
+            };
+            if let Some(dead) = shard.entries.remove(&victim) {
+                shard.bytes = shard.bytes.saturating_sub(dead.bytes);
+                evicted.push((victim, dead.bytes));
+            }
+        }
+        drop(shard);
+        if !evicted.is_empty() {
+            lock(&self.stats).evictions += evicted.len() as u64;
+            for (victim, bytes) in evicted {
+                tele.emit(Payload::CacheEvicted {
+                    key: victim.hash,
+                    bytes,
+                });
+            }
+        }
+    }
+
+    fn stats(&self) -> CacheStats {
+        *lock(&self.stats)
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| lock(s).entries.len()).sum()
+    }
+}
+
+/// Mutex lock that survives a poisoned lock (a panicked worker must not
+/// take the whole service down — the cache only holds re-derivable state).
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The service
+// ---------------------------------------------------------------------------
+
+/// Configures a [`SimService`]; see the [module docs](self) for the
+/// architecture. Obtain via [`SimService::builder`].
+#[derive(Clone)]
+pub struct SimServiceBuilder {
+    engine: DcEngine,
+    queue_capacity: usize,
+    cache_bytes: usize,
+    cache_shards: usize,
+    warm_starts: bool,
+    policy: Option<Arc<RlStepping>>,
+}
+
+impl SimServiceBuilder {
+    /// Maximum queued jobs before [`SimService::submit`] refuses with
+    /// [`ServiceError::QueueFull`]. Default 1024; clamped to at least 1.
+    #[must_use]
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Total byte budget for cached symbolic plans and warm-start vectors,
+    /// split evenly across the shards. Default 8 MiB.
+    #[must_use]
+    pub fn cache_bytes(mut self, bytes: usize) -> Self {
+        self.cache_bytes = bytes;
+        self
+    }
+
+    /// Number of independent cache shards (each with its own lock and LRU
+    /// order). Default 8; clamped to at least 1.
+    #[must_use]
+    pub fn cache_shards(mut self, shards: usize) -> Self {
+        self.cache_shards = shards.max(1);
+        self
+    }
+
+    /// Whether cached last-certified operating points seed subsequent
+    /// solves of the same structure (default `true`). Disable to make
+    /// every service solve start from zeros — cached-plan replay alone is
+    /// bit-identical to a cold solve, which is what the bit-identity
+    /// proptests pin down.
+    #[must_use]
+    pub fn warm_starts(mut self, enabled: bool) -> Self {
+        self.warm_starts = enabled;
+        self
+    }
+
+    /// Shares a pre-trained stepping policy across all jobs. The policy is
+    /// frozen at build time (training disabled, greedy deterministic
+    /// actions) and cloned per job that needs it — a cold solve that the
+    /// warm Newton path and its recovery ladder cannot crack gets one
+    /// RL-steered PTA attempt before the failure is surfaced.
+    #[must_use]
+    pub fn policy(mut self, policy: Arc<RlStepping>) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Loads a checkpointed policy (see [`RlStepping::save_policy`]) and
+    /// installs it via [`SimServiceBuilder::policy`].
+    ///
+    /// # Errors
+    ///
+    /// I/O or format errors from [`RlStepping::load_policy`].
+    pub fn policy_from_reader(
+        self,
+        config: RlSteppingConfig,
+        r: &mut dyn std::io::BufRead,
+    ) -> std::io::Result<Self> {
+        let mut policy = RlStepping::load_policy(config, r)?;
+        policy.freeze();
+        Ok(self.policy(Arc::new(policy)))
+    }
+
+    /// Finalizes the service. Any installed policy is frozen here, so a
+    /// still-training controller cannot leak nondeterminism into the
+    /// service path.
+    pub fn build(self) -> SimService {
+        let policy = self.policy.map(|p| {
+            if p.is_frozen() {
+                p
+            } else {
+                let mut frozen = (*p).clone();
+                frozen.freeze();
+                Arc::new(frozen)
+            }
+        });
+        SimService {
+            cache: PlanCache::new(self.cache_bytes, self.cache_shards),
+            queue: Vec::new(),
+            next_id: 0,
+            queue_capacity: self.queue_capacity,
+            warm_starts: self.warm_starts,
+            policy,
+            engine: self.engine,
+        }
+    }
+}
+
+/// One queued job, with its structure analysis done at admission time.
+struct QueuedJob {
+    seq: JobId,
+    circuit: Circuit,
+    ticket: JobTicket,
+    submitted: Instant,
+    key: StructureKey,
+    pattern: CsrMatrix,
+}
+
+/// The long-lived simulation service; see the [module docs](self).
+pub struct SimService {
+    engine: DcEngine,
+    cache: PlanCache,
+    queue: Vec<QueuedJob>,
+    next_id: JobId,
+    queue_capacity: usize,
+    warm_starts: bool,
+    policy: Option<Arc<RlStepping>>,
+}
+
+impl SimService {
+    /// Starts configuring a service around `engine`. The engine's
+    /// telemetry sink and thread count are inherited by the service.
+    pub fn builder(engine: DcEngine) -> SimServiceBuilder {
+        SimServiceBuilder {
+            engine,
+            queue_capacity: 1024,
+            cache_bytes: 8 * 1024 * 1024,
+            cache_shards: 8,
+            warm_starts: true,
+            policy: None,
+        }
+    }
+
+    /// The engine this service drives.
+    pub fn engine(&self) -> &DcEngine {
+        &self.engine
+    }
+
+    /// Jobs currently waiting for [`SimService::drain`].
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Cumulative plan-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Number of structures currently cached.
+    pub fn cached_structures(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Admits one job into the queue, returning its [`JobId`].
+    ///
+    /// Admission analyzes the circuit's structure once (the analysis is
+    /// reused at drain time) and applies backpressure:
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::QueueFull`] when the queue is at capacity;
+    /// [`ServiceError::DeadlineUnmeetable`] when the ticket's deadline is
+    /// zero or shorter than the job's own wall-clock solve budget.
+    pub fn submit(&mut self, circuit: Circuit, ticket: JobTicket) -> Result<JobId, ServiceError> {
+        if self.queue.len() >= self.queue_capacity {
+            return Err(ServiceError::QueueFull {
+                capacity: self.queue_capacity,
+            });
+        }
+        if let Some(deadline) = ticket.deadline {
+            if deadline.is_zero() {
+                return Err(ServiceError::DeadlineUnmeetable {
+                    deadline,
+                    detail: "deadline is zero".to_string(),
+                });
+            }
+            let wall = ticket
+                .budget
+                .as_ref()
+                .map_or(self.engine.budget().wall_clock, |b| b.wall_clock);
+            if let Some(wall) = wall {
+                if wall > deadline {
+                    return Err(ServiceError::DeadlineUnmeetable {
+                        deadline,
+                        detail: format!(
+                            "the job's wall-clock solve budget ({wall:?}) alone exceeds it"
+                        ),
+                    });
+                }
+            }
+        }
+        let (key, pattern) = StructureKey::with_matrix(&circuit);
+        let seq = self.next_id;
+        self.next_id += 1;
+        self.queue.push(QueuedJob {
+            seq,
+            circuit,
+            ticket,
+            submitted: Instant::now(),
+            key,
+            pattern,
+        });
+        let sink = self.engine.telemetry();
+        Tele::root(&*sink, Span::default()).emit(Payload::JobQueued {
+            job: seq,
+            priority: ticket.priority.as_str().to_string(),
+            depth: self.queue.len(),
+        });
+        Ok(seq)
+    }
+
+    /// Executes every queued job and returns `(id, result)` pairs in
+    /// submission order.
+    ///
+    /// Jobs are ordered by ([`Priority`] descending, submission order),
+    /// then grouped by [`StructureKey`]; each group runs as one job on the
+    /// engine's thread pool, sharing a single pre-seeded [`LuWorkspace`]
+    /// and (when enabled) a warm-start chain. After the pool completes,
+    /// each group's final symbolic plan and last certified operating point
+    /// refresh the cache.
+    pub fn drain(&mut self) -> Vec<(JobId, Result<Solution, ServiceError>)> {
+        let mut jobs = std::mem::take(&mut self.queue);
+        if jobs.is_empty() {
+            return Vec::new();
+        }
+        jobs.sort_by_key(|j| (std::cmp::Reverse(j.ticket.priority), j.seq));
+
+        // Group by structure, groups ordered by their best job.
+        let mut group_of: HashMap<StructureKey, usize> = HashMap::new();
+        let mut groups: Vec<(StructureKey, Vec<QueuedJob>)> = Vec::new();
+        for job in jobs {
+            match group_of.get(&job.key) {
+                Some(&g) => groups[g].1.push(job),
+                None => {
+                    group_of.insert(job.key, groups.len());
+                    groups.push((job.key, vec![job]));
+                }
+            }
+        }
+
+        let sink = self.engine.telemetry();
+        let tele = Tele::root(&*sink, Span::default());
+        // Cache lookups happen serially up front (one per group — the
+        // whole group rides one seed), so the drain's cache transitions
+        // are independent of worker scheduling.
+        let prepared: Vec<(StructureKey, Vec<QueuedJob>, Option<CacheSeed>)> = groups
+            .into_iter()
+            .map(|(key, jobs)| {
+                let seed = self.cache.lookup(&key, &jobs[0].pattern, &tele);
+                for job in &jobs {
+                    tele.emit(Payload::JobAdmitted {
+                        job: job.seq,
+                        key: key.hash,
+                    });
+                }
+                (key, jobs, seed)
+            })
+            .collect();
+
+        let engine = &self.engine;
+        let policy = self.policy.as_ref();
+        let warm_starts = self.warm_starts;
+        let pooled = ThreadPool::new(engine.threads()).run(
+            prepared
+                .into_iter()
+                .map(|(key, jobs, seed)| {
+                    move || (key, run_group(engine, policy, warm_starts, jobs, seed))
+                })
+                .collect::<Vec<_>>(),
+        );
+
+        let mut out: Vec<(JobId, Result<Solution, ServiceError>)> = Vec::new();
+        for slot in pooled {
+            match slot {
+                Ok((key, group)) => {
+                    if let Some(symbolic) = group.symbolic {
+                        self.cache.insert(
+                            key,
+                            Arc::new(symbolic),
+                            if self.warm_starts { group.warm } else { None },
+                            &tele,
+                        );
+                    }
+                    out.extend(group.results);
+                }
+                Err(panic) => {
+                    // The pool isolates the panic to this group; its jobs'
+                    // ids are unrecoverable from the closure, so the
+                    // caller sees the loss via the missing slots… which
+                    // would break the contract. Instead the group closure
+                    // is panic-free by construction: every solver error is
+                    // a value. This arm is defense in depth.
+                    out.push((
+                        usize::MAX,
+                        Err(ServiceError::Solve(SolveError::WorkerPanic {
+                            detail: panic.to_string(),
+                        })),
+                    ));
+                }
+            }
+        }
+        out.sort_by_key(|(id, _)| *id);
+        out
+    }
+
+    /// Convenience path for a single request: runs `circuit` through the
+    /// cache (without touching the queue) and returns the solution.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::DeadlineUnmeetable`] under an impossible deadline;
+    /// otherwise the wrapped [`SolveError`] surface.
+    pub fn solve(
+        &mut self,
+        circuit: &Circuit,
+        ticket: JobTicket,
+    ) -> Result<Solution, ServiceError> {
+        if let Some(deadline) = ticket.deadline {
+            if deadline.is_zero() {
+                return Err(ServiceError::DeadlineUnmeetable {
+                    deadline,
+                    detail: "deadline is zero".to_string(),
+                });
+            }
+        }
+        let (key, pattern) = StructureKey::with_matrix(circuit);
+        let seq = self.next_id;
+        self.next_id += 1;
+        let sink = self.engine.telemetry();
+        let tele = Tele::root(&*sink, Span::default());
+        let seed = self.cache.lookup(&key, &pattern, &tele);
+        tele.emit(Payload::JobAdmitted {
+            job: seq,
+            key: key.hash,
+        });
+        let job = QueuedJob {
+            seq,
+            circuit: circuit.clone(),
+            ticket,
+            submitted: Instant::now(),
+            key,
+            pattern,
+        };
+        let mut group = run_group(
+            &self.engine,
+            self.policy.as_ref(),
+            self.warm_starts,
+            vec![job],
+            seed,
+        );
+        if let Some(symbolic) = group.symbolic {
+            self.cache.insert(
+                key,
+                Arc::new(symbolic),
+                if self.warm_starts { group.warm } else { None },
+                &tele,
+            );
+        }
+        match group.results.pop() {
+            Some((_, result)) => result,
+            None => Err(ServiceError::Solve(SolveError::WorkerPanic {
+                detail: "service group produced no result".to_string(),
+            })),
+        }
+    }
+}
+
+/// What one structure group hands back to the drain loop.
+struct GroupOutcome {
+    results: Vec<(JobId, Result<Solution, ServiceError>)>,
+    /// The workspace's recorded plan after the chain — refreshes the cache.
+    symbolic: Option<SymbolicLu>,
+    /// Last certified operating point of the chain.
+    warm: Option<Vec<f64>>,
+}
+
+/// Runs one structure group: a warm-start chain over jobs sharing a
+/// [`StructureKey`], all replaying one [`LuWorkspace`]. Never panics on
+/// solver failures — every error comes back as a value in its job's slot.
+fn run_group(
+    engine: &DcEngine,
+    policy: Option<&Arc<RlStepping>>,
+    warm_starts: bool,
+    jobs: Vec<QueuedJob>,
+    seed: Option<CacheSeed>,
+) -> GroupOutcome {
+    let mut ws = match &seed {
+        Some(seed) => LuWorkspace::with_symbolic((*seed.symbolic).clone()),
+        None => LuWorkspace::new(),
+    };
+    let mut warm: Option<Vec<f64>> = match (&seed, warm_starts) {
+        (Some(seed), true) => seed.warm.clone(),
+        _ => None,
+    };
+    let mut results = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        if let Some(deadline) = job.ticket.deadline {
+            if job.submitted.elapsed() > deadline {
+                results.push((
+                    job.seq,
+                    Err(ServiceError::DeadlineUnmeetable {
+                        deadline,
+                        detail: "deadline expired while the job was queued".to_string(),
+                    }),
+                ));
+                continue;
+            }
+        }
+        let budgeted;
+        let eng = match job.ticket.budget {
+            Some(b) => {
+                budgeted = engine.with_budget(b);
+                &budgeted
+            }
+            None => engine,
+        };
+        let warm_ref = warm.as_deref().filter(|w| w.len() == job.circuit.dim());
+        let solved = match eng.solve_warm(&job.circuit, warm_ref, &mut ws) {
+            Ok(sol) => Ok(sol),
+            Err(first) => match policy {
+                // The shared frozen policy gets one RL-steered PTA attempt
+                // before the failure surfaces; it cannot make the outcome
+                // worse (the original error is kept when it also fails).
+                Some(p) if job.circuit.is_nonlinear() => {
+                    let sink = eng.telemetry();
+                    let tele = Tele::root(&*sink, Span::for_job(job.seq));
+                    match eng.solve_once_with(&job.circuit, (**p).clone(), &tele) {
+                        Ok(sol) => Ok(sol),
+                        Err(_) => Err(first),
+                    }
+                }
+                _ => Err(first),
+            },
+        };
+        match solved {
+            Ok(sol) => {
+                if warm_starts {
+                    warm = Some(sol.x.clone());
+                }
+                results.push((job.seq, Ok(sol)));
+            }
+            Err(e) => results.push((job.seq, Err(ServiceError::Solve(e)))),
+        }
+    }
+    GroupOutcome {
+        results,
+        symbolic: ws.symbolic().cloned(),
+        warm,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::{Collector, MetricsRegistry};
+
+    fn divider(r2: &str) -> Circuit {
+        rlpta_netlist::parse(&format!("div\nV1 in 0 5\nR1 in out 1k\nR2 out 0 {r2}\n"))
+            .expect("parse")
+    }
+
+    fn clamp(level: &str) -> Circuit {
+        rlpta_netlist::parse(&format!(
+            "clamp\nV1 in 0 {level}\nR1 in out 1k\nD1 out 0 DX\n.model DX D(IS=1e-14)\n"
+        ))
+        .expect("parse")
+    }
+
+    #[test]
+    fn key_ignores_parameter_values_but_not_structure() {
+        let a = StructureKey::of(&divider("1k"));
+        let b = StructureKey::of(&divider("47k"));
+        assert_eq!(a, b, "parameter delta must not change the key");
+        let c = StructureKey::of(&clamp("5"));
+        assert_ne!(a, c, "different topology must change the key");
+        assert_ne!(
+            StructureKey::of(&divider("1k")).hash(),
+            0,
+            "hash must be populated"
+        );
+    }
+
+    #[test]
+    fn cached_plan_replay_is_bit_identical_to_cold() {
+        // Warm-start vectors change the Newton iterate (a different x0
+        // converges to a different point in the last-ulp sense), so the
+        // bit-identity contract is pinned with them disabled: the cached
+        // *symbolic plan* replays the exact float ops of a cold analysis.
+        let mut service = SimService::builder(DcEngine::builder().build())
+            .warm_starts(false)
+            .build();
+        let cold = service.solve(&clamp("5"), JobTicket::default()).expect("cold");
+        let replay = service.solve(&clamp("5"), JobTicket::default()).expect("replay");
+        let stats = service.cache_stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.invalidations, 0);
+        assert_eq!(cold.x, replay.x);
+    }
+
+    #[test]
+    fn warm_started_repeat_certifies_and_stays_close() {
+        let mut service = SimService::builder(DcEngine::builder().build()).build();
+        let cold = service.solve(&clamp("5"), JobTicket::default()).expect("cold");
+        let warm = service.solve(&clamp("5"), JobTicket::default()).expect("warm");
+        assert_eq!(service.cache_stats().hits, 1);
+        assert!(warm.stats.converged);
+        let health = warm.health.as_ref().expect("graded");
+        assert!(health.grade != crate::certify::HealthGrade::Rejected);
+        for (a, b) in cold.x.iter().zip(&warm.x) {
+            assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn drain_groups_by_structure_and_returns_submission_order() {
+        let collector = Arc::new(Collector::new());
+        let engine = DcEngine::builder()
+            .threads(2)
+            .telemetry(collector.clone())
+            .build();
+        let mut service = SimService::builder(engine).build();
+        let ids: Vec<JobId> = [clamp("5"), divider("1k"), clamp("3"), divider("2k")]
+            .into_iter()
+            .map(|c| service.submit(c, JobTicket::default()).expect("admit"))
+            .collect();
+        let results = service.drain();
+        assert_eq!(
+            results.iter().map(|(id, _)| *id).collect::<Vec<_>>(),
+            ids,
+            "results come back in submission order"
+        );
+        for (id, r) in &results {
+            assert!(r.is_ok(), "job {id}: {r:?}");
+        }
+        // Two structures → two misses, and the two repeats rode their
+        // group's seed/workspace (no further lookups), so no hits yet…
+        let stats = service.cache_stats();
+        assert_eq!(stats.misses, 2);
+        // …until the next drain, which hits both.
+        for c in [clamp("4"), divider("3k")] {
+            service.submit(c, JobTicket::default()).expect("admit");
+        }
+        let results = service.drain();
+        assert!(results.iter().all(|(_, r)| r.is_ok()));
+        assert_eq!(service.cache_stats().hits, 2);
+        let queued = collector
+            .events()
+            .iter()
+            .filter(|e| matches!(e.payload, Payload::JobQueued { .. }))
+            .count();
+        assert_eq!(queued, 6);
+    }
+
+    #[test]
+    fn drain_is_thread_invariant() {
+        let solve_all = |threads: usize| {
+            let engine = DcEngine::builder().threads(threads).build();
+            let mut service = SimService::builder(engine).build();
+            for c in [clamp("5"), divider("1k"), clamp("2"), clamp("7"), divider("9k")] {
+                service.submit(c, JobTicket::default()).expect("admit");
+            }
+            service
+                .drain()
+                .into_iter()
+                .map(|(id, r)| (id, r.expect("solves").x))
+                .collect::<Vec<_>>()
+        };
+        let serial = solve_all(1);
+        for threads in [2, 4] {
+            assert_eq!(serial, solve_all(threads), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn queue_full_applies_backpressure() {
+        let mut service = SimService::builder(DcEngine::builder().build())
+            .queue_capacity(2)
+            .build();
+        service.submit(divider("1k"), JobTicket::default()).expect("1");
+        service.submit(divider("2k"), JobTicket::default()).expect("2");
+        let err = service
+            .submit(divider("3k"), JobTicket::default())
+            .expect_err("full");
+        assert_eq!(err, ServiceError::QueueFull { capacity: 2 });
+        assert!(err.to_string().contains("queue_capacity"), "{err}");
+        // Draining frees the queue.
+        assert_eq!(service.drain().len(), 2);
+        service.submit(divider("3k"), JobTicket::default()).expect("free again");
+    }
+
+    #[test]
+    fn impossible_deadlines_are_refused_at_admission() {
+        let mut service = SimService::builder(DcEngine::builder().build()).build();
+        let zero = service
+            .submit(
+                divider("1k"),
+                JobTicket::default().with_deadline(Duration::ZERO),
+            )
+            .expect_err("zero deadline");
+        assert!(matches!(zero, ServiceError::DeadlineUnmeetable { .. }));
+        let budget = SolveBudget {
+            wall_clock: Some(Duration::from_secs(60)),
+            ..SolveBudget::UNLIMITED
+        };
+        let tight = service
+            .submit(
+                divider("1k"),
+                JobTicket::default()
+                    .with_deadline(Duration::from_millis(1))
+                    .with_budget(budget),
+            )
+            .expect_err("budget exceeds deadline");
+        match &tight {
+            ServiceError::DeadlineUnmeetable { detail, .. } => {
+                assert!(detail.contains("budget"), "{detail}");
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
+        assert_eq!(service.queue_depth(), 0);
+    }
+
+    #[test]
+    fn priorities_run_first_but_results_stay_in_submission_order() {
+        let mut service = SimService::builder(DcEngine::builder().build()).build();
+        let low = service
+            .submit(clamp("5"), JobTicket::default().with_priority(Priority::Low))
+            .expect("low");
+        let critical = service
+            .submit(
+                clamp("5"),
+                JobTicket::default().with_priority(Priority::Critical),
+            )
+            .expect("critical");
+        let results = service.drain();
+        assert_eq!(results[0].0, low);
+        assert_eq!(results[1].0, critical);
+        assert!(results.iter().all(|(_, r)| r.is_ok()));
+    }
+
+    #[test]
+    fn byte_budget_evicts_lru_structure() {
+        let engine = DcEngine::builder().build();
+        // A budget big enough for roughly one small entry per shard, with
+        // one shard so the LRU order is observable.
+        let mut service = SimService::builder(engine)
+            .cache_shards(1)
+            .cache_bytes(1)
+            .build();
+        service.solve(&divider("1k"), JobTicket::default()).expect("a");
+        service.solve(&clamp("5"), JobTicket::default()).expect("b");
+        let stats = service.cache_stats();
+        assert!(stats.evictions >= 1, "expected evictions, got {stats:?}");
+        assert_eq!(service.cached_structures(), 1, "budget holds one entry");
+    }
+
+    #[test]
+    fn cache_events_reach_the_metrics_registry() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let engine = DcEngine::builder().telemetry(registry.clone()).build();
+        let mut service = SimService::builder(engine).build();
+        service.solve(&clamp("5"), JobTicket::default()).expect("cold");
+        service.solve(&clamp("5"), JobTicket::default()).expect("warm");
+        assert_eq!(registry.kind_count("CacheMiss"), 1);
+        assert_eq!(registry.kind_count("CacheHit"), 1);
+        assert_eq!(registry.kind_count("JobAdmitted"), 2);
+    }
+
+    #[test]
+    fn service_error_family_converts_and_chains() {
+        let inner = SolveError::CertificationFailed { residual_norm: 1.0 };
+        let err: ServiceError = inner.clone().into();
+        assert_eq!(err, ServiceError::Solve(inner));
+        assert!(Error::source(&err).is_some());
+        assert!(err.to_string().contains("solve failed"), "{err}");
+        let dl = ServiceError::DeadlineUnmeetable {
+            deadline: Duration::from_secs(1),
+            detail: "expired".to_string(),
+        };
+        assert!(Error::source(&dl).is_none());
+        assert!(dl.to_string().contains("cannot be met"), "{dl}");
+    }
+
+    #[test]
+    fn frozen_policy_is_shared_not_retrained() {
+        let mut policy = RlStepping::new(RlSteppingConfig::new(7));
+        policy.freeze();
+        let engine = DcEngine::builder().build();
+        let mut service = SimService::builder(engine)
+            .policy(Arc::new(policy))
+            .build();
+        // A healthy circuit never needs the policy, but the handle must
+        // not break the normal path.
+        let sol = service.solve(&clamp("5"), JobTicket::default()).expect("solve");
+        assert!(sol.stats.converged);
+    }
+}

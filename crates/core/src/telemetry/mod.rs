@@ -230,6 +230,52 @@ pub enum Payload {
         /// Stringified terminal error.
         error: String,
     },
+    /// A [`SimService`](crate::SimService) request found its circuit's
+    /// structure in the plan cache: the solve starts from a shared symbolic
+    /// analysis instead of redoing the sparse DFS/pivot work.
+    CacheHit {
+        /// [`StructureKey`](crate::service::StructureKey) hash of the
+        /// request's MNA pattern + device topology.
+        key: u64,
+        /// MNA system dimension of the request.
+        dim: usize,
+    },
+    /// A service request missed the plan cache (first sighting of the
+    /// structure, or a prior entry was evicted/invalidated): the solve runs
+    /// a full symbolic analysis and records it for successors.
+    CacheMiss {
+        /// Structure-key hash of the request.
+        key: u64,
+        /// MNA system dimension of the request.
+        dim: usize,
+    },
+    /// The plan cache evicted an entry to stay inside its byte budget
+    /// (least-recently-used first).
+    CacheEvicted {
+        /// Structure-key hash of the evicted entry.
+        key: u64,
+        /// Approximate bytes the eviction reclaimed.
+        bytes: usize,
+    },
+    /// A job passed the service's admission control and entered the
+    /// priority queue.
+    JobQueued {
+        /// Service-assigned job id (submission order).
+        job: usize,
+        /// Stable priority name (`"low"`, `"normal"`, `"high"`,
+        /// `"critical"`).
+        priority: String,
+        /// Queue depth after the insertion.
+        depth: usize,
+    },
+    /// A queued job was admitted to a worker by the service's drain cycle.
+    JobAdmitted {
+        /// Service-assigned job id.
+        job: usize,
+        /// Structure-key hash of the job's circuit — jobs sharing it drain
+        /// into the same worker so cached plans stay core-local.
+        key: u64,
+    },
     /// Out-of-band wall-clock timing for one scoped phase (see
     /// [`timing`]). Durations are scheduler- and load-dependent, so every
     /// determinism comparison filters these events out (use
@@ -261,6 +307,11 @@ impl Payload {
             Payload::Certified { .. } => "Certified",
             Payload::RefinementStep { .. } => "RefinementStep",
             Payload::Quarantined { .. } => "Quarantined",
+            Payload::CacheHit { .. } => "CacheHit",
+            Payload::CacheMiss { .. } => "CacheMiss",
+            Payload::CacheEvicted { .. } => "CacheEvicted",
+            Payload::JobQueued { .. } => "JobQueued",
+            Payload::JobAdmitted { .. } => "JobAdmitted",
             Payload::PhaseTiming { .. } => "PhaseTiming",
         }
     }
@@ -754,6 +805,30 @@ impl Event {
                 push_field_f64(&mut s, "value", *value);
                 push_field_str(&mut s, "error", error);
             }
+            Payload::CacheHit { key, dim } | Payload::CacheMiss { key, dim } => {
+                // Structure keys are full-range u64 hashes; a JSON number
+                // would round through f64, so they serialize as fixed-width
+                // hex strings.
+                push_field_str(&mut s, "key", &format!("{key:016x}"));
+                push_field_usize(&mut s, "dim", *dim);
+            }
+            Payload::CacheEvicted { key, bytes } => {
+                push_field_str(&mut s, "key", &format!("{key:016x}"));
+                push_field_usize(&mut s, "bytes", *bytes);
+            }
+            Payload::JobQueued {
+                job,
+                priority,
+                depth,
+            } => {
+                push_field_usize(&mut s, "index", *job);
+                push_field_str(&mut s, "priority", priority);
+                push_field_usize(&mut s, "depth", *depth);
+            }
+            Payload::JobAdmitted { job, key } => {
+                push_field_usize(&mut s, "index", *job);
+                push_field_str(&mut s, "key", &format!("{key:016x}"));
+            }
             Payload::PhaseTiming { phase, nanos } => {
                 push_field_str(&mut s, "phase", phase.name());
                 let _ = write!(s, ",\"nanos\":{nanos}");
@@ -856,6 +931,27 @@ impl Event {
                 value: fields.f64_field("value")?,
                 error: fields.str_field("error")?,
             },
+            "CacheHit" => Payload::CacheHit {
+                key: fields.key_field("key")?,
+                dim: fields.usize_field("dim")?,
+            },
+            "CacheMiss" => Payload::CacheMiss {
+                key: fields.key_field("key")?,
+                dim: fields.usize_field("dim")?,
+            },
+            "CacheEvicted" => Payload::CacheEvicted {
+                key: fields.key_field("key")?,
+                bytes: fields.usize_field("bytes")?,
+            },
+            "JobQueued" => Payload::JobQueued {
+                job: fields.usize_field("index")?,
+                priority: fields.str_field("priority")?,
+                depth: fields.usize_field("depth")?,
+            },
+            "JobAdmitted" => Payload::JobAdmitted {
+                job: fields.usize_field("index")?,
+                key: fields.key_field("key")?,
+            },
             "PhaseTiming" => {
                 let name = fields.str_field("phase")?;
                 Payload::PhaseTiming {
@@ -912,6 +1008,16 @@ impl JsonFields {
         match self.get(key) {
             Some(JsonValue::Num(n)) if *n >= 0.0 && n.fract() == 0.0 => Ok(*n as u64),
             other => Err(format!("field {key:?}: expected integer, got {other:?}")),
+        }
+    }
+
+    /// A full-range u64 serialized as a hex string (structure-key hashes;
+    /// JSON numbers round through f64 above 2^53).
+    fn key_field(&self, key: &str) -> Result<u64, String> {
+        match self.get(key) {
+            Some(JsonValue::Str(s)) => u64::from_str_radix(s, 16)
+                .map_err(|e| format!("field {key:?}: bad hex key {s:?}: {e}")),
+            other => Err(format!("field {key:?}: expected hex string, got {other:?}")),
         }
     }
 
@@ -1452,6 +1558,27 @@ mod tests {
             Payload::PhaseTiming {
                 phase: Phase::LuReplay,
                 nanos: 123_456_789,
+            },
+            Payload::CacheHit {
+                key: 0xdead_beef_cafe_f00d,
+                dim: 33,
+            },
+            Payload::CacheMiss {
+                key: u64::MAX,
+                dim: 12,
+            },
+            Payload::CacheEvicted {
+                key: 0x0000_0000_0000_0001,
+                bytes: 4096,
+            },
+            Payload::JobQueued {
+                job: 42,
+                priority: "high".to_string(),
+                depth: 7,
+            },
+            Payload::JobAdmitted {
+                job: 42,
+                key: 0x1234_5678_9abc_def0,
             },
         ]
     }

@@ -112,19 +112,18 @@ impl<C: StepController> StepController for TraceController<C> {
 
 #[cfg(test)]
 mod tests {
-    // The deprecated constructor shims stay under test until removal.
-    #![allow(deprecated)]
     use super::*;
-    use crate::{PtaKind, PtaSolver, SimpleStepping};
+    use crate::{PtaConfig, PtaKind, PtaSolver, SimpleStepping};
 
     fn traced_run() -> (crate::SolveStats, Vec<TraceEntry>) {
         let c = rlpta_netlist::parse(
             "t\nV1 in 0 5\nR1 in out 1k\nD1 out 0 DX\n.model DX D(IS=1e-14)\n",
         )
         .unwrap();
-        let mut solver = PtaSolver::new(
+        let mut solver = PtaSolver::with_config(
             PtaKind::dpta(),
             TraceController::new(SimpleStepping::default()),
+            PtaConfig::default(),
         );
         let sol = solver.solve(&c).unwrap();
         let trace = solver.controller_mut().entries().to_vec();
@@ -157,9 +156,10 @@ mod tests {
     fn csv_has_header_and_rows() {
         let c = rlpta_netlist::parse("t\nV1 a 0 2\nR1 a b 1k\nD1 b 0 DX\n.model DX D(IS=1e-14)\n")
             .unwrap();
-        let mut solver = PtaSolver::new(
+        let mut solver = PtaSolver::with_config(
             PtaKind::dpta(),
             TraceController::new(SimpleStepping::default()),
+            PtaConfig::default(),
         );
         solver.solve(&c).unwrap();
         let csv = solver.controller_mut().to_csv();

@@ -1,0 +1,140 @@
+//! Property-based tests for the service layer: structure keys never
+//! collide across generated circuit families, cached-plan replays are
+//! bit-identical to cold solves, and warm-started cached solves certify
+//! exactly like cold ones — with faults injected where the harness allows.
+
+use proptest::prelude::*;
+use rlpta_core::prelude::*;
+
+/// A two-parameter circuit family: an `n`-stage resistor ladder with `d`
+/// diode clamps hanging off its first nodes. The *structure* is exactly
+/// `(n, d)`; `v` and `r_kohm` only move values.
+fn family_deck(n: usize, d: usize, v: f64, r_kohm: f64) -> String {
+    let mut deck = format!("fam\nV1 n0 0 {v}\n");
+    for i in 0..n {
+        deck += &format!("R{i} n{i} n{} {r_kohm}k\n", i + 1);
+    }
+    deck += &format!("RL n{n} 0 {r_kohm}k\n");
+    for k in 0..d {
+        deck += &format!("D{k} n{} 0 DX\n", (k % n) + 1);
+    }
+    if d > 0 {
+        deck += ".model DX D(IS=1e-14)\n";
+    }
+    deck
+}
+
+fn family_circuit(n: usize, d: usize, v: f64, r_kohm: f64) -> rlpta_mna::Circuit {
+    rlpta_netlist::parse(&family_deck(n, d, v, r_kohm)).expect("family decks parse")
+}
+
+proptest! {
+    /// Two circuits from the family share a [`StructureKey`] **iff** they
+    /// share the structural parameters — parameter values never enter the
+    /// key, topology always does.
+    #[test]
+    fn structure_keys_separate_the_circuit_family(
+        n1 in 1usize..8, d1 in 0usize..4,
+        n2 in 1usize..8, d2 in 0usize..4,
+        v1 in 0.5f64..20.0, r1 in 0.1f64..100.0,
+        v2 in 0.5f64..20.0, r2 in 0.1f64..100.0,
+    ) {
+        let k1 = StructureKey::of(&family_circuit(n1, d1, v1, r1));
+        let k2 = StructureKey::of(&family_circuit(n2, d2, v2, r2));
+        let same_structure = n1 == n2 && d1 == d2;
+        prop_assert_eq!(
+            k1 == k2,
+            same_structure,
+            "keys {} / {} for structures ({n1},{d1}) / ({n2},{d2})",
+            k1,
+            k2
+        );
+    }
+
+    /// Replaying a cached symbolic plan is **bit-identical** to the cold
+    /// solve that seeded it: with warm starts disabled, the service's
+    /// second solve of a structure runs the exact same float program.
+    #[test]
+    fn cached_plan_solves_are_bit_identical_to_cold(
+        n in 1usize..6, d in 1usize..4,
+        v in 0.5f64..15.0, r_kohm in 0.1f64..50.0,
+    ) {
+        let circuit = family_circuit(n, d, v, r_kohm);
+        let mut service = SimService::builder(DcEngine::builder().build())
+            .warm_starts(false)
+            .build();
+        let cold = service.solve(&circuit, JobTicket::default()).expect("cold solve");
+        prop_assert_eq!(service.cache_stats().misses, 1);
+        let replay = service.solve(&circuit, JobTicket::default()).expect("cached solve");
+        prop_assert_eq!(service.cache_stats().hits, 1);
+        prop_assert_eq!(service.cache_stats().invalidations, 0);
+        // PartialEq on the f64 vector: bitwise identity, not tolerance.
+        prop_assert_eq!(cold.x, replay.x);
+        prop_assert_eq!(cold.stats.nr_iterations, replay.stats.nr_iterations);
+    }
+
+    /// Warm-started cached solves pass the same certification gate as cold
+    /// solves: a repeat request for a (value-jittered) structure comes back
+    /// with exactly the cold solve's health grade.
+    #[test]
+    fn warm_started_solves_certify_identically_to_cold(
+        n in 1usize..6, d in 1usize..4,
+        v in 0.5f64..15.0, r_kohm in 0.1f64..50.0,
+        jitter in -0.01f64..0.01,
+    ) {
+        let cold_circuit = family_circuit(n, d, v, r_kohm);
+        let warm_circuit = family_circuit(n, d, v * (1.0 + jitter), r_kohm);
+        let mut service = SimService::builder(DcEngine::builder().build()).build();
+        let cold = service.solve(&cold_circuit, JobTicket::default()).expect("cold solve");
+        let warm = service.solve(&warm_circuit, JobTicket::default()).expect("warm solve");
+        prop_assert_eq!(service.cache_stats().hits, 1);
+        let cold_grade = cold.health.as_ref().expect("cold graded").grade;
+        let warm_grade = warm.health.as_ref().expect("warm graded").grade;
+        prop_assert_eq!(cold_grade, warm_grade);
+        prop_assert_eq!(cold_grade, HealthGrade::Certified);
+    }
+}
+
+#[cfg(feature = "faults")]
+mod under_faults {
+    use super::*;
+    use rlpta_core::FaultPlan;
+
+    proptest! {
+        /// The certification contract survives fault injection: with
+        /// seeded singular pivots hitting both paths (at different
+        /// operation counts — the warm path does less LU work, so the
+        /// periodic schedule lands elsewhere), a warm-started cached
+        /// solve still passes the same gate as the cold solve of the
+        /// same structure. Neither side is ever `Rejected` — the
+        /// workspace falls back to a full factorization rather than
+        /// certify a corrupted replay — and both land on the same
+        /// operating point to certification tolerance.
+        #[test]
+        fn warm_solves_certify_like_cold_under_faults(
+            seed in any::<u64>(),
+            period in 3u64..16,
+            n in 1usize..5, d in 1usize..3,
+            v in 1.0f64..12.0, r_kohm in 0.5f64..20.0,
+        ) {
+            let engine = DcEngine::builder()
+                .retries(2)
+                .fault_plan(FaultPlan::seeded(seed).singular_pivots(period))
+                .build();
+            let circuit = family_circuit(n, d, v, r_kohm);
+            let mut service = SimService::builder(engine).build();
+            let cold = service.solve(&circuit, JobTicket::default()).expect("cold solve");
+            let warm = service.solve(&circuit, JobTicket::default()).expect("warm solve");
+            let cold_grade = cold.health.as_ref().expect("cold graded").grade;
+            let warm_grade = warm.health.as_ref().expect("warm graded").grade;
+            prop_assert!(cold_grade != HealthGrade::Rejected, "cold solve rejected");
+            prop_assert!(warm_grade != HealthGrade::Rejected, "warm solve rejected");
+            for (a, b) in cold.x.iter().zip(&warm.x) {
+                prop_assert!(
+                    (a - b).abs() <= 1e-9 * a.abs().max(1.0),
+                    "operating points diverged: {a} vs {b}"
+                );
+            }
+        }
+    }
+}

@@ -56,4 +56,4 @@ pub use error::LinalgError;
 pub use ordering::ColumnOrdering;
 pub use sparse::{CsrMatrix, Triplet};
 pub use sparse_lu::{Refinement, SparseLu};
-pub use symbolic::{LuOp, LuStats, LuWorkspace, SymbolicLu};
+pub use symbolic::{FnvHasher, LuOp, LuStats, LuWorkspace, SymbolicLu};

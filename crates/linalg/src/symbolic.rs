@@ -28,6 +28,74 @@ use crate::{CsrMatrix, LinalgError, SparseLu};
 
 const EMPTY: usize = usize::MAX;
 
+/// FNV-1a over machine words. The standard library's `DefaultHasher` is
+/// keyed per [`std::collections::hash_map::RandomState`] instance, so its
+/// values cannot serve as stable cache keys across processes; FNV is
+/// deterministic, collision-resistant enough for sparsity patterns (the
+/// caller additionally discriminates on dimension and entry count), and
+/// needs no dependency. Public so structure-keyed caches above this crate
+/// (e.g. `rlpta-core`'s service layer) can fold their own topology data
+/// into the same stable key space as [`CsrMatrix::pattern_hash`].
+#[derive(Debug, Clone, Copy)]
+pub struct FnvHasher(u64);
+
+impl Default for FnvHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FnvHasher {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Self(Self::OFFSET)
+    }
+
+    /// Folds one `u64` in, byte by byte (little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        for byte in v.to_le_bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Folds one machine word in (as `u64`, so the hash is width-stable).
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Folds a word slice in, element order significant.
+    pub fn write_slice(&mut self, vs: &[usize]) {
+        for &v in vs {
+            self.write_usize(v);
+        }
+    }
+
+    /// The accumulated hash.
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+impl CsrMatrix {
+    /// Deterministic 64-bit hash of the sparsity *structure* (dimensions,
+    /// `row_ptr`, `col_indices`) — values do not contribute. Two matrices
+    /// with identical structure hash identically whatever their entries,
+    /// so the hash keys caches of structure-dependent state such as
+    /// [`SymbolicLu`] scatter plans.
+    pub fn pattern_hash(&self) -> u64 {
+        let mut h = FnvHasher::new();
+        h.write_usize(self.rows());
+        h.write_usize(self.cols());
+        h.write_slice(self.row_ptr());
+        h.write_slice(self.col_indices());
+        h.finish()
+    }
+}
+
 /// The pattern half of a completed [`SparseLu`] factorization: permutations
 /// plus `L`/`U` sparsity structure, with no numeric values.
 ///
@@ -128,6 +196,75 @@ impl SymbolicLu {
     /// Dimension of the recorded system.
     pub fn dim(&self) -> usize {
         self.n
+    }
+
+    /// Deterministic hash of the *input* structure this pattern was
+    /// recorded from ([`CsrMatrix::pattern_hash`] of the original matrix),
+    /// falling back to a hash of the `L`/`U` pattern when no scatter plan
+    /// was recordable. Cross-run-stable cache key material: a matrix whose
+    /// `pattern_hash` equals this value will (modulo deliberate hash
+    /// collisions) take the exact-replay fast path.
+    pub fn pattern_hash(&self) -> u64 {
+        let mut h = FnvHasher::new();
+        h.write_usize(self.n);
+        match &self.plan {
+            Some(plan) => {
+                h.write_usize(self.n);
+                h.write_slice(&plan.a_row_ptr);
+                h.write_slice(&plan.a_col_indices);
+            }
+            None => {
+                // No recorded input structure: key on the factorization
+                // pattern itself (permutations + L/U structure).
+                h.write_slice(&self.p);
+                h.write_slice(&self.q);
+                h.write_slice(&self.l_ptr);
+                h.write_slice(&self.l_rows);
+                h.write_slice(&self.u_ptr);
+                h.write_slice(&self.u_rows);
+            }
+        }
+        h.finish()
+    }
+
+    /// Whether `a` is structurally identical to the matrix this pattern was
+    /// recorded from — the precondition for the no-checks exact replay.
+    /// Matrices that fail this check can still [`SymbolicLu::refactorize`]
+    /// through the guarded general path (structural *subsets* succeed
+    /// there), but a cache layer should treat `false` as a pattern
+    /// mismatch and record a fresh analysis rather than replay blind.
+    pub fn compatible_with(&self, a: &CsrMatrix) -> bool {
+        if a.rows() != self.n || a.cols() != self.n {
+            return false;
+        }
+        match &self.plan {
+            Some(plan) => {
+                plan.a_row_ptr == a.row_ptr() && plan.a_col_indices == a.col_indices()
+            }
+            None => false,
+        }
+    }
+
+    /// Approximate heap footprint in bytes (index vectors plus the scatter
+    /// plan). Used by byte-budgeted caches to meter eviction; exactness is
+    /// not required, only monotonicity in pattern size.
+    pub fn approx_bytes(&self) -> usize {
+        const W: usize = std::mem::size_of::<usize>();
+        let own = (self.p.len()
+            + self.q.len()
+            + self.pinv.len()
+            + self.l_ptr.len()
+            + self.l_rows.len()
+            + self.l_pos.len()
+            + self.u_ptr.len()
+            + self.u_rows.len())
+            * W;
+        let plan = self.plan.as_ref().map_or(0, |p| {
+            (p.a_row_ptr.len() + p.a_col_indices.len() + p.csc_ptr.len() + p.src.len()
+                + p.dst.len())
+                * W
+        });
+        std::mem::size_of::<Self>() + own + plan
     }
 
     /// Numeric-only factorization of `a` inside the recorded pattern.
@@ -489,6 +626,32 @@ impl LuWorkspace {
         Self::default()
     }
 
+    /// A workspace pre-seeded with a previously recorded pattern — the
+    /// cross-request reuse hook: a cache that kept the [`SymbolicLu`] of an
+    /// earlier solve hands it to a fresh workspace so the *first*
+    /// factorization of the new solve is already a cheap numeric replay.
+    ///
+    /// Safety against staleness is inherited from
+    /// [`LuWorkspace::factorize`]: a seeded pattern that no longer matches
+    /// the matrix fails the guarded replay and transparently falls back to
+    /// a full, re-recorded factorization (visible as a `fallbacks` bump in
+    /// [`LuWorkspace::stats`]) — a stale seed can cost one wasted attempt,
+    /// never a wrong result.
+    pub fn with_symbolic(symbolic: SymbolicLu) -> Self {
+        Self {
+            symbolic: Some(symbolic),
+            stats: LuStats::default(),
+            last_op: None,
+        }
+    }
+
+    /// Replaces the recorded pattern in place (same semantics as
+    /// [`LuWorkspace::with_symbolic`] for an existing workspace). Counters
+    /// and `last_op` are preserved.
+    pub fn preload(&mut self, symbolic: SymbolicLu) {
+        self.symbolic = Some(symbolic);
+    }
+
     /// Factorizes `a`, reusing the recorded symbolic pattern when possible.
     ///
     /// # Errors
@@ -748,6 +911,89 @@ mod tests {
             ws.factorize(&t.to_csr()),
             Err(LinalgError::Singular { .. })
         ));
+    }
+
+    #[test]
+    fn pattern_hash_tracks_structure_not_values() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let (a, _) = random_system(&mut rng, 12);
+        // Same structure, different values: hash must agree.
+        let mut t = Triplet::new(12, 12);
+        for (r, c, v) in a.iter() {
+            t.push(r, c, v * 3.5 + 1.0);
+        }
+        let scaled = t.to_csr();
+        assert_eq!(a.pattern_hash(), scaled.pattern_hash());
+        // Different structure: hash must differ. Grow by an entry that is
+        // genuinely absent from the random pattern.
+        let (gr, gc) = (0..12)
+            .flat_map(|r| (0..12).map(move |c| (r, c)))
+            .find(|&(r, c)| a.get(r, c) == 0.0 && !a.iter().any(|(ar, ac, _)| (ar, ac) == (r, c)))
+            .expect("a 12x12 random system with ~48 entries has a hole");
+        let mut t2 = Triplet::new(12, 12);
+        for (r, c, v) in a.iter() {
+            t2.push(r, c, v);
+        }
+        t2.push(gr, gc, -0.25);
+        let grown = t2.to_csr();
+        assert_ne!(a.pattern_hash(), grown.pattern_hash());
+        // The recorded symbolic pattern keys on the same hash.
+        let sym = SparseLu::factorize(&a).unwrap().symbolic(&a);
+        assert_eq!(sym.pattern_hash(), sym.pattern_hash());
+        assert!(sym.compatible_with(&a));
+        assert!(sym.compatible_with(&scaled));
+        assert!(!sym.compatible_with(&grown));
+    }
+
+    #[test]
+    fn approx_bytes_grows_with_pattern() {
+        let small = {
+            let a = CsrMatrix::identity(4);
+            SparseLu::factorize(&a).unwrap().symbolic(&a)
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        let (a, _) = random_system(&mut rng, 40);
+        let big = SparseLu::factorize(&a).unwrap().symbolic(&a);
+        assert!(small.approx_bytes() > 0);
+        assert!(big.approx_bytes() > small.approx_bytes());
+    }
+
+    #[test]
+    fn preseeded_workspace_replays_first_call() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let (a, b) = random_system(&mut rng, 20);
+        let sym = SparseLu::factorize(&a).unwrap().symbolic(&a);
+        let mut ws = LuWorkspace::with_symbolic(sym);
+        let lu = ws.factorize(&a).unwrap();
+        assert_eq!(ws.stats().full_factorizations, 0);
+        assert_eq!(ws.stats().refactorizations, 1);
+        assert_eq!(ws.last_op(), Some(LuOp::Replay));
+        // Bit-identical to an uncached full factorization.
+        let cold = SparseLu::factorize(&a).unwrap();
+        assert_eq!(lu.solve(&b).unwrap(), cold.solve(&b).unwrap());
+    }
+
+    #[test]
+    fn stale_preseed_falls_back_to_full() {
+        let a = CsrMatrix::identity(3);
+        let sym = SparseLu::factorize(&a).unwrap().symbolic(&a);
+        let mut t = Triplet::new(3, 3);
+        for i in 0..3 {
+            t.push(i, i, 2.0);
+        }
+        t.push(0, 2, -1.0);
+        t.push(2, 0, -1.0);
+        let grown = t.to_csr();
+        let mut ws = LuWorkspace::with_symbolic(sym);
+        let lu = ws.factorize(&grown).unwrap();
+        assert_eq!(ws.stats().fallbacks, 1);
+        assert_eq!(ws.stats().full_factorizations, 1);
+        assert_eq!(ws.last_op(), Some(LuOp::Full));
+        let x = lu.solve(&[1.0, 2.0, 3.0]).unwrap();
+        assert!(x.iter().all(|v| v.is_finite()));
+        // The grown pattern was re-recorded: the next call replays.
+        ws.factorize(&grown).unwrap();
+        assert_eq!(ws.stats().refactorizations, 1);
     }
 
     #[test]

@@ -10,8 +10,9 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rlpta::circuits::{by_name, training_corpus};
-use rlpta::core::{predict_params, IppOracle, PtaKind, PtaParams};
+use rlpta::core::{predict_params, IppOracle, PtaParams};
 use rlpta::gp::{ActiveLearner, ActiveLearnerConfig};
+use rlpta::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let corpus: Vec<_> = training_corpus().into_iter().take(16).collect();

@@ -7,10 +7,8 @@
 //! ```
 
 use rlpta::circuits::by_name;
-use rlpta::core::{
-    GminStepping, NewtonRaphson, PtaConfig, PtaKind, PtaSolver, SerStepping, SimpleStepping,
-    SourceStepping,
-};
+use rlpta::core::{GminStepping, SourceStepping};
+use rlpta::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bench = by_name("UA709").expect("UA709 is a known benchmark");
@@ -18,7 +16,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("circuit: {circuit}");
 
     // 1. Plain Newton (may or may not converge on op-amps; report honestly).
-    match NewtonRaphson::default().solve(circuit) {
+    match DcEngine::builder().newton().build().solve(circuit) {
         Ok(sol) => println!(
             "newton         : converged, {:>5} NR iterations",
             sol.stats.nr_iterations
@@ -26,15 +24,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Err(e) => println!("newton         : {e}"),
     }
 
-    // 2. Gmin stepping.
-    let gmin = GminStepping::default().solve(circuit)?;
+    // 2. Gmin stepping (a single-stage ladder).
+    let gmin = DcEngine::builder()
+        .ladder(vec![LadderStage::GminStepping(GminStepping::default())])
+        .build()
+        .solve(circuit)?;
     println!(
         "gmin stepping  : converged, {:>5} NR iterations over {} stages",
         gmin.stats.nr_iterations, gmin.stats.pta_steps
     );
 
     // 3. Source stepping.
-    let src = SourceStepping::default().solve(circuit)?;
+    let src = DcEngine::builder()
+        .ladder(vec![LadderStage::SourceStepping(SourceStepping::default())])
+        .build()
+        .solve(circuit)?;
     println!(
         "source stepping: converged, {:>5} NR iterations over {} stages",
         src.stats.nr_iterations, src.stats.pta_steps
@@ -42,10 +46,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. PTA flavours with the two classical controllers.
     for kind in [PtaKind::Pure, PtaKind::dpta(), PtaKind::cepta()] {
-        let mut simple = PtaSolver::with_config(kind, SimpleStepping::default(), PtaConfig::default());
-        let s = simple.solve(circuit)?;
-        let mut ser = PtaSolver::with_config(kind, SerStepping::default(), PtaConfig::default());
-        let a = ser.solve(circuit)?;
+        let s = DcEngine::builder()
+            .kind(kind)
+            .stepping(Stepping::Simple(SimpleStepping::default()))
+            .build()
+            .solve(circuit)?;
+        let a = DcEngine::builder()
+            .kind(kind)
+            .stepping(Stepping::Ser(SerStepping::default()))
+            .build()
+            .solve(circuit)?;
         println!(
             "{:<6} simple  : {:>5} NR / {:>3} steps   adaptive: {:>5} NR / {:>3} steps",
             kind.name(),
@@ -57,9 +67,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // All methods must land on the same operating point.
-    let reference = GminStepping::default().solve(circuit)?;
-    let mut dpta = PtaSolver::with_config(PtaKind::dpta(), SimpleStepping::default(), PtaConfig::default());
-    let check = dpta.solve(circuit)?;
+    let reference = DcEngine::builder()
+        .ladder(vec![LadderStage::GminStepping(GminStepping::default())])
+        .build()
+        .solve(circuit)?;
+    let check = DcEngine::builder()
+        .kind(PtaKind::dpta())
+        .build()
+        .solve(circuit)?;
     let max_dev = reference
         .x
         .iter()

@@ -4,8 +4,8 @@
 //! cargo run --example quickstart
 //! ```
 
-use rlpta::core::{NewtonRaphson, PtaConfig, PtaKind, PtaSolver, SimpleStepping};
 use rlpta::netlist::parse;
+use rlpta::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A diode clamp: the classic "hello world" of nonlinear DC analysis.
@@ -21,7 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("parsed `{circuit}`");
 
     // Direct Newton–Raphson (works here; hard circuits need continuation).
-    let newton = NewtonRaphson::default().solve(&circuit)?;
+    let newton = DcEngine::builder().newton().build().solve(&circuit)?;
     println!(
         "Newton-Raphson:  v(out) = {:.6} V in {} iterations",
         newton.voltage(&circuit, "out").expect("node exists"),
@@ -30,8 +30,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Pseudo-transient analysis — the paper's continuation method — reaches
     // the same operating point from the relaxed all-zero state.
-    let mut pta = PtaSolver::with_config(PtaKind::dpta(), SimpleStepping::default(), PtaConfig::default());
-    let solution = pta.solve(&circuit)?;
+    let engine = DcEngine::builder().kind(PtaKind::dpta()).build();
+    let solution = engine.solve(&circuit)?;
     println!(
         "DPTA:            v(out) = {:.6} V in {} NR iterations over {} steps",
         solution.voltage(&circuit, "out").expect("node exists"),

@@ -7,9 +7,8 @@
 //! ```
 
 use rlpta::circuits::{by_name, training_corpus};
-use rlpta::core::{
-    PtaConfig, PtaKind, PtaSolver, RlStepping, RlSteppingConfig, SerStepping, SimpleStepping,
-};
+use rlpta::core::{PtaSolver, RlStepping};
+use rlpta::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let kind = PtaKind::dpta();

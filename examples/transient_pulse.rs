@@ -8,8 +8,9 @@
 //! cargo run --release --example transient_pulse
 //! ```
 
-use rlpta::core::{NewtonRaphson, Transient, Waveform};
+use rlpta::core::{Transient, Waveform};
 use rlpta::netlist::parse;
+use rlpta::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let circuit = parse(
@@ -27,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     // 1. DC operating point (the paper's subject).
-    let dc = NewtonRaphson::default().solve(&circuit)?;
+    let dc = DcEngine::builder().newton().build().solve(&circuit)?;
     println!(
         "DC operating point: v(c) = {:.3} V, v(b) = {:.3} V  ({} NR iterations)",
         dc.voltage(&circuit, "c").ok_or("node c")?,

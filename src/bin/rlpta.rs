@@ -15,10 +15,10 @@
 //! ```
 
 use rlpta::core::{
-    op_report, AcSweep, DcSweep, GminStepping, NewtonHomotopy, NewtonRaphson, PtaConfig, PtaKind,
-    PtaSolver,
-    RlStepping, RlSteppingConfig, SerStepping, SimpleStepping, Solution, SourceStepping, Transient,
+    op_report, AcSweep, GminStepping, NewtonHomotopy, NewtonRaphson, PtaSolver, RlStepping,
+    SourceStepping, Transient,
 };
+use rlpta::prelude::*;
 use rlpta::mna::Circuit;
 use std::process::ExitCode;
 

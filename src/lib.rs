@@ -14,7 +14,7 @@
 //!
 //! ```
 //! use rlpta::netlist::parse;
-//! use rlpta::core::NewtonRaphson;
+//! use rlpta::prelude::*;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let circuit = parse(
@@ -24,7 +24,8 @@
 //!      R2 out 0 1k
 //!      .end",
 //! )?;
-//! let solution = NewtonRaphson::default().solve(&circuit)?;
+//! let engine = DcEngine::builder().build();
+//! let solution = engine.solve(&circuit)?;
 //! let v_out = solution.voltage(&circuit, "out").expect("node exists");
 //! assert!((v_out - 2.5).abs() < 1e-9);
 //! # Ok(())
@@ -39,3 +40,12 @@ pub use rlpta_linalg as linalg;
 pub use rlpta_mna as mna;
 pub use rlpta_netlist as netlist;
 pub use rlpta_rl as rl;
+
+/// The v1 application surface, re-exported from
+/// [`rlpta_core::prelude`](crate::core::prelude): the [`DcEngine`]
+/// builder, the long-lived [`SimService`], and every configuration /
+/// report / error type callers of either touch.
+///
+/// [`DcEngine`]: crate::core::DcEngine
+/// [`SimService`]: crate::core::SimService
+pub use rlpta_core::prelude;
