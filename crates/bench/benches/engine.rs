@@ -118,10 +118,42 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// The assembly-pipeline counterpart of `symbolic_reuse`: the same solve
+/// driven through the precompiled stamp-plan path (resolve once, then
+/// slot-table writes into a persistent CSR buffer) versus the triplet
+/// reference path (rebuild the COO list and re-sort to CSR every
+/// iteration). The two are bit-identical by contract, so the gap between
+/// the bars is pure assembly overhead — what the plan path banks on every
+/// Newton iteration after the first.
+fn bench_assembly(c: &mut Criterion) {
+    let mut group = c.benchmark_group("assembly");
+    group.sample_size(20);
+    for name in ["gm1", "fadd32"] {
+        let circuit = by_name(name).expect("known benchmark").circuit;
+        for (label, mode) in [
+            ("plan", rlpta_core::AssemblyMode::Plan),
+            ("triplet", rlpta_core::AssemblyMode::Triplet),
+        ] {
+            let engine = DcEngine::builder()
+                .robust()
+                .budget(robust_budget())
+                .assembly(mode)
+                .build();
+            group.bench_with_input(
+                BenchmarkId::new(label, name),
+                &engine,
+                |b, engine| b.iter(|| engine.solve(&circuit).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_symbolic_reuse,
     bench_batch_engine,
-    bench_telemetry_overhead
+    bench_telemetry_overhead,
+    bench_assembly
 );
 criterion_main!(benches);

@@ -15,10 +15,12 @@
 //!
 //! `--require-lower <counter>` additionally demands that the candidate's
 //! named work counter (`nr_iterations`, `pta_steps`, `lu_factorizations`,
-//! `lu_refactorizations` or `lu_total`) is *strictly below* the baseline's
-//! — the shape of the CI gate asserting the warm service path beats cold
-//! solves. An unmet requirement is a hard failure that `--warn-only` does
-//! **not** suppress.
+//! `lu_refactorizations`, `lu_total` or `stamp_resolve_total` — the
+//! number of recorded `stamp_resolve` spans, i.e. how often a stamp plan
+//! had to be compiled rather than replayed) is *strictly below* the
+//! baseline's — the shape of the CI gate asserting the warm service path
+//! beats cold solves. An unmet requirement is a hard failure that
+//! `--warn-only` does **not** suppress.
 //!
 //! Diffing a report against itself always exits 0, whatever the threshold
 //! (unless `--require-lower` demands strict improvement).
@@ -63,10 +65,14 @@ fn counter(report: &BenchReport, name: &str) -> Result<u64, String> {
         "lu_factorizations" => report.lu_factorizations,
         "lu_refactorizations" => report.lu_refactorizations,
         "lu_total" => report.lu_factorizations + report.lu_refactorizations,
+        // Phase-derived counter: how many stamp-plan resolutions the run
+        // performed. Reports without timing carry no phases and count 0.
+        "stamp_resolve_total" => report.phase("stamp_resolve").map_or(0, |p| p.count),
         other => {
             return Err(format!(
                 "unknown counter {other:?} for --require-lower (expected nr_iterations, \
-                 pta_steps, lu_factorizations, lu_refactorizations or lu_total)"
+                 pta_steps, lu_factorizations, lu_refactorizations, lu_total or \
+                 stamp_resolve_total)"
             ))
         }
     })
@@ -82,11 +88,19 @@ struct Outcome {
 
 fn run() -> Result<Outcome, String> {
     let mut positional = Vec::new();
+    // `--require-lower` may repeat: every named counter must improve.
+    let mut require_lower = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
-        if a == "--threshold" || a == "--min-count" || a == "--require-lower" {
+        if a == "--threshold" || a == "--min-count" {
             // Skip the option's value so it is not mistaken for a path.
             let _ = args.next();
+        } else if a == "--require-lower" {
+            if let Some(v) = args.next() {
+                require_lower.push(v);
+            }
+        } else if let Some(v) = a.strip_prefix("--require-lower=") {
+            require_lower.push(v.to_string());
         } else if !a.starts_with("--") {
             positional.push(a);
         }
@@ -200,9 +214,9 @@ fn run() -> Result<Outcome, String> {
     }
 
     let mut requirement_failed = false;
-    if let Some(name) = rlpta_bench::arg_value("require-lower") {
-        let b = counter(&base, &name)?;
-        let c = counter(&cand, &name)?;
+    for name in &require_lower {
+        let b = counter(&base, name)?;
+        let c = counter(&cand, name)?;
         if c < b {
             println!("require-lower {name}: {c} < {b}  ok");
         } else {

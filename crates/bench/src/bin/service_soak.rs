@@ -20,21 +20,31 @@
 //!   drained, so same-structure jobs share cached symbolic plans and
 //!   warm-start vectors across waves.
 //!
-//! Exit code 1 if the symbolic-cache hit rate falls below 90% or the warm
+//! Exit code 1 if the symbolic-cache hit rate falls below 90%, the warm
 //! path does not do strictly fewer full LU factorizations than the cold
-//! path; the CI `service-soak` job additionally diffs the two
-//! `--bench-json` reports with `perfdiff --require-lower lu_total`.
+//! path, or the warm path does not run at least 2× fewer `stamp_resolve`
+//! passes than the cold path (the structure cache hands each warm job a
+//! precompiled stamp plan, so resolution should be rare); the CI
+//! `service-soak` job additionally diffs the two `--bench-json` reports
+//! with `perfdiff --require-lower lu_total --require-lower
+//! stamp_resolve_total`.
+//!
+//! Both passes run with their own [`MetricsRegistry`] attached, so the
+//! cold and warm reports each carry per-phase statistics (and the
+//! `stamp_resolve` counts the gate reads) even without `--profile`.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rlpta_bench::report::BenchReport;
-use rlpta_bench::{arg_value, bench_threads, finish_run, trace_sink};
+use rlpta_bench::{arg_value, bench_json_path, bench_threads, profile_enabled, trace_sink};
 use rlpta_circuits::{by_name, Benchmark};
 use rlpta_core::prelude::*;
+use rlpta_core::{FanoutSink, MetricsRegistry, Phase, Sink};
 use rlpta_devices::Device;
 use rlpta_linalg::LuWorkspace;
 use rlpta_mna::Circuit;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Topologies of the trace: small, fast rows from the paper's suites so a
@@ -137,13 +147,24 @@ fn run() -> Result<bool, String> {
         TOPOLOGIES.join(", "),
     );
 
-    let mut builder = DcEngine::builder()
-        .threads(threads)
-        .budget(SolveBudget::UNLIMITED.nr_iterations(5_000));
-    if let Some(sink) = trace_sink() {
-        builder = builder.telemetry(sink);
-    }
-    let engine = builder.build();
+    // Each pass gets its own metrics registry so the cold and warm reports
+    // carry separately attributable phase statistics — the resolve-count
+    // gate below depends on telling the two apart.
+    let cold_metrics = Arc::new(MetricsRegistry::new());
+    let warm_metrics = Arc::new(MetricsRegistry::new());
+    let engine_for = |metrics: &Arc<MetricsRegistry>| {
+        let mut fanout = FanoutSink::new().with(metrics.clone() as Arc<dyn Sink>);
+        if let Some(sink) = trace_sink() {
+            fanout = fanout.with(sink);
+        }
+        DcEngine::builder()
+            .threads(threads)
+            .budget(SolveBudget::UNLIMITED.nr_iterations(5_000))
+            .telemetry(Arc::new(fanout))
+            .build()
+    };
+    let cold_engine = engine_for(&cold_metrics);
+    let engine = engine_for(&warm_metrics);
 
     // --- Cold pass: every job from scratch, no shared state. ---
     let t_cold = Instant::now();
@@ -153,7 +174,7 @@ fn run() -> Result<bool, String> {
         .collect();
     for job in &trace {
         let mut ws = LuWorkspace::new();
-        let stats = stats_of_solve(engine.solve_warm(&job.circuit, None, &mut ws));
+        let stats = stats_of_solve(cold_engine.solve_warm(&job.circuit, None, &mut ws));
         cold_rows[job.topology].1.absorb(&stats);
     }
     let cold_wall = t_cold.elapsed();
@@ -237,6 +258,15 @@ fn run() -> Result<bool, String> {
         100.0 * cache.hit_rate(),
         service.cached_structures(),
     );
+    println!(
+        "plans: {} hits / {} misses in the stamp-plan cache",
+        cache.plan_hits, cache.plan_misses,
+    );
+    let resolves = |m: &MetricsRegistry| {
+        m.summary(Phase::StampResolve).map_or(0, |s| s.count)
+    };
+    let (cold_resolves, warm_resolves) = (resolves(&cold_metrics), resolves(&warm_metrics));
+    println!("stamp resolves: {cold_resolves} cold, {warm_resolves} warm");
 
     // --- Reports for the perfdiff gate. ---
     if let Some(path) = arg_value("bench-json-cold") {
@@ -247,12 +277,31 @@ fn run() -> Result<bool, String> {
             threads,
             &cold_rows,
             cold_wall,
-            None,
+            Some(&cold_metrics),
         )
         .write(&path)?;
         println!("# cold bench report: {path}");
     }
-    finish_run("service_soak", "robust", "simple", threads, &warm_rows, t_warm);
+    if profile_enabled() {
+        println!("#\n# --- self-time profile (service_soak warm pass) ---");
+        for line in warm_metrics.profile_tree().lines() {
+            println!("# {line}");
+        }
+    }
+    if let Some(path) = bench_json_path() {
+        BenchReport::from_run(
+            "service_soak",
+            "robust",
+            "simple",
+            threads,
+            &warm_rows,
+            warm_wall,
+            Some(&warm_metrics),
+        )
+        .write(&path)?;
+        println!("# bench report: {path}");
+    }
+    println!("# total wall time: {:.2}s", t_warm.elapsed().as_secs_f64());
 
     // --- The soak's own acceptance gates. ---
     let mut failed = false;
@@ -271,12 +320,24 @@ fn run() -> Result<bool, String> {
         );
         failed = true;
     }
+    // The plan cache hands warm jobs a precompiled stamp plan, so stamp
+    // resolution should collapse to roughly one pass per structure: demand
+    // at least a 2× reduction over the cold pass.
+    if warm_resolves * 2 > cold_resolves {
+        println!(
+            "FAIL: warm path ran {warm_resolves} stamp_resolve passes, \
+             more than half of cold's {cold_resolves}",
+        );
+        failed = true;
+    }
     if !failed {
         println!(
-            "service_soak: OK ({:.1}% hit rate, {} vs {} full LU)",
+            "service_soak: OK ({:.1}% hit rate, {} vs {} full LU, {} vs {} stamp resolves)",
             100.0 * cache.hit_rate(),
             warm.lu_factorizations,
             cold.lu_factorizations,
+            warm_resolves,
+            cold_resolves,
         );
     }
     Ok(failed)

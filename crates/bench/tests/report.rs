@@ -43,7 +43,17 @@ fn sample_report() -> BenchReport {
         ],
         phases: vec![
             PhaseStat {
-                phase: "stamp".to_string(),
+                phase: "stamp_resolve".to_string(),
+                count: 40,
+                sum_nanos: 200_000,
+                min_nanos: 2_000,
+                max_nanos: 9_000,
+                p50_nanos: 4_500,
+                p90_nanos: 8_000,
+                p99_nanos: 8_500,
+            },
+            PhaseStat {
+                phase: "stamp_write".to_string(),
                 count: 1240,
                 sum_nanos: 620_000,
                 min_nanos: 100,
@@ -138,6 +148,7 @@ fn regen_golden() {
 #[test]
 fn phase_lookup_finds_entries_by_stable_name() {
     let rep = sample_report();
-    assert_eq!(rep.phase("stamp").expect("present").count, 1240);
+    assert_eq!(rep.phase("stamp_resolve").expect("present").count, 40);
+    assert_eq!(rep.phase("stamp_write").expect("present").count, 1240);
     assert!(rep.phase("nonexistent").is_none());
 }

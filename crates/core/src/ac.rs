@@ -12,7 +12,7 @@
 
 use crate::{Solution, SolveError};
 use rlpta_devices::{Device, EvalCtx};
-use rlpta_linalg::{SparseLu, Triplet};
+use rlpta_linalg::{LuWorkspace, StampSlots, Triplet};
 use rlpta_mna::Circuit;
 
 /// A sinusoidal excitation bound to a named independent source.
@@ -239,26 +239,42 @@ impl AcSweep {
             }
         }
 
-        // Per frequency: assemble the real-equivalent 2n system and solve.
+        // The real-equivalent 2n×2n pattern is frequency-independent: only
+        // the susceptance values scale with ω. Resolve the push sequence to
+        // nnz slots once, then every frequency is an in-place value rewrite
+        // into one persistent matrix (no triplet allocation, no sort) and a
+        // symbolic-LU replay after the first full factorization.
         let g_entries: Vec<(usize, usize, f64)> = g.to_csr().iter().collect();
+        let mut targets = Vec::with_capacity(2 * g_entries.len() + 2 * b_pattern.len());
+        for &(i, j, _) in &g_entries {
+            targets.push((i, j));
+            targets.push((n + i, n + j));
+        }
+        for &(i, j, _) in &b_pattern {
+            targets.push((i, n + j));
+            targets.push((n + i, j));
+        }
+        let (mut sys, slots) = StampSlots::build(2 * n, 2 * n, &targets);
+        let mut lu_ws = LuWorkspace::new();
+        let mut rhs = Vec::with_capacity(2 * n);
+        rhs.extend_from_slice(&u_re);
+        rhs.extend_from_slice(&u_im);
+
         let mut points = Vec::with_capacity(self.frequencies.len());
         for &f in &self.frequencies {
             let omega = 2.0 * std::f64::consts::PI * f;
-            let mut sys =
-                Triplet::with_capacity(2 * n, 2 * n, 2 * g_entries.len() + 2 * b_pattern.len());
-            for &(i, j, v) in &g_entries {
-                sys.push(i, j, v);
-                sys.push(n + i, n + j, v);
+            let mut w = slots.writer(&mut sys);
+            for &(_, _, v) in &g_entries {
+                w.write(v);
+                w.write(v);
             }
-            for &(i, j, c) in &b_pattern {
+            for &(_, _, c) in &b_pattern {
                 let b = omega * c;
-                sys.push(i, n + j, -b);
-                sys.push(n + i, j, b);
+                w.write(-b);
+                w.write(b);
             }
-            let lu = SparseLu::factorize(&sys.to_csr())?;
-            let mut rhs = Vec::with_capacity(2 * n);
-            rhs.extend_from_slice(&u_re);
-            rhs.extend_from_slice(&u_im);
+            w.finish();
+            let lu = lu_ws.factorize(&sys)?;
             let sol = lu.solve(&rhs)?;
             points.push(AcPoint {
                 frequency: f,

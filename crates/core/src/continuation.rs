@@ -1,5 +1,6 @@
 //! Classic continuation baselines: Gmin stepping and source stepping.
 
+use crate::assembly::AssemblyWorkspace;
 use crate::error::SolvePhase;
 use crate::newton::{newton_iterate, NewtonConfig};
 use crate::recovery::{BudgetMeter, SolveBudget};
@@ -104,8 +105,10 @@ impl GminStepping {
         };
         let mut gmin = self.gmin_start;
         // One LU pattern serves the whole ramp: Gmin only rescales the
-        // diagonal stamps.
+        // diagonal stamps. Likewise one stamp plan: the ramp changes values,
+        // never structure.
         let mut lu_ws = LuWorkspace::new();
+        let mut asm = AssemblyWorkspace::new();
         loop {
             meter.charge_step(1)?;
             let cfg = NewtonConfig {
@@ -117,9 +120,10 @@ impl GminStepping {
                 &cfg,
                 &x,
                 &mut state,
-                &mut |_, _, _| {},
+                &mut |_, _| {},
                 meter,
                 &mut lu_ws,
+                &mut asm,
                 &tele,
             )?;
             tele.emit(Payload::StageStep {
@@ -225,8 +229,9 @@ impl SourceStepping {
         let mut lambda = 0.0_f64;
         let mut dl = self.initial_increment;
         // The source ramp scales right-hand sides, not the Jacobian pattern:
-        // every stage replays one symbolic analysis.
+        // every stage replays one symbolic analysis and reuses one stamp plan.
         let mut lu_ws = LuWorkspace::new();
+        let mut asm = AssemblyWorkspace::new();
         while lambda < 1.0 {
             meter.charge_step(1)?;
             let next = (lambda + dl).min(1.0);
@@ -240,9 +245,10 @@ impl SourceStepping {
                 &cfg,
                 &x,
                 &mut state,
-                &mut |_, _, _| {},
+                &mut |_, _| {},
                 meter,
                 &mut lu_ws,
+                &mut asm,
                 &tele,
             )?;
             tele.emit(Payload::StageStep {

@@ -53,6 +53,7 @@
 //! carry, so its iterate (not its correctness) can differ from the serial
 //! ladder. Batches and sweeps never use the raced path internally.
 
+use crate::assembly::{AssemblyMode, AssemblyWorkspace};
 use crate::certify::{certify_into, HealthGrade};
 use crate::error::{SolveError, SolvePhase};
 use crate::newton::{newton_iterate, NewtonConfig, NewtonRaphson};
@@ -267,6 +268,31 @@ impl DcEngineBuilder {
     #[must_use]
     pub fn newton_config(mut self, config: NewtonConfig) -> Self {
         self.newton = config;
+        self
+    }
+
+    /// Assembly mode for **every** Newton loop the engine runs: the direct
+    /// Newton strategy, the PTA inner loops, sweep points and each rung of
+    /// a robust ladder (applied to the current strategy — set the ladder
+    /// first). Results are bit-identical across modes; this is a
+    /// performance knob kept public for A/B verification.
+    #[must_use]
+    pub fn assembly(mut self, mode: AssemblyMode) -> Self {
+        self.newton.assembly = mode;
+        self.config.newton.assembly = mode;
+        if let Strategy::Robust(stages) = &mut self.strategy {
+            for stage in stages {
+                match stage {
+                    LadderStage::DampedNewton(cfg) => cfg.assembly = mode,
+                    LadderStage::GminStepping(gs) => gs.newton.assembly = mode,
+                    LadderStage::SourceStepping(ss) => ss.newton.assembly = mode,
+                    LadderStage::Cepta(pc) | LadderStage::Dpta(pc) => {
+                        pc.newton.assembly = mode;
+                    }
+                    LadderStage::NewtonHomotopy(nh) => nh.newton.assembly = mode,
+                }
+            }
+        }
         self
     }
 
@@ -541,12 +567,13 @@ impl DcEngine {
             let tele = Tele::root(&*self.telemetry, Span::default());
             let mut work = circuit.clone();
             let mut lu_ws = LuWorkspace::new();
+            let mut asm = AssemblyWorkspace::new();
             let mut last_good: Option<Vec<f64>> = None;
             for k in 0..n_chunks {
                 let index = k * chunk;
                 work.set_source_dc(source, values[index]);
                 let (result, attempts) = self.solve_with_retries(|| {
-                    self.solve_sweep_point(&work, last_good.as_deref(), &mut lu_ws, &tele)
+                    self.solve_sweep_point(&work, last_good.as_deref(), &mut lu_ws, &mut asm, &tele)
                 });
                 match result {
                     Ok(sol) => {
@@ -589,6 +616,7 @@ impl DcEngine {
                         let hi = ((k + 1) * chunk).min(values.len());
                         let mut work = circuit.clone();
                         let mut lu_ws = LuWorkspace::new();
+                        let mut asm = AssemblyWorkspace::new();
                         let mut prev: Option<Vec<f64>> = match boundary {
                             Ok(sol) => Some(sol.x.clone()),
                             Err(_) => None,
@@ -599,7 +627,13 @@ impl DcEngine {
                             let index = k * chunk + 1 + off;
                             work.set_source_dc(source, v);
                             let (result, attempts) = self.solve_with_retries(|| {
-                                self.solve_sweep_point(&work, prev.as_deref(), &mut lu_ws, &tele)
+                                self.solve_sweep_point(
+                                    &work,
+                                    prev.as_deref(),
+                                    &mut lu_ws,
+                                    &mut asm,
+                                    &tele,
+                                )
                             });
                             match result {
                                 Ok(sol) => {
@@ -705,11 +739,25 @@ impl DcEngine {
         warm: Option<&[f64]>,
         lu_ws: &mut LuWorkspace,
     ) -> Result<Solution, SolveError> {
+        let mut asm = AssemblyWorkspace::new();
+        self.solve_warm_with_assembly(circuit, warm, lu_ws, &mut asm)
+    }
+
+    /// [`DcEngine::solve_warm`] with a caller-managed [`AssemblyWorkspace`]
+    /// as well — the hook the service layer uses to carry resolved stamp
+    /// plans across requests alongside the symbolic LU pattern.
+    pub(crate) fn solve_warm_with_assembly(
+        &self,
+        circuit: &Circuit,
+        warm: Option<&[f64]>,
+        lu_ws: &mut LuWorkspace,
+        asm: &mut AssemblyWorkspace,
+    ) -> Result<Solution, SolveError> {
         #[cfg(feature = "faults")]
         let _guard = self.install_faults();
         let tele = Tele::root(&*self.telemetry, Span::default());
         let out = self
-            .solve_with_retries(|| self.solve_sweep_point(circuit, warm, lu_ws, &tele))
+            .solve_with_retries(|| self.solve_sweep_point(circuit, warm, lu_ws, asm, &tele))
             .0;
         self.telemetry.finish();
         out
@@ -953,6 +1001,7 @@ impl DcEngine {
         work: &Circuit,
         warm: Option<&[f64]>,
         lu_ws: &mut LuWorkspace,
+        asm: &mut AssemblyWorkspace,
         tele: &Tele<'_>,
     ) -> Result<Solution, SolveError> {
         let zeros;
@@ -973,9 +1022,10 @@ impl DcEngine {
             &self.newton,
             x0,
             &mut state,
-            &mut |_, _, _| {},
+            &mut |_, _| {},
             &mut meter,
             lu_ws,
+            asm,
             &point_tele,
         );
         match attempt {

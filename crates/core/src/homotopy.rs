@@ -13,6 +13,7 @@
 //! the curve turns, the step shrinks and the run may fail, which is exactly
 //! the weakness the paper ascribes to homotopy methods.
 
+use crate::assembly::AssemblyWorkspace;
 use crate::error::SolvePhase;
 use crate::newton::{newton_iterate, NewtonConfig};
 use crate::recovery::{BudgetMeter, SolveBudget};
@@ -127,8 +128,10 @@ impl NewtonHomotopy {
         let mut lambda = 0.0f64;
         let mut dl = self.initial_step;
         // The deformation touches only the residual, never the Jacobian
-        // pattern: one symbolic analysis serves every λ stage.
+        // pattern: one symbolic analysis and one stamp plan serve every λ
+        // stage.
         let mut lu_ws = rlpta_linalg::LuWorkspace::new();
+        let mut asm = AssemblyWorkspace::new();
         while lambda < 1.0 {
             meter.charge_step(1)?;
             let next = (lambda + dl).min(1.0);
@@ -136,12 +139,11 @@ impl NewtonHomotopy {
             let f0_ref = f0.as_slice();
             // H(x, λ) = F(x) − (1−λ)·F(x₀): subtract the deformation from
             // the residual; the Jacobian is untouched.
-            let mut deform =
-                move |_x: &[f64], _jac: &mut rlpta_linalg::Triplet, res: &mut [f64]| {
-                    for (r, f) in res.iter_mut().zip(f0_ref) {
-                        *r -= scale * f;
-                    }
-                };
+            let mut deform = move |_x: &[f64], st: &mut rlpta_devices::Stamper<'_>| {
+                for (i, f) in f0_ref.iter().enumerate() {
+                    st.res_raw(i, -(scale * f));
+                }
+            };
             let saved_state = state.clone();
             let out = newton_iterate(
                 circuit,
@@ -151,6 +153,7 @@ impl NewtonHomotopy {
                 &mut deform,
                 meter,
                 &mut lu_ws,
+                &mut asm,
                 &tele,
             )?;
             tele.emit(Payload::StageStep {

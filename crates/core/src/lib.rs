@@ -64,6 +64,7 @@
 #![warn(clippy::dbg_macro)]
 
 mod ac;
+mod assembly;
 pub mod certify;
 pub mod config;
 mod continuation;
@@ -85,6 +86,7 @@ mod trace;
 mod transient;
 
 pub use ac::{AcPoint, AcStimulus, AcSweep};
+pub use assembly::AssemblyMode;
 pub use certify::{certify, HealthGrade, HealthReport};
 pub use config::EngineConfig;
 pub use continuation::{GminStepping, SourceStepping};
@@ -131,6 +133,7 @@ pub use transient::{Stimulus, Transient, TransientPoint, Waveform};
 /// # }
 /// ```
 pub mod prelude {
+    pub use crate::assembly::AssemblyMode;
     pub use crate::certify::{HealthGrade, HealthReport};
     pub use crate::config::EngineConfig;
     pub use crate::engine::{DcEngine, DcEngineBuilder, Stepping, Strategy};

@@ -1,17 +1,23 @@
 //! Damped Newton–Raphson with SPICE convergence criteria.
 
+use crate::assembly::{AssemblyMode, AssemblyWorkspace};
 use crate::error::SolvePhase;
 use crate::recovery::{BudgetMeter, SolveBudget};
 use crate::telemetry::timing::time_phase;
 use crate::telemetry::{Payload, Phase, StatsFold, Tele};
 use crate::{Solution, SolveError};
-use rlpta_devices::EvalCtx;
+use rlpta_devices::{EvalCtx, Stamper};
 use rlpta_linalg::{norms, LuOp, LuWorkspace, Triplet};
-use rlpta_mna::Circuit;
+use rlpta_mna::{Circuit, StampPlan};
+use std::sync::Arc;
 
-/// Extra-stamp hook: `(x, jacobian, residual)` — the PTA engine injects
-/// pseudo-element companion models through it.
-pub(crate) type ExtraStamps<'a> = dyn FnMut(&[f64], &mut Triplet, &mut [f64]) + 'a;
+/// Extra-stamp hook: `(x, stamper)` — the PTA engine injects pseudo-element
+/// companion models through it. The hook must push a fixed Jacobian target
+/// sequence (values may depend on `x`, targets must not): it runs in
+/// declare mode during stamp-plan resolution and in write mode afterwards.
+/// Use the raw (`jac_raw`/`res_raw`) methods — solver indices are already
+/// resolved and must not consume fault-injection draws.
+pub(crate) type ExtraStamps<'a> = dyn FnMut(&[f64], &mut Stamper<'_>) + 'a;
 
 /// Newton–Raphson configuration (SPICE option-deck equivalents).
 #[derive(Debug, Clone, PartialEq)]
@@ -34,6 +40,10 @@ pub struct NewtonConfig {
     /// Per-iteration clamp on node-voltage updates, in volts; `0.0`
     /// disables global damping (device-level limiting still applies).
     pub max_voltage_step: f64,
+    /// How the Newton system is assembled each iteration (precompiled
+    /// stamp plan vs the reference triplet path); results are bit-identical
+    /// either way.
+    pub assembly: AssemblyMode,
 }
 
 impl Default for NewtonConfig {
@@ -47,6 +57,7 @@ impl Default for NewtonConfig {
             gmin: EvalCtx::DEFAULT_GMIN,
             source_scale: 1.0,
             max_voltage_step: 2.0,
+            assembly: AssemblyMode::default(),
         }
     }
 }
@@ -103,11 +114,13 @@ pub(crate) fn newton_iterate(
     extra: &mut ExtraStamps<'_>,
     meter: &mut BudgetMeter,
     lu_ws: &mut LuWorkspace,
+    asm: &mut AssemblyWorkspace,
     tele: &Tele<'_>,
 ) -> Result<NrOutcome, SolveError> {
     let dim = circuit.dim();
     debug_assert_eq!(x0.len(), dim, "x0 dimension mismatch");
     let num_nodes = circuit.num_nodes();
+    let mode = config.assembly;
     // Whole-run timing span; the guard emits on every exit path, error
     // returns included.
     let _nr_span = tele.time(Phase::NewtonSolve);
@@ -116,11 +129,34 @@ pub(crate) fn newton_iterate(
     // Last iterate whose stamps evaluated finite — the rollback anchor for
     // the non-finite guard below.
     let mut x_prev: Option<Vec<f64>> = None;
-    let mut jac = Triplet::with_capacity(dim, dim, 16 * circuit.devices().len() + 2 * dim);
+    // Reference-path buffers; zero-allocation placeholders in plan mode.
+    let mut jac = match mode {
+        AssemblyMode::Triplet => {
+            Triplet::with_capacity(dim, dim, 16 * circuit.devices().len() + 2 * dim)
+        }
+        AssemblyMode::Plan => Triplet::new(dim, dim),
+    };
     let mut res = vec![0.0; dim];
     let mut lu_full = 0usize;
     let mut lu_replay = 0usize;
     let mut last_residual = f64::INFINITY;
+
+    if mode == AssemblyMode::Plan {
+        // A workspace recycled across circuits of different dimension (the
+        // engine's sweep loop does this) cannot keep its plan.
+        if asm.plan().is_some_and(|p| p.dim() != dim) {
+            asm.reset();
+        }
+        // Resolve once per structure; a service-seeded plan skips this.
+        if asm.plan().is_none() {
+            let resolved = time_phase!(
+                tele,
+                Phase::StampResolve,
+                StampPlan::resolve(circuit, &mut |st| extra(&x, st))
+            );
+            asm.set_plan(Arc::new(resolved));
+        }
+    }
 
     for iter in 1..=config.max_iterations {
         meter.charge_nr(1)?;
@@ -130,9 +166,21 @@ pub(crate) fn newton_iterate(
             gmin: config.gmin,
             source_scale: config.source_scale,
         };
-        time_phase!(tele, Phase::MatrixStamp, {
-            circuit.assemble_into(&ctx, &mut jac, &mut res, state);
-            extra(&x, &mut jac, &mut res);
+        let stamps_finite = time_phase!(tele, Phase::StampWrite, {
+            match mode {
+                AssemblyMode::Triplet => {
+                    circuit.assemble_into(&ctx, &mut jac, &mut res, state);
+                    let mut st = Stamper::new(&mut jac, &mut res);
+                    extra(&x, &mut st);
+                    jac.all_finite()
+                }
+                AssemblyMode::Plan => {
+                    let (plan, matrix) = asm.plan_and_matrix();
+                    plan.eval_into(circuit, &ctx, matrix, &mut res, state, &mut |st| {
+                        extra(&x, st)
+                    })
+                }
+            }
         });
         #[cfg(feature = "faults")]
         crate::recovery::perturb_residual(&mut res);
@@ -142,8 +190,9 @@ pub(crate) fn newton_iterate(
         // must not reach the factorization. Retreat halfway toward the last
         // clean iterate and retry; each retreat consumes an iteration, so
         // the loop still terminates. With no clean iterate to retreat to,
-        // the poison is structural — fail.
-        if !(jac.all_finite() && res.iter().all(|v| v.is_finite())) {
+        // the poison is structural — fail. Both assembly modes check the
+        // same thing: every *raw* stamp finite, every residual entry finite.
+        if !(stamps_finite && res.iter().all(|v| v.is_finite())) {
             match &x_prev {
                 Some(prev) => {
                     for (xi, pi) in x.iter_mut().zip(prev) {
@@ -161,19 +210,46 @@ pub(crate) fn newton_iterate(
         }
         last_residual = norms::inf_norm(&res);
 
-        // Factorize, escalating a diagonal Gmin shunt on singularity.
+        // Factorize, escalating a diagonal Gmin shunt on singularity. The
+        // plan path escalates on a lazily-built (pattern ∪ diagonals)
+        // companion matrix with the same cumulative summation order as the
+        // triplet path's appended pushes — the factorized values are
+        // bit-identical between modes at every bump level.
         let mut factorized = None;
         for bump in 0..4 {
             if bump > 0 {
                 let gshunt = 1e-9 * 100f64.powi(bump);
-                for i in 0..num_nodes {
-                    jac.push(i, i, gshunt);
+                match mode {
+                    AssemblyMode::Triplet => {
+                        for i in 0..num_nodes {
+                            jac.push(i, i, gshunt);
+                        }
+                    }
+                    AssemblyMode::Plan => {
+                        let (bp, bumped, base) = asm.bump_and_base(num_nodes);
+                        if bump == 1 {
+                            bp.scatter_base(base, bumped);
+                        }
+                        bp.add_diag(bumped, gshunt);
+                    }
                 }
             }
             // Deferred timer: full factorize vs symbolic replay is only
             // known after the call, read off the workspace's `last_op`.
             let lu_timer = tele.timer();
-            match lu_ws.factorize(&jac.to_csr()) {
+            let attempt = match mode {
+                AssemblyMode::Triplet => lu_ws.factorize(&jac.to_csr()),
+                AssemblyMode::Plan => {
+                    if bump == 0 {
+                        let (_, matrix) = asm.plan_and_matrix();
+                        lu_ws.factorize(matrix)
+                    } else {
+                        let (_, bumped, _) = asm.bump_and_base(num_nodes);
+                        lu_ws.factorize(bumped)
+                    }
+                }
+            };
+            match attempt {
                 Ok(f) => {
                     if lu_ws.last_op() == Some(LuOp::Replay) {
                         lu_replay += 1;
@@ -270,9 +346,20 @@ pub(crate) fn newton_iterate(
                 gmin: config.gmin,
                 source_scale: config.source_scale,
             };
-            time_phase!(tele, Phase::MatrixStamp, {
-                circuit.assemble_into(&ctx, &mut jac, &mut res, state);
-                extra(&x, &mut jac, &mut res);
+            time_phase!(tele, Phase::StampWrite, {
+                match mode {
+                    AssemblyMode::Triplet => {
+                        circuit.assemble_into(&ctx, &mut jac, &mut res, state);
+                        let mut st = Stamper::new(&mut jac, &mut res);
+                        extra(&x, &mut st);
+                    }
+                    AssemblyMode::Plan => {
+                        let (plan, matrix) = asm.plan_and_matrix();
+                        plan.eval_into(circuit, &ctx, matrix, &mut res, state, &mut |st| {
+                            extra(&x, st)
+                        });
+                    }
+                }
             });
             #[cfg(feature = "faults")]
             crate::recovery::perturb_residual(&mut res);
@@ -414,14 +501,16 @@ impl NewtonRaphson {
         let tele = tele.child(&fold);
         let mut state = circuit.seeded_state(x0);
         let mut lu_ws = LuWorkspace::new();
+        let mut asm = AssemblyWorkspace::new();
         let out = newton_iterate(
             circuit,
             &self.config,
             x0,
             &mut state,
-            &mut |_, _, _| {},
+            &mut |_, _| {},
             meter,
             &mut lu_ws,
+            &mut asm,
             &tele,
         )?;
         tele.emit(Payload::SolveDone {

@@ -24,13 +24,14 @@
 
 #![allow(clippy::needless_range_loop)]
 
+use crate::assembly::AssemblyWorkspace;
 use crate::error::SolvePhase;
 use crate::newton::{newton_iterate, NewtonConfig};
 use crate::recovery::{BudgetMeter, SolveBudget};
 use crate::telemetry::{Payload, Phase, StatsFold, Tele};
 use crate::{Solution, SolveError, StepController, StepObservation};
-use rlpta_devices::Device;
-use rlpta_linalg::{norms, Triplet};
+use rlpta_devices::{Device, Stamper};
+use rlpta_linalg::norms;
 use rlpta_mna::Circuit;
 
 /// The inserted pseudo-element values — the `z` vector the IPP stage of the
@@ -330,8 +331,10 @@ impl<C: StepController> PtaSolver<C> {
         // The pseudo-element stamps land on the diagonal (and source
         // branches) every step, so the augmented Jacobian pattern is
         // constant across the whole transient: one symbolic analysis serves
-        // every Newton iteration of every time point.
+        // every Newton iteration of every time point. The pseudo targets are
+        // likewise fixed, so one stamp plan serves the whole transient.
         let mut lu_ws = rlpta_linalg::LuWorkspace::new();
+        let mut asm = AssemblyWorkspace::new();
 
         for _ in 0..self.config.max_steps {
             meter.charge_step(1)?;
@@ -353,28 +356,28 @@ impl<C: StepController> PtaSolver<C> {
             let x_ref = &x_time;
             let vc_ref = &vc;
             let vsrc = vsrc_branches.as_slice();
-            let mut pseudo = move |x_cur: &[f64], jac: &mut Triplet, res: &mut [f64]| {
+            let mut pseudo = move |x_cur: &[f64], st: &mut Stamper<'_>| {
                 match kind {
                     PtaKind::Pure | PtaKind::Damped(_) | PtaKind::Ramping(_) => {
                         for i in 0..num_nodes {
-                            res[i] += g_node * (x_cur[i] - x_ref[i]);
-                            jac.push(i, i, g_node);
+                            st.res_raw(i, g_node * (x_cur[i] - x_ref[i]));
+                            st.jac_raw(i, i, g_node);
                         }
                     }
                     PtaKind::Cepta(_) => {
                         // Series r(t)–C branch to ground; companion current
                         // i = (v − v_c) / (r + h/C).
                         for i in 0..num_nodes {
-                            res[i] += g_node * (x_cur[i] - vc_ref[i]);
-                            jac.push(i, i, g_node);
+                            st.res_raw(i, g_node * (x_cur[i] - vc_ref[i]));
+                            st.jac_raw(i, i, g_node);
                         }
                     }
                 }
                 for &br in vsrc {
                     // Pseudo-inductor in series with the source; CEPTA adds
                     // the decaying series resistance.
-                    res[br] -= g_branch * (x_cur[br] - x_ref[br]) + r_t * x_cur[br];
-                    jac.push(br, br, -(g_branch + r_t));
+                    st.res_raw(br, -(g_branch * (x_cur[br] - x_ref[br]) + r_t * x_cur[br]));
+                    st.jac_raw(br, br, -(g_branch + r_t));
                 }
             };
 
@@ -392,6 +395,7 @@ impl<C: StepController> PtaSolver<C> {
                 &mut pseudo,
                 meter,
                 &mut lu_ws,
+                &mut asm,
                 &tele,
             )?;
 

@@ -293,6 +293,7 @@ fn run_stage(
             meter.set_phase(SolvePhase::Newton);
             let mut state = circuit.seeded_state(x0);
             let mut lu_ws = rlpta_linalg::LuWorkspace::new();
+            let mut asm = crate::assembly::AssemblyWorkspace::new();
             let fold = StatsFold::default();
             let tele = tele.child(&fold);
             match newton_iterate(
@@ -300,9 +301,10 @@ fn run_stage(
                 cfg,
                 x0,
                 &mut state,
-                &mut |_, _, _| {},
+                &mut |_, _| {},
                 meter,
                 &mut lu_ws,
+                &mut asm,
                 &tele,
             ) {
                 Ok(out) => {

@@ -12,8 +12,10 @@
 //!    terminal wiring, branch unknowns) — and deliberately *not* parameter
 //!    values, so a 1 kΩ and a 2 kΩ divider share a key. Each entry holds the
 //!    [`SymbolicLu`] scatter plan recorded by an earlier solve (an
-//!    [`Arc`], shared with the workspaces that replay it) plus the last
-//!    certified operating point as a warm start. Eviction is LRU under a
+//!    [`Arc`], shared with the workspaces that replay it), the resolved
+//!    [`StampPlan`] (so warm jobs skip stamp resolution and go straight to
+//!    the slot-table write pass) plus the last certified operating point as
+//!    a warm start. Eviction is LRU under a
 //!    byte budget; a cached plan that no longer matches the assembled
 //!    pattern (a hash collision, or a structural change that kept the key)
 //!    is **invalidated and re-recorded, never replayed stale** — and even a
@@ -79,6 +81,7 @@
 // public struct must stay extensible without a major version bump.
 #![deny(clippy::exhaustive_structs)]
 
+use crate::assembly::AssemblyWorkspace;
 use crate::engine::DcEngine;
 use crate::error::SolveError;
 use crate::recovery::SolveBudget;
@@ -87,7 +90,7 @@ use crate::telemetry::{Payload, Span, Tele};
 use crate::Solution;
 use rlpta_devices::{Device, EvalCtx};
 use rlpta_linalg::{CsrMatrix, FnvHasher, LuWorkspace, SymbolicLu};
-use rlpta_mna::Circuit;
+use rlpta_mna::{Circuit, StampPlan};
 use rlpta_threadpool::ThreadPool;
 use std::collections::HashMap;
 use std::error::Error;
@@ -369,6 +372,12 @@ pub struct CacheStats {
     /// assembled pattern (hash collision or structural drift): counted as
     /// a miss *and* an invalidation.
     pub invalidations: u64,
+    /// Lookups whose entry also carried a stamp plan still compatible with
+    /// the circuit — the group skips stamp resolution entirely.
+    pub plan_hits: u64,
+    /// Lookups that had to (re-)resolve a stamp plan: a cold structure, an
+    /// entry predating plan capture, or a plan that failed re-verification.
+    pub plan_misses: u64,
 }
 
 impl CacheStats {
@@ -385,6 +394,10 @@ impl CacheStats {
 
 struct CacheEntry {
     symbolic: Arc<SymbolicLu>,
+    /// Resolved stamp plan for this structure (shared with the assembly
+    /// workspaces that scatter through it); `None` for entries recorded by
+    /// a triplet-mode engine.
+    plan: Option<Arc<StampPlan>>,
     /// Last certified operating point for this structure, reusable as a
     /// warm start by the next job with the same key.
     warm: Option<Vec<f64>>,
@@ -411,6 +424,7 @@ struct PlanCache {
 
 struct CacheSeed {
     symbolic: Arc<SymbolicLu>,
+    plan: Option<Arc<StampPlan>>,
     warm: Option<Vec<f64>>,
 }
 
@@ -445,8 +459,17 @@ impl PlanCache {
     /// Looks `key` up, verifying the cached plan against the freshly
     /// assembled pattern. An incompatible entry is removed (invalidation)
     /// and reported as a miss — the service re-records a fresh analysis
-    /// rather than replaying a stale plan.
-    fn lookup(&self, key: &StructureKey, pattern: &CsrMatrix, tele: &Tele<'_>) -> Option<CacheSeed> {
+    /// rather than replaying a stale plan. A cached *stamp plan* is
+    /// re-verified against the circuit the same way (a cheap structural
+    /// declare pass); a stale plan is dropped from the seed, never
+    /// scattered through.
+    fn lookup(
+        &self,
+        key: &StructureKey,
+        pattern: &CsrMatrix,
+        circuit: &Circuit,
+        tele: &Tele<'_>,
+    ) -> Option<CacheSeed> {
         let tick = self.next_tick();
         let mut shard = lock(self.shard(key));
         let compatible = match shard.entries.get_mut(key) {
@@ -460,7 +483,10 @@ impl PlanCache {
             }
             None => {
                 drop(shard);
-                lock(&self.stats).misses += 1;
+                let mut stats = lock(&self.stats);
+                stats.misses += 1;
+                stats.plan_misses += 1;
+                drop(stats);
                 tele.emit(Payload::CacheMiss {
                     key: key.hash,
                     dim: key.dim,
@@ -470,12 +496,25 @@ impl PlanCache {
         };
         if compatible {
             let entry = &shard.entries[key];
+            let plan = entry
+                .plan
+                .as_ref()
+                .filter(|p| p.compatible_with(circuit))
+                .map(Arc::clone);
             let seed = CacheSeed {
                 symbolic: Arc::clone(&entry.symbolic),
+                plan,
                 warm: entry.warm.clone(),
             };
             drop(shard);
-            lock(&self.stats).hits += 1;
+            let mut stats = lock(&self.stats);
+            stats.hits += 1;
+            if seed.plan.is_some() {
+                stats.plan_hits += 1;
+            } else {
+                stats.plan_misses += 1;
+            }
+            drop(stats);
             tele.emit(Payload::CacheHit {
                 key: key.hash,
                 dim: key.dim,
@@ -489,6 +528,8 @@ impl PlanCache {
             let mut stats = lock(&self.stats);
             stats.invalidations += 1;
             stats.misses += 1;
+            stats.plan_misses += 1;
+            drop(stats);
             tele.emit(Payload::CacheMiss {
                 key: key.hash,
                 dim: key.dim,
@@ -504,17 +545,20 @@ impl PlanCache {
         &self,
         key: StructureKey,
         symbolic: Arc<SymbolicLu>,
+        plan: Option<Arc<StampPlan>>,
         warm: Option<Vec<f64>>,
         tele: &Tele<'_>,
     ) {
         let tick = self.next_tick();
         let bytes = symbolic.approx_bytes()
+            + plan.as_ref().map_or(0, |p| p.approx_bytes())
             + warm.as_ref().map_or(0, |w| w.len() * std::mem::size_of::<f64>());
         let mut shard = lock(self.shard(&key));
         if let Some(old) = shard.entries.insert(
             key,
             CacheEntry {
                 symbolic,
+                plan,
                 warm,
                 bytes,
                 last_used: tick,
@@ -824,7 +868,9 @@ impl SimService {
         let prepared: Vec<(StructureKey, Vec<QueuedJob>, Option<CacheSeed>)> = groups
             .into_iter()
             .map(|(key, jobs)| {
-                let seed = self.cache.lookup(&key, &jobs[0].pattern, &tele);
+                let seed = self
+                    .cache
+                    .lookup(&key, &jobs[0].pattern, &jobs[0].circuit, &tele);
                 for job in &jobs {
                     tele.emit(Payload::JobAdmitted {
                         job: job.seq,
@@ -855,6 +901,7 @@ impl SimService {
                         self.cache.insert(
                             key,
                             Arc::new(symbolic),
+                            group.plan,
                             if self.warm_starts { group.warm } else { None },
                             &tele,
                         );
@@ -906,7 +953,7 @@ impl SimService {
         self.next_id += 1;
         let sink = self.engine.telemetry();
         let tele = Tele::root(&*sink, Span::default());
-        let seed = self.cache.lookup(&key, &pattern, &tele);
+        let seed = self.cache.lookup(&key, &pattern, circuit, &tele);
         tele.emit(Payload::JobAdmitted {
             job: seq,
             key: key.hash,
@@ -930,6 +977,7 @@ impl SimService {
             self.cache.insert(
                 key,
                 Arc::new(symbolic),
+                group.plan,
                 if self.warm_starts { group.warm } else { None },
                 &tele,
             );
@@ -948,6 +996,9 @@ struct GroupOutcome {
     results: Vec<(JobId, Result<Solution, ServiceError>)>,
     /// The workspace's recorded plan after the chain — refreshes the cache.
     symbolic: Option<SymbolicLu>,
+    /// The assembly workspace's resolved stamp plan after the chain —
+    /// cached beside the symbolic analysis under the same key.
+    plan: Option<Arc<StampPlan>>,
     /// Last certified operating point of the chain.
     warm: Option<Vec<f64>>,
 }
@@ -965,6 +1016,12 @@ fn run_group(
     let mut ws = match &seed {
         Some(seed) => LuWorkspace::with_symbolic((*seed.symbolic).clone()),
         None => LuWorkspace::new(),
+    };
+    // A cache-shared stamp plan makes the whole chain a pure write pass:
+    // the first Newton run skips stamp resolution.
+    let mut asm = match seed.as_ref().and_then(|s| s.plan.clone()) {
+        Some(plan) => AssemblyWorkspace::with_plan(plan),
+        None => AssemblyWorkspace::new(),
     };
     let mut warm: Option<Vec<f64>> = match (&seed, warm_starts) {
         (Some(seed), true) => seed.warm.clone(),
@@ -993,7 +1050,7 @@ fn run_group(
             None => engine,
         };
         let warm_ref = warm.as_deref().filter(|w| w.len() == job.circuit.dim());
-        let solved = match eng.solve_warm(&job.circuit, warm_ref, &mut ws) {
+        let solved = match eng.solve_warm_with_assembly(&job.circuit, warm_ref, &mut ws, &mut asm) {
             Ok(sol) => Ok(sol),
             Err(first) => match policy {
                 // The shared frozen policy gets one RL-steered PTA attempt
@@ -1023,6 +1080,7 @@ fn run_group(
     GroupOutcome {
         results,
         symbolic: ws.symbolic().cloned(),
+        plan: asm.plan().cloned(),
         warm,
     }
 }
@@ -1074,6 +1132,25 @@ mod tests {
         assert_eq!(stats.hits, 1);
         assert_eq!(stats.invalidations, 0);
         assert_eq!(cold.x, replay.x);
+    }
+
+    #[test]
+    fn plan_counters_track_stamp_resolution_reuse() {
+        let mut service = SimService::builder(DcEngine::builder().build())
+            .warm_starts(false)
+            .build();
+        // Cold structure: the group resolves its own plan (a plan miss)…
+        service.solve(&clamp("5"), JobTicket::default()).expect("cold");
+        let stats = service.cache_stats();
+        assert_eq!(stats.plan_misses, 1);
+        assert_eq!(stats.plan_hits, 0);
+        // …and caches it, so repeats (even with different parameter values)
+        // skip resolution entirely.
+        service.solve(&clamp("3"), JobTicket::default()).expect("warm");
+        service.solve(&clamp("7"), JobTicket::default()).expect("warm");
+        let stats = service.cache_stats();
+        assert_eq!(stats.plan_hits, 2);
+        assert_eq!(stats.plan_misses, 1);
     }
 
     #[test]

@@ -504,14 +504,23 @@ mod tests {
         };
         emit(Phase::PtaStep, 10_000_000);
         emit(Phase::NewtonSolve, 8_000_000);
-        emit(Phase::MatrixStamp, 3_000_000);
+        emit(Phase::StampResolve, 1_000_000);
+        emit(Phase::StampWrite, 2_000_000);
         emit(Phase::LuReplay, 4_000_000);
         let tree = reg.profile_tree();
         let pta = tree.lines().position(|l| l.trim_start().starts_with("pta_step"));
         let nr = tree.lines().position(|l| l.trim_start().starts_with("nr_solve"));
-        let stamp = tree.lines().position(|l| l.trim_start().starts_with("stamp"));
-        assert!(pta < nr && nr < stamp, "hierarchy order broken:\n{tree}");
-        // nr_solve self = 8ms − (3ms + 4ms) = 1ms.
+        let resolve = tree
+            .lines()
+            .position(|l| l.trim_start().starts_with("stamp_resolve"));
+        let write = tree
+            .lines()
+            .position(|l| l.trim_start().starts_with("stamp_write"));
+        assert!(
+            pta < nr && nr < resolve && resolve < write,
+            "hierarchy order broken:\n{tree}"
+        );
+        // nr_solve self = 8ms − (1ms + 2ms + 4ms) = 1ms.
         let nr_line = tree.lines().nth(nr.expect("nr line")).expect("line");
         assert!(nr_line.contains("1.0ms"), "self-time missing: {nr_line}");
         // Phases that never fired are absent.

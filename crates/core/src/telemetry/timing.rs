@@ -29,8 +29,12 @@ use std::time::Instant;
 /// strategies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Phase {
-    /// MNA matrix stamping: one `assemble_into` pass over the devices.
-    MatrixStamp,
+    /// Stamp-plan resolution: the structural declare pass binding every
+    /// device's `(row, col)` targets to nnz slots (once per structure).
+    StampResolve,
+    /// MNA matrix stamping: one numeric assembly pass over the devices —
+    /// a slot-table scatter on the plan path, a triplet pass otherwise.
+    StampWrite,
     /// A full (symbolic + numeric) sparse LU factorization.
     LuFactorize,
     /// A numeric-only scatter-plan LU replay.
@@ -53,8 +57,9 @@ pub enum Phase {
 
 impl Phase {
     /// Every phase, in canonical (declaration) order.
-    pub const ALL: [Phase; 10] = [
-        Phase::MatrixStamp,
+    pub const ALL: [Phase; 11] = [
+        Phase::StampResolve,
+        Phase::StampWrite,
         Phase::LuFactorize,
         Phase::LuReplay,
         Phase::NewtonSolve,
@@ -69,7 +74,8 @@ impl Phase {
     /// Stable snake_case name used in the JSON encoding and reports.
     pub fn name(self) -> &'static str {
         match self {
-            Phase::MatrixStamp => "stamp",
+            Phase::StampResolve => "stamp_resolve",
+            Phase::StampWrite => "stamp_write",
             Phase::LuFactorize => "lu_factorize",
             Phase::LuReplay => "lu_replay",
             Phase::NewtonSolve => "nr_solve",
@@ -90,7 +96,7 @@ impl Phase {
     /// The phase this one nominally nests inside (`None` for roots).
     pub fn parent(self) -> Option<Phase> {
         match self {
-            Phase::MatrixStamp | Phase::LuFactorize | Phase::LuReplay => {
+            Phase::StampResolve | Phase::StampWrite | Phase::LuFactorize | Phase::LuReplay => {
                 Some(Phase::NewtonSolve)
             }
             Phase::NewtonSolve | Phase::RlInference | Phase::RlTrain => Some(Phase::PtaStep),
@@ -216,7 +222,7 @@ mod tests {
         assert!(!NullSink.wants_timing());
         let tele = Tele::root(&NullSink, Span::default());
         assert!(!tele.timing_enabled());
-        let guard = tele.time(Phase::MatrixStamp);
+        let guard = tele.time(Phase::StampWrite);
         assert!(!guard.sampling());
         drop(guard);
         assert!(!tele.timer().sampling());
@@ -250,7 +256,7 @@ mod tests {
     fn time_phase_macro_yields_the_body_value() {
         let collector = Collector::new();
         let tele = Tele::root(&collector, Span::default());
-        let v = time_phase!(tele, Phase::MatrixStamp, 6 * 7);
+        let v = time_phase!(tele, Phase::StampWrite, 6 * 7);
         assert_eq!(v, 42);
         assert_eq!(collector.len(), 1);
     }

@@ -11,8 +11,7 @@ use crate::newton::{newton_iterate, NewtonConfig};
 use crate::recovery::BudgetMeter;
 use crate::telemetry::{Payload, StatsFold, Tele};
 use crate::SolveError;
-use rlpta_devices::Device;
-use rlpta_linalg::Triplet;
+use rlpta_devices::{Device, Stamper};
 use rlpta_mna::Circuit;
 
 /// A time-dependent source waveform (the SPICE `DC`/`PULSE`/`SIN` shapes).
@@ -247,8 +246,9 @@ impl Transient {
         let mut halvings = 0usize;
         // Companion-model stamps keep a fixed pattern across time steps
         // (only conductance values track the step size), so every point
-        // replays one symbolic analysis.
+        // replays one symbolic analysis and reuses one stamp plan.
         let mut lu_ws = rlpta_linalg::LuWorkspace::new();
+        let mut asm = crate::assembly::AssemblyWorkspace::new();
         // Stop when the remaining interval is a negligible fraction of the
         // nominal step: float accumulation otherwise leaves a ~1e-19 s
         // sliver whose companion conductance C/h overflows any tolerance.
@@ -262,24 +262,24 @@ impl Transient {
             let caps_ref = caps.as_slice();
             let inds_ref = inds.as_slice();
             let xp = x_prev.as_slice();
-            let mut companion = move |x_cur: &[f64], jac: &mut Triplet, res: &mut [f64]| {
+            let mut companion = move |x_cur: &[f64], st: &mut Stamper<'_>| {
                 for &(a, b, c) in caps_ref {
                     let g = c / h_step;
                     let dv =
                         (a.voltage(x_cur) - b.voltage(x_cur)) - (a.voltage(xp) - b.voltage(xp));
                     let i = g * dv;
                     if let Some(ia) = a.index() {
-                        res[ia] += i;
-                        jac.push(ia, ia, g);
+                        st.res_raw(ia, i);
+                        st.jac_raw(ia, ia, g);
                         if let Some(ib) = b.index() {
-                            jac.push(ia, ib, -g);
+                            st.jac_raw(ia, ib, -g);
                         }
                     }
                     if let Some(ib) = b.index() {
-                        res[ib] -= i;
-                        jac.push(ib, ib, g);
+                        st.res_raw(ib, -i);
+                        st.jac_raw(ib, ib, g);
                         if let Some(ia) = a.index() {
-                            jac.push(ib, ia, -g);
+                            st.jac_raw(ib, ia, -g);
                         }
                     }
                 }
@@ -287,8 +287,8 @@ impl Transient {
                     // Branch equation gains the inductor voltage term:
                     // v_a − v_b − (L/h)(i − i_prev) = 0 replaces the DC short.
                     let gl = l / h_step;
-                    res[br] -= gl * (x_cur[br] - xp[br]);
-                    jac.push(br, br, -gl);
+                    st.res_raw(br, -(gl * (x_cur[br] - xp[br])));
+                    st.jac_raw(br, br, -gl);
                 }
             };
             let saved_state = state.clone();
@@ -300,6 +300,7 @@ impl Transient {
                 &mut companion,
                 &mut meter,
                 &mut lu_ws,
+                &mut asm,
                 &tele,
             )?;
             let accepted = out.converged;

@@ -1,0 +1,236 @@
+//! Bit-identity of the precompiled stamp-plan assembly pipeline against the
+//! triplet reference path.
+//!
+//! Both assembly modes drive the same device `stamp` bodies through
+//! different sinks, so every value, every summation order and every fault
+//! draw must line up exactly. These properties pin that down: for a family
+//! of generated circuits (linear ladders, diode clamps, BJT bias chains,
+//! MOSFET inverters), plan-stamped solves must be **bitwise** equal to
+//! triplet-path solves — including under seeded NaN-stamp fault injection,
+//! where the non-finite guard has to trip at the same iteration and produce
+//! the same outcome.
+
+use proptest::prelude::*;
+use rlpta_core::{AssemblyMode, DcEngine, DcSweep, Solution, SolveError};
+use rlpta_mna::Circuit;
+
+/// Zeroes the wall-clock `elapsed` fields inside escalation-ladder error
+/// trails: they are the only nondeterministic payload in a [`SolveError`],
+/// and identity is claimed modulo timing.
+fn strip_timing(e: SolveError) -> SolveError {
+    match e {
+        SolveError::AllStrategiesFailed { mut attempts } => {
+            for a in &mut attempts {
+                a.elapsed = std::time::Duration::ZERO;
+                *a.error = strip_timing((*a.error).clone());
+            }
+            SolveError::AllStrategiesFailed { attempts }
+        }
+        other => other,
+    }
+}
+
+/// Result comparison for both-mode runs: bitwise on success, structural
+/// (modulo wall-clock) on failure.
+fn normalize(
+    r: Result<Solution, SolveError>,
+) -> Result<Solution, SolveError> {
+    r.map_err(strip_timing)
+}
+
+/// A small generated family exercising every stamp shape: resistor
+/// ladders (linear), diode clamps (two-terminal nonlinear), BJT bias
+/// chains (three-terminal), and a MOSFET inverter (four-terminal with
+/// orientation-dependent operand permutation).
+fn deck(kind: usize, v: f64, r: f64, n: usize) -> String {
+    match kind % 4 {
+        0 => {
+            let mut d = format!("ladder\nV1 n0 0 {v}\n");
+            for i in 0..n {
+                d += &format!("R{i} n{i} n{} {r}\n", i + 1);
+            }
+            d += &format!("RL n{n} 0 {r}\n");
+            d
+        }
+        1 => format!(
+            "clamp\nV1 in 0 {v}\nR1 in out {r}\nD1 out 0 DX\nD2 0 out DX\n.model DX D(IS=1e-14)\n"
+        ),
+        2 => format!(
+            "bias\nV1 vcc 0 {v}\nR1 vcc b {r}\nR2 b 0 22k\nRC vcc c 4.7k\nRE e 0 1k\nQ1 c b e QN\n.model QN NPN(IS=1e-15 BF=100)\n"
+        ),
+        _ => format!(
+            "inv\nVDD vdd 0 {v}\nVIN g 0 {}\nRD vdd d {r}\nM1 d g 0 0 NM W=20u L=2u\n.model NM NMOS(VTO=0.7 KP=1e-4)\n",
+            v * 0.5
+        ),
+    }
+}
+
+fn parse(kind: usize, v: f64, r: f64, n: usize) -> Circuit {
+    rlpta_netlist::parse(&deck(kind, v, r, n)).expect("generated deck parses")
+}
+
+/// Solves the same circuit through both assembly modes with an otherwise
+/// identical engine and returns both results.
+fn solve_both(
+    c: &Circuit,
+    robust: bool,
+) -> (
+    Result<Solution, SolveError>,
+    Result<Solution, SolveError>,
+) {
+    let build = |mode: AssemblyMode| {
+        let b = DcEngine::builder().assembly(mode);
+        let b = if robust { b.robust() } else { b.newton() };
+        b.build()
+    };
+    (
+        build(AssemblyMode::Plan).solve(c),
+        build(AssemblyMode::Triplet).solve(c),
+    )
+}
+
+/// `PartialEq` on `f64` treats `0.0 == -0.0`; bit-identity is stricter.
+fn assert_bits_equal(a: &Solution, b: &Solution) {
+    assert_eq!(a.x.len(), b.x.len());
+    for (i, (pa, pb)) in a.x.iter().zip(&b.x).enumerate() {
+        assert_eq!(
+            pa.to_bits(),
+            pb.to_bits(),
+            "entry {i} differs bitwise: {pa:?} vs {pb:?}"
+        );
+    }
+    assert_eq!(a.stats, b.stats, "run statistics diverged between modes");
+}
+
+proptest! {
+    /// Plain Newton solves are bit-identical between the plan and triplet
+    /// assembly paths across the generated circuit family.
+    #[test]
+    fn plan_newton_bit_identical_to_triplet(
+        kind in 0usize..4,
+        v in 0.5f64..15.0,
+        r in 50.0f64..50_000.0,
+        n in 1usize..8,
+    ) {
+        let c = parse(kind, v, r, n);
+        let (plan, triplet) = solve_both(&c, false);
+        match (plan, triplet) {
+            (Ok(a), Ok(b)) => assert_bits_equal(&a, &b),
+            (a, b) => prop_assert_eq!(normalize(a), normalize(b), "outcomes diverged between modes"),
+        }
+    }
+
+    /// The full escalation ladder — gmin bumps, continuation, PTA rungs —
+    /// stays bit-identical too: the bump-plan diagonal replay and the
+    /// solver extra-stamp hooks reproduce the triplet summation order.
+    #[test]
+    fn plan_robust_ladder_bit_identical_to_triplet(
+        kind in 0usize..4,
+        v in 0.5f64..30.0,
+        r in 1.0f64..1e6,
+        n in 1usize..6,
+    ) {
+        let c = parse(kind, v, r, n);
+        let (plan, triplet) = solve_both(&c, true);
+        match (plan, triplet) {
+            (Ok(a), Ok(b)) => assert_bits_equal(&a, &b),
+            (a, b) => prop_assert_eq!(normalize(a), normalize(b), "outcomes diverged between modes"),
+        }
+    }
+
+    /// Sweeps re-stamp one persistent matrix across the warm-start chain;
+    /// every point of a plan-assembled sweep — serial or chunked parallel —
+    /// must match the triplet sweep bitwise.
+    #[test]
+    fn plan_sweep_bit_identical_to_triplet(
+        n_points in 2usize..12,
+        chunk in 1usize..6,
+        threads in 1usize..5,
+        v_stop in 0.5f64..5.0,
+    ) {
+        let c = rlpta_netlist::parse(
+            "t\nV1 in 0 0\nR1 in a 100\nD1 a 0 DX\n.model DX D(IS=1e-14)\n",
+        )
+        .expect("parses");
+        let values: Vec<f64> = (0..n_points)
+            .map(|i| v_stop * i as f64 / (n_points - 1) as f64)
+            .collect();
+        let sweep = DcSweep::new("V1", values).expect("valid sweep");
+        let run = |mode: AssemblyMode| {
+            DcEngine::builder()
+                .assembly(mode)
+                .threads(threads)
+                .sweep_chunk(chunk)
+                .build()
+                .sweep(&c, &sweep)
+                .expect("sweep solves")
+        };
+        prop_assert_eq!(run(AssemblyMode::Plan), run(AssemblyMode::Triplet));
+    }
+}
+
+#[cfg(feature = "faults")]
+mod under_faults {
+    use super::*;
+    use rlpta_core::FaultPlan;
+
+    proptest! {
+        /// Seeded NaN-stamp injection draws the same fault sequence in both
+        /// modes (the plan's declare pass consumes zero draws), so the
+        /// non-finite guard trips at the same iteration and the outcome —
+        /// success, error, or recovered retry — is identical bit for bit.
+        #[test]
+        fn plan_matches_triplet_under_nan_stamps(
+            seed in any::<u64>(),
+            period in 1u64..10,
+            kind in 0usize..4,
+            v in 1.0f64..15.0,
+        ) {
+            let c = parse(kind, v, 1_000.0, 3);
+            let run = |mode: AssemblyMode| {
+                DcEngine::builder()
+                    .assembly(mode)
+                    .robust()
+                    .fault_plan(FaultPlan::seeded(seed).nan_stamps(period))
+                    .build()
+                    .solve(&c)
+            };
+            let plan = run(AssemblyMode::Plan);
+            let triplet = run(AssemblyMode::Triplet);
+            match (plan, triplet) {
+                (Ok(a), Ok(b)) => assert_bits_equal(&a, &b),
+                (a, b) => prop_assert_eq!(normalize(a), normalize(b), "fault outcomes diverged"),
+            }
+        }
+
+        /// Mixed singular-pivot plus NaN-stamp chaos: totality and
+        /// bit-identity hold together.
+        #[test]
+        fn plan_matches_triplet_under_mixed_faults(
+            seed in any::<u64>(),
+            period in 2u64..8,
+            v in 1.0f64..12.0,
+            r in 100.0f64..10_000.0,
+        ) {
+            let c = parse(1, v, r, 1);
+            let run = |mode: AssemblyMode| {
+                DcEngine::builder()
+                    .assembly(mode)
+                    .robust()
+                    .fault_plan(
+                        FaultPlan::seeded(seed)
+                            .singular_pivots(period)
+                            .nan_stamps(period * 3),
+                    )
+                    .build()
+                    .solve(&c)
+            };
+            let plan = run(AssemblyMode::Plan);
+            let triplet = run(AssemblyMode::Triplet);
+            match (plan, triplet) {
+                (Ok(a), Ok(b)) => assert_bits_equal(&a, &b),
+                (a, b) => prop_assert_eq!(normalize(a), normalize(b), "fault outcomes diverged"),
+            }
+        }
+    }
+}

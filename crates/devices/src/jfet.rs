@@ -189,13 +189,21 @@ impl Jfet {
             (self.drain, self.source)
         };
         st.current(d_eff, s_eff, s * op.ids);
+        // Fixed push targets in declared (drain, source) terms — the stamp
+        // sequence must be operating-point independent so a precompiled
+        // stamp plan can replay it; orientation only permutes the values.
         let g_sum = op.gm + op.gds;
-        st.jac_nodes(d_eff, self.gate, op.gm);
-        st.jac_nodes(d_eff, d_eff, op.gds);
-        st.jac_nodes(d_eff, s_eff, -g_sum);
-        st.jac_nodes(s_eff, self.gate, -op.gm);
-        st.jac_nodes(s_eff, d_eff, -op.gds);
-        st.jac_nodes(s_eff, s_eff, g_sum);
+        let [dg, dd, ds, sg, sd, ss] = if reversed {
+            [-op.gm, g_sum, -op.gds, op.gm, -g_sum, op.gds]
+        } else {
+            [op.gm, op.gds, -g_sum, -op.gm, -op.gds, g_sum]
+        };
+        st.jac_nodes(self.drain, self.gate, dg);
+        st.jac_nodes(self.drain, self.drain, dd);
+        st.jac_nodes(self.drain, self.source, ds);
+        st.jac_nodes(self.source, self.gate, sg);
+        st.jac_nodes(self.source, self.drain, sd);
+        st.jac_nodes(self.source, self.source, ss);
 
         // Gate junctions (gate→source and gate→drain for N-channel), with
         // stateful pnjlim like every junction in this engine.

@@ -265,17 +265,32 @@ impl Mosfet {
         // Jacobian: i_deff = f(vgs, vds, vbs) in the normalized frame with
         // v* measured against the *effective* source. Chain rule over the
         // polarity sign cancels as with the BJT.
+        //
+        // The push *targets* are fixed in declared (drain, source) terms so
+        // the stamp sequence is operating-point independent — a precompiled
+        // stamp plan replays it blindly. Orientation only permutes the
+        // values: the reversed case is the forward stamp with the roles of
+        // the (d, ·) and (s, ·) rows and the d/s columns exchanged.
         let g_sum = op.gm + op.gds + op.gmbs;
-        // Row d_eff.
-        st.jac_nodes(d_eff, self.gate, op.gm);
-        st.jac_nodes(d_eff, d_eff, op.gds);
-        st.jac_nodes(d_eff, self.bulk, op.gmbs);
-        st.jac_nodes(d_eff, s_eff, -g_sum);
-        // Row s_eff = −row d_eff.
-        st.jac_nodes(s_eff, self.gate, -op.gm);
-        st.jac_nodes(s_eff, d_eff, -op.gds);
-        st.jac_nodes(s_eff, self.bulk, -op.gmbs);
-        st.jac_nodes(s_eff, s_eff, g_sum);
+        let [dg, dd, db, ds, sg, sd, sb, ss] = if reversed {
+            [
+                -op.gm, g_sum, -op.gmbs, -op.gds, op.gm, -g_sum, op.gmbs, op.gds,
+            ]
+        } else {
+            [
+                op.gm, op.gds, op.gmbs, -g_sum, -op.gm, -op.gds, -op.gmbs, g_sum,
+            ]
+        };
+        // Row drain.
+        st.jac_nodes(self.drain, self.gate, dg);
+        st.jac_nodes(self.drain, self.drain, dd);
+        st.jac_nodes(self.drain, self.bulk, db);
+        st.jac_nodes(self.drain, self.source, ds);
+        // Row source.
+        st.jac_nodes(self.source, self.gate, sg);
+        st.jac_nodes(self.source, self.drain, sd);
+        st.jac_nodes(self.source, self.bulk, sb);
+        st.jac_nodes(self.source, self.source, ss);
 
         // Bulk junction diodes (bulk→drain and bulk→source for NMOS),
         // normally reverse-biased; they keep the bulk node well connected.

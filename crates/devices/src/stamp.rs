@@ -1,7 +1,16 @@
 //! Evaluation context and MNA stamping interface.
+//!
+//! [`Stamper`] is the single funnel every device model stamps through, and
+//! it is *mode-backed*: the same ordered push sequence a model emits can be
+//! routed to a [`Triplet`] (the reference path), recorded as structural
+//! `(row, col)` targets (the resolve half of a precompiled stamp plan), or
+//! scattered straight into the nnz slots of a frozen CSR pattern via a
+//! [`SlotWriter`] (the write half). Because one code path drives all three
+//! sinks, the plan-based pipeline is bit-identical to triplet assembly by
+//! construction — same stamps, same order, same per-slot summation.
 
 use crate::Node;
-use rlpta_linalg::Triplet;
+use rlpta_linalg::{SlotWriter, Triplet};
 
 /// Read-only context a device sees when it evaluates and stamps itself.
 ///
@@ -48,18 +57,32 @@ impl<'a> EvalCtx<'a> {
     }
 }
 
+/// Where a [`Stamper`]'s Jacobian pushes land — one sink per assembly mode.
+#[derive(Debug)]
+enum Sink<'a> {
+    /// Reference path: raw COO pushes, duplicates summed in `to_csr`.
+    Triplet(&'a mut Triplet),
+    /// Structural resolve pass: record the ground-filtered `(row, col)`
+    /// target of every push in order; values are ignored.
+    Declare(&'a mut Vec<(usize, usize)>),
+    /// Numeric write pass: values stream through a precompiled slot table
+    /// into a frozen CSR pattern.
+    Scatter(SlotWriter<'a>),
+}
+
 /// Accumulates device contributions into the Newton system `J·Δx = −F`.
 ///
 /// Rows/columns belonging to the ground node are dropped, implementing the
 /// usual MNA ground elimination.
 #[derive(Debug)]
 pub struct Stamper<'a> {
-    jacobian: &'a mut Triplet,
+    sink: Sink<'a>,
     residual: &'a mut [f64],
 }
 
 impl<'a> Stamper<'a> {
-    /// Wraps a Jacobian triplet builder and a residual vector.
+    /// Wraps a Jacobian triplet builder and a residual vector — the
+    /// reference assembly mode.
     ///
     /// # Panics
     ///
@@ -72,12 +95,74 @@ impl<'a> Stamper<'a> {
             residual.len(),
             "jacobian/residual mismatch"
         );
-        Self { jacobian, residual }
+        Self {
+            sink: Sink::Triplet(jacobian),
+            residual,
+        }
+    }
+
+    /// Structural resolve mode: every Jacobian push appends its
+    /// ground-filtered `(row, col)` target to `targets` in push order;
+    /// values are discarded. `residual` is scratch of the system dimension
+    /// (residual math still runs, its result is thrown away).
+    ///
+    /// This mode consumes **no** fault-injection draws — a resolve pass
+    /// must not shift the seeded NaN sequence of subsequent evaluations.
+    pub fn declare(targets: &'a mut Vec<(usize, usize)>, residual: &'a mut [f64]) -> Self {
+        Self {
+            sink: Sink::Declare(targets),
+            residual,
+        }
+    }
+
+    /// Numeric write mode: Jacobian pushes stream through `writer`'s slot
+    /// table into the frozen pattern it was built over. Push count and
+    /// order must match the declare pass that resolved the plan.
+    pub fn scatter(writer: SlotWriter<'a>, residual: &'a mut [f64]) -> Self {
+        Self {
+            sink: Sink::Scatter(writer),
+            residual,
+        }
+    }
+
+    /// Ends a scatter pass: checks the full declared sequence was written
+    /// and returns whether every raw stamp was finite. In the other modes
+    /// this is a no-op returning `true` (triplet finiteness is checked via
+    /// `Triplet::all_finite`).
+    ///
+    /// # Panics
+    ///
+    /// Panics in scatter mode when fewer pushes arrived than the plan
+    /// declared (structure drift since resolve).
+    pub fn finish(self) -> bool {
+        match self.sink {
+            Sink::Scatter(w) => w.finish(),
+            Sink::Triplet(_) | Sink::Declare(_) => true,
+        }
     }
 
     /// Dimension of the assembled system.
     pub fn dim(&self) -> usize {
         self.residual.len()
+    }
+
+    /// Routes one resolved (never-ground) Jacobian entry to the active sink.
+    #[inline]
+    fn push(&mut self, row: usize, col: usize, v: f64) {
+        match &mut self.sink {
+            Sink::Triplet(t) => t.push(row, col, v),
+            Sink::Declare(targets) => targets.push((row, col)),
+            Sink::Scatter(w) => w.write(v),
+        }
+    }
+
+    /// Whether the active mode consumes fault-injection draws. Declare
+    /// passes must not: a plan resolve happens once per structure, and
+    /// drawing from the seeded NaN stream there would desynchronize every
+    /// later evaluation from the triplet reference path.
+    #[cfg(feature = "faults")]
+    fn draws_faults(&self) -> bool {
+        !matches!(self.sink, Sink::Declare(_))
     }
 
     /// Adds `g` to the Jacobian between two node unknowns (either may be
@@ -86,9 +171,14 @@ impl<'a> Stamper<'a> {
         if let (Some(r), Some(c)) = (row.index(), col.index()) {
             // Injected fault: a seeded fraction of stamps is poisoned with
             // NaN, standing in for a device model evaluated out of range.
+            // Short-circuit keeps declare passes from consuming draws.
             #[cfg(feature = "faults")]
-            let g = if crate::faults::fire_nan() { f64::NAN } else { g };
-            self.jacobian.push(r, c, g);
+            let g = if self.draws_faults() && crate::faults::fire_nan() {
+                f64::NAN
+            } else {
+                g
+            };
+            self.push(r, c, g);
         }
     }
 
@@ -113,20 +203,33 @@ impl<'a> Stamper<'a> {
     /// Adds to the Jacobian at `(node row, branch col)`.
     pub fn jac_node_branch(&mut self, row: Node, branch: usize, v: f64) {
         if let Some(r) = row.index() {
-            self.jacobian.push(r, branch, v);
+            self.push(r, branch, v);
         }
     }
 
     /// Adds to the Jacobian at `(branch row, node col)`.
     pub fn jac_branch_node(&mut self, branch: usize, col: Node, v: f64) {
         if let Some(c) = col.index() {
-            self.jacobian.push(branch, c, v);
+            self.push(branch, c, v);
         }
     }
 
     /// Adds to the Jacobian at `(branch row, branch col)`.
     pub fn jac_branches(&mut self, row: usize, col: usize, v: f64) {
-        self.jacobian.push(row, col, v);
+        self.push(row, col, v);
+    }
+
+    /// Adds to the Jacobian at raw, already-resolved matrix indices — no
+    /// ground filtering, no fault injection. Solver-level extra stamps
+    /// (PTA pseudo-elements, transient companions, Gmin shunts) use this:
+    /// their indices come from the solver, not from device netlists.
+    pub fn jac_raw(&mut self, row: usize, col: usize, v: f64) {
+        self.push(row, col, v);
+    }
+
+    /// Adds to the residual at a raw, already-resolved index.
+    pub fn res_raw(&mut self, index: usize, v: f64) {
+        self.residual[index] += v;
     }
 
     /// Adds `i` to the KCL residual of `node` (current *leaving* the node is

@@ -47,6 +47,7 @@ mod error;
 pub mod faults;
 pub mod norms;
 mod ordering;
+mod slots;
 mod sparse;
 mod sparse_lu;
 mod symbolic;
@@ -54,6 +55,7 @@ mod symbolic;
 pub use dense::{Cholesky, DenseLu, DenseMatrix};
 pub use error::LinalgError;
 pub use ordering::ColumnOrdering;
+pub use slots::{SlotWriter, StampSlots};
 pub use sparse::{CsrMatrix, Triplet};
 pub use sparse_lu::{Refinement, SparseLu};
 pub use symbolic::{FnvHasher, LuOp, LuStats, LuWorkspace, SymbolicLu};

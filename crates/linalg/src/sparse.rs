@@ -105,10 +105,12 @@ impl Triplet {
     /// across Newton iterations).
     pub fn to_csr(&self) -> CsrMatrix {
         let mut counts = vec![0usize; self.rows + 1];
-        // First pass: sort by (row, col) using counting-sort on rows then an
-        // in-row sort, summing duplicates.
+        // Stable sort: duplicates of one position keep push order, so each
+        // slot's value is the left-to-right sum of its stamps *in stamping
+        // order*. [`crate::StampSlots`] scatters with the same order, which
+        // is what makes plan-based assembly bit-identical to this path.
         let mut sorted: Vec<(usize, usize, f64)> = self.entries.clone();
-        sorted.sort_unstable_by_key(|a| (a.0, a.1));
+        sorted.sort_by_key(|a| (a.0, a.1));
 
         let mut col_indices = Vec::with_capacity(sorted.len());
         let mut values = Vec::with_capacity(sorted.len());
@@ -159,6 +161,29 @@ pub struct CsrMatrix {
 }
 
 impl CsrMatrix {
+    /// Builds a matrix from a raw CSR pattern with all values `0.0` — the
+    /// frozen-pattern constructor behind [`crate::StampSlots::build`].
+    /// `row_ptr` must be monotone with `row_ptr[rows]` entries total and
+    /// every column index in bounds; callers in this crate establish that
+    /// by construction.
+    pub(crate) fn from_pattern(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<usize>,
+        col_indices: Vec<usize>,
+    ) -> Self {
+        debug_assert_eq!(row_ptr.len(), rows + 1);
+        debug_assert_eq!(*row_ptr.last().unwrap_or(&0), col_indices.len());
+        let nnz = col_indices.len();
+        Self {
+            rows,
+            cols,
+            row_ptr,
+            col_indices,
+            values: vec![0.0; nnz],
+        }
+    }
+
     /// Creates an `n × n` identity matrix in CSR form.
     pub fn identity(n: usize) -> Self {
         Self {
@@ -217,6 +242,24 @@ impl CsrMatrix {
     /// The raw value array, aligned with [`CsrMatrix::col_indices`].
     pub fn values(&self) -> &[f64] {
         &self.values
+    }
+
+    /// Mutable access to the value array. The sparsity structure (row
+    /// pointers and column indices) stays frozen — this is the in-place
+    /// re-stamping hook used by precompiled assembly plans, which rewrite
+    /// the numeric values of a fixed pattern every Newton iteration.
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// `true` when `other` has the exact same sparsity structure (shape,
+    /// row pointers and column indices), entry for entry. Values are not
+    /// compared.
+    pub fn same_pattern(&self, other: &CsrMatrix) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self.row_ptr == other.row_ptr
+            && self.col_indices == other.col_indices
     }
 
     /// Borrows the column indices and values of one row.

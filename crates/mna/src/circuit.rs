@@ -115,6 +115,12 @@ impl Circuit {
         self.state_len
     }
 
+    /// Per-device offsets into the junction-limiting state vector, aligned
+    /// with [`Circuit::devices`].
+    pub(crate) fn state_offsets(&self) -> &[usize] {
+        &self.state_offsets
+    }
+
     /// Allocates a fresh (zeroed) device state vector. Pass it to every
     /// [`Circuit::assemble_into`] of a Newton run so devices remember their
     /// limited junction voltages between iterations.

@@ -41,7 +41,9 @@
 mod builder;
 mod circuit;
 mod features;
+mod plan;
 
 pub use builder::{BuildCircuitError, CircuitBuilder};
 pub use circuit::Circuit;
 pub use features::CircuitFeatures;
+pub use plan::{BumpPlan, StampPlan};
