@@ -87,7 +87,12 @@ fn bench_batch_engine(c: &mut Criterion) {
 /// timing instrumentation on (a `MetricsRegistry` sink, which wants
 /// timing, so every phase samples the clock twice and folds a histogram
 /// entry) — the measured price of `--profile`/`--bench-json`, expected to
-/// be small but nonzero.
+/// be small but nonzero. The `flight_recorder_engine` bar attaches a
+/// [`rlpta_core::FlightRecorder`] instead: ring-buffered event capture
+/// without timing, expected within a few percent of the `null_sink` bar
+/// (the recorder clones events into preallocated ring slots and never
+/// samples the clock; for the plain-old-data payloads of the solver hot
+/// loop the clone allocates nothing either).
 fn bench_telemetry_overhead(c: &mut Criterion) {
     let circuit = by_name("gm1").expect("known benchmark").circuit;
     let kind = PtaKind::cepta();
@@ -105,6 +110,15 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
         .build();
     group.bench_function("null_sink_engine", |b| {
         b.iter(|| engine.solve(&circuit).unwrap())
+    });
+    let recorder = std::sync::Arc::new(rlpta_core::FlightRecorder::new(64));
+    let recorded_engine = DcEngine::builder()
+        .kind(kind)
+        .pta_config(experiment_config())
+        .telemetry(recorder)
+        .build();
+    group.bench_function("flight_recorder_engine", |b| {
+        b.iter(|| recorded_engine.solve(&circuit).unwrap())
     });
     let metrics = std::sync::Arc::new(rlpta_core::MetricsRegistry::new());
     let timed_engine = DcEngine::builder()

@@ -10,6 +10,14 @@
 //! sweeps under injected failures must complete with structured partial
 //! results (per-slot errors, quarantine lists), never abort the run.
 //!
+//! A [`FlightRecorder`] is attached to every soak engine, so each failed
+//! solve, failed batch slot and quarantined sweep point freezes a
+//! self-contained incident report into `--incident-dir` (default
+//! `chaos-incidents/`, uploaded as a CI artifact). A second hard invariant
+//! rides on it: **exactly one incident per failed/quarantined job and none
+//! for a solve that came back certified** — the incident count must equal
+//! the failure count, or the soak exits 1.
+//!
 //! Writes a machine-readable quarantine report (`--out <path>`, stdout
 //! otherwise) that CI uploads as an artifact. Requires `--features faults`.
 
@@ -19,6 +27,7 @@ use rlpta_core::prelude::*;
 use rlpta_core::{FaultPlan, GminStepping, NewtonHomotopy, SourceStepping};
 use rlpta_mna::Circuit;
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// A small ladder (short stage caps) so even a run where every stage fails
@@ -57,14 +66,24 @@ fn soak_stages() -> Vec<LadderStage> {
     ]
 }
 
-fn soak_engine(plan: FaultPlan, threads: usize) -> DcEngine {
+fn soak_engine(plan: FaultPlan, threads: usize, recorder: &Arc<FlightRecorder>) -> DcEngine {
     DcEngine::builder()
         .ladder(soak_stages())
         .budget(SolveBudget::with_deadline(Duration::from_secs(30)))
         .threads(threads)
         .retries(1)
         .fault_plan(plan)
+        .telemetry(recorder.clone())
         .build()
+}
+
+/// `" incident=<path>"` naming the most recently frozen incident file, so
+/// violation messages point straight at the evidence.
+fn incident_ref(recorder: &FlightRecorder) -> String {
+    recorder
+        .last_incident_path()
+        .map(|p| format!(" incident={}", p.display()))
+        .unwrap_or_default()
 }
 
 /// Eight plans per seed: three constant (unsurvivable) and five
@@ -98,6 +117,8 @@ struct Tally {
     batch_failures: usize,
     sweep_points: usize,
     sweep_quarantined: usize,
+    /// Failures the recorder must have frozen exactly one incident for.
+    expected_incidents: usize,
     violations: Vec<String>,
 }
 
@@ -114,6 +135,16 @@ fn main() {
         .collect();
     let mut tally = Tally::default();
 
+    // One recorder shared across every soak engine: each terminal failure
+    // and quarantined point freezes one incident report into the incident
+    // directory CI uploads.
+    let incident_dir = arg_value("incident-dir").unwrap_or_else(|| "chaos-incidents".to_string());
+    let recorder = Arc::new(
+        FlightRecorder::with_slots(64, 8)
+            .with_dir(&incident_dir)
+            .with_incident_cap(10_000),
+    );
+
     // Serial solves: every plan against one rotating circuit. The clean
     // residual re-evaluation runs after the engine's fault guard dropped,
     // so it sees the true KCL mismatch of whatever the engine returned.
@@ -121,7 +152,8 @@ fn main() {
         for (p, plan) in plans_for(seed).into_iter().enumerate() {
             tally.plans += 1;
             let (name, circuit) = &circuits[(seed as usize + p) % circuits.len()];
-            let engine = soak_engine(plan, 1);
+            let engine = soak_engine(plan, 1, &recorder);
+            recorder.annotate(None, name, None);
             tally.solves += 1;
             match engine.solve(circuit) {
                 Ok(sol) => {
@@ -156,10 +188,17 @@ fn main() {
                     | SolveError::BudgetExhausted { .. }
                     | SolveError::NonConvergent { .. }
                     | SolveError::CertificationFailed { .. },
-                ) => tally.errors += 1,
-                Err(other) => tally
-                    .violations
-                    .push(format!("{name} repro={plan:?}: unstructured failure {other}")),
+                ) => {
+                    tally.errors += 1;
+                    tally.expected_incidents += 1;
+                }
+                Err(other) => {
+                    tally.expected_incidents += 1;
+                    tally.violations.push(format!(
+                        "{name} repro={plan:?}: unstructured failure {other}{}",
+                        incident_ref(&recorder)
+                    ));
+                }
             }
         }
     }
@@ -169,7 +208,7 @@ fn main() {
     for seed in 0..5u64 {
         let plan = FaultPlan::seeded(seed).singular_pivots(1);
         let batch: Vec<Circuit> = circuits.iter().map(|(_, c)| c.clone()).collect();
-        let results = soak_engine(plan, 3).solve_batch(&batch);
+        let results = soak_engine(plan, 3, &recorder).solve_batch(&batch);
         tally.batch_jobs += results.len();
         if results.len() != batch.len() {
             tally.violations.push(format!(
@@ -183,7 +222,10 @@ fn main() {
                 Ok(_) => tally.violations.push(format!(
                     "job {i} repro={plan:?}: constant singular pivots produced a solution"
                 )),
-                Err(_) => tally.batch_failures += 1,
+                Err(_) => {
+                    tally.batch_failures += 1;
+                    tally.expected_incidents += 1;
+                }
             }
         }
     }
@@ -210,11 +252,13 @@ fn main() {
             .budget(SolveBudget::with_deadline(Duration::from_secs(30)))
             .threads(3)
             .fault_plan(plan)
+            .telemetry(recorder.clone())
             .build();
         match fragile.sweep(&sweep_circuit, &sweep) {
             Ok(report) => {
                 tally.sweep_points += report.points.len();
                 tally.sweep_quarantined += report.quarantined.len();
+                tally.expected_incidents += report.quarantined.len();
                 if report.points.len() + report.quarantined.len() != sweep.values().len() {
                     tally.violations.push(format!(
                         "repro={plan:?}: sweep covered {}+{} of {} values",
@@ -235,13 +279,36 @@ fn main() {
                     ));
                 }
             }
-            Err(e) => tally
-                .violations
-                .push(format!("repro={plan:?}: sweep aborted: {e}")),
+            Err(e) => {
+                tally.expected_incidents += 1;
+                tally.violations.push(format!(
+                    "repro={plan:?}: sweep aborted: {e}{}",
+                    incident_ref(&recorder)
+                ));
+            }
         }
     }
 
-    let report = render_report(&tally, t0.elapsed());
+    // The flight-recorder invariant: one frozen incident per failure (solve
+    // errors, failed batch slots, quarantined sweep points), zero for
+    // anything that came back certified or suspect.
+    let incidents = recorder.incident_count();
+    if incidents != tally.expected_incidents {
+        tally.violations.push(format!(
+            "flight recorder froze {incidents} incidents for {} failures \
+             ({} dropped){}",
+            tally.expected_incidents,
+            recorder.dropped_incidents(),
+            incident_ref(&recorder)
+        ));
+    }
+    if let Some(e) = recorder.write_error() {
+        tally
+            .violations
+            .push(format!("incident write to {incident_dir} failed: {e}"));
+    }
+
+    let report = render_report(&tally, t0.elapsed(), incidents, recorder.dropped_incidents());
     match arg_value("out") {
         Some(path) => {
             std::fs::write(&path, &report).unwrap_or_else(|e| {
@@ -254,7 +321,8 @@ fn main() {
     }
     println!(
         "# chaos soak: {} plans, {} solves ({} ok / {} errors), \
-         {} batch jobs, {} sweep points + {} quarantined, {} violations",
+         {} batch jobs, {} sweep points + {} quarantined, \
+         {} incidents in {incident_dir}/, {} violations",
         tally.plans,
         tally.solves,
         tally.ok,
@@ -262,6 +330,7 @@ fn main() {
         tally.batch_jobs,
         tally.sweep_points,
         tally.sweep_quarantined,
+        incidents,
         tally.violations.len()
     );
     assert!(
@@ -277,7 +346,7 @@ fn main() {
     }
 }
 
-fn render_report(t: &Tally, wall: Duration) -> String {
+fn render_report(t: &Tally, wall: Duration, incidents: usize, dropped: usize) -> String {
     let mut s = String::with_capacity(1024);
     s.push_str("{\n");
     let _ = writeln!(s, "  \"bench\": \"chaos_soak\",");
@@ -293,6 +362,9 @@ fn render_report(t: &Tally, wall: Duration) -> String {
     let _ = writeln!(s, "  \"batch_failures\": {},", t.batch_failures);
     let _ = writeln!(s, "  \"sweep_points\": {},", t.sweep_points);
     let _ = writeln!(s, "  \"sweep_quarantined\": {},", t.sweep_quarantined);
+    let _ = writeln!(s, "  \"expected_incidents\": {},", t.expected_incidents);
+    let _ = writeln!(s, "  \"incidents\": {incidents},");
+    let _ = writeln!(s, "  \"dropped_incidents\": {dropped},");
     s.push_str("  \"violations\": [");
     for (i, v) in t.violations.iter().enumerate() {
         let sep = if i == 0 { "\n" } else { ",\n" };

@@ -180,10 +180,16 @@ fn run() -> Result<bool, String> {
     let cold_wall = t_cold.elapsed();
     let cold = aggregate(&cold_rows);
 
-    // --- Warm pass: the same trace through the service, in waves. ---
+    // --- Warm pass: the same trace through the service, in waves. The
+    // flight recorder rides along: a healthy soak must finish with exactly
+    // one incident per solve failure and none for the certified bulk.
+    let incident_dir =
+        arg_value("incident-dir").unwrap_or_else(|| "service-soak-incidents".to_string());
     let t_warm = Instant::now();
     let mut service = SimService::builder(engine.clone())
         .queue_capacity(batch)
+        .recorder(64)
+        .incident_dir(&incident_dir)
         .build();
     let mut warm_rows: Vec<(String, SolveStats)> = benches
         .iter()
@@ -262,6 +268,10 @@ fn run() -> Result<bool, String> {
         "plans: {} hits / {} misses in the stamp-plan cache",
         cache.plan_hits, cache.plan_misses,
     );
+    let incidents = service.recorder().map_or(0, |r| r.incident_count());
+    println!(
+        "incidents: {incidents} frozen in {incident_dir}/ for {failures} solve failure(s)"
+    );
     let resolves = |m: &MetricsRegistry| {
         m.summary(Phase::StampResolve).map_or(0, |s| s.count)
     };
@@ -327,6 +337,14 @@ fn run() -> Result<bool, String> {
         println!(
             "FAIL: warm path ran {warm_resolves} stamp_resolve passes, \
              more than half of cold's {cold_resolves}",
+        );
+        failed = true;
+    }
+    // A certified solve must never freeze an incident, and every terminal
+    // failure must freeze exactly one.
+    if incidents != failures {
+        println!(
+            "FAIL: flight recorder froze {incidents} incidents for {failures} solve failure(s)"
         );
         failed = true;
     }

@@ -371,21 +371,34 @@ fn json_str(s: &str) -> String {
 // ---------------------------------------------------------------------------
 // A minimal recursive JSON reader (objects, arrays, scalars) for report
 // files. The telemetry crate's parser is flat by design; reports nest.
+// Public: incident reports and bench reports share this reader in tests.
 // ---------------------------------------------------------------------------
 
+/// A parsed JSON value: the minimal recursive model (`null`, booleans,
+/// `f64` numbers, strings, arrays, objects as ordered key/value lists)
+/// every nested report in this workspace round-trips through — bench
+/// reports, perfdiff inputs and the flight recorder's incident files.
 #[derive(Debug, Clone, PartialEq)]
-enum JsonVal {
+pub enum JsonVal {
+    /// `null`.
     Null,
+    /// `true` / `false`.
     Bool(bool),
+    /// Any JSON number (parsed as `f64`).
     Num(f64),
+    /// A string with escapes resolved.
     Str(String),
+    /// An array.
     Arr(Vec<JsonVal>),
+    /// An object, keys in document order (duplicates keep the first).
     Obj(Vec<(String, JsonVal)>),
 }
 
-type Obj = [(String, JsonVal)];
+/// Borrowed object body: the field list of a [`JsonVal::Obj`].
+pub type Obj = [(String, JsonVal)];
 
-fn obj_get<'a>(obj: &'a Obj, key: &str) -> Option<&'a JsonVal> {
+/// Looks up `key` in an object body (first match wins).
+pub fn obj_get<'a>(obj: &'a Obj, key: &str) -> Option<&'a JsonVal> {
     obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
 }
 
@@ -418,7 +431,13 @@ fn get_str(obj: &Obj, key: &str) -> Result<String, String> {
 }
 
 impl JsonVal {
-    fn parse(text: &str) -> Result<JsonVal, String> {
+    /// Parses one complete JSON document.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first syntax error (with byte offset) or of
+    /// trailing non-whitespace bytes after the document.
+    pub fn parse(text: &str) -> Result<JsonVal, String> {
         let mut p = Parser {
             bytes: text.as_bytes(),
             pos: 0,
@@ -432,14 +451,24 @@ impl JsonVal {
         Ok(v)
     }
 
-    fn as_obj(&self, what: &str) -> Result<&Obj, String> {
+    /// The object body, or an error naming `what` was expected to be one.
+    ///
+    /// # Errors
+    ///
+    /// When the value is not an object.
+    pub fn as_obj(&self, what: &str) -> Result<&Obj, String> {
         match self {
             JsonVal::Obj(fields) => Ok(fields),
             other => Err(format!("{what}: expected object, got {other:?}")),
         }
     }
 
-    fn as_arr(&self, what: &str) -> Result<&[JsonVal], String> {
+    /// The array items, or an error naming `what` was expected to be one.
+    ///
+    /// # Errors
+    ///
+    /// When the value is not an array.
+    pub fn as_arr(&self, what: &str) -> Result<&[JsonVal], String> {
         match self {
             JsonVal::Arr(items) => Ok(items),
             other => Err(format!("{what}: expected array, got {other:?}")),

@@ -1,0 +1,71 @@
+//! Round-trip: the flight recorder's nested incident JSON must parse with
+//! the bench crate's own recursive report reader ([`JsonVal`]) — the same
+//! parser `perfdiff` trusts — so incident files are machine-consumable by
+//! the harness tooling, not just human-readable.
+
+use rlpta_bench::report::{obj_get, JsonVal};
+use rlpta_core::prelude::*;
+use std::sync::Arc;
+
+#[test]
+fn incident_report_parses_with_the_nested_report_reader() {
+    let dir = std::env::temp_dir().join(format!("rlpta-incident-json-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let recorder = Arc::new(FlightRecorder::new(32).with_dir(&dir));
+    // A budget too starved to converge on a nonlinear deck: the terminal
+    // failure at the solve boundary freezes exactly one incident.
+    let engine = DcEngine::builder()
+        .robust()
+        .budget(SolveBudget {
+            wall_clock: None,
+            max_nr_iterations: Some(1),
+            max_steps: None,
+        })
+        .telemetry(recorder.clone())
+        .build();
+    let circuit = rlpta_netlist::parse(
+        "clamp\nV1 in 0 5\nR1 in out 1k\nD1 out 0 DX\n.model DX D(IS=1e-14)",
+    )
+    .expect("valid netlist");
+    recorder.annotate(None, "clamp", None);
+    assert!(engine.solve(&circuit).is_err(), "starved budget must fail");
+    assert_eq!(recorder.incident_count(), 1);
+
+    let path = recorder.last_incident_path().expect("incident written");
+    let text = std::fs::read_to_string(&path).expect("incident file readable");
+    let doc = JsonVal::parse(&text).expect("incident JSON parses with the report reader");
+    let obj = doc.as_obj("incident").expect("top level is an object");
+
+    assert!(matches!(obj_get(obj, "incident"), Some(JsonVal::Num(_))));
+    assert_eq!(
+        obj_get(obj, "trigger"),
+        Some(&JsonVal::Str("solve_failed".into()))
+    );
+    assert_eq!(obj_get(obj, "label"), Some(&JsonVal::Str("clamp".into())));
+    let window = obj_get(obj, "window")
+        .expect("window present")
+        .as_arr("window")
+        .expect("window is an array");
+    assert!(!window.is_empty(), "window should hold the event tail");
+    let trigger_event = obj_get(obj, "trigger_event")
+        .expect("trigger_event present")
+        .as_obj("trigger_event")
+        .expect("trigger_event is an object");
+    assert_eq!(
+        obj_get(trigger_event, "event"),
+        Some(&JsonVal::Str("SolveFailed".into()))
+    );
+    for key in ["attempts", "trajectory", "histograms"] {
+        assert!(
+            matches!(obj_get(obj, key), Some(JsonVal::Arr(_))),
+            "{key} should be an array"
+        );
+    }
+    for key in ["phase_nanos", "event_counts", "cache"] {
+        assert!(
+            matches!(obj_get(obj, key), Some(JsonVal::Obj(_))),
+            "{key} should be an object"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

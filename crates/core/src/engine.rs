@@ -445,6 +445,9 @@ impl DcEngine {
         #[cfg(feature = "faults")]
         let _guard = self.install_faults();
         let out = self.solve_one(circuit);
+        if let Err(e) = &out {
+            self.note_solve_failure(Span::default(), e);
+        }
         self.telemetry.finish();
         out
     }
@@ -470,8 +473,10 @@ impl DcEngine {
                 })
                 .collect::<Vec<_>>(),
         );
+        let out = Self::label_panics(out, circuits);
+        self.note_batch_failures(&out);
         self.telemetry.finish();
-        Self::label_panics(out, circuits)
+        out
     }
 
     /// Solves every circuit with a caller-supplied step controller — the
@@ -513,8 +518,10 @@ impl DcEngine {
                 })
                 .collect::<Vec<_>>(),
         );
+        let out = Self::label_panics(out, circuits);
+        self.note_batch_failures(&out);
         self.telemetry.finish();
-        Self::label_panics(out, circuits)
+        out
     }
 
     /// Runs a DC sweep in fixed-size chunks with warm-start handoff at the
@@ -549,9 +556,12 @@ impl DcEngine {
         {
             let mut probe = circuit.clone();
             if !probe.set_source_dc(source, values[0]) {
-                return Err(SolveError::InvalidConfig {
+                let err = SolveError::InvalidConfig {
                     detail: format!("no independent source named `{source}`"),
-                });
+                };
+                self.note_solve_failure(Span::default(), &err);
+                self.telemetry.finish();
+                return Err(err);
             }
         }
         let chunk = self.sweep_chunk;
@@ -740,7 +750,12 @@ impl DcEngine {
         lu_ws: &mut LuWorkspace,
     ) -> Result<Solution, SolveError> {
         let mut asm = AssemblyWorkspace::new();
-        self.solve_warm_with_assembly(circuit, warm, lu_ws, &mut asm)
+        let out = self.solve_warm_with_assembly(circuit, warm, lu_ws, &mut asm, Span::default());
+        if let Err(e) = &out {
+            self.note_solve_failure(Span::default(), e);
+            self.telemetry.finish();
+        }
+        out
     }
 
     /// [`DcEngine::solve_warm`] with a caller-managed [`AssemblyWorkspace`]
@@ -752,10 +767,11 @@ impl DcEngine {
         warm: Option<&[f64]>,
         lu_ws: &mut LuWorkspace,
         asm: &mut AssemblyWorkspace,
+        span: Span,
     ) -> Result<Solution, SolveError> {
         #[cfg(feature = "faults")]
         let _guard = self.install_faults();
-        let tele = Tele::root(&*self.telemetry, Span::default());
+        let tele = Tele::root(&*self.telemetry, span);
         let out = self
             .solve_with_retries(|| self.solve_sweep_point(circuit, warm, lu_ws, asm, &tele))
             .0;
@@ -772,12 +788,44 @@ impl DcEngine {
 
     // --- internals -------------------------------------------------------
 
+    /// Emits the one-per-failure [`Payload::SolveFailed`] boundary marker
+    /// for a terminally failed request — the flight recorder's primary
+    /// incident trigger. Called exactly once per failed job at the public
+    /// entry points (and by the service layer for warm jobs), never from
+    /// inner ladder rungs, so recorders see one trigger per failure.
+    pub(crate) fn note_solve_failure(&self, span: Span, error: &SolveError) {
+        Tele::root(&*self.telemetry, span).emit(Payload::SolveFailed {
+            error: error.to_string(),
+        });
+    }
+
+    /// [`DcEngine::note_solve_failure`] over every failed slot of a batch
+    /// result (worker panics included — the pool surfaced them as
+    /// [`SolveError::WorkerPanic`] per slot).
+    fn note_batch_failures(&self, out: &[Result<Solution, SolveError>]) {
+        for (i, r) in out.iter().enumerate() {
+            if let Err(e) = r {
+                self.note_solve_failure(Span::for_job(i), e);
+            }
+        }
+    }
+
     /// A copy of this engine with a different per-job budget — lets the
     /// service layer honor per-ticket budgets without rebuilding the full
     /// configuration.
     pub(crate) fn with_budget(&self, budget: SolveBudget) -> DcEngine {
         let mut engine = self.clone();
         engine.budget = budget;
+        engine
+    }
+
+    /// A copy of this engine with a different telemetry sink — lets the
+    /// service layer splice a flight recorder into an already-built
+    /// engine's stream (fanout with the original sink) without rebuilding
+    /// the configuration.
+    pub(crate) fn with_telemetry(&self, sink: Arc<dyn Sink>) -> DcEngine {
+        let mut engine = self.clone();
+        engine.telemetry = sink;
         engine
     }
 

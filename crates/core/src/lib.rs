@@ -102,15 +102,16 @@ pub use recovery::{AttemptReport, LadderStage, RobustDcSolver, SolveBudget};
 pub use report::op_report;
 pub use rl_stepping::{RlStepping, RlSteppingConfig};
 pub use service::{
-    CacheStats, JobId, JobTicket, Priority, ServiceError, SimService, SimServiceBuilder,
-    StructureKey,
+    CacheStats, HeartbeatLine, JobId, JobTicket, Priority, ServiceError, ServiceMonitor,
+    ServiceSnapshot, SimService, SimServiceBuilder, StructureKey,
 };
 pub use solution::{Solution, SolveStats};
 pub use stepping::{SerStepping, SimpleStepping, StepController, StepObservation};
 pub use sweep::{DcSweep, QuarantinedPoint, SweepPoint, SweepReport};
 pub use telemetry::{
-    Collector, CounterSink, DerivedRates, Event, FanoutSink, Histogram, HistogramSummary,
-    JsonlSink, MetricsRegistry, NullSink, Payload, Phase, Sink, Span,
+    Collector, CounterSink, DerivedRates, Event, FanoutSink, FlightRecorder, Histogram,
+    HistogramSummary, IncidentReport, JsonlSink, MetricsRegistry, NullSink, Payload, Phase, Sink,
+    Span, Trigger,
 };
 pub use trace::{TraceController, TraceEntry};
 pub use transient::{Stimulus, Transient, TransientPoint, Waveform};
@@ -144,9 +145,10 @@ pub mod prelude {
     pub use crate::rl_stepping::RlSteppingConfig;
     pub use crate::stepping::{SerStepping, SimpleStepping};
     pub use crate::service::{
-        CacheStats, JobId, JobTicket, Priority, ServiceError, SimService, SimServiceBuilder,
-        StructureKey,
+        CacheStats, HeartbeatLine, JobId, JobTicket, Priority, ServiceError, ServiceMonitor,
+        ServiceSnapshot, SimService, SimServiceBuilder, StructureKey,
     };
     pub use crate::solution::{Solution, SolveStats};
     pub use crate::sweep::{DcSweep, QuarantinedPoint, SweepPoint, SweepReport};
+    pub use crate::telemetry::{FlightRecorder, IncidentReport, MetricsRegistry, Trigger};
 }

@@ -81,13 +81,18 @@
 // public struct must stay extensible without a major version bump.
 #![deny(clippy::exhaustive_structs)]
 
+pub mod observe;
+
+pub use observe::{HeartbeatLine, ServiceMonitor, ServiceSnapshot};
+
 use crate::assembly::AssemblyWorkspace;
 use crate::engine::DcEngine;
 use crate::error::SolveError;
 use crate::recovery::SolveBudget;
 use crate::rl_stepping::{RlStepping, RlSteppingConfig};
-use crate::telemetry::{Payload, Span, Tele};
+use crate::telemetry::{FanoutSink, FlightRecorder, MetricsRegistry, Payload, Sink, Span, Tele};
 use crate::Solution;
+use observe::priority_index;
 use rlpta_devices::{Device, EvalCtx};
 use rlpta_linalg::{CsrMatrix, FnvHasher, LuWorkspace, SymbolicLu};
 use rlpta_mna::{Circuit, StampPlan};
@@ -95,6 +100,7 @@ use rlpta_threadpool::ThreadPool;
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -628,6 +634,14 @@ pub struct SimServiceBuilder {
     cache_shards: usize,
     warm_starts: bool,
     policy: Option<Arc<RlStepping>>,
+    recorder_depth: Option<usize>,
+    recorder: Option<Arc<FlightRecorder>>,
+    incident_dir: Option<PathBuf>,
+    incident_cap: Option<usize>,
+    heartbeat: Option<Duration>,
+    heartbeat_path: Option<PathBuf>,
+    watchdog_factor: Option<f64>,
+    registry: Option<Arc<MetricsRegistry>>,
 }
 
 impl SimServiceBuilder {
@@ -693,9 +707,88 @@ impl SimServiceBuilder {
         Ok(self.policy(Arc::new(policy)))
     }
 
+    /// Attaches a [`FlightRecorder`] keeping the last `depth` events per
+    /// in-flight job, teed into the engine's telemetry stream. Incidents
+    /// stay in memory unless [`incident_dir`](Self::incident_dir) is also
+    /// set. See the [recorder docs](crate::telemetry::recorder).
+    #[must_use]
+    pub fn recorder(mut self, depth: usize) -> Self {
+        self.recorder_depth = Some(depth);
+        self
+    }
+
+    /// Attaches a pre-configured recorder (e.g. one built with
+    /// [`FlightRecorder::trigger_on_rejected`] or a custom slot count, or
+    /// one shared with other engines). Overrides
+    /// [`recorder`](Self::recorder) / [`incident_dir`](Self::incident_dir)
+    /// / [`incident_cap`](Self::incident_cap), which configure the
+    /// service-built recorder only.
+    #[must_use]
+    pub fn recorder_with(mut self, recorder: Arc<FlightRecorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Directory the service-built recorder serializes incident reports
+    /// into (implies [`recorder`](Self::recorder) at a default depth of 64
+    /// if no depth was set).
+    #[must_use]
+    pub fn incident_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.incident_dir = Some(dir.into());
+        self
+    }
+
+    /// Per-run incident cap for the service-built recorder (default 256).
+    #[must_use]
+    pub fn incident_cap(mut self, cap: usize) -> Self {
+        self.incident_cap = Some(cap);
+        self
+    }
+
+    /// Appends one [`HeartbeatLine`] to the path set via
+    /// [`heartbeat_path`](Self::heartbeat_path) whenever `interval` has
+    /// elapsed at a [`tick`](SimService::tick) (ticks run after every
+    /// submit/drain/solve).
+    #[must_use]
+    pub fn heartbeat(mut self, interval: Duration) -> Self {
+        self.heartbeat = Some(interval);
+        self
+    }
+
+    /// JSONL file the heartbeat stream appends to (implies
+    /// [`heartbeat`](Self::heartbeat) at a default 1 s interval if no
+    /// interval was set). `rlpta monitor` tails this file.
+    #[must_use]
+    pub fn heartbeat_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.heartbeat_path = Some(path.into());
+        self
+    }
+
+    /// Enables the deadline watchdog: any job older than
+    /// `deadline × factor` is flagged once with [`Payload::Watchdog`]
+    /// (a flight-recorder trigger). `factor` is clamped to at least 1.
+    /// Off by default — the watchdog reads the wall clock, so the
+    /// determinism contract only covers services without it.
+    #[must_use]
+    pub fn watchdog(mut self, factor: f64) -> Self {
+        self.watchdog_factor = Some(if factor < 1.0 { 1.0 } else { factor });
+        self
+    }
+
+    /// Tees `registry` into the engine's telemetry stream and snapshots
+    /// its per-phase histograms into [`ServiceSnapshot::phases`] and every
+    /// incident report.
+    #[must_use]
+    pub fn metrics(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
     /// Finalizes the service. Any installed policy is frozen here, so a
     /// still-training controller cannot leak nondeterminism into the
-    /// service path.
+    /// service path. A configured recorder or metrics registry is teed
+    /// into the engine's telemetry sink here, so every event the engine
+    /// emits while serving also reaches them.
     pub fn build(self) -> SimService {
         let policy = self.policy.map(|p| {
             if p.is_frozen() {
@@ -706,6 +799,35 @@ impl SimServiceBuilder {
                 Arc::new(frozen)
             }
         });
+        let recorder = match self.recorder {
+            Some(rec) => Some(rec),
+            None if self.recorder_depth.is_some() || self.incident_dir.is_some() => {
+                let mut rec = FlightRecorder::new(self.recorder_depth.unwrap_or(64));
+                if let Some(dir) = &self.incident_dir {
+                    rec = rec.with_dir(dir);
+                }
+                if let Some(cap) = self.incident_cap {
+                    rec = rec.with_incident_cap(cap);
+                }
+                if let Some(reg) = &self.registry {
+                    rec = rec.with_registry(Arc::clone(reg));
+                }
+                Some(Arc::new(rec))
+            }
+            None => None,
+        };
+        let engine = if recorder.is_some() || self.registry.is_some() {
+            let mut fan = FanoutSink::new().with(self.engine.telemetry());
+            if let Some(reg) = &self.registry {
+                fan = fan.with(Arc::clone(reg) as Arc<dyn Sink>);
+            }
+            if let Some(rec) = &recorder {
+                fan = fan.with(Arc::clone(rec) as Arc<dyn Sink>);
+            }
+            self.engine.with_telemetry(Arc::new(fan))
+        } else {
+            self.engine
+        };
         SimService {
             cache: PlanCache::new(self.cache_bytes, self.cache_shards),
             queue: Vec::new(),
@@ -713,7 +835,15 @@ impl SimServiceBuilder {
             queue_capacity: self.queue_capacity,
             warm_starts: self.warm_starts,
             policy,
-            engine: self.engine,
+            recorder,
+            monitor: ServiceMonitor::new(
+                self.heartbeat
+                    .or(self.heartbeat_path.as_ref().map(|_| Duration::from_secs(1))),
+                self.heartbeat_path,
+                self.watchdog_factor,
+                self.registry,
+            ),
+            engine,
         }
     }
 }
@@ -726,6 +856,9 @@ struct QueuedJob {
     submitted: Instant,
     key: StructureKey,
     pattern: CsrMatrix,
+    /// Whether the queue-scan watchdog already flagged this job (each job
+    /// fires at most once while queued).
+    watchdog_flagged: bool,
 }
 
 /// The long-lived simulation service; see the [module docs](self).
@@ -737,6 +870,8 @@ pub struct SimService {
     queue_capacity: usize,
     warm_starts: bool,
     policy: Option<Arc<RlStepping>>,
+    recorder: Option<Arc<FlightRecorder>>,
+    monitor: ServiceMonitor,
 }
 
 impl SimService {
@@ -750,7 +885,21 @@ impl SimService {
             cache_shards: 8,
             warm_starts: true,
             policy: None,
+            recorder_depth: None,
+            recorder: None,
+            incident_dir: None,
+            incident_cap: None,
+            heartbeat: None,
+            heartbeat_path: None,
+            watchdog_factor: None,
+            registry: None,
         }
+    }
+
+    /// The attached flight recorder, if any (inspect incidents, windows
+    /// and drop counts; see [`FlightRecorder`]).
+    pub fn recorder(&self) -> Option<&Arc<FlightRecorder>> {
+        self.recorder.as_ref()
     }
 
     /// The engine this service drives.
@@ -785,12 +934,14 @@ impl SimService {
     /// zero or shorter than the job's own wall-clock solve budget.
     pub fn submit(&mut self, circuit: Circuit, ticket: JobTicket) -> Result<JobId, ServiceError> {
         if self.queue.len() >= self.queue_capacity {
+            self.monitor.counters.rejected_queue_full += 1;
             return Err(ServiceError::QueueFull {
                 capacity: self.queue_capacity,
             });
         }
         if let Some(deadline) = ticket.deadline {
             if deadline.is_zero() {
+                self.monitor.counters.rejected_deadline += 1;
                 return Err(ServiceError::DeadlineUnmeetable {
                     deadline,
                     detail: "deadline is zero".to_string(),
@@ -802,6 +953,7 @@ impl SimService {
                 .map_or(self.engine.budget().wall_clock, |b| b.wall_clock);
             if let Some(wall) = wall {
                 if wall > deadline {
+                    self.monitor.counters.rejected_deadline += 1;
                     return Err(ServiceError::DeadlineUnmeetable {
                         deadline,
                         detail: format!(
@@ -814,6 +966,10 @@ impl SimService {
         let (key, pattern) = StructureKey::with_matrix(&circuit);
         let seq = self.next_id;
         self.next_id += 1;
+        self.monitor.counters.submitted[priority_index(ticket.priority)] += 1;
+        if let Some(rec) = &self.recorder {
+            rec.annotate(Some(seq), circuit.title(), Some(key.hash));
+        }
         self.queue.push(QueuedJob {
             seq,
             circuit,
@@ -821,6 +977,7 @@ impl SimService {
             submitted: Instant::now(),
             key,
             pattern,
+            watchdog_flagged: false,
         });
         let sink = self.engine.telemetry();
         Tele::root(&*sink, Span::default()).emit(Payload::JobQueued {
@@ -828,6 +985,7 @@ impl SimService {
             priority: ticket.priority.as_str().to_string(),
             depth: self.queue.len(),
         });
+        self.tick();
         Ok(seq)
     }
 
@@ -884,11 +1042,17 @@ impl SimService {
         let engine = &self.engine;
         let policy = self.policy.as_ref();
         let warm_starts = self.warm_starts;
+        let watchdog_factor = self.monitor.watchdog_factor;
         let pooled = ThreadPool::new(engine.threads()).run(
             prepared
                 .into_iter()
                 .map(|(key, jobs, seed)| {
-                    move || (key, run_group(engine, policy, warm_starts, jobs, seed))
+                    move || {
+                        (
+                            key,
+                            run_group(engine, policy, warm_starts, jobs, seed, watchdog_factor),
+                        )
+                    }
                 })
                 .collect::<Vec<_>>(),
         );
@@ -897,6 +1061,8 @@ impl SimService {
         for slot in pooled {
             match slot {
                 Ok((key, group)) => {
+                    self.monitor.counters.watchdog_fires += group.watchdog_fires;
+                    self.monitor.counters.deadline_misses += group.deadline_misses;
                     if let Some(symbolic) = group.symbolic {
                         self.cache.insert(
                             key,
@@ -925,6 +1091,10 @@ impl SimService {
             }
         }
         out.sort_by_key(|(id, _)| *id);
+        for (_, result) in &out {
+            self.monitor.counters.note_result(result);
+        }
+        self.tick();
         out
     }
 
@@ -942,6 +1112,7 @@ impl SimService {
     ) -> Result<Solution, ServiceError> {
         if let Some(deadline) = ticket.deadline {
             if deadline.is_zero() {
+                self.monitor.counters.rejected_deadline += 1;
                 return Err(ServiceError::DeadlineUnmeetable {
                     deadline,
                     detail: "deadline is zero".to_string(),
@@ -951,6 +1122,10 @@ impl SimService {
         let (key, pattern) = StructureKey::with_matrix(circuit);
         let seq = self.next_id;
         self.next_id += 1;
+        self.monitor.counters.submitted[priority_index(ticket.priority)] += 1;
+        if let Some(rec) = &self.recorder {
+            rec.annotate(Some(seq), circuit.title(), Some(key.hash));
+        }
         let sink = self.engine.telemetry();
         let tele = Tele::root(&*sink, Span::default());
         let seed = self.cache.lookup(&key, &pattern, circuit, &tele);
@@ -965,6 +1140,7 @@ impl SimService {
             submitted: Instant::now(),
             key,
             pattern,
+            watchdog_flagged: false,
         };
         let mut group = run_group(
             &self.engine,
@@ -972,7 +1148,10 @@ impl SimService {
             self.warm_starts,
             vec![job],
             seed,
+            self.monitor.watchdog_factor,
         );
+        self.monitor.counters.watchdog_fires += group.watchdog_fires;
+        self.monitor.counters.deadline_misses += group.deadline_misses;
         if let Some(symbolic) = group.symbolic {
             self.cache.insert(
                 key,
@@ -982,12 +1161,15 @@ impl SimService {
                 &tele,
             );
         }
-        match group.results.pop() {
+        let result = match group.results.pop() {
             Some((_, result)) => result,
             None => Err(ServiceError::Solve(SolveError::WorkerPanic {
                 detail: "service group produced no result".to_string(),
             })),
-        }
+        };
+        self.monitor.counters.note_result(&result);
+        self.tick();
+        result
     }
 }
 
@@ -1001,17 +1183,26 @@ struct GroupOutcome {
     plan: Option<Arc<StampPlan>>,
     /// Last certified operating point of the chain.
     warm: Option<Vec<f64>>,
+    /// In-flight watchdog flags raised inside the group (for the monitor's
+    /// counters — the events themselves already went to the sink).
+    watchdog_fires: u64,
+    /// Jobs that finished (either way) past their deadline.
+    deadline_misses: u64,
 }
 
 /// Runs one structure group: a warm-start chain over jobs sharing a
 /// [`StructureKey`], all replaying one [`LuWorkspace`]. Never panics on
-/// solver failures — every error comes back as a value in its job's slot.
+/// solver failures — every error comes back as a value in its job's slot,
+/// and every failed slot is marked with exactly one
+/// [`Payload::SolveFailed`] on the job's span (the flight-recorder
+/// trigger).
 fn run_group(
     engine: &DcEngine,
     policy: Option<&Arc<RlStepping>>,
     warm_starts: bool,
     jobs: Vec<QueuedJob>,
     seed: Option<CacheSeed>,
+    watchdog_factor: Option<f64>,
 ) -> GroupOutcome {
     let mut ws = match &seed {
         Some(seed) => LuWorkspace::with_symbolic((*seed.symbolic).clone()),
@@ -1027,17 +1218,37 @@ fn run_group(
         (Some(seed), true) => seed.warm.clone(),
         _ => None,
     };
+    let sink = engine.telemetry();
+    let mut watchdog_fires = 0u64;
+    let mut deadline_misses = 0u64;
     let mut results = Vec::with_capacity(jobs.len());
     for job in jobs {
+        let span = Span::for_job(job.seq);
         if let Some(deadline) = job.ticket.deadline {
             if job.submitted.elapsed() > deadline {
-                results.push((
-                    job.seq,
-                    Err(ServiceError::DeadlineUnmeetable {
-                        deadline,
-                        detail: "deadline expired while the job was queued".to_string(),
-                    }),
-                ));
+                let err = ServiceError::DeadlineUnmeetable {
+                    deadline,
+                    detail: "deadline expired while the job was queued".to_string(),
+                };
+                deadline_misses += 1;
+                // A queued job that silently aged out is exactly what the
+                // watchdog exists to flag; the submit-time check already
+                // proved the deadline was meetable, so expiry here means
+                // the service sat on it too long.
+                if let Some(factor) = watchdog_factor {
+                    if !job.watchdog_flagged {
+                        watchdog_fires += 1;
+                        Tele::root(&*sink, span).emit(Payload::Watchdog {
+                            job: job.seq,
+                            elapsed_nanos: job.submitted.elapsed().as_nanos() as u64,
+                            limit_nanos: deadline.mul_f64(factor).as_nanos() as u64,
+                        });
+                    }
+                }
+                Tele::root(&*sink, span).emit(Payload::SolveFailed {
+                    error: err.to_string(),
+                });
+                results.push((job.seq, Err(err)));
                 continue;
             }
         }
@@ -1050,23 +1261,40 @@ fn run_group(
             None => engine,
         };
         let warm_ref = warm.as_deref().filter(|w| w.len() == job.circuit.dim());
-        let solved = match eng.solve_warm_with_assembly(&job.circuit, warm_ref, &mut ws, &mut asm) {
-            Ok(sol) => Ok(sol),
-            Err(first) => match policy {
-                // The shared frozen policy gets one RL-steered PTA attempt
-                // before the failure surfaces; it cannot make the outcome
-                // worse (the original error is kept when it also fails).
-                Some(p) if job.circuit.is_nonlinear() => {
-                    let sink = eng.telemetry();
-                    let tele = Tele::root(&*sink, Span::for_job(job.seq));
-                    match eng.solve_once_with(&job.circuit, (**p).clone(), &tele) {
-                        Ok(sol) => Ok(sol),
-                        Err(_) => Err(first),
+        let solved =
+            match eng.solve_warm_with_assembly(&job.circuit, warm_ref, &mut ws, &mut asm, span) {
+                Ok(sol) => Ok(sol),
+                Err(first) => match policy {
+                    // The shared frozen policy gets one RL-steered PTA attempt
+                    // before the failure surfaces; it cannot make the outcome
+                    // worse (the original error is kept when it also fails).
+                    Some(p) if job.circuit.is_nonlinear() => {
+                        let tele = Tele::root(&*sink, span);
+                        match eng.solve_once_with(&job.circuit, (**p).clone(), &tele) {
+                            Ok(sol) => Ok(sol),
+                            Err(_) => Err(first),
+                        }
                     }
+                    _ => Err(first),
+                },
+            };
+        if let Some(deadline) = job.ticket.deadline {
+            let elapsed = job.submitted.elapsed();
+            if elapsed > deadline {
+                deadline_misses += 1;
+            }
+            if let Some(factor) = watchdog_factor {
+                let limit = deadline.mul_f64(factor);
+                if elapsed > limit && !job.watchdog_flagged {
+                    watchdog_fires += 1;
+                    Tele::root(&*sink, span).emit(Payload::Watchdog {
+                        job: job.seq,
+                        elapsed_nanos: elapsed.as_nanos() as u64,
+                        limit_nanos: limit.as_nanos() as u64,
+                    });
                 }
-                _ => Err(first),
-            },
-        };
+            }
+        }
         match solved {
             Ok(sol) => {
                 if warm_starts {
@@ -1074,7 +1302,15 @@ fn run_group(
                 }
                 results.push((job.seq, Ok(sol)));
             }
-            Err(e) => results.push((job.seq, Err(ServiceError::Solve(e)))),
+            Err(e) => {
+                // The one-per-failure boundary marker: this is the only
+                // place a service job's terminal error is emitted, after
+                // the RL rescue has had its chance.
+                Tele::root(&*sink, span).emit(Payload::SolveFailed {
+                    error: e.to_string(),
+                });
+                results.push((job.seq, Err(ServiceError::Solve(e))));
+            }
         }
     }
     GroupOutcome {
@@ -1082,6 +1318,8 @@ fn run_group(
         symbolic: ws.symbolic().cloned(),
         plan: asm.plan().cloned(),
         warm,
+        watchdog_fires,
+        deadline_misses,
     }
 }
 
@@ -1334,6 +1572,147 @@ mod tests {
         };
         assert!(Error::source(&dl).is_none());
         assert!(dl.to_string().contains("cannot be met"), "{dl}");
+    }
+
+    #[test]
+    fn hit_rate_is_zero_not_nan_before_first_lookup() {
+        // Regression: an empty CacheStats must report 0.0, never NaN —
+        // NaN here would leak into exposition output and perfdiff JSON.
+        let stats = CacheStats::default();
+        assert_eq!(stats.hit_rate(), 0.0);
+        assert!(stats.hit_rate().is_finite());
+        let service = SimService::builder(DcEngine::builder().build()).build();
+        assert_eq!(service.cache_stats().hit_rate(), 0.0);
+        let text = service.render_prometheus();
+        assert!(
+            text.contains("rlpta_service_cache_hit_rate 0\n"),
+            "{text}"
+        );
+        assert!(!text.contains("NaN"), "{text}");
+    }
+
+    #[test]
+    fn recorder_freezes_one_incident_per_failure_and_none_for_success() {
+        // Warm starts off: a warm-started repeat would converge in one
+        // iteration and dodge the starved budget below.
+        let mut service = SimService::builder(DcEngine::builder().build())
+            .recorder(16)
+            .warm_starts(false)
+            .build();
+        // Certified solves leave no incidents…
+        service.solve(&clamp("5"), JobTicket::default()).expect("ok");
+        let rec = Arc::clone(service.recorder().expect("attached"));
+        assert_eq!(rec.incident_count(), 0);
+        // …while a starved solve leaves exactly one, annotated with the
+        // label and structure key attached at admission.
+        let starved = SolveBudget {
+            max_nr_iterations: Some(1),
+            ..SolveBudget::UNLIMITED
+        };
+        service
+            .solve(&clamp("5"), JobTicket::default().with_budget(starved))
+            .expect_err("starved");
+        assert_eq!(rec.incident_count(), 1);
+        let incidents = rec.incidents();
+        let inc = &incidents[0];
+        assert_eq!(inc.trigger, crate::telemetry::Trigger::SolveFailed);
+        assert_eq!(inc.label.as_deref(), Some("clamp"));
+        assert!(inc.structure_key.is_some());
+        let snap = service.snapshot();
+        assert_eq!(snap.completed, 1);
+        assert_eq!(snap.solve_failures, 1);
+        assert_eq!(snap.incidents, 1);
+        assert_eq!(snap.grades[0] + snap.grades[1], 1, "one graded success");
+    }
+
+    #[test]
+    fn watchdog_flags_overdue_queued_jobs_once() {
+        let collector = Arc::new(Collector::new());
+        let engine = DcEngine::builder().telemetry(collector.clone()).build();
+        let mut service = SimService::builder(engine)
+            .recorder(8)
+            .watchdog(1.0)
+            .build();
+        service
+            .submit(
+                divider("1k"),
+                JobTicket::default().with_deadline(Duration::from_millis(2)),
+            )
+            .expect("admit");
+        std::thread::sleep(Duration::from_millis(10));
+        service.tick();
+        service.tick(); // a queued job fires at most once
+        assert_eq!(service.snapshot().watchdog_fires, 1);
+        let fires = collector
+            .events()
+            .iter()
+            .filter(|e| matches!(e.payload, Payload::Watchdog { .. }))
+            .count();
+        assert_eq!(fires, 1);
+        // The watchdog event is itself a recorder trigger…
+        let rec = Arc::clone(service.recorder().expect("attached"));
+        assert_eq!(rec.incidents()[0].trigger, crate::telemetry::Trigger::Watchdog);
+        // …and the eventual drain surfaces the expiry as a failed job
+        // without re-firing the watchdog.
+        let results = service.drain();
+        assert!(matches!(
+            results[0].1,
+            Err(ServiceError::DeadlineUnmeetable { .. })
+        ));
+        let snap = service.snapshot();
+        assert_eq!(snap.watchdog_fires, 1);
+        assert!(snap.deadline_misses >= 1);
+        assert_eq!(snap.solve_failures, 1);
+    }
+
+    #[test]
+    fn heartbeat_appends_parseable_lines() {
+        let path = std::env::temp_dir().join(format!(
+            "rlpta-heartbeat-test-{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let mut service = SimService::builder(DcEngine::builder().build())
+            .heartbeat(Duration::ZERO)
+            .heartbeat_path(path.clone())
+            .build();
+        service.solve(&divider("1k"), JobTicket::default()).expect("a");
+        service.solve(&divider("2k"), JobTicket::default()).expect("b");
+        let text = std::fs::read_to_string(&path).expect("heartbeat file");
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines.len() >= 2, "expected two beats, got: {text}");
+        let last = HeartbeatLine::parse(lines.last().expect("line")).expect("parse");
+        assert_eq!(last.completed, 2);
+        assert_eq!(last.cache_hits, 1);
+        assert!(service.monitor().write_error().is_none());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn metrics_registry_feeds_snapshot_phases_and_incidents() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let mut service = SimService::builder(DcEngine::builder().build())
+            .metrics(registry.clone())
+            .recorder(8)
+            .warm_starts(false)
+            .build();
+        service.solve(&clamp("5"), JobTicket::default()).expect("ok");
+        let snap = service.snapshot();
+        assert!(
+            !snap.phases.is_empty(),
+            "attached registry must surface phase summaries"
+        );
+        // The registry also reaches the recorder: incidents carry its
+        // histogram snapshot.
+        let starved = SolveBudget {
+            max_nr_iterations: Some(1),
+            ..SolveBudget::UNLIMITED
+        };
+        service
+            .solve(&clamp("5"), JobTicket::default().with_budget(starved))
+            .expect_err("starved");
+        let rec = service.recorder().expect("attached");
+        assert!(!rec.incidents()[0].histograms.is_empty());
     }
 
     #[test]

@@ -41,9 +41,11 @@
 //! sink opts in via [`Sink::wants_timing`].
 
 pub mod metrics;
+pub mod recorder;
 pub mod timing;
 
 pub use metrics::{DerivedRates, Histogram, HistogramSummary, MetricsRegistry};
+pub use recorder::{FlightRecorder, IncidentReport, Trigger};
 pub use timing::Phase;
 
 use crate::solution::SolveStats;
@@ -276,6 +278,32 @@ pub enum Payload {
         /// into the same worker so cached plans stay core-local.
         key: u64,
     },
+    /// A top-level solve request (standalone solve, batch slot, sweep, or
+    /// warm service job) resolved to a terminal error after every retry and
+    /// rescue. Emitted exactly once per failed job at the public
+    /// engine/service boundary — never from inner ladder rungs, whose
+    /// failures surface as [`Payload::LadderAttempt`] — so it is a reliable
+    /// one-per-failure incident trigger for the
+    /// [flight recorder](recorder::FlightRecorder).
+    SolveFailed {
+        /// Stringified terminal [`SolveError`](crate::SolveError).
+        error: String,
+    },
+    /// The service watchdog flagged a job: its queue deadline expired
+    /// before admission, or its end-to-end latency exceeded
+    /// `deadline × factor`. Elapsed times are wall-clock and therefore
+    /// scheduler-dependent; the watchdog is opt-in
+    /// (`SimServiceBuilder::watchdog`) so deterministic suites never see
+    /// these events. Itself a flight-recorder trigger.
+    Watchdog {
+        /// Service-assigned job id.
+        job: usize,
+        /// Observed elapsed wall-clock nanoseconds (queue wait or
+        /// end-to-end latency).
+        elapsed_nanos: u64,
+        /// The limit that was exceeded (deadline × factor), nanoseconds.
+        limit_nanos: u64,
+    },
     /// Out-of-band wall-clock timing for one scoped phase (see
     /// [`timing`]). Durations are scheduler- and load-dependent, so every
     /// determinism comparison filters these events out (use
@@ -312,6 +340,8 @@ impl Payload {
             Payload::CacheEvicted { .. } => "CacheEvicted",
             Payload::JobQueued { .. } => "JobQueued",
             Payload::JobAdmitted { .. } => "JobAdmitted",
+            Payload::SolveFailed { .. } => "SolveFailed",
+            Payload::Watchdog { .. } => "Watchdog",
             Payload::PhaseTiming { .. } => "PhaseTiming",
         }
     }
@@ -615,7 +645,7 @@ impl Drop for JsonlSink {
 // JSON encoding
 // ---------------------------------------------------------------------------
 
-fn push_json_str(buf: &mut String, s: &str) {
+pub(crate) fn push_json_str(buf: &mut String, s: &str) {
     buf.push('"');
     for c in s.chars() {
         match c {
@@ -633,7 +663,7 @@ fn push_json_str(buf: &mut String, s: &str) {
     buf.push('"');
 }
 
-fn push_f64(buf: &mut String, v: f64) {
+pub(crate) fn push_f64(buf: &mut String, v: f64) {
     if v.is_finite() {
         // `{:?}` is the shortest representation that round-trips exactly.
         let _ = write!(buf, "{v:?}");
@@ -829,6 +859,20 @@ impl Event {
                 push_field_usize(&mut s, "index", *job);
                 push_field_str(&mut s, "key", &format!("{key:016x}"));
             }
+            Payload::SolveFailed { error } => {
+                push_field_str(&mut s, "error", error);
+            }
+            Payload::Watchdog {
+                job,
+                elapsed_nanos,
+                limit_nanos,
+            } => {
+                push_field_usize(&mut s, "index", *job);
+                let _ = write!(
+                    s,
+                    ",\"elapsed_nanos\":{elapsed_nanos},\"limit_nanos\":{limit_nanos}"
+                );
+            }
             Payload::PhaseTiming { phase, nanos } => {
                 push_field_str(&mut s, "phase", phase.name());
                 let _ = write!(s, ",\"nanos\":{nanos}");
@@ -952,6 +996,14 @@ impl Event {
                 job: fields.usize_field("index")?,
                 key: fields.key_field("key")?,
             },
+            "SolveFailed" => Payload::SolveFailed {
+                error: fields.str_field("error")?,
+            },
+            "Watchdog" => Payload::Watchdog {
+                job: fields.usize_field("index")?,
+                elapsed_nanos: fields.u64_field("elapsed_nanos")?,
+                limit_nanos: fields.u64_field("limit_nanos")?,
+            },
             "PhaseTiming" => {
                 let name = fields.str_field("phase")?;
                 Payload::PhaseTiming {
@@ -970,21 +1022,21 @@ impl Event {
 }
 
 #[derive(Debug, Clone, PartialEq)]
-enum JsonValue {
+pub(crate) enum JsonValue {
     Null,
     Bool(bool),
     Num(f64),
     Str(String),
 }
 
-struct JsonFields(Vec<(String, JsonValue)>);
+pub(crate) struct JsonFields(Vec<(String, JsonValue)>);
 
 impl JsonFields {
-    fn get(&self, key: &str) -> Option<&JsonValue> {
+    pub(crate) fn get(&self, key: &str) -> Option<&JsonValue> {
         self.0.iter().find(|(k, _)| k == key).map(|(_, v)| v)
     }
 
-    fn f64_field(&self, key: &str) -> Result<f64, String> {
+    pub(crate) fn f64_field(&self, key: &str) -> Result<f64, String> {
         match self.get(key) {
             Some(JsonValue::Num(n)) => Ok(*n),
             Some(JsonValue::Str(s)) => match s.as_str() {
@@ -997,14 +1049,14 @@ impl JsonFields {
         }
     }
 
-    fn usize_field(&self, key: &str) -> Result<usize, String> {
+    pub(crate) fn usize_field(&self, key: &str) -> Result<usize, String> {
         match self.get(key) {
             Some(JsonValue::Num(n)) if *n >= 0.0 && n.fract() == 0.0 => Ok(*n as usize),
             other => Err(format!("field {key:?}: expected integer, got {other:?}")),
         }
     }
 
-    fn u64_field(&self, key: &str) -> Result<u64, String> {
+    pub(crate) fn u64_field(&self, key: &str) -> Result<u64, String> {
         match self.get(key) {
             Some(JsonValue::Num(n)) if *n >= 0.0 && n.fract() == 0.0 => Ok(*n as u64),
             other => Err(format!("field {key:?}: expected integer, got {other:?}")),
@@ -1028,7 +1080,7 @@ impl JsonFields {
         }
     }
 
-    fn str_field(&self, key: &str) -> Result<String, String> {
+    pub(crate) fn str_field(&self, key: &str) -> Result<String, String> {
         match self.get(key) {
             Some(JsonValue::Str(s)) => Ok(s.clone()),
             other => Err(format!("field {key:?}: expected string, got {other:?}")),
@@ -1049,7 +1101,7 @@ impl JsonFields {
 
 /// A minimal parser for the flat JSON objects this module writes: string
 /// keys, scalar values (string / number / bool / null), no nesting.
-fn parse_object(line: &str) -> Result<JsonFields, String> {
+pub(crate) fn parse_object(line: &str) -> Result<JsonFields, String> {
     let mut p = Cursor {
         bytes: line.as_bytes(),
         pos: 0,
@@ -1579,6 +1631,14 @@ mod tests {
             Payload::JobAdmitted {
                 job: 42,
                 key: 0x1234_5678_9abc_def0,
+            },
+            Payload::SolveFailed {
+                error: "all strategies failed (6 attempts)".to_string(),
+            },
+            Payload::Watchdog {
+                job: 42,
+                elapsed_nanos: 5_000_000_000,
+                limit_nanos: 2_000_000_000,
             },
         ]
     }

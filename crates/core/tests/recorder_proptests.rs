@@ -1,0 +1,167 @@
+//! Property tests for the flight recorder's ring-buffer window semantics
+//! and a determinism check that pooled execution freezes the same
+//! per-job incident bodies as a serial run (after normalizing the
+//! scheduler-dependent worker ids away, exactly like the CI stream diff).
+
+use proptest::prelude::*;
+use rlpta_core::prelude::*;
+use rlpta_core::telemetry::{Event, Payload, Sink, Span};
+use std::sync::Arc;
+
+fn nr_event(job: Option<usize>, iteration: usize) -> Event {
+    Event {
+        span: Span { job, worker: 0 },
+        payload: Payload::NrIteration { iteration },
+    }
+}
+
+proptest! {
+    /// After `count` emits into a `depth`-deep ring, the live window holds
+    /// exactly the last `min(count, depth)` events, oldest first; the
+    /// window an incident freezes additionally ends with the trigger
+    /// event itself.
+    #[test]
+    fn window_is_last_n_in_order(depth in 1usize..64, count in 0usize..200) {
+        let rec = FlightRecorder::new(depth);
+        for i in 0..count {
+            rec.emit(&nr_event(Some(7), i));
+        }
+        let expect_live = count.min(depth);
+        let live: Vec<usize> = rec
+            .window(Some(7))
+            .iter()
+            .map(|e| match e.payload {
+                Payload::NrIteration { iteration } => iteration,
+                _ => usize::MAX,
+            })
+            .collect();
+        prop_assert_eq!(live.len(), expect_live);
+        let first = count - expect_live;
+        prop_assert!(
+            live.iter().copied().eq(first..count),
+            "live window {:?} is not the ordered tail of 0..{}", live, count
+        );
+
+        // The trigger lands in the ring first, so the frozen window is the
+        // last min(count + 1, depth) events with the trigger as its tail.
+        rec.emit(&Event {
+            span: Span { job: Some(7), worker: 0 },
+            payload: Payload::SolveFailed { error: "boom".into() },
+        });
+        let incidents = rec.incidents();
+        prop_assert_eq!(incidents.len(), 1);
+        let frozen = &incidents[0].window;
+        prop_assert_eq!(frozen.len(), (count + 1).min(depth));
+        prop_assert!(
+            matches!(frozen.last().map(|e| &e.payload), Some(Payload::SolveFailed { .. })),
+            "frozen window must end with the trigger event"
+        );
+        let prefix: Vec<usize> = frozen[..frozen.len() - 1]
+            .iter()
+            .map(|e| match e.payload {
+                Payload::NrIteration { iteration } => iteration,
+                _ => usize::MAX,
+            })
+            .collect();
+        let first = count - (frozen.len() - 1);
+        prop_assert!(
+            prefix.iter().copied().eq(first..count),
+            "frozen prefix {:?} is not the ordered tail of 0..{}", prefix, count
+        );
+    }
+}
+
+/// The CI determinism normalizer: pool worker ids are the one
+/// scheduler-dependent field in an event body.
+fn normalize_workers(json: &str) -> String {
+    let mut out = String::with_capacity(json.len());
+    let mut rest = json;
+    while let Some(at) = rest.find("\"worker\":") {
+        let digits_from = at + "\"worker\":".len();
+        out.push_str(&rest[..digits_from]);
+        out.push('0');
+        rest = rest[digits_from..].trim_start_matches(|c: char| c.is_ascii_digit());
+    }
+    out.push_str(rest);
+    out
+}
+
+/// Everything in an incident that is per-job deterministic (seq numbers,
+/// global event counts and cache folds legitimately depend on cross-job
+/// freeze order, so they stay out of the comparison).
+fn comparable_body(incident: &rlpta_core::IncidentReport) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "trigger={} job={:?} label={:?} key={:?}",
+        incident.trigger.name(),
+        incident.job,
+        incident.label,
+        incident.structure_key
+    );
+    let _ = writeln!(s, "trigger_event={}", normalize_workers(&incident.trigger_event.to_json()));
+    for e in &incident.window {
+        let _ = writeln!(s, "w {}", normalize_workers(&e.to_json()));
+    }
+    for a in &incident.attempts {
+        let _ = writeln!(s, "a {} {} {}", a.strategy, a.error, a.nr_iterations);
+    }
+    for t in &incident.trajectory {
+        let _ = writeln!(
+            s,
+            "t {} {} {} {:?} {}",
+            t.accepted, t.h, t.h_next, t.gamma, t.time
+        );
+    }
+    s
+}
+
+fn failing_batch() -> Vec<rlpta_mna::Circuit> {
+    (0..6)
+        .map(|i| {
+            rlpta_netlist::parse(&format!(
+                "clamp{i}\nV1 in 0 {}\nR1 in out 1k\nD1 out 0 DX\n.model DX D(IS=1e-14)",
+                3.0 + 0.5 * i as f64
+            ))
+            .expect("valid netlist")
+        })
+        .collect()
+}
+
+fn incident_bodies(threads: usize) -> Vec<(Option<usize>, String)> {
+    let recorder = Arc::new(FlightRecorder::new(64));
+    let engine = DcEngine::builder()
+        .robust()
+        .budget(SolveBudget {
+            wall_clock: None,
+            max_nr_iterations: Some(1),
+            max_steps: None,
+        })
+        .threads(threads)
+        .telemetry(recorder.clone())
+        .build();
+    let results = engine.solve_batch(&failing_batch());
+    assert!(
+        results.iter().all(Result::is_err),
+        "starved budget must fail every job"
+    );
+    let mut bodies: Vec<(Option<usize>, String)> = recorder
+        .incidents()
+        .iter()
+        .map(|i| (i.job, comparable_body(i)))
+        .collect();
+    bodies.sort();
+    bodies
+}
+
+/// A 4-worker pooled batch freezes byte-identical per-job incident bodies
+/// to a serial run once worker ids are normalized — incident capture is
+/// scheduling-independent.
+#[test]
+fn pooled_incidents_match_serial_after_worker_normalization() {
+    let serial = incident_bodies(1);
+    assert_eq!(serial.len(), 6, "one incident per failed batch job");
+    let pooled = incident_bodies(4);
+    assert_eq!(serial, pooled);
+}

@@ -12,11 +12,17 @@
 //!   --ac <SRC> <PTS/DEC> <FSTART> <FSTOP>          AC sweep at the DC point
 //!   --node <NAME>                                  print only this node (repeatable)
 //!   --stats                                        print solver statistics
+//!
+//! rlpta monitor <heartbeat.jsonl> [--follow] [--interval-ms N]
+//!
+//!   Renders the latest heartbeat written by a `SimService` built with
+//!   `.heartbeat(..)`/`.heartbeat_path(..)` as an ASCII dashboard; with
+//!   --follow, keeps tailing the file and re-rendering.
 //! ```
 
 use rlpta::core::{
-    op_report, AcSweep, GminStepping, NewtonHomotopy, NewtonRaphson, PtaSolver, RlStepping,
-    SourceStepping, Transient,
+    op_report, AcSweep, GminStepping, HeartbeatLine, NewtonHomotopy, NewtonRaphson, PtaSolver,
+    RlStepping, SourceStepping, Transient,
 };
 use rlpta::prelude::*;
 use rlpta::mna::Circuit;
@@ -39,7 +45,16 @@ fn usage() -> &'static str {
     "usage: rlpta <netlist.cir> [--method newton|gmin|source|homotopy|pta|dpta|rpta|cepta] \
      [--controller simple|ser|rl] [--seed N] \
      [--sweep SRC START STOP STEP] [--tran T_STOP H] \
-     [--ac SRC PTS FSTART FSTOP] [--node NAME]... [--stats]"
+     [--ac SRC PTS FSTART FSTOP] [--node NAME]... [--stats]\n\
+     \x20      rlpta monitor <heartbeat.jsonl> [--follow] [--interval-ms N]"
+}
+
+fn monitor_usage() -> &'static str {
+    "usage: rlpta monitor <heartbeat.jsonl> [--follow] [--interval-ms N]\n\
+     \n\
+     Renders the latest heartbeat a SimService (built with .heartbeat(..) and\n\
+     .heartbeat_path(..)) appended to the JSONL file. --follow keeps tailing\n\
+     and re-rendering every N milliseconds (default 1000)."
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -186,8 +201,168 @@ fn print_solution(circuit: &Circuit, solution: &Solution, opts: &Options) {
     }
 }
 
+/// Nanosecond count rendered for humans: `ns`, `us`, `ms` or `s` with one
+/// decimal, `-` for zero (monitor columns read better than a wall of `0ns`).
+fn fmt_nanos(nanos: u64) -> String {
+    match nanos {
+        0 => "-".to_string(),
+        n if n < 1_000 => format!("{n}ns"),
+        n if n < 1_000_000 => format!("{:.1}us", n as f64 / 1e3),
+        n if n < 1_000_000_000 => format!("{:.1}ms", n as f64 / 1e6),
+        n => format!("{:.1}s", n as f64 / 1e9),
+    }
+}
+
+/// The ASCII dashboard for one heartbeat. Pure so tests can pin it.
+fn render_heartbeat(b: &HeartbeatLine, beats: usize, file: &str) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "rlpta service monitor -- {file} (beat {beats}, uptime {})",
+        fmt_nanos(b.uptime_nanos)
+    );
+    let _ = writeln!(
+        out,
+        "  queue      depth {} (low {} / normal {} / high {} / critical {})   oldest {}",
+        b.queue_depth,
+        b.queue_by_priority[0],
+        b.queue_by_priority[1],
+        b.queue_by_priority[2],
+        b.queue_by_priority[3],
+        fmt_nanos(b.oldest_queued_nanos)
+    );
+    let submitted: u64 = b.submitted.iter().sum();
+    let _ = writeln!(
+        out,
+        "  jobs       submitted {submitted}   completed {}   failed {}   \
+         rejected {} (queue-full {} / deadline {})",
+        b.completed,
+        b.solve_failures,
+        b.rejected_queue_full + b.rejected_deadline,
+        b.rejected_queue_full,
+        b.rejected_deadline
+    );
+    let _ = writeln!(
+        out,
+        "  health     certified {}   suspect {}   rejected {}",
+        b.grades[0], b.grades[1], b.grades[2]
+    );
+    let _ = writeln!(
+        out,
+        "  pressure   deadline misses {}   watchdog fires {}",
+        b.deadline_misses, b.watchdog_fires
+    );
+    let _ = writeln!(
+        out,
+        "  cache      hit rate {:.1}% ({} hits / {} misses)   structures {}",
+        b.hit_rate * 100.0,
+        b.cache_hits,
+        b.cache_misses,
+        b.cached_structures
+    );
+    let _ = writeln!(
+        out,
+        "  incidents  frozen {}   dropped {}",
+        b.incidents, b.dropped_incidents
+    );
+    if !b.phases.is_empty() {
+        let _ = writeln!(out, "  {:<21}{:>12}{:>12}", "phase", "p50", "p99");
+        for (phase, p50, p99) in &b.phases {
+            let _ = writeln!(
+                out,
+                "    {:<19}{:>12}{:>12}",
+                phase.name(),
+                fmt_nanos(*p50),
+                fmt_nanos(*p99)
+            );
+        }
+    }
+    out
+}
+
+fn run_monitor(args: &[String]) -> Result<(), String> {
+    let mut file = String::new();
+    let mut follow = false;
+    let mut interval_ms: u64 = 1000;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--follow" | "-f" => follow = true,
+            "--interval-ms" => {
+                interval_ms = it
+                    .next()
+                    .ok_or("missing value for --interval-ms")?
+                    .parse()
+                    .map_err(|_| "bad --interval-ms value".to_string())?;
+            }
+            "--help" | "-h" => return Err(monitor_usage().to_string()),
+            other if file.is_empty() && !other.starts_with('-') => {
+                file = other.to_string();
+            }
+            other => {
+                return Err(format!("unknown argument `{other}`\n{}", monitor_usage()))
+            }
+        }
+    }
+    if file.is_empty() {
+        return Err(monitor_usage().to_string());
+    }
+
+    // Byte offset of the first unconsumed line; re-reading from scratch
+    // keeps this simple and the heartbeat files small enough for it.
+    let mut offset = 0usize;
+    let mut beats = 0usize;
+    let mut last: Option<HeartbeatLine> = None;
+    loop {
+        let text = std::fs::read_to_string(&file).map_err(|e| format!("{file}: {e}"))?;
+        if text.len() < offset {
+            // File was truncated / rotated underneath us: start over.
+            offset = 0;
+        }
+        let fresh = &text[offset..];
+        // Consume only complete lines; a beat mid-append waits a tick.
+        if let Some(end) = fresh.rfind('\n') {
+            for line in fresh[..end].lines() {
+                let line = line.trim();
+                if line.is_empty() {
+                    continue;
+                }
+                match HeartbeatLine::parse(line) {
+                    Ok(beat) => {
+                        beats += 1;
+                        last = Some(beat);
+                    }
+                    Err(e) => eprintln!("warning: skipping malformed heartbeat: {e}"),
+                }
+            }
+            offset += end + 1;
+        }
+        match &last {
+            Some(beat) => {
+                if follow {
+                    // ANSI clear-screen + home so the view updates in place.
+                    print!("\x1b[2J\x1b[H");
+                }
+                print!("{}", render_heartbeat(beat, beats, &file));
+            }
+            None if !follow => {
+                return Err(format!("{file}: no complete heartbeat lines yet"))
+            }
+            None => {}
+        }
+        if !follow {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms.max(50)));
+    }
+}
+
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("monitor") {
+        return run_monitor(&args[1..]);
+    }
     let mut opts = parse_args(&args)?;
     let source = rlpta::netlist::expand_includes(std::path::Path::new(&opts.file))
         .map_err(|e| e.to_string())?;
@@ -342,5 +517,59 @@ fn main() -> ExitCode {
             eprintln!("{msg}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_beat() -> HeartbeatLine {
+        let line = "{\"uptime_nanos\":1500000000,\"queue_depth\":3,\
+            \"queue_low\":1,\"queue_normal\":2,\"queue_high\":0,\"queue_critical\":0,\
+            \"oldest_queued_nanos\":250000000,\
+            \"submitted_low\":4,\"submitted_normal\":10,\"submitted_high\":2,\"submitted_critical\":1,\
+            \"rejected_queue_full\":2,\"rejected_deadline\":1,\"completed\":12,\
+            \"solve_failures\":2,\"deadline_misses\":1,\"watchdog_fires\":1,\
+            \"certified\":11,\"suspect\":1,\"rejected\":0,\
+            \"cache_hits\":9,\"cache_misses\":3,\"hit_rate\":0.75,\
+            \"cached_structures\":2,\"incidents\":3,\"dropped_incidents\":0,\
+            \"p50_lu_factorize\":20000,\"p99_lu_factorize\":48000}";
+        HeartbeatLine::parse(line).expect("sample heartbeat parses")
+    }
+
+    #[test]
+    fn fmt_nanos_picks_readable_units() {
+        assert_eq!(fmt_nanos(0), "-");
+        assert_eq!(fmt_nanos(999), "999ns");
+        assert_eq!(fmt_nanos(20_000), "20.0us");
+        assert_eq!(fmt_nanos(1_500_000), "1.5ms");
+        assert_eq!(fmt_nanos(2_500_000_000), "2.5s");
+    }
+
+    #[test]
+    fn render_heartbeat_shows_all_sections() {
+        let view = render_heartbeat(&sample_beat(), 7, "hb.jsonl");
+        assert!(view.starts_with("rlpta service monitor -- hb.jsonl (beat 7, uptime 1.5s)"));
+        assert!(view.contains("depth 3 (low 1 / normal 2 / high 0 / critical 0)   oldest 250.0ms"));
+        assert!(view.contains("submitted 17   completed 12   failed 2   rejected 3 (queue-full 2 / deadline 1)"));
+        assert!(view.contains("certified 11   suspect 1   rejected 0"));
+        assert!(view.contains("deadline misses 1   watchdog fires 1"));
+        assert!(view.contains("hit rate 75.0% (9 hits / 3 misses)   structures 2"));
+        assert!(view.contains("frozen 3   dropped 0"));
+        assert!(view.contains("lu_factorize"));
+        assert!(view.contains("20.0us"));
+        assert!(view.contains("48.0us"));
+    }
+
+    #[test]
+    fn monitor_renders_last_line_of_file() {
+        let dir = std::env::temp_dir().join(format!("rlpta-monitor-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        let path = dir.join("hb.jsonl");
+        std::fs::write(&path, format!("{}\n", sample_beat().to_json())).expect("write heartbeat");
+        let args = vec![path.to_string_lossy().into_owned()];
+        run_monitor(&args).expect("monitor renders a complete file");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }
