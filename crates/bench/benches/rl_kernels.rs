@@ -1,0 +1,56 @@
+//! Batched RL kernel benchmarks: the zero-allocation inference and
+//! training paths introduced for the TD3 stepping policy. `act` measures
+//! the per-PTA-step policy call ([`Td3Agent::act_into`]); `train_on_batch`
+//! measures one full TD3 step through a reused [`TrainWorkspace`] at the
+//! batch sizes the stepping controller actually uses (1 during early
+//! warmup, 32 as configured, 64 headroom).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::prelude::*;
+use rlpta_rl::{Td3Agent, Td3Config, TrainWorkspace, Transition};
+
+fn sample_transition(rng: &mut StdRng) -> Transition {
+    Transition {
+        state: (0..5).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+        action: vec![rng.gen_range(-1.0..1.0)],
+        reward: rng.gen_range(-2.0..2.0),
+        next_state: (0..5).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+        done: false,
+    }
+}
+
+fn bench_rl_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rl_kernels");
+    let mut rng = StdRng::seed_from_u64(1);
+    let cfg = Td3Config::new(5, 1);
+    let mut agent = Td3Agent::new(cfg.clone(), &mut rng);
+
+    let mut scratch = agent.act_scratch();
+    let mut action = vec![0.0; 1];
+    group.bench_function("act", |b| {
+        let s = [0.1, 0.2, 0.3, 0.4, 0.5];
+        b.iter(|| {
+            agent.act_into(&s, &mut action, &mut scratch);
+            action[0]
+        })
+    });
+
+    for batch in [1usize, 32, 64] {
+        let transitions: Vec<Transition> =
+            (0..batch).map(|_| sample_transition(&mut rng)).collect();
+        let mut ws = TrainWorkspace::new(&cfg, batch);
+        group.bench_function(BenchmarkId::new("train_on_batch", batch), |b| {
+            b.iter(|| {
+                ws.clear();
+                for t in &transitions {
+                    ws.push(t);
+                }
+                agent.train_batched(&mut ws, &mut rng).len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rl_kernels);
+criterion_main!(benches);

@@ -68,11 +68,16 @@ fn counter(report: &BenchReport, name: &str) -> Result<u64, String> {
         // Phase-derived counter: how many stamp-plan resolutions the run
         // performed. Reports without timing carry no phases and count 0.
         "stamp_resolve_total" => report.phase("stamp_resolve").map_or(0, |p| p.count),
+        // Summed RL training wall-time in nanoseconds, gating the batched
+        // TD3 kernels against the pre-batching baseline. Nanos rather than
+        // a call count because the batch restructuring keeps the number of
+        // train steps while collapsing their per-step cost.
+        "rl_train_total" => report.phase("rl_train").map_or(0, |p| p.sum_nanos),
         other => {
             return Err(format!(
                 "unknown counter {other:?} for --require-lower (expected nr_iterations, \
-                 pta_steps, lu_factorizations, lu_refactorizations, lu_total or \
-                 stamp_resolve_total)"
+                 pta_steps, lu_factorizations, lu_refactorizations, lu_total, \
+                 stamp_resolve_total or rl_train_total)"
             ))
         }
     })

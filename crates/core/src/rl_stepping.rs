@@ -6,7 +6,7 @@ use crate::telemetry::{Event, Payload, Phase, Sink, Span};
 use crate::{StepController, StepObservation};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rlpta_rl::{PrioritizedReplay, Td3Agent, Td3Config, Transition};
+use rlpta_rl::{ActScratch, PrioritizedReplay, Td3Agent, Td3Config, TrainWorkspace, Transition};
 use std::sync::Arc;
 
 /// Which of the dual agents produced an action.
@@ -108,6 +108,18 @@ pub struct RlStepping {
     /// Attached telemetry: `TrainStep` events go here. `None` (the default)
     /// skips metric computation entirely, so evaluation runs pay nothing.
     telemetry: Option<(Arc<dyn Sink>, Span)>,
+    /// Reusable batched-training storage shared by both agents (same
+    /// network shapes): sampled transitions are gathered straight into its
+    /// minibatch slabs, so a train step clones nothing and allocates
+    /// nothing.
+    workspace: TrainWorkspace,
+    /// Ping-pong scratch for the zero-allocation policy inference path.
+    act_scratch: ActScratch,
+    /// Reused output row for [`Td3Agent::act_into`].
+    action_buf: Vec<f64>,
+    /// Reused index lists for replay sampling (private / public halves).
+    idx_private: Vec<usize>,
+    idx_public: Vec<usize>,
 }
 
 impl RlStepping {
@@ -135,7 +147,10 @@ impl RlStepping {
             ..config.td3.clone()
         };
         let forward = Td3Agent::new(td3.clone(), &mut rng);
-        let backward = Td3Agent::new(td3, &mut rng);
+        let backward = Td3Agent::new(td3.clone(), &mut rng);
+        let half = (config.batch_size / 2).max(1);
+        let workspace = TrainWorkspace::new(&td3, 2 * half);
+        let act_scratch = forward.act_scratch();
         Self {
             forward,
             backward,
@@ -148,6 +163,11 @@ impl RlStepping {
             frozen: false,
             transitions_seen: 0,
             telemetry: None,
+            workspace,
+            act_scratch,
+            action_buf: vec![0.0; td3.action_dim],
+            idx_private: Vec::with_capacity(half),
+            idx_public: Vec::with_capacity(half),
             config,
         }
     }
@@ -298,13 +318,6 @@ impl RlStepping {
         }
     }
 
-    fn agent(&self, role: AgentRole) -> &Td3Agent {
-        match role {
-            AgentRole::Forward => &self.forward,
-            AgentRole::Backward => &self.backward,
-        }
-    }
-
     fn train(&mut self, role: AgentRole) {
         if self.transitions_seen < self.config.warmup {
             return;
@@ -315,56 +328,75 @@ impl RlStepping {
             AgentRole::Forward => &self.forward_buffer,
             AgentRole::Backward => &self.backward_buffer,
         };
-        let priv_samples = private.sample(half, &mut self.rng);
-        let pub_samples = self.public_buffer.sample(half, &mut self.rng);
-        let mut batch: Vec<Transition> = priv_samples.iter().map(|(_, t)| t.clone()).collect();
-        batch.extend(pub_samples.iter().map(|(_, t)| t.clone()));
-        if batch.is_empty() {
+        // Sample indices, then gather straight into the workspace's
+        // minibatch slabs — no `Transition` clones on the hot path.
+        private.sample_indices_into(half, &mut self.rng, &mut self.idx_private);
+        self.public_buffer
+            .sample_indices_into(half, &mut self.rng, &mut self.idx_public);
+        if self.idx_private.is_empty() && self.idx_public.is_empty() {
             return;
+        }
+        self.workspace.clear();
+        for &i in &self.idx_private {
+            self.workspace.push(private.get(i));
+        }
+        for &i in &self.idx_public {
+            self.workspace.push(self.public_buffer.get(i));
         }
         let agent = match role {
             AgentRole::Forward => &mut self.forward,
             AgentRole::Backward => &mut self.backward,
         };
-        let td = agent.train_on_batch(&batch, &mut self.rng);
+        agent.train_batched(&mut self.workspace, &mut self.rng);
         // Refresh priorities where the samples came from (skipped by the
         // uniform-sampling ablation: insertion priorities stay flat, so
         // proportional draws degenerate to uniform).
         if self.config.priority_sampling {
+            let td = self.workspace.td_errors();
             let private = match role {
                 AgentRole::Forward => &mut self.forward_buffer,
                 AgentRole::Backward => &mut self.backward_buffer,
             };
-            for ((idx, _), err) in priv_samples.iter().zip(&td) {
-                private.update_priority(*idx, *err);
+            for (&idx, err) in self.idx_private.iter().zip(td) {
+                private.update_priority(idx, *err);
             }
-            for ((idx, _), err) in pub_samples.iter().zip(td.iter().skip(priv_samples.len())) {
-                self.public_buffer.update_priority(*idx, *err);
+            for (&idx, err) in self
+                .idx_public
+                .iter()
+                .zip(td.iter().skip(self.idx_private.len()))
+            {
+                self.public_buffer.update_priority(idx, *err);
             }
         }
         self.finish_phase(train_timer, Phase::RlTrain);
-        self.emit_train_step(role, &batch, &td);
+        self.emit_train_step(role);
     }
 
     /// Emits a `TrainStep` event with loss metrics recomputed from the
-    /// just-trained networks. Only runs with telemetry attached (training
+    /// just-trained networks, reading the minibatch back out of the
+    /// workspace slabs. Only runs with telemetry attached (training
     /// configurations that opted in) — the extra forward passes cost
-    /// nothing otherwise.
-    fn emit_train_step(&self, role: AgentRole, batch: &[Transition], td: &[f64]) {
-        let Some((sink, span)) = &self.telemetry else {
+    /// nothing otherwise, and they are batched
+    /// ([`Td3Agent::mean_actor_objective`]) so even opted-in runs pay two
+    /// GEMM forwards rather than a scalar pass per row.
+    fn emit_train_step(&mut self, role: AgentRole) {
+        if self.telemetry.is_none() {
             return;
-        };
+        }
+        let td = self.workspace.td_errors();
         let n = td.len().max(1) as f64;
         let td_error = td.iter().map(|e| e.abs()).sum::<f64>() / n;
         let critic_loss = td.iter().map(|e| e * e).sum::<f64>() / n;
-        let agent = self.agent(role);
+        let agent = match role {
+            AgentRole::Forward => &self.forward,
+            AgentRole::Backward => &self.backward,
+        };
         // TD3's actor objective: maximize Q₁(s, π(s)) — report its negation
         // as the loss being minimized.
-        let actor_loss = -batch
-            .iter()
-            .map(|t| agent.q_value(&t.state, &agent.act(&t.state)))
-            .sum::<f64>()
-            / batch.len().max(1) as f64;
+        let actor_loss = -agent.mean_actor_objective(&mut self.workspace);
+        let Some((sink, span)) = &self.telemetry else {
+            return;
+        };
         let buffer_occupancy = match role {
             AgentRole::Forward => self.forward_buffer.len(),
             AgentRole::Backward => self.backward_buffer.len(),
@@ -436,14 +468,25 @@ impl StepController for RlStepping {
             AgentRole::Backward
         };
         let infer_timer = self.phase_timer();
-        let action = if self.frozen {
-            self.agent(role).act(&s_next)
-        } else {
-            match role {
-                AgentRole::Forward => self.forward.act_exploring(&s_next, &mut self.rng),
-                AgentRole::Backward => self.backward.act_exploring(&s_next, &mut self.rng),
+        // Zero-allocation policy call: the action lands in the reused
+        // `action_buf` row via the ping-pong scratch.
+        {
+            let agent = match role {
+                AgentRole::Forward => &self.forward,
+                AgentRole::Backward => &self.backward,
+            };
+            if self.frozen {
+                agent.act_into(&s_next, &mut self.action_buf, &mut self.act_scratch);
+            } else {
+                agent.act_exploring_into(
+                    &s_next,
+                    &mut self.action_buf,
+                    &mut self.act_scratch,
+                    &mut self.rng,
+                );
             }
-        };
+        }
+        let action = self.action_buf.clone();
         self.finish_phase(infer_timer, Phase::RlInference);
         let factor = match role {
             AgentRole::Forward => self.forward_factor(action[0]),

@@ -58,7 +58,10 @@ impl Adam {
         self.t
     }
 
-    /// Applies one Adam update to `params` given `grads`.
+    /// Applies one Adam update to `params` given `grads`: a single fused
+    /// walk of the parameter slab updating moments and parameters together
+    /// ([`crate::kernel::adam_walk`]), with the bias corrections hoisted to
+    /// per-step scalars. Allocation-free.
     ///
     /// # Panics
     ///
@@ -67,16 +70,22 @@ impl Adam {
         assert_eq!(params.len(), self.m.len(), "parameter length mismatch");
         assert_eq!(grads.len(), self.m.len(), "gradient length mismatch");
         self.t += 1;
-        let b1t = 1.0 - self.beta1.powi(self.t as i32);
-        let b2t = 1.0 - self.beta2.powi(self.t as i32);
-        for i in 0..params.len() {
-            let g = grads[i];
-            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * g;
-            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * g * g;
-            let m_hat = self.m[i] / b1t;
-            let v_hat = self.v[i] / b2t;
-            params[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
-        }
+        crate::kernel::adam_walk(
+            crate::kernel::AdamScalars {
+                beta1: self.beta1,
+                nbeta1: 1.0 - self.beta1,
+                beta2: self.beta2,
+                nbeta2: 1.0 - self.beta2,
+                bias1: 1.0 - self.beta1.powi(self.t as i32),
+                bias2: 1.0 - self.beta2.powi(self.t as i32),
+                lr: self.lr,
+                eps: self.eps,
+            },
+            params,
+            grads,
+            &mut self.m,
+            &mut self.v,
+        );
     }
 }
 

@@ -87,13 +87,34 @@ impl ReplayBuffer {
     /// Samples `n` transitions uniformly **with replacement** (standard
     /// practice for small RL batches). Returns an empty vector when the
     /// buffer is empty.
+    ///
+    /// Thin wrapper over [`ReplayBuffer::sample_indices_into`] that clones
+    /// each drawn transition; the training hot path samples indices and
+    /// gathers straight into its workspace instead.
     pub fn sample(&self, n: usize, rng: &mut impl Rng) -> Vec<Transition> {
+        let mut idx = Vec::with_capacity(n);
+        self.sample_indices_into(n, rng, &mut idx);
+        idx.into_iter().map(|i| self.items[i].clone()).collect()
+    }
+
+    /// Draws `n` uniform-with-replacement slot indices into `out` (cleared
+    /// first). Allocation-free once `out` has capacity `n`; an empty buffer
+    /// leaves `out` empty. The caller gathers via [`ReplayBuffer::get`].
+    pub fn sample_indices_into(&self, n: usize, rng: &mut impl Rng, out: &mut Vec<usize>) {
+        out.clear();
         if self.items.is_empty() {
-            return Vec::new();
+            return;
         }
-        (0..n)
-            .map(|_| self.items[rng.gen_range(0..self.items.len())].clone())
-            .collect()
+        out.extend((0..n).map(|_| rng.gen_range(0..self.items.len())));
+    }
+
+    /// The transition in slot `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn get(&self, index: usize) -> &Transition {
+        &self.items[index]
     }
 
     /// Iterates over the stored transitions in arbitrary order.

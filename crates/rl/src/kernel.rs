@@ -1,0 +1,755 @@
+//! Cache-blocked, row-major batched matmul micro-kernels and the
+//! preallocated activation storage behind the batched [`Mlp`] paths.
+//!
+//! The three GEMM shapes below are exactly the ones one dense layer needs:
+//!
+//! * forward:       `Z[B×out]  = A[B×in] · W[out×in]ᵀ`   → [`gemm_nt`]
+//! * input grads:   `Gx[B×in]  = Δ[B×out] · W[out×in]`   → [`gemm_nn`]
+//! * weight grads:  `Gw[out×in] += Δ[B×out]ᵀ · A[B×in]`  → [`gemm_tn_acc`]
+//!
+//! All operands are dense row-major `&[f64]` slabs; nothing here allocates.
+//! The shared `k` dimension is walked in [`KC`]-wide panels so panel
+//! operands stay cache-resident, and every kernel register-blocks four
+//! independent accumulation chains: [`gemm_nt`] computes four output
+//! *columns* per pass over a left row (each column itself four-lane),
+//! [`gemm_nn`]/[`gemm_tn_acc`] fold four rank-1 updates into each pass
+//! over an output row (4× fewer load/store sweeps of the accumulator than
+//! one-axpy-per-row).
+//!
+//! Every kernel exists twice via a `const FMA: bool` parameter: a portable
+//! scalar build, and an `avx2,fma` build selected once per call through
+//! `is_x86_feature_detected!`. The FMA build uses `f64::mul_add`, which
+//! LLVM turns into 4-wide `vfmadd` under `#[target_feature]`; the fallback
+//! sticks to mul-then-add so it never hits the libm `fma` soft fallback.
+//! Fused results differ from unfused in final ulps, so kernel output is
+//! reproducible per machine (and across thread counts), not across CPU
+//! generations — the same caveat the rest of the engine carries for wall
+//! times, and why the batched MLP paths are verified against the scalar
+//! reference under a tight *relative* tolerance rather than bitwise
+//! (see `crates/rl/tests/kernel_props.rs`).
+//!
+//! One order contract is bitwise, per machine: every [`gemm_nt`] output
+//! element accumulates four lanes over `k` summed `(s0+s1)+(s2+s3)+tail`,
+//! whether computed in a four-column block or alone, which keeps the
+//! single-row inference path (a `m = 1` [`gemm_nt`]) bit-identical to the
+//! matching batched row.
+
+use crate::Mlp;
+
+/// Depth-block size: the shared `k` dimension is walked in panels this
+/// wide so both panel operands fit comfortably in L1/L2.
+const KC: usize = 256;
+
+/// `acc + x·y`, fused when the surrounding kernel was built for FMA.
+#[inline(always)]
+fn madd<const FMA: bool>(x: f64, y: f64, acc: f64) -> f64 {
+    if FMA {
+        x.mul_add(y, acc)
+    } else {
+        acc + x * y
+    }
+}
+
+/// Whether the `avx2,fma` kernel builds are safe to call on this host.
+#[inline]
+fn fma_enabled() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// 256-bit wrappers for the `FMA = true` kernel builds. Lane for lane each
+/// computes exactly what four [`madd::<true>`] calls compute — swapping
+/// them in changes codegen, never numerics — but they guarantee 4-wide
+/// `vfmadd`: LLVM's SLP pass was observed pairing the portable lane loops
+/// into 128-bit ops at half throughput. Only reachable through the
+/// feature-detected dispatch in the public kernels, which is what makes
+/// executing AVX instructions sound; the `unsafe` blocks below discharge
+/// the raw-pointer obligations locally via the `[f64; 4]` argument types.
+#[cfg(target_arch = "x86_64")]
+mod avx {
+    #![allow(unsafe_code)]
+    use std::arch::x86_64::{
+        __m256d, _mm256_fmadd_pd, _mm256_loadu_pd, _mm256_set1_pd, _mm256_setzero_pd,
+        _mm256_storeu_pd,
+    };
+
+    /// All four lanes zero.
+    #[inline(always)]
+    pub(super) fn zero() -> __m256d {
+        // SAFETY: value-only intrinsic; the dispatch layer guarantees AVX.
+        unsafe { _mm256_setzero_pd() }
+    }
+
+    /// `c` in every lane.
+    #[inline(always)]
+    pub(super) fn splat(c: f64) -> __m256d {
+        // SAFETY: value-only intrinsic; the dispatch layer guarantees AVX.
+        unsafe { _mm256_set1_pd(c) }
+    }
+
+    /// Lane-wise `acc + x·y`, fused.
+    #[inline(always)]
+    pub(super) fn fmadd(x: __m256d, y: __m256d, acc: __m256d) -> __m256d {
+        // SAFETY: value-only intrinsic; the dispatch layer guarantees FMA.
+        unsafe { _mm256_fmadd_pd(x, y, acc) }
+    }
+
+    /// The four values of `q` as lanes.
+    #[inline(always)]
+    pub(super) fn load4(q: &[f64; 4]) -> __m256d {
+        // SAFETY: a `[f64; 4]` spans exactly the 32 bytes read; the
+        // unaligned load form has no alignment requirement.
+        unsafe { _mm256_loadu_pd(q.as_ptr()) }
+    }
+
+    /// Writes the lanes of `v` over `q`.
+    #[inline(always)]
+    pub(super) fn store4(q: &mut [f64; 4], v: __m256d) {
+        // SAFETY: a `[f64; 4]` spans exactly the 32 bytes written.
+        unsafe { _mm256_storeu_pd(q.as_mut_ptr(), v) }
+    }
+}
+
+/// Extracts `s[at..at + 4]` as a fixed-size quad.
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+fn quad(s: &[f64], at: usize) -> &[f64; 4] {
+    s[at..at + 4].try_into().expect("quad")
+}
+
+/// Four-lane dot product of two equal-length slices. Lanes are summed
+/// `(s0 + s1) + (s2 + s3)` plus a scalar tail — the exact per-element
+/// order of one [`gemm_nt`] output column, which is what keeps the
+/// single-row forward path bit-identical to a batched row.
+#[inline(always)]
+fn dot_impl<const FMA: bool>(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut lanes = [0.0f64; 4];
+    let mut ac = a.chunks_exact(4);
+    let mut bc = b.chunks_exact(4);
+    for (ca, cb) in (&mut ac).zip(&mut bc) {
+        for (lane, (x, y)) in lanes.iter_mut().zip(ca.iter().zip(cb)) {
+            *lane = madd::<FMA>(*x, *y, *lane);
+        }
+    }
+    let mut tail = 0.0;
+    for (x, y) in ac.remainder().iter().zip(bc.remainder()) {
+        tail = madd::<FMA>(*x, *y, tail);
+    }
+    (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]) + tail
+}
+
+/// One output row of [`gemm_nt`]: `or[j] += ar · b[j]ᵀ` for every weight
+/// row `j`, four columns advancing together so each `ar` load feeds four
+/// independent four-lane chains. Column summation order is exactly
+/// [`dot_impl`]'s.
+#[inline(always)]
+fn nt_row<const FMA: bool>(or: &mut [f64], ar: &[f64], b: &[f64], k: usize, l0: usize) {
+    let len = ar.len();
+    let n = or.len();
+    let n4 = n - n % 4;
+    let mut j = 0;
+    // Eight-column panels first (FMA build only): one `ar` chunk load
+    // feeds eight accumulators, so the load ports stop being the
+    // bottleneck. Per column the accumulation order is identical to the
+    // four-column and single-column forms below.
+    #[cfg(target_arch = "x86_64")]
+    if FMA {
+        let len4 = len & !3;
+        while j + 8 <= n {
+            let rows: [&[f64]; 8] = core::array::from_fn(|c| &b[(j + c) * k + l0..][..len]);
+            let mut acc = [avx::zero(); 8];
+            let mut t = 0;
+            while t < len4 {
+                let av = avx::load4(quad(ar, t));
+                for (a, row) in acc.iter_mut().zip(rows) {
+                    *a = avx::fmadd(av, avx::load4(quad(row, t)), *a);
+                }
+                t += 4;
+            }
+            let mut tails = [0.0f64; 8];
+            while t < len {
+                let x = ar[t];
+                for (tl, row) in tails.iter_mut().zip(rows) {
+                    *tl = madd::<FMA>(x, row[t], *tl);
+                }
+                t += 1;
+            }
+            for c in 0..8 {
+                let mut lane = [0.0f64; 4];
+                avx::store4(&mut lane, acc[c]);
+                or[j + c] += (lane[0] + lane[1]) + (lane[2] + lane[3]) + tails[c];
+            }
+            j += 8;
+        }
+    }
+    while j < n4 {
+        let b0 = &b[j * k + l0..j * k + l0 + len];
+        let b1 = &b[(j + 1) * k + l0..(j + 1) * k + l0 + len];
+        let b2 = &b[(j + 2) * k + l0..(j + 2) * k + l0 + len];
+        let b3 = &b[(j + 3) * k + l0..(j + 3) * k + l0 + len];
+        let mut lanes = [[0.0f64; 4]; 4];
+        let len4 = len & !3;
+        let mut t = 0;
+        #[cfg(target_arch = "x86_64")]
+        if FMA {
+            let mut acc = [avx::zero(); 4];
+            while t < len4 {
+                let av = avx::load4(quad(ar, t));
+                acc[0] = avx::fmadd(av, avx::load4(quad(b0, t)), acc[0]);
+                acc[1] = avx::fmadd(av, avx::load4(quad(b1, t)), acc[1]);
+                acc[2] = avx::fmadd(av, avx::load4(quad(b2, t)), acc[2]);
+                acc[3] = avx::fmadd(av, avx::load4(quad(b3, t)), acc[3]);
+                t += 4;
+            }
+            for (lane, a) in lanes.iter_mut().zip(acc) {
+                avx::store4(lane, a);
+            }
+        }
+        if !FMA || cfg!(not(target_arch = "x86_64")) {
+            while t < len4 {
+                let ca: &[f64; 4] = ar[t..t + 4].try_into().expect("quad");
+                let cb0: &[f64; 4] = b0[t..t + 4].try_into().expect("quad");
+                let cb1: &[f64; 4] = b1[t..t + 4].try_into().expect("quad");
+                let cb2: &[f64; 4] = b2[t..t + 4].try_into().expect("quad");
+                let cb3: &[f64; 4] = b3[t..t + 4].try_into().expect("quad");
+                for i in 0..4 {
+                    lanes[0][i] = madd::<FMA>(ca[i], cb0[i], lanes[0][i]);
+                    lanes[1][i] = madd::<FMA>(ca[i], cb1[i], lanes[1][i]);
+                    lanes[2][i] = madd::<FMA>(ca[i], cb2[i], lanes[2][i]);
+                    lanes[3][i] = madd::<FMA>(ca[i], cb3[i], lanes[3][i]);
+                }
+                t += 4;
+            }
+        }
+        let mut tails = [0.0f64; 4];
+        while t < len {
+            let x = ar[t];
+            tails[0] = madd::<FMA>(x, b0[t], tails[0]);
+            tails[1] = madd::<FMA>(x, b1[t], tails[1]);
+            tails[2] = madd::<FMA>(x, b2[t], tails[2]);
+            tails[3] = madd::<FMA>(x, b3[t], tails[3]);
+            t += 1;
+        }
+        for c in 0..4 {
+            or[j + c] += (lanes[c][0] + lanes[c][1]) + (lanes[c][2] + lanes[c][3]) + tails[c];
+        }
+        j += 4;
+    }
+    for (jj, o) in or.iter_mut().enumerate().skip(n4) {
+        *o += dot_impl::<FMA>(ar, &b[jj * k + l0..jj * k + l0 + len]);
+    }
+}
+
+#[inline(always)]
+fn gemm_nt_impl<const FMA: bool>(out: &mut [f64], a: &[f64], b: &[f64], m: usize, k: usize, n: usize) {
+    out[..m * n].fill(0.0);
+    for l0 in (0..k).step_by(KC) {
+        let len = (l0 + KC).min(k) - l0;
+        for i in 0..m {
+            let ar = &a[i * k + l0..i * k + l0 + len];
+            nt_row::<FMA>(&mut out[i * n..(i + 1) * n], ar, b, k, l0);
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+fn gemm_nt_avx(out: &mut [f64], a: &[f64], b: &[f64], m: usize, k: usize, n: usize) {
+    gemm_nt_impl::<true>(out, a, b, m, k, n);
+}
+
+/// `out[m×n] = a[m×k] · b[n×k]ᵀ` — the forward-pass shape, with the right
+/// operand stored row-major as `n` rows of length `k` (an MLP weight
+/// matrix, one row per output unit).
+///
+/// # Panics
+///
+/// Panics (debug) if any slice is shorter than its `m·k`/`n·k`/`m·n` shape.
+pub fn gemm_nt(out: &mut [f64], a: &[f64], b: &[f64], m: usize, k: usize, n: usize) {
+    debug_assert!(a.len() >= m * k && b.len() >= n * k && out.len() >= m * n);
+    #[cfg(target_arch = "x86_64")]
+    if fma_enabled() {
+        // SAFETY: avx2+fma presence checked at runtime just above.
+        #[allow(unsafe_code)]
+        return unsafe { gemm_nt_avx(out, a, b, m, k, n) };
+    }
+    gemm_nt_impl::<false>(out, a, b, m, k, n);
+}
+
+/// The shared rank-4 row update of the gradient kernels:
+/// `or[j] = c0·b0[j] + (c1·b1[j] + (c2·b2[j] + (c3·b3[j] + or[j])))` for
+/// every `j`. The FMA build runs it 4-wide; per element both builds nest
+/// the fused adds identically, so vector and scalar tails agree bitwise.
+#[inline(always)]
+fn fold4<const FMA: bool>(
+    or: &mut [f64],
+    c: [f64; 4],
+    b0: &[f64],
+    b1: &[f64],
+    b2: &[f64],
+    b3: &[f64],
+) {
+    let n = or.len();
+    debug_assert!(b0.len() == n && b1.len() == n && b2.len() == n && b3.len() == n);
+    let mut j = 0;
+    #[cfg(target_arch = "x86_64")]
+    if FMA {
+        let cv = [avx::splat(c[0]), avx::splat(c[1]), avx::splat(c[2]), avx::splat(c[3])];
+        let n4 = n & !3;
+        // Two independent quad chains per iteration so the four-deep FMA
+        // dependency chain on `v` overlaps with its neighbor. Per-element
+        // arithmetic order is unchanged.
+        while j + 8 <= n4 {
+            let mut v = avx::load4(quad(or, j));
+            let mut w = avx::load4(quad(or, j + 4));
+            v = avx::fmadd(cv[3], avx::load4(quad(b3, j)), v);
+            w = avx::fmadd(cv[3], avx::load4(quad(b3, j + 4)), w);
+            v = avx::fmadd(cv[2], avx::load4(quad(b2, j)), v);
+            w = avx::fmadd(cv[2], avx::load4(quad(b2, j + 4)), w);
+            v = avx::fmadd(cv[1], avx::load4(quad(b1, j)), v);
+            w = avx::fmadd(cv[1], avx::load4(quad(b1, j + 4)), w);
+            v = avx::fmadd(cv[0], avx::load4(quad(b0, j)), v);
+            w = avx::fmadd(cv[0], avx::load4(quad(b0, j + 4)), w);
+            avx::store4((&mut or[j..j + 4]).try_into().expect("quad"), v);
+            avx::store4((&mut or[j + 4..j + 8]).try_into().expect("quad"), w);
+            j += 8;
+        }
+        while j < n4 {
+            let mut v = avx::load4(quad(or, j));
+            v = avx::fmadd(cv[3], avx::load4(quad(b3, j)), v);
+            v = avx::fmadd(cv[2], avx::load4(quad(b2, j)), v);
+            v = avx::fmadd(cv[1], avx::load4(quad(b1, j)), v);
+            v = avx::fmadd(cv[0], avx::load4(quad(b0, j)), v);
+            avx::store4((&mut or[j..j + 4]).try_into().expect("quad"), v);
+            j += 4;
+        }
+    }
+    while j < n {
+        or[j] = madd::<FMA>(
+            c[0],
+            b0[j],
+            madd::<FMA>(c[1], b1[j], madd::<FMA>(c[2], b2[j], madd::<FMA>(c[3], b3[j], or[j]))),
+        );
+        j += 1;
+    }
+}
+
+/// Rank-1 row update `or[j] += c·br[j]`, 4-wide in the FMA build.
+#[inline(always)]
+fn fold1<const FMA: bool>(or: &mut [f64], c: f64, br: &[f64]) {
+    let n = or.len();
+    debug_assert_eq!(br.len(), n);
+    let mut j = 0;
+    #[cfg(target_arch = "x86_64")]
+    if FMA {
+        let cv = avx::splat(c);
+        let n4 = n & !3;
+        while j < n4 {
+            let v = avx::fmadd(cv, avx::load4(quad(br, j)), avx::load4(quad(or, j)));
+            avx::store4((&mut or[j..j + 4]).try_into().expect("quad"), v);
+            j += 4;
+        }
+    }
+    while j < n {
+        or[j] = madd::<FMA>(c, br[j], or[j]);
+        j += 1;
+    }
+}
+
+#[inline(always)]
+fn gemm_nn_impl<const FMA: bool>(out: &mut [f64], a: &[f64], b: &[f64], m: usize, k: usize, n: usize) {
+    out[..m * n].fill(0.0);
+    for l0 in (0..k).step_by(KC) {
+        let l1 = (l0 + KC).min(k);
+        let len4 = (l1 - l0) - (l1 - l0) % 4;
+        for i in 0..m {
+            let or = &mut out[i * n..(i + 1) * n];
+            let mut l = l0;
+            while l < l0 + len4 {
+                let c0 = a[i * k + l];
+                let c1 = a[i * k + l + 1];
+                let c2 = a[i * k + l + 2];
+                let c3 = a[i * k + l + 3];
+                if c0 != 0.0 || c1 != 0.0 || c2 != 0.0 || c3 != 0.0 {
+                    fold4::<FMA>(
+                        or,
+                        [c0, c1, c2, c3],
+                        &b[l * n..l * n + n],
+                        &b[(l + 1) * n..(l + 1) * n + n],
+                        &b[(l + 2) * n..(l + 2) * n + n],
+                        &b[(l + 3) * n..(l + 3) * n + n],
+                    );
+                }
+                l += 4;
+            }
+            while l < l1 {
+                let c = a[i * k + l];
+                if c != 0.0 {
+                    fold1::<FMA>(or, c, &b[l * n..l * n + n]);
+                }
+                l += 1;
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+fn gemm_nn_avx(out: &mut [f64], a: &[f64], b: &[f64], m: usize, k: usize, n: usize) {
+    gemm_nn_impl::<true>(out, a, b, m, k, n);
+}
+
+/// `out[m×n] = a[m×k] · b[k×n]` — the input-gradient shape
+/// (`Gx = Δ · W`). Four rank-1 updates fold into each pass over an output
+/// row; all-zero delta quads (ReLU-killed units) skip theirs.
+pub fn gemm_nn(out: &mut [f64], a: &[f64], b: &[f64], m: usize, k: usize, n: usize) {
+    debug_assert!(a.len() >= m * k && b.len() >= k * n && out.len() >= m * n);
+    #[cfg(target_arch = "x86_64")]
+    if fma_enabled() {
+        // SAFETY: avx2+fma presence checked at runtime just above.
+        #[allow(unsafe_code)]
+        return unsafe { gemm_nn_avx(out, a, b, m, k, n) };
+    }
+    gemm_nn_impl::<false>(out, a, b, m, k, n);
+}
+
+#[inline(always)]
+fn gemm_tn_impl<const FMA: bool>(out: &mut [f64], a: &[f64], b: &[f64], m: usize, k: usize, n: usize) {
+    let m4 = m - m % 4;
+    let mut s = 0;
+    while s < m4 {
+        let b0 = &b[s * n..s * n + n];
+        let b1 = &b[(s + 1) * n..(s + 1) * n + n];
+        let b2 = &b[(s + 2) * n..(s + 2) * n + n];
+        let b3 = &b[(s + 3) * n..(s + 3) * n + n];
+        for i in 0..k {
+            let c0 = a[s * k + i];
+            let c1 = a[(s + 1) * k + i];
+            let c2 = a[(s + 2) * k + i];
+            let c3 = a[(s + 3) * k + i];
+            if c0 != 0.0 || c1 != 0.0 || c2 != 0.0 || c3 != 0.0 {
+                fold4::<FMA>(&mut out[i * n..(i + 1) * n], [c0, c1, c2, c3], b0, b1, b2, b3);
+            }
+        }
+        s += 4;
+    }
+    while s < m {
+        let br = &b[s * n..s * n + n];
+        let ar = &a[s * k..(s + 1) * k];
+        for (i, &c) in ar.iter().enumerate() {
+            if c != 0.0 {
+                fold1::<FMA>(&mut out[i * n..(i + 1) * n], c, br);
+            }
+        }
+        s += 1;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+fn gemm_tn_avx(out: &mut [f64], a: &[f64], b: &[f64], m: usize, k: usize, n: usize) {
+    gemm_tn_impl::<true>(out, a, b, m, k, n);
+}
+
+/// `out[k×n] += a[m×k]ᵀ · b[m×n]` — the weight-gradient shape
+/// (`Gw += Δᵀ · A_in`), accumulating like the scalar backward does. Four
+/// samples fold into each pass over an output row; all-zero delta quads
+/// (ReLU-killed units) skip theirs.
+pub fn gemm_tn_acc(out: &mut [f64], a: &[f64], b: &[f64], m: usize, k: usize, n: usize) {
+    debug_assert!(a.len() >= m * k && b.len() >= m * n && out.len() >= k * n);
+    #[cfg(target_arch = "x86_64")]
+    if fma_enabled() {
+        // SAFETY: avx2+fma presence checked at runtime just above.
+        #[allow(unsafe_code)]
+        return unsafe { gemm_tn_avx(out, a, b, m, k, n) };
+    }
+    gemm_tn_impl::<false>(out, a, b, m, k, n);
+}
+
+/// Hoisted per-step scalars of one fused Adam walk ([`adam_walk`]).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct AdamScalars {
+    /// β₁ and 1 − β₁.
+    pub(crate) beta1: f64,
+    pub(crate) nbeta1: f64,
+    /// β₂ and 1 − β₂.
+    pub(crate) beta2: f64,
+    pub(crate) nbeta2: f64,
+    /// Bias corrections 1 − β₁ᵗ and 1 − β₂ᵗ.
+    pub(crate) bias1: f64,
+    pub(crate) bias2: f64,
+    pub(crate) lr: f64,
+    pub(crate) eps: f64,
+}
+
+#[inline(always)]
+fn adam_walk_impl(s: AdamScalars, params: &mut [f64], grads: &[f64], m: &mut [f64], v: &mut [f64]) {
+    for (((p, &g), mi), vi) in params.iter_mut().zip(grads).zip(m.iter_mut()).zip(v.iter_mut()) {
+        *mi = s.beta1 * *mi + s.nbeta1 * g;
+        *vi = s.beta2 * *vi + s.nbeta2 * g * g;
+        let m_hat = *mi / s.bias1;
+        let v_hat = *vi / s.bias2;
+        *p -= s.lr * m_hat / (v_hat.sqrt() + s.eps);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+fn adam_walk_avx(s: AdamScalars, params: &mut [f64], grads: &[f64], m: &mut [f64], v: &mut [f64]) {
+    adam_walk_impl(s, params, grads, m, v);
+}
+
+/// One fused Adam update walk over a flat parameter slab. Elementwise
+/// (no reductions, no contraction), so the AVX build is bitwise identical
+/// to the portable one — it exists purely so LLVM emits the 4-wide
+/// multiply/divide/`vsqrtpd` chain instead of the 2-wide SSE2 default.
+///
+/// # Panics
+///
+/// Panics (debug) if slab lengths disagree.
+pub(crate) fn adam_walk(s: AdamScalars, params: &mut [f64], grads: &[f64], m: &mut [f64], v: &mut [f64]) {
+    debug_assert!(grads.len() == params.len() && m.len() == params.len() && v.len() == params.len());
+    #[cfg(target_arch = "x86_64")]
+    if fma_enabled() {
+        // SAFETY: avx2+fma presence checked at runtime just above.
+        #[allow(unsafe_code)]
+        return unsafe { adam_walk_avx(s, params, grads, m, v) };
+    }
+    adam_walk_impl(s, params, grads, m, v);
+}
+
+#[inline(always)]
+fn blend_impl(dst: &mut [f64], src: &[f64], tau: f64) {
+    let ntau = 1.0 - tau;
+    for (t, s) in dst.iter_mut().zip(src) {
+        *t = tau * s + ntau * *t;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+fn blend_avx(dst: &mut [f64], src: &[f64], tau: f64) {
+    blend_impl(dst, src, tau);
+}
+
+/// Polyak blend `dst = τ·src + (1 − τ)·dst`, elementwise — the target-
+/// network soft update. Like [`adam_walk`], the AVX build changes width,
+/// not numerics.
+///
+/// # Panics
+///
+/// Panics (debug) if lengths disagree.
+pub(crate) fn blend(dst: &mut [f64], src: &[f64], tau: f64) {
+    debug_assert_eq!(dst.len(), src.len());
+    #[cfg(target_arch = "x86_64")]
+    if fma_enabled() {
+        // SAFETY: avx2+fma presence checked at runtime just above.
+        #[allow(unsafe_code)]
+        return unsafe { blend_avx(dst, src, tau) };
+    }
+    blend_impl(dst, src, tau);
+}
+
+/// Per-network batched activation storage for [`Mlp::forward_batch_into`] /
+/// [`Mlp::backward_batch_into`]: one `[max_batch × width]` row-major slab
+/// per layer (input included) plus two delta scratch slabs for the
+/// backward sweep. Everything is allocated at construction; reusing the
+/// cache across training steps is what makes the hot path allocation-free.
+#[derive(Debug, Clone)]
+pub struct BatchCache {
+    dims: Vec<usize>,
+    max_batch: usize,
+    /// `dims.len()` slabs: `acts[l]` holds `[max_batch × dims[l]]`.
+    acts: Vec<Vec<f64>>,
+    /// Backward ping/pong delta slabs, `[max_batch × max_width]` each.
+    delta_a: Vec<f64>,
+    delta_b: Vec<f64>,
+}
+
+impl BatchCache {
+    /// Creates a cache shaped for `mlp` holding up to `max_batch` rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch == 0`.
+    pub fn for_mlp(mlp: &Mlp, max_batch: usize) -> Self {
+        Self::for_dims(mlp.dims(), max_batch)
+    }
+
+    /// Creates a cache for the given layer widths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch == 0` or fewer than two dims are given.
+    pub fn for_dims(dims: &[usize], max_batch: usize) -> Self {
+        assert!(max_batch > 0, "batch capacity must be positive");
+        assert!(dims.len() >= 2, "need at least input and output dims");
+        let widest = dims.iter().copied().max().unwrap_or(1);
+        Self {
+            dims: dims.to_vec(),
+            max_batch,
+            acts: dims.iter().map(|&d| vec![0.0; max_batch * d]).collect(),
+            delta_a: vec![0.0; max_batch * widest],
+            delta_b: vec![0.0; max_batch * widest],
+        }
+    }
+
+    /// Maximum number of rows per pass.
+    pub fn max_batch(&self) -> usize {
+        self.max_batch
+    }
+
+    /// Layer widths this cache is shaped for.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// The output rows of the last forward pass: `[batch × output_dim]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` exceeds the cache capacity.
+    pub fn output(&self, batch: usize) -> &[f64] {
+        assert!(batch <= self.max_batch, "batch exceeds cache capacity");
+        let d = *self.dims.last().expect("dims nonempty");
+        &self.acts[self.dims.len() - 1][..batch * d]
+    }
+
+    /// Splits the internals for the forward/backward passes.
+    pub(crate) fn parts_mut(&mut self) -> (&mut [Vec<f64>], &mut [f64], &mut [f64]) {
+        (&mut self.acts, &mut self.delta_a, &mut self.delta_b)
+    }
+}
+
+/// Ping-pong row storage for the zero-allocation single-sample inference
+/// path ([`Mlp::forward_into`]): two rows as wide as the widest layer.
+#[derive(Debug, Clone)]
+pub struct ActScratch {
+    pub(crate) a: Vec<f64>,
+    pub(crate) b: Vec<f64>,
+}
+
+impl ActScratch {
+    /// Scratch sized for `mlp` (or any network no wider than it).
+    pub fn for_mlp(mlp: &Mlp) -> Self {
+        Self::with_width(mlp.dims().iter().copied().max().unwrap_or(1))
+    }
+
+    /// Scratch whose rows hold `width` values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn with_width(width: usize) -> Self {
+        assert!(width > 0, "scratch width must be positive");
+        Self {
+            a: vec![0.0; width],
+            b: vec![0.0; width],
+        }
+    }
+
+    /// Row capacity.
+    pub fn width(&self) -> usize {
+        self.a.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_nt(a: &[f64], b: &[f64], m: usize, k: usize, n: usize) -> Vec<f64> {
+        let mut out = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                for l in 0..k {
+                    out[i * n + j] += a[i * k + l] * b[j * k + l];
+                }
+            }
+        }
+        out
+    }
+
+    fn close(x: &[f64], y: &[f64]) {
+        assert_eq!(x.len(), y.len());
+        for (i, (a, b)) in x.iter().zip(y).enumerate() {
+            assert!(
+                (a - b).abs() <= 1e-12 * (1.0 + a.abs().max(b.abs())),
+                "entry {i}: {a} vs {b}"
+            );
+        }
+    }
+
+    fn ramp(len: usize, scale: f64) -> Vec<f64> {
+        (0..len).map(|i| ((i * 37 % 101) as f64 - 50.0) * scale).collect()
+    }
+
+    #[test]
+    fn gemm_nt_matches_naive() {
+        for (m, k, n) in [(1, 1, 1), (3, 5, 2), (33, 70, 65), (7, 300, 9)] {
+            let a = ramp(m * k, 0.01);
+            let b = ramp(n * k, 0.02);
+            let mut out = vec![f64::NAN; m * n];
+            gemm_nt(&mut out, &a, &b, m, k, n);
+            close(&out, &naive_nt(&a, &b, m, k, n));
+        }
+    }
+
+    #[test]
+    fn gemm_nn_matches_naive() {
+        for (m, k, n) in [(1, 1, 1), (4, 6, 3), (40, 64, 33), (5, 270, 8)] {
+            let a = ramp(m * k, 0.01);
+            let b = ramp(k * n, 0.02);
+            let mut naive = vec![0.0; m * n];
+            for i in 0..m {
+                for l in 0..k {
+                    for j in 0..n {
+                        naive[i * n + j] += a[i * k + l] * b[l * n + j];
+                    }
+                }
+            }
+            let mut out = vec![f64::NAN; m * n];
+            gemm_nn(&mut out, &a, &b, m, k, n);
+            close(&out, &naive);
+        }
+    }
+
+    #[test]
+    fn gemm_tn_acc_accumulates() {
+        let (m, k, n) = (9, 7, 11);
+        let a = ramp(m * k, 0.05);
+        let b = ramp(m * n, 0.03);
+        let mut naive = vec![1.5; k * n];
+        for s in 0..m {
+            for i in 0..k {
+                for j in 0..n {
+                    naive[i * n + j] += a[s * k + i] * b[s * n + j];
+                }
+            }
+        }
+        let mut out = vec![1.5; k * n];
+        gemm_tn_acc(&mut out, &a, &b, m, k, n);
+        close(&out, &naive);
+    }
+
+    #[test]
+    fn cache_shapes_follow_dims() {
+        let c = BatchCache::for_dims(&[5, 64, 64, 1], 32);
+        assert_eq!(c.max_batch(), 32);
+        assert_eq!(c.output(32).len(), 32);
+        assert_eq!(c.output(7).len(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch capacity must be positive")]
+    fn cache_rejects_zero_batch() {
+        let _ = BatchCache::for_dims(&[2, 2], 0);
+    }
+}

@@ -1,5 +1,18 @@
 //! Dense multi-layer perceptron with exact analytic backpropagation.
+//!
+//! Two parallel execution paths share one parameter layout:
+//!
+//! * the original per-sample **scalar reference** ([`Mlp::forward`],
+//!   [`Mlp::forward_cached`], [`Mlp::backward`]) — simple, allocation-heavy,
+//!   kept as the ground truth the batched kernels are property-tested
+//!   against;
+//! * the **batched zero-allocation** path ([`Mlp::forward_batch_into`],
+//!   [`Mlp::backward_batch_into`], [`Mlp::forward_into`]) — one GEMM per
+//!   layer over a whole `[batch × dim]` minibatch into preallocated
+//!   [`BatchCache`] storage, the hot path of TD3 training and of the
+//!   per-PTA-step policy inference.
 
+use crate::kernel::{self, ActScratch, BatchCache};
 use rand::Rng;
 
 /// Activation function applied between layers or at the output.
@@ -153,9 +166,7 @@ impl Mlp {
     /// Panics if the two networks have different shapes.
     pub fn soft_update_from(&mut self, src: &Mlp, tau: f64) {
         assert_eq!(self.dims, src.dims, "shape mismatch in soft update");
-        for (t, s) in self.params.iter_mut().zip(&src.params) {
-            *t = tau * s + (1.0 - tau) * *t;
-        }
+        kernel::blend(&mut self.params, &src.params, tau);
     }
 
     /// Copies all parameters from `src` (hard target sync).
@@ -287,6 +298,177 @@ impl Mlp {
         }
         g
     }
+
+    /// Flat-parameter offset of layer `l`'s weight block (its bias block
+    /// follows at `offset + fan_in·fan_out`). `O(L)` with no allocation —
+    /// the networks here are three layers deep.
+    fn layer_offset(&self, l: usize) -> usize {
+        self.dims
+            .windows(2)
+            .take(l)
+            .map(|w| w[0] * w[1] + w[1])
+            .sum()
+    }
+
+    /// Zero-allocation single-sample forward pass into `out`, ping-ponging
+    /// activations through `scratch`. Each layer is a one-row
+    /// [`kernel::gemm_nt`] — literally the batched kernel with `m = 1` —
+    /// so its result is bit-identical to the corresponding row of any
+    /// batched pass (the property the frozen stepping-policy tests rely
+    /// on), and single-row inference gets the same four-column register
+    /// blocking as training.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x`/`out` lengths disagree with the network shape or the
+    /// scratch is narrower than the widest layer.
+    pub fn forward_into(&self, x: &[f64], out: &mut [f64], scratch: &mut ActScratch) {
+        assert_eq!(x.len(), self.input_dim(), "input dimension mismatch");
+        assert_eq!(out.len(), self.output_dim(), "output buffer mismatch");
+        let widest = self.dims.iter().copied().max().unwrap_or(1);
+        assert!(scratch.width() >= widest, "scratch narrower than network");
+        let n_layers = self.dims.len() - 1;
+        let ActScratch { a, b } = scratch;
+        let (mut cur, mut nxt) = (&mut a[..], &mut b[..]);
+        cur[..x.len()].copy_from_slice(x);
+        let mut offset = 0;
+        for l in 0..n_layers {
+            let (fan_in, fan_out) = (self.dims[l], self.dims[l + 1]);
+            let w = &self.params[offset..offset + fan_in * fan_out];
+            let bias = &self.params[offset + fan_in * fan_out..offset + fan_in * fan_out + fan_out];
+            offset += fan_in * fan_out + fan_out;
+            let act = if l == n_layers - 1 {
+                self.output
+            } else {
+                Activation::Relu
+            };
+            kernel::gemm_nt(&mut nxt[..fan_out], &cur[..fan_in], w, 1, fan_in, fan_out);
+            for (z, &bi) in nxt[..fan_out].iter_mut().zip(bias) {
+                *z = act.apply(*z + bi);
+            }
+            std::mem::swap(&mut cur, &mut nxt);
+        }
+        out.copy_from_slice(&cur[..self.output_dim()]);
+    }
+
+    /// Batched forward pass: `batch` row-major input rows in `x` flow
+    /// through one [`kernel::gemm_nt`] per layer into `cache`'s
+    /// preallocated activation slabs. Zero heap allocations. Retrieve the
+    /// output rows with [`BatchCache::output`]; the cache then feeds
+    /// [`Mlp::backward_batch_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache was shaped for different dims, `batch` exceeds
+    /// its capacity, or `x` is shorter than `batch × input_dim`.
+    pub fn forward_batch_into(&self, x: &[f64], batch: usize, cache: &mut BatchCache) {
+        assert_eq!(cache.dims(), self.dims.as_slice(), "cache shape mismatch");
+        assert!(batch <= cache.max_batch(), "batch exceeds cache capacity");
+        assert!(
+            x.len() >= batch * self.input_dim(),
+            "input slab shorter than batch"
+        );
+        let n_layers = self.dims.len() - 1;
+        let (acts, _, _) = cache.parts_mut();
+        acts[0][..batch * self.dims[0]].copy_from_slice(&x[..batch * self.dims[0]]);
+        let mut offset = 0;
+        for l in 0..n_layers {
+            let (fan_in, fan_out) = (self.dims[l], self.dims[l + 1]);
+            let w = &self.params[offset..offset + fan_in * fan_out];
+            let bias = &self.params[offset + fan_in * fan_out..offset + fan_in * fan_out + fan_out];
+            offset += fan_in * fan_out + fan_out;
+            let act = if l == n_layers - 1 {
+                self.output
+            } else {
+                Activation::Relu
+            };
+            let (lo, hi) = acts.split_at_mut(l + 1);
+            let prev = &lo[l][..batch * fan_in];
+            let out = &mut hi[0];
+            kernel::gemm_nt(out, prev, w, batch, fan_in, fan_out);
+            for row in out[..batch * fan_out].chunks_exact_mut(fan_out) {
+                for (z, &bi) in row.iter_mut().zip(bias) {
+                    *z = act.apply(*z + bi);
+                }
+            }
+        }
+    }
+
+    /// Batched backward pass over the activations a prior
+    /// [`Mlp::forward_batch_into`] left in `cache`: given `batch` rows of
+    /// `∂L/∂output` (row-major, summed-over-batch semantics identical to
+    /// calling the scalar [`Mlp::backward`] once per row), accumulates
+    /// `∂L/∂θ` into `grads` and writes the `[batch × input_dim]` input
+    /// gradients into `grad_input`. One [`kernel::gemm_tn_acc`] +
+    /// [`kernel::gemm_nn`] pair per layer, zero heap allocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any shape mismatch between the network, cache and buffers.
+    pub fn backward_batch_into(
+        &self,
+        cache: &mut BatchCache,
+        batch: usize,
+        grad_output: &[f64],
+        grads: &mut [f64],
+        grad_input: &mut [f64],
+    ) {
+        assert_eq!(cache.dims(), self.dims.as_slice(), "cache shape mismatch");
+        assert!(batch <= cache.max_batch(), "batch exceeds cache capacity");
+        assert_eq!(grads.len(), self.num_params(), "gradient buffer mismatch");
+        assert!(
+            grad_output.len() >= batch * self.output_dim(),
+            "output gradient slab shorter than batch"
+        );
+        assert!(
+            grad_input.len() >= batch * self.input_dim(),
+            "input gradient slab shorter than batch"
+        );
+        let n_layers = self.dims.len() - 1;
+        let (acts, delta_a, delta_b) = cache.parts_mut();
+        let (mut g, mut g_next) = (&mut delta_a[..], &mut delta_b[..]);
+        g[..batch * self.output_dim()]
+            .copy_from_slice(&grad_output[..batch * self.output_dim()]);
+        for l in (0..n_layers).rev() {
+            let (fan_in, fan_out) = (self.dims[l], self.dims[l + 1]);
+            let act = if l == n_layers - 1 {
+                self.output
+            } else {
+                Activation::Relu
+            };
+            let a_out = &acts[l + 1][..batch * fan_out];
+            let a_in = &acts[l][..batch * fan_in];
+            // δ = g ⊙ f'(z), in place, with f' recovered from the output.
+            for (gi, ai) in g[..batch * fan_out].iter_mut().zip(a_out) {
+                *gi *= act.deriv_from_output(*ai);
+            }
+            let delta = &g[..batch * fan_out];
+            let w_off = self.layer_offset(l);
+            let b_off = w_off + fan_in * fan_out;
+            // Weight gradients: Gw += δᵀ · A_in.
+            kernel::gemm_tn_acc(
+                &mut grads[w_off..b_off],
+                delta,
+                a_in,
+                batch,
+                fan_out,
+                fan_in,
+            );
+            // Bias gradients: column sums of δ.
+            for row in delta.chunks_exact(fan_out) {
+                for (gb, di) in grads[b_off..b_off + fan_out].iter_mut().zip(row) {
+                    *gb += di;
+                }
+            }
+            // Propagate: G_prev = δ · W.
+            let w = &self.params[w_off..b_off];
+            let dest = if l == 0 { &mut grad_input[..] } else { &mut g_next[..] };
+            kernel::gemm_nn(dest, delta, w, batch, fan_out, fan_in);
+            if l != 0 {
+                std::mem::swap(&mut g, &mut g_next);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -413,6 +595,78 @@ mod tests {
         let mut a = Mlp::new(&[2, 2], Activation::Linear, &mut rng());
         let b = Mlp::new(&[3, 2], Activation::Linear, &mut rng());
         a.soft_update_from(&b, 0.5);
+    }
+
+    fn batch_inputs(m: &Mlp, batch: usize) -> Vec<f64> {
+        (0..batch * m.input_dim())
+            .map(|i| ((i * 29 % 23) as f64 - 11.0) / 7.0)
+            .collect()
+    }
+
+    #[test]
+    fn batched_forward_matches_scalar_reference() {
+        let m = Mlp::new(&[4, 9, 6, 3], Activation::Tanh, &mut rng());
+        let batch = 17;
+        let x = batch_inputs(&m, batch);
+        let mut cache = BatchCache::for_mlp(&m, batch);
+        m.forward_batch_into(&x, batch, &mut cache);
+        for (r, row) in cache.output(batch).chunks_exact(m.output_dim()).enumerate() {
+            let scalar = m.forward(&x[r * 4..(r + 1) * 4]);
+            for (a, b) in row.iter().zip(&scalar) {
+                assert!((a - b).abs() < 1e-12 * (1.0 + b.abs()), "row {r}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn forward_into_is_bitwise_a_batched_row() {
+        let m = Mlp::new(&[5, 8, 2], Activation::Linear, &mut rng());
+        let batch = 6;
+        let x = batch_inputs(&m, batch);
+        let mut cache = BatchCache::for_mlp(&m, batch);
+        m.forward_batch_into(&x, batch, &mut cache);
+        let mut scratch = ActScratch::for_mlp(&m);
+        let mut out = vec![0.0; m.output_dim()];
+        for (r, row) in cache.output(batch).chunks_exact(m.output_dim()).enumerate() {
+            m.forward_into(&x[r * 5..(r + 1) * 5], &mut out, &mut scratch);
+            assert_eq!(out.as_slice(), row, "row {r} not bit-identical");
+        }
+    }
+
+    #[test]
+    fn batched_backward_matches_scalar_reference() {
+        let m = Mlp::new(&[3, 7, 4, 2], Activation::Tanh, &mut rng());
+        let batch = 11;
+        let x = batch_inputs(&m, batch);
+        // Scalar reference: accumulate per-row backward passes.
+        let mut ref_grads = vec![0.0; m.num_params()];
+        let mut ref_gx = Vec::new();
+        for r in 0..batch {
+            let cache = m.forward_cached(&x[r * 3..(r + 1) * 3]);
+            let go: Vec<f64> = cache.output().iter().map(|v| 0.3 - v).collect();
+            ref_gx.extend(m.backward(&cache, &go, &mut ref_grads));
+        }
+        // Batched pass with the same per-row output gradients.
+        let mut cache = BatchCache::for_mlp(&m, batch);
+        m.forward_batch_into(&x, batch, &mut cache);
+        let go: Vec<f64> = cache.output(batch).iter().map(|v| 0.3 - v).collect();
+        let mut grads = vec![0.0; m.num_params()];
+        let mut gx = vec![0.0; batch * m.input_dim()];
+        m.backward_batch_into(&mut cache, batch, &go, &mut grads, &mut gx);
+        for (k, (a, b)) in grads.iter().zip(&ref_grads).enumerate() {
+            assert!((a - b).abs() < 1e-12 * (1.0 + b.abs()), "grad {k}: {a} vs {b}");
+        }
+        for (k, (a, b)) in gx.iter().zip(&ref_gx).enumerate() {
+            assert!((a - b).abs() < 1e-12 * (1.0 + b.abs()), "gx {k}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cache shape mismatch")]
+    fn batched_forward_validates_cache_shape() {
+        let m = Mlp::new(&[3, 2], Activation::Linear, &mut rng());
+        let mut cache = BatchCache::for_dims(&[4, 2], 2);
+        m.forward_batch_into(&[0.0; 6], 2, &mut cache);
     }
 
     #[test]

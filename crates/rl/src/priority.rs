@@ -71,17 +71,38 @@ impl PrioritizedReplay {
     /// replacement), returning `(buffer index, transition)` pairs so the
     /// caller can refresh priorities after training. Empty if the buffer is
     /// empty.
+    ///
+    /// Thin wrapper over [`PrioritizedReplay::sample_indices_into`] that
+    /// clones each drawn transition; the training hot path samples indices
+    /// and gathers straight into its workspace instead.
     pub fn sample(&self, n: usize, rng: &mut impl Rng) -> Vec<(usize, Transition)> {
+        let mut idx = Vec::with_capacity(n);
+        self.sample_indices_into(n, rng, &mut idx);
+        idx.into_iter().map(|i| (i, self.items[i].clone())).collect()
+    }
+
+    /// Draws `n` priority-proportional slot indices into `out` (cleared
+    /// first). Allocation-free once `out` has capacity `n`; an empty buffer
+    /// leaves `out` empty. The caller gathers via [`PrioritizedReplay::get`]
+    /// and refreshes priorities by index after training.
+    pub fn sample_indices_into(&self, n: usize, rng: &mut impl Rng, out: &mut Vec<usize>) {
+        out.clear();
         if self.items.is_empty() || self.tree.total() <= 0.0 {
-            return Vec::new();
+            return;
         }
-        (0..n)
-            .map(|_| {
-                let v = rng.gen_range(0.0..self.tree.total());
-                let idx = self.tree.find(v).min(self.items.len() - 1);
-                (idx, self.items[idx].clone())
-            })
-            .collect()
+        out.extend((0..n).map(|_| {
+            let v = rng.gen_range(0.0..self.tree.total());
+            self.tree.find(v).min(self.items.len() - 1)
+        }));
+    }
+
+    /// The transition in slot `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn get(&self, index: usize) -> &Transition {
+        &self.items[index]
     }
 
     /// Refreshes the priority of buffer slot `index` with a new |TD-error|.

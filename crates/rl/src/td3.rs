@@ -2,6 +2,7 @@
 //! 2018) — the agent architecture of the paper's Algorithm 2.
 
 use self::rand_distr_free::sample_standard_normal;
+use crate::kernel::{ActScratch, BatchCache};
 use crate::{Activation, Adam, Mlp, Transition};
 use rand::Rng;
 
@@ -63,6 +64,193 @@ impl Td3Config {
             noise_clip: 0.5,
             exploration_noise: 0.1,
         }
+    }
+}
+
+/// Preallocated storage for [`Td3Agent::train_batched`]: the gathered
+/// minibatch as row-major `[batch × dim]` slabs, per-network
+/// [`BatchCache`] activation storage, and flat gradient slabs.
+///
+/// Constructed once (sized for the largest batch the caller will use) and
+/// reused across training steps; after construction a
+/// [`Td3Agent::train_batched`] call performs **zero heap allocations** —
+/// a property pinned by the counting-allocator test in
+/// `crates/rl/tests/alloc.rs`.
+///
+/// The workflow is: [`TrainWorkspace::clear`], then one
+/// [`TrainWorkspace::push`] per sampled transition (gathering straight out
+/// of a replay buffer via `get`), then [`Td3Agent::train_batched`], then
+/// read [`TrainWorkspace::td_errors`] for priority refreshes.
+#[derive(Debug, Clone)]
+pub struct TrainWorkspace {
+    state_dim: usize,
+    action_dim: usize,
+    max_batch: usize,
+    len: usize,
+    /// `[batch × state_dim]` gathered states.
+    states: Vec<f64>,
+    /// `[batch × state_dim]` gathered successor states.
+    next_states: Vec<f64>,
+    /// `[batch]` gathered rewards.
+    rewards: Vec<f64>,
+    /// `[batch]` bootstrap masks: 0 where the episode ended, else 1.
+    not_done: Vec<f64>,
+    /// `[batch × (state_dim + action_dim)]` gathered `s ‖ a` critic inputs.
+    sa: Vec<f64>,
+    /// `[batch × (state_dim + action_dim)]` scratch rows: first
+    /// `s′ ‖ ã` for the target critics, later `s ‖ π(s)` for the actor loss.
+    sa2: Vec<f64>,
+    /// `[batch]` TD targets `y`.
+    targets: Vec<f64>,
+    /// `[batch]` TD errors `y − Q₁(s,a)` from before the update.
+    td: Vec<f64>,
+    /// `[batch × action_dim]` output-gradient rows (critics use width 1).
+    grad_out: Vec<f64>,
+    /// `[batch × (state_dim + action_dim)]` input-gradient rows.
+    grad_in: Vec<f64>,
+    /// Activation storage shared by the actor and its target.
+    actor_cache: BatchCache,
+    /// Activation storage shared by critic 1 and its target.
+    critic1_cache: BatchCache,
+    /// Activation storage shared by critic 2 and its target.
+    critic2_cache: BatchCache,
+    /// Actor gradient slab.
+    g_actor: Vec<f64>,
+    /// Critic-1 gradient slab (reused as scratch for the actor's Q pass).
+    g_critic1: Vec<f64>,
+    /// Critic-2 gradient slab.
+    g_critic2: Vec<f64>,
+}
+
+impl TrainWorkspace {
+    /// Creates a workspace for agents with `config`'s shape, holding up to
+    /// `max_batch` transitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch == 0` or a config dimension is zero.
+    pub fn new(config: &Td3Config, max_batch: usize) -> Self {
+        assert!(max_batch > 0, "batch capacity must be positive");
+        assert!(
+            config.state_dim > 0 && config.action_dim > 0,
+            "zero dimension"
+        );
+        let (sd, ad) = (config.state_dim, config.action_dim);
+        let mut actor_dims = vec![sd];
+        actor_dims.extend(&config.hidden);
+        actor_dims.push(ad);
+        let mut critic_dims = vec![sd + ad];
+        critic_dims.extend(&config.hidden);
+        critic_dims.push(1);
+        let param_count =
+            |dims: &[usize]| -> usize { dims.windows(2).map(|w| w[0] * w[1] + w[1]).sum() };
+        Self {
+            state_dim: sd,
+            action_dim: ad,
+            max_batch,
+            len: 0,
+            states: vec![0.0; max_batch * sd],
+            next_states: vec![0.0; max_batch * sd],
+            rewards: vec![0.0; max_batch],
+            not_done: vec![0.0; max_batch],
+            sa: vec![0.0; max_batch * (sd + ad)],
+            sa2: vec![0.0; max_batch * (sd + ad)],
+            targets: vec![0.0; max_batch],
+            td: vec![0.0; max_batch],
+            grad_out: vec![0.0; max_batch * ad],
+            grad_in: vec![0.0; max_batch * (sd + ad)],
+            actor_cache: BatchCache::for_dims(&actor_dims, max_batch),
+            critic1_cache: BatchCache::for_dims(&critic_dims, max_batch),
+            critic2_cache: BatchCache::for_dims(&critic_dims, max_batch),
+            g_actor: vec![0.0; param_count(&actor_dims)],
+            g_critic1: vec![0.0; param_count(&critic_dims)],
+            g_critic2: vec![0.0; param_count(&critic_dims)],
+        }
+    }
+
+    /// Number of transitions gathered so far.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when no transitions are gathered.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Maximum number of transitions per training step.
+    pub fn max_batch(&self) -> usize {
+        self.max_batch
+    }
+
+    /// Empties the gathered minibatch (capacity is retained).
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// Gathers one transition into the next minibatch row, scattering its
+    /// fields into the state/action/reward slabs without cloning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workspace is full or the transition's dimensions
+    /// disagree with the configured shape.
+    pub fn push(&mut self, t: &Transition) {
+        assert!(self.len < self.max_batch, "workspace full");
+        assert_eq!(t.state.len(), self.state_dim, "state dimension mismatch");
+        assert_eq!(t.action.len(), self.action_dim, "action dimension mismatch");
+        assert_eq!(
+            t.next_state.len(),
+            self.state_dim,
+            "next-state dimension mismatch"
+        );
+        let (sd, ad) = (self.state_dim, self.action_dim);
+        let r = self.len;
+        self.states[r * sd..(r + 1) * sd].copy_from_slice(&t.state);
+        self.next_states[r * sd..(r + 1) * sd].copy_from_slice(&t.next_state);
+        self.rewards[r] = t.reward;
+        self.not_done[r] = if t.done { 0.0 } else { 1.0 };
+        let row = &mut self.sa[r * (sd + ad)..(r + 1) * (sd + ad)];
+        row[..sd].copy_from_slice(&t.state);
+        row[sd..].copy_from_slice(&t.action);
+        self.len += 1;
+    }
+
+    /// Per-row TD errors `y − Q₁(s,a)` from the latest
+    /// [`Td3Agent::train_batched`] call, in gather order.
+    pub fn td_errors(&self) -> &[f64] {
+        &self.td[..self.len]
+    }
+
+    /// The state gathered into row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.len()`.
+    pub fn state_row(&self, r: usize) -> &[f64] {
+        assert!(r < self.len, "row out of bounds");
+        &self.states[r * self.state_dim..(r + 1) * self.state_dim]
+    }
+
+    /// The action gathered into row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.len()`.
+    pub fn action_row(&self, r: usize) -> &[f64] {
+        assert!(r < self.len, "row out of bounds");
+        let sad = self.state_dim + self.action_dim;
+        &self.sa[r * sad + self.state_dim..(r + 1) * sad]
+    }
+
+    /// The reward gathered into row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.len()`.
+    pub fn reward_row(&self, r: usize) -> f64 {
+        assert!(r < self.len, "row out of bounds");
+        self.rewards[r]
     }
 }
 
@@ -202,6 +390,26 @@ impl Td3Agent {
         self.actor.forward(state)
     }
 
+    /// Zero-allocation deterministic policy action into `out`
+    /// (`action_dim` long), ping-ponging activations through `scratch`
+    /// (shape it with [`Td3Agent::act_scratch`]). Shares the batched
+    /// path's dot kernel, so it is bit-identical to a batched actor row;
+    /// it matches the scalar [`Td3Agent::act`] to tight relative
+    /// tolerance (the kernel's lane split reorders the summation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state`/`out`/`scratch` disagree with the actor's shape.
+    pub fn act_into(&self, state: &[f64], out: &mut [f64], scratch: &mut ActScratch) {
+        self.actor.forward_into(state, out, scratch);
+    }
+
+    /// Scratch sized for [`Td3Agent::act_into`] /
+    /// [`Td3Agent::act_exploring_into`] on this agent.
+    pub fn act_scratch(&self) -> ActScratch {
+        ActScratch::for_mlp(&self.actor)
+    }
+
     /// Policy action with Gaussian exploration noise, clipped to `[−1, 1]`.
     pub fn act_exploring(&self, state: &[f64], rng: &mut impl Rng) -> Vec<f64> {
         self.act(state)
@@ -210,6 +418,28 @@ impl Td3Agent {
                 (a + self.config.exploration_noise * sample_standard_normal(rng)).clamp(-1.0, 1.0)
             })
             .collect()
+    }
+
+    /// Zero-allocation [`Td3Agent::act_exploring`]: deterministic action
+    /// into `out`, then per-component clipped Gaussian noise. Draws noise
+    /// in the same order as the allocating variant, so a fixed-seed run is
+    /// unchanged by switching paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state`/`out`/`scratch` disagree with the actor's shape.
+    pub fn act_exploring_into(
+        &self,
+        state: &[f64],
+        out: &mut [f64],
+        scratch: &mut ActScratch,
+        rng: &mut impl Rng,
+    ) {
+        self.actor.forward_into(state, out, scratch);
+        for a in out.iter_mut() {
+            *a = (*a + self.config.exploration_noise * sample_standard_normal(rng))
+                .clamp(-1.0, 1.0);
+        }
     }
 
     /// Q-value of `(state, action)` under the first critic.
@@ -222,70 +452,214 @@ impl Td3Agent {
     /// the per-sample TD errors `y − Q₁(s,a)` computed *before* the update,
     /// which feed priority refreshes.
     ///
+    /// Thin wrapper over [`Td3Agent::train_batched`] that builds a
+    /// throwaway [`TrainWorkspace`] per call; hot loops should hold a
+    /// reusable workspace and call the batched method directly.
+    ///
     /// An empty batch is a no-op returning an empty vector.
     pub fn train_on_batch(&mut self, batch: &[Transition], rng: &mut impl Rng) -> Vec<f64> {
         if batch.is_empty() {
             return Vec::new();
         }
-        let n = batch.len() as f64;
-        let cfg = self.config.clone();
+        let mut ws = TrainWorkspace::new(&self.config, batch.len());
+        for t in batch {
+            ws.push(t);
+        }
+        self.train_batched(&mut ws, rng).to_vec()
+    }
+
+    /// One TD3 training step over the minibatch gathered in `ws`
+    /// (Algorithm 2 lines 9–18), fully batched: each of the six networks
+    /// runs one `[batch × dim]` forward (and, where needed, one backward)
+    /// pass per step instead of one per transition, and each Adam update
+    /// walks its parameter slab once. Performs zero heap allocations.
+    ///
+    /// Target-smoothing noise is drawn per row, per action dimension — the
+    /// same order the per-transition loop used, so fixed-seed runs replay
+    /// the identical noise sequence. Returns the per-row TD errors
+    /// `y − Q₁(s,a)` from before the update (also available afterwards via
+    /// [`TrainWorkspace::td_errors`]).
+    ///
+    /// An empty workspace is a no-op returning an empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workspace shape disagrees with the agent's config.
+    pub fn train_batched<'w>(
+        &mut self,
+        ws: &'w mut TrainWorkspace,
+        rng: &mut impl Rng,
+    ) -> &'w [f64] {
+        let b = ws.len;
+        if b == 0 {
+            return &ws.td[..0];
+        }
+        assert_eq!(ws.state_dim, self.config.state_dim, "state dim mismatch");
+        assert_eq!(ws.action_dim, self.config.action_dim, "action dim mismatch");
+        let n = b as f64;
+        let (sd, ad) = (self.config.state_dim, self.config.action_dim);
+        let sad = sd + ad;
+        let (gamma, tau) = (self.config.gamma, self.config.tau);
+        let (policy_noise, noise_clip) = (self.config.policy_noise, self.config.noise_clip);
+        let policy_delay = self.config.policy_delay;
 
         // --- targets with smoothed target policy ---
-        let mut targets = Vec::with_capacity(batch.len());
-        for t in batch {
-            let mut a2 = self.actor_target.forward(&t.next_state);
-            for a in &mut a2 {
-                let eps = (cfg.policy_noise * sample_standard_normal(rng))
-                    .clamp(-cfg.noise_clip, cfg.noise_clip);
-                *a = (*a + eps).clamp(-1.0, 1.0);
+        self.actor_target
+            .forward_batch_into(&ws.next_states, b, &mut ws.actor_cache);
+        {
+            let a2 = ws.actor_cache.output(b);
+            for r in 0..b {
+                let row = &mut ws.sa2[r * sad..(r + 1) * sad];
+                row[..sd].copy_from_slice(&ws.next_states[r * sd..(r + 1) * sd]);
+                for (d, slot) in row[sd..].iter_mut().enumerate() {
+                    let eps = (policy_noise * sample_standard_normal(rng))
+                        .clamp(-noise_clip, noise_clip);
+                    *slot = (a2[r * ad + d] + eps).clamp(-1.0, 1.0);
+                }
             }
-            let sa2 = [t.next_state.as_slice(), a2.as_slice()].concat();
-            let q1 = self.critic1_target.forward(&sa2)[0];
-            let q2 = self.critic2_target.forward(&sa2)[0];
-            let not_done = if t.done { 0.0 } else { 1.0 };
-            targets.push(t.reward + cfg.gamma * not_done * q1.min(q2));
+        }
+        self.critic1_target
+            .forward_batch_into(&ws.sa2, b, &mut ws.critic1_cache);
+        self.critic2_target
+            .forward_batch_into(&ws.sa2, b, &mut ws.critic2_cache);
+        {
+            let q1 = ws.critic1_cache.output(b);
+            let q2 = ws.critic2_cache.output(b);
+            for r in 0..b {
+                ws.targets[r] = ws.rewards[r] + gamma * ws.not_done[r] * q1[r].min(q2[r]);
+            }
         }
 
         // --- critic updates: L = 1/N Σ (Q(s,a) − y)² ---
-        let mut td_errors = Vec::with_capacity(batch.len());
-        let mut g1 = vec![0.0; self.critic1.num_params()];
-        let mut g2 = vec![0.0; self.critic2.num_params()];
-        for (t, &y) in batch.iter().zip(&targets) {
-            let sa = [t.state.as_slice(), t.action.as_slice()].concat();
-            let c1 = self.critic1.forward_cached(&sa);
-            let c2 = self.critic2.forward_cached(&sa);
-            let q1 = c1.output()[0];
-            let q2 = c2.output()[0];
-            td_errors.push(y - q1);
-            self.critic1.backward(&c1, &[2.0 * (q1 - y) / n], &mut g1);
-            self.critic2.backward(&c2, &[2.0 * (q2 - y) / n], &mut g2);
+        self.critic1
+            .forward_batch_into(&ws.sa, b, &mut ws.critic1_cache);
+        self.critic2
+            .forward_batch_into(&ws.sa, b, &mut ws.critic2_cache);
+        {
+            let q1 = ws.critic1_cache.output(b);
+            for (((td, go), &y), &q) in ws.td[..b]
+                .iter_mut()
+                .zip(&mut ws.grad_out[..b])
+                .zip(&ws.targets[..b])
+                .zip(q1)
+            {
+                *td = y - q;
+                *go = 2.0 * (q - y) / n;
+            }
         }
-        self.critic1_opt.step(self.critic1.params_mut(), &g1);
-        self.critic2_opt.step(self.critic2.params_mut(), &g2);
+        ws.g_critic1.fill(0.0);
+        self.critic1.backward_batch_into(
+            &mut ws.critic1_cache,
+            b,
+            &ws.grad_out[..b],
+            &mut ws.g_critic1,
+            &mut ws.grad_in,
+        );
+        {
+            let q2 = ws.critic2_cache.output(b);
+            for ((go, &y), &q) in ws.grad_out[..b].iter_mut().zip(&ws.targets[..b]).zip(q2) {
+                *go = 2.0 * (q - y) / n;
+            }
+        }
+        ws.g_critic2.fill(0.0);
+        self.critic2.backward_batch_into(
+            &mut ws.critic2_cache,
+            b,
+            &ws.grad_out[..b],
+            &mut ws.g_critic2,
+            &mut ws.grad_in,
+        );
+        self.critic1_opt
+            .step(self.critic1.params_mut(), &ws.g_critic1);
+        self.critic2_opt
+            .step(self.critic2.params_mut(), &ws.g_critic2);
 
         self.train_steps += 1;
 
         // --- delayed policy + target updates ---
-        if self.train_steps.is_multiple_of(cfg.policy_delay) {
-            let mut ga = vec![0.0; self.actor.num_params()];
-            let mut scratch = vec![0.0; self.critic1.num_params()];
-            for t in batch {
-                let ac = self.actor.forward_cached(&t.state);
-                let a = ac.output().to_vec();
-                let sa = [t.state.as_slice(), a.as_slice()].concat();
-                let cc = self.critic1.forward_cached(&sa);
-                // Maximize Q ⇒ minimize −Q: ∂(−Q)/∂input, action slice.
-                scratch.iter_mut().for_each(|v| *v = 0.0);
-                let gin = self.critic1.backward(&cc, &[-1.0 / n], &mut scratch);
-                let ga_out = &gin[cfg.state_dim..];
-                self.actor.backward(&ac, ga_out, &mut ga);
+        if self.train_steps.is_multiple_of(policy_delay) {
+            self.actor
+                .forward_batch_into(&ws.states, b, &mut ws.actor_cache);
+            {
+                let a = ws.actor_cache.output(b);
+                for r in 0..b {
+                    let row = &mut ws.sa2[r * sad..(r + 1) * sad];
+                    row[..sd].copy_from_slice(&ws.states[r * sd..(r + 1) * sd]);
+                    row[sd..].copy_from_slice(&a[r * ad..(r + 1) * ad]);
+                }
             }
-            self.actor_opt.step(self.actor.params_mut(), &ga);
-            self.actor_target.soft_update_from(&self.actor, cfg.tau);
-            self.critic1_target.soft_update_from(&self.critic1, cfg.tau);
-            self.critic2_target.soft_update_from(&self.critic2, cfg.tau);
+            self.critic1
+                .forward_batch_into(&ws.sa2, b, &mut ws.critic1_cache);
+            // Maximize Q ⇒ minimize −Q. The critic's parameter gradients
+            // are scratch here (only ∂(−Q̄)/∂input matters), so the
+            // critic-1 slab — already applied above — is reused.
+            ws.grad_out[..b].fill(-1.0 / n);
+            ws.g_critic1.fill(0.0);
+            self.critic1.backward_batch_into(
+                &mut ws.critic1_cache,
+                b,
+                &ws.grad_out[..b],
+                &mut ws.g_critic1,
+                &mut ws.grad_in,
+            );
+            // Actor output gradients: the action slice of each input row.
+            for r in 0..b {
+                let (gin, gout) = (&ws.grad_in, &mut ws.grad_out);
+                gout[r * ad..(r + 1) * ad]
+                    .copy_from_slice(&gin[r * sad + sd..(r + 1) * sad]);
+            }
+            ws.g_actor.fill(0.0);
+            self.actor.backward_batch_into(
+                &mut ws.actor_cache,
+                b,
+                &ws.grad_out[..b * ad],
+                &mut ws.g_actor,
+                &mut ws.grad_in,
+            );
+            self.actor_opt.step(self.actor.params_mut(), &ws.g_actor);
+            self.actor_target.soft_update_from(&self.actor, tau);
+            self.critic1_target.soft_update_from(&self.critic1, tau);
+            self.critic2_target.soft_update_from(&self.critic2, tau);
         }
-        td_errors
+        &ws.td[..b]
+    }
+
+    /// Mean actor objective `1/N Σ Q₁(s, π(s))` over the minibatch gathered
+    /// in `ws`, computed with one batched forward per network instead of a
+    /// scalar actor + critic pass per row. Reuses the workspace's activation
+    /// caches and `s ‖ π(s)` scratch rows; allocation-free and read-only on
+    /// the agent. Row order matches the per-row scalar sum
+    /// `Σ q_value(s, act(s))`, so the result is bit-identical to it.
+    ///
+    /// Telemetry helper: training loops report `−mean_actor_objective` as
+    /// the actor loss without paying per-row forward passes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workspace shape disagrees with the agent's config.
+    pub fn mean_actor_objective(&self, ws: &mut TrainWorkspace) -> f64 {
+        let b = ws.len;
+        if b == 0 {
+            return 0.0;
+        }
+        assert_eq!(ws.state_dim, self.config.state_dim, "state dim mismatch");
+        assert_eq!(ws.action_dim, self.config.action_dim, "action dim mismatch");
+        let (sd, ad) = (self.config.state_dim, self.config.action_dim);
+        let sad = sd + ad;
+        self.actor
+            .forward_batch_into(&ws.states, b, &mut ws.actor_cache);
+        {
+            let a = ws.actor_cache.output(b);
+            for r in 0..b {
+                let row = &mut ws.sa2[r * sad..(r + 1) * sad];
+                row[..sd].copy_from_slice(&ws.states[r * sd..(r + 1) * sd]);
+                row[sd..].copy_from_slice(&a[r * ad..(r + 1) * ad]);
+            }
+        }
+        self.critic1
+            .forward_batch_into(&ws.sa2, b, &mut ws.critic1_cache);
+        let q = ws.critic1_cache.output(b);
+        q.iter().sum::<f64>() / b as f64
     }
 }
 
@@ -438,6 +812,113 @@ mod tests {
         // 4th step triggers the policy update.
         agent.train_on_batch(&batch, &mut r);
         assert_ne!(agent.actor.params(), actor_before.as_slice());
+    }
+
+    #[test]
+    fn reused_workspace_matches_wrapper() {
+        // Same seed, same batches: the reusable-workspace path and the
+        // allocating wrapper must be indistinguishable.
+        let run = |reuse: bool| {
+            let mut r = StdRng::seed_from_u64(9);
+            let mut agent = Td3Agent::new(Td3Config::new(2, 1), &mut r);
+            let mut ws = TrainWorkspace::new(agent.config(), 4);
+            let mut tds = Vec::new();
+            for i in 0..12 {
+                let batch: Vec<Transition> = (0..3)
+                    .map(|j| Transition {
+                        state: vec![0.1 * i as f64, -0.05 * j as f64],
+                        action: vec![0.2],
+                        reward: (i + j) as f64 * 0.1,
+                        next_state: vec![0.3, -0.3],
+                        done: j == 2,
+                    })
+                    .collect();
+                if reuse {
+                    ws.clear();
+                    for t in &batch {
+                        ws.push(t);
+                    }
+                    tds.extend_from_slice(agent.train_batched(&mut ws, &mut r));
+                } else {
+                    tds.extend(agent.train_on_batch(&batch, &mut r));
+                }
+            }
+            (tds, agent.act(&[0.4, -0.4]))
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn act_into_matches_act_tightly() {
+        // The zero-alloc path uses the four-lane dot kernel, whose
+        // summation order differs from the scalar `act`; values agree to
+        // tight relative tolerance.
+        let agent = Td3Agent::new(Td3Config::new(3, 2), &mut rng());
+        let mut scratch = agent.act_scratch();
+        let mut out = vec![0.0; 2];
+        for s in [[0.0, 0.0, 0.0], [0.5, -1.2, 3.0], [-0.1, 0.1, 0.9]] {
+            agent.act_into(&s, &mut out, &mut scratch);
+            for (a, b) in out.iter().zip(agent.act(&s)) {
+                assert!((a - b).abs() < 1e-12 * (1.0 + b.abs()), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn act_exploring_into_matches_allocating_path() {
+        let agent = Td3Agent::new(Td3Config::new(2, 1), &mut rng());
+        let mut scratch = agent.act_scratch();
+        let mut out = vec![0.0; 1];
+        let a = agent.act_exploring(&[0.5, -0.5], &mut StdRng::seed_from_u64(42));
+        agent.act_exploring_into(
+            &[0.5, -0.5],
+            &mut out,
+            &mut scratch,
+            &mut StdRng::seed_from_u64(42),
+        );
+        // Same RNG draw order, so the noise is identical; the underlying
+        // forward passes differ only in kernel summation order.
+        for (x, y) in out.iter().zip(&a) {
+            assert!((x - y).abs() < 1e-12 * (1.0 + y.abs()), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn workspace_gathers_and_clears() {
+        let cfg = Td3Config::new(2, 1);
+        let mut ws = TrainWorkspace::new(&cfg, 3);
+        assert!(ws.is_empty());
+        assert_eq!(ws.max_batch(), 3);
+        ws.push(&Transition {
+            state: vec![1.0, 2.0],
+            action: vec![0.5],
+            reward: 7.0,
+            next_state: vec![3.0, 4.0],
+            done: false,
+        });
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws.state_row(0), &[1.0, 2.0]);
+        assert_eq!(ws.action_row(0), &[0.5]);
+        assert_eq!(ws.reward_row(0), 7.0);
+        ws.clear();
+        assert!(ws.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "workspace full")]
+    fn workspace_rejects_overfill() {
+        let cfg = Td3Config::new(1, 1);
+        let mut ws = TrainWorkspace::new(&cfg, 1);
+        ws.push(&transition(0.0, 0.0, 0.0, 0.0));
+        ws.push(&transition(0.0, 0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "state dimension mismatch")]
+    fn workspace_rejects_wrong_state_dim() {
+        let cfg = Td3Config::new(2, 1);
+        let mut ws = TrainWorkspace::new(&cfg, 1);
+        ws.push(&transition(0.0, 0.0, 0.0, 0.0));
     }
 
     #[test]
